@@ -1,0 +1,254 @@
+// Command skybench regenerates every table and figure of the SkyServer
+// paper's evaluation as text reports:
+//
+//	skybench -exp table1     Table 1: records and bytes per table
+//	skybench -exp fig5       Figure 5: monthly hits / page views / sessions
+//	skybench -exp plans      Figures 10–12: the printed query plans
+//	skybench -exp fig12      Figure 12 ablation: Q15B with vs without its index
+//	skybench -exp fig13      Figure 13: CPU and elapsed time per query
+//	skybench -exp fig15      Figure 15: scan MB/s vs disk configuration
+//	skybench -exp warmcold   §11/§12: warm/cold index scans, color-cut scan
+//	skybench -exp neighbors  §9.1.1: neighbors build rate and density
+//	skybench -exp load       §9.4: load pipeline throughput
+//	skybench -exp personal   §10: personal SkyServer subset
+//	skybench -exp all        everything above
+//
+// -scale sets the survey size as a fraction of the 14M-object EDR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"skyserver/internal/core"
+	"skyserver/internal/experiments"
+	"skyserver/internal/traffic"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1 fig5 plans fig12 fig13 fig15 warmcold neighbors load personal all")
+	scale := flag.Float64("scale", 1.0/400, "survey scale as a fraction of the 14M-object EDR")
+	seed := flag.Int64("seed", 20020603, "survey seed")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "skybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, seed int64) error {
+	needsServer := map[string]bool{
+		"table1": true, "plans": true, "fig13": true,
+		"warmcold": true, "personal": true, "all": true,
+	}
+	var s *core.SkyServer
+	if needsServer[exp] {
+		fmt.Printf("building synthetic survey at scale 1/%.0f …\n", 1/scale)
+		start := time.Now()
+		var err error
+		s, err = core.Open(core.Config{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		fmt.Printf("loaded %d photo objects in %.1fs\n\n", s.DB().PhotoObj.Rows(), time.Since(start).Seconds())
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return reportTable1(s)
+		case "fig5":
+			return reportFig5()
+		case "plans":
+			return reportPlans(s)
+		case "fig12":
+			return reportFig12(scale, seed)
+		case "fig13":
+			return reportFig13(s)
+		case "fig15":
+			return reportFig15()
+		case "warmcold":
+			return reportWarmCold(s)
+		case "neighbors":
+			return reportNeighbors(scale, seed)
+		case "load":
+			return reportLoad(scale, seed)
+		case "personal":
+			return reportPersonal(s)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	if exp != "all" {
+		return runOne(exp)
+	}
+	for _, name := range []string{"table1", "fig5", "plans", "fig12", "fig13", "fig15", "warmcold", "neighbors", "load", "personal"} {
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func reportTable1(s *core.SkyServer) error {
+	fmt.Println("== Table 1: count of records and bytes in major tables ==")
+	fmt.Printf("%-15s %12s %12s %12s | %8s %8s\n", "Table", "Records", "Bytes", "IdxBytes", "paper", "paper")
+	for _, r := range experiments.Table1(s) {
+		fmt.Printf("%-15s %12d %12s %12s | %8s %8s\n",
+			r.Name, r.Rows, human(r.DataBytes), human(r.IndexBytes), r.PaperRows, r.PaperBytes)
+	}
+	return nil
+}
+
+func reportFig5(args ...string) error {
+	fmt.Println("== Figure 5: site traffic, June..December 2001 ==")
+	rep, err := experiments.Fig5(traffic.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %12s %12s %10s\n", "month", "hits", "pageViews", "sessions")
+	for _, m := range rep.MonthlySeries() {
+		fmt.Printf("%-9s %12d %12d %10d\n", m.Day.Format("2006-01"), m.Hits, m.Pages, m.Sessions)
+	}
+	fmt.Printf("%-9s %12d %12d %10d   (paper: ~2.5M hits, ~1M pages, ~70k sessions)\n",
+		"total", rep.Hits, rep.Pages, rep.Sessions)
+	fmt.Printf("crawler hits: %.0f%% (paper ~30%%)   jp pages: %.1f%% (paper ~4%%)   de pages: %.1f%% (paper ~3%%)   edu pages: %.1f%% (paper ~8%%)\n",
+		100*float64(rep.CrawlerHits)/float64(rep.Hits),
+		100*float64(rep.LangPages["jp"])/float64(rep.Pages),
+		100*float64(rep.LangPages["de"])/float64(rep.Pages),
+		100*float64(rep.EduPages)/float64(rep.Pages))
+	return nil
+}
+
+func reportPlans(s *core.SkyServer) error {
+	fmt.Println("== Figures 10-12: query plans ==")
+	plans, err := experiments.Plans(s)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(plans))
+	for k := range plans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("-- %s --\n%s\n", k, plans[k])
+	}
+	return nil
+}
+
+func reportFig12(scale float64, seed int64) error {
+	fmt.Println("== Figure 12 ablation: Q15B with vs without the covering index ==")
+	fmt.Println("(cold runs on the paper's 4-disk model: the gap is an I/O story)")
+	r, err := experiments.Fig12(experiments.Fig12Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("with ix_PhotoObj_run_camcol_field:    %10.3fs  (%d pairs)   paper: 55s\n", r.WithIndex.Seconds(), r.RowsWith)
+	fmt.Printf("without (nested loop of table scans): %10.3fs  (%d pairs)   paper: ~600s\n", r.WithoutIndex.Seconds(), r.RowsWithout)
+	fmt.Printf("speedup from the index: %.1fx (paper: ~11x)\n", r.WithoutIndex.Seconds()/r.WithIndex.Seconds())
+	return nil
+}
+
+func reportFig13(s *core.SkyServer) error {
+	fmt.Println("== Figure 13: the 22-query workload (CPU and elapsed seconds) ==")
+	fmt.Printf("%-5s %10s %12s %12s %12s  %s\n", "query", "rows", "cpu(s)", "elapsed(s)", "rowsScanned", "status")
+	for _, tm := range experiments.Fig13(s) {
+		status := "ok"
+		if tm.Err != nil {
+			status = tm.Err.Error()
+		}
+		fmt.Printf("%-5s %10d %12.3f %12.3f %12d  %s\n",
+			"Q"+tm.ID, tm.Rows, tm.CPU.Seconds(), tm.Elapsed.Seconds(), tm.Scanned, status)
+	}
+	return nil
+}
+
+func reportFig15() error {
+	fmt.Println("== Figure 15: sequential scan MB/s vs disk configuration (model units) ==")
+	fmt.Println("model: 40 MB/s disks, 119 MB/s controllers (3 disks each), 220/500 MB/s buses")
+	points, err := experiments.Fig15(experiments.Fig15Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s %12s %12s   %s\n", "disks", "raw MB/s", "sql MB/s", "paper raw/sql")
+	paper := map[int][2]string{
+		1: {"40", "40"}, 3: {"119", "119"}, 6: {"213", "200"},
+		9: {"320", "310"}, 12: {"430", "331"},
+	}
+	for _, p := range points {
+		pp := paper[p.Disks]
+		fmt.Printf("%-7d %12.0f %12.0f   %s/%s\n", p.Disks, p.RawMBps, p.SQLMBps, pp[0], pp[1])
+	}
+	return nil
+}
+
+func reportWarmCold(s *core.SkyServer) error {
+	fmt.Println("== §11/§12 prose: warm vs cold scans ==")
+	r, err := experiments.WarmCold(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("color-cut scan cold (cache dropped): %8.1f ms, %s read   (paper: 17s cold index scan at 14M rows)\n",
+		float64(r.ColdScan.Microseconds())/1000, human(r.ColorCutBytes))
+	fmt.Printf("color-cut scan warm (cache hot):     %8.1f ms              (paper: 7s warm)\n",
+		float64(r.WarmScan.Microseconds())/1000)
+	fmt.Printf("covered index aggregate:             %8.1f ms              (memory-resident B-tree)\n",
+		float64(r.IndexScan.Microseconds())/1000)
+	fmt.Printf("rows scanned by the color cut: %d\n", r.ColorCutRows)
+	return nil
+}
+
+func reportNeighbors(scale float64, seed int64) error {
+	fmt.Println("== §9.1.1: the Neighbors materialized view ==")
+	r, err := experiments.Neighbors(scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %d neighbor pairs for %d objects in %.2fs — %.1f per object (paper: ~10 at full density)\n",
+		r.Rows, r.PhotoRows, r.BuildTime.Seconds(), r.PerObject)
+	return nil
+}
+
+func reportLoad(scale float64, seed int64) error {
+	fmt.Println("== §9.4: load pipeline throughput ==")
+	r, err := experiments.Load(scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d rows (%s) in %.2fs — %.2f GB/hour, %.0f rows/s (paper: ~5 GB/hour)\n",
+		r.Rows, human(r.Bytes), r.Elapsed.Seconds(), r.GBPerHour, r.RowsPerSec)
+	return nil
+}
+
+func reportPersonal(s *core.SkyServer) error {
+	fmt.Println("== §10: the personal SkyServer ==")
+	r, err := experiments.Personal(s, 184.5, 185.5, -1.0, 0.0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subset %d of %d objects (%.1f%%); Query 1 inside the subset: %d galaxies (paper: 19)\n",
+		r.SubsetRows, r.ParentRows, 100*r.Fraction, r.Q1Galaxies)
+	return nil
+}
+
+func human(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+var _ = strings.TrimSpace

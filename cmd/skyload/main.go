@@ -1,0 +1,119 @@
+// Command skyload is the load-pipeline administration tool of §9.4: it
+// generates a synthetic survey as CSV files (the pipeline's output format),
+// loads them through journaled DTS-style steps with integrity checking,
+// shows the loadEvents journal, and demonstrates UNDO of a failed step.
+//
+//	skyload -dir /tmp/csv -scale 0.0005 gen      # pipeline → CSV files
+//	skyload -dir /tmp/csv load                   # CSV → database, journaled
+//	skyload -dir /tmp/csv demo-undo              # inject a bad file, load, undo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"skyserver/internal/load"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/schema"
+	"skyserver/internal/storage"
+)
+
+func main() {
+	dir := flag.String("dir", "", "CSV directory")
+	scale := flag.Float64("scale", 1.0/2000, "survey scale as a fraction of the 14M-object EDR")
+	seed := flag.Int64("seed", 20020603, "survey seed")
+	flag.Parse()
+	if *dir == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skyload -dir DIR [gen|load|demo-undo]")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	switch flag.Arg(0) {
+	case "gen":
+		sdb := mustSchema()
+		stats, paths, err := load.WriteCSVSurvey(pipeline.Config{Scale: *scale, Seed: *seed}, sdb, *dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d CSV files:\n", len(paths))
+		for table, path := range paths {
+			fmt.Printf("  %-15s %8d rows  %s\n", table, stats.RowCounts[table], path)
+		}
+
+	case "load":
+		sdb := mustSchema()
+		l := load.New(sdb)
+		events, err := load.LoadCSVDir(l, sdb, *dir)
+		if err != nil {
+			log.Fatalf("load failed after %d steps: %v", len(events), err)
+		}
+		printJournal(l)
+		fmt.Printf("loaded %d photo objects\n", sdb.PhotoObj.Rows())
+
+	case "demo-undo":
+		// The §9.4 operations story: a bad file fails its step mid-way,
+		// the journal shows it, UNDO backs it out.
+		sdb := mustSchema()
+		l := load.New(sdb)
+		good := filepath.Join(*dir, "Plate.csv")
+		if err := os.WriteFile(good, []byte(
+			"plateID,mjd,ra,dec,nFibers,loadTime\n266,52000,185,0,600,0\n267,52003,186,0,600,0\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		src, err := load.NewCSVSource(sdb, "Plate", good)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := l.RunStep(src); err != nil {
+			log.Fatal(err)
+		}
+		bad := filepath.Join(*dir, "Plate_bad.csv")
+		if err := os.WriteFile(bad, []byte(
+			"plateID,mjd,ra,dec,nFibers,loadTime\n268,52006,187,0,600,0\n269,not-a-number,188,0,600,0\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		src2, err := load.NewCSVSource(sdb, "Plate", bad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		badEvent, err := l.RunStep(src2)
+		fmt.Printf("bad step %d failed as expected: %v\n", badEvent, err)
+		fmt.Printf("plates after failure: %d (partial rows present)\n", sdb.Plate.Rows())
+		removed, err := l.Undo(badEvent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("UNDO removed %d rows; plates now: %d\n", removed, sdb.Plate.Rows())
+		printJournal(l)
+
+	default:
+		fmt.Fprintln(os.Stderr, "unknown subcommand", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func mustSchema() *schema.SkyDB {
+	sdb, err := schema.Build(storage.NewMemFileGroup(4, 1<<14))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sdb
+}
+
+func printJournal(l *load.Loader) {
+	events, err := l.Events()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loadEvents journal:")
+	fmt.Printf("  %-4s %-15s %-10s %10s %10s  %s\n", "id", "table", "status", "srcRows", "inserted", "source")
+	for _, e := range events {
+		fmt.Printf("  %-4d %-15s %-10s %10d %10d  %s\n",
+			e.ID, e.Table, e.Status, e.SourceRows, e.InsertedRows, e.Source)
+	}
+}

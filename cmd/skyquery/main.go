@@ -1,0 +1,141 @@
+// Command skyquery is the text mode of SkyServerQA (§4): a command-line
+// SQL tool against a freshly built synthetic survey. One-shot:
+//
+//	skyquery -scale 0.0025 -format csv "select top 5 objID, ra, dec from Galaxy"
+//
+// or interactive (reads statements terminated by 'go' or a blank line):
+//
+//	skyquery -i
+//
+// -explain prints the query plan instead of running the query; -stats
+// prints the execution-statistics line the SkyServerQA status window shows.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"skyserver/internal/core"
+	"skyserver/internal/sqlengine"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/1000, "survey scale as a fraction of the 14M-object EDR")
+	seed := flag.Int64("seed", 20020603, "survey seed")
+	format := flag.String("format", "table", "output: table, csv")
+	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	stats := flag.Bool("stats", true, "print execution statistics")
+	interactive := flag.Bool("i", false, "interactive mode")
+	flag.Parse()
+
+	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
+	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, SkipFrames: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	sess := s.Session()
+
+	runOne := func(sql string) {
+		if *explain {
+			plan, err := sess.Explain(sql)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Print(plan)
+			return
+		}
+		res, err := sess.Exec(sql, sqlengine.ExecOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		printResult(res, *format)
+		if *stats {
+			fmt.Printf("(%d rows, %.3fs elapsed, %.3fs cpu, %d rows scanned)\n",
+				len(res.Rows), res.Elapsed.Seconds(), res.CPU.Seconds(), res.RowsScanned)
+		}
+	}
+
+	if !*interactive {
+		sql := strings.Join(flag.Args(), " ")
+		if strings.TrimSpace(sql) == "" {
+			fmt.Fprintln(os.Stderr, "usage: skyquery [flags] \"select ...\"   (or -i for interactive)")
+			os.Exit(2)
+		}
+		runOne(sql)
+		return
+	}
+
+	fmt.Println("skyquery interactive — end a batch with 'go' or a blank line; 'quit' exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	var batch []string
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(strings.ToLower(line))
+		if trimmed == "quit" || trimmed == "exit" {
+			break
+		}
+		if trimmed == "go" || trimmed == "" {
+			if len(batch) > 0 {
+				runOne(strings.Join(batch, "\n"))
+				batch = batch[:0]
+			}
+			continue
+		}
+		batch = append(batch, line)
+	}
+}
+
+func printResult(res *sqlengine.Result, format string) {
+	if format == "csv" {
+		fmt.Println(strings.Join(res.Cols, ","))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, ","))
+		}
+		return
+	}
+	// Fixed-width table.
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range res.Cols {
+		fmt.Printf("%-*s  ", widths[i], c)
+		_ = i
+	}
+	fmt.Println()
+	for i := range res.Cols {
+		fmt.Printf("%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for i, cell := range row {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+	}
+}

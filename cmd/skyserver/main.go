@@ -1,0 +1,50 @@
+// Command skyserver builds a synthetic sky survey and serves the SkyServer
+// web interface: the SQL search page, the object explorer, the pan-zoom
+// cutout service, the famous-places gallery, and the schema browser.
+//
+//	skyserver -addr :8008 -scale 0.0025 -public
+//
+// With -public the §4 limits apply (1,000 rows / 30 seconds per query).
+// The access log (-accesslog) is written in the format internal/traffic analyzes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"skyserver/internal/core"
+	"skyserver/internal/web"
+)
+
+func main() {
+	addr := flag.String("addr", ":8008", "listen address")
+	scale := flag.Float64("scale", 1.0/400, "survey scale as a fraction of the 14M-object EDR")
+	seed := flag.Int64("seed", 20020603, "survey seed")
+	public := flag.Bool("public", true, "enforce the public limits (1,000 rows / 30s)")
+	accessLog := flag.String("accesslog", "", "write the access log to this file")
+	flag.Parse()
+
+	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
+	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	log.Printf("loaded %d photo objects, %d spectra", s.DB().PhotoObj.Rows(), s.DB().SpecObj.Rows())
+
+	opt := web.Options{Public: *public}
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		opt.AccessLog = f
+	}
+	log.Printf("serving on %s (public=%v)", *addr, *public)
+	fmt.Printf("open http://localhost%s/ — try /en/tools/places/ or /x/sql?format=csv&cmd=select+top+5+objID,ra,dec+from+Galaxy\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler(opt)))
+}

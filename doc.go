@@ -1,0 +1,23 @@
+// Package skyserver is a from-scratch Go reproduction of "The SDSS
+// SkyServer — Public Access to the Sloan Digital Sky Survey Data"
+// (Szalay, Gray, Thakar, Kunszt, Malik, Raddick, Stoughton, vandenBerg;
+// ACM SIGMOD 2002).
+//
+// The repository implements the paper's whole stack: a relational engine
+// with the SQL dialect the paper's twenty queries use (internal/sqlengine)
+// over slotted pages striped across simulated disks (internal/storage) and
+// B+tree indices with included columns (internal/btree); the Hierarchical
+// Triangular Mesh spatial index (internal/htm); the SDSS snowflake schema
+// with subclassing views and spatial table-valued functions
+// (internal/schema); a deterministic synthetic survey pipeline with planted
+// query answers (internal/pipeline); the journaled, undoable load pipeline
+// (internal/load); the Neighbors materialized view (internal/neighbors);
+// the image pyramid (internal/pyramid); the web front end with the public
+// query limits (internal/web); and the traffic analytics of the paper's
+// operations study (internal/traffic).
+//
+// Package core ties them together; cmd/skybench regenerates every table and
+// figure of the paper's evaluation; bench_test.go (this directory) wraps
+// those experiments as standard Go benchmarks. See README.md, DESIGN.md
+// and EXPERIMENTS.md.
+package skyserver

@@ -1,0 +1,116 @@
+// Explorer: drive the SkyServer web API end-to-end, the way the §2 site
+// works — start the server in-process, browse the famous-places gallery,
+// drill into an object (Figure 2), fetch a pan-zoom cutout tile, query the
+// schema browser, and run SQL over HTTP in several output formats. The
+// access log the session produces is then fed to the §7 traffic analyzer.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+
+	"skyserver/internal/core"
+	"skyserver/internal/pyramid"
+	"skyserver/internal/traffic"
+	"skyserver/internal/web"
+)
+
+func main() {
+	sky, err := core.Open(core.Config{Scale: 1.0 / 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sky.Close()
+
+	var accessLog bytes.Buffer
+	ts := httptest.NewServer(sky.Handler(web.Options{Public: true, AccessLog: &accessLog}))
+	defer ts.Close()
+	fmt.Println("SkyServer running at", ts.URL)
+
+	// 1. The famous-places gallery.
+	body := get(ts.URL + "/en/tools/places/")
+	ids := regexp.MustCompile(`obj\.asp\?id=(\d+)`).FindAllStringSubmatch(body, -1)
+	fmt.Printf("famous places lists %d objects\n", len(ids))
+
+	// 2. Drill into the first one (Figure 2's explore page).
+	objURL := ts.URL + "/en/tools/explore/obj.asp?id=" + ids[0][1]
+	page := get(objURL)
+	fmt.Printf("explorer page for object %s: %d bytes (full record: %d bytes)\n",
+		ids[0][1], len(page), len(get(objURL+"&full=1")))
+
+	// 3. Pan-zoom: fetch the tile covering the planted cluster at each
+	// zoom level.
+	for _, zoom := range []int{1, 2, 4, 8} {
+		blob := get(fmt.Sprintf("%s/en/tools/navi/cutout?ra=185&dec=-0.5&zoom=%d", ts.URL, zoom))
+		tile, err := pyramid.Decode([]byte(blob))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("zoom %d tile: %dx%d px, %d bytes\n", zoom, tile.Size, tile.Size, len(blob))
+	}
+
+	// 4. SQL over HTTP, three formats.
+	q := url.QueryEscape("select top 3 objID, ra, dec, r from Galaxy order by r")
+	for _, format := range []string{"csv", "json", "fits"} {
+		body := get(ts.URL + "/x/sql?format=" + format + "&cmd=" + q)
+		fmt.Printf("--- %s ---\n%s\n", format, firstLines(body, 5))
+	}
+
+	// 5. The schema browser feed SkyServerQA renders.
+	var doc struct {
+		Tables []struct {
+			Name string `json:"name"`
+			Rows uint64 `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(get(ts.URL+"/en/help/docs/browser.asp")), &doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema browser tables:")
+	for _, tb := range doc.Tables {
+		fmt.Printf("  %-15s %8d rows\n", tb.Name, tb.Rows)
+	}
+
+	// 6. This session's own access log through the §7 analyzer.
+	rep, err := traffic.Analyze(bytes.NewReader(accessLog.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthis session per the traffic analyzer: %d hits, %d page views, %d sessions\n",
+		rep.Hits, rep.Pages, rep.Sessions)
+}
+
+func get(u string) string {
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		log.Fatalf("GET %s: %d %s", u, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func firstLines(s string, n int) string {
+	out := ""
+	for i, line := range bytes.Split([]byte(s), []byte("\n")) {
+		if i >= n {
+			out += "…\n"
+			break
+		}
+		out += string(line) + "\n"
+	}
+	return out
+}

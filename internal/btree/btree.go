@@ -1,0 +1,290 @@
+// Package btree implements an in-memory B+tree over composite row keys, the
+// index substrate beneath the SkyServer's SQL engine.
+//
+// The paper's central indexing argument (§9.1.3) is that B-tree indices
+// subsume the "tag tables" of the earlier ObjectivityDB design: an index on
+// columns A, B, C is an automatically-managed vertical slice of the table,
+// and a covering index answers a query without touching the base table at
+// all. Entries here therefore carry, besides the key columns and the heap
+// record ID, an optional payload of *included* columns, which is what makes
+// an index covering.
+//
+// Like SQL Server 2000 (§9.1.3), composite keys are limited to 16 columns.
+package btree
+
+import (
+	"fmt"
+
+	"skyserver/internal/val"
+)
+
+// MaxKeyColumns mirrors SQL Server 2000's 16-column index key limit noted in
+// the paper.
+const MaxKeyColumns = 16
+
+// degree is the maximum number of entries in a leaf and children in an
+// internal node. 64 keeps nodes around a cache-friendly few KB.
+const degree = 64
+
+// Entry is one index record: the key columns, the heap record ID the entry
+// points at, and optionally the included (covering) column values.
+type Entry struct {
+	Key  val.Row
+	RID  uint64
+	Incl val.Row
+}
+
+// compareEntries orders by key, then RID, making physically distinct heap
+// rows with equal keys distinct index entries.
+func compareEntries(aKey val.Row, aRID uint64, bKey val.Row, bRID uint64) int {
+	if c := aKey.Compare(bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aRID < bRID:
+		return -1
+	case aRID > bRID:
+		return 1
+	}
+	return 0
+}
+
+type node struct {
+	leaf bool
+	// Internal nodes: keys[i] is the smallest (key,rid) in children[i+1].
+	keys     []val.Row
+	rids     []uint64
+	children []*node
+	// Leaves:
+	entries []Entry
+	next    *node
+}
+
+// Tree is a B+tree. The zero value is not usable; call New. Trees are not
+// safe for concurrent mutation; the SQL engine serializes writers per table.
+type Tree struct {
+	root  *node
+	size  int
+	first *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	leaf := &node{leaf: true}
+	return &Tree{root: leaf, first: leaf}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an entry. Keys longer than MaxKeyColumns are rejected, like
+// the 16-column limit the paper notes for SQL Server 2000.
+func (t *Tree) Insert(e Entry) error {
+	if len(e.Key) > MaxKeyColumns {
+		return fmt.Errorf("btree: key has %d columns, max %d", len(e.Key), MaxKeyColumns)
+	}
+	promoKey, promoRID, right := t.insert(t.root, e)
+	if right != nil {
+		newRoot := &node{
+			keys:     []val.Row{promoKey},
+			rids:     []uint64{promoRID},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+	}
+	t.size++
+	return nil
+}
+
+// insert descends to a leaf, inserts, and propagates splits upward. When a
+// split occurs it returns the separator key/rid and the new right sibling.
+func (t *Tree) insert(n *node, e Entry) (val.Row, uint64, *node) {
+	if n.leaf {
+		i := n.lowerBoundLeaf(e.Key, e.RID)
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= degree {
+			return nil, 0, nil
+		}
+		// Split leaf.
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, next: n.next}
+		right.entries = append(right.entries, n.entries[mid:]...)
+		n.entries = n.entries[:mid:mid]
+		n.next = right
+		return right.entries[0].Key, right.entries[0].RID, right
+	}
+	ci := n.childIndex(e.Key, e.RID)
+	pk, pr, newChild := t.insert(n.children[ci], e)
+	if newChild == nil {
+		return nil, 0, nil
+	}
+	n.keys = append(n.keys, nil)
+	n.rids = append(n.rids, 0)
+	n.children = append(n.children, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	copy(n.rids[ci+1:], n.rids[ci:])
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.keys[ci] = pk
+	n.rids[ci] = pr
+	n.children[ci+1] = newChild
+	if len(n.children) <= degree {
+		return nil, 0, nil
+	}
+	// Split internal node: the middle key moves up.
+	midK := len(n.keys) / 2
+	upKey, upRID := n.keys[midK], n.rids[midK]
+	right := &node{}
+	right.keys = append(right.keys, n.keys[midK+1:]...)
+	right.rids = append(right.rids, n.rids[midK+1:]...)
+	right.children = append(right.children, n.children[midK+1:]...)
+	n.keys = n.keys[:midK:midK]
+	n.rids = n.rids[:midK:midK]
+	n.children = n.children[: midK+1 : midK+1]
+	return upKey, upRID, right
+}
+
+// lowerBoundLeaf returns the first position whose (key,rid) ≥ the argument.
+func (n *node) lowerBoundLeaf(key val.Row, rid uint64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(n.entries[mid].Key, n.entries[mid].RID, key, rid) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child to descend into for (key,rid).
+func (n *node) childIndex(key val.Row, rid uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(n.keys[mid], n.rids[mid], key, rid) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes the entry with exactly the given key and RID, reporting
+// whether it was found. Underfull leaves are left in place (ghost-style
+// deletion); the tree stays correct, trading space for simplicity, and is
+// rebuilt wholesale on reload — matching the warehouse's load-mostly usage.
+func (t *Tree) Delete(key val.Row, rid uint64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key, rid)]
+	}
+	i := n.lowerBoundLeaf(key, rid)
+	for {
+		if i < len(n.entries) {
+			c := compareEntries(n.entries[i].Key, n.entries[i].RID, key, rid)
+			if c == 0 {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				t.size--
+				return true
+			}
+			if c > 0 {
+				return false
+			}
+			i++
+			continue
+		}
+		if n.next == nil {
+			return false
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Iter is a forward iterator over index entries in key order.
+type Iter struct {
+	n *node
+	i int
+}
+
+// Valid reports whether the iterator currently points at an entry.
+func (it *Iter) Valid() bool { return it.n != nil && it.i < len(it.n.entries) }
+
+// Entry returns the current entry; only valid when Valid() is true.
+func (it *Iter) Entry() Entry { return it.n.entries[it.i] }
+
+// Next advances the iterator.
+func (it *Iter) Next() {
+	it.i++
+	for it.n != nil && it.i >= len(it.n.entries) {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
+// Min returns an iterator positioned at the smallest entry.
+func (t *Tree) Min() *Iter {
+	it := &Iter{n: t.first, i: 0}
+	for it.n != nil && len(it.n.entries) == 0 {
+		it.n = it.n.next
+	}
+	return it
+}
+
+// Seek returns an iterator positioned at the first entry whose key ≥ key
+// (comparing only the key columns provided — a prefix seek when key is
+// shorter than the indexed columns).
+func (t *Tree) Seek(key val.Row) *Iter {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key, 0)]
+	}
+	it := &Iter{n: n, i: n.lowerBoundLeaf(key, 0)}
+	for it.n != nil && it.i >= len(it.n.entries) {
+		it.n = it.n.next
+		it.i = 0
+	}
+	return it
+}
+
+// Ascend calls fn for every entry with key in [lo, hi) in order, stopping
+// early if fn returns false. hi == nil means "to the end"; comparisons use
+// key prefixes, so a shorter hi bound acts as an exclusive prefix bound.
+func (t *Tree) Ascend(lo, hi val.Row, fn func(Entry) bool) {
+	var it *Iter
+	if lo == nil {
+		it = t.Min()
+	} else {
+		it = t.Seek(lo)
+	}
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		if hi != nil {
+			prefix := e.Key
+			if len(prefix) > len(hi) {
+				prefix = prefix[:len(hi)]
+			}
+			if prefix.Compare(hi) >= 0 {
+				return
+			}
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Height returns the tree height (leaf = 1), exposed for tests and stats.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

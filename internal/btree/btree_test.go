@@ -1,0 +1,343 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"skyserver/internal/val"
+)
+
+func intKey(i int64) val.Row { return val.Row{val.Int(i)} }
+
+func TestInsertAndSeekSmall(t *testing.T) {
+	tr := New()
+	for _, i := range []int64{5, 1, 9, 3, 7} {
+		if err := tr.Insert(Entry{Key: intKey(i), RID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	it := tr.Seek(intKey(4))
+	if !it.Valid() || it.Entry().Key[0].I != 5 {
+		t.Fatalf("Seek(4) landed on %v", it.Entry())
+	}
+	var got []int64
+	for it := tr.Min(); it.Valid(); it.Next() {
+		got = append(got, it.Entry().Key[0].I)
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-order scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertManySorted(t *testing.T) {
+	tr := New()
+	const n = 5000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(Entry{Key: intKey(int64(i)), RID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height %d suspiciously small for %d entries", tr.Height(), n)
+	}
+	prev := int64(-1)
+	count := 0
+	for it := tr.Min(); it.Valid(); it.Next() {
+		k := it.Entry().Key[0].I
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for rid := uint64(0); rid < 100; rid++ {
+		if err := tr.Insert(Entry{Key: intKey(42), RID: rid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tr.Ascend(intKey(42), intKey(43), func(e Entry) bool {
+		if e.Key[0].I != 42 {
+			t.Fatalf("wrong key %v in dup scan", e.Key)
+		}
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("found %d duplicates, want 100", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Entry{Key: intKey(int64(i)), RID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the odd keys.
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(intKey(int64(i)), uint64(i)) {
+			t.Fatalf("Delete(%d) not found", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	// Deleting again must fail.
+	if tr.Delete(intKey(1), 1) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete(intKey(99999), 0) {
+		t.Error("deleting absent key succeeded")
+	}
+	// Remaining keys are the even ones, in order.
+	want := int64(0)
+	for it := tr.Min(); it.Valid(); it.Next() {
+		if it.Entry().Key[0].I != want {
+			t.Fatalf("after delete got %d, want %d", it.Entry().Key[0].I, want)
+		}
+		want += 2
+	}
+}
+
+func TestDeleteSpecificRID(t *testing.T) {
+	tr := New()
+	for rid := uint64(0); rid < 10; rid++ {
+		_ = tr.Insert(Entry{Key: intKey(7), RID: rid})
+	}
+	if !tr.Delete(intKey(7), 4) {
+		t.Fatal("delete rid 4 failed")
+	}
+	tr.Ascend(intKey(7), nil, func(e Entry) bool {
+		if e.RID == 4 {
+			t.Fatal("rid 4 still present")
+		}
+		return true
+	})
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		_ = tr.Insert(Entry{Key: intKey(i), RID: uint64(i)})
+	}
+	var got []int64
+	tr.Ascend(intKey(10), intKey(20), func(e Entry) bool {
+		got = append(got, e.Key[0].I)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [10,20) = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Ascend(nil, nil, func(e Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCompositeKeyPrefixSeek(t *testing.T) {
+	// Index on (run, camcol): a prefix seek on run alone must find all
+	// camcols of that run — the access path of the paper's Q15B.
+	tr := New()
+	for run := int64(752); run <= 756; run++ {
+		for camcol := int64(1); camcol <= 6; camcol++ {
+			key := val.Row{val.Int(run), val.Int(camcol)}
+			_ = tr.Insert(Entry{Key: key, RID: uint64(run*10 + camcol)})
+		}
+	}
+	var got []int64
+	tr.Ascend(val.Row{val.Int(754)}, val.Row{val.Int(755)}, func(e Entry) bool {
+		got = append(got, e.Key[1].I)
+		return true
+	})
+	if len(got) != 6 || got[0] != 1 || got[5] != 6 {
+		t.Fatalf("prefix seek run=754 camcols = %v", got)
+	}
+}
+
+func TestCoveringPayload(t *testing.T) {
+	tr := New()
+	_ = tr.Insert(Entry{
+		Key:  intKey(1),
+		RID:  10,
+		Incl: val.Row{val.Float(185.0), val.Float(-0.5)},
+	})
+	it := tr.Seek(intKey(1))
+	if !it.Valid() {
+		t.Fatal("entry not found")
+	}
+	incl := it.Entry().Incl
+	if len(incl) != 2 || incl[0].F != 185.0 {
+		t.Fatalf("included columns = %v", incl)
+	}
+}
+
+func TestKeyColumnLimit(t *testing.T) {
+	tr := New()
+	key := make(val.Row, MaxKeyColumns+1)
+	for i := range key {
+		key[i] = val.Int(int64(i))
+	}
+	if err := tr.Insert(Entry{Key: key}); err == nil {
+		t.Error("17-column key accepted; SQL Server limit is 16")
+	}
+	if err := tr.Insert(Entry{Key: key[:MaxKeyColumns]}); err != nil {
+		t.Errorf("16-column key rejected: %v", err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("new tree not empty")
+	}
+	if it := tr.Min(); it.Valid() {
+		t.Error("Min on empty tree is valid")
+	}
+	if it := tr.Seek(intKey(1)); it.Valid() {
+		t.Error("Seek on empty tree is valid")
+	}
+	if tr.Delete(intKey(1), 0) {
+		t.Error("Delete on empty tree succeeded")
+	}
+	tr.Ascend(nil, nil, func(Entry) bool {
+		t.Error("Ascend on empty tree called fn")
+		return false
+	})
+}
+
+func TestOrderInvariantProperty(t *testing.T) {
+	// Whatever sequence of inserts happens, a full scan returns the same
+	// multiset in sorted (key, rid) order.
+	f := func(keys []int16) bool {
+		tr := New()
+		type pair struct {
+			k int64
+			r uint64
+		}
+		var want []pair
+		for i, k := range keys {
+			e := Entry{Key: intKey(int64(k)), RID: uint64(i)}
+			if err := tr.Insert(e); err != nil {
+				return false
+			}
+			want = append(want, pair{int64(k), uint64(i)})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].k != want[j].k {
+				return want[i].k < want[j].k
+			}
+			return want[i].r < want[j].r
+		})
+		i := 0
+		ok := true
+		tr.Ascend(nil, nil, func(e Entry) bool {
+			if i >= len(want) || e.Key[0].I != want[i].k || e.RID != want[i].r {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertDeleteMixProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New()
+		shadow := map[int64]int{} // key -> count
+		total := 0
+		for _, op := range ops {
+			k := int64(op % 64)
+			if op >= 0 {
+				_ = tr.Insert(Entry{Key: intKey(k), RID: uint64(total)})
+				shadow[k]++
+				total++
+			} else {
+				// Delete one instance if present: find an entry via scan.
+				var rid uint64
+				found := false
+				tr.Ascend(intKey(k), intKey(k+1), func(e Entry) bool {
+					rid = e.RID
+					found = true
+					return false
+				})
+				if found != (shadow[k] > 0) {
+					return false
+				}
+				if found {
+					if !tr.Delete(intKey(k), rid) {
+						return false
+					}
+					shadow[k]--
+				}
+			}
+		}
+		n := 0
+		for _, c := range shadow {
+			n += c
+		}
+		return tr.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(Entry{Key: intKey(rng.Int63()), RID: uint64(i)})
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		_ = tr.Insert(Entry{Key: intKey(i), RID: uint64(i)})
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := tr.Seek(intKey(rng.Int63n(100000)))
+		if !it.Valid() {
+			b.Fatal("seek failed")
+		}
+	}
+}

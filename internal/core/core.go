@@ -1,0 +1,344 @@
+// Package core is the public face of the SkyServer reproduction: one type,
+// SkyServer, that builds the schema, runs the synthetic processing
+// pipelines through the journaled loader, precomputes the Neighbors
+// materialized view, and then answers SQL — exactly the operational stack
+// of the paper, minus the telescope.
+//
+// A SkyServer can be public (the §4 limits: 1,000 rows / 30 seconds) or
+// private; it can carve out a "personal SkyServer" (§10: the ~1% subset
+// that fits on a laptop); and it exposes the web front end of §2/§5.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"skyserver/internal/load"
+	"skyserver/internal/neighbors"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/queries"
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+	"skyserver/internal/web"
+)
+
+// Config describes how to build a SkyServer.
+type Config struct {
+	// Scale is the fraction of the SDSS Early Data Release to synthesize
+	// (1.0 ≈ 14M photo objects). Default 1/400 (~35k objects).
+	Scale float64
+	// Seed fixes the synthetic sky; equal configs are identical.
+	Seed int64
+	// Volumes is the stripe width of the file group (the paper used 4
+	// mirrored data volumes). Default 4.
+	Volumes int
+	// CachePages sizes the page cache (default 1<<16 pages = 512 MB max).
+	CachePages int
+	// Dir, when set, backs volumes with files under this directory
+	// instead of memory.
+	Dir string
+	// SkipFrames / SkipBlobs trim image artifacts for catalog-only work.
+	SkipFrames bool
+	SkipBlobs  bool
+	// SkipNeighbors skips the post-load neighbors computation.
+	SkipNeighbors bool
+	// NeighborsRadius overrides the ½-arcminute default.
+	NeighborsRadius float64
+	// SkipLoad builds the schema only (for CSV-driven loading).
+	SkipLoad bool
+}
+
+func (c *Config) defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1.0 / 400
+	}
+	if c.Volumes <= 0 {
+		c.Volumes = 4
+	}
+	if c.CachePages <= 0 {
+		c.CachePages = 1 << 16
+	}
+}
+
+// SkyServer is a loaded sky-survey database.
+type SkyServer struct {
+	cfg    Config
+	sdb    *schema.SkyDB
+	loader *load.Loader
+	truth  pipeline.Truth
+	stats  *pipeline.Stats
+}
+
+// Open builds and loads a SkyServer per the config.
+func Open(cfg Config) (*SkyServer, error) {
+	cfg.defaults()
+	var vols []storage.Volume
+	for i := 0; i < cfg.Volumes; i++ {
+		if cfg.Dir == "" {
+			vols = append(vols, storage.NewMemVolume())
+			continue
+		}
+		fv, err := storage.NewFileVolume(filepath.Join(cfg.Dir, fmt.Sprintf("skyserver_vol%d.dat", i)))
+		if err != nil {
+			return nil, err
+		}
+		vols = append(vols, fv)
+	}
+	fg := storage.NewFileGroup(vols, cfg.CachePages)
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return nil, err
+	}
+	s := &SkyServer{cfg: cfg, sdb: sdb, loader: load.New(sdb)}
+	if cfg.SkipLoad {
+		return s, nil
+	}
+	stats, err := s.loader.LoadSurvey(pipeline.Config{
+		Seed: cfg.Seed, Scale: cfg.Scale,
+		SkipFrames: cfg.SkipFrames, SkipBlobs: cfg.SkipBlobs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	s.stats = stats
+	s.truth = stats.Truth
+	if !cfg.SkipNeighbors {
+		if _, err := neighbors.Build(sdb, cfg.NeighborsRadius); err != nil {
+			return nil, fmt.Errorf("core: neighbors: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// DB exposes the schema-level database (tables, functions, catalog).
+func (s *SkyServer) DB() *schema.SkyDB { return s.sdb }
+
+// Loader exposes the journaled loader (steps, undo, integrity checks).
+func (s *SkyServer) Loader() *load.Loader { return s.loader }
+
+// Truth returns the generator's planted ground truths.
+func (s *SkyServer) Truth() pipeline.Truth { return s.truth }
+
+// Session opens a SQL session.
+func (s *SkyServer) Session() *sqlengine.Session {
+	return sqlengine.NewSession(s.sdb.DB)
+}
+
+// Query runs a SQL batch without limits (a private SkyServer).
+func (s *SkyServer) Query(sql string) (*sqlengine.Result, error) {
+	return s.Session().Exec(sql, sqlengine.ExecOptions{})
+}
+
+// QueryPublic runs a SQL batch under the paper's public limits.
+func (s *SkyServer) QueryPublic(sql string) (*sqlengine.Result, error) {
+	return s.Session().Exec(sql, sqlengine.ExecOptions{
+		MaxRows: web.PublicMaxRows,
+		Timeout: web.PublicTimeout,
+	})
+}
+
+// Explain returns the query plan text without executing.
+func (s *SkyServer) Explain(sql string) (string, error) {
+	return s.Session().Explain(sql)
+}
+
+// Handler returns the web front end.
+func (s *SkyServer) Handler(opt web.Options) http.Handler {
+	return web.NewServer(s.sdb, opt).Handler()
+}
+
+// RunWorkload executes the 22-query Figure 13 workload.
+func (s *SkyServer) RunWorkload() []queries.Timing {
+	return queries.RunAll(s.sdb.DB, s.truth, sqlengine.ExecOptions{})
+}
+
+// TableInfo is one Table 1 row.
+type TableInfo struct {
+	Name       string
+	Rows       uint64
+	DataBytes  uint64
+	IndexBytes uint64
+}
+
+// TableSummary reports the Table 1 census of the loaded database.
+func (s *SkyServer) TableSummary() []TableInfo {
+	var out []TableInfo
+	for _, t := range s.sdb.Tables() {
+		out = append(out, TableInfo{
+			Name: t.Name, Rows: t.Rows(),
+			DataBytes: t.DataBytes(), IndexBytes: t.IndexBytes(),
+		})
+	}
+	return out
+}
+
+// Close releases the underlying volumes.
+func (s *SkyServer) Close() error {
+	return s.sdb.DB.FileGroup().Close()
+}
+
+// PersonalSubset builds the §10 "personal SkyServer": a fresh database
+// containing only the objects (and their profiles, spectra, lines,
+// redshifts, matches, fields and frames) inside the given (ra, dec)
+// rectangle. The paper's personal subset was ~1% of the sky — a 6°×2.5°
+// slice of our footprint behaves the same way.
+func (s *SkyServer) PersonalSubset(raMin, raMax, decMin, decMax float64) (*SkyServer, error) {
+	fg := storage.NewMemFileGroup(2, 1<<14)
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return nil, err
+	}
+	sub := &SkyServer{cfg: s.cfg, sdb: sdb, loader: load.New(sdb)}
+
+	inRect := func(ra, dec float64) bool {
+		return ra >= raMin && ra < raMax && dec >= decMin && dec < decMax
+	}
+
+	// PhotoObj + remembered ids.
+	keepObj := map[int64]bool{}
+	src := s.sdb.PhotoObj
+	raCol, decCol := src.ColIndex("ra"), src.ColIndex("dec")
+	idCol := src.ColIndex("objID")
+	if err := copyRows(src, sdb.PhotoObj, func(row val.Row) bool {
+		if !inRect(row[raCol].F, row[decCol].F) {
+			return false
+		}
+		keepObj[row[idCol].I] = true
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	// Tables keyed by objID.
+	keepByObj := func(t *sqlengine.Table) func(val.Row) bool {
+		c := t.ColIndex("objID")
+		return func(row val.Row) bool { return keepObj[row[c].I] }
+	}
+	if err := copyRows(s.sdb.Profile, sdb.Profile, keepByObj(s.sdb.Profile)); err != nil {
+		return nil, err
+	}
+	for _, pair := range [][2]*sqlengine.Table{
+		{s.sdb.First, sdb.First}, {s.sdb.Rosat, sdb.Rosat}, {s.sdb.USNO, sdb.USNO},
+	} {
+		if err := copyRows(pair[0], pair[1], keepByObj(pair[0])); err != nil {
+			return nil, err
+		}
+	}
+	// Neighbors: both ends must survive.
+	nb := s.sdb.Neighbors
+	nbO, nbN := nb.ColIndex("objID"), nb.ColIndex("neighborObjID")
+	if err := copyRows(nb, sdb.Neighbors, func(row val.Row) bool {
+		return keepObj[row[nbO].I] && keepObj[row[nbN].I]
+	}); err != nil {
+		return nil, err
+	}
+
+	// Spectra of kept objects, then their dependent tables and plates.
+	keepSpec := map[int64]bool{}
+	keepPlate := map[int64]bool{}
+	so := s.sdb.SpecObj
+	soID, soObj, soPlate := so.ColIndex("specObjID"), so.ColIndex("objID"), so.ColIndex("plateID")
+	if err := copyRows(so, sdb.SpecObj, func(row val.Row) bool {
+		if !keepObj[row[soObj].I] {
+			return false
+		}
+		keepSpec[row[soID].I] = true
+		keepPlate[row[soPlate].I] = true
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	plateID := s.sdb.Plate.ColIndex("plateID")
+	if err := copyRows(s.sdb.Plate, sdb.Plate, func(row val.Row) bool {
+		return keepPlate[row[plateID].I]
+	}); err != nil {
+		return nil, err
+	}
+	for _, pair := range [][2]*sqlengine.Table{
+		{s.sdb.SpecLine, sdb.SpecLine},
+		{s.sdb.SpecLineIndex, sdb.SpecLineIndex},
+		{s.sdb.XCRedShift, sdb.XCRedShift},
+		{s.sdb.ELRedShift, sdb.ELRedShift},
+	} {
+		c := pair[0].ColIndex("specObjID")
+		if err := copyRows(pair[0], pair[1], func(row val.Row) bool {
+			return keepSpec[row[c].I]
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fields overlapping the rectangle, and their frames.
+	keepField := map[int64]bool{}
+	f := s.sdb.Field
+	fID := f.ColIndex("fieldID")
+	fRaMin, fRaMax := f.ColIndex("raMin"), f.ColIndex("raMax")
+	fDecMin, fDecMax := f.ColIndex("decMin"), f.ColIndex("decMax")
+	if err := copyRows(f, sdb.Field, func(row val.Row) bool {
+		if row[fRaMax].F < raMin || row[fRaMin].F >= raMax ||
+			row[fDecMax].F < decMin || row[fDecMin].F >= decMax {
+			return false
+		}
+		keepField[row[fID].I] = true
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	frField := s.sdb.Frame.ColIndex("fieldID")
+	if err := copyRows(s.sdb.Frame, sdb.Frame, func(row val.Row) bool {
+		return keepField[row[frField].I]
+	}); err != nil {
+		return nil, err
+	}
+
+	// The subset keeps the parent's planted truths only if the planted
+	// region is inside the rectangle; report what is knowable.
+	sub.truth = pipeline.Truth{
+		Objects: int(sdb.PhotoObj.Rows()),
+		Specs:   int(sdb.SpecObj.Rows()),
+	}
+	if inRect(185, -0.5) {
+		sub.truth.Q1Galaxies = s.truth.Q1Galaxies
+		sub.truth.Q1TVFRows = s.truth.Q1TVFRows
+	}
+	return sub, nil
+}
+
+// copyRows streams rows from src into dst (same schema), keeping those the
+// filter accepts.
+func copyRows(src, dst *sqlengine.Table, keep func(val.Row) bool) error {
+	return src.ScanRows(1, nil, func(_ storage.RID, row val.Row) error {
+		if !keep(row) {
+			return nil
+		}
+		_, err := dst.Insert(row.Clone())
+		return err
+	})
+}
+
+// LoadRate measures the §9.4 load pipeline throughput by generating and
+// loading a fresh survey of the given scale into a throwaway database,
+// returning rows/second and bytes/second.
+func LoadRate(scale float64, seed int64) (rowsPerSec, bytesPerSec float64, err error) {
+	fg := storage.NewMemFileGroup(4, 1<<14)
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return 0, 0, err
+	}
+	l := load.New(sdb)
+	start := time.Now()
+	if _, err := l.LoadSurvey(pipeline.Config{Scale: scale, Seed: seed, SkipFrames: true}); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	var rows, bytes uint64
+	for _, t := range sdb.Tables() {
+		rows += t.Rows()
+		bytes += t.DataBytes()
+	}
+	return float64(rows) / elapsed, float64(bytes) / elapsed, nil
+}

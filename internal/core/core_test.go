@@ -1,0 +1,175 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"skyserver/internal/web"
+)
+
+var (
+	once sync.Once
+	srv  *SkyServer
+	oErr error
+)
+
+func shared(t *testing.T) *SkyServer {
+	t.Helper()
+	once.Do(func() {
+		srv, oErr = Open(Config{Scale: 1.0 / 2000, Seed: 42, SkipFrames: true})
+	})
+	if oErr != nil {
+		t.Fatalf("Open: %v", oErr)
+	}
+	return srv
+}
+
+func TestOpenAndQuery(t *testing.T) {
+	s := shared(t)
+	res, err := s.Query("select count(*) from PhotoObj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Fatal("empty PhotoObj")
+	}
+	if int(res.Rows[0][0].I) != s.Truth().Objects {
+		t.Errorf("rows %d != truth %d", res.Rows[0][0].I, s.Truth().Objects)
+	}
+}
+
+func TestQueryPublicLimits(t *testing.T) {
+	s := shared(t)
+	res, err := s.QueryPublic("select objID from PhotoObj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != web.PublicMaxRows || !res.Truncated {
+		t.Errorf("public limit not applied: %d rows", len(res.Rows))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := shared(t)
+	plan, err := s.Explain("select objID from PhotoObj where objID = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexSeek") {
+		t.Errorf("plan: %s", plan)
+	}
+}
+
+func TestTableSummaryMatchesTable1Shape(t *testing.T) {
+	s := shared(t)
+	sum := s.TableSummary()
+	if len(sum) != 11 {
+		t.Fatalf("%d tables in summary, want the paper's 11", len(sum))
+	}
+	byName := map[string]TableInfo{}
+	for _, ti := range sum {
+		byName[ti.Name] = ti
+	}
+	po := byName["PhotoObj"]
+	if po.Rows == 0 || po.DataBytes == 0 {
+		t.Fatal("PhotoObj summary empty")
+	}
+	// PhotoObj dominates storage, as in Table 1.
+	if byName["SpecLine"].DataBytes > po.DataBytes {
+		t.Error("SpecLine larger than PhotoObj")
+	}
+	// Indices are a substantial fraction of table bytes (§9.1.3: ~30% of
+	// total space; Table 1: "indices approximately double the space").
+	if po.IndexBytes == 0 || po.IndexBytes > po.DataBytes*2 {
+		t.Errorf("PhotoObj index bytes %d vs data %d out of range", po.IndexBytes, po.DataBytes)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	s := shared(t)
+	timings := s.RunWorkload()
+	if len(timings) != 22 {
+		t.Fatalf("%d timings", len(timings))
+	}
+	for _, tm := range timings {
+		if tm.Err != nil {
+			t.Errorf("Q%s: %v", tm.ID, tm.Err)
+		}
+	}
+}
+
+func TestPersonalSubset(t *testing.T) {
+	s := shared(t)
+	// A window around the planted cluster — the classroom mini-server.
+	sub, err := s.PersonalSubset(184, 186, -1.25, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if sub.DB().PhotoObj.Rows() == 0 {
+		t.Fatal("empty subset")
+	}
+	if sub.DB().PhotoObj.Rows() >= s.DB().PhotoObj.Rows() {
+		t.Error("subset not smaller than parent")
+	}
+	// The planted cluster is inside: Q1 still answers 19.
+	res, err := sub.Query(`
+		declare @saturated bigint;
+		set @saturated = dbo.fPhotoFlags('saturated');
+		select G.objID, GN.distance
+		from Galaxy as G
+		join fGetNearbyObjEq(185,-0.5, 1) as GN on G.objID = GN.objID
+		where (G.flags & @saturated) = 0
+		order by distance`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 19 {
+		t.Errorf("Q1 on personal subset = %d rows, want 19", len(res.Rows))
+	}
+	// Referential integrity survives the cut.
+	for _, table := range []string{"Profile", "SpecObj", "SpecLine", "Frame"} {
+		if _, err := sub.Loader().CheckIntegrity(table); err != nil {
+			t.Errorf("subset %s: %v", table, err)
+		}
+	}
+	// Spectra subset is consistent: every SpecObj's photo object exists.
+	if sub.DB().SpecObj.Rows() == 0 {
+		t.Error("subset has no spectra")
+	}
+}
+
+func TestWebHandlerFromCore(t *testing.T) {
+	s := shared(t)
+	ts := httptest.NewServer(s.Handler(web.Options{Public: true}))
+	defer ts.Close()
+	resp, err := httptestGet(ts.URL + "/en/help/docs/browser.asp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 200 {
+		t.Errorf("schema browser status %d", resp)
+	}
+}
+
+func httptestGet(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func TestLoadRate(t *testing.T) {
+	rows, bytes, err := LoadRate(1.0/8000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows <= 0 || bytes <= 0 {
+		t.Errorf("load rate %f rows/s %f bytes/s", rows, bytes)
+	}
+}

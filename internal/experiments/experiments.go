@@ -1,0 +1,435 @@
+// Package experiments regenerates every table and figure of the SkyServer
+// paper's evaluation from the reproduction: Table 1 (storage census),
+// Figure 5 (site traffic), Figures 10–12 (query plans and the index
+// ablation), Figure 13 (the 22-query workload timings), Figure 15
+// (sequential-scan bandwidth vs. disk configuration), and the §11 prose
+// numbers (warm/cold index scans, the color-cut scan rate, load
+// throughput, neighbors density, the personal-subset ratio).
+//
+// The cmd/skybench binary prints these as reports; bench_test.go wraps
+// them as testing.B benchmarks. EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"skyserver/internal/core"
+	"skyserver/internal/load"
+	"skyserver/internal/neighbors"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/queries"
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/traffic"
+	"skyserver/internal/val"
+)
+
+// Table1Row pairs a measured table census with the paper's numbers.
+type Table1Row struct {
+	Name       string
+	Rows       uint64
+	DataBytes  uint64
+	IndexBytes uint64
+	PaperRows  string
+	PaperBytes string
+}
+
+// paperTable1 is Table 1 of the paper, verbatim.
+var paperTable1 = map[string][2]string{
+	"Field":         {"14k", "60MB"},
+	"Frame":         {"73k", "6GB"},
+	"PhotoObj":      {"14m", "31GB"},
+	"Profile":       {"14m", "9GB"},
+	"Neighbors":     {"111m", "5GB"},
+	"Plate":         {"98", "80KB"},
+	"SpecObj":       {"63k", "1GB"},
+	"SpecLine":      {"1.7m", "225MB"},
+	"SpecLineIndex": {"1.8m", "142MB"},
+	"xcRedShift":    {"1.9m", "157MB"},
+	"elRedShift":    {"51k", "3MB"},
+}
+
+// Table1 builds the measured census of a loaded server.
+func Table1(s *core.SkyServer) []Table1Row {
+	var out []Table1Row
+	for _, ti := range s.TableSummary() {
+		p := paperTable1[ti.Name]
+		out = append(out, Table1Row{
+			Name: ti.Name, Rows: ti.Rows,
+			DataBytes: ti.DataBytes, IndexBytes: ti.IndexBytes,
+			PaperRows: p[0], PaperBytes: p[1],
+		})
+	}
+	return out
+}
+
+// Fig5 generates the seven-month synthetic log and analyzes it.
+func Fig5(cfg traffic.Config) (*traffic.Report, error) {
+	var buf bytes.Buffer
+	if _, err := traffic.Generate(cfg, &buf); err != nil {
+		return nil, err
+	}
+	return traffic.Analyze(&buf)
+}
+
+// Plans returns the EXPLAIN text of the three queries whose plans the paper
+// prints (Figures 10, 11, 12).
+func Plans(s *core.SkyServer) (map[string]string, error) {
+	out := map[string]string{}
+	for id, sql := range map[string]string{
+		"Q1 (Figure 10)":   queries.Q1SQL,
+		"Q15A (Figure 11)": queries.Q15ASQL,
+		"Q15B (Figure 12)": queries.Q15BSQL,
+	} {
+		plan, err := s.Session().Explain(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out[id] = plan
+	}
+	return out, nil
+}
+
+// Fig12Result is the covering-index ablation on the NEO query.
+type Fig12Result struct {
+	WithIndex    time.Duration
+	WithoutIndex time.Duration
+	RowsWith     int
+	RowsWithout  int
+}
+
+// Fig12Config tunes the ablation substrate.
+type Fig12Config struct {
+	Scale float64
+	Seed  int64
+	// SpeedUp compresses the disk model's time (default 4). The ablation
+	// runs on the paper's 4-disk configuration with a deliberately tiny
+	// page cache, because the 55 s vs ~10 min gap the paper reports is an
+	// I/O story: the covered index answers from memory-resident B-trees
+	// while the index-less plan drags the 2 KB records off disk twice.
+	SpeedUp float64
+}
+
+// Fig12 loads a survey onto model disks, times Q15B cold with the
+// (run, camcol, field) covering index, drops the index, and times the
+// resulting nested loop of table scans cold.
+func Fig12(cfg Fig12Config) (Fig12Result, error) {
+	var r Fig12Result
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0 / 400
+	}
+	if cfg.SpeedUp <= 0 {
+		cfg.SpeedUp = 1 // real-time disks: the gap the paper saw is I/O
+	}
+	model := storage.DefaultDiskModel()
+	model.SpeedUp = cfg.SpeedUp
+	raw := make([]storage.Volume, 4) // the paper's four data volumes
+	for i := range raw {
+		raw[i] = storage.NewMemVolume()
+	}
+	vols := storage.NewThrottledVolumes(raw, model)
+	fg := storage.NewFileGroup(vols, 512) // ~4 MB cache: scans stay cold
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return r, err
+	}
+	l := load.New(sdb)
+	if _, err := l.LoadSurvey(pipeline.Config{
+		Scale: cfg.Scale, Seed: cfg.Seed, SkipFrames: true, SkipBlobs: true,
+	}); err != nil {
+		return r, err
+	}
+	sess := sqlengine.NewSession(sdb.DB)
+	fg.DropCache()
+	res, err := sess.Exec(queries.Q15BSQL, sqlengine.ExecOptions{})
+	if err != nil {
+		return r, err
+	}
+	r.WithIndex = res.Elapsed
+	r.RowsWith = len(res.Rows)
+	if err := sdb.DB.DropIndex("PhotoObj", "ix_PhotoObj_run_camcol_field"); err != nil {
+		return r, err
+	}
+	fg.DropCache()
+	res, err = sess.Exec(queries.Q15BSQL, sqlengine.ExecOptions{})
+	if err != nil {
+		return r, err
+	}
+	r.WithoutIndex = res.Elapsed
+	r.RowsWithout = len(res.Rows)
+	return r, nil
+}
+
+// Fig13 runs the full 22-query workload.
+func Fig13(s *core.SkyServer) []queries.Timing {
+	return s.RunWorkload()
+}
+
+// Fig15Point is one disk configuration's measured bandwidth, in model MB/s.
+type Fig15Point struct {
+	Disks int
+	// RawMBps is the NTFS-like series: raw page reads, no record decode.
+	RawMBps float64
+	// SQLMBps is the mssql series: the same pages pulled through the SQL
+	// engine evaluating count(*) where (a-b) > 1.
+	SQLMBps float64
+}
+
+// Fig15Config tunes the scan-scaling experiment.
+type Fig15Config struct {
+	// Disks lists the configurations (default 1..12).
+	Disks []int
+	// MBPerDisk is the heap size per disk (default 24).
+	MBPerDisk int
+	// SpeedUp compresses model time (default 50: a 40 MB/s disk streams
+	// at 2 GB/s wall).
+	SpeedUp float64
+}
+
+func (c *Fig15Config) defaults() {
+	if len(c.Disks) == 0 {
+		c.Disks = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	}
+	if c.MBPerDisk <= 0 {
+		c.MBPerDisk = 32
+	}
+	if c.SpeedUp <= 0 {
+		c.SpeedUp = 25
+	}
+}
+
+// Fig15 measures sequential-scan bandwidth against the §12 disk model:
+// ~40 MB/s disks, controllers saturating at ~119 MB/s after 3 disks, PCI
+// buses at ~220/500 MB/s — reproducing Figure 15's saturation staircase.
+func Fig15(cfg Fig15Config) ([]Fig15Point, error) {
+	cfg.defaults()
+	var out []Fig15Point
+	for _, disks := range cfg.Disks {
+		p, err := fig15Point(disks, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fig15Point(disks int, cfg Fig15Config) (Fig15Point, error) {
+	model := storage.DefaultDiskModel()
+	model.SpeedUp = cfg.SpeedUp
+	raw := make([]storage.Volume, disks)
+	for i := range raw {
+		raw[i] = storage.NewMemVolume()
+	}
+	vols := storage.NewThrottledVolumes(raw, model)
+	fg := storage.NewFileGroup(vols, 0) // no cache: every page pays the model
+	db := sqlengine.NewDB(fg)
+	t, err := db.CreateTable("T", []sqlengine.Column{
+		{Name: "id", Kind: val.KindInt, NotNull: true},
+		{Name: "a", Kind: val.KindFloat, NotNull: true},
+		{Name: "b", Kind: val.KindFloat, NotNull: true},
+		{Name: "pad", Kind: val.KindBytes},
+	}, nil, "scan target")
+	if err != nil {
+		return Fig15Point{}, err
+	}
+	pad := make([]byte, 1950) // ≈2 KB records, the paper's PhotoObj row size
+	totalBytes := int64(disks) * int64(cfg.MBPerDisk) * 1e6
+	var written int64
+	for i := int64(0); written < totalBytes; i++ {
+		row := val.Row{val.Int(i), val.Float(float64(i % 100)), val.Float(float64(i % 7)), val.Bytes(pad)}
+		if _, err := t.Insert(row); err != nil {
+			return Fig15Point{}, err
+		}
+		written += 2000
+	}
+
+	point := Fig15Point{Disks: disks}
+
+	// Best of two runs per series, the usual bandwidth-benchmark hygiene.
+	measure := func(run func() error) (float64, error) {
+		best := 0.0
+		for trial := 0; trial < 2; trial++ {
+			fg.DropCache()
+			startReads := fg.PhysBytes()
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			modelSec := time.Since(start).Seconds() * cfg.SpeedUp
+			rate := float64(fg.PhysBytes()-startReads) / 1e6 / modelSec
+			if rate > best {
+				best = rate
+			}
+		}
+		return best, nil
+	}
+
+	// Raw series: page reads only.
+	var err2 error
+	point.RawMBps, err2 = measure(func() error {
+		return t.ScanRows(disks, make([]bool, len(t.Cols)), func(storage.RID, val.Row) error {
+			return nil
+		})
+	})
+	if err2 != nil {
+		return point, err2
+	}
+
+	// SQL series: the color-cut aggregate through the engine.
+	sess := sqlengine.NewSession(db)
+	point.SQLMBps, err2 = measure(func() error {
+		_, err := sess.Exec("select count(*) from T where (a - b) > 1", sqlengine.ExecOptions{DOP: disks})
+		return err
+	})
+	return point, err2
+}
+
+// WarmColdResult reproduces §11/§12's cache-behavior prose: "Index scans of
+// the 14M row photo table run in 7 seconds warm … and 17 seconds cold", and
+// the count(*) where (r-g)>1 color-cut scan of §12. In this engine the
+// B-trees are memory-resident, so the warm/cold contrast shows up on the
+// heap path: a full scan with the page cache dropped (cold: every page pays
+// the volume) versus populated (warm: pure CPU).
+type WarmColdResult struct {
+	ColdScan time.Duration
+	WarmScan time.Duration
+	// IndexScan is the covered (type, mode) index aggregate for
+	// comparison — the memory-resident path.
+	IndexScan     time.Duration
+	ColorCutRows  int64
+	ColorCutBytes uint64
+}
+
+// WarmCold measures the color-cut table scan cold and warm, plus the
+// covered index aggregate. The scan uses petrosian magnitudes because the
+// paper's bare (r - g) predicate is covered by ix_PhotoObj_type_mode_r in
+// this schema — the planner answers it from the index without touching the
+// heap at all, which is §9.1.3's tag-table argument made real (that covered
+// form is what IndexScan reports).
+func WarmCold(s *core.SkyServer) (WarmColdResult, error) {
+	var r WarmColdResult
+	const colorCut = "select count(*) from PhotoObj where (petroMag_r - petroMag_g) > 1"
+	fg := s.DB().DB.FileGroup()
+
+	fg.DropCache()
+	startBytes := fg.PhysBytes()
+	res, err := s.Query(colorCut)
+	if err != nil {
+		return r, err
+	}
+	r.ColdScan = res.Elapsed
+	r.ColorCutRows = res.RowsScanned
+	r.ColorCutBytes = fg.PhysBytes() - startBytes
+
+	res, err = s.Query(colorCut)
+	if err != nil {
+		return r, err
+	}
+	r.WarmScan = res.Elapsed
+
+	res, err = s.Query("select count(*) from PhotoObj where (r - g) > 1")
+	if err != nil {
+		return r, err
+	}
+	r.IndexScan = res.Elapsed
+	return r, nil
+}
+
+// NeighborsResult is the §9.1.1 materialized-view census.
+type NeighborsResult struct {
+	BuildTime time.Duration
+	Rows      uint64
+	PerObject float64
+	PhotoRows uint64
+}
+
+// Neighbors rebuilds the Neighbors table from scratch on a fresh survey of
+// the given scale and reports density (the paper: "typically 10 objects").
+func Neighbors(scale float64, seed int64) (NeighborsResult, error) {
+	var r NeighborsResult
+	s, err := core.Open(core.Config{Scale: scale, Seed: seed, SkipFrames: true, SkipBlobs: true, SkipNeighbors: true})
+	if err != nil {
+		return r, err
+	}
+	defer s.Close()
+	start := time.Now()
+	n, err := neighbors.Build(s.DB(), neighbors.DefaultRadiusArcmin)
+	if err != nil {
+		return r, err
+	}
+	r.BuildTime = time.Since(start)
+	r.Rows = uint64(n)
+	r.PhotoRows = s.DB().PhotoObj.Rows()
+	if r.PhotoRows > 0 {
+		r.PerObject = float64(n) / float64(r.PhotoRows)
+	}
+	return r, nil
+}
+
+// LoadResult is the §9.4 load-throughput measurement ("Loading runs at
+// about 5 GB per hour").
+type LoadResult struct {
+	Rows       uint64
+	Bytes      uint64
+	Elapsed    time.Duration
+	GBPerHour  float64
+	RowsPerSec float64
+}
+
+// Load measures pipeline → loader throughput on a throwaway database.
+func Load(scale float64, seed int64) (LoadResult, error) {
+	var r LoadResult
+	fg := storage.NewMemFileGroup(4, 1<<14)
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return r, err
+	}
+	start := time.Now()
+	l := load.New(sdb)
+	if _, err := l.LoadSurvey(pipeline.Config{Scale: scale, Seed: seed, SkipFrames: true}); err != nil {
+		return r, err
+	}
+	r.Elapsed = time.Since(start)
+	for _, t := range sdb.Tables() {
+		r.Rows += t.Rows()
+		r.Bytes += t.DataBytes()
+	}
+	sec := r.Elapsed.Seconds()
+	r.GBPerHour = float64(r.Bytes) / 1e9 / (sec / 3600)
+	r.RowsPerSec = float64(r.Rows) / sec
+	return r, nil
+}
+
+// PersonalResult is the §10 subset census.
+type PersonalResult struct {
+	ParentRows uint64
+	SubsetRows uint64
+	Fraction   float64
+	Q1Galaxies int
+}
+
+// Personal carves the personal SkyServer around the planted cluster and
+// verifies Query 1 still answers inside it.
+func Personal(s *core.SkyServer, raMin, raMax, decMin, decMax float64) (PersonalResult, error) {
+	var r PersonalResult
+	sub, err := s.PersonalSubset(raMin, raMax, decMin, decMax)
+	if err != nil {
+		return r, err
+	}
+	defer sub.Close()
+	r.ParentRows = s.DB().PhotoObj.Rows()
+	r.SubsetRows = sub.DB().PhotoObj.Rows()
+	if r.ParentRows > 0 {
+		r.Fraction = float64(r.SubsetRows) / float64(r.ParentRows)
+	}
+	res, err := sub.Query(queries.Q1SQL)
+	if err != nil {
+		return r, err
+	}
+	r.Q1Galaxies = len(res.Rows)
+	return r, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"skyserver/internal/core"
+	"skyserver/internal/traffic"
+)
+
+var (
+	once sync.Once
+	srv  *core.SkyServer
+	oErr error
+)
+
+func shared(t *testing.T) *core.SkyServer {
+	t.Helper()
+	once.Do(func() {
+		srv, oErr = core.Open(core.Config{Scale: 1.0 / 2000, SkipFrames: true})
+	})
+	if oErr != nil {
+		t.Fatalf("Open: %v", oErr)
+	}
+	return srv
+}
+
+func TestTable1Census(t *testing.T) {
+	rows := Table1(shared(t))
+	if len(rows) != 11 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperRows == "" {
+			t.Errorf("%s has no paper reference", r.Name)
+		}
+		if r.Rows == 0 && r.Name != "Neighbors" {
+			t.Errorf("%s empty", r.Name)
+		}
+	}
+}
+
+func TestFig5Report(t *testing.T) {
+	rep, err := Fig5(traffic.Config{BaseSessions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits <= rep.Pages || rep.Pages <= rep.Sessions {
+		t.Errorf("series ordering broken: %d/%d/%d", rep.Hits, rep.Pages, rep.Sessions)
+	}
+}
+
+func TestPlansShapes(t *testing.T) {
+	plans, err := Plans(shared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plans["Q1 (Figure 10)"], "TableValuedFunction(fGetNearbyObjEq") {
+		t.Errorf("Q1 plan:\n%s", plans["Q1 (Figure 10)"])
+	}
+	if !strings.Contains(plans["Q15A (Figure 11)"], "TableScan(PhotoObj, parallel") {
+		t.Errorf("Q15A plan:\n%s", plans["Q15A (Figure 11)"])
+	}
+	if !strings.Contains(plans["Q15B (Figure 12)"], "ix_PhotoObj_run_camcol_field") {
+		t.Errorf("Q15B plan:\n%s", plans["Q15B (Figure 12)"])
+	}
+}
+
+func TestFig12Ablation(t *testing.T) {
+	r, err := Fig12(Fig12Config{Scale: 1.0 / 2000, SpeedUp: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsWith != r.RowsWithout {
+		t.Errorf("answers differ: %d with index, %d without", r.RowsWith, r.RowsWithout)
+	}
+	if r.RowsWith != 4 {
+		t.Errorf("NEO pairs = %d, want 4", r.RowsWith)
+	}
+	if r.WithIndex <= 0 || r.WithoutIndex <= 0 {
+		t.Error("timings not measured")
+	}
+}
+
+func TestFig15Staircase(t *testing.T) {
+	pts, err := Fig15(Fig15Config{Disks: []int{1, 4}, MBPerDisk: 8, SpeedUp: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	one, four := pts[0], pts[1]
+	if one.RawMBps < 15 || one.RawMBps > 70 {
+		t.Errorf("1-disk raw = %.0f, want ≈40", one.RawMBps)
+	}
+	if four.RawMBps < one.RawMBps*2 {
+		t.Errorf("4 disks (%.0f) not scaling over 1 disk (%.0f)", four.RawMBps, one.RawMBps)
+	}
+}
+
+func TestWarmColdAndLoadAndNeighbors(t *testing.T) {
+	r, err := WarmCold(shared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ColdScan <= 0 || r.WarmScan <= 0 {
+		t.Error("scan timings missing")
+	}
+	if r.ColorCutRows == 0 || r.ColorCutBytes == 0 {
+		t.Error("color cut did no work")
+	}
+
+	lr, err := Load(1.0/8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.GBPerHour <= 0 || lr.Rows == 0 {
+		t.Errorf("load: %+v", lr)
+	}
+
+	nr, err := Neighbors(1.0/8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Rows == 0 || nr.PerObject <= 0 {
+		t.Errorf("neighbors: %+v", nr)
+	}
+}
+
+func TestPersonalSubsetExperiment(t *testing.T) {
+	r, err := Personal(shared(t), 184.5, 185.5, -1.0, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fraction <= 0 || r.Fraction >= 1 {
+		t.Errorf("fraction %.3f", r.Fraction)
+	}
+	if r.Q1Galaxies != 19 {
+		t.Errorf("Q1 in subset = %d, want 19", r.Q1Galaxies)
+	}
+}

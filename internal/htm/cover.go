@@ -1,0 +1,326 @@
+package htm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skyserver/internal/sky"
+)
+
+// Halfspace is the region {p : p·V ≥ C} of the unit sphere — a spherical cap
+// centered on V with angular radius acos(C). The paper's spHTM_Cover accepts
+// circles, half-spaces, and polygons; all three reduce to intersections of
+// halfspaces (a Convex).
+type Halfspace struct {
+	V sky.Vec3 // unit direction of the cap center
+	C float64  // cosine of the cap's angular radius, in [−1, 1]
+}
+
+// Contains reports whether point p lies in the halfspace.
+func (h Halfspace) Contains(p sky.Vec3) bool { return p.Dot(h.V) >= h.C }
+
+// Convex is an intersection of halfspaces: the <area> argument of the
+// paper's spHTM_Cover table-valued function. A single-element Convex is a
+// circle; four halfspaces express an (ra, dec) rectangle; an n-gon
+// contributes one great-circle halfspace per edge.
+type Convex []Halfspace
+
+// Contains reports whether p lies in every halfspace of the convex.
+func (cx Convex) Contains(p sky.Vec3) bool {
+	for _, h := range cx {
+		if !h.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Circle returns the convex covering a circular area of the given radius (in
+// arcminutes) around the J2000 point (raDeg, decDeg). This is the region
+// used by fGetNearbyObjEq / fGetNearestObjEq.
+func Circle(raDeg, decDeg, radiusArcmin float64) Convex {
+	r := radiusArcmin / sky.ArcminPerDeg * sky.RadPerDeg
+	return Convex{{V: sky.EqToVec(raDeg, decDeg), C: math.Cos(r)}}
+}
+
+// Rect returns the convex for the (ra, dec) box with the given bounds in
+// degrees. The two declination bounds are small-circle halfspaces about the
+// poles; the two right-ascension bounds are great-circle halfspaces. Boxes
+// must be less than 180° wide in ra.
+func Rect(raMin, decMin, raMax, decMax float64) (Convex, error) {
+	if decMin > decMax {
+		return nil, fmt.Errorf("htm: rect decMin %g > decMax %g", decMin, decMax)
+	}
+	width := sky.NormalizeRA(raMax - raMin)
+	if width == 0 && raMax != raMin {
+		width = 360
+	}
+	if width >= 180 {
+		return nil, fmt.Errorf("htm: rect wider than 180 degrees in ra")
+	}
+	pole := sky.Vec3{X: 0, Y: 0, Z: 1}
+	cx := Convex{
+		{V: pole, C: math.Sin(decMin * sky.RadPerDeg)},            // dec ≥ decMin
+		{V: pole.Scale(-1), C: math.Sin(-decMax * sky.RadPerDeg)}, // dec ≤ decMax
+		{V: sky.EqToVec(sky.NormalizeRA(raMin+90), 0), C: 0},      // ra ≥ raMin
+		{V: sky.EqToVec(sky.NormalizeRA(raMax-90), 0), C: 0},      // ra ≤ raMax
+	}
+	return cx, nil
+}
+
+// Polygon returns the convex for a convex spherical polygon given by its
+// corner points in counter-clockwise order (seen from outside the sphere).
+// Each edge contributes the great-circle halfspace containing the polygon.
+func Polygon(points []sky.Vec3) (Convex, error) {
+	if len(points) < 3 {
+		return nil, fmt.Errorf("htm: polygon needs at least 3 points, got %d", len(points))
+	}
+	cx := make(Convex, 0, len(points))
+	for i, p := range points {
+		q := points[(i+1)%len(points)]
+		n := p.Cross(q)
+		if n.Norm() == 0 {
+			return nil, fmt.Errorf("htm: degenerate polygon edge %d", i)
+		}
+		cx = append(cx, Halfspace{V: n.Normalize(), C: 0})
+	}
+	// Verify convexity and orientation: every vertex must satisfy every
+	// edge constraint (within tolerance).
+	for _, h := range cx {
+		for i, p := range points {
+			if p.Dot(h.V) < -1e-9 {
+				return nil, fmt.Errorf("htm: polygon is not convex or not counter-clockwise at vertex %d", i)
+			}
+		}
+	}
+	return cx, nil
+}
+
+// Range is a half-open interval [Lo, Hi) of HTM IDs at a fixed depth. The
+// union of a cover's ranges contains every trixel intersecting the region.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether id falls inside the range.
+func (r Range) Contains(id uint64) bool { return id >= r.Lo && id < r.Hi }
+
+// classification of a trixel against a region.
+type class int
+
+const (
+	classOutside class = iota
+	classPartial
+	classInside
+)
+
+// classifyHalfspace classifies the spherical triangle (a,b,c) against h.
+func classifyHalfspace(h Halfspace, a, b, c sky.Vec3) class {
+	in := 0
+	if h.Contains(a) {
+		in++
+	}
+	if h.Contains(b) {
+		in++
+	}
+	if h.Contains(c) {
+		in++
+	}
+	switch in {
+	case 3:
+		// All corners inside. The triangle is wholly inside unless the
+		// complement cap pokes through the interior, which can only
+		// happen if the complement cap's boundary crosses an edge or
+		// its center lies inside the triangle.
+		comp := Halfspace{V: h.V.Scale(-1), C: -h.C}
+		if capTouchesTriangle(comp, a, b, c) {
+			return classPartial
+		}
+		return classInside
+	case 0:
+		// All corners outside: disjoint unless the cap intersects an
+		// edge or lies wholly inside the triangle.
+		if capTouchesTriangle(h, a, b, c) {
+			return classPartial
+		}
+		return classOutside
+	default:
+		return classPartial
+	}
+}
+
+// capTouchesTriangle reports whether the boundary circle of cap h crosses an
+// edge of triangle (a,b,c), or the cap center lies inside the triangle
+// (covering the cap-strictly-inside case).
+func capTouchesTriangle(h Halfspace, a, b, c sky.Vec3) bool {
+	if inside(h.V, a, b, c) {
+		return true
+	}
+	edges := [3][2]sky.Vec3{{a, b}, {b, c}, {c, a}}
+	for _, e := range edges {
+		if capIntersectsArc(h, e[0], e[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// capIntersectsArc reports whether cap h contains any point of the
+// great-circle arc u–w. Endpoint containment is assumed to have been tested
+// by the caller (corner counts); this checks the arc's closest approach.
+func capIntersectsArc(h Halfspace, u, w sky.Vec3) bool {
+	n := u.Cross(w)
+	nn := n.Norm()
+	if nn == 0 {
+		return false
+	}
+	n = n.Scale(1 / nn)
+	// Closest point of the full great circle to the cap center.
+	p := h.V.Sub(n.Scale(h.V.Dot(n)))
+	pn := p.Norm()
+	if pn == 0 {
+		// Cap center is the circle's pole: the whole circle is
+		// equidistant (90°) from the center.
+		return h.C <= 0
+	}
+	p = p.Scale(1 / pn)
+	if p.Dot(h.V) < h.C {
+		return false // even the closest point is outside the cap
+	}
+	// p must lie within the arc segment u–w.
+	return u.Cross(p).Dot(u.Cross(w)) >= 0 && w.Cross(p).Dot(w.Cross(u)) >= 0
+}
+
+// classify classifies a triangle against the whole convex: outside if it is
+// outside any halfspace, inside if inside all, otherwise partial
+// (conservatively — a convex intersection may also be empty inside the
+// triangle, which the consumer re-filters with the exact predicate).
+func (cx Convex) classify(a, b, c sky.Vec3) class {
+	result := classInside
+	for _, h := range cx {
+		switch classifyHalfspace(h, a, b, c) {
+		case classOutside:
+			return classOutside
+		case classPartial:
+			result = classPartial
+		}
+	}
+	return result
+}
+
+// CoverOptions tunes the cover computation.
+type CoverOptions struct {
+	// Depth is the depth at which ranges are expressed (the depth of the
+	// stored htmID column). Defaults to MaxDepth.
+	Depth int
+	// MaxLevel bounds how deep subdivision proceeds; partial trixels at
+	// MaxLevel are included conservatively. Defaults to 14.
+	MaxLevel int
+	// Budget caps the number of frontier trixels before subdivision
+	// stops. Defaults to 256.
+	Budget int
+}
+
+func (o *CoverOptions) defaults() {
+	if o.Depth <= 0 || o.Depth > MaxDepth {
+		o.Depth = MaxDepth
+	}
+	if o.MaxLevel <= 0 {
+		o.MaxLevel = 14
+	}
+	if o.MaxLevel > o.Depth {
+		o.MaxLevel = o.Depth
+	}
+	if o.Budget <= 0 {
+		o.Budget = 256
+	}
+}
+
+type coverNode struct {
+	id  uint64
+	tri [3]sky.Vec3
+}
+
+// Cover computes the HTM range cover of the convex with default options.
+func (cx Convex) Cover() []Range {
+	return cx.CoverWith(CoverOptions{})
+}
+
+// CoverWith computes the cover with explicit options. The returned ranges
+// are sorted, non-overlapping, and merged; their union contains every
+// depth-`Depth` trixel that intersects the region (a conservative cover:
+// some returned trixels may only graze it).
+func (cx Convex) CoverWith(opt CoverOptions) []Range {
+	opt.defaults()
+	var ranges []Range
+	frontier := make([]coverNode, 0, 8)
+	for _, f := range faces {
+		switch cx.classify(f.v[0], f.v[1], f.v[2]) {
+		case classInside:
+			lo, hi := IDRangeAtDepth(f.id, opt.Depth)
+			ranges = append(ranges, Range{lo, hi})
+		case classPartial:
+			frontier = append(frontier, coverNode{f.id, f.v})
+		}
+	}
+	for level := 1; level <= opt.MaxLevel && len(frontier) > 0; level++ {
+		if len(frontier)*4 > opt.Budget {
+			break
+		}
+		next := frontier[:0:0]
+		for _, n := range frontier {
+			kids := children(n.tri[0], n.tri[1], n.tri[2])
+			for k := 0; k < 4; k++ {
+				id := n.id<<2 | uint64(k)
+				switch cx.classify(kids[k][0], kids[k][1], kids[k][2]) {
+				case classInside:
+					lo, hi := IDRangeAtDepth(id, opt.Depth)
+					ranges = append(ranges, Range{lo, hi})
+				case classPartial:
+					next = append(next, coverNode{id, kids[k]})
+				}
+			}
+		}
+		frontier = next
+	}
+	for _, n := range frontier {
+		lo, hi := IDRangeAtDepth(n.id, opt.Depth)
+		ranges = append(ranges, Range{lo, hi})
+	}
+	return MergeRanges(ranges)
+}
+
+// MergeRanges sorts ranges by Lo and coalesces overlapping or adjacent
+// intervals, returning the canonical minimal representation.
+func MergeRanges(rs []Range) []Range {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CoverCircleEq is a convenience wrapper: the cover of a circle of
+// radiusArcmin around (raDeg, decDeg) at the default depth.
+func CoverCircleEq(raDeg, decDeg, radiusArcmin float64) []Range {
+	return Circle(raDeg, decDeg, radiusArcmin).Cover()
+}
+
+// InRanges reports whether id (at cover depth) is inside any of the sorted,
+// merged ranges, using binary search.
+func InRanges(rs []Range, id uint64) bool {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi > id })
+	return i < len(rs) && rs[i].Lo <= id
+}

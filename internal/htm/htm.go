@@ -1,0 +1,305 @@
+// Package htm implements the Hierarchical Triangular Mesh spatial index of
+// §9.1.4 and Figure 8 of the SkyServer paper.
+//
+// HTM inscribes the celestial sphere in an octahedron and recursively divides
+// each of the 8 faces into 4 spherical triangles ("trixels") by connecting
+// the edge midpoints. A trixel at depth d is named by its face (N0–N3,
+// S0–S3) followed by d digits in {0,1,2,3}, and encoded as a 64-bit integer:
+// the face occupies the top 4 significant bits (values 8–15, i.e. a leading
+// 1 bit followed by 3 face bits) and each subdivision appends 2 bits. The
+// key property the paper exploits is that *all IDs inside trixel T form a
+// contiguous integer interval*, so a plain B-tree over HTM IDs is a spatial
+// index: a spatial region is converted to a small set of ID ranges
+// ("a cover") that are range-scanned in the index.
+//
+// The paper's SDSS deployment uses 20-deep HTMs, where individual triangles
+// are less than 0.1 arcseconds on a side; we support the same depth.
+package htm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"skyserver/internal/sky"
+)
+
+// MaxDepth is the deepest supported subdivision. SDSS uses depth 20
+// (trixels < 0.1″ per side); IDs then occupy 4+2·20 = 44 bits.
+const MaxDepth = 20
+
+// octahedron vertices, matching the JHU HTM convention.
+var (
+	v0 = sky.Vec3{X: 0, Y: 0, Z: 1}  // north pole
+	v1 = sky.Vec3{X: 1, Y: 0, Z: 0}  // (ra 0, dec 0)
+	v2 = sky.Vec3{X: 0, Y: 1, Z: 0}  // (ra 90, dec 0)
+	v3 = sky.Vec3{X: -1, Y: 0, Z: 0} // (ra 180, dec 0)
+	v4 = sky.Vec3{X: 0, Y: -1, Z: 0} // (ra 270, dec 0)
+	v5 = sky.Vec3{X: 0, Y: 0, Z: -1} // south pole
+)
+
+// face holds one octahedron face: its name, root ID (8–15) and corner
+// vertices in the JHU orientation (counter-clockwise seen from outside).
+type face struct {
+	name string
+	id   uint64
+	v    [3]sky.Vec3
+}
+
+var faces = [8]face{
+	{"S0", 8, [3]sky.Vec3{v1, v5, v2}},
+	{"S1", 9, [3]sky.Vec3{v2, v5, v3}},
+	{"S2", 10, [3]sky.Vec3{v3, v5, v4}},
+	{"S3", 11, [3]sky.Vec3{v4, v5, v1}},
+	{"N0", 12, [3]sky.Vec3{v1, v0, v4}},
+	{"N1", 13, [3]sky.Vec3{v4, v0, v3}},
+	{"N2", 14, [3]sky.Vec3{v3, v0, v2}},
+	{"N3", 15, [3]sky.Vec3{v2, v0, v1}},
+}
+
+// epsilon tolerates floating-point error in the inside-triangle tests so
+// points that land exactly on trixel edges are still claimed by a trixel.
+const epsilon = -1e-12
+
+// inside reports whether p lies inside (or on the boundary of) the spherical
+// triangle with counter-clockwise corners a, b, c.
+func inside(p, a, b, c sky.Vec3) bool {
+	return a.Cross(b).Dot(p) >= epsilon &&
+		b.Cross(c).Dot(p) >= epsilon &&
+		c.Cross(a).Dot(p) >= epsilon
+}
+
+// midpoint returns the normalized midpoint of the great-circle arc a–b.
+func midpoint(a, b sky.Vec3) sky.Vec3 {
+	return a.Add(b).Normalize()
+}
+
+// children computes the four child trixels of (a, b, c) in HTM order:
+// child 0 = (a, w2, w1), 1 = (b, w0, w2), 2 = (c, w1, w0), 3 = (w0, w1, w2)
+// where w0 = mid(b,c), w1 = mid(a,c), w2 = mid(a,b).
+func children(a, b, c sky.Vec3) [4][3]sky.Vec3 {
+	w0 := midpoint(b, c)
+	w1 := midpoint(a, c)
+	w2 := midpoint(a, b)
+	return [4][3]sky.Vec3{
+		{a, w2, w1},
+		{b, w0, w2},
+		{c, w1, w0},
+		{w0, w1, w2},
+	}
+}
+
+// Lookup returns the HTM ID of the depth-`depth` trixel containing the unit
+// vector v. Depth 0 returns the face ID (8–15).
+func Lookup(v sky.Vec3, depth int) uint64 {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > MaxDepth {
+		depth = MaxDepth
+	}
+	var id uint64
+	var tri [3]sky.Vec3
+	for _, f := range faces {
+		if inside(v, f.v[0], f.v[1], f.v[2]) {
+			id = f.id
+			tri = f.v
+			break
+		}
+	}
+	if id == 0 {
+		// Numerically pathological input (e.g. the zero vector):
+		// fall back to the face whose center is nearest.
+		best := -2.0
+		for _, f := range faces {
+			ctr := f.v[0].Add(f.v[1]).Add(f.v[2]).Normalize()
+			if d := ctr.Dot(v); d > best {
+				best = d
+				id = f.id
+				tri = f.v
+			}
+		}
+	}
+	for l := 0; l < depth; l++ {
+		kids := children(tri[0], tri[1], tri[2])
+		found := false
+		for k := 0; k < 4; k++ {
+			if inside(v, kids[k][0], kids[k][1], kids[k][2]) {
+				id = id<<2 | uint64(k)
+				tri = kids[k]
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Extremely rare epsilon gap: descend into the center child,
+			// which shares area with all siblings at its corners.
+			id = id<<2 | 3
+			tri = kids[3]
+		}
+	}
+	return id
+}
+
+// LookupEq returns the HTM ID at the given depth for J2000 coordinates in
+// degrees. This is the function used to populate PhotoObj.htmID.
+func LookupEq(raDeg, decDeg float64, depth int) uint64 {
+	return Lookup(sky.EqToVec(raDeg, decDeg), depth)
+}
+
+// Depth returns the subdivision depth encoded in an HTM ID, or −1 if the ID
+// is not a valid HTM ID (valid IDs have an odd-positioned leading 1 bit
+// pattern: bit length 4 + 2·depth).
+func Depth(id uint64) int {
+	if id < 8 {
+		return -1
+	}
+	bits := 64 - leadingZeros(id)
+	if (bits-4)%2 != 0 {
+		return -1
+	}
+	d := (bits - 4) / 2
+	if d > MaxDepth {
+		return -1
+	}
+	return d
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+		if n == 64 {
+			break
+		}
+	}
+	return n
+}
+
+// Name returns the mnemonic trixel name, e.g. "N012" for face N0, child 1,
+// child 2 — the notation of Figure 8.
+func Name(id uint64) string {
+	d := Depth(id)
+	if d < 0 {
+		return fmt.Sprintf("invalid(%d)", id)
+	}
+	digits := make([]byte, d)
+	for i := d - 1; i >= 0; i-- {
+		digits[i] = byte('0' + id&3)
+		id >>= 2
+	}
+	var b strings.Builder
+	b.WriteString(faces[id-8].name)
+	b.Write(digits)
+	return b.String()
+}
+
+// Parse converts a trixel name such as "N012" back to its HTM ID.
+func Parse(name string) (uint64, error) {
+	if len(name) < 2 {
+		return 0, fmt.Errorf("htm: name %q too short", name)
+	}
+	var id uint64
+	switch name[:2] {
+	case "S0":
+		id = 8
+	case "S1":
+		id = 9
+	case "S2":
+		id = 10
+	case "S3":
+		id = 11
+	case "N0":
+		id = 12
+	case "N1":
+		id = 13
+	case "N2":
+		id = 14
+	case "N3":
+		id = 15
+	default:
+		return 0, fmt.Errorf("htm: bad face in name %q", name)
+	}
+	if len(name)-2 > MaxDepth {
+		return 0, fmt.Errorf("htm: name %q deeper than max depth %d", name, MaxDepth)
+	}
+	for _, c := range name[2:] {
+		if c < '0' || c > '3' {
+			return 0, fmt.Errorf("htm: bad digit %q in name %q", c, name)
+		}
+		id = id<<2 | uint64(c-'0')
+	}
+	return id, nil
+}
+
+// Vertices returns the corner unit vectors of the trixel with the given ID.
+func Vertices(id uint64) ([3]sky.Vec3, error) {
+	d := Depth(id)
+	if d < 0 {
+		return [3]sky.Vec3{}, fmt.Errorf("htm: invalid id %d", id)
+	}
+	path := make([]int, d)
+	for i := d - 1; i >= 0; i-- {
+		path[i] = int(id & 3)
+		id >>= 2
+	}
+	tri := faces[id-8].v
+	for _, k := range path {
+		tri = children(tri[0], tri[1], tri[2])[k]
+	}
+	return tri, nil
+}
+
+// Center returns the normalized centroid of a trixel.
+func Center(id uint64) (sky.Vec3, error) {
+	tri, err := Vertices(id)
+	if err != nil {
+		return sky.Vec3{}, err
+	}
+	return tri[0].Add(tri[1]).Add(tri[2]).Normalize(), nil
+}
+
+// ToDepth re-expresses an HTM ID at another depth: deepening appends zero
+// digits (returning the first descendant), shallowing truncates to the
+// ancestor.
+func ToDepth(id uint64, to int) uint64 {
+	d := Depth(id)
+	if d < 0 || to < 0 || to > MaxDepth {
+		return id
+	}
+	if to >= d {
+		return id << (2 * uint(to-d))
+	}
+	return id >> (2 * uint(d-to))
+}
+
+// IDRangeAtDepth returns the half-open interval [lo, hi) of depth-`depth`
+// IDs descending from trixel id. This is the contiguity property that turns
+// a B-tree into a spatial index.
+func IDRangeAtDepth(id uint64, depth int) (lo, hi uint64) {
+	d := Depth(id)
+	if d < 0 || depth < d {
+		return id, id + 1
+	}
+	shift := 2 * uint(depth-d)
+	return id << shift, (id + 1) << shift
+}
+
+// TrixelAreaSr returns the exact solid angle of a trixel in steradians,
+// computed via the spherical excess (Girard's theorem).
+func TrixelAreaSr(id uint64) (float64, error) {
+	tri, err := Vertices(id)
+	if err != nil {
+		return 0, err
+	}
+	a := tri[1].AngleTo(tri[2])
+	b := tri[0].AngleTo(tri[2])
+	c := tri[0].AngleTo(tri[1])
+	s := (a + b + c) / 2
+	t := math.Tan(s/2) * math.Tan((s-a)/2) * math.Tan((s-b)/2) * math.Tan((s-c)/2)
+	if t < 0 {
+		t = 0
+	}
+	return 4 * math.Atan(math.Sqrt(t)), nil
+}

@@ -1,0 +1,469 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skyserver/internal/sky"
+)
+
+func TestLookupFaces(t *testing.T) {
+	// Face centers must resolve to their own face at depth 0.
+	for _, f := range faces {
+		c := f.v[0].Add(f.v[1]).Add(f.v[2]).Normalize()
+		if got := Lookup(c, 0); got != f.id {
+			t.Errorf("Lookup(center of %s) = %d, want %d", f.name, got, f.id)
+		}
+	}
+}
+
+func TestLookupDepthEncoding(t *testing.T) {
+	v := sky.EqToVec(185, -0.5)
+	for d := 0; d <= MaxDepth; d++ {
+		id := Lookup(v, d)
+		if got := Depth(id); got != d {
+			t.Errorf("Depth(Lookup(v,%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestLookupPrefixConsistency(t *testing.T) {
+	// The depth-d ID must be an ancestor (2-bit prefix) of the depth-d+1 ID.
+	f := func(ra, dec float64) bool {
+		v := sky.EqToVec(sky.NormalizeRA(ra), math.Mod(dec, 89))
+		prev := Lookup(v, 0)
+		for d := 1; d <= 12; d++ {
+			id := Lookup(v, d)
+			if id>>2 != prev {
+				return false
+			}
+			prev = id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupPointInTrixel(t *testing.T) {
+	// The point must actually lie inside the trixel the lookup returns.
+	f := func(ra, dec float64) bool {
+		v := sky.EqToVec(sky.NormalizeRA(ra), math.Mod(dec, 89))
+		id := Lookup(v, 10)
+		tri, err := Vertices(id)
+		if err != nil {
+			return false
+		}
+		return inside(v, tri[0], tri[1], tri[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameParseRoundTrip(t *testing.T) {
+	f := func(ra, dec float64, dRaw uint8) bool {
+		d := int(dRaw) % (MaxDepth + 1)
+		id := LookupEq(sky.NormalizeRA(ra), math.Mod(dec, 89), d)
+		back, err := Parse(Name(id))
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameKnown(t *testing.T) {
+	if got := Name(8); got != "S0" {
+		t.Errorf("Name(8) = %q, want S0", got)
+	}
+	if got := Name(15); got != "N3" {
+		t.Errorf("Name(15) = %q, want N3", got)
+	}
+	// N3's child 2's child 1: 15<<2|2 = 62, 62<<2|1 = 249
+	if got := Name(249); got != "N321" {
+		t.Errorf("Name(249) = %q, want N321", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "X", "Q0", "N4", "N05x", "S012345678901234567890"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDepthInvalid(t *testing.T) {
+	for _, id := range []uint64{0, 1, 7, 16, 17, 31} {
+		// ids 16..31 have bit length 5 → (5-4) odd → invalid.
+		if id >= 8 && id <= 15 {
+			continue
+		}
+		if got := Depth(id); got != -1 {
+			t.Errorf("Depth(%d) = %d, want -1", id, got)
+		}
+	}
+	if got := Depth(12); got != 0 {
+		t.Errorf("Depth(12) = %d, want 0", got)
+	}
+}
+
+func TestIDRangeAtDepth(t *testing.T) {
+	// Face S0 (id 8) at depth 2 spans [8<<4, 9<<4).
+	lo, hi := IDRangeAtDepth(8, 2)
+	if lo != 8<<4 || hi != 9<<4 {
+		t.Errorf("IDRangeAtDepth(8,2) = [%d,%d)", lo, hi)
+	}
+	// A point's deep ID must land inside its shallow ancestor's range.
+	v := sky.EqToVec(185, -0.5)
+	shallow := Lookup(v, 5)
+	deep := Lookup(v, MaxDepth)
+	lo, hi = IDRangeAtDepth(shallow, MaxDepth)
+	if deep < lo || deep >= hi {
+		t.Errorf("deep id %d outside ancestor range [%d,%d)", deep, lo, hi)
+	}
+}
+
+func TestToDepth(t *testing.T) {
+	v := sky.EqToVec(42, 13)
+	deep := Lookup(v, 12)
+	if got := ToDepth(deep, 6); got != Lookup(v, 6) {
+		t.Errorf("ToDepth truncation mismatch: %d vs %d", got, Lookup(v, 6))
+	}
+	if got := Depth(ToDepth(Lookup(v, 6), 12)); got != 12 {
+		t.Errorf("deepened id has depth %d, want 12", got)
+	}
+}
+
+func TestVerticesInvalid(t *testing.T) {
+	if _, err := Vertices(3); err == nil {
+		t.Error("Vertices(3) accepted invalid id")
+	}
+}
+
+func TestTrixelAreaSumsToFace(t *testing.T) {
+	// The 4 children of a trixel must tile it: areas sum to the parent's.
+	parent := uint64(13) // N1
+	pa, err := TrixelAreaSr(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for k := uint64(0); k < 4; k++ {
+		a, err := TrixelAreaSr(parent<<2 | k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += a
+	}
+	if math.Abs(sum-pa) > 1e-9 {
+		t.Errorf("children areas %g != parent %g", sum, pa)
+	}
+	// All 8 faces tile the sphere (4π sr).
+	var total float64
+	for _, f := range faces {
+		a, _ := TrixelAreaSr(f.id)
+		total += a
+	}
+	if math.Abs(total-4*math.Pi) > 1e-9 {
+		t.Errorf("faces sum to %g, want 4π=%g", total, 4*math.Pi)
+	}
+}
+
+func TestSphereCoverageNoGaps(t *testing.T) {
+	// Every random point on the sphere must land in exactly the trixel
+	// Lookup returns, and sibling trixels must not double-claim interior
+	// points (boundary ties aside). We check coverage: lookup never fails
+	// and point-in-trixel holds — done in TestLookupPointInTrixel — here
+	// we stress poles, seams, and face boundaries explicitly.
+	pts := []sky.Vec3{
+		{X: 0, Y: 0, Z: 1}, {X: 0, Y: 0, Z: -1},
+		{X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0},
+		{X: -1, Y: 0, Z: 0}, {X: 0, Y: -1, Z: 0},
+		sky.EqToVec(45, 0), sky.EqToVec(0, 45), sky.EqToVec(359.9999, -0.0001),
+	}
+	for _, p := range pts {
+		id := Lookup(p, 8)
+		tri, err := Vertices(id)
+		if err != nil {
+			t.Fatalf("Vertices(%d): %v", id, err)
+		}
+		if !inside(p, tri[0], tri[1], tri[2]) {
+			t.Errorf("boundary point %+v not inside its trixel %s", p, Name(id))
+		}
+	}
+}
+
+func TestCircleCoverContainsMembers(t *testing.T) {
+	// Core correctness of the spatial index: every point within the
+	// radius must have its depth-20 ID inside the circle's cover ranges.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*160 - 80
+		radius := rng.Float64()*30 + 0.1 // arcmin
+		cover := CoverCircleEq(ra, dec, radius)
+		if len(cover) == 0 {
+			t.Fatalf("empty cover for circle(%g,%g,%g)", ra, dec, radius)
+		}
+		center := sky.EqToVec(ra, dec)
+		for i := 0; i < 40; i++ {
+			// Random point inside the circle.
+			ang := rng.Float64() * radius / sky.ArcminPerDeg
+			dir := rng.Float64() * 360
+			p := offsetPoint(center, ang, dir)
+			id := Lookup(p, MaxDepth)
+			if !InRanges(cover, id) {
+				pra, pdec := sky.VecToEq(p)
+				t.Fatalf("point (%g,%g) at %g' of (%g,%g) escaped cover", pra, pdec, ang*60, ra, dec)
+			}
+		}
+	}
+}
+
+// offsetPoint returns the point at angular distance distDeg from center in
+// the direction posAngleDeg (east of north).
+func offsetPoint(center sky.Vec3, distDeg, posAngleDeg float64) sky.Vec3 {
+	north := sky.Vec3{X: 0, Y: 0, Z: 1}
+	east := north.Cross(center)
+	if east.Norm() < 1e-12 {
+		east = sky.Vec3{X: 0, Y: 1, Z: 0}
+	}
+	east = east.Normalize()
+	up := center.Cross(east).Normalize() // local north
+	t := posAngleDeg * sky.RadPerDeg
+	d := distDeg * sky.RadPerDeg
+	dir := up.Scale(math.Cos(t)).Add(east.Scale(math.Sin(t)))
+	return center.Scale(math.Cos(d)).Add(dir.Scale(math.Sin(d))).Normalize()
+}
+
+func TestCircleCoverExcludesFarPoints(t *testing.T) {
+	// The cover is conservative but must not balloon: points well outside
+	// (> 4x radius away at these small scales) should mostly be excluded.
+	cover := CoverCircleEq(185, -0.5, 1)
+	rng := rand.New(rand.NewSource(2))
+	center := sky.EqToVec(185, -0.5)
+	excluded := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := offsetPoint(center, (10+rng.Float64()*50)/60, rng.Float64()*360)
+		if !InRanges(cover, Lookup(p, MaxDepth)) {
+			excluded++
+		}
+	}
+	if excluded < n*9/10 {
+		t.Errorf("cover too loose: only %d/%d far points excluded", excluded, n)
+	}
+}
+
+func TestRectCover(t *testing.T) {
+	cx, err := Rect(184, -1, 186, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cx.Contains(sky.EqToVec(185, -0.5)) {
+		t.Error("rect does not contain interior point")
+	}
+	if cx.Contains(sky.EqToVec(183, -0.5)) || cx.Contains(sky.EqToVec(185, 0.5)) {
+		t.Error("rect contains exterior point")
+	}
+	cover := cx.Cover()
+	if !InRanges(cover, LookupEq(185, -0.5, MaxDepth)) {
+		t.Error("rect cover missing interior point")
+	}
+}
+
+func TestRectErrors(t *testing.T) {
+	if _, err := Rect(0, 1, 10, 0); err == nil {
+		t.Error("inverted dec accepted")
+	}
+	if _, err := Rect(0, 0, 200, 10); err == nil {
+		t.Error("over-wide rect accepted")
+	}
+}
+
+func TestRectAcrossRAZero(t *testing.T) {
+	cx, err := Rect(359, -1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cx.Contains(sky.EqToVec(0, 0)) || !cx.Contains(sky.EqToVec(359.5, 0.5)) {
+		t.Error("wraparound rect misses interior points")
+	}
+	if cx.Contains(sky.EqToVec(180, 0)) {
+		t.Error("wraparound rect contains antipode")
+	}
+}
+
+func TestPolygonCover(t *testing.T) {
+	// A small square around (10, 10), counter-clockwise.
+	pts := []sky.Vec3{
+		sky.EqToVec(9.5, 9.5),
+		sky.EqToVec(10.5, 9.5),
+		sky.EqToVec(10.5, 10.5),
+		sky.EqToVec(9.5, 10.5),
+	}
+	cx, err := Polygon(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cx.Contains(sky.EqToVec(10, 10)) {
+		t.Error("polygon missing center")
+	}
+	if cx.Contains(sky.EqToVec(12, 10)) {
+		t.Error("polygon contains outside point")
+	}
+	cover := cx.Cover()
+	if !InRanges(cover, LookupEq(10, 10, MaxDepth)) {
+		t.Error("polygon cover missing center")
+	}
+}
+
+func TestPolygonErrors(t *testing.T) {
+	if _, err := Polygon([]sky.Vec3{sky.EqToVec(0, 0), sky.EqToVec(1, 0)}); err == nil {
+		t.Error("2-point polygon accepted")
+	}
+	// Clockwise orientation must be rejected.
+	cw := []sky.Vec3{
+		sky.EqToVec(9.5, 9.5),
+		sky.EqToVec(9.5, 10.5),
+		sky.EqToVec(10.5, 10.5),
+		sky.EqToVec(10.5, 9.5),
+	}
+	if _, err := Polygon(cw); err == nil {
+		t.Error("clockwise polygon accepted")
+	}
+	deg := []sky.Vec3{sky.EqToVec(0, 0), sky.EqToVec(0, 0), sky.EqToVec(1, 1)}
+	if _, err := Polygon(deg); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	in := []Range{{10, 20}, {30, 40}, {20, 25}, {5, 12}, {39, 45}}
+	out := MergeRanges(in)
+	want := []Range{{5, 25}, {30, 45}}
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+	if got := MergeRanges(nil); len(got) != 0 {
+		t.Errorf("MergeRanges(nil) = %v", got)
+	}
+}
+
+func TestMergeRangesProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var rs []Range
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo, hi := uint64(raw[i]), uint64(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			rs = append(rs, Range{lo, hi})
+		}
+		orig := append([]Range(nil), rs...)
+		merged := MergeRanges(rs)
+		// Merged ranges must be sorted and disjoint with gaps.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Lo <= merged[i-1].Hi {
+				return false
+			}
+		}
+		// Membership must be preserved for all endpoints.
+		for _, r := range orig {
+			for _, p := range []uint64{r.Lo, (r.Lo + r.Hi) / 2} {
+				if p >= r.Hi {
+					continue
+				}
+				if !InRanges(merged, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverRangesAreMergedAndSorted(t *testing.T) {
+	cover := CoverCircleEq(50, 30, 15)
+	for i := 1; i < len(cover); i++ {
+		if cover[i].Lo <= cover[i-1].Hi {
+			t.Fatalf("cover not merged/sorted at %d: %v", i, cover)
+		}
+	}
+}
+
+func TestCoverWholeSphere(t *testing.T) {
+	// A halfspace with C = −1 is the whole sphere; its cover must be the
+	// single full ID range at depth.
+	cx := Convex{{V: sky.Vec3{Z: 1}, C: -1}}
+	cover := cx.CoverWith(CoverOptions{Depth: 8})
+	if len(cover) != 1 {
+		t.Fatalf("whole-sphere cover = %v", cover)
+	}
+	lo, _ := IDRangeAtDepth(8, 8)
+	_, hi := IDRangeAtDepth(15, 8)
+	if cover[0].Lo != lo || cover[0].Hi != hi {
+		t.Errorf("whole-sphere cover = %v, want [%d,%d)", cover, lo, hi)
+	}
+}
+
+func TestCoverEmptyRegion(t *testing.T) {
+	// Two opposing tight caps have empty intersection; the cover may be
+	// conservative but should be small or empty.
+	cx := Convex{
+		{V: sky.EqToVec(0, 0), C: math.Cos(0.001)},
+		{V: sky.EqToVec(180, 0), C: math.Cos(0.001)},
+	}
+	cover := cx.Cover()
+	if len(cover) > 2 {
+		t.Errorf("empty-region cover unexpectedly large: %v", cover)
+	}
+}
+
+func TestCoverDepthOption(t *testing.T) {
+	for _, d := range []int{6, 10, 20} {
+		cover := Circle(185, -0.5, 1).CoverWith(CoverOptions{Depth: d})
+		id := LookupEq(185, -0.5, d)
+		if !InRanges(cover, id) {
+			t.Errorf("depth-%d cover misses center id", d)
+		}
+	}
+}
+
+func TestHalfspaceContains(t *testing.T) {
+	h := Halfspace{V: sky.EqToVec(0, 90), C: 0} // northern hemisphere
+	if !h.Contains(sky.EqToVec(123, 45)) {
+		t.Error("northern point rejected")
+	}
+	if h.Contains(sky.EqToVec(123, -45)) {
+		t.Error("southern point accepted")
+	}
+}
+
+func BenchmarkLookupDepth20(b *testing.B) {
+	v := sky.EqToVec(185, -0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lookup(v, 20)
+	}
+}
+
+func BenchmarkCoverCircle1Arcmin(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CoverCircleEq(185, -0.5, 1)
+	}
+}

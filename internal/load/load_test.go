@@ -1,0 +1,493 @@
+package load
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"skyserver/internal/pipeline"
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// Q1 is the paper's Query 1, verbatim from §11 (modulo the ## temp table
+// name, which our session also supports).
+const q1SQL = `
+declare @saturated bigint;
+set @saturated = dbo.fPhotoFlags('saturated');
+select G.objID, GN.distance
+into ##results
+from Galaxy as G
+join fGetNearbyObjEq(185,-0.5, 1) as GN on G.objID = GN.objID
+where (G.flags & @saturated) = 0
+order by distance`
+
+// Q15A is the paper's asteroid query, verbatim from §11.
+const q15aSQL = `
+select objID,
+       sqrt(rowv*rowv+colv*colv) as velocity,
+       dbo.fGetUrlExpId(objID)   as Url
+into ##results
+from PhotoObj
+where (rowv*rowv+colv*colv) between 50 and 1000
+and rowv >= 0 and colv >= 0`
+
+// Q15B is the paper's fast-mover (NEO) pair query, verbatim from §11.
+const q15bSQL = `
+Select r.objID as rId, g.objId as gId,
+       dbo.fGetUrlExpId(r.objID) as rURL,
+       dbo.fGetUrlExpId(g.objID) as gURL
+from   PhotoObj r, PhotoObj g
+where  r.run = g.run and r.camcol=g.camcol
+  and abs(g.field-r.field) <= 1
+  and ((power(r.q_r,2) + power(r.u_r,2)) >
+                0.111111 ) -- q/u is ellipticity
+  -- the red selection criteria
+  and r.fiberMag_r between 6 and 22
+  and r.fiberMag_r < r.fiberMag_u
+  and r.fiberMag_r < r.fiberMag_g
+  and r.fiberMag_r < r.fiberMag_i
+  and r.fiberMag_r < r.fiberMag_z
+  and r.parentID=0
+  and r.isoA_r/r.isoB_r > 1.5
+  and r.isoA_r > 2.0
+  -- the green selection criteria
+  and ((power(g.q_g,2) + power(g.u_g,2)) >
+                 0.111111 ) -- q/u is ellipticity
+  and g.fiberMag_g between 6 and 22
+  and g.fiberMag_g < g.fiberMag_u
+  and g.fiberMag_g < g.fiberMag_r
+  and g.fiberMag_g < g.fiberMag_i
+  and g.fiberMag_g < g.fiberMag_z
+  and g.parentID=0
+  and g.isoA_g/g.isoB_g > 1.5
+  and g.isoA_g > 2.0
+-- the match-up of the pair
+--(note acos(x) ~ x for x~1)
+  and sqrt(power(r.cx-g.cx,2)
+     +power(r.cy-g.cy,2) +power(r.cz-g.cz,2))*
+          (180*60/pi()) < 4.0
+  and abs(r.fiberMag_r-g.fiberMag_g)< 2.0`
+
+var (
+	sharedOnce  sync.Once
+	sharedSDB   *schema.SkyDB
+	sharedStats *pipeline.Stats
+	sharedErr   error
+)
+
+// sharedSurvey loads one small survey for all read-only tests in this
+// package (building it per test would dominate the suite's runtime).
+func sharedSurvey(t *testing.T) (*schema.SkyDB, *pipeline.Stats) {
+	t.Helper()
+	sharedOnce.Do(func() {
+		fg := storage.NewMemFileGroup(4, 4096)
+		sharedSDB, sharedErr = schema.Build(fg)
+		if sharedErr != nil {
+			return
+		}
+		l := New(sharedSDB)
+		sharedStats, sharedErr = l.LoadSurvey(pipeline.Config{Scale: 1.0 / 2000})
+	})
+	if sharedErr != nil {
+		t.Fatalf("shared survey: %v", sharedErr)
+	}
+	return sharedSDB, sharedStats
+}
+
+func TestLoadSurveyCounts(t *testing.T) {
+	sdb, stats := sharedSurvey(t)
+	if stats.Truth.Objects == 0 || int(sdb.PhotoObj.Rows()) != stats.Truth.Objects {
+		t.Errorf("PhotoObj rows = %d, generator reported %d", sdb.PhotoObj.Rows(), stats.Truth.Objects)
+	}
+	// Table 1 structural ratios.
+	if sdb.Profile.Rows() != sdb.PhotoObj.Rows() {
+		t.Errorf("Profile rows %d != PhotoObj rows %d", sdb.Profile.Rows(), sdb.PhotoObj.Rows())
+	}
+	frames := float64(sdb.Frame.Rows())
+	fields := float64(sdb.Field.Rows())
+	if frames/fields < 4.5 || frames/fields > 5.5 {
+		t.Errorf("Frame/Field = %.2f, want ≈5", frames/fields)
+	}
+	lines := float64(sdb.SpecLine.Rows())
+	specs := float64(sdb.SpecObj.Rows())
+	if lines/specs < 24 || lines/specs > 30 {
+		t.Errorf("SpecLine/SpecObj = %.1f, want ≈27", lines/specs)
+	}
+	if xc := float64(sdb.XCRedShift.Rows()) / specs; xc != 30 {
+		t.Errorf("xcRedShift/SpecObj = %.1f, want 30", xc)
+	}
+	el := float64(sdb.ELRedShift.Rows()) / specs
+	if el < 0.7 || el > 0.9 {
+		t.Errorf("elRedShift fraction = %.2f, want ≈0.8", el)
+	}
+	// ~80% of photo objects are primary (§9).
+	prim := float64(stats.Truth.Primaries) / float64(stats.Truth.Objects)
+	if prim < 0.75 || prim > 0.92 {
+		t.Errorf("primary fraction = %.2f, want ≈0.8", prim)
+	}
+}
+
+func TestQuery1Verbatim(t *testing.T) {
+	sdb, stats := sharedSurvey(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec(q1SQL, sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatalf("Q1: %v", err)
+	}
+	if len(res.Rows) != stats.Truth.Q1Galaxies {
+		t.Fatalf("Q1 returned %d galaxies, planted %d (paper: 19)", len(res.Rows), stats.Truth.Q1Galaxies)
+	}
+	if stats.Truth.Q1Galaxies != 19 {
+		t.Errorf("planted Q1 truth = %d, want the paper's 19", stats.Truth.Q1Galaxies)
+	}
+	// Sorted ascending by distance, all within 1 arcmin.
+	for i, r := range res.Rows {
+		if r[1].F > 1.0 {
+			t.Errorf("row %d at distance %.3f' > 1'", i, r[1].F)
+		}
+		if i > 0 && r[1].F < res.Rows[i-1][1].F {
+			t.Errorf("distance not ascending at row %d", i)
+		}
+	}
+	// Plan shape (Figure 10): TVF outer, PK probe inner, then sort.
+	if !strings.Contains(res.Plan, "TableValuedFunction(fGetNearbyObjEq") {
+		t.Errorf("Q1 plan missing spatial TVF:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "NestedLoopJoin(probe PhotoObj via pk_PhotoObj") {
+		t.Errorf("Q1 plan missing PK probe join:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "Sort(") {
+		t.Errorf("Q1 plan missing sort:\n%s", res.Plan)
+	}
+}
+
+func TestQuery15AVerbatim(t *testing.T) {
+	sdb, stats := sharedSurvey(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec(q15aSQL, sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatalf("Q15A: %v", err)
+	}
+	if len(res.Rows) != stats.Truth.Asteroids {
+		t.Fatalf("Q15A found %d asteroids, planted %d", len(res.Rows), stats.Truth.Asteroids)
+	}
+	for _, r := range res.Rows {
+		v := r[1].F
+		if v*v < 50-1e-9 || v*v > 1000+1e-9 {
+			t.Errorf("velocity %.2f outside window", v)
+		}
+		if !strings.HasPrefix(r[2].S, "http://") {
+			t.Errorf("bad url %q", r[2].S)
+		}
+	}
+	// Plan shape (Figure 11): a parallel table scan.
+	if !strings.Contains(res.Plan, "TableScan(PhotoObj, parallel") {
+		t.Errorf("Q15A plan is not a parallel scan:\n%s", res.Plan)
+	}
+}
+
+func TestQuery15BVerbatim(t *testing.T) {
+	sdb, stats := sharedSurvey(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec(q15bSQL, sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatalf("Q15B: %v", err)
+	}
+	if len(res.Rows) != stats.Truth.NEOPairs {
+		t.Fatalf("Q15B found %d pairs, planted %d (paper: 4)", len(res.Rows), stats.Truth.NEOPairs)
+	}
+	if stats.Truth.NEOPairs != 4 {
+		t.Errorf("planted NEO pairs = %d, want the paper's 4", stats.Truth.NEOPairs)
+	}
+	// Plan shape (Figure 12): nested loop of two index accesses on the
+	// covering (run, camcol, field) index.
+	if !strings.Contains(res.Plan, "NestedLoopJoin(probe PhotoObj via ix_PhotoObj_run_camcol_field") {
+		t.Errorf("Q15B plan missing covering-index probe:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "covering") {
+		t.Errorf("Q15B access paths are not covering:\n%s", res.Plan)
+	}
+}
+
+func TestSpatialTVFAgainstBruteForce(t *testing.T) {
+	sdb, _ := sharedSurvey(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	// The TVF must agree exactly with a brute-force distance predicate.
+	tvf, err := sess.Exec("select count(*) from fGetNearbyObjEq(185, -0.5, 1)", sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := sess.Exec(`
+		select count(*) from PhotoObj
+		where dbo.fDistanceArcMinEq(185, -0.5, ra, dec) <= 1`, sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvf.Rows[0][0].I != brute.Rows[0][0].I {
+		t.Errorf("TVF found %d, brute force %d", tvf.Rows[0][0].I, brute.Rows[0][0].I)
+	}
+	if tvf.Rows[0][0].I != 22 {
+		t.Errorf("TVF rows = %d, paper's TVF returned 22", tvf.Rows[0][0].I)
+	}
+}
+
+func TestViewsSubclassing(t *testing.T) {
+	sdb, _ := sharedSurvey(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	total, _ := sess.Exec("select count(*) from PhotoObj", sqlengine.ExecOptions{})
+	prim, _ := sess.Exec("select count(*) from PhotoPrimary", sqlengine.ExecOptions{})
+	sec, _ := sess.Exec("select count(*) from PhotoSecondary", sqlengine.ExecOptions{})
+	star, _ := sess.Exec("select count(*) from Star", sqlengine.ExecOptions{})
+	gal, _ := sess.Exec("select count(*) from Galaxy", sqlengine.ExecOptions{})
+	nTotal := total.Rows[0][0].I
+	nPrim := prim.Rows[0][0].I
+	if nPrim >= nTotal || nPrim == 0 {
+		t.Errorf("primaries %d of %d", nPrim, nTotal)
+	}
+	if sec.Rows[0][0].I == 0 {
+		t.Error("no secondaries")
+	}
+	if star.Rows[0][0].I+gal.Rows[0][0].I > nPrim {
+		t.Error("stars+galaxies exceed primaries")
+	}
+}
+
+func TestLoadEventsJournal(t *testing.T) {
+	sdb, _ := sharedSurvey(t)
+	l := New(sdb)
+	events, err := l.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no load events recorded")
+	}
+	byTable := map[string]Event{}
+	for _, e := range events {
+		byTable[e.Table] = e
+		if e.Status != "ok" {
+			t.Errorf("event %d (%s) status %s", e.ID, e.Table, e.Status)
+		}
+		if e.StopTime <= e.StartTime {
+			t.Errorf("event %d has empty time window", e.ID)
+		}
+	}
+	po := byTable["PhotoObj"]
+	if po.InsertedRows != int64(sdb.PhotoObj.Rows()) {
+		t.Errorf("journal says %d PhotoObj rows, table has %d", po.InsertedRows, sdb.PhotoObj.Rows())
+	}
+}
+
+func TestIntegrityChecksPass(t *testing.T) {
+	sdb, _ := sharedSurvey(t)
+	l := New(sdb)
+	for _, table := range []string{"Frame", "Profile", "SpecObj", "SpecLine", "xcRedShift", "elRedShift", "First", "Rosat", "USNO"} {
+		checked, err := l.CheckIntegrity(table)
+		if err != nil {
+			t.Errorf("%s: %v", table, err)
+		}
+		if checked == 0 {
+			t.Errorf("%s: checked no rows", table)
+		}
+	}
+}
+
+// failingSource yields a few good rows then an error, to exercise the
+// failed-step + UNDO path of §9.4.
+type failingSource struct {
+	table string
+	good  []val.Row
+	pos   int
+}
+
+func (s *failingSource) Table() string { return s.table }
+func (s *failingSource) Name() string  { return "bad.csv" }
+func (s *failingSource) Next() (val.Row, error) {
+	if s.pos < len(s.good) {
+		s.pos++
+		return s.good[s.pos-1], nil
+	}
+	return nil, io.EOF
+}
+
+func freshDB(t *testing.T) *schema.SkyDB {
+	t.Helper()
+	sdb, err := schema.Build(storage.NewMemFileGroup(2, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb
+}
+
+func plateRow(t *testing.T, sdb *schema.SkyDB, id int64) val.Row {
+	t.Helper()
+	tab := sdb.Plate
+	row := make(val.Row, len(tab.Cols))
+	for i, c := range tab.Cols {
+		switch c.Kind {
+		case val.KindInt:
+			row[i] = val.Int(0)
+		case val.KindFloat:
+			row[i] = val.Float(0)
+		case val.KindString:
+			row[i] = val.Str("")
+		default:
+			row[i] = val.Null()
+		}
+	}
+	row[tab.ColIndex("plateID")] = val.Int(id)
+	return row
+}
+
+func TestFailedStepAndUndo(t *testing.T) {
+	sdb := freshDB(t)
+	l := New(sdb)
+
+	// Step 1: a good batch of plates.
+	good := []val.Row{plateRow(t, sdb, 1), plateRow(t, sdb, 2)}
+	ev1, err := l.RunStep(NewSliceSource("Plate", "plates1.csv", good))
+	if err != nil {
+		t.Fatalf("good step failed: %v", err)
+	}
+	// Step 2: a bad batch — third row has a NULL in a NOT NULL column.
+	bad := plateRow(t, sdb, 5)
+	bad[sdb.Plate.ColIndex("mjd")] = val.Null()
+	ev2, err := l.RunStep(NewSliceSource("Plate", "plates2.csv",
+		[]val.Row{plateRow(t, sdb, 3), plateRow(t, sdb, 4), bad}))
+	if err == nil {
+		t.Fatal("bad step succeeded")
+	}
+	// The partial rows are in the table — that's the problem UNDO solves.
+	if got := sdb.Plate.Rows(); got != 4 {
+		t.Fatalf("after failed step: %d rows, want 4 (2 good + 2 partial)", got)
+	}
+	events, _ := l.Events()
+	if events[len(events)-1].Status != "failed" {
+		t.Errorf("last event status = %s, want failed", events[len(events)-1].Status)
+	}
+	if events[len(events)-1].Trace == "" {
+		t.Error("failed event has no trace")
+	}
+
+	// UNDO step 2: only its rows disappear.
+	removed, err := l.Undo(ev2)
+	if err != nil {
+		t.Fatalf("undo: %v", err)
+	}
+	if removed != 2 {
+		t.Errorf("undo removed %d rows, want 2", removed)
+	}
+	if got := sdb.Plate.Rows(); got != 2 {
+		t.Errorf("after undo: %d rows, want 2", got)
+	}
+	// The journal now marks it undone; undoing again fails.
+	if _, err := l.Undo(ev2); err == nil {
+		t.Error("double undo succeeded")
+	}
+	// Undo of the good step works too (fix data, reload).
+	if _, err := l.Undo(ev1); err != nil {
+		t.Errorf("undo of good step: %v", err)
+	}
+	if got := sdb.Plate.Rows(); got != 0 {
+		t.Errorf("after both undos: %d rows", got)
+	}
+}
+
+func TestIntegrityViolationDetected(t *testing.T) {
+	sdb := freshDB(t)
+	l := New(sdb)
+	// A SpecObj referencing a non-existent plate.
+	tab := sdb.SpecObj
+	row := make(val.Row, len(tab.Cols))
+	for i, c := range tab.Cols {
+		switch c.Kind {
+		case val.KindInt:
+			row[i] = val.Int(0)
+		case val.KindFloat:
+			row[i] = val.Float(0)
+		case val.KindString:
+			row[i] = val.Str("")
+		default:
+			row[i] = val.Null()
+		}
+	}
+	row[tab.ColIndex("specObjID")] = val.Int(77)
+	row[tab.ColIndex("plateID")] = val.Int(999) // no such plate
+	if _, err := l.RunStep(NewSliceSource("SpecObj", "orphan.csv", []val.Row{row})); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if _, err := l.CheckIntegrity("SpecObj"); err == nil {
+		t.Error("orphan SpecObj passed integrity check")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	// Generate to CSV, load into a fresh database, compare row counts
+	// with the directly-loaded shared survey.
+	dir := t.TempDir()
+	genDB := freshDB(t)
+	cfg := pipeline.Config{Scale: 1.0 / 8000, SkipFrames: true, SkipBlobs: true}
+	stats, paths, err := WriteCSVSurvey(cfg, genDB, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("only %d CSV files written", len(paths))
+	}
+	sdb := freshDB(t)
+	l := New(sdb)
+	events, err := LoadCSVDir(l, sdb, dir)
+	if err != nil {
+		t.Fatalf("LoadCSVDir: %v", err)
+	}
+	if len(events) != len(paths) {
+		t.Errorf("%d events for %d files", len(events), len(paths))
+	}
+	if int(sdb.PhotoObj.Rows()) != stats.RowCounts["PhotoObj"] {
+		t.Errorf("CSV-loaded PhotoObj = %d, generated %d", sdb.PhotoObj.Rows(), stats.RowCounts["PhotoObj"])
+	}
+	if int(sdb.SpecLine.Rows()) != stats.RowCounts["SpecLine"] {
+		t.Errorf("CSV-loaded SpecLine = %d, generated %d", sdb.SpecLine.Rows(), stats.RowCounts["SpecLine"])
+	}
+	// Spot check: planted Q1 cluster survived the round trip.
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec(q1SQL, sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 19 {
+		t.Errorf("Q1 after CSV round trip = %d rows, want 19", len(res.Rows))
+	}
+}
+
+func TestCSVConversionErrorFailsStep(t *testing.T) {
+	dir := t.TempDir()
+	sdb := freshDB(t)
+	// A malformed Plate CSV: non-numeric mjd.
+	csv := "plateID,mjd,ra,dec,nFibers,loadTime\n266,fifty-two-thousand,185,0,600,0\n"
+	path := dir + "/Plate.csv"
+	if err := writeFile(path, csv); err != nil {
+		t.Fatal(err)
+	}
+	l := New(sdb)
+	src, err := NewCSVSource(sdb, "Plate", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.RunStep(src); err == nil {
+		t.Error("malformed CSV loaded successfully")
+	}
+	events, _ := l.Events()
+	if len(events) == 0 || events[len(events)-1].Status != "failed" {
+		t.Error("failed conversion not journaled")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,204 @@
+package neighbors
+
+import (
+	"math"
+	"testing"
+
+	"skyserver/internal/load"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/schema"
+	"skyserver/internal/sky"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// emptySurveyDB builds a schema with a hand-planted PhotoObj population so
+// the zone join can be verified against brute force exactly.
+func plantedDB(t *testing.T, points [][2]float64) *schema.SkyDB {
+	t.Helper()
+	sdb, err := schema.Build(storage.NewMemFileGroup(2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := sdb.PhotoObj
+	for i, p := range points {
+		row := make(val.Row, len(tab.Cols))
+		for j, c := range tab.Cols {
+			switch c.Kind {
+			case val.KindInt:
+				row[j] = val.Int(0)
+			case val.KindFloat:
+				row[j] = val.Float(0)
+			case val.KindString:
+				row[j] = val.Str("")
+			default:
+				row[j] = val.Null()
+			}
+		}
+		v := sky.EqToVec(p[0], p[1])
+		row[tab.ColIndex("objID")] = val.Int(int64(i + 1))
+		row[tab.ColIndex("ra")] = val.Float(p[0])
+		row[tab.ColIndex("dec")] = val.Float(p[1])
+		row[tab.ColIndex("cx")] = val.Float(v.X)
+		row[tab.ColIndex("cy")] = val.Float(v.Y)
+		row[tab.ColIndex("cz")] = val.Float(v.Z)
+		row[tab.ColIndex("type")] = val.Int(3)
+		row[tab.ColIndex("mode")] = val.Int(1)
+		if _, err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sdb
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	// A line of points 0.4' apart in dec: each has neighbors at ±0.4'
+	// (within the 0.5' radius) but not ±0.8'.
+	var pts [][2]float64
+	for i := 0; i < 6; i++ {
+		pts = append(pts, [2]float64{185.0, float64(i) * 0.4 / 60})
+	}
+	// Plus a far-away loner.
+	pts = append(pts, [2]float64{190.0, 1.0})
+	sdb := plantedDB(t, pts)
+	n, err := Build(sdb, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force.
+	want := 0
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if sky.DistanceArcmin(pts[i][0], pts[i][1], pts[j][0], pts[j][1]) <= 0.5 {
+				want++
+			}
+		}
+	}
+	if int(n) != want {
+		t.Errorf("Build found %d pairs, brute force %d", n, want)
+	}
+	// Middle points have two neighbors, ends one, loner zero.
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec("select objID, count(*) from Neighbors group by objID order by objID", sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int64{}
+	for _, row := range res.Rows {
+		counts[row[0].I] = row[1].I
+	}
+	if counts[1] != 1 || counts[2] != 2 || counts[6] != 1 {
+		t.Errorf("neighbor counts: %v", counts)
+	}
+	if counts[7] != 0 {
+		t.Errorf("loner has %d neighbors", counts[7])
+	}
+}
+
+func TestBuildSymmetric(t *testing.T) {
+	pts := [][2]float64{{185, 0}, {185.005, 0.002}, {185.002, -0.004}}
+	sdb := plantedDB(t, pts)
+	if _, err := Build(sdb, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Every pair must appear in both directions with equal distance.
+	type pair struct{ a, b int64 }
+	dists := map[pair]float64{}
+	err := sdb.Neighbors.ScanRows(1, nil, func(_ storage.RID, row val.Row) error {
+		a := row[sdb.Neighbors.ColIndex("objID")].I
+		b := row[sdb.Neighbors.ColIndex("neighborObjID")].I
+		dists[pair{a, b}] = row[sdb.Neighbors.ColIndex("distance")].F
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) == 0 {
+		t.Fatal("no pairs")
+	}
+	for p, d := range dists {
+		back, ok := dists[pair{p.b, p.a}]
+		if !ok {
+			t.Fatalf("pair (%d,%d) missing its mirror", p.a, p.b)
+		}
+		if math.Abs(back-d) > 1e-9 {
+			t.Fatalf("asymmetric distances %g vs %g", d, back)
+		}
+	}
+}
+
+func TestNoSelfPairs(t *testing.T) {
+	sdb := plantedDB(t, [][2]float64{{185, 0}, {185.001, 0}})
+	if _, err := Build(sdb, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	err := sdb.Neighbors.ScanRows(1, nil, func(_ storage.RID, row val.Row) error {
+		a := row[sdb.Neighbors.ColIndex("objID")].I
+		b := row[sdb.Neighbors.ColIndex("neighborObjID")].I
+		if a == b {
+			t.Fatalf("self pair for %d", a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneBoundaryPairsFound(t *testing.T) {
+	// Two points just 0.1' apart but straddling a zone boundary (zones
+	// are radius-tall, anchored at dec −90): they must still pair.
+	radius := 0.5
+	zoneHeight := radius / 60
+	boundary := -90 + 137*zoneHeight // arbitrary zone edge
+	pts := [][2]float64{
+		{185, boundary - 0.0005},
+		{185, boundary + 0.0005},
+	}
+	sdb := plantedDB(t, pts)
+	n, err := Build(sdb, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("boundary pair found %d rows, want 2", n)
+	}
+}
+
+func TestSurveyDensityMatchesPaperShape(t *testing.T) {
+	// On a generated survey, the planted Q1 cluster guarantees density;
+	// overall count must match the pairwise truth of the distance column.
+	sdb, err := schema.Build(storage.NewMemFileGroup(2, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.New(sdb)
+	if _, err := l.LoadSurvey(pipeline.Config{Scale: 1.0 / 4000, SkipFrames: true, SkipBlobs: true}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(sdb, DefaultRadiusArcmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no neighbor pairs on a survey with a planted cluster")
+	}
+	// All recorded distances within the radius.
+	dcol := sdb.Neighbors.ColIndex("distance")
+	err = sdb.Neighbors.ScanRows(1, nil, func(_ storage.RID, row val.Row) error {
+		if row[dcol].F > DefaultRadiusArcmin+1e-9 {
+			t.Fatalf("pair at %g' exceeds radius", row[dcol].F)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(sdb) != uint64(n) {
+		t.Errorf("Count=%d, Build returned %d", Count(sdb), n)
+	}
+}

@@ -1,0 +1,931 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"skyserver/internal/htm"
+	"skyserver/internal/pyramid"
+	"skyserver/internal/schema"
+	"skyserver/internal/sky"
+	"skyserver/internal/val"
+)
+
+// The planted Query-1 point: "find all galaxies without saturated pixels
+// within 1' of a given point" at (185, −0.5) — §11.
+const (
+	q1RA  = 185.0
+	q1Dec = -0.5
+	// q1SuppressArcmin clears naturally-generated objects from a zone
+	// around the planted cluster so the answer is exact at every scale.
+	q1SuppressArcmin = 1.3
+)
+
+type specCand struct {
+	objID int64
+	typ   int64
+	magR  float64
+	ra    float64
+	dec   float64
+	isQSO bool
+}
+
+type generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	sdb  *schema.SkyDB
+	emit Emitter
+	grid sky.Grid
+
+	bField, bFrame, bPhoto, bProfile *rowBuilder
+	bPlate, bSpec, bLine, bLineIdx   *rowBuilder
+	bXC, bEL, bFirst, bRosat, bUSNO  *rowBuilder
+
+	counts map[string]int
+	truth  Truth
+
+	specCands   []specCand
+	astInterval int
+	astCounter  int
+	objCounters map[int64]int // FieldID -> next obj number
+}
+
+// Generate runs the synthetic pipelines and streams every produced row to
+// the emitter in foreign-key-safe order. It returns generation statistics
+// including the planted truths.
+func Generate(cfg Config, sdb *schema.SkyDB, emit Emitter) (*Stats, error) {
+	cfg.defaults()
+	g := &generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		sdb:  sdb,
+		emit: emit,
+		grid: cfg.Footprint(),
+
+		bField:   newRowBuilder(sdb.Field),
+		bFrame:   newRowBuilder(sdb.Frame),
+		bPhoto:   newRowBuilder(sdb.PhotoObj),
+		bProfile: newRowBuilder(sdb.Profile),
+		bPlate:   newRowBuilder(sdb.Plate),
+		bSpec:    newRowBuilder(sdb.SpecObj),
+		bLine:    newRowBuilder(sdb.SpecLine),
+		bLineIdx: newRowBuilder(sdb.SpecLineIndex),
+		bXC:      newRowBuilder(sdb.XCRedShift),
+		bEL:      newRowBuilder(sdb.ELRedShift),
+		bFirst:   newRowBuilder(sdb.First),
+		bRosat:   newRowBuilder(sdb.Rosat),
+		bUSNO:    newRowBuilder(sdb.USNO),
+
+		counts:      make(map[string]int),
+		objCounters: make(map[int64]int),
+	}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	return &Stats{Truth: g.truth, RowCounts: g.counts}, nil
+}
+
+func (g *generator) send(table string, row val.Row) error {
+	g.counts[table]++
+	return g.emit.Emit(table, row)
+}
+
+func (g *generator) run() error {
+	target := float64(EDRPhotoObj) * g.cfg.Scale
+	nFields := g.grid.Stripes * 2 * sky.CamCols * g.grid.FieldsPerStrip
+	// Secondaries (~12%) and deblend children (~16 per 100 base) inflate
+	// the base count by ~1.28; solve for base detections per field.
+	basePerField := int(math.Round(target / 1.28 / float64(nFields)))
+	if basePerField < 4 {
+		basePerField = 4
+	}
+	astTarget := int(math.Round(EDRAsteroids * g.cfg.Scale))
+	if astTarget < 5 {
+		astTarget = 5
+	}
+	totalBase := basePerField * nFields
+	g.astInterval = totalBase / astTarget
+	if g.astInterval < 1 {
+		g.astInterval = 1
+	}
+
+	for stripe := 0; stripe < g.grid.Stripes; stripe++ {
+		for strip := 0; strip < 2; strip++ {
+			run := g.grid.RunNumber(stripe, strip)
+			for camcol := 1; camcol <= sky.CamCols; camcol++ {
+				for field := 0; field < g.grid.FieldsPerStrip; field++ {
+					if err := g.genField(stripe, strip, run, camcol, field, basePerField); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if err := g.genNEOPairs(); err != nil {
+		return err
+	}
+	if err := g.genSpectro(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// photoObj is the working record for one detection before emission.
+type photoObj struct {
+	objID    int64
+	run      int
+	rerun    int
+	camcol   int
+	field    int
+	obj      int
+	mode     int64
+	nChild   int64
+	parentID int64
+	typ      int64
+	flags    int64
+	ra, dec  float64
+	rowv     float64
+	colv     float64
+	// mag[kind][band]
+	mag   [6][5]float64
+	ell   float64 // ellipticity magnitude for Stokes q/u
+	phi   float64 // position angle
+	isoA  [5]float64
+	isoB  [5]float64
+	isQSO bool
+}
+
+func (g *generator) nextObjNum(run, camcol, field int) int {
+	key := FieldID(run, camcol, field)
+	g.objCounters[key]++
+	return g.objCounters[key]
+}
+
+func (g *generator) genField(stripe, strip, run, camcol, field, basePerField int) error {
+	raMin, raMax, decMin, decMax := g.grid.FieldBounds(stripe, strip, camcol-1, field)
+	// Count per-field objects for the Field row as we generate.
+	var nObj, nStar, nGal int
+	var sources []frameSource
+
+	n := basePerField + g.rng.Intn(basePerField/4+1) - basePerField/8
+	plantQ1 := strip == 0 && q1RA >= raMin && q1RA < raMax && q1Dec >= decMin && q1Dec < decMax
+
+	emitObj := func(o *photoObj) error {
+		if err := g.emitPhotoObj(o); err != nil {
+			return err
+		}
+		nObj++
+		switch o.typ {
+		case schema.TypeStar:
+			nStar++
+		case schema.TypeGalaxy:
+			nGal++
+		}
+		if o.mode == schema.ModePrimary {
+			g.truth.Primaries++
+		}
+		g.truth.Objects++
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		o := g.randomObject(run, camcol, field, raMin, raMax, decMin, decMax)
+		if o == nil {
+			continue // suppressed (planted zone)
+		}
+		sources = append(sources, frameSource{o.ra, o.dec, 24 - o.mag[3][2]})
+		// Deblend families: ~8 parents per 100 base objects, 2 children
+		// each; parents are never primary (§9).
+		if o.typ == schema.TypeGalaxy && g.rng.Float64() < 0.11 {
+			o.mode = schema.ModeFamily
+			o.nChild = 2
+			o.flags |= mustFlag("BLENDED")
+			if err := emitObj(o); err != nil {
+				return err
+			}
+			for c := 0; c < int(o.nChild); c++ {
+				ch := g.childOf(o)
+				if err := emitObj(ch); err != nil {
+					return err
+				}
+				if err := g.maybeSecondary(ch, stripe, strip, emitObj); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := emitObj(o); err != nil {
+			return err
+		}
+		if err := g.maybeSecondary(o, stripe, strip, emitObj); err != nil {
+			return err
+		}
+	}
+
+	if plantQ1 {
+		if err := g.plantQ1Cluster(run, camcol, field, emitObj); err != nil {
+			return err
+		}
+	}
+
+	// Field row.
+	fid := FieldID(run, camcol, field)
+	row := g.bField.row()
+	g.bField.set(row, "fieldID", val.Int(fid))
+	g.bField.set(row, "skyVersion", val.Int(1))
+	g.bField.set(row, "run", val.Int(int64(run)))
+	g.bField.set(row, "rerun", val.Int(1))
+	g.bField.set(row, "camcol", val.Int(int64(camcol)))
+	g.bField.set(row, "field", val.Int(int64(field)))
+	g.bField.set(row, "nObjects", val.Int(int64(nObj)))
+	g.bField.set(row, "nStars", val.Int(int64(nStar)))
+	g.bField.set(row, "nGalaxy", val.Int(int64(nGal)))
+	g.bField.set(row, "quality", val.Int(int64(2+g.rng.Intn(2))))
+	g.bField.set(row, "mjd", val.Float(52000+g.rng.Float64()*400))
+	g.bField.set(row, "raMin", val.Float(raMin))
+	g.bField.set(row, "raMax", val.Float(raMax))
+	g.bField.set(row, "decMin", val.Float(decMin))
+	g.bField.set(row, "decMax", val.Float(decMax))
+	if !g.cfg.SkipBlobs {
+		calib := make([]byte, 3072)
+		g.rng.Read(calib)
+		g.bField.set(row, "calibration", val.Bytes(calib))
+	}
+	if err := g.send("Field", row); err != nil {
+		return err
+	}
+
+	// Frame pyramid rows: the base frame plus 4 zoom levels (§2).
+	return g.genFrames(fid, run, camcol, field, raMin, raMax, decMin, decMax, sources)
+}
+
+func mustFlag(name string) int64 {
+	v, ok := schema.PhotoFlagValue(name)
+	if !ok {
+		panic("pipeline: unknown flag " + name)
+	}
+	return v
+}
+
+// randomObject draws one detection; returns nil when the position falls in
+// the suppressed planted zone.
+func (g *generator) randomObject(run, camcol, field int, raMin, raMax, decMin, decMax float64) *photoObj {
+	ra := raMin + g.rng.Float64()*(raMax-raMin)
+	dec := decMin + g.rng.Float64()*(decMax-decMin)
+	if sky.DistanceArcmin(ra, dec, q1RA, q1Dec) < q1SuppressArcmin {
+		return nil
+	}
+	o := &photoObj{
+		run: run, rerun: 1, camcol: camcol, field: field,
+		obj:  g.nextObjNum(run, camcol, field),
+		mode: schema.ModePrimary,
+		ra:   ra, dec: dec,
+	}
+	o.objID = ObjID(1, o.rerun, o.run, o.camcol, o.field, o.obj)
+
+	// Class mix: galaxies dominate faint counts.
+	switch r := g.rng.Float64(); {
+	case r < 0.60:
+		o.typ = schema.TypeGalaxy
+	case r < 0.92:
+		o.typ = schema.TypeStar
+	case r < 0.96:
+		o.typ = schema.TypeUnknown
+	case r < 0.98:
+		o.typ = schema.TypeCosmicRay
+	case r < 0.99:
+		o.typ = schema.TypeTrail
+	default:
+		o.typ = schema.TypeDefect
+	}
+
+	// Magnitude from a power-law number count, r in [13, 23].
+	u := g.rng.Float64()
+	const slope = 0.35
+	rMag := 14 + math.Log10(1+u*(math.Pow(10, slope*9)-1))/slope
+	g.assignMagnitudes(o, rMag)
+
+	// Shapes.
+	if o.typ == schema.TypeGalaxy {
+		axis := 0.55 + 0.4*g.rng.Float64() // b/a mostly round
+		a := 2 + g.rng.Float64()*6
+		for b := 0; b < 5; b++ {
+			o.isoA[b] = a * (0.9 + 0.2*g.rng.Float64())
+			o.isoB[b] = o.isoA[b] * axis
+		}
+		o.ell = (1 - axis) / (1 + axis) // ≤ 0.29: below the NEO cut
+		o.phi = g.rng.Float64() * math.Pi
+	} else {
+		for b := 0; b < 5; b++ {
+			o.isoA[b] = 1 + 0.4*g.rng.Float64()
+			o.isoB[b] = o.isoA[b] * (0.9 + 0.1*g.rng.Float64())
+		}
+		o.ell = 0.02 * g.rng.Float64()
+		o.phi = g.rng.Float64() * math.Pi
+	}
+
+	// Flags.
+	o.flags = mustFlag("BINNED1") | mustFlag("OK_RUN") | mustFlag("STATIONARY")
+	if rMag < 14.2 { // bright objects saturate the CCD (§11, Q1)
+		o.flags |= mustFlag("SATURATED")
+	}
+
+	// Velocities: noise, sprinkled error markers, planted asteroids.
+	g.astCounter++
+	switch {
+	case g.astCounter%g.astInterval == 0:
+		// A slow-moving asteroid: Query 15A's window is
+		// 50 ≤ rowv²+colv² ≤ 1000 with rowv, colv ≥ 0.
+		theta := (5 + 80*g.rng.Float64()) * math.Pi / 180
+		speed := math.Sqrt(50) + g.rng.Float64()*(math.Sqrt(1000)-math.Sqrt(50))
+		o.rowv = speed * math.Cos(theta)
+		o.colv = speed * math.Sin(theta)
+		o.flags &^= mustFlag("STATIONARY")
+		o.flags |= mustFlag("MOVED")
+	case g.rng.Float64() < 0.02:
+		o.rowv, o.colv = -9999, -9999 // error marker (negative)
+	case g.rng.Float64() < 0.01:
+		o.rowv, o.colv = 5000+g.rng.Float64()*1000, 5000+g.rng.Float64()*1000 // unreasonably fast
+	default:
+		o.rowv = g.rng.NormFloat64() * 0.05
+		o.colv = g.rng.NormFloat64() * 0.05
+	}
+	return o
+}
+
+// assignMagnitudes fills the six magnitude families and colors. QSO-colored
+// point sources get the UV excess (u−g < 0.6) that the color-cut queries
+// select on.
+func (g *generator) assignMagnitudes(o *photoObj, rMag float64) {
+	var gr, ug, ri, iz float64
+	switch {
+	case o.typ == schema.TypeStar && g.rng.Float64() < 0.02:
+		o.isQSO = true
+		ug = 0.1 + 0.3*g.rng.Float64() // blue: u-g < 0.6
+		gr = 0.1 + 0.2*g.rng.Float64()
+		ri = 0.0 + 0.2*g.rng.Float64()
+		iz = 0.0 + 0.1*g.rng.Float64()
+	case o.typ == schema.TypeStar:
+		gr = 0.2 + 1.2*g.rng.Float64() // main-sequence locus
+		ug = 0.7 + 1.3*gr*0.5 + 0.1*g.rng.NormFloat64()
+		ri = 0.45 * gr
+		iz = 0.2 * gr
+	default: // galaxies and the rest: red-ish
+		gr = 0.5 + 0.6*g.rng.Float64()
+		ug = 1.2 + 0.5*g.rng.Float64()
+		ri = 0.3 + 0.25*g.rng.Float64()
+		iz = 0.2 + 0.2*g.rng.Float64()
+	}
+	base := [5]float64{rMag + gr + ug, rMag + gr, rMag, rMag - ri, rMag - ri - iz}
+	for k := range schema.MagKinds {
+		for b := 0; b < 5; b++ {
+			offset := 0.0
+			if o.typ == schema.TypeGalaxy {
+				// Extended sources: psf misses flux, petro/model
+				// capture more.
+				switch schema.MagKinds[k] {
+				case "psf":
+					offset = 0.4
+				case "fiber":
+					offset = 0.25
+				}
+			}
+			o.mag[k][b] = base[b] + offset + 0.02*g.rng.NormFloat64()
+		}
+	}
+}
+
+// childOf produces a deblended child of a parent galaxy.
+func (g *generator) childOf(p *photoObj) *photoObj {
+	c := *p
+	c.obj = g.nextObjNum(p.run, p.camcol, p.field)
+	c.objID = ObjID(1, c.rerun, c.run, c.camcol, c.field, c.obj)
+	c.mode = schema.ModePrimary
+	c.parentID = p.objID
+	c.nChild = 0
+	c.flags = (p.flags &^ mustFlag("BLENDED")) | mustFlag("CHILD")
+	c.ra = p.ra + g.rng.NormFloat64()*0.002
+	c.dec = p.dec + g.rng.NormFloat64()*0.002
+	for k := range c.mag {
+		for b := range c.mag[k] {
+			c.mag[k][b] = p.mag[k][b] + 0.75 + 0.1*g.rng.NormFloat64()
+		}
+	}
+	return &c
+}
+
+// maybeSecondary emits a duplicate detection (mode=2) under the interleaved
+// strip's run, modelling the ~11% stripe/strip overlap of §9. Overlap
+// membership is sampled by rate rather than strip geometry; the duplicate
+// carries the partner run's identity.
+func (g *generator) maybeSecondary(o *photoObj, stripe, strip int, emitObj func(*photoObj) error) error {
+	if g.rng.Float64() >= 0.12 {
+		return nil
+	}
+	s := *o
+	s.run = g.grid.RunNumber(stripe, 1-strip)
+	s.obj = g.nextObjNum(s.run, s.camcol, s.field)
+	s.objID = ObjID(1, s.rerun, s.run, s.camcol, s.field, s.obj)
+	s.mode = schema.ModeSecondary
+	s.parentID = 0
+	s.nChild = 0
+	// Re-measured on another night: slightly different photometry.
+	// ~10% of stars are variable and change by several tenths of a
+	// magnitude between the two nights — the population behind the
+	// "stars with multiple measurements that have magnitude variations"
+	// query (Q6).
+	sigma := 0.03
+	if o.typ == schema.TypeStar && g.rng.Float64() < 0.10 {
+		sigma = 0.35
+	}
+	for k := range s.mag {
+		delta := sigma * g.rng.NormFloat64()
+		for b := range s.mag[k] {
+			s.mag[k][b] += delta + 0.01*g.rng.NormFloat64()
+		}
+	}
+	return emitObj(&s)
+}
+
+// plantQ1Cluster emits the 22 objects within 1′ of (185, −0.5): 19
+// unsaturated primary galaxies (the paper's Query 1 answer), 2 saturated
+// primary galaxies, and 1 secondary galaxy.
+func (g *generator) plantQ1Cluster(run, camcol, field int, emitObj func(*photoObj) error) error {
+	plant := func(i int, saturated bool, mode int64) error {
+		// Deterministic spiral placement well inside the 1′ circle.
+		angle := float64(i) * 2.399963 // golden angle
+		radius := 0.08 + 0.85*float64(i)/22
+		ra := q1RA + radius/60*math.Cos(angle)/math.Cos(q1Dec*sky.RadPerDeg)
+		dec := q1Dec + radius/60*math.Sin(angle)
+		o := &photoObj{
+			run: run, rerun: 1, camcol: camcol, field: field,
+			obj:  g.nextObjNum(run, camcol, field),
+			mode: mode,
+			typ:  schema.TypeGalaxy,
+			ra:   ra, dec: dec,
+			flags: mustFlag("BINNED1") | mustFlag("OK_RUN") | mustFlag("STATIONARY"),
+		}
+		o.objID = ObjID(1, 1, run, camcol, field, o.obj)
+		if saturated {
+			o.flags |= mustFlag("SATURATED")
+		}
+		g.assignMagnitudes(o, 16+0.15*float64(i))
+		for b := 0; b < 5; b++ {
+			o.isoA[b] = 3 + 0.1*float64(i%5)
+			o.isoB[b] = o.isoA[b] * 0.8
+		}
+		o.ell = 0.1
+		o.rowv = g.rng.NormFloat64() * 0.01
+		o.colv = g.rng.NormFloat64() * 0.01
+		return emitObj(o)
+	}
+	for i := 0; i < 19; i++ {
+		if err := plant(i, false, schema.ModePrimary); err != nil {
+			return err
+		}
+	}
+	for i := 19; i < 21; i++ {
+		if err := plant(i, true, schema.ModePrimary); err != nil {
+			return err
+		}
+	}
+	if err := plant(21, false, schema.ModeSecondary); err != nil {
+		return err
+	}
+	g.truth.Q1Galaxies = 19
+	g.truth.Q1TVFRows = 22
+	return nil
+}
+
+// genNEOPairs plants exactly four fast-moving streak pairs satisfying the
+// modified Query 15B: elongated red and green detections within 4′ in the
+// same run/camcol, adjacent fields, with matched magnitudes. The paper's
+// query found four pairs, one with a degenerate (deblend-flagged) red
+// member.
+func (g *generator) genNEOPairs() error {
+	run := g.grid.RunNumber(0, 0)
+	camcol := 4
+	fieldsUsed := []int{2, 9, 17, 25}
+	for k, f := range fieldsUsed {
+		if f+1 >= g.grid.FieldsPerStrip {
+			return fmt.Errorf("pipeline: footprint too small for NEO pair %d", k)
+		}
+		_, raMax, decMin, decMax := g.grid.FieldBounds(0, 0, camcol-1, f)
+		decMid := (decMin + decMax) / 2
+		// Red member near the end of field f; green just across the
+		// boundary in field f+1, ~2 arcmin away.
+		redRA := raMax - 0.2/60
+		greenRA := raMax + 1.8/60
+
+		mk := func(field int, ra float64, redBand bool, magBase float64) *photoObj {
+			o := &photoObj{
+				run: run, rerun: 1, camcol: camcol, field: field,
+				obj:  g.nextObjNum(run, camcol, field),
+				mode: schema.ModePrimary,
+				typ:  schema.TypeUnknown,
+				ra:   ra, dec: decMid,
+				flags: mustFlag("BINNED1") | mustFlag("OK_RUN") |
+					mustFlag("MOVED"),
+			}
+			o.objID = ObjID(1, 1, run, camcol, field, o.obj)
+			// Streaks: fast movers leave no measurable velocity in a
+			// single detection (they are separate objects), so keep
+			// rowv/colv ≈ 0 — they must NOT satisfy Query 15A.
+			o.rowv, o.colv = 0, 0
+			// Magnitudes: brightest in the streak's band, fainter
+			// elsewhere. Bands: u=0 g=1 r=2 i=3 z=4.
+			bright := 2
+			if !redBand {
+				bright = 1
+			}
+			for k := range o.mag {
+				for b := 0; b < 5; b++ {
+					if b == bright {
+						o.mag[k][b] = magBase
+					} else {
+						o.mag[k][b] = magBase + 1.5 + 0.1*g.rng.Float64()
+					}
+				}
+			}
+			// Elongated: ellipticity above the 1/3 cut (q²+u² > 0.111…).
+			o.ell = 0.40
+			o.phi = g.rng.Float64() * math.Pi
+			for b := 0; b < 5; b++ {
+				o.isoA[b] = 3.0
+				o.isoB[b] = 1.5
+			}
+			return o
+		}
+		magBase := 17 + 0.6*float64(k)
+		red := mk(f, redRA, true, magBase)
+		green := mk(f+1, greenRA, false, magBase+1.0)
+		if k == 3 {
+			// The degenerate pair: the red image is flagged as a
+			// deblend artifact but still passes the query.
+			red.flags |= mustFlag("DEBLENDED_AS_PSF")
+		}
+		if err := g.emitPhotoObj(red); err != nil {
+			return err
+		}
+		if err := g.emitPhotoObj(green); err != nil {
+			return err
+		}
+		g.truth.Objects += 2
+		g.truth.Primaries += 2
+		g.truth.NEOPairs++
+	}
+	return nil
+}
+
+// emitPhotoObj writes the PhotoObj row, its Profile row, and any
+// cross-survey matches; spectro candidates are collected for genSpectro.
+func (g *generator) emitPhotoObj(o *photoObj) error {
+	// Truth accounting uses the actual Query 15A predicate, so duplicate
+	// detections of a moving object count like the query counts them.
+	if v2 := o.rowv*o.rowv + o.colv*o.colv; o.rowv >= 0 && o.colv >= 0 && v2 >= 50 && v2 <= 1000 {
+		g.truth.Asteroids++
+	}
+	b := g.bPhoto
+	row := b.row()
+	v := sky.EqToVec(o.ra, o.dec)
+	b.set(row, "objID", val.Int(o.objID))
+	b.set(row, "skyVersion", val.Int(1))
+	b.set(row, "run", val.Int(int64(o.run)))
+	b.set(row, "rerun", val.Int(int64(o.rerun)))
+	b.set(row, "camcol", val.Int(int64(o.camcol)))
+	b.set(row, "field", val.Int(int64(o.field)))
+	b.set(row, "obj", val.Int(int64(o.obj)))
+	b.set(row, "mode", val.Int(o.mode))
+	b.set(row, "nChild", val.Int(o.nChild))
+	b.set(row, "parentID", val.Int(o.parentID))
+	b.set(row, "type", val.Int(o.typ))
+	b.set(row, "flags", val.Int(o.flags))
+	b.set(row, "status", val.Int(1))
+	b.set(row, "ra", val.Float(o.ra))
+	b.set(row, "dec", val.Float(o.dec))
+	b.set(row, "cx", val.Float(v.X))
+	b.set(row, "cy", val.Float(v.Y))
+	b.set(row, "cz", val.Float(v.Z))
+	b.set(row, "htmID", val.Int(int64(htm.LookupEq(o.ra, o.dec, schema.HTMDepth))))
+	b.set(row, "rowc", val.Float(g.rng.Float64()*1489))
+	b.set(row, "colc", val.Float(g.rng.Float64()*2048))
+	b.set(row, "rowv", val.Float(o.rowv))
+	b.set(row, "colv", val.Float(o.colv))
+	b.set(row, "rowvErr", val.Float(math.Abs(g.rng.NormFloat64()*0.02)))
+	b.set(row, "colvErr", val.Float(math.Abs(g.rng.NormFloat64()*0.02)))
+	// Magnitude families + the bare-band model shorthand.
+	for k, kind := range schema.MagKinds {
+		for bi, band := range schema.Bands {
+			b.set(row, kind+"Mag_"+band, val.Float(o.mag[k][bi]))
+			b.set(row, kind+"MagErr_"+band, val.Float(0.02+0.01*g.rng.Float64()))
+		}
+	}
+	for bi, band := range schema.Bands {
+		b.set(row, band, val.Float(o.mag[3][bi])) // model magnitudes
+	}
+	qv := o.ell * math.Cos(2*o.phi)
+	uv := o.ell * math.Sin(2*o.phi)
+	for bi, band := range schema.Bands {
+		b.set(row, "isoA_"+band, val.Float(o.isoA[bi]))
+		b.set(row, "isoB_"+band, val.Float(o.isoB[bi]))
+		b.set(row, "isoPhi_"+band, val.Float(o.phi*sky.DegPerRad))
+		b.set(row, "q_"+band, val.Float(qv))
+		b.set(row, "u_"+band, val.Float(uv))
+		b.set(row, "petroR50_"+band, val.Float(o.isoA[bi]*0.5))
+		b.set(row, "petroR90_"+band, val.Float(o.isoA[bi]*1.1))
+		b.set(row, "extinction_"+band, val.Float(0.02+0.05*g.rng.Float64()))
+	}
+	if err := g.send("PhotoObj", row); err != nil {
+		return err
+	}
+
+	// Profile row: radial bins + atlas cutout blob.
+	pr := g.bProfile.row()
+	nBins := 8 + g.rng.Intn(7)
+	g.bProfile.set(pr, "objID", val.Int(o.objID))
+	g.bProfile.set(pr, "nBins", val.Int(int64(nBins)))
+	if !g.cfg.SkipBlobs {
+		prof := make([]byte, nBins*5*4)
+		g.rng.Read(prof)
+		cut := make([]byte, 200+g.rng.Intn(350))
+		g.rng.Read(cut)
+		g.bProfile.set(pr, "profile", val.Bytes(prof))
+		g.bProfile.set(pr, "cutout", val.Bytes(cut))
+	}
+	if err := g.send("Profile", pr); err != nil {
+		return err
+	}
+
+	// Cross-survey matches (§9: USNO, ROSAT, FIRST).
+	if o.mode == schema.ModePrimary {
+		if o.typ == schema.TypeGalaxy && g.rng.Float64() < 0.015 {
+			fr := g.bFirst.row()
+			g.bFirst.set(fr, "objID", val.Int(o.objID))
+			g.bFirst.set(fr, "firstID", val.Int(o.objID^0x1111))
+			g.bFirst.set(fr, "peakFlux", val.Float(1+math.Abs(g.rng.NormFloat64())*20))
+			g.bFirst.set(fr, "distance", val.Float(g.rng.Float64()*2))
+			if err := g.send("First", fr); err != nil {
+				return err
+			}
+		}
+		if g.rng.Float64() < 0.004 {
+			rr := g.bRosat.row()
+			g.bRosat.set(rr, "objID", val.Int(o.objID))
+			g.bRosat.set(rr, "rosatID", val.Int(o.objID^0x2222))
+			g.bRosat.set(rr, "cps", val.Float(math.Abs(g.rng.NormFloat64())*0.1))
+			g.bRosat.set(rr, "distance", val.Float(g.rng.Float64()*10))
+			if err := g.send("Rosat", rr); err != nil {
+				return err
+			}
+		}
+		if o.typ == schema.TypeStar && o.mag[3][2] < 17 && g.rng.Float64() < 0.3 {
+			ur := g.bUSNO.row()
+			g.bUSNO.set(ur, "objID", val.Int(o.objID))
+			g.bUSNO.set(ur, "usnoID", val.Int(o.objID^0x3333))
+			g.bUSNO.set(ur, "properMotion", val.Float(math.Abs(g.rng.NormFloat64())*3))
+			g.bUSNO.set(ur, "distance", val.Float(g.rng.Float64()*1))
+			if err := g.send("USNO", ur); err != nil {
+				return err
+			}
+		}
+		// Spectro targeting candidates: galaxies, QSOs, some stars.
+		if o.typ == schema.TypeGalaxy || o.isQSO ||
+			(o.typ == schema.TypeStar && g.rng.Float64() < 0.05) {
+			g.specCands = append(g.specCands, specCand{
+				objID: o.objID, typ: o.typ, magR: o.mag[3][2],
+				ra: o.ra, dec: o.dec, isQSO: o.isQSO,
+			})
+		}
+	}
+	return nil
+}
+
+// frameSource is one light source splatted into a field's synthetic frame.
+type frameSource struct{ ra, dec, flux float64 }
+
+// genFrames renders the field's synthetic 5-band frame and emits the base
+// image plus the 4-level pyramid (§2: "An image pyramid was built at 4 zoom
+// levels").
+func (g *generator) genFrames(fid int64, run, camcol, field int, raMin, raMax, decMin, decMax float64, sources []frameSource) error {
+	raCen, decCen := (raMin+raMax)/2, (decMin+decMax)/2
+	var tiles []*pyramid.RGB
+	if !g.cfg.SkipFrames {
+		f5 := pyramid.NewFrame5(pyramid.BaseSize)
+		for _, s := range sources {
+			x := (s.ra - raMin) / (raMax - raMin) * float64(pyramid.BaseSize)
+			y := (s.dec - decMin) / (decMax - decMin) * float64(pyramid.BaseSize)
+			flux := math.Pow(10, s.flux/2.5) / 100
+			f5.AddObject(x, y, 1.2, [5]float64{flux * 0.6, flux * 0.9, flux, flux * 1.1, flux * 0.8})
+		}
+		tiles = pyramid.Build(f5)
+	}
+	emitFrame := func(zoom int, tile *pyramid.RGB) error {
+		row := g.bFrame.row()
+		g.bFrame.set(row, "frameID", val.Int(fid<<8|int64(zoom)))
+		g.bFrame.set(row, "fieldID", val.Int(fid))
+		g.bFrame.set(row, "zoom", val.Int(int64(zoom)))
+		g.bFrame.set(row, "run", val.Int(int64(run)))
+		g.bFrame.set(row, "camcol", val.Int(int64(camcol)))
+		g.bFrame.set(row, "field", val.Int(int64(field)))
+		g.bFrame.set(row, "raCen", val.Float(raCen))
+		g.bFrame.set(row, "decCen", val.Float(decCen))
+		if tile != nil {
+			g.bFrame.set(row, "img", val.Bytes(tile.Encode()))
+		}
+		return g.send("Frame", row)
+	}
+	// zoom 0 = the base frame; zooms 1,2,4,8 = the pyramid.
+	var base *pyramid.RGB
+	if tiles != nil {
+		base = tiles[0]
+	}
+	if err := emitFrame(0, base); err != nil {
+		return err
+	}
+	for i, z := range pyramid.ZoomLevels {
+		var t *pyramid.RGB
+		if tiles != nil {
+			t = tiles[i]
+		}
+		if err := emitFrame(z, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genSpectro runs the synthetic spectroscopic pipeline: target selection
+// (~0.45% of objects, §11: "Only 1% are targeted for spectroscopy"),
+// plates of ~600 fibers, redshifts on a Hubble-like relation for galaxies,
+// ~27 lines per spectrum, 30 cross-correlation templates, and emission-line
+// redshifts for ~80% of spectra.
+func (g *generator) genSpectro() error {
+	target := int(math.Round(EDRSpecObj * g.cfg.Scale))
+	if target < 25 {
+		target = 25
+	}
+	if target > len(g.specCands) {
+		target = len(g.specCands)
+	}
+	// Brightest first, then by objID for determinism.
+	sort.Slice(g.specCands, func(i, j int) bool {
+		if g.specCands[i].magR != g.specCands[j].magR {
+			return g.specCands[i].magR < g.specCands[j].magR
+		}
+		return g.specCands[i].objID < g.specCands[j].objID
+	})
+	chosen := g.specCands[:target]
+	// Plates cover the footprint in ra order, ~600 fibers each.
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].ra < chosen[j].ra })
+	const fibersPerPlate = 600
+	nPlates := (len(chosen) + fibersPerPlate - 1) / fibersPerPlate
+	for p := 0; p < nPlates; p++ {
+		loI := p * fibersPerPlate
+		hiI := loI + fibersPerPlate
+		if hiI > len(chosen) {
+			hiI = len(chosen)
+		}
+		batch := chosen[loI:hiI]
+		plateID := int64(266 + p)
+		var raSum, decSum float64
+		for _, c := range batch {
+			raSum += c.ra
+			decSum += c.dec
+		}
+		pr := g.bPlate.row()
+		g.bPlate.set(pr, "plateID", val.Int(plateID))
+		g.bPlate.set(pr, "mjd", val.Float(52000+float64(p)*3))
+		g.bPlate.set(pr, "ra", val.Float(raSum/float64(len(batch))))
+		g.bPlate.set(pr, "dec", val.Float(decSum/float64(len(batch))))
+		g.bPlate.set(pr, "nFibers", val.Int(int64(len(batch))))
+		if err := g.send("Plate", pr); err != nil {
+			return err
+		}
+		for fi, c := range batch {
+			if err := g.genSpectrum(plateID, fi+1, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) genSpectrum(plateID int64, fiber int, c specCand) error {
+	specObjID := SpecObjID(int(plateID), fiber)
+	// Redshift: galaxies follow a Hubble-like magnitude–redshift relation
+	// (the education example's diagram, Figure 4); QSOs are deep; stars ~0.
+	var z float64
+	specClass := int64(schema.SpecClassGalaxy)
+	switch {
+	case c.isQSO:
+		z = 0.3 + 4.2*g.rng.Float64()
+		specClass = schema.SpecClassQSO
+	case c.typ == schema.TypeStar:
+		z = math.Abs(g.rng.NormFloat64()) * 1e-4
+		specClass = schema.SpecClassStar
+	default:
+		z = 0.05 * math.Pow(10, (c.magR-15)/5)
+		z *= 1 + 0.08*g.rng.NormFloat64()
+		if z < 0.003 {
+			z = 0.003
+		}
+		if z > 0.8 {
+			z = 0.8
+		}
+	}
+	zErr := 1e-4 * (1 + g.rng.Float64())
+
+	sr := g.bSpec.row()
+	g.bSpec.set(sr, "specObjID", val.Int(specObjID))
+	g.bSpec.set(sr, "plateID", val.Int(plateID))
+	g.bSpec.set(sr, "fiberID", val.Int(int64(fiber)))
+	g.bSpec.set(sr, "mjd", val.Float(52000+g.rng.Float64()*400))
+	g.bSpec.set(sr, "ra", val.Float(c.ra))
+	g.bSpec.set(sr, "dec", val.Float(c.dec))
+	g.bSpec.set(sr, "z", val.Float(z))
+	g.bSpec.set(sr, "zErr", val.Float(zErr))
+	g.bSpec.set(sr, "zConf", val.Float(0.85+0.14*g.rng.Float64()))
+	g.bSpec.set(sr, "zStatus", val.Int(4))
+	g.bSpec.set(sr, "specClass", val.Int(specClass))
+	g.bSpec.set(sr, "objID", val.Int(c.objID))
+	if !g.cfg.SkipBlobs {
+		img := make([]byte, 1500+g.rng.Intn(1000))
+		g.rng.Read(img)
+		g.bSpec.set(sr, "img", val.Bytes(img))
+	}
+	if err := g.send("SpecObj", sr); err != nil {
+		return err
+	}
+	g.truth.Specs++
+
+	// ~27 of the 30 known lines per spectrogram.
+	nLines := EDRLinesPer + g.rng.Intn(4) - 1
+	if nLines > len(schema.SpecLineNames) {
+		nLines = len(schema.SpecLineNames)
+	}
+	perm := g.rng.Perm(len(schema.SpecLineNames))[:nLines]
+	sort.Ints(perm)
+	for _, li := range perm {
+		line := schema.SpecLineNames[li]
+		lr := g.bLine.row()
+		g.bLine.set(lr, "specObjID", val.Int(specObjID))
+		g.bLine.set(lr, "lineID", val.Int(line.ID))
+		g.bLine.set(lr, "wave", val.Float(line.Wave*(1+z)*(1+1e-4*g.rng.NormFloat64())))
+		g.bLine.set(lr, "waveErr", val.Float(0.1+0.2*g.rng.Float64()))
+		g.bLine.set(lr, "ew", val.Float(g.rng.NormFloat64()*8))
+		g.bLine.set(lr, "ewErr", val.Float(0.3+0.5*g.rng.Float64()))
+		g.bLine.set(lr, "height", val.Float(math.Abs(g.rng.NormFloat64())*40))
+		g.bLine.set(lr, "sigma", val.Float(1+3*g.rng.Float64()))
+		if err := g.send("SpecLine", lr); err != nil {
+			return err
+		}
+		ir := g.bLineIdx.row()
+		g.bLineIdx.set(ir, "specObjID", val.Int(specObjID))
+		g.bLineIdx.set(ir, "lineID", val.Int(line.ID))
+		g.bLineIdx.set(ir, "ew", val.Float(g.rng.NormFloat64()*8))
+		g.bLineIdx.set(ir, "sideBlue", val.Float(g.rng.Float64()))
+		g.bLineIdx.set(ir, "sideRed", val.Float(g.rng.Float64()))
+		g.bLineIdx.set(ir, "seeing", val.Float(1+g.rng.Float64()))
+		if err := g.send("SpecLineIndex", ir); err != nil {
+			return err
+		}
+	}
+
+	// Cross-correlation redshifts: one row per template, the best template
+	// carrying the highest correlation coefficient.
+	best := g.rng.Intn(schema.XCTemplates)
+	for tmpl := 0; tmpl < schema.XCTemplates; tmpl++ {
+		xr := g.bXC.row()
+		zt := z + g.rng.NormFloat64()*zErr*3
+		rCoef := 2 + 3*g.rng.Float64()
+		if tmpl == best {
+			zt = z + g.rng.NormFloat64()*zErr
+			rCoef = 8 + 4*g.rng.Float64()
+		}
+		g.bXC.set(xr, "specObjID", val.Int(specObjID))
+		g.bXC.set(xr, "tempNo", val.Int(int64(tmpl)))
+		g.bXC.set(xr, "peakZ", val.Float(zt))
+		g.bXC.set(xr, "z", val.Float(zt))
+		g.bXC.set(xr, "zErr", val.Float(zErr*3))
+		g.bXC.set(xr, "r", val.Float(rCoef))
+		if err := g.send("xcRedShift", xr); err != nil {
+			return err
+		}
+	}
+
+	// Emission-line redshift for ~80% of spectra (51k of 63k in Table 1):
+	// deterministically 4 of every 5, so the ratio holds at tiny scales.
+	if g.truth.Specs%5 != 0 {
+		er := g.bEL.row()
+		g.bEL.set(er, "specObjID", val.Int(specObjID))
+		g.bEL.set(er, "z", val.Float(z+g.rng.NormFloat64()*zErr*2))
+		g.bEL.set(er, "zErr", val.Float(zErr*2))
+		g.bEL.set(er, "nLines", val.Int(int64(3+g.rng.Intn(8))))
+		if err := g.send("elRedShift", er); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"skyserver/internal/schema"
+	"skyserver/internal/sky"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// collectEmitter buffers rows per table without a database.
+type collectEmitter struct {
+	rows map[string][]val.Row
+}
+
+func (c *collectEmitter) Emit(table string, row val.Row) error {
+	if c.rows == nil {
+		c.rows = map[string][]val.Row{}
+	}
+	c.rows[table] = append(c.rows[table], row.Clone())
+	return nil
+}
+
+func buildSDB(t *testing.T) *schema.SkyDB {
+	t.Helper()
+	sdb, err := schema.Build(storage.NewMemFileGroup(2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sdb := buildSDB(t)
+	cfg := Config{Scale: 1.0 / 8000, Seed: 11, SkipFrames: true, SkipBlobs: true}
+	a := &collectEmitter{}
+	statsA, err := Generate(cfg, sdb, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &collectEmitter{}
+	statsB, err := Generate(cfg, sdb, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsA.Truth != statsB.Truth {
+		t.Errorf("truths differ: %+v vs %+v", statsA.Truth, statsB.Truth)
+	}
+	for table, rowsA := range a.rows {
+		rowsB := b.rows[table]
+		if len(rowsA) != len(rowsB) {
+			t.Fatalf("%s: %d vs %d rows", table, len(rowsA), len(rowsB))
+		}
+	}
+	// Spot-check deep equality on PhotoObj.
+	for i := range a.rows["PhotoObj"] {
+		if a.rows["PhotoObj"][i].Compare(b.rows["PhotoObj"][i]) != 0 {
+			t.Fatalf("PhotoObj row %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	sdb := buildSDB(t)
+	a := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 8000, Seed: 1, SkipFrames: true, SkipBlobs: true}, sdb, a); err != nil {
+		t.Fatal(err)
+	}
+	b := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 8000, Seed: 2, SkipFrames: true, SkipBlobs: true}, sdb, b); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	n := len(a.rows["PhotoObj"])
+	if len(b.rows["PhotoObj"]) < n {
+		n = len(b.rows["PhotoObj"])
+	}
+	for i := 0; i < n; i++ {
+		if a.rows["PhotoObj"][i].Compare(b.rows["PhotoObj"][i]) == 0 {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical surveys")
+	}
+}
+
+func TestScaleControlsSize(t *testing.T) {
+	sdb := buildSDB(t)
+	small := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 8000, SkipFrames: true, SkipBlobs: true}, sdb, small); err != nil {
+		t.Fatal(err)
+	}
+	large := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 2000, SkipFrames: true, SkipBlobs: true}, sdb, large); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(large.rows["PhotoObj"])) / float64(len(small.rows["PhotoObj"]))
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("4x scale gave %.1fx objects", ratio)
+	}
+}
+
+func TestPhotoObjInvariants(t *testing.T) {
+	sdb := buildSDB(t)
+	em := &collectEmitter{}
+	stats, err := Generate(Config{Scale: 1.0 / 4000, SkipFrames: true, SkipBlobs: true}, sdb, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7 := sdb.PhotoObj
+	idx := func(name string) int { return t7.ColIndex(name) }
+	seen := map[int64]bool{}
+	var primaries, children, parents int
+	grid := Config{Scale: 1.0 / 4000}.Footprint()
+	for _, row := range em.rows["PhotoObj"] {
+		id := row[idx("objID")].I
+		if seen[id] {
+			t.Fatalf("duplicate objID %d", id)
+		}
+		seen[id] = true
+		ra, dec := row[idx("ra")].F, row[idx("dec")].F
+		// Every object inside the footprint's dec band.
+		if dec < grid.Dec0-0.6 || dec > grid.Dec0+sky.StripeWidthDeg+0.6 {
+			t.Fatalf("dec %g outside stripe", dec)
+		}
+		// Unit vector consistency.
+		v := sky.EqToVec(ra, dec)
+		if math.Abs(v.X-row[idx("cx")].F) > 1e-9 || math.Abs(v.Z-row[idx("cz")].F) > 1e-9 {
+			t.Fatal("cx/cy/cz do not match ra/dec")
+		}
+		mode := row[idx("mode")].I
+		switch mode {
+		case schema.ModePrimary:
+			primaries++
+		case schema.ModeFamily:
+			parents++
+			if row[idx("nChild")].I == 0 {
+				t.Fatal("family parent with no children")
+			}
+		}
+		if row[idx("parentID")].I != 0 {
+			children++
+		}
+		// Magnitude sanity: r model magnitude within survey range.
+		r := row[idx("r")].F
+		if r < 10 || r > 26 {
+			t.Fatalf("r magnitude %g out of range", r)
+		}
+	}
+	frac := float64(primaries) / float64(len(em.rows["PhotoObj"]))
+	if frac < 0.72 || frac > 0.95 {
+		t.Errorf("primary fraction %.2f, want ≈0.8", frac)
+	}
+	if parents == 0 || children == 0 {
+		t.Error("no deblend families generated")
+	}
+	if stats.Truth.Primaries != primaries {
+		t.Errorf("truth primaries %d, counted %d", stats.Truth.Primaries, primaries)
+	}
+}
+
+func TestSpectraFollowHubbleRelation(t *testing.T) {
+	sdb := buildSDB(t)
+	em := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 2000, SkipFrames: true, SkipBlobs: true}, sdb, em); err != nil {
+		t.Fatal(err)
+	}
+	specs := em.rows["SpecObj"]
+	if len(specs) == 0 {
+		t.Fatal("no spectra")
+	}
+	zCol := sdb.SpecObj.ColIndex("z")
+	classCol := sdb.SpecObj.ColIndex("specClass")
+	objCol := sdb.SpecObj.ColIndex("objID")
+	// Map photo magnitudes.
+	rMag := map[int64]float64{}
+	pid := sdb.PhotoObj.ColIndex("objID")
+	pr := sdb.PhotoObj.ColIndex("r")
+	for _, row := range em.rows["PhotoObj"] {
+		rMag[row[pid].I] = row[pr].F
+	}
+	// Galaxy redshift should correlate with magnitude (fainter = deeper).
+	var pairs [][2]float64
+	for _, srow := range specs {
+		if srow[classCol].I != schema.SpecClassGalaxy {
+			continue
+		}
+		m, ok := rMag[srow[objCol].I]
+		if !ok {
+			t.Fatal("spectrum references unknown photo object")
+		}
+		pairs = append(pairs, [2]float64{srow[zCol].F, m})
+	}
+	if len(pairs) < 10 {
+		t.Skipf("only %d galaxy spectra at this scale", len(pairs))
+	}
+	var sz, sm float64
+	for _, p := range pairs {
+		sz += p[0]
+		sm += p[1]
+	}
+	mz, mm := sz/float64(len(pairs)), sm/float64(len(pairs))
+	var cov, vz, vm float64
+	for _, p := range pairs {
+		cov += (p[0] - mz) * (p[1] - mm)
+		vz += (p[0] - mz) * (p[0] - mz)
+		vm += (p[1] - mm) * (p[1] - mm)
+	}
+	r := cov / math.Sqrt(vz*vm)
+	if r < 0.5 {
+		t.Errorf("redshift-magnitude correlation %.2f; Hubble relation lost", r)
+	}
+}
+
+func TestSpecLineWavelengthsRedshifted(t *testing.T) {
+	sdb := buildSDB(t)
+	em := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 4000, SkipFrames: true, SkipBlobs: true}, sdb, em); err != nil {
+		t.Fatal(err)
+	}
+	zByID := map[int64]float64{}
+	sid := sdb.SpecObj.ColIndex("specObjID")
+	zc := sdb.SpecObj.ColIndex("z")
+	for _, row := range em.rows["SpecObj"] {
+		zByID[row[sid].I] = row[zc].F
+	}
+	rest := map[int64]float64{}
+	for _, l := range schema.SpecLineNames {
+		rest[l.ID] = l.Wave
+	}
+	lsid := sdb.SpecLine.ColIndex("specObjID")
+	llid := sdb.SpecLine.ColIndex("lineID")
+	lw := sdb.SpecLine.ColIndex("wave")
+	for _, row := range em.rows["SpecLine"] {
+		z, ok := zByID[row[lsid].I]
+		if !ok {
+			t.Fatal("line references unknown spectrum")
+		}
+		want := rest[row[llid].I] * (1 + z)
+		got := row[lw].F
+		if math.Abs(got-want)/want > 0.01 {
+			t.Fatalf("line %d at z=%.3f: wave %.1f, want ≈%.1f", row[llid].I, z, got, want)
+		}
+	}
+}
+
+func TestObjIDPacking(t *testing.T) {
+	id := ObjID(1, 1, 752, 3, 42, 17)
+	if id <= 0 {
+		t.Fatal("negative objID")
+	}
+	if got := (id >> 32) & 0xFFFF; got != 752 {
+		t.Errorf("run bits = %d", got)
+	}
+	if got := (id >> 29) & 0x7; got != 3 {
+		t.Errorf("camcol bits = %d", got)
+	}
+	if got := (id >> 16) & 0x1FFF; got != 42 {
+		t.Errorf("field bits = %d", got)
+	}
+	if got := id & 0xFFFF; got != 17 {
+		t.Errorf("obj bits = %d", got)
+	}
+}
+
+func TestFootprintCoversQ1Point(t *testing.T) {
+	for _, scale := range []float64{1.0 / 8000, 1.0 / 400, 1.0 / 50} {
+		g := Config{Scale: scale}.Footprint()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		_, _, _, ok := g.LocateField(q1RA, q1Dec)
+		if !ok {
+			t.Errorf("scale %g footprint misses the Q1 point", scale)
+		}
+	}
+}
+
+func TestFrameBlobsDecodable(t *testing.T) {
+	sdb := buildSDB(t)
+	em := &collectEmitter{}
+	if _, err := Generate(Config{Scale: 1.0 / 8000}, sdb, em); err != nil {
+		t.Fatal(err)
+	}
+	img := sdb.Frame.ColIndex("img")
+	zoom := sdb.Frame.ColIndex("zoom")
+	if len(em.rows["Frame"]) == 0 {
+		t.Fatal("no frames")
+	}
+	zooms := map[int64]int{}
+	for _, row := range em.rows["Frame"] {
+		zooms[row[zoom].I]++
+		if row[img].IsNull() {
+			t.Fatal("frame with frames enabled has no image")
+		}
+	}
+	for _, z := range []int64{0, 1, 2, 4, 8} {
+		if zooms[z] == 0 {
+			t.Errorf("no frames at zoom %d", z)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package pyramid builds the SkyServer's image pyramid (§2, §5): the
+// original 5-color, 80-bit-deep frames are converted "using a nonlinear
+// intensity mapping to reduce the brightness dynamic range to screen
+// quality" into 24-bit RGB tiles, precomputed at 4 zoom levels so the web
+// interface can pan and zoom without touching pixel-level data.
+//
+// The real SkyServer stored JPEGs; the reproduction stores uncompressed
+// RGB tiles (the DB-resident blob path is what matters, not the codec).
+package pyramid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// BaseSize is the pixel width/height of a level-1 tile. Kept small enough
+// that an encoded tile row fits a storage page (48²×3 + header ≈ 7 KB).
+const BaseSize = 48
+
+// ZoomLevels lists the pyramid's zoom factors; level 1 is full resolution,
+// each next level halves the linear resolution (the paper's 4-level
+// pyramid plus the base frame).
+var ZoomLevels = []int{1, 2, 4, 8}
+
+// Frame5 is a synthetic 5-band frame: one float intensity per band per
+// pixel, row-major, Size×Size.
+type Frame5 struct {
+	Size int
+	// Band holds u, g, r, i, z intensities.
+	Band [5][]float64
+}
+
+// NewFrame5 allocates an empty frame.
+func NewFrame5(size int) *Frame5 {
+	f := &Frame5{Size: size}
+	for b := range f.Band {
+		f.Band[b] = make([]float64, size*size)
+	}
+	return f
+}
+
+// AddObject splats a Gaussian source into the frame: the synthetic stand-in
+// for a star or galaxy's pixels. flux is per-band.
+func (f *Frame5) AddObject(x, y, sigma float64, flux [5]float64) {
+	r := int(math.Ceil(3 * sigma))
+	cx, cy := int(x), int(y)
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			px, py := cx+dx, cy+dy
+			if px < 0 || py < 0 || px >= f.Size || py >= f.Size {
+				continue
+			}
+			d2 := float64(dx*dx + dy*dy)
+			w := math.Exp(-d2 / (2 * sigma * sigma))
+			idx := py*f.Size + px
+			for b := range f.Band {
+				f.Band[b][idx] += flux[b] * w
+			}
+		}
+	}
+}
+
+// RGB is an uncompressed 8-bit RGB tile.
+type RGB struct {
+	Size int
+	Pix  []byte // 3 bytes per pixel, row-major
+}
+
+// asinhStretch is the nonlinear intensity mapping: asinh compresses the
+// huge dynamic range of astronomical fluxes to screen range (the Lupton
+// scheme SDSS used for its colour images).
+func asinhStretch(v, soft float64) float64 {
+	return math.Asinh(v/soft) / math.Asinh(1/soft)
+}
+
+// Render converts the 5-band frame to screen RGB: g→blue, r→green, i→red
+// (the SDSS convention), asinh-stretched and clipped.
+func (f *Frame5) Render() *RGB {
+	out := &RGB{Size: f.Size, Pix: make([]byte, 3*f.Size*f.Size)}
+	const soft = 0.1
+	for i := 0; i < f.Size*f.Size; i++ {
+		r := asinhStretch(f.Band[3][i], soft) // i band → red
+		g := asinhStretch(f.Band[2][i], soft) // r band → green
+		b := asinhStretch(f.Band[1][i], soft) // g band → blue
+		out.Pix[3*i] = clip8(r)
+		out.Pix[3*i+1] = clip8(g)
+		out.Pix[3*i+2] = clip8(b)
+	}
+	return out
+}
+
+func clip8(v float64) byte {
+	x := v * 255
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return byte(x)
+}
+
+// Downsample halves the tile's linear resolution by 2×2 box averaging —
+// one pyramid level up.
+func (t *RGB) Downsample() *RGB {
+	n := t.Size / 2
+	if n < 1 {
+		n = 1
+	}
+	out := &RGB{Size: n, Pix: make([]byte, 3*n*n)}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for c := 0; c < 3; c++ {
+				sum := 0
+				cnt := 0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						sy, sx := 2*y+dy, 2*x+dx
+						if sy < t.Size && sx < t.Size {
+							sum += int(t.Pix[3*(sy*t.Size+sx)+c])
+							cnt++
+						}
+					}
+				}
+				out.Pix[3*(y*n+x)+c] = byte(sum / cnt)
+			}
+		}
+	}
+	return out
+}
+
+// Encode serializes a tile to the blob stored in the Frame table:
+// a small header (magic, size) followed by raw RGB bytes.
+func (t *RGB) Encode() []byte {
+	buf := make([]byte, 8+len(t.Pix))
+	copy(buf, "SKYT")
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t.Size))
+	copy(buf[8:], t.Pix)
+	return buf
+}
+
+// Decode parses a tile blob.
+func Decode(blob []byte) (*RGB, error) {
+	if len(blob) < 8 || string(blob[:4]) != "SKYT" {
+		return nil, fmt.Errorf("pyramid: not a tile blob")
+	}
+	size := int(binary.LittleEndian.Uint32(blob[4:]))
+	want := 3 * size * size
+	if size <= 0 || len(blob) != 8+want {
+		return nil, fmt.Errorf("pyramid: corrupt tile blob (size %d, %d bytes)", size, len(blob))
+	}
+	return &RGB{Size: size, Pix: blob[8:]}, nil
+}
+
+// Build renders the frame and produces the full pyramid: tiles[0] is full
+// resolution, each later entry is 2× coarser (4 levels total).
+func Build(f *Frame5) []*RGB {
+	tiles := make([]*RGB, 0, len(ZoomLevels))
+	t := f.Render()
+	for range ZoomLevels {
+		tiles = append(tiles, t)
+		t = t.Downsample()
+	}
+	return tiles
+}

@@ -1,0 +1,138 @@
+package pyramid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAddObjectDepositsFlux(t *testing.T) {
+	f := NewFrame5(BaseSize)
+	f.AddObject(24, 24, 2, [5]float64{1, 1, 1, 1, 1})
+	center := 24*BaseSize + 24
+	for b := 0; b < 5; b++ {
+		if f.Band[b][center] <= 0 {
+			t.Fatalf("band %d has no flux at center", b)
+		}
+	}
+	// Flux falls off with distance.
+	edge := 24*BaseSize + 30
+	if f.Band[2][edge] >= f.Band[2][center] {
+		t.Error("no radial falloff")
+	}
+}
+
+func TestAddObjectClipsAtEdges(t *testing.T) {
+	f := NewFrame5(BaseSize)
+	// Off-frame splats must not panic or write out of bounds.
+	f.AddObject(-2, -2, 3, [5]float64{1, 1, 1, 1, 1})
+	f.AddObject(float64(BaseSize)+1, float64(BaseSize)+1, 3, [5]float64{1, 1, 1, 1, 1})
+}
+
+func TestRenderClipsToByteRange(t *testing.T) {
+	f := NewFrame5(8)
+	f.AddObject(4, 4, 1, [5]float64{1e9, 1e9, 1e9, 1e9, 1e9}) // saturating flux
+	rgb := f.Render()
+	if len(rgb.Pix) != 8*8*3 {
+		t.Fatalf("pix length %d", len(rgb.Pix))
+	}
+	if rgb.Pix[3*(4*8+4)] != 255 {
+		t.Error("saturated pixel not clipped to 255")
+	}
+}
+
+func TestAsinhStretchMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a < 0 || b < 0 || a > 1e6 || b > 1e6 {
+			return true
+		}
+		sa, sb := asinhStretch(a, 0.1), asinhStretch(b, 0.1)
+		if a < b {
+			return sa <= sb
+		}
+		return sa >= sb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownsampleHalves(t *testing.T) {
+	f := NewFrame5(BaseSize)
+	f.AddObject(10, 10, 2, [5]float64{5, 5, 5, 5, 5})
+	t0 := f.Render()
+	t1 := t0.Downsample()
+	if t1.Size != BaseSize/2 {
+		t.Fatalf("downsample size %d", t1.Size)
+	}
+	t2 := t1.Downsample()
+	if t2.Size != BaseSize/4 {
+		t.Fatalf("second downsample size %d", t2.Size)
+	}
+	// 1x1 tile cannot shrink below 1.
+	one := &RGB{Size: 1, Pix: []byte{1, 2, 3}}
+	if got := one.Downsample(); got.Size != 1 {
+		t.Errorf("1px downsample size %d", got.Size)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := NewFrame5(BaseSize)
+	f.AddObject(20, 30, 1.5, [5]float64{2, 3, 4, 5, 6})
+	for _, tile := range Build(f) {
+		blob := tile.Encode()
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Size != tile.Size {
+			t.Fatalf("size %d != %d", back.Size, tile.Size)
+		}
+		for i := range tile.Pix {
+			if back.Pix[i] != tile.Pix[i] {
+				t.Fatal("pixels corrupted")
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x00\x00\x00\x00"),
+		append([]byte("SKYT\x10\x00\x00\x00"), make([]byte, 5)...), // size 16, too few pixels
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildPyramidLevels(t *testing.T) {
+	f := NewFrame5(BaseSize)
+	tiles := Build(f)
+	if len(tiles) != len(ZoomLevels) {
+		t.Fatalf("%d tiles, want %d", len(tiles), len(ZoomLevels))
+	}
+	for i, z := range ZoomLevels {
+		want := BaseSize / z
+		if tiles[i].Size != want {
+			t.Errorf("level %d: size %d, want %d", i, tiles[i].Size, want)
+		}
+	}
+	// Total flux is roughly preserved across levels (box averaging).
+	f2 := NewFrame5(BaseSize)
+	f2.AddObject(24, 24, 3, [5]float64{10, 10, 10, 10, 10})
+	tiles = Build(f2)
+	mean := func(t *RGB) float64 {
+		s := 0
+		for _, p := range t.Pix {
+			s += int(p)
+		}
+		return float64(s) / float64(len(t.Pix))
+	}
+	m0, m1 := mean(tiles[0]), mean(tiles[1])
+	if m1 < m0*0.5 || m1 > m0*2 {
+		t.Errorf("mean brightness drifted: %g -> %g", m0, m1)
+	}
+}

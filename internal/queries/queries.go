@@ -1,0 +1,480 @@
+// Package queries implements the SkyServer evaluation workload: the twenty
+// astronomy queries of [Szalay] (timed in [Gray] and summarized in §3/§11
+// of the SkyServer paper), in the order Figure 13 plots them:
+//
+//	8, 1, 9, 10A, 10, 19, 12, 16, 4, 2, 13, 11, 6, 7, 15B, 17, 14, 15A, 5, 3, 20, 18
+//
+// Only Q1, Q15A and Q15B appear verbatim in the SkyServer paper; the others
+// are reconstructed from their published characterizations (spatial lookup,
+// color cuts over sequential scans, grouped star counts, spectro joins,
+// neighbor-pair mining). Each Query documents its astronomy intent, carries
+// runnable SQL (parameters resolved against the loaded survey), and checks
+// its answer against the generator's planted truths where one exists.
+package queries
+
+import (
+	"fmt"
+	"time"
+
+	"skyserver/internal/pipeline"
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+)
+
+// Query is one evaluation workload entry.
+type Query struct {
+	// ID is the Figure 13 identifier ("8", "10A", "15B", …).
+	ID string
+	// Title is a one-line name.
+	Title string
+	// Intent explains what an astronomer is asking.
+	Intent string
+	// Path is the access-path shape the plan should take.
+	Path string
+	// SQL produces the statement text, resolving any survey-dependent
+	// parameters (a known objID, for example) via quick lookups.
+	SQL func(s *sqlengine.Session) (string, error)
+	// Check validates the result against planted truths; nil-safe checks
+	// return an error message describing the mismatch.
+	Check func(res *sqlengine.Result, truth pipeline.Truth) error
+}
+
+// Timing is one measured execution for the Figure 13 report.
+type Timing struct {
+	ID      string
+	Rows    int
+	Elapsed time.Duration
+	CPU     time.Duration
+	Scanned int64
+	Err     error
+}
+
+// staticSQL wraps constant SQL.
+func staticSQL(sql string) func(*sqlengine.Session) (string, error) {
+	return func(*sqlengine.Session) (string, error) { return sql, nil }
+}
+
+// lookupInt runs a one-value query and substitutes it into a format string.
+func lookupInt(lookup, format string) func(*sqlengine.Session) (string, error) {
+	return func(s *sqlengine.Session) (string, error) {
+		res, err := s.Exec(lookup, sqlengine.ExecOptions{})
+		if err != nil {
+			return "", fmt.Errorf("parameter lookup: %w", err)
+		}
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			return "", fmt.Errorf("parameter lookup returned no rows")
+		}
+		return fmt.Sprintf(format, res.Rows[0][0].I), nil
+	}
+}
+
+func wantRows(min int) func(*sqlengine.Result, pipeline.Truth) error {
+	return func(res *sqlengine.Result, _ pipeline.Truth) error {
+		if len(res.Rows) < min {
+			return fmt.Errorf("got %d rows, want ≥ %d", len(res.Rows), min)
+		}
+		return nil
+	}
+}
+
+func noCheck(*sqlengine.Result, pipeline.Truth) error { return nil }
+
+// Q1SQL is Query 1 verbatim from §11 of the paper.
+const Q1SQL = `
+declare @saturated bigint;
+set @saturated = dbo.fPhotoFlags('saturated');
+select G.objID, GN.distance
+into ##results
+from Galaxy as G
+join fGetNearbyObjEq(185,-0.5, 1) as GN on G.objID = GN.objID
+where (G.flags & @saturated) = 0
+order by distance`
+
+// Q15ASQL is the slow-mover (asteroid) query verbatim from §11.
+const Q15ASQL = `
+select objID,
+       sqrt(rowv*rowv+colv*colv) as velocity,
+       dbo.fGetUrlExpId(objID)   as Url
+into ##results
+from PhotoObj
+where (rowv*rowv+colv*colv) between 50 and 1000
+and rowv >= 0 and colv >= 0`
+
+// Q15BSQL is the fast-mover (NEO streak pair) query verbatim from §11.
+const Q15BSQL = `
+Select r.objID as rId, g.objId as gId,
+       dbo.fGetUrlExpId(r.objID) as rURL,
+       dbo.fGetUrlExpId(g.objID) as gURL
+from   PhotoObj r, PhotoObj g
+where  r.run = g.run and r.camcol=g.camcol
+  and abs(g.field-r.field) <= 1
+  and ((power(r.q_r,2) + power(r.u_r,2)) > 0.111111 )
+  and r.fiberMag_r between 6 and 22
+  and r.fiberMag_r < r.fiberMag_u
+  and r.fiberMag_r < r.fiberMag_g
+  and r.fiberMag_r < r.fiberMag_i
+  and r.fiberMag_r < r.fiberMag_z
+  and r.parentID=0
+  and r.isoA_r/r.isoB_r > 1.5
+  and r.isoA_r > 2.0
+  and ((power(g.q_g,2) + power(g.u_g,2)) > 0.111111 )
+  and g.fiberMag_g between 6 and 22
+  and g.fiberMag_g < g.fiberMag_u
+  and g.fiberMag_g < g.fiberMag_r
+  and g.fiberMag_g < g.fiberMag_i
+  and g.fiberMag_g < g.fiberMag_z
+  and g.parentID=0
+  and g.isoA_g/g.isoB_g > 1.5
+  and g.isoA_g > 2.0
+  and sqrt(power(r.cx-g.cx,2)
+     +power(r.cy-g.cy,2) +power(r.cz-g.cz,2))*
+          (180*60/pi()) < 4.0
+  and abs(r.fiberMag_r-g.fiberMag_g)< 2.0`
+
+// All returns the workload in Figure 13's plotted order.
+func All() []Query {
+	haLine := schema.SpecLineNames[22] // H_alpha, lineID 23
+	return []Query{
+		{
+			ID:    "8",
+			Title: "Galaxies with strong H-alpha emission",
+			Intent: "Find spectra of galaxies whose H-alpha line has a large " +
+				"equivalent width (active star formation).",
+			Path: "SpecLine scan joined to SpecObj by PK probe",
+			SQL: staticSQL(fmt.Sprintf(`
+				select s.specObjID, s.z, l.ew
+				from SpecLine l join SpecObj s on s.specObjID = l.specObjID
+				where l.lineID = %d and l.ew > 12 and s.specClass = %d`,
+				haLine.ID, schema.SpecClassGalaxy)),
+			Check: noCheck,
+		},
+		{
+			ID:    "1",
+			Title: "Galaxies near a point without saturated pixels",
+			Intent: "All galaxies without saturated pixels within 1 arcmin of " +
+				"(185, -0.5) — the paper's worked example, answer 19.",
+			Path: "HTM TVF nested-loop joined to PhotoObj PK (Figure 10)",
+			SQL:  staticSQL(Q1SQL),
+			Check: func(res *sqlengine.Result, truth pipeline.Truth) error {
+				if len(res.Rows) != truth.Q1Galaxies {
+					return fmt.Errorf("got %d galaxies, planted %d", len(res.Rows), truth.Q1Galaxies)
+				}
+				return nil
+			},
+		},
+		{
+			ID:     "9",
+			Title:  "Quasars in a redshift window",
+			Intent: "Quasars with 2.5 < z < 2.7 for absorption-line studies.",
+			Path:   "index seek on SpecObj(specClass, z)",
+			SQL: staticSQL(fmt.Sprintf(`
+				select specObjID, objID, z, zConf
+				from SpecObj
+				where specClass = %d and z between 2.5 and 2.7`,
+				schema.SpecClassQSO)),
+			Check: noCheck,
+		},
+		{
+			ID:     "10A",
+			Title:  "The spectrum of one known object",
+			Intent: "Drill down from a photo object to its spectrum and lines.",
+			Path:   "two PK/secondary index seeks",
+			SQL: lookupInt(
+				"select top 1 objID from SpecObj where objID > 0 order by specObjID",
+				`select s.specObjID, s.z, l.lineID, l.wave
+				 from SpecObj s join SpecLine l on l.specObjID = s.specObjID
+				 where s.objID = %d`),
+			Check: wantRows(1),
+		},
+		{
+			ID:     "10",
+			Title:  "Spectra matched to galaxy photometry",
+			Intent: "Join confident galaxy spectra to their photometric objects.",
+			Path:   "SpecObj index scan, PhotoObj PK probes",
+			SQL: staticSQL(fmt.Sprintf(`
+				select s.specObjID, s.z, p.r, p.g - p.r as color
+				from SpecObj s join PhotoObj p on p.objID = s.objID
+				where s.specClass = %d and s.zConf > 0.9 and p.type = %d`,
+				schema.SpecClassGalaxy, schema.TypeGalaxy)),
+			Check: wantRows(1),
+		},
+		{
+			ID:     "19",
+			Title:  "Radio-loud quasars",
+			Intent: "Quasar spectra whose photo object has a FIRST radio match.",
+			Path:   "small FIRST table joined by PK probes",
+			SQL: staticSQL(fmt.Sprintf(`
+				select q.specObjID, q.z, f.peakFlux
+				from First f
+				join SpecObj q on q.objID = f.objID
+				where q.specClass = %d`, schema.SpecClassQSO)),
+			Check: noCheck,
+		},
+		{
+			ID:     "12",
+			Title:  "UV-excess point sources",
+			Intent: "Point sources bluer than the stellar locus (QSO candidates).",
+			Path:   "covering index scan on (type, mode, r)",
+			SQL: staticSQL(fmt.Sprintf(`
+				select objID, u, g, r
+				from PhotoObj
+				where type = %d and mode = 1 and u - g < 0.6 and g < 21`,
+				schema.TypeStar)),
+			Check: wantRows(1),
+		},
+		{
+			ID:     "16",
+			Title:  "Star counts by magnitude bin",
+			Intent: "The star number-count histogram 14 < r < 22.",
+			Path:   "covering index scan + hash aggregation",
+			SQL: staticSQL(`
+				select floor(r) as bin, count(*) as n
+				from Star
+				where r between 14 and 22
+				group by floor(r)
+				order by bin`),
+			Check: wantRows(3),
+		},
+		{
+			ID:     "4",
+			Title:  "Galaxies with large isophotal axes",
+			Intent: "Big nearby galaxies: red-band isophotal major axis > 7.5 arcsec.",
+			Path:   "sequential scan of Galaxy view",
+			SQL: staticSQL(`
+				select objID, isoA_r, isoB_r
+				from Galaxy
+				where isoA_r > 7.5`),
+			Check: wantRows(1),
+		},
+		{
+			ID:    "2",
+			Title: "Galaxies by blue surface brightness",
+			Intent: "Galaxies with mean surface brightness in g between 23 and " +
+				"25 mag/arcsec², in a declination band.",
+			Path: "sequential scan with arithmetic predicate",
+			SQL: staticSQL(`
+				select objID, g, petroR50_g
+				from Galaxy
+				where petroR50_g > 0
+				  and g + 2.5*log10(2*3.14159265*petroR50_g*petroR50_g) between 23 and 25
+				  and dec between -10 and 10`),
+			Check: noCheck,
+		},
+		{
+			ID:     "13",
+			Title:  "Galaxy counts on a sky grid",
+			Intent: "Large-scale structure: galaxy counts in 0.25° cells.",
+			Path:   "sequential scan + grouped aggregation",
+			SQL: staticSQL(`
+				select floor(ra*4) as raCell, floor(dec*4) as decCell, count(*) as n
+				from Galaxy
+				group by floor(ra*4), floor(dec*4)
+				order by raCell, decCell`),
+			Check: wantRows(10),
+		},
+		{
+			ID:     "11",
+			Title:  "Low-z galaxies with consistent redshifts",
+			Intent: "Nearby galaxies whose emission-line and final redshifts agree.",
+			Path:   "SpecObj seek joined to elRedShift by PK probe",
+			SQL: staticSQL(fmt.Sprintf(`
+				select s.specObjID, s.z, e.z as elZ
+				from SpecObj s, elRedShift e
+				where s.specObjID = e.specObjID
+				  and s.specClass = %d and s.z < 0.05
+				  and abs(s.z - e.z) < 0.002`, schema.SpecClassGalaxy)),
+			Check: noCheck,
+		},
+		{
+			ID:    "6",
+			Title: "Variable stars from repeat observations",
+			Intent: "Stars observed on both nights (stripe overlap) whose " +
+				"magnitude changed by more than 0.1.",
+			Path: "Neighbors-driven three-way self-join",
+			SQL: staticSQL(fmt.Sprintf(`
+				select p.objID, s.objID, p.r - s.r as dr, n.distance
+				from PhotoObj p
+				join Neighbors n on n.objID = p.objID
+				join PhotoObj s on s.objID = n.neighborObjID
+				where p.type = %d and p.mode = 1
+				  and s.type = %d and s.mode = 2
+				  and n.distance < 0.05
+				  and abs(p.r - s.r) > 0.1`,
+				schema.TypeStar, schema.TypeStar)),
+			Check: wantRows(1),
+		},
+		{
+			ID:     "7",
+			Title:  "Star color histogram",
+			Intent: "The distribution of u-g colors of primary stars.",
+			Path:   "covering index scan + grouped aggregation",
+			SQL: staticSQL(`
+				select floor((u - g)*10) as colorBin, count(*) as n
+				from Star
+				group by floor((u - g)*10)
+				order by colorBin`),
+			Check: wantRows(5),
+		},
+		{
+			ID:    "15B",
+			Title: "Fast-moving objects (NEO streak pairs)",
+			Intent: "Pairs of elongated single-band detections that line up " +
+				"across adjacent fields — near-earth-object streaks. Paper: 4 pairs.",
+			Path: "nested loop of two covering-index accesses (Figure 12)",
+			SQL:  staticSQL(Q15BSQL),
+			Check: func(res *sqlengine.Result, truth pipeline.Truth) error {
+				if len(res.Rows) != truth.NEOPairs {
+					return fmt.Errorf("got %d pairs, planted %d", len(res.Rows), truth.NEOPairs)
+				}
+				return nil
+			},
+		},
+		{
+			ID:    "17",
+			Title: "Photometric redshift calibration bins",
+			Intent: "Mean spectroscopic redshift per color bin — the training " +
+				"set behind the photometric redshift estimator of §11.",
+			Path: "spectro join + grouped aggregation",
+			SQL: staticSQL(fmt.Sprintf(`
+				select floor((p.g - p.r)*5) as colorBin, avg(s.z) as meanZ, count(*) as n
+				from SpecObj s join PhotoObj p on p.objID = s.objID
+				where s.specClass = %d
+				group by floor((p.g - p.r)*5)
+				order by colorBin`, schema.SpecClassGalaxy)),
+			Check: wantRows(1),
+		},
+		{
+			ID:    "14",
+			Title: "Objects with colors like a given object",
+			Intent: "'Find other objects like this one': match all primaries " +
+				"within 0.05 mag in three colors of a reference object (iterative: " +
+				"the reference row feeds the search).",
+			Path: "temp-table reference row nested-looped against a scan",
+			SQL: lookupInt(
+				"select top 1 objID from Galaxy where r < 18 order by objID",
+				`select objID, u - g as ug, g - r as gr, r - i as ri
+				 into ##ref
+				 from PhotoObj where objID = %d;
+				 select p.objID, p.u - p.g as ug
+				 from ##ref x, PhotoObj p
+				 where p.mode = 1
+				   and p.objID <> x.objID
+				   and abs((p.u - p.g) - x.ug) < 0.05
+				   and abs((p.g - p.r) - x.gr) < 0.05
+				   and abs((p.r - p.i) - x.ri) < 0.05`),
+			Check: noCheck,
+		},
+		{
+			ID:     "15A",
+			Title:  "Slow-moving objects (asteroids)",
+			Intent: "Objects whose position moved between the 5-band exposures (§11).",
+			Path:   "parallel sequential scan of PhotoObj (Figure 11)",
+			SQL:    staticSQL(Q15ASQL),
+			Check: func(res *sqlengine.Result, truth pipeline.Truth) error {
+				if len(res.Rows) != truth.Asteroids {
+					return fmt.Errorf("got %d asteroids, planted %d", len(res.Rows), truth.Asteroids)
+				}
+				return nil
+			},
+		},
+		{
+			ID:    "5",
+			Title: "Quasar candidates by color cut",
+			Intent: "Point sources with quasar colors — the archetypal 'table " +
+				"scan with a very complex predicate' of §11.",
+			Path: "sequential scan, complex predicate",
+			SQL: staticSQL(fmt.Sprintf(`
+				select objID, u, g, r, i, z
+				from PhotoObj
+				where mode = 1 and type = %d
+				  and ((u - g < 0.6 and g - r < 0.5) or u > 22.3)
+				  and g < 21 and i between 0 and 30 and z between 0 and 30`,
+				schema.TypeStar)),
+			Check: noCheck,
+		},
+		{
+			ID:     "3",
+			Title:  "Bright galaxies behind high extinction",
+			Intent: "Galaxies brighter than r=22 seen through heavy dust.",
+			Path:   "sequential scan of Galaxy view",
+			SQL: staticSQL(`
+				select objID, r, extinction_r
+				from Galaxy
+				where r < 22 and extinction_r > 0.06`),
+			Check: noCheck,
+		},
+		{
+			ID:    "20",
+			Title: "Bright close galaxy pairs",
+			Intent: "Merging-candidate pairs: primary galaxies within 0.5 " +
+				"arcmin with comparable brightness.",
+			Path: "Neighbors three-way join",
+			SQL: staticSQL(fmt.Sprintf(`
+				select top 100 p1.objID, p2.objID, n.distance
+				from PhotoObj p1
+				join Neighbors n on n.objID = p1.objID
+				join PhotoObj p2 on p2.objID = n.neighborObjID
+				where p1.type = %d and p1.mode = 1 and p1.r < 19
+				  and p2.type = %d and p2.mode = 1
+				  and p1.objID < p2.objID
+				  and abs(p1.r - p2.r) < 1.0`,
+				schema.TypeGalaxy, schema.TypeGalaxy)),
+			Check: noCheck,
+		},
+		{
+			ID:    "18",
+			Title: "Gravitational lens candidates",
+			Intent: "Tight groups of faint objects with matching colors in " +
+				"three bands — the classic lens search, the heaviest join.",
+			Path: "Neighbors three-way join with full color residual",
+			SQL: staticSQL(fmt.Sprintf(`
+				select p1.objID, p2.objID, n.distance,
+				       p1.u - p1.g as ug1, p2.u - p2.g as ug2
+				from PhotoObj p1
+				join Neighbors n on n.objID = p1.objID
+				join PhotoObj p2 on p2.objID = n.neighborObjID
+				where p1.mode = 1 and p2.mode = 1
+				  and p1.type = %d and p2.type = %d
+				  and p1.objID < p2.objID
+				  and n.distance < 0.25
+				  and abs((p1.u - p1.g) - (p2.u - p2.g)) < 0.1
+				  and abs((p1.g - p1.r) - (p2.g - p2.r)) < 0.1
+				  and abs((p1.r - p1.i) - (p2.r - p2.i)) < 0.1`,
+				schema.TypeGalaxy, schema.TypeGalaxy)),
+			Check: noCheck,
+		},
+	}
+}
+
+// Run executes one query with the given limits and returns its timing.
+func Run(s *sqlengine.Session, q Query, truth pipeline.Truth, opt sqlengine.ExecOptions) Timing {
+	sql, err := q.SQL(s)
+	if err != nil {
+		return Timing{ID: q.ID, Err: err}
+	}
+	res, err := s.Exec(sql, opt)
+	if err != nil {
+		return Timing{ID: q.ID, Err: err}
+	}
+	t := Timing{
+		ID:      q.ID,
+		Rows:    len(res.Rows),
+		Elapsed: res.Elapsed,
+		CPU:     res.CPU,
+		Scanned: res.RowsScanned,
+	}
+	if q.Check != nil {
+		t.Err = q.Check(res, truth)
+	}
+	return t
+}
+
+// RunAll executes the whole workload in Figure 13 order.
+func RunAll(db *sqlengine.DB, truth pipeline.Truth, opt sqlengine.ExecOptions) []Timing {
+	var out []Timing
+	for _, q := range All() {
+		s := sqlengine.NewSession(db)
+		out = append(out, Run(s, q, truth, opt))
+	}
+	return out
+}

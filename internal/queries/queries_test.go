@@ -1,0 +1,147 @@
+package queries
+
+import (
+	"sync"
+	"testing"
+
+	"skyserver/internal/load"
+	"skyserver/internal/neighbors"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+)
+
+var (
+	once  sync.Once
+	sdb   *schema.SkyDB
+	truth pipeline.Truth
+	bErr  error
+)
+
+func survey(t *testing.T) (*schema.SkyDB, pipeline.Truth) {
+	t.Helper()
+	once.Do(func() {
+		fg := storage.NewMemFileGroup(4, 4096)
+		sdb, bErr = schema.Build(fg)
+		if bErr != nil {
+			return
+		}
+		l := load.New(sdb)
+		var stats *pipeline.Stats
+		stats, bErr = l.LoadSurvey(pipeline.Config{Scale: 1.0 / 2000, SkipFrames: true})
+		if bErr != nil {
+			return
+		}
+		truth = stats.Truth
+		if _, err := neighbors.Build(sdb, neighbors.DefaultRadiusArcmin); err != nil {
+			bErr = err
+		}
+	})
+	if bErr != nil {
+		t.Fatalf("survey: %v", bErr)
+	}
+	return sdb, truth
+}
+
+func TestWorkloadOrderMatchesFigure13(t *testing.T) {
+	want := []string{"8", "1", "9", "10A", "10", "19", "12", "16", "4", "2",
+		"13", "11", "6", "7", "15B", "17", "14", "15A", "5", "3", "20", "18"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("workload has %d queries, want %d", len(all), len(want))
+	}
+	for i, q := range all {
+		if q.ID != want[i] {
+			t.Errorf("position %d: query %s, want %s", i, q.ID, want[i])
+		}
+		if q.Title == "" || q.Intent == "" || q.Path == "" {
+			t.Errorf("query %s missing documentation", q.ID)
+		}
+	}
+}
+
+func TestEveryQueryRunsClean(t *testing.T) {
+	db, tr := survey(t)
+	for _, q := range All() {
+		q := q
+		t.Run("Q"+q.ID, func(t *testing.T) {
+			s := sqlengine.NewSession(db.DB)
+			timing := Run(s, q, tr, sqlengine.ExecOptions{})
+			if timing.Err != nil {
+				t.Fatalf("Q%s: %v", q.ID, timing.Err)
+			}
+			if timing.Elapsed <= 0 {
+				t.Errorf("Q%s: no elapsed time recorded", q.ID)
+			}
+		})
+	}
+}
+
+func TestPlantedTruthQueries(t *testing.T) {
+	db, tr := survey(t)
+	s := sqlengine.NewSession(db.DB)
+	for _, q := range All() {
+		switch q.ID {
+		case "1", "15A", "15B":
+			timing := Run(s, q, tr, sqlengine.ExecOptions{})
+			if timing.Err != nil {
+				t.Errorf("Q%s planted truth: %v", q.ID, timing.Err)
+			}
+		}
+	}
+	if tr.Q1Galaxies != 19 {
+		t.Errorf("Q1 truth %d, want the paper's 19", tr.Q1Galaxies)
+	}
+	if tr.NEOPairs != 4 {
+		t.Errorf("Q15B truth %d, want the paper's 4", tr.NEOPairs)
+	}
+}
+
+func TestRunAllProducesFigure13Series(t *testing.T) {
+	db, tr := survey(t)
+	timings := RunAll(db.DB, tr, sqlengine.ExecOptions{})
+	if len(timings) != 22 {
+		t.Fatalf("%d timings", len(timings))
+	}
+	for _, tm := range timings {
+		if tm.Err != nil {
+			t.Errorf("Q%s: %v", tm.ID, tm.Err)
+		}
+	}
+	// The workload must span a range of costs: the scan-bound queries
+	// must visit far more rows than the index lookups.
+	byID := map[string]Timing{}
+	for _, tm := range timings {
+		byID[tm.ID] = tm
+	}
+	if byID["15A"].Scanned < byID["9"].Scanned*5 {
+		t.Errorf("Q15A (scan, %d rows visited) should dwarf Q9 (seek, %d)",
+			byID["15A"].Scanned, byID["9"].Scanned)
+	}
+}
+
+func TestPublicLimitsTruncateWorkload(t *testing.T) {
+	db, tr := survey(t)
+	s := sqlengine.NewSession(db.DB)
+	// Q13 (grid counts) returns many rows; the public 1,000-row limit
+	// must truncate politely rather than error.
+	var q13 Query
+	for _, q := range All() {
+		if q.ID == "13" {
+			q13 = q
+		}
+	}
+	sql, err := q13.SQL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(sql, sqlengine.ExecOptions{MaxRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) > 50 {
+		t.Errorf("limit ignored: %d rows", len(res.Rows))
+	}
+	_ = tr
+}

@@ -1,0 +1,254 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skyserver/internal/htm"
+	"skyserver/internal/sky"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/val"
+)
+
+// registerFunctions installs the SkyServer's dbo. functions: the flag/type
+// vocabularies, URL builders, and the HTM spatial access functions of
+// §9.1.4 ("The HTM library is an SQL extended stored procedure wrapped in a
+// table-valued function").
+func registerFunctions(s *SkyDB) {
+	db := s.DB
+
+	db.RegisterScalar(&sqlengine.ScalarFunc{
+		Name: "fPhotoFlags", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].K != val.KindString {
+				return val.Value{}, fmt.Errorf("fPhotoFlags expects a flag name")
+			}
+			v, ok := PhotoFlagValue(args[0].S)
+			if !ok {
+				return val.Value{}, fmt.Errorf("fPhotoFlags: unknown flag %q", args[0].S)
+			}
+			return val.Int(v), nil
+		}})
+
+	db.RegisterScalar(&sqlengine.ScalarFunc{
+		Name: "fPhotoType", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].K != val.KindString {
+				return val.Value{}, fmt.Errorf("fPhotoType expects a type name")
+			}
+			v, ok := PhotoTypeValue(args[0].S)
+			if !ok {
+				return val.Value{}, fmt.Errorf("fPhotoType: unknown type %q", args[0].S)
+			}
+			return val.Int(v), nil
+		}})
+
+	db.RegisterScalar(&sqlengine.ScalarFunc{
+		Name: "fGetUrlExpId", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) (val.Value, error) {
+			id, ok := args[0].AsInt()
+			if !ok {
+				return val.Null(), nil
+			}
+			return val.Str(fmt.Sprintf("http://skyserver.sdss.org/en/tools/explore/obj.asp?id=%d", id)), nil
+		}})
+
+	db.RegisterScalar(&sqlengine.ScalarFunc{
+		Name: "fDistanceArcMinEq", MinArgs: 4, MaxArgs: 4,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) (val.Value, error) {
+			var f [4]float64
+			for i := range f {
+				x, ok := args[i].AsFloat()
+				if !ok {
+					return val.Null(), nil
+				}
+				f[i] = x
+			}
+			return val.Float(sky.DistanceArcmin(f[0], f[1], f[2], f[3])), nil
+		}})
+
+	db.RegisterScalar(&sqlengine.ScalarFunc{
+		Name: "fHtmLookupEq", MinArgs: 2, MaxArgs: 2,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) (val.Value, error) {
+			ra, ok1 := args[0].AsFloat()
+			dec, ok2 := args[1].AsFloat()
+			if !ok1 || !ok2 {
+				return val.Null(), nil
+			}
+			return val.Int(int64(htm.LookupEq(ra, dec, HTMDepth))), nil
+		}})
+
+	// nearbyCols is the schema of fGetNearbyObjEq / fGetNearestObjEq,
+	// matching the included columns of ix_PhotoObj_htmID.
+	nearbyCols := []sqlengine.Column{
+		{Name: "objID", Kind: val.KindInt},
+		{Name: "run", Kind: val.KindInt},
+		{Name: "camcol", Kind: val.KindInt},
+		{Name: "field", Kind: val.KindInt},
+		{Name: "rerun", Kind: val.KindInt},
+		{Name: "type", Kind: val.KindInt},
+		{Name: "mode", Kind: val.KindInt},
+		{Name: "distance", Kind: val.KindFloat},
+	}
+
+	db.RegisterTVF(&sqlengine.TableFunc{
+		Name:    "fGetNearbyObjEq",
+		Cols:    nearbyCols,
+		EstRows: 32,
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
+			return s.nearbyObjEq(args, -1)
+		}})
+
+	db.RegisterTVF(&sqlengine.TableFunc{
+		Name:    "fGetNearestObjEq",
+		Cols:    nearbyCols,
+		EstRows: 1,
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
+			return s.nearbyObjEq(args, 1)
+		}})
+
+	db.RegisterTVF(&sqlengine.TableFunc{
+		Name: "fGetObjFromRect",
+		Cols: []sqlengine.Column{
+			{Name: "objID", Kind: val.KindInt},
+			{Name: "ra", Kind: val.KindFloat},
+			{Name: "dec", Kind: val.KindFloat},
+			{Name: "type", Kind: val.KindInt},
+			{Name: "mode", Kind: val.KindInt},
+		},
+		EstRows: 256,
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
+			return s.objFromRect(args)
+		}})
+
+	db.RegisterTVF(&sqlengine.TableFunc{
+		Name: "fHTMCoverCircleEq",
+		Cols: []sqlengine.Column{
+			{Name: "HTMIDstart", Kind: val.KindInt},
+			{Name: "HTMIDend", Kind: val.KindInt},
+		},
+		EstRows: 16,
+		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
+			ra, dec, r, err := circleArgs(args)
+			if err != nil {
+				return nil, err
+			}
+			cover := htm.Circle(ra, dec, r).CoverWith(htm.CoverOptions{Depth: HTMDepth})
+			rows := make([]val.Row, 0, len(cover))
+			for _, rg := range cover {
+				rows = append(rows, val.Row{val.Int(int64(rg.Lo)), val.Int(int64(rg.Hi))})
+			}
+			return rows, nil
+		}})
+}
+
+func circleArgs(args []val.Value) (ra, dec, r float64, err error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("spatial function expects (ra, dec, radiusArcmin)")
+	}
+	var ok [3]bool
+	ra, ok[0] = args[0].AsFloat()
+	dec, ok[1] = args[1].AsFloat()
+	r, ok[2] = args[2].AsFloat()
+	if !ok[0] || !ok[1] || !ok[2] {
+		return 0, 0, 0, fmt.Errorf("spatial function expects numeric (ra, dec, radiusArcmin)")
+	}
+	if r <= 0 {
+		return 0, 0, 0, fmt.Errorf("spatial function radius must be positive, got %g", r)
+	}
+	return ra, dec, r, nil
+}
+
+// nearbyObjEq implements fGetNearbyObjEq/fGetNearestObjEq: compute the HTM
+// cover of the circle, range-scan the covered htmID intervals in the
+// (covering) spatial index, and filter exactly by dot product against the
+// stored unit vectors — the two-layer scheme of §9.1.4.
+func (s *SkyDB) nearbyObjEq(args []val.Value, limit int) ([]val.Row, error) {
+	ra, dec, r, err := circleArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	ix := s.PhotoObj.IndexByName("ix_PhotoObj_htmID")
+	if ix == nil {
+		return nil, fmt.Errorf("fGetNearbyObjEq: spatial index missing")
+	}
+	center := sky.EqToVec(ra, dec)
+	cosR := math.Cos(r / sky.ArcminPerDeg * sky.RadPerDeg)
+	cover := htm.Circle(ra, dec, r).CoverWith(htm.CoverOptions{Depth: HTMDepth})
+	// Included column positions in ix_PhotoObj_htmID:
+	// 0 objID, 1 cx, 2 cy, 3 cz, 4 ra, 5 dec, 6 type, 7 mode,
+	// 8 run, 9 camcol, 10 field, 11 rerun.
+	var rows []val.Row
+	for _, rg := range cover {
+		lo := val.Row{val.Int(int64(rg.Lo))}
+		hi := int64(rg.Hi)
+		ix.Ascend(lo, func(key val.Row, rid uint64, incl val.Row) bool {
+			if key[0].I >= hi {
+				return false
+			}
+			v := sky.Vec3{X: incl[1].F, Y: incl[2].F, Z: incl[3].F}
+			d := v.Dot(center)
+			if d < cosR {
+				return true
+			}
+			if d > 1 {
+				d = 1
+			}
+			distArcmin := math.Acos(d) * sky.DegPerRad * sky.ArcminPerDeg
+			rows = append(rows, val.Row{
+				incl[0], incl[8], incl[9], incl[10], incl[11],
+				incl[6], incl[7], val.Float(distArcmin),
+			})
+			return true
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][7].F < rows[j][7].F })
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}
+
+// objFromRect returns the objects inside an (ra, dec) rectangle, the web
+// interface's "all objects in a certain rectangular area" request (§9.1.4).
+func (s *SkyDB) objFromRect(args []val.Value) ([]val.Row, error) {
+	if len(args) != 4 {
+		return nil, fmt.Errorf("fGetObjFromRect expects (raMin, raMax, decMin, decMax)")
+	}
+	var f [4]float64
+	for i := range f {
+		x, ok := args[i].AsFloat()
+		if !ok {
+			return nil, fmt.Errorf("fGetObjFromRect expects numeric bounds")
+		}
+		f[i] = x
+	}
+	cx, err := htm.Rect(f[0], f[2], f[1], f[3])
+	if err != nil {
+		return nil, err
+	}
+	ix := s.PhotoObj.IndexByName("ix_PhotoObj_htmID")
+	if ix == nil {
+		return nil, fmt.Errorf("fGetObjFromRect: spatial index missing")
+	}
+	cover := cx.CoverWith(htm.CoverOptions{Depth: HTMDepth})
+	var rows []val.Row
+	for _, rg := range cover {
+		lo := val.Row{val.Int(int64(rg.Lo))}
+		hi := int64(rg.Hi)
+		ix.Ascend(lo, func(key val.Row, rid uint64, incl val.Row) bool {
+			if key[0].I >= hi {
+				return false
+			}
+			v := sky.Vec3{X: incl[1].F, Y: incl[2].F, Z: incl[3].F}
+			if !cx.Contains(v) {
+				return true
+			}
+			rows = append(rows, val.Row{incl[0], incl[4], incl[5], incl[6], incl[7]})
+			return true
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].I < rows[j][0].I })
+	return rows, nil
+}

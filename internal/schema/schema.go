@@ -1,0 +1,642 @@
+// Package schema defines the SkyServer relational schema of §9.1: the
+// photographic and spectrographic snowflake schemas of Figure 7, the
+// subclassing views (photoPrimary / Star / Galaxy), the index set, the
+// foreign keys, the flag vocabularies behind fPhotoFlags/fPhotoType, and the
+// HTM-backed spatial access functions of §9.1.4.
+package schema
+
+import (
+	"fmt"
+
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// HTMDepth is the depth at which PhotoObj.htmID is stored; the paper uses
+// 20-deep HTMs (§9.1.4).
+const HTMDepth = 20
+
+// Bands are the five SDSS optical bands.
+var Bands = []string{"u", "g", "r", "i", "z"}
+
+// MagKinds are the six ways magnitudes are measured ("These magnitudes are
+// measured in six different ways (for a total of 60 attributes)").
+var MagKinds = []string{"psf", "fiber", "petro", "model", "exp", "deV"}
+
+// PhotoType codes, from the SDSS photo pipeline classification (§9: stars,
+// galaxies, trails (cosmic ray, satellite, …), or some defect).
+const (
+	TypeUnknown   = 0
+	TypeCosmicRay = 1
+	TypeDefect    = 2
+	TypeGalaxy    = 3
+	TypeGhost     = 4
+	TypeKnownObj  = 5
+	TypeStar      = 6
+	TypeTrail     = 7
+	TypeSky       = 8
+)
+
+// photoTypeNames backs fPhotoType.
+var photoTypeNames = map[string]int64{
+	"UNKNOWN": TypeUnknown, "COSMIC_RAY": TypeCosmicRay, "DEFECT": TypeDefect,
+	"GALAXY": TypeGalaxy, "GHOST": TypeGhost, "KNOWNOBJ": TypeKnownObj,
+	"STAR": TypeStar, "TRAIL": TypeTrail, "SKY": TypeSky,
+}
+
+// Photo flag bits (a representative subset of the ~100 bit flags the
+// pipeline assigns, with the real SDSS bit positions); fPhotoFlags resolves
+// names to values so queries can write flags & fPhotoFlags('SATURATED').
+var photoFlagValues = map[string]int64{
+	"CANONICAL_CENTER":        1 << 0,
+	"BRIGHT":                  1 << 1,
+	"EDGE":                    1 << 2,
+	"BLENDED":                 1 << 3,
+	"CHILD":                   1 << 4,
+	"PEAKCENTER":              1 << 5,
+	"NODEBLEND":               1 << 6,
+	"NOPROFILE":               1 << 7,
+	"NOPETRO":                 1 << 8,
+	"MANYPETRO":               1 << 9,
+	"MANYR50":                 1 << 10,
+	"MANYR90":                 1 << 11,
+	"INCOMPLETE_PROFILE":      1 << 12,
+	"INTERP":                  1 << 13,
+	"SATURATED":               1 << 14,
+	"NOTCHECKED":              1 << 15,
+	"SUBTRACTED":              1 << 16,
+	"NOSTOKES":                1 << 17,
+	"BADSKY":                  1 << 18,
+	"PETROFAINT":              1 << 19,
+	"TOO_LARGE":               1 << 20,
+	"DEBLENDED_AS_PSF":        1 << 21,
+	"DEBLEND_PRUNED":          1 << 22,
+	"ELLIPFAINT":              1 << 23,
+	"BINNED1":                 1 << 24,
+	"BINNED2":                 1 << 25,
+	"BINNED4":                 1 << 26,
+	"MOVED":                   1 << 27,
+	"DEBLENDED_AS_MOVING":     1 << 28,
+	"NODEBLEND_MOVING":        1 << 29,
+	"TOO_FEW_DETECTIONS":      1 << 30,
+	"BAD_MOVING_FIT":          1 << 31,
+	"STATIONARY":              1 << 32,
+	"PEAKS_TOO_CLOSE":         1 << 33,
+	"BINNED_CENTER":           1 << 34,
+	"LOCAL_EDGE":              1 << 35,
+	"BAD_COUNTS_ERROR":        1 << 36,
+	"BAD_MOVING_FIT_CHILD":    1 << 37,
+	"DEBLEND_UNASSIGNED_FLUX": 1 << 38,
+	"SATUR_CENTER":            1 << 39,
+	"INTERP_CENTER":           1 << 40,
+	"DEBLENDED_AT_EDGE":       1 << 41,
+	"DEBLEND_NOPEAK":          1 << 42,
+	"PSF_FLUX_INTERP":         1 << 43,
+	"TOO_FEW_GOOD_DETECTIONS": 1 << 44,
+	"CENTER_OFF_AIMAGE":       1 << 45,
+	"DEBLEND_DEGENERATE":      1 << 46,
+	"BRIGHTEST_GALAXY_CHILD":  1 << 47,
+	"CANONICAL_BAND":          1 << 48,
+	"AMOMENT_UNWEIGHTED":      1 << 49,
+	"AMOMENT_SHIFT":           1 << 50,
+	"AMOMENT_MAXITER":         1 << 51,
+	"MAYBE_CR":                1 << 52,
+	"MAYBE_EGHOST":            1 << 53,
+	"NOTCHECKED_CENTER":       1 << 54,
+	"HAS_SATUR_DN":            1 << 55,
+	"DEBLEND_PEEPHOLE":        1 << 56,
+	"OK_RUN":                  1 << 57,
+}
+
+// Modes classify duplicate observations (§9: about 11% of the objects
+// appear more than once; the pipeline picks one instance as primary).
+const (
+	ModePrimary   = 1
+	ModeSecondary = 2
+	ModeFamily    = 3
+)
+
+// SpecClass codes for SpecObj.specClass.
+const (
+	SpecClassUnknown = 0
+	SpecClassStar    = 1
+	SpecClassGalaxy  = 2
+	SpecClassQSO     = 3
+	SpecClassHiZQSO  = 4
+	SpecClassSky     = 5
+)
+
+// SpecLineNames are the ~30 lines the spectro pipeline extracts per
+// spectrogram, with rest wavelengths in Angstroms.
+var SpecLineNames = []struct {
+	ID   int64
+	Name string
+	Wave float64
+}{
+	{1, "Ly_alpha", 1215.67}, {2, "N_V", 1240.81}, {3, "C_IV", 1549.48},
+	{4, "He_II", 1640.40}, {5, "C_III", 1908.73}, {6, "Mg_II", 2799.12},
+	{7, "O_II_3725", 3727.09}, {8, "O_II_3727", 3729.88}, {9, "H_epsilon", 3971.19},
+	{10, "K_3933", 3934.78}, {11, "H_3968", 3969.59}, {12, "H_delta", 4102.89},
+	{13, "G_4305", 4305.61}, {14, "H_gamma", 4341.68}, {15, "O_III_4363", 4364.44},
+	{16, "H_beta", 4862.68}, {17, "O_III_4959", 4960.30}, {18, "O_III_5007", 5008.24},
+	{19, "Mg_5175", 5176.70}, {20, "Na_5894", 5895.60}, {21, "O_I_6300", 6302.05},
+	{22, "N_II_6548", 6549.86}, {23, "H_alpha", 6564.61}, {24, "N_II_6583", 6585.27},
+	{25, "S_II_6716", 6718.29}, {26, "S_II_6730", 6732.67}, {27, "Ca_II_8498", 8500.36},
+	{28, "Ca_II_8542", 8544.44}, {29, "Ca_II_8662", 8664.52}, {30, "P_epsilon", 9548.59},
+}
+
+// XCTemplates is the number of cross-correlation templates used by the
+// redshift pipeline (xcRedShift stores one row per spectrum × template;
+// Table 1's 1.9M rows / 63k spectra ≈ 30).
+const XCTemplates = 30
+
+// SkyDB is the built SkyServer database: the engine catalog plus direct
+// table handles for the bulk loader.
+type SkyDB struct {
+	DB *sqlengine.DB
+
+	Field         *sqlengine.Table
+	Frame         *sqlengine.Table
+	PhotoObj      *sqlengine.Table
+	Profile       *sqlengine.Table
+	Neighbors     *sqlengine.Table
+	Plate         *sqlengine.Table
+	SpecObj       *sqlengine.Table
+	SpecLine      *sqlengine.Table
+	SpecLineIndex *sqlengine.Table
+	XCRedShift    *sqlengine.Table
+	ELRedShift    *sqlengine.Table
+	First         *sqlengine.Table
+	Rosat         *sqlengine.Table
+	USNO          *sqlengine.Table
+	LoadEvents    *sqlengine.Table
+}
+
+// Tables lists the Table 1 tables in the paper's order.
+func (s *SkyDB) Tables() []*sqlengine.Table {
+	return []*sqlengine.Table{
+		s.Field, s.Frame, s.PhotoObj, s.Profile, s.Neighbors,
+		s.Plate, s.SpecObj, s.SpecLine, s.SpecLineIndex,
+		s.XCRedShift, s.ELRedShift,
+	}
+}
+
+func col(name string, kind val.Kind, desc string) sqlengine.Column {
+	return sqlengine.Column{Name: name, Kind: kind, NotNull: true, Desc: desc}
+}
+
+func nullableCol(name string, kind val.Kind, desc string) sqlengine.Column {
+	return sqlengine.Column{Name: name, Kind: kind, Desc: desc}
+}
+
+// bandCols emits one float column per band: family_u … family_z.
+func bandCols(family, desc string) []sqlengine.Column {
+	out := make([]sqlengine.Column, 0, len(Bands))
+	for _, b := range Bands {
+		out = append(out, col(family+"_"+b, val.KindFloat, fmt.Sprintf("%s (%s band)", desc, b)))
+	}
+	return out
+}
+
+// photoObjColumns builds the ~220-column PhotoObj schema: identity and
+// survey address, classification, position (equatorial + Cartesian + HTM),
+// motion, 60 magnitude/error attributes, extents, ellipticities, and the
+// remaining per-band pipeline families, approximating the paper's "about
+// 400 attributes … about 2KB per record".
+func photoObjColumns() []sqlengine.Column {
+	cols := []sqlengine.Column{
+		col("objID", val.KindInt, "unique object id: bits encode run/rerun/camcol/field/obj"),
+		col("skyVersion", val.KindInt, "reprocessing version of the sky"),
+		col("run", val.KindInt, "imaging run number"),
+		col("rerun", val.KindInt, "processing rerun number"),
+		col("camcol", val.KindInt, "camera column (1..6)"),
+		col("field", val.KindInt, "field number within the run"),
+		col("obj", val.KindInt, "object number within the field"),
+		col("mode", val.KindInt, "1=primary, 2=secondary, 3=family"),
+		col("nChild", val.KindInt, "number of deblended children"),
+		col("parentID", val.KindInt, "objID of deblend parent (0 if none)"),
+		col("type", val.KindInt, "morphological classification (3=galaxy, 6=star)"),
+		col("flags", val.KindInt, "photo pipeline status bits (see fPhotoFlags)"),
+		col("status", val.KindInt, "object status bits"),
+		col("primTarget", val.KindInt, "primary spectroscopic target bits"),
+		col("secTarget", val.KindInt, "secondary spectroscopic target bits"),
+		col("ra", val.KindFloat, "J2000 right ascension (deg)"),
+		col("dec", val.KindFloat, "J2000 declination (deg)"),
+		col("cx", val.KindFloat, "unit vector x (J2000)"),
+		col("cy", val.KindFloat, "unit vector y (J2000)"),
+		col("cz", val.KindFloat, "unit vector z (J2000)"),
+		col("htmID", val.KindInt, "depth-20 Hierarchical Triangular Mesh id"),
+		col("rowc", val.KindFloat, "row center in frame pixels"),
+		col("colc", val.KindFloat, "column center in frame pixels"),
+		col("rowv", val.KindFloat, "row-direction motion (deg/day)"),
+		col("colv", val.KindFloat, "column-direction motion (deg/day)"),
+		col("rowvErr", val.KindFloat, "error in rowv"),
+		col("colvErr", val.KindFloat, "error in colv"),
+	}
+	// Shorthand model magnitudes: the paper's color-cut queries write
+	// bare u, g, r, i, z.
+	for _, b := range Bands {
+		cols = append(cols, col(b, val.KindFloat, "model magnitude shorthand ("+b+" band)"))
+	}
+	// Six magnitude measurements plus errors per band: 60 attributes.
+	for _, kind := range MagKinds {
+		cols = append(cols, bandCols(kind+"Mag", kind+" magnitude")...)
+		cols = append(cols, bandCols(kind+"MagErr", kind+" magnitude error")...)
+	}
+	// Extents and shapes.
+	cols = append(cols, bandCols("petroR50", "radius containing 50% of Petrosian flux (arcsec)")...)
+	cols = append(cols, bandCols("petroR90", "radius containing 90% of Petrosian flux (arcsec)")...)
+	cols = append(cols, bandCols("isoA", "isophotal major axis (arcsec)")...)
+	cols = append(cols, bandCols("isoB", "isophotal minor axis (arcsec)")...)
+	cols = append(cols, bandCols("isoPhi", "isophotal position angle (deg)")...)
+	cols = append(cols, bandCols("q", "Stokes Q ellipticity parameter")...)
+	cols = append(cols, bandCols("u2", "Stokes U ellipticity parameter (u_<band> alias)")...)
+	cols = append(cols, bandCols("extinction", "galactic extinction (mag)")...)
+	// Remaining pipeline families, per band.
+	for _, fam := range []struct{ name, desc string }{
+		{"sky", "sky background (maggies/arcsec^2)"},
+		{"skyErr", "sky background error"},
+		{"texture", "texture parameter"},
+		{"lnLStar", "log likelihood of star model"},
+		{"lnLExp", "log likelihood of exponential model"},
+		{"lnLDeV", "log likelihood of de Vaucouleurs model"},
+		{"fracDeV", "fraction of flux in deVaucouleurs component"},
+		{"psfWidth", "psf width (arcsec)"},
+		{"airmass", "airmass at observation"},
+		{"mRrCc", "adaptive second moment"},
+		{"mCr4", "adaptive fourth moment"},
+		{"offsetRa", "band ra offset (arcsec)"},
+		{"offsetDec", "band dec offset (arcsec)"},
+		{"expRad", "exponential fit radius (arcsec)"},
+		{"deVRad", "deVaucouleurs fit radius (arcsec)"},
+	} {
+		cols = append(cols, bandCols(fam.name, fam.desc)...)
+	}
+	cols = append(cols, col("loadTime", val.KindInt, "insert timestamp (ns since epoch); default Current_Timestamp, used by load UNDO"))
+	return cols
+}
+
+// renameStokesU fixes the u_<band> alias columns: the NEO query writes q_r,
+// u_r — but bare "u" is the magnitude shorthand, so the Stokes U family is
+// named u_<band> while the magnitude stays "u".
+func renameStokesU(cols []sqlengine.Column) {
+	for i := range cols {
+		switch cols[i].Name {
+		case "u2_u":
+			cols[i].Name = "u_u"
+		case "u2_g":
+			cols[i].Name = "u_g"
+		case "u2_r":
+			cols[i].Name = "u_r"
+		case "u2_i":
+			cols[i].Name = "u_i"
+		case "u2_z":
+			cols[i].Name = "u_z"
+		}
+	}
+}
+
+// Build creates the full SkyServer catalog on the file group: tables,
+// indices, views, foreign keys, and the scalar + table-valued functions.
+func Build(fg *storage.FileGroup) (*SkyDB, error) {
+	db := sqlengine.NewDB(fg)
+	s := &SkyDB{DB: db}
+	var err error
+
+	// ---- photographic snowflake ----
+
+	s.Field, err = db.CreateTable("Field", []sqlengine.Column{
+		col("fieldID", val.KindInt, "unique field id"),
+		col("skyVersion", val.KindInt, "sky version"),
+		col("run", val.KindInt, "imaging run"),
+		col("rerun", val.KindInt, "rerun"),
+		col("camcol", val.KindInt, "camera column"),
+		col("field", val.KindInt, "field number"),
+		col("nObjects", val.KindInt, "objects detected in field"),
+		col("nStars", val.KindInt, "stars in field"),
+		col("nGalaxy", val.KindInt, "galaxies in field"),
+		col("quality", val.KindInt, "field quality grade"),
+		col("mjd", val.KindFloat, "modified julian date of observation"),
+		col("raMin", val.KindFloat, "field ra lower bound (deg)"),
+		col("raMax", val.KindFloat, "field ra upper bound (deg)"),
+		col("decMin", val.KindFloat, "field dec lower bound (deg)"),
+		col("decMax", val.KindFloat, "field dec upper bound (deg)"),
+		nullableCol("calibration", val.KindBytes, "per-field calibration record (PSF, zero points)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"fieldID"}, "Photometric processing unit: one field of one camcol of one run (Figure 6).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.Frame, err = db.CreateTable("Frame", []sqlengine.Column{
+		col("frameID", val.KindInt, "unique frame id"),
+		col("fieldID", val.KindInt, "field this frame images"),
+		col("zoom", val.KindInt, "image pyramid zoom level (1,2,4,8)"),
+		col("run", val.KindInt, "imaging run"),
+		col("camcol", val.KindInt, "camera column"),
+		col("field", val.KindInt, "field number"),
+		col("raCen", val.KindFloat, "frame center ra (deg)"),
+		col("decCen", val.KindFloat, "frame center dec (deg)"),
+		nullableCol("img", val.KindBytes, "RGB tile of the field at this zoom (JPEG in the paper)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"frameID"}, "Image pyramid tiles: each field rendered at 4 zoom levels (§2, §5).")
+	if err != nil {
+		return nil, err
+	}
+
+	photoCols := photoObjColumns()
+	renameStokesU(photoCols)
+	s.PhotoObj, err = db.CreateTable("PhotoObj", photoCols, []string{"objID"},
+		"Every photometric detection: stars, galaxies, trails, defects; ~400 attributes in the real EDR (§9.1.1).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.Profile, err = db.CreateTable("Profile", []sqlengine.Column{
+		col("objID", val.KindInt, "object this profile belongs to"),
+		col("nBins", val.KindInt, "number of radial bins"),
+		nullableCol("profile", val.KindBytes, "mean surface brightness in concentric rings (packed floats)"),
+		nullableCol("cutout", val.KindBytes, "5-color atlas cutout of the object's pixels"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"objID"}, "Radial profile array + atlas cutout per object (Figure 7: 'Objects have an image and a profile array').")
+	if err != nil {
+		return nil, err
+	}
+
+	s.Neighbors, err = db.CreateTable("Neighbors", []sqlengine.Column{
+		col("objID", val.KindInt, "object"),
+		col("neighborObjID", val.KindInt, "neighbor within 1/2 arcminute"),
+		col("distance", val.KindFloat, "arcminutes between the pair"),
+		col("neighborType", val.KindInt, "neighbor's type"),
+		col("neighborMode", val.KindInt, "neighbor's mode"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"objID", "neighborObjID"},
+		"Precomputed pairs within 0.5 arcmin (§9.1.1: 'This speeds proximity searches'); ~10 per object.")
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- spectrographic snowflake ----
+
+	s.Plate, err = db.CreateTable("Plate", []sqlengine.Column{
+		col("plateID", val.KindInt, "unique plate id"),
+		col("mjd", val.KindFloat, "observation MJD"),
+		col("ra", val.KindFloat, "plate center ra (deg)"),
+		col("dec", val.KindFloat, "plate center dec (deg)"),
+		col("nFibers", val.KindInt, "fibers on the plate (~600)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"plateID"}, "Spectroscopic plate: ~600 optical fibers observed at once (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.SpecObj, err = db.CreateTable("SpecObj", []sqlengine.Column{
+		col("specObjID", val.KindInt, "unique spectrum id"),
+		col("plateID", val.KindInt, "plate the fiber is on"),
+		col("fiberID", val.KindInt, "fiber number on the plate"),
+		col("mjd", val.KindFloat, "observation MJD"),
+		col("ra", val.KindFloat, "fiber ra (deg)"),
+		col("dec", val.KindFloat, "fiber dec (deg)"),
+		col("z", val.KindFloat, "final redshift"),
+		col("zErr", val.KindFloat, "redshift error"),
+		col("zConf", val.KindFloat, "redshift confidence (0..1)"),
+		col("zStatus", val.KindInt, "redshift status code"),
+		col("specClass", val.KindInt, "spectral classification (2=galaxy, 3=QSO)"),
+		col("objID", val.KindInt, "photo counterpart objID (0 if none)"),
+		nullableCol("img", val.KindBytes, "spectrum plot (GIF in the paper)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"specObjID"}, "One measured spectrogram per targeted object (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.SpecLine, err = db.CreateTable("SpecLine", []sqlengine.Column{
+		col("specObjID", val.KindInt, "spectrum the line was measured in"),
+		col("lineID", val.KindInt, "line id (see SpecLineNames)"),
+		col("wave", val.KindFloat, "observed wavelength (Angstrom)"),
+		col("waveErr", val.KindFloat, "wavelength error"),
+		col("ew", val.KindFloat, "equivalent width (Angstrom)"),
+		col("ewErr", val.KindFloat, "equivalent width error"),
+		col("height", val.KindFloat, "line height"),
+		col("sigma", val.KindFloat, "line width sigma"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"specObjID", "lineID"}, "~30 spectral lines extracted per spectrogram (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.SpecLineIndex, err = db.CreateTable("SpecLineIndex", []sqlengine.Column{
+		col("specObjID", val.KindInt, "spectrum"),
+		col("lineID", val.KindInt, "line group id"),
+		col("ew", val.KindFloat, "index equivalent width"),
+		col("sideBlue", val.KindFloat, "blue sideband level"),
+		col("sideRed", val.KindFloat, "red sideband level"),
+		col("seeing", val.KindFloat, "seeing during measurement"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"specObjID", "lineID"}, "Quantities from line-group analysis, used to characterize types and ages (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.XCRedShift, err = db.CreateTable("xcRedShift", []sqlengine.Column{
+		col("specObjID", val.KindInt, "spectrum"),
+		col("tempNo", val.KindInt, "cross-correlation template number"),
+		col("peakZ", val.KindFloat, "redshift at correlation peak"),
+		col("z", val.KindFloat, "template-corrected redshift"),
+		col("zErr", val.KindFloat, "redshift error"),
+		col("r", val.KindFloat, "Tonry-Davis correlation coefficient"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"specObjID", "tempNo"}, "Cross-correlation redshift per template (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	s.ELRedShift, err = db.CreateTable("elRedShift", []sqlengine.Column{
+		col("specObjID", val.KindInt, "spectrum"),
+		col("z", val.KindFloat, "emission-line redshift"),
+		col("zErr", val.KindFloat, "redshift error"),
+		col("nLines", val.KindInt, "emission lines used"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"specObjID"}, "Redshift derived from emission lines only (§9.1.2).")
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- cross-survey relationship tables ----
+
+	s.First, err = db.CreateTable("First", []sqlengine.Column{
+		col("objID", val.KindInt, "matched photo object"),
+		col("firstID", val.KindInt, "FIRST catalog id"),
+		col("peakFlux", val.KindFloat, "20cm peak flux (mJy)"),
+		col("distance", val.KindFloat, "match distance (arcsec)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"objID"}, "Matches to the FIRST 20cm radio survey (§9).")
+	if err != nil {
+		return nil, err
+	}
+	s.Rosat, err = db.CreateTable("Rosat", []sqlengine.Column{
+		col("objID", val.KindInt, "matched photo object"),
+		col("rosatID", val.KindInt, "ROSAT catalog id"),
+		col("cps", val.KindFloat, "X-ray counts per second"),
+		col("distance", val.KindFloat, "match distance (arcsec)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"objID"}, "Matches to the ROSAT X-ray survey (§9).")
+	if err != nil {
+		return nil, err
+	}
+	s.USNO, err = db.CreateTable("USNO", []sqlengine.Column{
+		col("objID", val.KindInt, "matched photo object"),
+		col("usnoID", val.KindInt, "USNO catalog id"),
+		col("properMotion", val.KindFloat, "proper motion (arcsec/century)"),
+		col("distance", val.KindFloat, "match distance (arcsec)"),
+		col("loadTime", val.KindInt, "insert timestamp"),
+	}, []string{"objID"}, "Matches to the US Naval Observatory catalog (§9).")
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- loader bookkeeping ----
+
+	s.LoadEvents, err = db.CreateTable("loadEvents", []sqlengine.Column{
+		col("eventID", val.KindInt, "load step id"),
+		col("tableName", val.KindString, "table the step loaded"),
+		col("sourceFile", val.KindString, "CSV file the step read"),
+		col("startTime", val.KindInt, "step start (ns since epoch)"),
+		col("stopTime", val.KindInt, "step stop (ns since epoch)"),
+		col("sourceRows", val.KindInt, "rows in the source file"),
+		col("insertedRows", val.KindInt, "rows actually inserted"),
+		col("status", val.KindString, "ok | failed | undone"),
+		nullableCol("trace", val.KindString, "error trace for failed steps"),
+	}, []string{"eventID"}, "Journal of load steps: start/stop time and row counts, driving UNDO (§9.4).")
+	if err != nil {
+		return nil, err
+	}
+
+	if err := buildIndexes(db); err != nil {
+		return nil, err
+	}
+	if err := buildViews(db); err != nil {
+		return nil, err
+	}
+	if err := buildForeignKeys(db); err != nil {
+		return nil, err
+	}
+	registerFunctions(s)
+	return s, nil
+}
+
+// buildIndexes creates the index set. "Today, the SkyServer database has
+// tens of indices … About 30% of the SkyServer storage space is devoted to
+// indices" (§9.1.3).
+func buildIndexes(db *sqlengine.DB) error {
+	type ix struct {
+		table, name string
+		keys, incl  []string
+	}
+	indexes := []ix{
+		// The spatial index: HTM ids with the position and identity
+		// columns included, so fGetNearbyObjEq is fully covered.
+		{"PhotoObj", "ix_PhotoObj_htmID", []string{"htmID"},
+			[]string{"objID", "cx", "cy", "cz", "ra", "dec", "type", "mode", "run", "camcol", "field", "rerun"}},
+		// The survey-address covering index behind the NEO query
+		// (Figure 12): everything Q15B touches is included.
+		{"PhotoObj", "ix_PhotoObj_run_camcol_field", []string{"run", "camcol", "field"},
+			[]string{"objID", "q_r", "u_r", "q_g", "u_g",
+				"fiberMag_u", "fiberMag_g", "fiberMag_r", "fiberMag_i", "fiberMag_z",
+				"parentID", "isoA_r", "isoB_r", "isoA_g", "isoB_g", "cx", "cy", "cz"}},
+		// Type/mode/magnitude: the star–galaxy separation workhorse.
+		{"PhotoObj", "ix_PhotoObj_type_mode_r", []string{"type", "mode", "r"},
+			[]string{"objID", "u", "g", "i", "z", "ra", "dec", "flags"}},
+		// Deblend family navigation.
+		{"PhotoObj", "ix_PhotoObj_parentID", []string{"parentID"}, []string{"objID", "nChild"}},
+		// Load-time undo scans.
+		{"PhotoObj", "ix_PhotoObj_loadTime", []string{"loadTime"}, nil},
+		{"Field", "ix_Field_run_camcol_field", []string{"run", "camcol", "field"}, []string{"fieldID"}},
+		{"Frame", "ix_Frame_field_zoom", []string{"fieldID", "zoom"}, []string{"frameID"}},
+		{"Neighbors", "ix_Neighbors_distance", []string{"objID", "distance"}, []string{"neighborObjID", "neighborType"}},
+		// The reverse direction: joins that walk from the neighbor back
+		// (the variable-star and lens-pair queries) probe this.
+		{"Neighbors", "ix_Neighbors_neighbor", []string{"neighborObjID"}, []string{"objID", "distance", "neighborType", "neighborMode"}},
+		{"SpecObj", "ix_SpecObj_objID", []string{"objID"}, []string{"specObjID", "z", "zConf", "specClass"}},
+		{"SpecObj", "ix_SpecObj_plate", []string{"plateID", "fiberID"}, []string{"specObjID"}},
+		{"SpecObj", "ix_SpecObj_z", []string{"specClass", "z"}, []string{"specObjID", "objID", "zConf"}},
+		{"SpecLine", "ix_SpecLine_ew", []string{"specObjID", "ew"}, nil},
+		{"xcRedShift", "ix_xcRedShift_r", []string{"specObjID", "r"}, nil},
+		{"First", "ix_First_peakFlux", []string{"peakFlux"}, []string{"objID"}},
+	}
+	for _, x := range indexes {
+		if _, err := db.CreateIndex(x.table, x.name, x.keys, x.incl); err != nil {
+			return fmt.Errorf("schema: index %s: %w", x.name, err)
+		}
+	}
+	return nil
+}
+
+// buildViews creates the subclassing views of §9.1.3.
+func buildViews(db *sqlengine.DB) error {
+	views := []struct{ name, base, where, desc string }{
+		{"PhotoPrimary", "PhotoObj", "mode = 1", "Primary survey objects: the best instance of each deblended child (≈80% of PhotoObj)."},
+		{"PhotoSecondary", "PhotoObj", "mode = 2", "Secondary (duplicate) observations from stripe/strip overlaps."},
+		{"Star", "PhotoPrimary", "type = 6", "Primary objects classified as stars."},
+		{"Galaxy", "PhotoPrimary", "type = 3", "Primary objects classified as galaxies."},
+		{"Unknown", "PhotoPrimary", "type = 0", "Primary objects of unknown type."},
+	}
+	for _, v := range views {
+		if err := db.CreateView(v.name, v.base, v.where, v.desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildForeignKeys declares the referential skeleton of Figure 7 ("a fairly
+// complete set of foreign key declarations").
+func buildForeignKeys(db *sqlengine.DB) error {
+	fks := []struct {
+		table, name string
+		cols        []string
+		ref         string
+		refCols     []string
+	}{
+		{"Frame", "fk_Frame_Field", []string{"fieldID"}, "Field", []string{"fieldID"}},
+		{"Profile", "fk_Profile_PhotoObj", []string{"objID"}, "PhotoObj", []string{"objID"}},
+		{"Neighbors", "fk_Neighbors_PhotoObj", []string{"objID"}, "PhotoObj", []string{"objID"}},
+		{"SpecObj", "fk_SpecObj_Plate", []string{"plateID"}, "Plate", []string{"plateID"}},
+		{"SpecLine", "fk_SpecLine_SpecObj", []string{"specObjID"}, "SpecObj", []string{"specObjID"}},
+		{"SpecLineIndex", "fk_SpecLineIndex_SpecObj", []string{"specObjID"}, "SpecObj", []string{"specObjID"}},
+		{"xcRedShift", "fk_xcRedShift_SpecObj", []string{"specObjID"}, "SpecObj", []string{"specObjID"}},
+		{"elRedShift", "fk_elRedShift_SpecObj", []string{"specObjID"}, "SpecObj", []string{"specObjID"}},
+		{"First", "fk_First_PhotoObj", []string{"objID"}, "PhotoObj", []string{"objID"}},
+		{"Rosat", "fk_Rosat_PhotoObj", []string{"objID"}, "PhotoObj", []string{"objID"}},
+		{"USNO", "fk_USNO_PhotoObj", []string{"objID"}, "PhotoObj", []string{"objID"}},
+	}
+	for _, fk := range fks {
+		if err := db.AddForeignKey(fk.table, fk.name, fk.cols, fk.ref, fk.refCols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PhotoFlagValue resolves a flag name (case-insensitive) to its bit value.
+func PhotoFlagValue(name string) (int64, bool) {
+	v, ok := photoFlagValues[upper(name)]
+	return v, ok
+}
+
+// PhotoTypeValue resolves a type name to its code.
+func PhotoTypeValue(name string) (int64, bool) {
+	v, ok := photoTypeNames[upper(name)]
+	return v, ok
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

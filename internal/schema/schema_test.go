@@ -1,0 +1,226 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"skyserver/internal/htm"
+	"skyserver/internal/sky"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+func build(t *testing.T) *SkyDB {
+	t.Helper()
+	sdb, err := Build(storage.NewMemFileGroup(2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb
+}
+
+func TestBuildCreatesTable1Tables(t *testing.T) {
+	sdb := build(t)
+	tables := sdb.Tables()
+	if len(tables) != 11 {
+		t.Fatalf("Tables() = %d, want the 11 of Table 1", len(tables))
+	}
+	wantOrder := []string{"Field", "Frame", "PhotoObj", "Profile", "Neighbors",
+		"Plate", "SpecObj", "SpecLine", "SpecLineIndex", "xcRedShift", "elRedShift"}
+	for i, tb := range tables {
+		if tb.Name != wantOrder[i] {
+			t.Errorf("table %d = %s, want %s", i, tb.Name, wantOrder[i])
+		}
+	}
+}
+
+func TestPhotoObjSchemaShape(t *testing.T) {
+	sdb := build(t)
+	n := len(sdb.PhotoObj.Cols)
+	if n < 180 || n > 280 {
+		t.Errorf("PhotoObj has %d columns; the paper's record has ~400 attributes, our target ≈220", n)
+	}
+	// The 60 magnitude attributes: 6 kinds × 5 bands of mags and errors.
+	for _, kind := range MagKinds {
+		for _, band := range Bands {
+			if sdb.PhotoObj.ColIndex(kind+"Mag_"+band) < 0 {
+				t.Errorf("missing %sMag_%s", kind, band)
+			}
+			if sdb.PhotoObj.ColIndex(kind+"MagErr_"+band) < 0 {
+				t.Errorf("missing %sMagErr_%s", kind, band)
+			}
+		}
+	}
+	// The queried columns of §11.
+	for _, col := range []string{"objID", "run", "camcol", "field", "ra", "dec",
+		"cx", "cy", "cz", "htmID", "rowv", "colv", "q_r", "u_r", "q_g", "u_g",
+		"fiberMag_r", "parentID", "isoA_r", "isoB_r", "u", "g", "r", "i", "z",
+		"extinction_r", "petroR50_g", "loadTime"} {
+		if sdb.PhotoObj.ColIndex(col) < 0 {
+			t.Errorf("missing column %s", col)
+		}
+	}
+	// Every column documented for the schema browser.
+	for _, c := range sdb.PhotoObj.Cols {
+		if c.Desc == "" {
+			t.Errorf("column %s undocumented", c.Name)
+		}
+	}
+}
+
+func TestViewsAndIndexesExist(t *testing.T) {
+	sdb := build(t)
+	for _, v := range []string{"PhotoPrimary", "PhotoSecondary", "Star", "Galaxy", "Unknown"} {
+		if _, ok := sdb.DB.View(v); !ok {
+			t.Errorf("missing view %s", v)
+		}
+	}
+	for _, ix := range []string{"ix_PhotoObj_htmID", "ix_PhotoObj_run_camcol_field", "ix_PhotoObj_type_mode_r"} {
+		if sdb.PhotoObj.IndexByName(ix) == nil {
+			t.Errorf("missing index %s", ix)
+		}
+	}
+	if got := len(sdb.PhotoObj.Indexes()); got < 5 {
+		t.Errorf("PhotoObj has %d indexes; the paper has 'tens'", got)
+	}
+}
+
+func TestFlagAndTypeVocabularies(t *testing.T) {
+	v, ok := PhotoFlagValue("SATURATED")
+	if !ok || v == 0 {
+		t.Error("SATURATED missing")
+	}
+	if v2, ok := PhotoFlagValue("saturated"); !ok || v2 != v {
+		t.Error("flag lookup not case-insensitive")
+	}
+	if _, ok := PhotoFlagValue("NOT_A_FLAG"); ok {
+		t.Error("bogus flag resolved")
+	}
+	if v, ok := PhotoTypeValue("GALAXY"); !ok || v != TypeGalaxy {
+		t.Error("GALAXY type wrong")
+	}
+	if v, ok := PhotoTypeValue("star"); !ok || v != TypeStar {
+		t.Error("star type wrong")
+	}
+	// Flags must be distinct bits.
+	seen := map[int64]string{}
+	for name := range photoFlagValues {
+		v, _ := PhotoFlagValue(name)
+		if prev, dup := seen[v]; dup {
+			t.Errorf("flags %s and %s share bit %x", name, prev, v)
+		}
+		seen[v] = name
+	}
+}
+
+func TestFunctionsRegistered(t *testing.T) {
+	sdb := build(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	res, err := sess.Exec("select dbo.fPhotoFlags('SATURATED'), dbo.fPhotoType('GALAXY')", sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].I != TypeGalaxy {
+		t.Errorf("fPhotoType = %v", res.Rows[0][1])
+	}
+	if _, err := sess.Exec("select dbo.fPhotoFlags('NOPE')", sqlengine.ExecOptions{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	res, err = sess.Exec("select dbo.fGetUrlExpId(42)", sqlengine.ExecOptions{})
+	if err != nil || !strings.Contains(res.Rows[0][0].S, "id=42") {
+		t.Errorf("fGetUrlExpId: %v %v", res.Rows, err)
+	}
+	res, err = sess.Exec("select dbo.fDistanceArcMinEq(185, 0, 185, 1)", sqlengine.ExecOptions{})
+	if err != nil || res.Rows[0][0].F < 59.9 || res.Rows[0][0].F > 60.1 {
+		t.Errorf("fDistanceArcMinEq: %v %v", res.Rows, err)
+	}
+}
+
+func TestSpatialTVFsOnEmptyAndPlanted(t *testing.T) {
+	sdb := build(t)
+	sess := sqlengine.NewSession(sdb.DB)
+	// Empty database: zero rows, no error.
+	res, err := sess.Exec("select * from fGetNearbyObjEq(185, -0.5, 1)", sqlengine.ExecOptions{})
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("empty nearby: %v %v", res.Rows, err)
+	}
+	// Plant two objects, one inside 1', one outside.
+	tab := sdb.PhotoObj
+	mk := func(id int64, ra, dec float64) val.Row {
+		row := make(val.Row, len(tab.Cols))
+		for j, c := range tab.Cols {
+			switch c.Kind {
+			case val.KindInt:
+				row[j] = val.Int(0)
+			case val.KindFloat:
+				row[j] = val.Float(0)
+			case val.KindString:
+				row[j] = val.Str("")
+			default:
+				row[j] = val.Null()
+			}
+		}
+		row[tab.ColIndex("objID")] = val.Int(id)
+		row[tab.ColIndex("ra")] = val.Float(ra)
+		row[tab.ColIndex("dec")] = val.Float(dec)
+		v := eqVec(ra, dec)
+		row[tab.ColIndex("cx")] = val.Float(v[0])
+		row[tab.ColIndex("cy")] = val.Float(v[1])
+		row[tab.ColIndex("cz")] = val.Float(v[2])
+		row[tab.ColIndex("htmID")] = val.Int(htmID(ra, dec))
+		row[tab.ColIndex("mode")] = val.Int(1)
+		row[tab.ColIndex("type")] = val.Int(3)
+		return row
+	}
+	if _, err := tab.Insert(mk(1, 185.001, -0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(mk(2, 185.2, -0.5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess.Exec("select objID, distance from fGetNearbyObjEq(185, -0.5, 1)", sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("nearby = %v, want just object 1", res.Rows)
+	}
+	res, err = sess.Exec("select objID from fGetNearestObjEq(185, -0.5, 60)", sqlengine.ExecOptions{})
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("nearest = %v %v", res.Rows, err)
+	}
+	res, err = sess.Exec("select HTMIDstart, HTMIDend from fHTMCoverCircleEq(185, -0.5, 1)", sqlengine.ExecOptions{})
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("cover: %v %v", res.Rows, err)
+	}
+	for _, row := range res.Rows {
+		if row[0].I >= row[1].I {
+			t.Errorf("cover range [%d,%d) empty", row[0].I, row[1].I)
+		}
+	}
+	// Error paths.
+	if _, err := sess.Exec("select * from fGetNearbyObjEq(185, -0.5, -1)", sqlengine.ExecOptions{}); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestForeignKeysDeclared(t *testing.T) {
+	sdb := build(t)
+	if len(sdb.SpecLine.ForeignKeys()) == 0 {
+		t.Error("SpecLine has no FKs")
+	}
+	fk := sdb.SpecLine.ForeignKeys()[0]
+	if fk.RefTable != "SpecObj" {
+		t.Errorf("SpecLine FK references %s", fk.RefTable)
+	}
+}
+
+func eqVec(ra, dec float64) [3]float64 {
+	v := sky.EqToVec(ra, dec)
+	return [3]float64{v.X, v.Y, v.Z}
+}
+
+func htmID(ra, dec float64) int64 {
+	return int64(htm.LookupEq(ra, dec, HTMDepth))
+}

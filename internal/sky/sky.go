@@ -1,0 +1,257 @@
+// Package sky provides celestial geometry primitives used throughout the
+// SkyServer: J2000 equatorial coordinates, unit vectors on the celestial
+// sphere, arc-angle math, and the SDSS survey addressing grid
+// (stripe / strip / run / camcol / field) described in Figure 6 of the paper.
+//
+// The paper stores both (ra, dec) and the Cartesian components (cx, cy, cz)
+// of the corresponding unit vector for every object, because "the dot product
+// and the Cartesian difference of two vectors are quick ways to determine the
+// arc-angle or distance between them" (§9.1.4). This package implements those
+// conversions and distance predicates.
+package sky
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Degrees per radian and related conversion constants.
+const (
+	DegPerRad    = 180 / math.Pi
+	RadPerDeg    = math.Pi / 180
+	ArcminPerDeg = 60
+	ArcsecPerDeg = 3600
+)
+
+// Vec3 is a point on (or vector toward) the unit celestial sphere in the
+// J2000 Cartesian frame: x toward (ra=0, dec=0), z toward the north
+// celestial pole.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// EqToVec converts J2000 equatorial coordinates in degrees to a unit vector.
+func EqToVec(raDeg, decDeg float64) Vec3 {
+	ra := raDeg * RadPerDeg
+	dec := decDeg * RadPerDeg
+	cd := math.Cos(dec)
+	return Vec3{
+		X: math.Cos(ra) * cd,
+		Y: math.Sin(ra) * cd,
+		Z: math.Sin(dec),
+	}
+}
+
+// VecToEq converts a (not necessarily normalized) vector back to J2000
+// equatorial coordinates in degrees, with ra in [0, 360).
+func VecToEq(v Vec3) (raDeg, decDeg float64) {
+	n := v.Norm()
+	if n == 0 {
+		return 0, 0
+	}
+	dec := math.Asin(v.Z/n) * DegPerRad
+	ra := math.Atan2(v.Y, v.X) * DegPerRad
+	if ra < 0 {
+		ra += 360
+	}
+	return ra, dec
+}
+
+// Dot returns the dot product of two vectors.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// AngleTo returns the arc angle between v and w in radians. Both inputs are
+// assumed to be unit vectors; the chord formulation
+// 2·asin(|v−w|/2) is used because it is numerically stable for small angles,
+// which dominate neighbour searches.
+func (v Vec3) AngleTo(w Vec3) float64 {
+	d := v.Sub(w).Norm()
+	if d > 2 {
+		d = 2
+	}
+	return 2 * math.Asin(d/2)
+}
+
+// DistanceDeg returns the arc distance between two (ra, dec) points in
+// degrees.
+func DistanceDeg(ra1, dec1, ra2, dec2 float64) float64 {
+	return EqToVec(ra1, dec1).AngleTo(EqToVec(ra2, dec2)) * DegPerRad
+}
+
+// DistanceArcmin returns the arc distance between two (ra, dec) points in
+// arcminutes. This matches the `distance` column returned by the
+// fGetNearbyObjEq table-valued function.
+func DistanceArcmin(ra1, dec1, ra2, dec2 float64) float64 {
+	return DistanceDeg(ra1, dec1, ra2, dec2) * ArcminPerDeg
+}
+
+// WithinRadiusDeg reports whether two unit vectors are within the given arc
+// radius (degrees) of each other, using a pure dot-product comparison so the
+// hot path of spatial joins avoids trigonometry.
+func WithinRadiusDeg(a, b Vec3, radiusDeg float64) bool {
+	return a.Dot(b) >= math.Cos(radiusDeg*RadPerDeg)
+}
+
+// NormalizeRA maps any right ascension in degrees into [0, 360).
+func NormalizeRA(ra float64) float64 {
+	ra = math.Mod(ra, 360)
+	if ra < 0 {
+		ra += 360
+	}
+	return ra
+}
+
+// ClampDec clamps a declination to the valid [−90, 90] range.
+func ClampDec(dec float64) float64 {
+	if dec < -90 {
+		return -90
+	}
+	if dec > 90 {
+		return 90
+	}
+	return dec
+}
+
+// Survey grid geometry (Figure 6). The SDSS observes the sky in great-circle
+// *strips*; two interleaved strips from two nights form a *stripe* about 2.5°
+// wide and up to 130° long. A strip is divided along its length into
+// *fields*; six camera columns (camcols) sweep in parallel; a contiguous
+// observation of one strip is a *run*. About 10% of each strip overlaps its
+// partner, so ~11% of objects are observed more than once (§9).
+const (
+	// StripeWidthDeg is the width of a survey stripe in degrees.
+	StripeWidthDeg = 2.5
+	// FieldHeightDeg is the along-scan extent of one field in degrees
+	// (a frame is 2048×1489 pixels at 0.396″/pixel ≈ 0.225° × 0.164°;
+	// we use the along-scan 0.164° rounded for the synthetic grid).
+	FieldHeightDeg = 0.164
+	// CamCols is the number of camera columns per strip.
+	CamCols = 6
+	// StripOverlapFrac is the fraction of a strip that overlaps the
+	// interleaved partner strip, producing duplicate (secondary) objects.
+	StripOverlapFrac = 0.10
+)
+
+// FieldID addresses one field in the survey grid exactly as the PhotoObj
+// table does: by run, rerun, camcol and field number.
+type FieldID struct {
+	Run    int
+	Rerun  int
+	CamCol int
+	Field  int
+}
+
+// String renders the field address in the conventional run-rerun-camcol-field
+// form used by SDSS file names.
+func (f FieldID) String() string {
+	return fmt.Sprintf("%06d-%d-%d-%04d", f.Run, f.Rerun, f.CamCol, f.Field)
+}
+
+// Grid describes the synthetic survey footprint: a set of stripes, each made
+// of two interleaved strips (two runs), each run divided into fields and
+// camcols. The grid places fields on the sphere so that generated objects
+// have consistent (ra, dec) ↔ (run, camcol, field) addressing.
+type Grid struct {
+	// Stripes is the number of stripes in the footprint.
+	Stripes int
+	// FieldsPerStrip is the number of fields along each strip.
+	FieldsPerStrip int
+	// RA0, Dec0 anchor the footprint's south-west corner in degrees.
+	RA0, Dec0 float64
+}
+
+// Validate reports an error for non-positive grid dimensions or anchors that
+// push the footprint off the sphere.
+func (g Grid) Validate() error {
+	if g.Stripes <= 0 || g.FieldsPerStrip <= 0 {
+		return errors.New("sky: grid dimensions must be positive")
+	}
+	top := g.Dec0 + float64(g.Stripes)*StripeWidthDeg
+	if g.Dec0 < -90 || top > 90 {
+		return fmt.Errorf("sky: grid spans dec %.2f..%.2f outside [-90,90]", g.Dec0, top)
+	}
+	return nil
+}
+
+// RunNumber returns the run identifier for a (stripe, strip) pair. Strip 0 is
+// the first night's observation, strip 1 the second. Runs are synthetic but
+// stable: they look like plausible SDSS run numbers.
+func (g Grid) RunNumber(stripe, strip int) int {
+	return 752 + stripe*2 + strip
+}
+
+// FieldCenter returns the J2000 center of a field. Stripes advance in
+// declination; fields advance in right ascension; camcols split the stripe
+// width; the two strips of a stripe are offset by half a stripe so they
+// interleave with StripOverlapFrac overlap.
+func (g Grid) FieldCenter(stripe, strip, camcol, field int) (raDeg, decDeg float64) {
+	camWidth := StripeWidthDeg / CamCols
+	// Strip 1 is shifted by (1-overlap) * half stripe so the two strips
+	// interleave and overlap at the edges.
+	stripShift := float64(strip) * camWidth * CamCols / 2 * (1 - StripOverlapFrac) / 3
+	dec := g.Dec0 + float64(stripe)*StripeWidthDeg + (float64(camcol)+0.5)*camWidth + stripShift
+	ra := g.RA0 + (float64(field)+0.5)*FieldHeightDeg
+	return NormalizeRA(ra), ClampDec(dec)
+}
+
+// FieldBounds returns the (ra, dec) bounding box of a field.
+func (g Grid) FieldBounds(stripe, strip, camcol, field int) (raMin, raMax, decMin, decMax float64) {
+	ra, dec := g.FieldCenter(stripe, strip, camcol, field)
+	camWidth := StripeWidthDeg / CamCols
+	return ra - FieldHeightDeg/2, ra + FieldHeightDeg/2, dec - camWidth/2, dec + camWidth/2
+}
+
+// LocateField returns the (stripe, strip0) field address whose bounds contain
+// the given point, if any. Only strip 0 is consulted; callers needing overlap
+// semantics enumerate both strips.
+func (g Grid) LocateField(raDeg, decDeg float64) (stripe, camcol, field int, ok bool) {
+	raDeg = NormalizeRA(raDeg)
+	dRA := raDeg - g.RA0
+	if dRA < 0 {
+		dRA += 360
+	}
+	field = int(dRA / FieldHeightDeg)
+	camWidth := StripeWidthDeg / CamCols
+	dDec := decDeg - g.Dec0
+	if dDec < 0 {
+		return 0, 0, 0, false
+	}
+	stripe = int(dDec / StripeWidthDeg)
+	camcol = int(math.Mod(dDec, StripeWidthDeg) / camWidth)
+	if stripe >= g.Stripes || field >= g.FieldsPerStrip || camcol >= CamCols {
+		return 0, 0, 0, false
+	}
+	return stripe, camcol, field, true
+}

@@ -1,0 +1,205 @@
+package sky
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEqToVecCardinalPoints(t *testing.T) {
+	cases := []struct {
+		ra, dec float64
+		want    Vec3
+	}{
+		{0, 0, Vec3{1, 0, 0}},
+		{90, 0, Vec3{0, 1, 0}},
+		{180, 0, Vec3{-1, 0, 0}},
+		{270, 0, Vec3{0, -1, 0}},
+		{0, 90, Vec3{0, 0, 1}},
+		{0, -90, Vec3{0, 0, -1}},
+	}
+	for _, c := range cases {
+		v := EqToVec(c.ra, c.dec)
+		if !almostEq(v.X, c.want.X, 1e-12) || !almostEq(v.Y, c.want.Y, 1e-12) || !almostEq(v.Z, c.want.Z, 1e-12) {
+			t.Errorf("EqToVec(%g,%g) = %+v, want %+v", c.ra, c.dec, v, c.want)
+		}
+	}
+}
+
+func TestEqVecRoundTrip(t *testing.T) {
+	f := func(raRaw, decRaw float64) bool {
+		ra := NormalizeRA(math.Mod(raRaw, 1e6))
+		dec := math.Mod(decRaw, 89.9)
+		v := EqToVec(ra, dec)
+		ra2, dec2 := VecToEq(v)
+		return almostEq(dec, dec2, 1e-9) && almostEq(math.Mod(ra-ra2+720, 360), 0, 1e-9) ||
+			almostEq(math.Abs(ra-ra2), 360, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecToEqZeroVector(t *testing.T) {
+	ra, dec := VecToEq(Vec3{})
+	if ra != 0 || dec != 0 {
+		t.Errorf("VecToEq(zero) = (%g,%g), want (0,0)", ra, dec)
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	f := func(ra, dec float64) bool {
+		v := EqToVec(NormalizeRA(ra), ClampDec(math.Mod(dec, 90)))
+		return almostEq(v.Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleToKnown(t *testing.T) {
+	a := EqToVec(0, 0)
+	b := EqToVec(90, 0)
+	if got := a.AngleTo(b) * DegPerRad; !almostEq(got, 90, 1e-9) {
+		t.Errorf("angle = %g, want 90", got)
+	}
+	c := EqToVec(0, 90)
+	if got := a.AngleTo(c) * DegPerRad; !almostEq(got, 90, 1e-9) {
+		t.Errorf("angle to pole = %g, want 90", got)
+	}
+	if got := a.AngleTo(a); !almostEq(got, 0, 1e-12) {
+		t.Errorf("self angle = %g, want 0", got)
+	}
+}
+
+func TestAngleToSmallAngles(t *testing.T) {
+	// Half-arcminute separations drive the Neighbors computation; the
+	// chord formula must resolve them precisely.
+	a := EqToVec(185, -0.5)
+	b := EqToVec(185, -0.5+0.5/60)
+	gotArcmin := a.AngleTo(b) * DegPerRad * ArcminPerDeg
+	if !almostEq(gotArcmin, 0.5, 1e-9) {
+		t.Errorf("small angle = %g arcmin, want 0.5", gotArcmin)
+	}
+}
+
+func TestDistanceArcmin(t *testing.T) {
+	if got := DistanceArcmin(185, -0.5, 185, -0.5); got != 0 {
+		t.Errorf("zero distance = %g", got)
+	}
+	got := DistanceArcmin(185, 0, 185, 1)
+	if !almostEq(got, 60, 1e-9) {
+		t.Errorf("1 degree = %g arcmin, want 60", got)
+	}
+}
+
+func TestWithinRadiusDeg(t *testing.T) {
+	a := EqToVec(10, 10)
+	b := EqToVec(10, 10.5)
+	if !WithinRadiusDeg(a, b, 0.6) {
+		t.Error("0.5 deg apart should be within 0.6 deg")
+	}
+	if WithinRadiusDeg(a, b, 0.4) {
+		t.Error("0.5 deg apart should not be within 0.4 deg")
+	}
+}
+
+func TestWithinRadiusMatchesAngleTo(t *testing.T) {
+	f := func(ra1, dec1, ra2, dec2, rRaw float64) bool {
+		r := math.Abs(math.Mod(rRaw, 10))
+		a := EqToVec(NormalizeRA(ra1), math.Mod(dec1, 89))
+		b := EqToVec(NormalizeRA(ra2), math.Mod(dec2, 89))
+		angDeg := a.AngleTo(b) * DegPerRad
+		if math.Abs(angDeg-r) < 1e-9 {
+			return true // boundary: either answer acceptable
+		}
+		return WithinRadiusDeg(a, b, r) == (angDeg <= r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeRA(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {-10, 350}, {725, 5}, {359.5, 359.5},
+	}
+	for _, c := range cases {
+		if got := NormalizeRA(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeRA(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ra1, dec1, ra2, dec2 float64) bool {
+		a := EqToVec(NormalizeRA(ra1), math.Mod(dec1, 89))
+		b := EqToVec(NormalizeRA(ra2), math.Mod(dec2, 89))
+		c := a.Cross(b)
+		return almostEq(c.Dot(a), 0, 1e-9) && almostEq(c.Dot(b), 0, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := (Grid{Stripes: 2, FieldsPerStrip: 10, RA0: 180, Dec0: -1.25}).Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+	if err := (Grid{Stripes: 0, FieldsPerStrip: 10}).Validate(); err == nil {
+		t.Error("zero stripes accepted")
+	}
+	if err := (Grid{Stripes: 80, FieldsPerStrip: 10, Dec0: -1.25}).Validate(); err == nil {
+		t.Error("grid past the pole accepted")
+	}
+}
+
+func TestGridFieldAddressing(t *testing.T) {
+	g := Grid{Stripes: 2, FieldsPerStrip: 100, RA0: 180, Dec0: -1.25}
+	ra, dec := g.FieldCenter(0, 0, 0, 0)
+	stripe, camcol, field, ok := g.LocateField(ra, dec)
+	if !ok || stripe != 0 || camcol != 0 || field != 0 {
+		t.Errorf("LocateField(center of 0/0/0/0) = (%d,%d,%d,%v)", stripe, camcol, field, ok)
+	}
+	ra, dec = g.FieldCenter(1, 0, 3, 42)
+	stripe, camcol, field, ok = g.LocateField(ra, dec)
+	if !ok || stripe != 1 || camcol != 3 || field != 42 {
+		t.Errorf("LocateField = (%d,%d,%d,%v), want (1,3,42,true)", stripe, camcol, field, ok)
+	}
+	if _, _, _, ok := g.LocateField(0, 50); ok {
+		t.Error("point far outside footprint located")
+	}
+}
+
+func TestGridRunNumbersDistinct(t *testing.T) {
+	g := Grid{Stripes: 3, FieldsPerStrip: 10, RA0: 0, Dec0: 0}
+	seen := map[int]bool{}
+	for s := 0; s < g.Stripes; s++ {
+		for strip := 0; strip < 2; strip++ {
+			r := g.RunNumber(s, strip)
+			if seen[r] {
+				t.Fatalf("duplicate run number %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestFieldIDString(t *testing.T) {
+	f := FieldID{Run: 752, Rerun: 1, CamCol: 3, Field: 42}
+	if got := f.String(); got != "000752-1-3-0042" {
+		t.Errorf("FieldID.String() = %q", got)
+	}
+}
+
+func TestFieldBoundsContainCenter(t *testing.T) {
+	g := Grid{Stripes: 2, FieldsPerStrip: 50, RA0: 180, Dec0: -1.25}
+	raMin, raMax, decMin, decMax := g.FieldBounds(1, 1, 2, 7)
+	ra, dec := g.FieldCenter(1, 1, 2, 7)
+	if ra < raMin || ra > raMax || dec < decMin || dec > decMax {
+		t.Errorf("center (%g,%g) outside bounds [%g,%g]x[%g,%g]", ra, dec, raMin, raMax, decMin, decMax)
+	}
+}

@@ -1,0 +1,194 @@
+package sqlengine
+
+import "skyserver/internal/val"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is SELECT [TOP n] [DISTINCT] items [INTO target] FROM sources
+// [WHERE cond] [GROUP BY exprs [HAVING cond]] [ORDER BY keys].
+type SelectStmt struct {
+	Top      int // 0 = no limit
+	Distinct bool
+	Items    []SelectItem
+	Into     string // "##results" style target, "" if none
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+}
+
+// SelectItem is one output column: an expression with an optional alias, or
+// a star (Expr == nil, Star true, optional qualifier).
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	Qualifier string // "G" in G.*
+}
+
+// FromItem is one FROM source: a named table/view, or a table-valued
+// function call. JoinCond is the ON condition binding it to the preceding
+// sources (nil for the first item and for comma-joins).
+type FromItem struct {
+	Table    string
+	Func     *FuncExpr // table-valued function if non-nil
+	Alias    string
+	JoinCond Expr
+}
+
+// Name returns the binding name of the source (alias or table name).
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	if f.Func != nil {
+		return f.Func.Name
+	}
+	return f.Table
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// DeclareStmt is DECLARE @name type.
+type DeclareStmt struct {
+	Name string // without @
+	Type string
+}
+
+// SetStmt is SET @name = expr.
+type SetStmt struct {
+	Name string
+	Expr Expr
+}
+
+// InsertStmt is INSERT [INTO] table [(cols)] VALUES (...),(...) or
+// INSERT [INTO] table [(cols)] SELECT ...
+type InsertStmt struct {
+	Table  string
+	Cols   []string
+	Values [][]Expr
+	Select *SelectStmt
+}
+
+// DeleteStmt is DELETE FROM table [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE name (col type [NOT NULL], ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []ColDef
+}
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    string
+	NotNull bool
+}
+
+func (*SelectStmt) stmt()      {}
+func (*DeclareStmt) stmt()     {}
+func (*SetStmt) stmt()         {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// LitExpr is a literal value.
+type LitExpr struct{ Val val.Value }
+
+// ColExpr references a column, optionally qualified by a source name.
+type ColExpr struct {
+	Qualifier string // "" if unqualified
+	Name      string
+}
+
+// VarExpr references a session variable @name.
+type VarExpr struct{ Name string }
+
+// UnaryExpr is -x, ~x or NOT x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr is a binary operation: arithmetic, comparison, AND/OR, bitwise.
+type BinExpr struct {
+	Op   string // lower-case: "+", "-", "*", "/", "%", "&", "|", "^", "=", "<>", "<", "<=", ">", ">=", "and", "or"
+	L, R Expr
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// LikeExpr is x [NOT] LIKE pattern (with % and _ wildcards).
+type LikeExpr struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// FuncExpr is a function call, scalar or table-valued; the optional "dbo."
+// schema prefix is recorded but ignored for lookup.
+type FuncExpr struct {
+	Name string // lower-cased, without dbo.
+	Args []Expr
+}
+
+// CaseExpr is CASE [WHEN cond THEN val]... [ELSE val] END (searched form).
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// AggExpr is an aggregate call: COUNT(*), COUNT(x), SUM, AVG, MIN, MAX.
+type AggExpr struct {
+	Name string // lower-case
+	Arg  Expr   // nil for COUNT(*)
+}
+
+func (*LitExpr) expr()     {}
+func (*ColExpr) expr()     {}
+func (*VarExpr) expr()     {}
+func (*UnaryExpr) expr()   {}
+func (*BinExpr) expr()     {}
+func (*BetweenExpr) expr() {}
+func (*InExpr) expr()      {}
+func (*LikeExpr) expr()    {}
+func (*IsNullExpr) expr()  {}
+func (*FuncExpr) expr()    {}
+func (*CaseExpr) expr()    {}
+func (*AggExpr) expr()     {}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package sqlengine
+
+import "time"
+
+// processCPU is unavailable off Linux; CPU-time statistics read as zero.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,620 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// testDB builds a small database shaped like the SkyServer schema: an Obj
+// table with a PK on objID, a secondary index on (run, camcol) covering
+// mag_r, a view over primaries, a TVF, and a scalar flag function.
+func testDB(t *testing.T) (*DB, *Session) {
+	t.Helper()
+	fg := storage.NewMemFileGroup(2, 1024)
+	db := NewDB(fg)
+	_, err := db.CreateTable("Obj", []Column{
+		{Name: "objID", Kind: val.KindInt, NotNull: true},
+		{Name: "run", Kind: val.KindInt, NotNull: true},
+		{Name: "camcol", Kind: val.KindInt, NotNull: true},
+		{Name: "field", Kind: val.KindInt, NotNull: true},
+		{Name: "ra", Kind: val.KindFloat, NotNull: true},
+		{Name: "dec", Kind: val.KindFloat, NotNull: true},
+		{Name: "mag_r", Kind: val.KindFloat, NotNull: true},
+		{Name: "mag_g", Kind: val.KindFloat, NotNull: true},
+		{Name: "type", Kind: val.KindInt, NotNull: true},
+		{Name: "flags", Kind: val.KindInt, NotNull: true},
+		{Name: "name", Kind: val.KindString},
+	}, []string{"objID"}, "test objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("Obj", "ix_run_camcol", []string{"run", "camcol"}, []string{"mag_r"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("Primaries", "Obj", "(flags & 1) = 1", "primary objects"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("Gals", "Primaries", "type = 3", "primary galaxies"); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterScalar(&ScalarFunc{Name: "fFlagVal", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].S == "saturated" {
+				return val.Int(2), nil
+			}
+			return val.Int(0), nil
+		}})
+	db.RegisterTVF(&TableFunc{
+		Name: "fNearIDs",
+		Cols: []Column{
+			{Name: "objID", Kind: val.KindInt},
+			{Name: "distance", Kind: val.KindFloat},
+		},
+		EstRows: 4,
+		Fn: func(_ *ExecCtx, args []val.Value) ([]val.Row, error) {
+			// Return objIDs 1..n with synthetic distances.
+			n, _ := args[0].AsInt()
+			var rows []val.Row
+			for i := int64(1); i <= n; i++ {
+				rows = append(rows, val.Row{val.Int(i), val.Float(float64(n-i) * 0.1)})
+			}
+			return rows, nil
+		}})
+
+	tab, _ := db.Table("Obj")
+	// 60 objects in runs 752/756, camcols 1..6; odd objIDs primary
+	// (flags bit 1), every 10th saturated (bit 2), types alternate 3/6.
+	for i := int64(1); i <= 60; i++ {
+		run := int64(752)
+		if i%2 == 0 {
+			run = 756
+		}
+		flags := i % 2 // primary bit
+		if i%10 == 0 {
+			flags |= 2 // saturated
+		}
+		typ := int64(3)
+		if i%3 == 0 {
+			typ = 6
+		}
+		row := val.Row{
+			val.Int(i), val.Int(run), val.Int(1 + (i % 6)), val.Int(i / 6),
+			val.Float(180 + float64(i)*0.01), val.Float(-0.5 + float64(i)*0.001),
+			val.Float(15 + float64(i%8)), val.Float(16 + float64(i%5)),
+			val.Int(typ), val.Int(flags), val.Str("obj"),
+		}
+		if _, err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, NewSession(db)
+}
+
+func mustExec(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	res, err := s.Exec(sql, ExecOptions{})
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectSimple(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select objID, mag_r from Obj where objID = 5")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Cols[0] != "objID" || res.Cols[1] != "mag_r" {
+		t.Errorf("cols = %v", res.Cols)
+	}
+	// objID = 5 should use the PK index, not a table scan.
+	if !strings.Contains(res.Plan, "IndexSeek(Obj.pk_Obj") {
+		t.Errorf("plan does not seek the PK:\n%s", res.Plan)
+	}
+}
+
+func TestSelectNoFrom(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select 1+2 as three, 'x' as s")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 || res.Rows[0][1].S != "x" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Cols[0] != "three" {
+		t.Errorf("alias lost: %v", res.Cols)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select * from Obj where objID = 1")
+	if len(res.Cols) != 11 {
+		t.Fatalf("star expanded to %d cols", len(res.Cols))
+	}
+}
+
+func TestWhereArithmeticAndBetween(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) as n from Obj where mag_r between 15 and 17")
+	var manual int64
+	res2 := mustExec(t, s, "select mag_r from Obj")
+	for _, r := range res2.Rows {
+		if r[0].F >= 15 && r[0].F <= 17 {
+			manual++
+		}
+	}
+	if res.Rows[0][0].I != manual {
+		t.Errorf("count = %d, manual = %d", res.Rows[0][0].I, manual)
+	}
+}
+
+func TestOrderByAndTop(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select top 5 objID, mag_r from Obj order by mag_r desc, objID asc")
+	if len(res.Rows) != 5 {
+		t.Fatalf("top 5 returned %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].F > res.Rows[i-1][1].F {
+			t.Fatalf("not sorted desc: %v", res.Rows)
+		}
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select objID, mag_r - mag_g as color from Obj order by color")
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].Compare(res.Rows[i-1][1]) < 0 {
+			t.Fatalf("not sorted by alias")
+		}
+	}
+}
+
+func TestOrderByOrdinal(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select objID, mag_r from Obj order by 2 desc")
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].F > res.Rows[i-1][1].F {
+			t.Fatalf("ordinal sort failed")
+		}
+	}
+}
+
+func TestOrderByHiddenExpr(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select objID from Obj order by mag_r + mag_g desc")
+	if len(res.Cols) != 1 {
+		t.Fatalf("hidden sort column leaked: %v", res.Cols)
+	}
+	if len(res.Rows) != 60 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		select run, count(*) as n, avg(mag_r) as am
+		from Obj group by run having count(*) > 1 order by run`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0].I != 752 || res.Rows[1][0].I != 756 {
+		t.Errorf("group keys wrong: %v", res.Rows)
+	}
+	if res.Rows[0][1].I+res.Rows[1][1].I != 60 {
+		t.Errorf("group counts don't sum to 60: %v", res.Rows)
+	}
+}
+
+func TestAggregatesMinMaxSum(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select min(mag_r), max(mag_r), sum(objID), count(name) from Obj")
+	r := res.Rows[0]
+	if r[0].F != 15 || r[1].F != 22 {
+		t.Errorf("min/max = %v", r)
+	}
+	if r[2].F != 60*61/2 {
+		t.Errorf("sum = %v", r[2])
+	}
+	if r[3].I != 60 {
+		t.Errorf("count(name) = %v", r[3])
+	}
+}
+
+func TestCountEmptyResult(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) from Obj where objID > 1000000")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 0 {
+		t.Fatalf("count over empty = %v", res.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select distinct run from Obj order by run")
+	if len(res.Rows) != 2 {
+		t.Fatalf("distinct runs = %v", res.Rows)
+	}
+}
+
+func TestViewInlining(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) from Primaries")
+	if res.Rows[0][0].I != 30 {
+		t.Errorf("primaries = %v, want 30 (odd objIDs)", res.Rows[0][0])
+	}
+	// Stacked views: Gals = Primaries with type=3.
+	res2 := mustExec(t, s, "select count(*) from Gals")
+	manual := mustExec(t, s, "select count(*) from Obj where (flags & 1) = 1 and type = 3")
+	if res2.Rows[0][0].I != manual.Rows[0][0].I {
+		t.Errorf("stacked view = %v, manual = %v", res2.Rows[0][0], manual.Rows[0][0])
+	}
+	if !strings.Contains(res2.Plan, "Obj") {
+		t.Errorf("view not inlined to base table:\n%s", res2.Plan)
+	}
+}
+
+func TestDeclareSetAndBitwise(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		declare @saturated bigint;
+		set @saturated = dbo.fFlagVal('saturated');
+		select count(*) from Obj where (flags & @saturated) = 0`)
+	if res.Rows[0][0].I != 54 {
+		t.Errorf("unsaturated = %v, want 54", res.Rows[0][0])
+	}
+}
+
+func TestQ1ShapeTVFJoin(t *testing.T) {
+	// The paper's Query 1 shape: view join TVF on objID, flag test, sort,
+	// INTO a temp table.
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		declare @saturated bigint;
+		set @saturated = dbo.fFlagVal('saturated');
+		select G.objID, GN.distance
+		into ##results
+		from Gals as G
+		join fNearIDs(20) as GN on G.objID = GN.objID
+		where (G.flags & @saturated) = 0
+		order by distance`)
+	// fNearIDs(20) returns ids 1..20; Gals are odd & type=3 & not
+	// saturated. Check against manual evaluation.
+	manual := mustExec(t, s, `select objID from Obj
+		where objID <= 20 and (flags & 1) = 1 and type = 3 and (flags & 2) = 0`)
+	if len(res.Rows) != len(manual.Rows) {
+		t.Fatalf("Q1 rows = %d, manual = %d", len(res.Rows), len(manual.Rows))
+	}
+	// Sorted ascending by distance.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].F < res.Rows[i-1][1].F {
+			t.Fatalf("not sorted by distance")
+		}
+	}
+	// Plan shape: TVF on the outer side, PK probe on the inner.
+	if !strings.Contains(res.Plan, "TableValuedFunction(fNearIDs") {
+		t.Errorf("plan missing TVF:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "NestedLoopJoin(probe Obj via pk_Obj") {
+		t.Errorf("plan missing index-probe join:\n%s", res.Plan)
+	}
+	// The temp table is queryable.
+	res2 := mustExec(t, s, "select count(*) from ##results")
+	if res2.Rows[0][0].I != int64(len(res.Rows)) {
+		t.Errorf("##results count = %v", res2.Rows[0][0])
+	}
+}
+
+func TestSelfJoinWithIndexProbe(t *testing.T) {
+	// The Q15B shape: self-join on (run, camcol) with inequality residual.
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		select r.objID, g.objID
+		from Obj r, Obj g
+		where r.run = g.run and r.camcol = g.camcol
+		  and r.objID < g.objID
+		  and r.mag_r < 16 and g.mag_r < 16`)
+	// Verify against a nested manual evaluation.
+	all := mustExec(t, s, "select objID, run, camcol, mag_r from Obj")
+	want := 0
+	for _, a := range all.Rows {
+		for _, b := range all.Rows {
+			if a[1].I == b[1].I && a[2].I == b[2].I && a[0].I < b[0].I &&
+				a[3].F < 16 && b[3].F < 16 {
+				want++
+			}
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("self join rows = %d, want %d", len(res.Rows), want)
+	}
+	if !strings.Contains(res.Plan, "NestedLoopJoin(probe Obj via ix_run_camcol") {
+		t.Errorf("self-join did not probe the (run,camcol) index:\n%s", res.Plan)
+	}
+}
+
+func TestCoveringIndexScanChosen(t *testing.T) {
+	_, s := testDB(t)
+	// (run, camcol, mag_r) are covered by ix_run_camcol.
+	res := mustExec(t, s, "select run, camcol, mag_r from Obj where run = 752")
+	if !strings.Contains(res.Plan, "IndexSeek(Obj.ix_run_camcol, covering") {
+		t.Errorf("expected covering index seek:\n%s", res.Plan)
+	}
+	if len(res.Rows) != 30 {
+		t.Errorf("rows = %d, want 30", len(res.Rows))
+	}
+}
+
+func TestRangeSeekOnSecondKeyColumn(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select run, camcol from Obj where run = 752 and camcol between 2 and 3")
+	for _, r := range res.Rows {
+		if r[0].I != 752 || r[1].I < 2 || r[1].I > 3 {
+			t.Fatalf("row outside range: %v", r)
+		}
+	}
+	manual := mustExec(t, s, "select count(*) from Obj where run = 752 and camcol >= 2 and camcol <= 3")
+	if int64(len(res.Rows)) != manual.Rows[0][0].I {
+		t.Errorf("range seek rows = %d, manual = %v", len(res.Rows), manual.Rows[0][0])
+	}
+}
+
+func TestInsertValuesAndDelete(t *testing.T) {
+	db, s := testDB(t)
+	mustExec(t, s, "insert into Obj (objID, run, camcol, field, ra, dec, mag_r, mag_g, type, flags, name) values (100, 752, 1, 1, 180.0, 0.0, 14.0, 15.0, 3, 1, 'new')")
+	res := mustExec(t, s, "select name from Obj where objID = 100")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "new" {
+		t.Fatalf("insert not visible: %v", res.Rows)
+	}
+	res = mustExec(t, s, "delete from Obj where objID = 100")
+	if res.RowsAffected != 1 {
+		t.Fatalf("delete affected %d", res.RowsAffected)
+	}
+	res = mustExec(t, s, "select count(*) from Obj where objID = 100")
+	if res.Rows[0][0].I != 0 {
+		t.Error("row survived delete")
+	}
+	// Index must also be clean: PK probe finds nothing.
+	tab, _ := db.Table("Obj")
+	if got := tab.Rows(); got != 60 {
+		t.Errorf("Rows = %d, want 60", got)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	_, s := testDB(t)
+	mustExec(t, s, "create table #bright (objID bigint, mag_r float)")
+	res := mustExec(t, s, "insert into #bright select objID, mag_r from Obj where mag_r < 16")
+	if res.RowsAffected == 0 {
+		t.Fatal("nothing inserted")
+	}
+	res2 := mustExec(t, s, "select count(*) from #bright")
+	if res2.Rows[0][0].I != res.RowsAffected {
+		t.Errorf("temp table count mismatch")
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		select case when type = 3 then 'galaxy' when type = 6 then 'star' else 'other' end as cls, count(*)
+		from Obj group by case when type = 3 then 'galaxy' when type = 6 then 'star' else 'other' end
+		order by cls`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("case groups = %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "galaxy" || res.Rows[1][0].S != "star" {
+		t.Errorf("case values: %v", res.Rows)
+	}
+}
+
+func TestInAndLikeAndIsNull(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) from Obj where camcol in (1, 2)")
+	manual := mustExec(t, s, "select count(*) from Obj where camcol = 1 or camcol = 2")
+	if res.Rows[0][0].I != manual.Rows[0][0].I {
+		t.Errorf("IN mismatch")
+	}
+	res = mustExec(t, s, "select count(*) from Obj where name like 'ob%'")
+	if res.Rows[0][0].I != 60 {
+		t.Errorf("LIKE = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, s, "select count(*) from Obj where name is not null")
+	if res.Rows[0][0].I != 60 {
+		t.Errorf("IS NOT NULL = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select sqrt(16.0), power(2, 10), abs(-3), pi(), floor(2.7), sign(-5)")
+	r := res.Rows[0]
+	if r[0].F != 4 || r[1].F != 1024 || r[2].I != 3 {
+		t.Errorf("math funcs: %v", r)
+	}
+	if r[3].F < 3.14 || r[3].F > 3.15 {
+		t.Errorf("pi = %v", r[3])
+	}
+	if r[4].I != 2 || r[5].I != -1 {
+		t.Errorf("floor/sign: %v", r)
+	}
+}
+
+func TestIntegerDivisionSemantics(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select 7/2, 7.0/2, 7%3")
+	r := res.Rows[0]
+	if r[0].K != val.KindInt || r[0].I != 3 {
+		t.Errorf("7/2 = %v (want int 3)", r[0])
+	}
+	if r[1].K != val.KindFloat || r[1].F != 3.5 {
+		t.Errorf("7.0/2 = %v", r[1])
+	}
+	if r[2].I != 1 {
+		t.Errorf("7%%3 = %v", r[2])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	_, s := testDB(t)
+	if _, err := s.Exec("select 1/0", ExecOptions{}); err == nil {
+		t.Error("1/0 succeeded")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) from Obj where null = null")
+	if res.Rows[0][0].I != 0 {
+		t.Error("NULL = NULL matched rows")
+	}
+	res = mustExec(t, s, "select isnull(null, 42), coalesce(null, null, 7)")
+	if res.Rows[0][0].I != 42 || res.Rows[0][1].I != 7 {
+		t.Errorf("isnull/coalesce: %v", res.Rows[0])
+	}
+}
+
+func TestMaxRowsLimit(t *testing.T) {
+	_, s := testDB(t)
+	res, err := s.Exec("select objID from Obj", ExecOptions{MaxRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || !res.Truncated {
+		t.Errorf("limit: rows=%d truncated=%v", len(res.Rows), res.Truncated)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	_, s := testDB(t)
+	// A deliberately expensive unindexed self-cross-join, with an
+	// already-expired deadline.
+	_, err := s.Exec(
+		"select count(*) from Obj a, Obj b, Obj c where a.mag_r+b.mag_r+c.mag_r > 1000",
+		ExecOptions{Timeout: time.Nanosecond})
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, s := testDB(t)
+	for _, bad := range []string{
+		"",
+		"selec objID from Obj",
+		"select from Obj",
+		"select * from",
+		"select * from Obj where",
+		"select top x * from Obj",
+		"select 'unterminated from Obj",
+		"delete Obj",
+		"insert into Obj",
+	} {
+		if _, err := s.Exec(bad, ExecOptions{}); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	_, s := testDB(t)
+	for _, bad := range []string{
+		"select nosuch from Obj",
+		"select * from NoTable",
+		"select x.objID from Obj",
+		"select objID from Obj order by nosuchcol",
+		"select run, count(*) from Obj group by camcol", // run not grouped
+		"select nosuchfunc(1)",
+		"select objID from Obj where @undeclared = 1",
+	} {
+		if _, err := s.Exec(bad, ExecOptions{}); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	_, s := testDB(t)
+	if _, err := s.Exec("select objID from Obj a, Obj b where a.objID = b.objID", ExecOptions{}); err == nil {
+		t.Error("ambiguous objID accepted")
+	}
+}
+
+func TestExplainWithoutExecution(t *testing.T) {
+	_, s := testDB(t)
+	plan, err := s.Explain("select objID from Obj where objID = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexSeek") {
+		t.Errorf("explain: %s", plan)
+	}
+}
+
+func TestTempTableLifecycle(t *testing.T) {
+	_, s := testDB(t)
+	mustExec(t, s, "select objID into ##t from Obj where run = 752")
+	res := mustExec(t, s, "select count(*) from ##t")
+	if res.Rows[0][0].I != 30 {
+		t.Errorf("##t = %v", res.Rows[0][0])
+	}
+	mustExec(t, s, "delete from ##t where objID < 10")
+	res = mustExec(t, s, "select count(*) from ##t")
+	if res.Rows[0][0].I >= 30 {
+		t.Error("delete from temp did nothing")
+	}
+	// A second SELECT INTO replaces it.
+	mustExec(t, s, "select objID into ##t from Obj where run = 756")
+	res = mustExec(t, s, "select count(*) from ##t")
+	if res.Rows[0][0].I != 30 {
+		t.Errorf("replaced ##t = %v", res.Rows[0][0])
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select count(*) from Obj where mag_g > 0")
+	if res.RowsScanned == 0 {
+		t.Error("RowsScanned = 0 for a table scan")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not measured")
+	}
+}
+
+func TestUnaryAndPrecedence(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select -2 * 3 + 1, 2 + 3 * 4, (2+3)*4, not 0, ~0")
+	r := res.Rows[0]
+	if r[0].I != -5 || r[1].I != 14 || r[2].I != 20 {
+		t.Errorf("precedence: %v", r)
+	}
+	if r[3].I != 1 || r[4].I != -1 {
+		t.Errorf("not/~: %v", r)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, "select 'it''s'")
+	if res.Rows[0][0].S != "it's" {
+		t.Errorf("escape: %q", res.Rows[0][0].S)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	_, s := testDB(t)
+	res := mustExec(t, s, `
+		-- leading comment
+		select /* inline */ count(*) -- trailing
+		from Obj`)
+	if res.Rows[0][0].I != 60 {
+		t.Errorf("comments broke query: %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,991 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skyserver/internal/btree"
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// ExecCtx carries per-query execution state: the database, session
+// variables, resource limits (the public SkyServer's 30-second / 1,000-row
+// caps live here), and counters for the statistics window of SkyServerQA.
+type ExecCtx struct {
+	DB      *DB
+	Session *Session
+	// Deadline aborts the query when exceeded (zero = none).
+	Deadline time.Time
+	// DOP is the degree of parallelism for heap scans; 0 = one worker
+	// per volume, 1 = serial.
+	DOP int
+
+	// Stats.
+	RowsScanned atomic.Int64
+	RowsOutput  atomic.Int64
+}
+
+// ErrTimeout is returned when a query exceeds its deadline, like the public
+// server's 30-second computation limit.
+var ErrTimeout = errors.New("sql: query exceeded the time limit")
+
+// errStopEarly aborts execution without error (TOP n satisfied).
+var errStopEarly = errors.New("sql: stop early")
+
+func (ctx *ExecCtx) checkDeadline() error {
+	if !ctx.Deadline.IsZero() && time.Now().After(ctx.Deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+type emitFn func(row val.Row) error
+
+// Node is a physical plan operator.
+type Node interface {
+	Columns() []ColRef
+	Run(ctx *ExecCtx, emit emitFn) error
+	explainTo(sb *strings.Builder, depth int)
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+// Explain renders the plan tree as indented text (Figures 10–12).
+func Explain(n Node) string {
+	var sb strings.Builder
+	n.explainTo(&sb, 0)
+	return sb.String()
+}
+
+// ---- dual (FROM-less SELECT) ----
+
+type dualNode struct{}
+
+func (dualNode) Columns() []ColRef { return nil }
+func (dualNode) Run(ctx *ExecCtx, emit emitFn) error {
+	return emit(val.Row{})
+}
+func (dualNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	sb.WriteString("ConstantScan\n")
+}
+
+// ---- heap scan ----
+
+// scanNode is a (possibly parallel) sequential scan of a base table heap
+// with an optional pushed-down filter: Figure 11's "parallel table scan …
+// evaluating the predicate on each of the 14M objects".
+type scanNode struct {
+	table  *Table
+	cols   []ColRef
+	needed []bool
+	filter compiledExpr
+	label  string // filter text for EXPLAIN
+}
+
+func (s *scanNode) Columns() []ColRef { return s.cols }
+
+// scanBatch is how many matching rows a scan worker accumulates before
+// taking the emit lock once for the whole batch — decode and filtering stay
+// fully parallel, and downstream serialization amortizes across the batch.
+const scanBatch = 256
+
+func (s *scanNode) Run(ctx *ExecCtx, emit emitFn) error {
+	width := len(s.table.Cols)
+	var mu sync.Mutex
+	var rowsSeen atomic.Int64
+	err := s.table.heap.ScanWorkers(ctx.DOP, func(worker int) (storage.ScanFunc, func() error) {
+		batch := make([]val.Row, 0, scanBatch)
+		// Rows are decoded into a reused scratch and cloned only when
+		// the filter passes: a selective scan over the ~220-column
+		// PhotoObj does not allocate per visited record.
+		scratch := make(val.Row, width)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, row := range batch {
+				if err := emit(row); err != nil {
+					return err
+				}
+			}
+			batch = batch[:0]
+			return nil
+		}
+		fn := func(rid storage.RID, rec []byte) error {
+			if n := rowsSeen.Add(1); n%4096 == 0 {
+				if err := ctx.checkDeadline(); err != nil {
+					return err
+				}
+			}
+			if s.needed != nil {
+				for i := range scratch {
+					scratch[i] = val.Null()
+				}
+			}
+			if _, err := val.DecodeRow(rec, scratch, width, s.needed); err != nil {
+				return err
+			}
+			if s.filter != nil {
+				ok, err := s.filter(ctx, scratch)
+				if err != nil {
+					return err
+				}
+				if !ok.Truthy() {
+					return nil
+				}
+			}
+			// Clone deep-copies blob bytes, which alias the page buffer.
+			batch = append(batch, scratch.Clone())
+			if len(batch) >= scanBatch {
+				return flush()
+			}
+			return nil
+		}
+		return fn, flush
+	})
+	ctx.RowsScanned.Add(rowsSeen.Load())
+	return err
+}
+
+func (s *scanNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	dop := "parallel"
+	fmt.Fprintf(sb, "TableScan(%s, %s", s.table.Name, dop)
+	if s.label != "" {
+		fmt.Fprintf(sb, ", filter=%s", s.label)
+	}
+	sb.WriteString(")\n")
+}
+
+// ---- index scan / seek ----
+
+// boundKind describes the upper bound of an index range.
+type boundKind int
+
+const (
+	boundNone boundKind = iota
+	boundInclusive
+	boundExclusive
+)
+
+// indexScanNode seeks or scans a B-tree index. With an equality prefix it
+// is an index seek; with no bounds but full coverage it is the
+// covered-column scan that replaces the paper's tag tables (10–100× less
+// data than the base table).
+type indexScanNode struct {
+	table *Table
+	index *Index
+	cols  []ColRef
+
+	// Seek bounds: eq prefix values, then an optional range on the next
+	// key column. All compiled against the empty scope (constants/vars).
+	eqExprs []compiledExpr
+	loExpr  compiledExpr
+	loIncl  bool
+	hiExpr  compiledExpr
+	hiKind  boundKind
+
+	covering bool
+	needed   []bool // heap columns needed when not covering
+	filter   compiledExpr
+	label    string
+	// estRows is the planner's dive-based cardinality estimate (−1 when
+	// unknown), reused for join ordering.
+	estRows float64
+}
+
+func (s *indexScanNode) Columns() []ColRef { return s.cols }
+
+func (s *indexScanNode) Run(ctx *ExecCtx, emit emitFn) error {
+	// Evaluate bounds.
+	eq := make(val.Row, len(s.eqExprs))
+	for i, e := range s.eqExprs {
+		v, err := e(ctx, nil)
+		if err != nil {
+			return err
+		}
+		eq[i] = v
+	}
+	var lo val.Row
+	lo = append(lo, eq...)
+	loOpen := false
+	if s.loExpr != nil {
+		v, err := s.loExpr(ctx, nil)
+		if err != nil {
+			return err
+		}
+		lo = append(lo, v)
+		loOpen = !s.loIncl
+	}
+	var hiVal val.Value
+	if s.hiExpr != nil {
+		v, err := s.hiExpr(ctx, nil)
+		if err != nil {
+			return err
+		}
+		hiVal = v
+	}
+	width := len(s.table.Cols)
+	buf := make([]byte, storage.PageSize)
+	// Entries are assembled on a reused scratch row; only filter survivors
+	// are cloned out (covered scans over wide tables stay allocation-free
+	// per entry).
+	scratch := make(val.Row, width)
+	rows := int64(0)
+	var innerErr error
+	it := s.index.tree.Seek(lo)
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		rows++
+		if rows%4096 == 0 {
+			if err := ctx.checkDeadline(); err != nil {
+				innerErr = err
+				break
+			}
+		}
+		// Check the equality prefix.
+		if len(eq) > 0 {
+			if e.Key[:len(eq)].Compare(eq) != 0 {
+				break
+			}
+		}
+		rangePos := len(eq)
+		if s.loExpr != nil && loOpen {
+			if e.Key[rangePos].Compare(lo[rangePos]) == 0 {
+				continue
+			}
+		}
+		if s.hiKind != boundNone {
+			c := e.Key[rangePos].Compare(hiVal)
+			if c > 0 || (c == 0 && s.hiKind == boundExclusive) {
+				break
+			}
+		}
+		if s.covering {
+			for i := range scratch {
+				scratch[i] = val.Null()
+			}
+			for i, c := range s.index.KeyCols {
+				scratch[c] = e.Key[i]
+			}
+			for i, c := range s.index.InclCols {
+				scratch[c] = e.Incl[i]
+			}
+		} else {
+			rec, err := s.table.heap.Get(storage.RID(e.RID), buf)
+			if err != nil {
+				innerErr = err
+				break
+			}
+			if s.needed != nil {
+				for i := range scratch {
+					scratch[i] = val.Null()
+				}
+			}
+			if _, err := val.DecodeRow(rec, scratch, width, s.needed); err != nil {
+				innerErr = err
+				break
+			}
+		}
+		if s.filter != nil {
+			ok, err := s.filter(ctx, scratch)
+			if err != nil {
+				innerErr = err
+				break
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		if err := emit(scratch.Clone()); err != nil {
+			innerErr = err
+			break
+		}
+	}
+	ctx.RowsScanned.Add(rows)
+	return innerErr
+}
+
+func (s *indexScanNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	kind := "IndexScan"
+	if len(s.eqExprs) > 0 || s.loExpr != nil || s.hiExpr != nil {
+		kind = "IndexSeek"
+	}
+	fmt.Fprintf(sb, "%s(%s.%s", kind, s.table.Name, s.index.Name)
+	if s.covering {
+		sb.WriteString(", covering")
+	}
+	if s.label != "" {
+		fmt.Fprintf(sb, ", filter=%s", s.label)
+	}
+	sb.WriteString(")\n")
+}
+
+// ---- table-valued function ----
+
+type tvfNode struct {
+	fn    *TableFunc
+	args  []compiledExpr
+	cols  []ColRef
+	label string
+}
+
+func (t *tvfNode) Columns() []ColRef { return t.cols }
+
+func (t *tvfNode) Run(ctx *ExecCtx, emit emitFn) error {
+	args := make([]val.Value, len(t.args))
+	for i, a := range t.args {
+		v, err := a(ctx, nil)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	rows, err := t.fn.Fn(ctx, args)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tvfNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "TableValuedFunction(%s(%s), estRows=%d)\n", t.fn.Name, t.label, t.fn.EstRows)
+}
+
+// ---- temp (memory) table scan ----
+
+type memScanNode struct {
+	mem    *MemTable
+	cols   []ColRef
+	filter compiledExpr
+	label  string
+}
+
+func (m *memScanNode) Columns() []ColRef { return m.cols }
+
+func (m *memScanNode) Run(ctx *ExecCtx, emit emitFn) error {
+	for i, row := range m.mem.Rows {
+		if i%4096 == 4095 {
+			if err := ctx.checkDeadline(); err != nil {
+				return err
+			}
+		}
+		if m.filter != nil {
+			ok, err := m.filter(ctx, row)
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *memScanNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "TempTableScan(%s", m.mem.Name)
+	if m.label != "" {
+		fmt.Fprintf(sb, ", filter=%s", m.label)
+	}
+	sb.WriteString(")\n")
+}
+
+// ---- joins ----
+
+// indexJoinNode is the nested-loop join of Figure 10 and Figure 12: for each
+// outer row, probe the inner table's index with key values computed from the
+// outer row, then evaluate the residual predicate on the combined row.
+type indexJoinNode struct {
+	outer Node
+	inner *Table
+	index *Index
+	cols  []ColRef
+
+	probeExprs []compiledExpr // one per leading index key column, over outer row
+	innerWidth int
+	covering   bool
+	needed     []bool
+	residual   compiledExpr // over combined row
+	label      string
+}
+
+func (j *indexJoinNode) Columns() []ColRef { return j.cols }
+
+func (j *indexJoinNode) Run(ctx *ExecCtx, emit emitFn) error {
+	buf := make([]byte, storage.PageSize)
+	var mu sync.Mutex // outer may be a parallel scan
+	// Candidates are assembled on a reused scratch row and only copied out
+	// when the residual passes, so wide-row probes don't allocate per
+	// index entry.
+	var scratch val.Row
+	return j.outer.Run(ctx, func(outerRow val.Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if scratch == nil {
+			scratch = make(val.Row, len(outerRow)+j.innerWidth)
+		}
+		copy(scratch, outerRow)
+		innerPart := scratch[len(outerRow):]
+		key := make(val.Row, len(j.probeExprs))
+		for i, pe := range j.probeExprs {
+			v, err := pe(ctx, outerRow)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		var innerErr error
+		it := j.index.tree.Seek(key)
+		for ; it.Valid(); it.Next() {
+			e := it.Entry()
+			if e.Key[:len(key)].Compare(key) != 0 {
+				break
+			}
+			ctx.RowsScanned.Add(1)
+			if j.covering {
+				for i := range innerPart {
+					innerPart[i] = val.Null()
+				}
+				for i, c := range j.index.KeyCols {
+					innerPart[c] = e.Key[i]
+				}
+				for i, c := range j.index.InclCols {
+					innerPart[c] = e.Incl[i]
+				}
+			} else {
+				rec, err := j.inner.heap.Get(storage.RID(e.RID), buf)
+				if err != nil {
+					innerErr = err
+					break
+				}
+				if j.needed != nil {
+					for i := range innerPart {
+						innerPart[i] = val.Null()
+					}
+				}
+				if _, err := val.DecodeRow(rec, innerPart, j.innerWidth, j.needed); err != nil {
+					innerErr = err
+					break
+				}
+				for i := range innerPart {
+					if innerPart[i].K == val.KindBytes {
+						b := make([]byte, len(innerPart[i].B))
+						copy(b, innerPart[i].B)
+						innerPart[i].B = b
+					}
+				}
+			}
+			if j.residual != nil {
+				ok, err := j.residual(ctx, scratch)
+				if err != nil {
+					innerErr = err
+					break
+				}
+				if !ok.Truthy() {
+					continue
+				}
+			}
+			out := make(val.Row, len(scratch))
+			copy(out, scratch)
+			if err := emit(out); err != nil {
+				innerErr = err
+				break
+			}
+		}
+		return innerErr
+	})
+}
+
+func (j *indexJoinNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "NestedLoopJoin(probe %s via %s", j.inner.Name, j.index.Name)
+	if j.covering {
+		sb.WriteString(", covering")
+	}
+	if j.label != "" {
+		fmt.Fprintf(sb, ", residual=%s", j.label)
+	}
+	sb.WriteString(")\n")
+	j.outer.explainTo(sb, depth+1)
+	indent(sb, depth+1)
+	fmt.Fprintf(sb, "IndexSeek(%s.%s, per outer row)\n", j.inner.Name, j.index.Name)
+}
+
+// nlJoinNode materializes its inner input once, then nested-loops the outer
+// against it — the fallback when no index probe applies (the paper's
+// "without the index the query takes about 10 minutes — a nested-loops join
+// of two table scans").
+type nlJoinNode struct {
+	outer Node
+	inner Node
+	cols  []ColRef
+	cond  compiledExpr
+	label string
+}
+
+func (j *nlJoinNode) Columns() []ColRef { return j.cols }
+
+func (j *nlJoinNode) Run(ctx *ExecCtx, emit emitFn) error {
+	var innerRows []val.Row
+	var mu sync.Mutex
+	if err := j.inner.Run(ctx, func(r val.Row) error {
+		mu.Lock()
+		innerRows = append(innerRows, r)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return err
+	}
+	innerWidth := len(j.inner.Columns())
+	var emitMu sync.Mutex
+	rows := int64(0)
+	// The condition is evaluated on a reused scratch row; only matches are
+	// copied out, so a selective join over wide rows does not allocate per
+	// candidate pair.
+	var scratch val.Row
+	err := j.outer.Run(ctx, func(outerRow val.Row) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if scratch == nil {
+			scratch = make(val.Row, len(outerRow)+innerWidth)
+		}
+		copy(scratch, outerRow)
+		for _, ir := range innerRows {
+			rows++
+			if rows%8192 == 0 {
+				if err := ctx.checkDeadline(); err != nil {
+					return err
+				}
+			}
+			copy(scratch[len(outerRow):], ir)
+			if j.cond != nil {
+				ok, err := j.cond(ctx, scratch)
+				if err != nil {
+					return err
+				}
+				if !ok.Truthy() {
+					continue
+				}
+			}
+			out := make(val.Row, len(scratch))
+			copy(out, scratch)
+			if err := emit(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	ctx.RowsScanned.Add(rows)
+	return err
+}
+
+func (j *nlJoinNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	sb.WriteString("NestedLoopJoin(materialized inner")
+	if j.label != "" {
+		fmt.Fprintf(sb, ", cond=%s", j.label)
+	}
+	sb.WriteString(")\n")
+	j.outer.explainTo(sb, depth+1)
+	j.inner.explainTo(sb, depth+1)
+}
+
+// ---- filter ----
+
+type filterNode struct {
+	child Node
+	cond  compiledExpr
+	label string
+}
+
+func (f *filterNode) Columns() []ColRef { return f.child.Columns() }
+
+func (f *filterNode) Run(ctx *ExecCtx, emit emitFn) error {
+	return f.child.Run(ctx, func(row val.Row) error {
+		ok, err := f.cond(ctx, row)
+		if err != nil {
+			return err
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+		return emit(row)
+	})
+}
+
+func (f *filterNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Filter(%s)\n", f.label)
+	f.child.explainTo(sb, depth+1)
+}
+
+// ---- aggregation ----
+
+type aggSpec struct {
+	name string // count, sum, avg, min, max
+	arg  compiledExpr
+}
+
+// aggNode computes GROUP BY aggregation in one pass over its input. Output
+// columns are the group-by expressions followed by the aggregates.
+type aggNode struct {
+	child     Node
+	cols      []ColRef
+	groupBy   []compiledExpr
+	aggs      []aggSpec
+	keyLabels []string
+	aggLabels []string
+}
+
+type aggState struct {
+	key    val.Row
+	counts []int64
+	sums   []float64
+	mins   []val.Value
+	maxs   []val.Value
+	seen   []bool
+}
+
+func (a *aggNode) Columns() []ColRef { return a.cols }
+
+func (a *aggNode) Run(ctx *ExecCtx, emit emitFn) error {
+	groups := make(map[string]*aggState)
+	order := []string{}
+	var mu sync.Mutex
+	err := a.child.Run(ctx, func(row val.Row) error {
+		key := make(val.Row, len(a.groupBy))
+		for i, g := range a.groupBy {
+			v, err := g(ctx, row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		kb := string(val.AppendRow(nil, key))
+		mu.Lock()
+		defer mu.Unlock()
+		st, ok := groups[kb]
+		if !ok {
+			st = &aggState{
+				key:    key.Clone(),
+				counts: make([]int64, len(a.aggs)),
+				sums:   make([]float64, len(a.aggs)),
+				mins:   make([]val.Value, len(a.aggs)),
+				maxs:   make([]val.Value, len(a.aggs)),
+				seen:   make([]bool, len(a.aggs)),
+			}
+			groups[kb] = st
+			order = append(order, kb)
+		}
+		for i, ag := range a.aggs {
+			if ag.arg == nil { // COUNT(*)
+				st.counts[i]++
+				continue
+			}
+			v, err := ag.arg(ctx, row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			if f, ok := v.AsFloat(); ok {
+				st.sums[i] += f
+			}
+			if !st.seen[i] {
+				st.mins[i], st.maxs[i] = v, v
+				st.seen[i] = true
+			} else {
+				if v.Compare(st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				if v.Compare(st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(a.groupBy) == 0 && len(order) == 0 {
+		st := &aggState{
+			counts: make([]int64, len(a.aggs)),
+			sums:   make([]float64, len(a.aggs)),
+			mins:   make([]val.Value, len(a.aggs)),
+			maxs:   make([]val.Value, len(a.aggs)),
+			seen:   make([]bool, len(a.aggs)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+	for _, kb := range order {
+		st := groups[kb]
+		out := make(val.Row, 0, len(a.groupBy)+len(a.aggs))
+		out = append(out, st.key...)
+		for i, ag := range a.aggs {
+			switch ag.name {
+			case "count":
+				out = append(out, val.Int(st.counts[i]))
+			case "sum":
+				if st.counts[i] == 0 {
+					out = append(out, val.Null())
+				} else {
+					out = append(out, val.Float(st.sums[i]))
+				}
+			case "avg":
+				if st.counts[i] == 0 {
+					out = append(out, val.Null())
+				} else {
+					out = append(out, val.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			case "min":
+				if !st.seen[i] {
+					out = append(out, val.Null())
+				} else {
+					out = append(out, st.mins[i])
+				}
+			case "max":
+				if !st.seen[i] {
+					out = append(out, val.Null())
+				} else {
+					out = append(out, st.maxs[i])
+				}
+			default:
+				return fmt.Errorf("sql: unknown aggregate %s", ag.name)
+			}
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *aggNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Aggregate(groupBy=[%s], aggs=[%s])\n",
+		strings.Join(a.keyLabels, ", "), strings.Join(a.aggLabels, ", "))
+	a.child.explainTo(sb, depth+1)
+}
+
+// ---- projection ----
+
+// projectNode computes the SELECT list (plus hidden ORDER BY keys appended
+// after the visible columns for the sort node to use).
+type projectNode struct {
+	child  Node
+	cols   []ColRef // visible columns only
+	exprs  []compiledExpr
+	hidden []compiledExpr
+	labels []string
+}
+
+func (p *projectNode) Columns() []ColRef { return p.cols }
+
+func (p *projectNode) Run(ctx *ExecCtx, emit emitFn) error {
+	return p.child.Run(ctx, func(row val.Row) error {
+		out := make(val.Row, len(p.exprs)+len(p.hidden))
+		for i, e := range p.exprs {
+			v, err := e(ctx, row)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		for i, e := range p.hidden {
+			v, err := e(ctx, row)
+			if err != nil {
+				return err
+			}
+			out[len(p.exprs)+i] = v
+		}
+		return emit(out)
+	})
+}
+
+func (p *projectNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Project(%s)\n", strings.Join(p.labels, ", "))
+	p.child.explainTo(sb, depth+1)
+}
+
+// ---- distinct ----
+
+type distinctNode struct {
+	child Node
+}
+
+func (d *distinctNode) Columns() []ColRef { return d.child.Columns() }
+
+func (d *distinctNode) Run(ctx *ExecCtx, emit emitFn) error {
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	return d.child.Run(ctx, func(row val.Row) error {
+		k := string(val.AppendRow(nil, row))
+		mu.Lock()
+		dup := seen[k]
+		if !dup {
+			seen[k] = true
+		}
+		mu.Unlock()
+		if dup {
+			return nil
+		}
+		return emit(row)
+	})
+}
+
+func (d *distinctNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	sb.WriteString("Distinct\n")
+	d.child.explainTo(sb, depth+1)
+}
+
+// ---- sort ----
+
+// sortNode materializes, sorts by the key positions, strips hidden columns,
+// and emits in order — the "sorted and inserted into the results table" tail
+// of Figure 10.
+type sortNode struct {
+	child    Node
+	keyPos   []int
+	desc     []bool
+	visible  int // columns to keep after sorting
+	keyLabel string
+}
+
+func (s *sortNode) Columns() []ColRef { return s.child.Columns() }
+
+func (s *sortNode) Run(ctx *ExecCtx, emit emitFn) error {
+	var rows []val.Row
+	var mu sync.Mutex
+	if err := s.child.Run(ctx, func(row val.Row) error {
+		mu.Lock()
+		rows = append(rows, row)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, p := range s.keyPos {
+			c := rows[i][p].Compare(rows[j][p])
+			if c == 0 {
+				continue
+			}
+			if s.desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, r := range rows {
+		if err := emit(r[:s.visible]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sortNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Sort(%s)\n", s.keyLabel)
+	s.child.explainTo(sb, depth+1)
+}
+
+// ---- top ----
+
+type topNode struct {
+	child Node
+	n     int
+}
+
+func (t *topNode) Columns() []ColRef { return t.child.Columns() }
+
+func (t *topNode) Run(ctx *ExecCtx, emit emitFn) error {
+	count := 0
+	err := t.child.Run(ctx, func(row val.Row) error {
+		if count >= t.n {
+			return errStopEarly
+		}
+		count++
+		return emit(row)
+	})
+	if errors.Is(err, errStopEarly) {
+		return nil
+	}
+	return err
+}
+
+func (t *topNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Top(%d)\n", t.n)
+	t.child.explainTo(sb, depth+1)
+}
+
+// stripHidden drops hidden sort columns when no sort consumed them.
+type stripNode struct {
+	child   Node
+	visible int
+}
+
+func (s *stripNode) Columns() []ColRef { return s.child.Columns() }
+
+func (s *stripNode) Run(ctx *ExecCtx, emit emitFn) error {
+	return s.child.Run(ctx, func(row val.Row) error {
+		return emit(row[:s.visible])
+	})
+}
+
+func (s *stripNode) explainTo(sb *strings.Builder, depth int) {
+	s.child.explainTo(sb, depth)
+}
+
+// ensure interface satisfaction
+var (
+	_ Node = (*scanNode)(nil)
+	_ Node = (*indexScanNode)(nil)
+	_ Node = (*tvfNode)(nil)
+	_ Node = (*memScanNode)(nil)
+	_ Node = (*indexJoinNode)(nil)
+	_ Node = (*nlJoinNode)(nil)
+	_ Node = (*filterNode)(nil)
+	_ Node = (*aggNode)(nil)
+	_ Node = (*projectNode)(nil)
+	_ Node = (*distinctNode)(nil)
+	_ Node = (*sortNode)(nil)
+	_ Node = (*topNode)(nil)
+	_ Node = (*stripNode)(nil)
+	_ Node = dualNode{}
+	_      = btree.MaxKeyColumns
+)

@@ -1,0 +1,703 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"skyserver/internal/val"
+)
+
+// ColRef names an output or scope column.
+type ColRef struct {
+	Qualifier string
+	Name      string
+	Kind      val.Kind
+}
+
+// scope is the namespace expressions compile against: the concatenated
+// columns of all in-scope sources, in runtime row order.
+type scope struct {
+	cols []ColRef
+}
+
+// resolve returns the runtime position of a column reference.
+func (s *scope) resolve(qualifier, name string) (int, error) {
+	q, n := fold(qualifier), fold(name)
+	found := -1
+	for i, c := range s.cols {
+		if fold(c.Name) != n {
+			continue
+		}
+		if q != "" && fold(c.Qualifier) != q {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %s", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qualifier != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", qualifier, name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %s", name)
+	}
+	return found, nil
+}
+
+// compiledExpr evaluates an expression against a runtime row.
+type compiledExpr func(ctx *ExecCtx, row val.Row) (val.Value, error)
+
+// compileExpr compiles e against the scope. Aggregate expressions are
+// rejected here; the aggregation planner replaces them before compilation.
+func compileExpr(e Expr, sc *scope, db *DB) (compiledExpr, error) {
+	switch e := e.(type) {
+	case *LitExpr:
+		v := e.Val
+		return func(*ExecCtx, val.Row) (val.Value, error) { return v, nil }, nil
+
+	case *ColExpr:
+		i, err := sc.resolve(e.Qualifier, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(_ *ExecCtx, row val.Row) (val.Value, error) { return row[i], nil }, nil
+
+	case *VarExpr:
+		name := e.Name
+		return func(ctx *ExecCtx, _ val.Row) (val.Value, error) {
+			v, ok := ctx.Session.Var(name)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: variable @%s not declared", name)
+			}
+			return v, nil
+		}, nil
+
+	case *UnaryExpr:
+		x, err := compileExpr(e.X, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+				v, err := x(ctx, row)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				switch v.K {
+				case val.KindInt:
+					return val.Int(-v.I), nil
+				case val.KindFloat:
+					return val.Float(-v.F), nil
+				}
+				return val.Value{}, fmt.Errorf("sql: cannot negate %v", v.K)
+			}, nil
+		case "~":
+			return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+				v, err := x(ctx, row)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				i, ok := v.AsInt()
+				if !ok {
+					return val.Value{}, fmt.Errorf("sql: ~ needs integer")
+				}
+				return val.Int(^i), nil
+			}, nil
+		case "not":
+			return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+				v, err := x(ctx, row)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				return val.Bool(!v.Truthy()), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary op %q", e.Op)
+
+	case *BinExpr:
+		return compileBin(e, sc, db)
+
+	case *BetweenExpr:
+		x, err := compileExpr(e.X, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(e.Lo, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(e.Hi, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			xv, err := x(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			lv, err := lo(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			hv, err := hi(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if xv.IsNull() || lv.IsNull() || hv.IsNull() {
+				return val.Null(), nil
+			}
+			in := xv.Compare(lv) >= 0 && xv.Compare(hv) <= 0
+			return val.Bool(in != not), nil
+		}, nil
+
+	case *InExpr:
+		x, err := compileExpr(e.X, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]compiledExpr, len(e.List))
+		for i, le := range e.List {
+			if list[i], err = compileExpr(le, sc, db); err != nil {
+				return nil, err
+			}
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			xv, err := x(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if xv.IsNull() {
+				return val.Null(), nil
+			}
+			anyNull := false
+			for _, le := range list {
+				lv, err := le(ctx, row)
+				if err != nil {
+					return val.Value{}, err
+				}
+				if lv.IsNull() {
+					anyNull = true
+					continue
+				}
+				if xv.Compare(lv) == 0 {
+					return val.Bool(!not), nil
+				}
+			}
+			if anyNull {
+				return val.Null(), nil
+			}
+			return val.Bool(not), nil
+		}, nil
+
+	case *LikeExpr:
+		x, err := compileExpr(e.X, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := compileExpr(e.Pattern, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			xv, err := x(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			pv, err := pat(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if xv.IsNull() || pv.IsNull() {
+				return val.Null(), nil
+			}
+			if xv.K != val.KindString || pv.K != val.KindString {
+				return val.Value{}, fmt.Errorf("sql: LIKE needs strings")
+			}
+			return val.Bool(likeMatch(xv.S, pv.S) != not), nil
+		}, nil
+
+	case *IsNullExpr:
+		x, err := compileExpr(e.X, sc, db)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			v, err := x(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			return val.Bool(v.IsNull() != not), nil
+		}, nil
+
+	case *FuncExpr:
+		f, ok := db.scalars[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown function %s", e.Name)
+		}
+		if len(e.Args) < f.MinArgs || (f.MaxArgs >= 0 && len(e.Args) > f.MaxArgs) {
+			return nil, fmt.Errorf("sql: %s takes %d..%d args, got %d", e.Name, f.MinArgs, f.MaxArgs, len(e.Args))
+		}
+		args := make([]compiledExpr, len(e.Args))
+		var err error
+		for i, a := range e.Args {
+			if args[i], err = compileExpr(a, sc, db); err != nil {
+				return nil, err
+			}
+		}
+		fn := f.Fn
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			vals := make([]val.Value, len(args))
+			for i, a := range args {
+				v, err := a(ctx, row)
+				if err != nil {
+					return val.Value{}, err
+				}
+				vals[i] = v
+			}
+			return fn(ctx, vals)
+		}, nil
+
+	case *CaseExpr:
+		whens := make([]struct{ cond, then compiledExpr }, len(e.Whens))
+		for i, w := range e.Whens {
+			c, err := compileExpr(w.Cond, sc, db)
+			if err != nil {
+				return nil, err
+			}
+			t, err := compileExpr(w.Then, sc, db)
+			if err != nil {
+				return nil, err
+			}
+			whens[i].cond, whens[i].then = c, t
+		}
+		var els compiledExpr
+		if e.Else != nil {
+			var err error
+			if els, err = compileExpr(e.Else, sc, db); err != nil {
+				return nil, err
+			}
+		}
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			for _, w := range whens {
+				c, err := w.cond(ctx, row)
+				if err != nil {
+					return val.Value{}, err
+				}
+				if c.Truthy() {
+					return w.then(ctx, row)
+				}
+			}
+			if els != nil {
+				return els(ctx, row)
+			}
+			return val.Null(), nil
+		}, nil
+
+	case *AggExpr:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", strings.ToUpper(e.Name))
+
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func compileBin(e *BinExpr, sc *scope, db *DB) (compiledExpr, error) {
+	l, err := compileExpr(e.L, sc, db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(e.R, sc, db)
+	if err != nil {
+		return nil, err
+	}
+	op := e.Op
+	switch op {
+	case "and":
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if !lv.IsNull() && !lv.Truthy() {
+				return val.Bool(false), nil
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if !rv.IsNull() && !rv.Truthy() {
+				return val.Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null(), nil
+			}
+			return val.Bool(true), nil
+		}, nil
+	case "or":
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if !lv.IsNull() && lv.Truthy() {
+				return val.Bool(true), nil
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if !rv.IsNull() && rv.Truthy() {
+				return val.Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null(), nil
+			}
+			return val.Bool(false), nil
+		}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null(), nil
+			}
+			c := lv.Compare(rv)
+			var ok bool
+			switch op {
+			case "=":
+				ok = c == 0
+			case "<>":
+				ok = c != 0
+			case "<":
+				ok = c < 0
+			case "<=":
+				ok = c <= 0
+			case ">":
+				ok = c > 0
+			case ">=":
+				ok = c >= 0
+			}
+			return val.Bool(ok), nil
+		}, nil
+	case "+", "-", "*", "/":
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			return arith(op, lv, rv)
+		}, nil
+	case "%", "&", "|", "^":
+		return func(ctx *ExecCtx, row val.Row) (val.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return val.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null(), nil
+			}
+			li, lok := lv.AsInt()
+			ri, rok := rv.AsInt()
+			if !lok || !rok {
+				return val.Value{}, fmt.Errorf("sql: %q needs integers", op)
+			}
+			switch op {
+			case "%":
+				if ri == 0 {
+					return val.Value{}, fmt.Errorf("sql: modulo by zero")
+				}
+				return val.Int(li % ri), nil
+			case "&":
+				return val.Int(li & ri), nil
+			case "|":
+				return val.Int(li | ri), nil
+			default:
+				return val.Int(li ^ ri), nil
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+// arith implements +, -, *, / with T-SQL-style typing: int op int stays
+// integer (including division), any float operand promotes to float.
+func arith(op string, l, r val.Value) (val.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return val.Null(), nil
+	}
+	// String concatenation with +.
+	if op == "+" && l.K == val.KindString && r.K == val.KindString {
+		return val.Str(l.S + r.S), nil
+	}
+	if l.K == val.KindInt && r.K == val.KindInt {
+		switch op {
+		case "+":
+			return val.Int(l.I + r.I), nil
+		case "-":
+			return val.Int(l.I - r.I), nil
+		case "*":
+			return val.Int(l.I * r.I), nil
+		default:
+			if r.I == 0 {
+				return val.Value{}, fmt.Errorf("sql: division by zero")
+			}
+			return val.Int(l.I / r.I), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return val.Value{}, fmt.Errorf("sql: %q needs numeric operands, got %v and %v", op, l.K, r.K)
+	}
+	switch op {
+	case "+":
+		return val.Float(lf + rf), nil
+	case "-":
+		return val.Float(lf - rf), nil
+	case "*":
+		return val.Float(lf * rf), nil
+	default:
+		if rf == 0 {
+			return val.Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return val.Float(lf / rf), nil
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one char).
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer with backtracking on the last %.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// exprRefs collects the scope positions referenced by an expression;
+// resolution errors propagate so classification can reject unknown columns.
+func exprRefs(e Expr, sc *scope, out map[int]bool) error {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *LitExpr, *VarExpr:
+		return nil
+	case *ColExpr:
+		i, err := sc.resolve(e.Qualifier, e.Name)
+		if err != nil {
+			return err
+		}
+		out[i] = true
+		return nil
+	case *UnaryExpr:
+		return exprRefs(e.X, sc, out)
+	case *BinExpr:
+		if err := exprRefs(e.L, sc, out); err != nil {
+			return err
+		}
+		return exprRefs(e.R, sc, out)
+	case *BetweenExpr:
+		for _, x := range []Expr{e.X, e.Lo, e.Hi} {
+			if err := exprRefs(x, sc, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *InExpr:
+		if err := exprRefs(e.X, sc, out); err != nil {
+			return err
+		}
+		for _, x := range e.List {
+			if err := exprRefs(x, sc, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LikeExpr:
+		if err := exprRefs(e.X, sc, out); err != nil {
+			return err
+		}
+		return exprRefs(e.Pattern, sc, out)
+	case *IsNullExpr:
+		return exprRefs(e.X, sc, out)
+	case *FuncExpr:
+		for _, a := range e.Args {
+			if err := exprRefs(a, sc, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *CaseExpr:
+		for _, w := range e.Whens {
+			if err := exprRefs(w.Cond, sc, out); err != nil {
+				return err
+			}
+			if err := exprRefs(w.Then, sc, out); err != nil {
+				return err
+			}
+		}
+		return exprRefs(e.Else, sc, out)
+	case *AggExpr:
+		return exprRefs(e.Arg, sc, out)
+	default:
+		return fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+// hasAgg reports whether the expression tree contains an aggregate call.
+func hasAgg(e Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *AggExpr:
+		return true
+	case *UnaryExpr:
+		return hasAgg(e.X)
+	case *BinExpr:
+		return hasAgg(e.L) || hasAgg(e.R)
+	case *BetweenExpr:
+		return hasAgg(e.X) || hasAgg(e.Lo) || hasAgg(e.Hi)
+	case *InExpr:
+		if hasAgg(e.X) {
+			return true
+		}
+		for _, x := range e.List {
+			if hasAgg(x) {
+				return true
+			}
+		}
+		return false
+	case *LikeExpr:
+		return hasAgg(e.X) || hasAgg(e.Pattern)
+	case *IsNullExpr:
+		return hasAgg(e.X)
+	case *FuncExpr:
+		for _, a := range e.Args {
+			if hasAgg(a) {
+				return true
+			}
+		}
+		return false
+	case *CaseExpr:
+		for _, w := range e.Whens {
+			if hasAgg(w.Cond) || hasAgg(w.Then) {
+				return true
+			}
+		}
+		return hasAgg(e.Else)
+	default:
+		return false
+	}
+}
+
+// inferKind guesses the result kind of an expression for schema purposes.
+func inferKind(e Expr, sc *scope) val.Kind {
+	switch e := e.(type) {
+	case *LitExpr:
+		return e.Val.K
+	case *ColExpr:
+		if i, err := sc.resolve(e.Qualifier, e.Name); err == nil {
+			return sc.cols[i].Kind
+		}
+		return val.KindFloat
+	case *BinExpr:
+		switch e.Op {
+		case "and", "or", "=", "<>", "<", "<=", ">", ">=":
+			return val.KindInt
+		case "&", "|", "^", "%":
+			return val.KindInt
+		default:
+			lk, rk := inferKind(e.L, sc), inferKind(e.R, sc)
+			if lk == val.KindInt && rk == val.KindInt {
+				return val.KindInt
+			}
+			if lk == val.KindString && rk == val.KindString {
+				return val.KindString
+			}
+			return val.KindFloat
+		}
+	case *UnaryExpr:
+		if e.Op == "not" {
+			return val.KindInt
+		}
+		return inferKind(e.X, sc)
+	case *BetweenExpr, *InExpr, *LikeExpr, *IsNullExpr:
+		return val.KindInt
+	case *AggExpr:
+		if e.Name == "count" {
+			return val.KindInt
+		}
+		if e.Arg != nil {
+			if e.Name == "avg" {
+				return val.KindFloat
+			}
+			return inferKind(e.Arg, sc)
+		}
+		return val.KindInt
+	case *FuncExpr:
+		switch e.Name {
+		case "len", "charindex", "sign", "floor", "ceiling":
+			return val.KindInt
+		case "upper", "lower", "ltrim", "rtrim", "substring", "str", "fgeturlexpid", "fphotodescription":
+			return val.KindString
+		default:
+			return val.KindFloat
+		}
+	case *CaseExpr:
+		if len(e.Whens) > 0 {
+			return inferKind(e.Whens[0].Then, sc)
+		}
+		return val.KindFloat
+	case *VarExpr:
+		return val.KindFloat
+	default:
+		return val.KindFloat
+	}
+}
+
+// nan guards math results: SQL surfaces domain errors as NULL.
+func nanToNull(f float64) val.Value {
+	if math.IsNaN(f) {
+		return val.Null()
+	}
+	return val.Float(f)
+}

@@ -1,0 +1,293 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"skyserver/internal/val"
+)
+
+// ScalarFunc is a scalar SQL function. The paper's queries call both T-SQL
+// builtins (sqrt, power, abs, pi, …) and SkyServer-specific functions under
+// the dbo. schema (fPhotoFlags, fGetUrlExpId, …); both register here.
+type ScalarFunc struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 = unbounded
+	Fn      func(ctx *ExecCtx, args []val.Value) (val.Value, error)
+}
+
+// TableFunc is a table-valued function usable in FROM, like the paper's
+// fGetNearbyObjEq / spHTM_Cover (§9.1.4).
+type TableFunc struct {
+	Name string
+	Cols []Column
+	// EstRows is the planner's cardinality estimate (spatial lookups
+	// return a handful of rows, which is why they belong on the outer
+	// side of the nested-loop join in Figure 10).
+	EstRows int
+	Fn      func(ctx *ExecCtx, args []val.Value) ([]val.Row, error)
+}
+
+// RegisterScalar adds or replaces a scalar function.
+func (db *DB) RegisterScalar(f *ScalarFunc) {
+	db.scalars[fold(f.Name)] = f
+}
+
+// RegisterTVF adds or replaces a table-valued function.
+func (db *DB) RegisterTVF(f *TableFunc) {
+	db.tvfs[fold(f.Name)] = f
+}
+
+// TVF looks up a table-valued function.
+func (db *DB) TVF(name string) (*TableFunc, bool) {
+	f, ok := db.tvfs[fold(name)]
+	return f, ok
+}
+
+func numArg(args []val.Value, i int) (float64, bool) {
+	return args[i].AsFloat()
+}
+
+// math1 wraps a one-argument float function with NULL propagation.
+func math1(name string, f func(float64) float64) *ScalarFunc {
+	return &ScalarFunc{Name: name, MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			x, ok := numArg(args, 0)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: %s needs a number", name)
+			}
+			return nanToNull(f(x)), nil
+		}}
+}
+
+func registerBuiltins(db *DB) {
+	for _, f := range []*ScalarFunc{
+		math1("sqrt", math.Sqrt),
+		math1("exp", math.Exp),
+		math1("log", math.Log),
+		math1("log10", math.Log10),
+		math1("sin", math.Sin),
+		math1("cos", math.Cos),
+		math1("tan", math.Tan),
+		math1("asin", math.Asin),
+		math1("acos", math.Acos),
+		math1("atan", math.Atan),
+		math1("radians", func(x float64) float64 { return x * math.Pi / 180 }),
+		math1("degrees", func(x float64) float64 { return x * 180 / math.Pi }),
+		math1("square", func(x float64) float64 { return x * x }),
+	} {
+		db.RegisterScalar(f)
+	}
+
+	db.RegisterScalar(&ScalarFunc{Name: "abs", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			v := args[0]
+			switch v.K {
+			case val.KindNull:
+				return val.Null(), nil
+			case val.KindInt:
+				if v.I < 0 {
+					return val.Int(-v.I), nil
+				}
+				return v, nil
+			case val.KindFloat:
+				return val.Float(math.Abs(v.F)), nil
+			}
+			return val.Value{}, fmt.Errorf("sql: abs needs a number")
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "power", MinArgs: 2, MaxArgs: 2,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return val.Null(), nil
+			}
+			x, xok := numArg(args, 0)
+			y, yok := numArg(args, 1)
+			if !xok || !yok {
+				return val.Value{}, fmt.Errorf("sql: power needs numbers")
+			}
+			return nanToNull(math.Pow(x, y)), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "atan2", MinArgs: 2, MaxArgs: 2,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return val.Null(), nil
+			}
+			y, _ := numArg(args, 0)
+			x, _ := numArg(args, 1)
+			return val.Float(math.Atan2(y, x)), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "pi", MinArgs: 0, MaxArgs: 0,
+		Fn: func(_ *ExecCtx, _ []val.Value) (val.Value, error) {
+			return val.Float(math.Pi), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "floor", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			x, ok := numArg(args, 0)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: floor needs a number")
+			}
+			return val.Int(int64(math.Floor(x))), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "ceiling", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			x, ok := numArg(args, 0)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: ceiling needs a number")
+			}
+			return val.Int(int64(math.Ceil(x))), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "round", MinArgs: 1, MaxArgs: 2,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			x, ok := numArg(args, 0)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: round needs a number")
+			}
+			places := 0.0
+			if len(args) == 2 {
+				places, _ = numArg(args, 1)
+			}
+			m := math.Pow(10, places)
+			return val.Float(math.Round(x*m) / m), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "sign", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			x, ok := numArg(args, 0)
+			if !ok {
+				return val.Value{}, fmt.Errorf("sql: sign needs a number")
+			}
+			switch {
+			case x > 0:
+				return val.Int(1), nil
+			case x < 0:
+				return val.Int(-1), nil
+			}
+			return val.Int(0), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "len", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			switch args[0].K {
+			case val.KindNull:
+				return val.Null(), nil
+			case val.KindString:
+				return val.Int(int64(len(args[0].S))), nil
+			case val.KindBytes:
+				return val.Int(int64(len(args[0].B))), nil
+			}
+			return val.Value{}, fmt.Errorf("sql: len needs a string")
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "upper", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Str(strings.ToUpper(args[0].S)), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "lower", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Str(strings.ToLower(args[0].S)), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "ltrim", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Str(strings.TrimLeft(args[0].S, " ")), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "rtrim", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Str(strings.TrimRight(args[0].S, " ")), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "substring", MinArgs: 3, MaxArgs: 3,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+				return val.Null(), nil
+			}
+			s := args[0].S
+			start, _ := args[1].AsInt()
+			length, _ := args[2].AsInt()
+			// SQL SUBSTRING is 1-based.
+			start--
+			if start < 0 {
+				length += start
+				start = 0
+			}
+			if start >= int64(len(s)) || length <= 0 {
+				return val.Str(""), nil
+			}
+			end := start + length
+			if end > int64(len(s)) {
+				end = int64(len(s))
+			}
+			return val.Str(s[start:end]), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "charindex", MinArgs: 2, MaxArgs: 2,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Int(int64(strings.Index(args[1].S, args[0].S) + 1)), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "str", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return val.Null(), nil
+			}
+			return val.Str(args[0].String()), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "coalesce", MinArgs: 1, MaxArgs: -1,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			for _, a := range args {
+				if !a.IsNull() {
+					return a, nil
+				}
+			}
+			return val.Null(), nil
+		}})
+
+	db.RegisterScalar(&ScalarFunc{Name: "isnull", MinArgs: 2, MaxArgs: 2,
+		Fn: func(_ *ExecCtx, args []val.Value) (val.Value, error) {
+			if args[0].IsNull() {
+				return args[1], nil
+			}
+			return args[0], nil
+		}})
+}

@@ -1,0 +1,897 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"skyserver/internal/val"
+)
+
+// parser is a recursive-descent parser over the token stream with T-SQL-ish
+// operator precedence: OR < AND < NOT < comparison < (+ - & ^ |) < (* / %)
+// < unary.
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses a batch of statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var stmts []Statement
+	for {
+		for p.isOp(";") {
+			p.pos++
+		}
+		if p.cur().kind == tokEOF {
+			break
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("sql: empty batch")
+	}
+	return stmts, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	t := p.cur()
+	return fmt.Errorf("sql: %s (near offset %d, token %q)", msg, t.pos, t.text)
+}
+
+// isKw reports whether the current token is the given keyword.
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && fold(t.text) == kw
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.cur()
+	return t.kind == tokOp && t.text == op
+}
+
+// eatKw consumes a keyword if present.
+func (p *parser) eatKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatOp(op string) bool {
+	if p.isOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.eatKw(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.eatOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKw("select"):
+		return p.parseSelect()
+	case p.isKw("declare"):
+		return p.parseDeclare()
+	case p.isKw("set"):
+		return p.parseSet()
+	case p.isKw("insert"):
+		return p.parseInsert()
+	case p.isKw("delete"):
+		return p.parseDelete()
+	case p.isKw("create"):
+		return p.parseCreate()
+	default:
+		return nil, p.errf("expected a statement")
+	}
+}
+
+// reservedAfterSource lists keywords that terminate a FROM item, so a bare
+// identifier there is an alias only when it is not one of these.
+var reservedAfterSource = map[string]bool{
+	"where": true, "group": true, "order": true, "having": true,
+	"join": true, "inner": true, "left": true, "right": true, "cross": true,
+	"on": true, "select": true, "insert": true, "delete": true,
+	"declare": true, "set": true, "create": true, "union": true,
+	"as": true, "into": true, "top": true, "and": true, "or": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.eatKw("top") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after TOP")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad TOP count %q", t.text)
+		}
+		s.Top = n
+		p.pos++
+	}
+	if p.eatKw("distinct") {
+		s.Distinct = true
+	}
+	// Select items.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if p.eatKw("into") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s.Into = name
+	}
+	if p.eatKw("from") {
+		first, err := p.parseFromItem(nil)
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, first)
+		for {
+			if p.eatOp(",") {
+				item, err := p.parseFromItem(nil)
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, item)
+				continue
+			}
+			if p.eatKw("inner") {
+				if err := p.expectKw("join"); err != nil {
+					return nil, err
+				}
+			} else if !p.eatKw("join") {
+				break
+			}
+			joined, err := p.parseFromItem(nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			joined.JoinCond = cond
+			s.From = append(s.From, joined)
+		}
+	}
+	if p.eatKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.eatKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if p.eatKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.eatKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Expr: e}
+			if p.eatKw("desc") {
+				k.Desc = true
+			} else {
+				p.eatKw("asc")
+			}
+			s.OrderBy = append(s.OrderBy, k)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.isOp("*") {
+		p.pos++
+		return SelectItem{Star: true}, nil
+	}
+	// qualifier.* form
+	if p.cur().kind == tokIdent && p.peek().kind == tokOp && p.peek().text == "." {
+		save := p.pos
+		q := p.cur().text
+		p.pos += 2
+		if p.isOp("*") {
+			p.pos++
+			return SelectItem{Star: true, Qualifier: q}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eatKw("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tokIdent && !reservedAfterSource[fold(p.cur().text)] &&
+		!p.isKw("from") {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	if item.Alias == "" {
+		if c, ok := e.(*ColExpr); ok {
+			item.Alias = c.Name
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem(joinCond Expr) (FromItem, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return FromItem{}, err
+	}
+	// Optional dbo. prefix.
+	if fold(name) == "dbo" && p.isOp(".") {
+		p.pos++
+		name, err = p.expectIdent()
+		if err != nil {
+			return FromItem{}, err
+		}
+	}
+	item := FromItem{JoinCond: joinCond}
+	if p.isOp("(") {
+		// Table-valued function.
+		p.pos++
+		fn := &FuncExpr{Name: fold(name)}
+		if !p.eatOp(")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return FromItem{}, err
+				}
+				fn.Args = append(fn.Args, arg)
+				if p.eatOp(")") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return FromItem{}, err
+				}
+			}
+		}
+		item.Func = fn
+	} else {
+		item.Table = name
+	}
+	if p.eatKw("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tokIdent && !reservedAfterSource[fold(p.cur().text)] {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseDeclare() (Statement, error) {
+	if err := p.expectKw("declare"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokVariable {
+		return nil, p.errf("expected @variable after DECLARE")
+	}
+	p.pos++
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	return &DeclareStmt{Name: fold(t.text), Type: typ}, nil
+}
+
+func (p *parser) parseSet() (Statement, error) {
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokVariable {
+		return nil, p.errf("expected @variable after SET")
+	}
+	p.pos++
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &SetStmt{Name: fold(t.text), Expr: e}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("insert"); err != nil {
+		return nil, err
+	}
+	p.eatKw("into")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.isOp("(") {
+		p.pos++
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if p.eatOp(")") {
+				break
+			}
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	switch {
+	case p.eatKw("values"):
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.eatOp(")") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return nil, err
+				}
+			}
+			st.Values = append(st.Values, row)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	case p.isKw("select"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+	default:
+		return nil, p.errf("expected VALUES or SELECT in INSERT")
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.eatKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("create"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Table: name}
+	for {
+		cn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		def := ColDef{Name: cn, Type: typ}
+		if p.eatKw("not") {
+			if err := p.expectKw("null"); err != nil {
+				return nil, err
+			}
+			def.NotNull = true
+		} else {
+			p.eatKw("null")
+		}
+		st.Cols = append(st.Cols, def)
+		if p.eatOp(")") {
+			break
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseTypeName accepts bigint, int, float, real, varchar(n), etc.
+func (p *parser) parseTypeName() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	// Swallow a length argument such as varchar(64).
+	if p.isOp("(") {
+		p.pos++
+		for !p.eatOp(")") {
+			if p.cur().kind == tokEOF {
+				return "", p.errf("unterminated type argument")
+			}
+			p.pos++
+		}
+	}
+	return fold(name), nil
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.eatKw("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.isKw("is") {
+		p.pos++
+		not := p.eatKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	// [NOT] BETWEEN / IN / LIKE
+	not := false
+	if p.isKw("not") && (fold(p.peek().text) == "between" || fold(p.peek().text) == "in" || fold(p.peek().text) == "like") {
+		p.pos++
+		not = true
+	}
+	switch {
+	case p.eatKw("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.eatKw("in"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.eatOp(")") {
+				break
+			}
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+		}
+		return &InExpr{X: l, List: list, Not: not}, nil
+	case p.eatKw("like"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{X: l, Pattern: pat, Not: not}, nil
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp {
+			return l, nil
+		}
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			l = &BinExpr{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp {
+			return l, nil
+		}
+		switch t.text {
+		case "+", "-", "&", "|", "^":
+			p.pos++
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.text, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp {
+			return l, nil
+		}
+		switch t.text {
+		case "*", "/", "%":
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.text, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.eatOp("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	case p.eatOp("+"):
+		return p.parseUnary()
+	case p.eatOp("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "~", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+// aggregateNames are parsed into AggExpr rather than FuncExpr.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &LitExpr{Val: val.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &LitExpr{Val: val.Float(f)}, nil
+		}
+		return &LitExpr{Val: val.Int(i)}, nil
+	case tokString:
+		p.pos++
+		return &LitExpr{Val: val.Str(t.text)}, nil
+	case tokVariable:
+		p.pos++
+		return &VarExpr{Name: fold(t.text)}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected token in expression")
+	case tokIdent:
+		name := t.text
+		lower := fold(name)
+		switch lower {
+		case "null":
+			p.pos++
+			return &LitExpr{Val: val.Null()}, nil
+		case "case":
+			return p.parseCase()
+		}
+		p.pos++
+		// dbo.func(...) or qualifier.column or qualifier.func(...)
+		if p.isOp(".") {
+			p.pos++
+			second, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.isOp("(") {
+				return p.parseCallArgs(fold(second))
+			}
+			return &ColExpr{Qualifier: name, Name: second}, nil
+		}
+		if p.isOp("(") {
+			if aggregateNames[lower] {
+				return p.parseAggCall(lower)
+			}
+			return p.parseCallArgs(lower)
+		}
+		return &ColExpr{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token in expression")
+	}
+}
+
+func (p *parser) parseCallArgs(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{Name: name}
+	if p.eatOp(")") {
+		return fn, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn.Args = append(fn.Args, e)
+		if p.eatOp(")") {
+			return fn, nil
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAggCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if name == "count" && p.isOp("*") {
+		p.pos++
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &AggExpr{Name: "count"}, nil
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &AggExpr{Name: name, Arg: arg}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKw("case"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.eatKw("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.eatKw("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

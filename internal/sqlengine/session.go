@@ -1,0 +1,471 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// Session is one connection's state: declared variables and temp tables
+// (the ##results of the paper's queries).
+type Session struct {
+	db    *DB
+	vars  map[string]val.Value
+	temps map[string]*MemTable
+}
+
+// NewSession opens a session on the database.
+func NewSession(db *DB) *Session {
+	return &Session{
+		db:    db,
+		vars:  make(map[string]val.Value),
+		temps: make(map[string]*MemTable),
+	}
+}
+
+// DB returns the session's database.
+func (s *Session) DB() *DB { return s.db }
+
+// Var returns a declared variable's value.
+func (s *Session) Var(name string) (val.Value, bool) {
+	v, ok := s.vars[fold(name)]
+	return v, ok
+}
+
+// SetVar declares-or-assigns a variable (used by tools wrapping sessions).
+func (s *Session) SetVar(name string, v val.Value) {
+	s.vars[fold(name)] = v
+}
+
+// Temp returns a session temp table.
+func (s *Session) Temp(name string) (*MemTable, bool) {
+	t, ok := s.temps[fold(name)]
+	return t, ok
+}
+
+// ExecOptions bound one batch execution. The public SkyServer runs with
+// MaxRows 1000 and Timeout 30 s (§4: "The public SkyServer limits queries to
+// 1,000 records or 30 seconds of computation"); private servers run
+// unlimited.
+type ExecOptions struct {
+	MaxRows int
+	Timeout time.Duration
+	DOP     int
+}
+
+// Result is the outcome of a batch: the last SELECT's result set plus
+// execution statistics for the SkyServerQA status window.
+type Result struct {
+	Cols  []string
+	Kinds []val.Kind
+	Rows  []val.Row
+	// RowsAffected counts inserted/deleted rows of DML statements.
+	RowsAffected int64
+	// Truncated reports that MaxRows cut the result short.
+	Truncated bool
+	// Plan is the EXPLAIN text of the last SELECT.
+	Plan string
+	// Elapsed is wall-clock time; CPU is process CPU consumed (user+sys),
+	// the two series of Figure 13.
+	Elapsed time.Duration
+	CPU     time.Duration
+	// RowsScanned counts records visited by scans and probes.
+	RowsScanned int64
+}
+
+// Exec parses and runs a batch, returning the last statement's result.
+func (s *Session) Exec(sql string, opt ExecOptions) (*Result, error) {
+	stmts, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	startWall := time.Now()
+	startCPU := processCPU()
+	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP}
+	if opt.Timeout > 0 {
+		ctx.Deadline = startWall.Add(opt.Timeout)
+	}
+	for _, st := range stmts {
+		if err := s.execOne(st, ctx, opt, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(startWall)
+	res.CPU = processCPU() - startCPU
+	res.RowsScanned = ctx.RowsScanned.Load()
+	return res, nil
+}
+
+// Explain plans a single SELECT and returns its plan text without running it.
+func (s *Session) Explain(sql string) (string, error) {
+	stmts, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	var plans []string
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *SelectStmt:
+			p := &planner{db: s.db, sess: s}
+			node, err := p.planSelect(st)
+			if err != nil {
+				return "", err
+			}
+			root := Node(node)
+			if st.Into != "" {
+				plans = append(plans, fmt.Sprintf("InsertInto(%s)\n%s", st.Into, indentLines(Explain(root))))
+			} else {
+				plans = append(plans, Explain(root))
+			}
+		case *DeclareStmt, *SetStmt:
+			// No plan; session effects only. Run SETs so later
+			// statements referencing the variable still plan.
+			if err := s.execSessionOnly(st); err != nil {
+				return "", err
+			}
+		default:
+			plans = append(plans, fmt.Sprintf("%T\n", st))
+		}
+	}
+	return strings.Join(plans, ""), nil
+}
+
+func indentLines(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func (s *Session) execSessionOnly(st Statement) error {
+	switch st := st.(type) {
+	case *DeclareStmt:
+		if _, err := KindForTypeName(st.Type); err != nil {
+			return err
+		}
+		s.vars[st.Name] = val.Null()
+		return nil
+	case *SetStmt:
+		if _, ok := s.vars[st.Name]; !ok {
+			return fmt.Errorf("sql: variable @%s not declared", st.Name)
+		}
+		ce, err := compileExpr(st.Expr, &scope{}, s.db)
+		if err != nil {
+			return err
+		}
+		ctx := &ExecCtx{DB: s.db, Session: s}
+		v, err := ce(ctx, nil)
+		if err != nil {
+			return err
+		}
+		s.vars[st.Name] = v
+		return nil
+	}
+	return fmt.Errorf("sql: not a session statement: %T", st)
+}
+
+func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Result) error {
+	switch st := st.(type) {
+	case *DeclareStmt, *SetStmt:
+		return s.execSessionOnly(st)
+
+	case *SelectStmt:
+		return s.execSelect(st, ctx, opt, res)
+
+	case *InsertStmt:
+		return s.execInsert(st, ctx, opt, res)
+
+	case *DeleteStmt:
+		return s.execDelete(st, ctx, res)
+
+	case *CreateTableStmt:
+		cols := make([]Column, len(st.Cols))
+		for i, cd := range st.Cols {
+			k, err := KindForTypeName(cd.Type)
+			if err != nil {
+				return err
+			}
+			cols[i] = Column{Name: cd.Name, Kind: k, NotNull: cd.NotNull}
+		}
+		if strings.HasPrefix(st.Table, "#") {
+			s.temps[fold(st.Table)] = &MemTable{Name: st.Table, Cols: cols}
+			return nil
+		}
+		_, err := s.db.CreateTable(st.Table, cols, nil, "")
+		return err
+
+	default:
+		return fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+func (s *Session) execSelect(st *SelectStmt, ctx *ExecCtx, opt ExecOptions, res *Result) error {
+	p := &planner{db: s.db, sess: s}
+	node, err := p.planSelect(st)
+	if err != nil {
+		return err
+	}
+	cols := node.Columns()
+	var rows []val.Row
+	truncated := false
+	limit := opt.MaxRows
+	err = node.Run(ctx, func(row val.Row) error {
+		if limit > 0 && len(rows) >= limit {
+			truncated = true
+			return errStopEarly
+		}
+		rows = append(rows, row.Clone())
+		return nil
+	})
+	if err != nil && err != errStopEarly {
+		return err
+	}
+	names := make([]string, len(cols))
+	kinds := make([]val.Kind, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+		kinds[i] = c.Kind
+	}
+	if st.Into != "" {
+		mt := &MemTable{Name: st.Into}
+		for i := range names {
+			mt.Cols = append(mt.Cols, Column{Name: names[i], Kind: kinds[i]})
+		}
+		mt.Rows = rows
+		if strings.HasPrefix(st.Into, "#") {
+			s.temps[fold(st.Into)] = mt
+		} else {
+			// SELECT INTO a permanent name also lands in the
+			// session under that name (the engine is a warehouse;
+			// ad-hoc result tables stay session-local).
+			s.temps[fold(st.Into)] = mt
+		}
+		res.RowsAffected = int64(len(rows))
+	}
+	res.Cols = names
+	res.Kinds = kinds
+	res.Rows = rows
+	res.Truncated = truncated
+	res.Plan = Explain(node)
+	return nil
+}
+
+func (s *Session) execInsert(st *InsertStmt, ctx *ExecCtx, opt ExecOptions, res *Result) error {
+	// Gather the rows to insert.
+	var inRows []val.Row
+	var inCols []string
+	if st.Select != nil {
+		p := &planner{db: s.db, sess: s}
+		node, err := p.planSelect(st.Select)
+		if err != nil {
+			return err
+		}
+		for _, c := range node.Columns() {
+			inCols = append(inCols, c.Name)
+		}
+		if err := node.Run(ctx, func(row val.Row) error {
+			inRows = append(inRows, row.Clone())
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else {
+		for _, ve := range st.Values {
+			row := make(val.Row, len(ve))
+			for i, e := range ve {
+				ce, err := compileExpr(e, &scope{}, s.db)
+				if err != nil {
+					return err
+				}
+				v, err := ce(ctx, nil)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			inRows = append(inRows, row)
+		}
+	}
+
+	// Resolve the target.
+	if strings.HasPrefix(st.Table, "#") {
+		mt, ok := s.temps[fold(st.Table)]
+		if !ok {
+			return fmt.Errorf("sql: unknown temp table %s", st.Table)
+		}
+		reorder, err := columnOrder(len(mt.Cols), namesOf(mt.Cols), st.Cols)
+		if err != nil {
+			return err
+		}
+		for _, r := range inRows {
+			out, err := applyOrder(r, reorder, len(mt.Cols))
+			if err != nil {
+				return err
+			}
+			mt.Rows = append(mt.Rows, out)
+		}
+		res.RowsAffected = int64(len(inRows))
+		return nil
+	}
+	t, err := s.db.Table(st.Table)
+	if err != nil {
+		return err
+	}
+	reorder, err := columnOrder(len(t.Cols), namesOfTable(t.Cols), st.Cols)
+	if err != nil {
+		return err
+	}
+	for _, r := range inRows {
+		out, err := applyOrder(r, reorder, len(t.Cols))
+		if err != nil {
+			return err
+		}
+		if _, err := t.Insert(out); err != nil {
+			return err
+		}
+	}
+	res.RowsAffected = int64(len(inRows))
+	return nil
+}
+
+func namesOf(cols []Column) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func namesOfTable(cols []Column) []string { return namesOf(cols) }
+
+// columnOrder maps insert positions to table positions. Empty colList means
+// positional insert.
+func columnOrder(tableWidth int, tableCols []string, colList []string) ([]int, error) {
+	if len(colList) == 0 {
+		return nil, nil
+	}
+	idx := make(map[string]int, tableWidth)
+	for i, n := range tableCols {
+		idx[fold(n)] = i
+	}
+	out := make([]int, len(colList))
+	for i, n := range colList {
+		pos, ok := idx[fold(n)]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown insert column %s", n)
+		}
+		out[i] = pos
+	}
+	return out, nil
+}
+
+func applyOrder(row val.Row, order []int, width int) (val.Row, error) {
+	if order == nil {
+		if len(row) != width {
+			return nil, fmt.Errorf("sql: insert expects %d values, got %d", width, len(row))
+		}
+		return row, nil
+	}
+	if len(row) != len(order) {
+		return nil, fmt.Errorf("sql: insert expects %d values, got %d", len(order), len(row))
+	}
+	out := make(val.Row, width)
+	for i := range out {
+		out[i] = val.Null()
+	}
+	for i, pos := range order {
+		out[pos] = row[i]
+	}
+	return out, nil
+}
+
+func (s *Session) execDelete(st *DeleteStmt, ctx *ExecCtx, res *Result) error {
+	if strings.HasPrefix(st.Table, "#") {
+		mt, ok := s.temps[fold(st.Table)]
+		if !ok {
+			return fmt.Errorf("sql: unknown temp table %s", st.Table)
+		}
+		sc := &scope{}
+		for _, c := range mt.Cols {
+			sc.cols = append(sc.cols, ColRef{Qualifier: mt.Name, Name: c.Name, Kind: c.Kind})
+		}
+		var cond compiledExpr
+		if st.Where != nil {
+			ce, err := compileExpr(st.Where, sc, s.db)
+			if err != nil {
+				return err
+			}
+			cond = ce
+		}
+		kept := mt.Rows[:0]
+		deleted := int64(0)
+		for _, r := range mt.Rows {
+			if cond != nil {
+				ok, err := cond(ctx, r)
+				if err != nil {
+					return err
+				}
+				if !ok.Truthy() {
+					kept = append(kept, r)
+					continue
+				}
+			}
+			deleted++
+		}
+		mt.Rows = kept
+		res.RowsAffected = deleted
+		return nil
+	}
+
+	t, err := s.db.Table(st.Table)
+	if err != nil {
+		return err
+	}
+	sc := &scope{}
+	for _, c := range t.Cols {
+		sc.cols = append(sc.cols, ColRef{Qualifier: t.Name, Name: c.Name, Kind: c.Kind})
+	}
+	var cond compiledExpr
+	if st.Where != nil {
+		ce, err := compileExpr(st.Where, sc, s.db)
+		if err != nil {
+			return err
+		}
+		cond = ce
+	}
+	// Collect matching RIDs first (serial scan), then delete.
+	var rids []storage.RID
+	width := len(t.Cols)
+	err = t.heap.Scan(1, func(rid storage.RID, rec []byte) error {
+		row := make(val.Row, width)
+		if _, err := val.DecodeRow(rec, row, width, nil); err != nil {
+			return err
+		}
+		if cond != nil {
+			ok, err := cond(ctx, row)
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				return nil
+			}
+		}
+		rids = append(rids, rid)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		if _, err := t.DeleteRID(rid); err != nil {
+			return err
+		}
+	}
+	res.RowsAffected = int64(len(rids))
+	return nil
+}

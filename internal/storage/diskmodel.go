@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// DiskModelConfig describes the simulated I/O hardware for the Figure 15
+// experiment. The defaults are the paper's measured constants: ~40 MB/s per
+// 10k-rpm SCSI disk, ~119 MB/s before an Ultra3 controller saturates (three
+// disks per controller), a 64-bit/33 MHz PCI bus saturating near 220 MB/s
+// (the 64/66 slot is modeled as a faster second bus), and the SQL scan
+// pipeline saturating CPU around 320 MB/s.
+type DiskModelConfig struct {
+	// DiskMBps is the sequential bandwidth of one disk in model MB/s.
+	DiskMBps float64
+	// ControllerMBps caps the aggregate bandwidth of one controller.
+	ControllerMBps float64
+	// DisksPerController assigns disks to controllers in order.
+	DisksPerController int
+	// BusMBps caps each PCI bus; controllers are assigned round-robin.
+	// An empty slice means no bus limit.
+	BusMBps []float64
+	// SpeedUp divides all model times: wall-clock seconds =
+	// model seconds / SpeedUp, so experiments replay quickly.
+	// 0 means 1 (real time).
+	SpeedUp float64
+}
+
+// DefaultDiskModel returns the paper's hardware constants.
+func DefaultDiskModel() DiskModelConfig {
+	return DiskModelConfig{
+		DiskMBps:           40,
+		ControllerMBps:     119,
+		DisksPerController: 3,
+		BusMBps:            []float64{220, 500},
+		SpeedUp:            1,
+	}
+}
+
+// pacer is a virtual-time bandwidth limiter: each Wait(n) reserves the time
+// n bytes take at the configured rate; concurrent callers are serialized in
+// reservation order, so aggregate throughput converges to the rate.
+type pacer struct {
+	mu        sync.Mutex
+	next      time.Time
+	perByteNs float64
+}
+
+func newPacer(mbps, speedUp float64) *pacer {
+	if mbps <= 0 {
+		return nil
+	}
+	if speedUp <= 0 {
+		speedUp = 1
+	}
+	return &pacer{perByteNs: float64(time.Second) / (mbps * 1e6) / speedUp}
+}
+
+// minSleep batches pacing debt: sleeping per page would be dominated by OS
+// timer granularity (tens of µs), so callers run ahead burst-style and only
+// sleep once they are this far behind the virtual clock.
+const minSleep = 2 * time.Millisecond
+
+// wait blocks for the pacing delay of n bytes.
+func (p *pacer) wait(n int) {
+	if p == nil {
+		return
+	}
+	dur := time.Duration(float64(n) * p.perByteNs)
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	sleep := p.next.Sub(now)
+	p.next = p.next.Add(dur)
+	p.mu.Unlock()
+	if sleep > minSleep {
+		time.Sleep(sleep)
+	}
+}
+
+// ThrottledVolume wraps a Volume so reads pay for simulated disk,
+// controller, and bus bandwidth.
+type ThrottledVolume struct {
+	Volume
+	path []*pacer // disk, controller, bus — in that order
+}
+
+// ReadPage charges the full I/O path before performing the read.
+func (tv *ThrottledVolume) ReadPage(n uint32, buf []byte) error {
+	for _, p := range tv.path {
+		p.wait(PageSize)
+	}
+	return tv.Volume.ReadPage(n, buf)
+}
+
+// NewThrottledVolumes wraps vols per the model: each volume gets its own
+// disk pacer; every DisksPerController volumes share a controller pacer;
+// controllers share bus pacers round-robin.
+func NewThrottledVolumes(vols []Volume, cfg DiskModelConfig) []Volume {
+	if cfg.DisksPerController <= 0 {
+		cfg.DisksPerController = 3
+	}
+	nCtlr := (len(vols) + cfg.DisksPerController - 1) / cfg.DisksPerController
+	ctlrs := make([]*pacer, nCtlr)
+	buses := make([]*pacer, len(cfg.BusMBps))
+	for i, mbps := range cfg.BusMBps {
+		buses[i] = newPacer(mbps, cfg.SpeedUp)
+	}
+	out := make([]Volume, len(vols))
+	for i, v := range vols {
+		ci := i / cfg.DisksPerController
+		if ctlrs[ci] == nil {
+			ctlrs[ci] = newPacer(cfg.ControllerMBps, cfg.SpeedUp)
+		}
+		path := []*pacer{newPacer(cfg.DiskMBps, cfg.SpeedUp), ctlrs[ci]}
+		if len(buses) > 0 {
+			path = append(path, buses[ci%len(buses)])
+		}
+		out[i] = &ThrottledVolume{Volume: v, path: path}
+	}
+	return out
+}

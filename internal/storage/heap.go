@@ -1,0 +1,397 @@
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RID addresses a record: heap-local page index in the high 48 bits, slot in
+// the low 16. RIDs are stable for the life of a heap (ghost deletion).
+type RID uint64
+
+// MakeRID composes a record ID.
+func MakeRID(pageIdx uint64, slot int) RID { return RID(pageIdx<<16 | uint64(slot)&0xFFFF) }
+
+// Page returns the heap-local page index.
+func (r RID) Page() uint64 { return uint64(r) >> 16 }
+
+// Slot returns the slot within the page.
+func (r RID) Slot() int { return int(uint64(r) & 0xFFFF) }
+
+// FileGroup stripes pages round-robin across volumes and serves reads
+// through a shared page cache. All tables of a database live in one file
+// group, exactly as in the paper's physical design.
+type FileGroup struct {
+	vols  []Volume
+	alloc atomic.Uint64 // next global page number
+
+	cache *pageCache
+
+	// stats
+	physReads atomic.Uint64
+	physBytes atomic.Uint64
+}
+
+// NewFileGroup creates a file group over the given volumes with a page
+// cache of cachePages pages (0 disables caching).
+func NewFileGroup(vols []Volume, cachePages int) *FileGroup {
+	fg := &FileGroup{vols: vols}
+	if cachePages > 0 {
+		fg.cache = newPageCache(cachePages)
+	}
+	return fg
+}
+
+// NewMemFileGroup is a convenience constructor: n in-memory volumes and a
+// cache sized for warm workloads.
+func NewMemFileGroup(n, cachePages int) *FileGroup {
+	vols := make([]Volume, n)
+	for i := range vols {
+		vols[i] = NewMemVolume()
+	}
+	return NewFileGroup(vols, cachePages)
+}
+
+// NumVolumes returns the stripe width.
+func (fg *FileGroup) NumVolumes() int { return len(fg.vols) }
+
+// AllocPage reserves the next global page number.
+func (fg *FileGroup) AllocPage() uint64 { return fg.alloc.Add(1) - 1 }
+
+// locate maps a global page to (volume, local page).
+func (fg *FileGroup) locate(global uint64) (Volume, uint32) {
+	n := uint64(len(fg.vols))
+	return fg.vols[global%n], uint32(global / n)
+}
+
+// WritePage writes a global page to its volume and refreshes the cache.
+func (fg *FileGroup) WritePage(global uint64, buf []byte) error {
+	v, local := fg.locate(global)
+	if err := v.WritePage(local, buf); err != nil {
+		return err
+	}
+	if fg.cache != nil {
+		fg.cache.put(global, buf)
+	}
+	return nil
+}
+
+// ReadPage reads a global page into buf, consulting the cache first. Cache
+// misses charge the (possibly throttled) volume.
+func (fg *FileGroup) ReadPage(global uint64, buf []byte) error {
+	if fg.cache != nil && fg.cache.get(global, buf) {
+		return nil
+	}
+	v, local := fg.locate(global)
+	if err := v.ReadPage(local, buf); err != nil {
+		return err
+	}
+	fg.physReads.Add(1)
+	fg.physBytes.Add(PageSize)
+	if fg.cache != nil {
+		fg.cache.put(global, buf)
+	}
+	return nil
+}
+
+// DropCache empties the page cache, forcing subsequent scans cold.
+func (fg *FileGroup) DropCache() {
+	if fg.cache != nil {
+		fg.cache.drop()
+	}
+}
+
+// PhysReads returns the number of physical (cache-miss) page reads.
+func (fg *FileGroup) PhysReads() uint64 { return fg.physReads.Load() }
+
+// PhysBytes returns the number of physical bytes read.
+func (fg *FileGroup) PhysBytes() uint64 { return fg.physBytes.Load() }
+
+// Close closes all volumes.
+func (fg *FileGroup) Close() error {
+	var first error
+	for _, v := range fg.vols {
+		if err := v.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pageCache is a sharded LRU-ish page cache (random-eviction clock within a
+// shard keeps it simple and contention-free enough for scans).
+type pageCache struct {
+	shards [16]cacheShard
+	cap    int
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	pages map[uint64][]byte
+}
+
+func newPageCache(capPages int) *pageCache {
+	c := &pageCache{cap: capPages}
+	for i := range c.shards {
+		c.shards[i].pages = make(map[uint64][]byte)
+	}
+	return c
+}
+
+func (c *pageCache) shard(g uint64) *cacheShard { return &c.shards[g%16] }
+
+func (c *pageCache) get(g uint64, buf []byte) bool {
+	s := c.shard(g)
+	s.mu.Lock()
+	p, ok := s.pages[g]
+	if ok {
+		copy(buf, p)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+func (c *pageCache) put(g uint64, buf []byte) {
+	s := c.shard(g)
+	s.mu.Lock()
+	if p, ok := s.pages[g]; ok {
+		copy(p, buf)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.pages) >= c.cap/16+1 {
+		// Evict an arbitrary victim (map iteration order).
+		for k := range s.pages {
+			delete(s.pages, k)
+			break
+		}
+	}
+	p := make([]byte, PageSize)
+	copy(p, buf)
+	s.pages[g] = p
+	s.mu.Unlock()
+}
+
+func (c *pageCache) drop() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.pages = make(map[uint64][]byte)
+		s.mu.Unlock()
+	}
+}
+
+// Heap is one table's record file: an ordered list of global pages
+// allocated from the file group, append-only with ghost deletes.
+type Heap struct {
+	fg *FileGroup
+
+	mu      sync.RWMutex
+	pageIDs []uint64 // heap-local page index -> global page
+	open    page     // buffer of the last page, still accepting inserts
+	rows    uint64   // live rows
+	bytes   uint64   // live payload bytes
+}
+
+// NewHeap creates an empty heap in the file group.
+func NewHeap(fg *FileGroup) *Heap {
+	return &Heap{fg: fg}
+}
+
+// Rows returns the number of live records.
+func (h *Heap) Rows() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows
+}
+
+// Bytes returns the live payload bytes (the "bytes" column of Table 1).
+func (h *Heap) Bytes() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
+
+// Pages returns the number of pages the heap occupies.
+func (h *Heap) Pages() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return uint64(len(h.pageIDs))
+}
+
+// Append stores rec and returns its RID.
+func (h *Heap) Append(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.open == nil {
+		h.open = newPage()
+		h.pageIDs = append(h.pageIDs, h.fg.AllocPage())
+	}
+	slot, ok := h.open.insert(rec)
+	if !ok {
+		// Flush and start a fresh page.
+		if err := h.fg.WritePage(h.pageIDs[len(h.pageIDs)-1], h.open); err != nil {
+			return 0, err
+		}
+		h.open = newPage()
+		h.pageIDs = append(h.pageIDs, h.fg.AllocPage())
+		slot, ok = h.open.insert(rec)
+		if !ok {
+			return 0, fmt.Errorf("storage: record of %d bytes does not fit an empty page", len(rec))
+		}
+	}
+	if err := h.fg.WritePage(h.pageIDs[len(h.pageIDs)-1], h.open); err != nil {
+		return 0, err
+	}
+	h.rows++
+	h.bytes += uint64(len(rec))
+	return MakeRID(uint64(len(h.pageIDs)-1), slot), nil
+}
+
+// Get returns a copy-free view of the record; the caller owns buf (length
+// PageSize) as scratch and must not retain the returned slice past the next
+// use of buf.
+func (h *Heap) Get(rid RID, buf []byte) ([]byte, error) {
+	h.mu.RLock()
+	if rid.Page() >= uint64(len(h.pageIDs)) {
+		h.mu.RUnlock()
+		return nil, fmt.Errorf("storage: rid page %d out of range", rid.Page())
+	}
+	global := h.pageIDs[rid.Page()]
+	h.mu.RUnlock()
+	if err := h.fg.ReadPage(global, buf); err != nil {
+		return nil, err
+	}
+	rec, ok := page(buf).record(rid.Slot())
+	if !ok {
+		return nil, fmt.Errorf("storage: rid %d/%d is deleted or invalid", rid.Page(), rid.Slot())
+	}
+	return rec, nil
+}
+
+// Delete tombstones a record, reporting whether it was live.
+func (h *Heap) Delete(rid RID) (bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if rid.Page() >= uint64(len(h.pageIDs)) {
+		return false, fmt.Errorf("storage: rid page %d out of range", rid.Page())
+	}
+	global := h.pageIDs[rid.Page()]
+	// The open (last) page's buffer is authoritative: a later Append
+	// writes it through wholesale, so the tombstone must land in the
+	// buffer itself or the append would resurrect the record.
+	var buf page
+	if h.open != nil && rid.Page() == uint64(len(h.pageIDs)-1) {
+		buf = h.open
+	} else {
+		buf = newPage()
+		if err := h.fg.ReadPage(global, buf); err != nil {
+			return false, err
+		}
+	}
+	rec, ok := buf.record(rid.Slot())
+	if !ok {
+		return false, nil
+	}
+	n := len(rec)
+	if !buf.del(rid.Slot()) {
+		return false, nil
+	}
+	if err := h.fg.WritePage(global, buf); err != nil {
+		return false, err
+	}
+	h.rows--
+	h.bytes -= uint64(n)
+	return true, nil
+}
+
+// ScanFunc receives each live record during a scan. rec aliases an internal
+// page buffer: copy it to retain. Scans with dop > 1 call fn concurrently.
+type ScanFunc func(rid RID, rec []byte) error
+
+// Scan visits every live record. dop <= 0 selects one worker per volume
+// (the paper's parallel prefetch model); dop == 1 is a serial scan. Page
+// ranges are dealt round-robin so each worker streams one volume when dop
+// equals the stripe width.
+func (h *Heap) Scan(dop int, fn ScanFunc) error {
+	return h.ScanWorkers(dop, func(int) (ScanFunc, func() error) { return fn, nil })
+}
+
+// ScanWorkers is Scan with per-worker state: mk is called once per scan
+// worker and returns that worker's record callback plus an optional flush
+// run (serially, in worker order) after all workers finish successfully.
+// This lets consumers batch without sharing state across goroutines.
+func (h *Heap) ScanWorkers(dop int, mk func(worker int) (ScanFunc, func() error)) error {
+	h.mu.RLock()
+	nPages := len(h.pageIDs)
+	pageIDs := make([]uint64, nPages)
+	copy(pageIDs, h.pageIDs)
+	h.mu.RUnlock()
+	if nPages == 0 {
+		return nil
+	}
+	if dop <= 0 {
+		dop = h.fg.NumVolumes()
+	}
+	if dop > nPages {
+		dop = nPages
+	}
+	if dop > 4*runtime.NumCPU() {
+		dop = 4 * runtime.NumCPU()
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errCh := make(chan error, dop)
+	flushes := make([]func() error, dop)
+	for w := 0; w < dop; w++ {
+		fn, flush := mk(w)
+		flushes[w] = flush
+		wg.Add(1)
+		go func(w int, fn ScanFunc) {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for pi := w; pi < nPages; pi += dop {
+				if stop.Load() {
+					return
+				}
+				if err := h.fg.ReadPage(pageIDs[pi], buf); err != nil {
+					stop.Store(true)
+					errCh <- err
+					return
+				}
+				p := page(buf)
+				for s := 0; s < p.slotCount(); s++ {
+					rec, ok := p.record(s)
+					if !ok {
+						continue
+					}
+					if err := fn(MakeRID(uint64(pi), s), rec); err != nil {
+						stop.Store(true)
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w, fn)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	for _, flush := range flushes {
+		if flush == nil {
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

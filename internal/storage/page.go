@@ -1,0 +1,98 @@
+package storage
+
+import "encoding/binary"
+
+// Slotted page layout (little-endian):
+//
+//	offset 0: uint16 slot count
+//	offset 2: uint16 free-space start (first byte past the last record)
+//	offset 4: record bytes, appended upward
+//	end of page: slot directory growing downward, 4 bytes per slot:
+//	             uint16 record offset, uint16 record length + 1
+//
+// A slot with stored length 0 is a tombstone (deleted record) — live records
+// store length+1 so zero-byte records remain distinguishable. Slot numbers
+// are never reused, so RIDs stay stable — the same ghost-record discipline
+// the loader's UNDO relies on.
+
+const (
+	pageHeaderSize = 4
+	slotSize       = 4
+)
+
+// MaxRecordSize is the largest record a page can hold.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+type page []byte
+
+func newPage() page {
+	p := page(make([]byte, PageSize))
+	binary.LittleEndian.PutUint16(p[2:], pageHeaderSize)
+	return p
+}
+
+func (p page) slotCount() int { return int(binary.LittleEndian.Uint16(p[0:])) }
+func (p page) freeStart() int { return int(binary.LittleEndian.Uint16(p[2:])) }
+
+func (p page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p[0:], uint16(n)) }
+func (p page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p[2:], uint16(n)) }
+
+func (p page) slotAddr(slot int) int { return PageSize - (slot+1)*slotSize }
+
+func (p page) slot(slot int) (off, length int) {
+	a := p.slotAddr(slot)
+	return int(binary.LittleEndian.Uint16(p[a:])), int(binary.LittleEndian.Uint16(p[a+2:]))
+}
+
+func (p page) setSlot(slot, off, length int) {
+	a := p.slotAddr(slot)
+	binary.LittleEndian.PutUint16(p[a:], uint16(off))
+	binary.LittleEndian.PutUint16(p[a+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available for one more record (including its
+// slot directory entry).
+func (p page) freeSpace() int {
+	return PageSize - p.freeStart() - p.slotCount()*slotSize - slotSize
+}
+
+// insert appends rec, returning its slot, or ok=false if it does not fit.
+func (p page) insert(rec []byte) (slot int, ok bool) {
+	if len(rec) > p.freeSpace() || len(rec) > MaxRecordSize {
+		return 0, false
+	}
+	slot = p.slotCount()
+	off := p.freeStart()
+	copy(p[off:], rec)
+	p.setSlot(slot, off, len(rec)+1)
+	p.setFreeStart(off + len(rec))
+	p.setSlotCount(slot + 1)
+	return slot, true
+}
+
+// record returns the bytes of a slot, or ok=false for tombstones and
+// out-of-range slots. The returned slice aliases the page.
+func (p page) record(slot int) ([]byte, bool) {
+	if slot < 0 || slot >= p.slotCount() {
+		return nil, false
+	}
+	off, length := p.slot(slot)
+	if length == 0 {
+		return nil, false
+	}
+	return p[off : off+length-1], true
+}
+
+// del tombstones a slot, reporting whether a live record was present. The
+// record bytes are not reclaimed (ghost deletion).
+func (p page) del(slot int) bool {
+	if slot < 0 || slot >= p.slotCount() {
+		return false
+	}
+	off, length := p.slot(slot)
+	if length == 0 {
+		return false
+	}
+	p.setSlot(slot, off, 0)
+	return true
+}

@@ -1,0 +1,363 @@
+// Package traffic reproduces the SkyServer's web-traffic study (§7,
+// Figure 5): daily hits, page views and sessions over the site's first
+// seven months, including the two Fermilab network outages (22 June and
+// 26 July 2001), the 20× television spike (2 October 2001), ~30% crawler
+// traffic, and the Japanese (~4%) and German (~3%) sub-webs.
+//
+// The package has two halves, matching what a real deployment would run:
+// a synthetic access-log generator standing in for the IIS logs we do not
+// have, and an analyzer (sessionizer + daily aggregator) that computes the
+// Figure 5 series from any log, synthetic or live (the web server's access
+// log feeds it too).
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Site launch and observation window (§7: "operating since June 2001 …
+// In 7 months it served about 2.5 million hits").
+var (
+	LaunchDay = time.Date(2001, time.June, 5, 0, 0, 0, 0, time.UTC)
+	// Days is the length of the reported window (June..December 2001).
+	Days = 214
+)
+
+// Notable days in the series (§7 and Figure 5).
+var (
+	OutageDays = []int{17, 51} // 22 June and 26 July 2001, relative to launch
+	TVSpikeDay = 119           // 2 October 2001
+)
+
+// Entry is one access-log record.
+type Entry struct {
+	Time    time.Time
+	Client  string // synthetic client id (stands in for IP+agent)
+	Path    string
+	IsPage  bool // page view vs. embedded asset hit
+	Crawler bool
+	Lang    string // "en", "jp", "de"
+}
+
+// Config tunes the generator.
+type Config struct {
+	Seed int64
+	// BaseSessions is the launch-week daily session count; traffic grows
+	// toward the paper's sustained ~500 people/day. Default 150.
+	BaseSessions int
+	// Days overrides the window length (default the paper's 214).
+	Days int
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 20011002
+	}
+	if c.BaseSessions == 0 {
+		c.BaseSessions = 110
+	}
+	if c.Days == 0 {
+		c.Days = Days
+	}
+}
+
+// pagePool is the site map the generator draws from; weights are rough
+// popularity (the "famous places" gallery is the most popular page, §2).
+var pagePool = []struct {
+	path   string
+	weight int
+	assets int // embedded images etc. fetched alongside
+}{
+	{"/en/tools/places/", 24, 3},
+	{"/en/", 18, 2},
+	{"/en/tools/navi/", 14, 4},
+	{"/en/tools/explore/obj.asp", 12, 2},
+	{"/en/tools/search/sql.asp", 8, 1},
+	{"/en/proj/kids/oldtime/", 5, 2},
+	{"/en/proj/advanced/hubble/", 4, 2},
+	{"/en/help/docs/browser.asp", 4, 1},
+	{"/en/sdss/", 3, 1},
+	{"/en/download/", 2, 0},
+}
+
+// Generate writes a synthetic access log to w, one entry per line, in
+// chronological order, and returns the entry count.
+func Generate(cfg Config, w io.Writer) (int, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 1<<20)
+	total := 0
+	clientSeq := 0
+	for day := 0; day < cfg.Days; day++ {
+		date := LaunchDay.AddDate(0, 0, day)
+		sessions := dailySessions(cfg, rng, day)
+		for s := 0; s < sessions; s++ {
+			clientSeq++
+			client := fmt.Sprintf("c%06d", clientSeq)
+			crawler := rng.Float64() < 0.13 // crawlers browse long: ~25-30% of hits
+			lang := "en"
+			switch r := rng.Float64(); {
+			case r < 0.04:
+				lang = "jp"
+			case r < 0.07:
+				lang = "de"
+			}
+			// Session start: diurnal double hump (US daytime + Europe).
+			hour := diurnalHour(rng)
+			start := date.Add(time.Duration(hour*3600) * time.Second)
+			pages := 3 + rng.Intn(15)
+			if crawler {
+				pages = 35 + rng.Intn(40)
+			}
+			cur := start
+			for p := 0; p < pages; p++ {
+				pg := pagePool[weightedPick(rng)]
+				path := pg.path
+				if lang != "en" {
+					path = "/" + lang + strings.TrimPrefix(path, "/en")
+				}
+				n, err := writeEntry(bw, Entry{
+					Time: cur, Client: client, Path: path,
+					IsPage: true, Crawler: crawler, Lang: lang,
+				})
+				if err != nil {
+					return total, err
+				}
+				total += n
+				// Asset hits accompany the page view.
+				assets := pg.assets
+				if crawler {
+					assets = assets / 3 // crawlers skip most images
+				}
+				for a := 0; a < assets; a++ {
+					n, err := writeEntry(bw, Entry{
+						Time: cur.Add(time.Second), Client: client,
+						Path:   path + fmt.Sprintf("img%d.jpg", a),
+						IsPage: false, Crawler: crawler, Lang: lang,
+					})
+					if err != nil {
+						return total, err
+					}
+					total += n
+				}
+				cur = cur.Add(time.Duration(20+rng.Intn(240)) * time.Second)
+			}
+		}
+		// ~5 "hacker attacks" per day (§7): probes that are hits, not pages.
+		for a := 0; a < 4+rng.Intn(3); a++ {
+			n, err := writeEntry(bw, Entry{
+				Time:   date.Add(time.Duration(rng.Intn(86400)) * time.Second),
+				Client: fmt.Sprintf("x%04d", rng.Intn(1000)),
+				Path:   "/scripts/..%c1%1c../winnt/system32/cmd.exe",
+				IsPage: false, Crawler: false, Lang: "en",
+			})
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+	}
+	return total, bw.Flush()
+}
+
+// dailySessions models the Figure 5 envelope: growth from launch toward the
+// sustained level, weekly cycle, two outages, and the TV spike.
+func dailySessions(cfg Config, rng *rand.Rand, day int) int {
+	base := float64(cfg.BaseSessions)
+	// Ramp up over the first two months toward ~3x launch traffic.
+	level := base * (1 + 2*(1-math.Exp(-float64(day)/45)))
+	// Weekly cycle: weekend dips (classes drive weekday use, §7).
+	dow := int(LaunchDay.AddDate(0, 0, day).Weekday())
+	if dow == 0 || dow == 6 {
+		level *= 0.6
+	}
+	// Network outages: traffic collapses for the day.
+	for _, od := range OutageDays {
+		if day == od {
+			level *= 0.04
+		}
+	}
+	// The TV show: a 20x peak decaying over three days.
+	switch day {
+	case TVSpikeDay:
+		level *= 20
+	case TVSpikeDay + 1:
+		level *= 6
+	case TVSpikeDay + 2:
+		level *= 2
+	}
+	// Demo days at conferences: occasional 2x bumps.
+	if day%29 == 11 {
+		level *= 2
+	}
+	n := int(level * (0.85 + 0.3*rng.Float64()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// diurnalHour draws an hour-of-day from a two-hump distribution.
+func diurnalHour(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.7 {
+		return math.Mod(15+4*rng.NormFloat64()+24, 24) // US afternoon
+	}
+	return math.Mod(9+3*rng.NormFloat64()+24, 24) // European morning
+}
+
+func weightedPick(rng *rand.Rand) int {
+	total := 0
+	for _, p := range pagePool {
+		total += p.weight
+	}
+	r := rng.Intn(total)
+	for i, p := range pagePool {
+		r -= p.weight
+		if r < 0 {
+			return i
+		}
+	}
+	return len(pagePool) - 1
+}
+
+// Log line format: RFC3339 time, client, flags (P=page, C=crawler), lang,
+// path — a simplified combined-log format.
+func writeEntry(w io.Writer, e Entry) (int, error) {
+	flags := "-"
+	if e.IsPage {
+		flags = "P"
+	}
+	if e.Crawler {
+		flags += "C"
+	}
+	if _, err := fmt.Fprintf(w, "%s %s %s %s %s\n",
+		e.Time.Format(time.RFC3339), e.Client, flags, e.Lang, e.Path); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// ParseLine parses one log line.
+func ParseLine(line string) (Entry, error) {
+	parts := strings.SplitN(strings.TrimSpace(line), " ", 5)
+	if len(parts) != 5 {
+		return Entry{}, fmt.Errorf("traffic: malformed log line %q", line)
+	}
+	ts, err := time.Parse(time.RFC3339, parts[0])
+	if err != nil {
+		return Entry{}, fmt.Errorf("traffic: bad timestamp: %w", err)
+	}
+	return Entry{
+		Time:    ts,
+		Client:  parts[1],
+		IsPage:  strings.Contains(parts[2], "P"),
+		Crawler: strings.Contains(parts[2], "C"),
+		Lang:    parts[3],
+		Path:    parts[4],
+	}, nil
+}
+
+// DayStats is one day of the Figure 5 series.
+type DayStats struct {
+	Day      time.Time
+	Hits     int
+	Pages    int
+	Sessions int
+}
+
+// Report is the analyzer's output.
+type Report struct {
+	Daily []DayStats
+	// Totals over the window.
+	Hits, Pages, Sessions int
+	CrawlerHits           int
+	LangPages             map[string]int
+	EduPages              int // educational project pages (§6: ~8%)
+}
+
+// SessionGap is the idle gap that ends a session (the standard 30 minutes).
+const SessionGap = 30 * time.Minute
+
+// Analyze reads a log (already in roughly chronological order) and builds
+// the daily hits/pages/sessions series plus the share breakdowns §7 quotes.
+func Analyze(r io.Reader) (*Report, error) {
+	rep := &Report{LangPages: map[string]int{}}
+	days := map[string]*DayStats{}
+	lastSeen := map[string]time.Time{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := ParseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		key := e.Time.Format("2006-01-02")
+		d, ok := days[key]
+		if !ok {
+			day, _ := time.Parse("2006-01-02", key)
+			d = &DayStats{Day: day}
+			days[key] = d
+		}
+		d.Hits++
+		rep.Hits++
+		if e.Crawler {
+			rep.CrawlerHits++
+		}
+		if e.IsPage {
+			d.Pages++
+			rep.Pages++
+			rep.LangPages[e.Lang]++
+			if strings.Contains(e.Path, "/proj/") {
+				rep.EduPages++
+			}
+		}
+		if last, ok := lastSeen[e.Client]; !ok || e.Time.Sub(last) > SessionGap || e.Time.Before(last) {
+			d.Sessions++
+			rep.Sessions++
+		}
+		lastSeen[e.Client] = e.Time
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(days))
+	for k := range days {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Daily = append(rep.Daily, *days[k])
+	}
+	return rep, nil
+}
+
+// MonthlySeries condenses the daily series to per-month sums, the
+// granularity of Figure 5's log-scale plot.
+func (r *Report) MonthlySeries() []DayStats {
+	var out []DayStats
+	var cur *DayStats
+	curKey := ""
+	for _, d := range r.Daily {
+		key := d.Day.Format("2006-01")
+		if key != curKey {
+			out = append(out, DayStats{Day: time.Date(d.Day.Year(), d.Day.Month(), 1, 0, 0, 0, 0, time.UTC)})
+			cur = &out[len(out)-1]
+			curKey = key
+		}
+		cur.Hits += d.Hits
+		cur.Pages += d.Pages
+		cur.Sessions += d.Sessions
+	}
+	return out
+}

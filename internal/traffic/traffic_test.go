@@ -1,0 +1,183 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallConfig keeps generation fast for unit tests while preserving the
+// structural features (outages, spike, crawlers, languages).
+func smallConfig() Config {
+	return Config{Seed: 7, BaseSessions: 12, Days: Days}
+}
+
+func generateReport(t *testing.T) *Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := Generate(smallConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := Generate(smallConfig(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(smallConfig(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different logs")
+	}
+}
+
+func TestParseLineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := Entry{
+		Time: time.Date(2001, 10, 2, 15, 4, 5, 0, time.UTC), Client: "c000123",
+		Path: "/en/tools/places/", IsPage: true, Crawler: true, Lang: "en",
+	}
+	if _, err := writeEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLine(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(e.Time) || got.Client != e.Client || got.Path != e.Path ||
+		got.IsPage != e.IsPage || got.Crawler != e.Crawler || got.Lang != e.Lang {
+		t.Errorf("round trip: %+v != %+v", got, e)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, bad := range []string{"", "only three fields here", "notatime c1 P en /x"} {
+		if _, err := ParseLine(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestFigure5SeriesShape(t *testing.T) {
+	rep := generateReport(t)
+	if len(rep.Daily) < Days*9/10 {
+		t.Fatalf("only %d days in series", len(rep.Daily))
+	}
+	// Hits ≫ pages ≫ sessions, roughly the paper's 2.5M : 1M : 70k shape
+	// (hits/pages ≈ 2.5, pages/sessions ≈ 14).
+	hp := float64(rep.Hits) / float64(rep.Pages)
+	ps := float64(rep.Pages) / float64(rep.Sessions)
+	if hp < 1.5 || hp > 5 {
+		t.Errorf("hits/pages = %.1f, want ≈2.5", hp)
+	}
+	if ps < 4 || ps > 40 {
+		t.Errorf("pages/sessions = %.1f, want ≈14", ps)
+	}
+}
+
+func TestOutagesVisible(t *testing.T) {
+	rep := generateReport(t)
+	byDate := map[string]DayStats{}
+	for _, d := range rep.Daily {
+		byDate[d.Day.Format("2006-01-02")] = d
+	}
+	for _, od := range OutageDays {
+		day := LaunchDay.AddDate(0, 0, od).Format("2006-01-02")
+		before := LaunchDay.AddDate(0, 0, od-3).Format("2006-01-02")
+		if byDate[day].Sessions*3 > byDate[before].Sessions {
+			t.Errorf("outage day %s (%d sessions) not clearly below %s (%d sessions)",
+				day, byDate[day].Sessions, before, byDate[before].Sessions)
+		}
+	}
+}
+
+func TestTVSpikeVisible(t *testing.T) {
+	rep := generateReport(t)
+	byDate := map[string]DayStats{}
+	for _, d := range rep.Daily {
+		byDate[d.Day.Format("2006-01-02")] = d
+	}
+	spike := LaunchDay.AddDate(0, 0, TVSpikeDay).Format("2006-01-02")
+	week := LaunchDay.AddDate(0, 0, TVSpikeDay-7).Format("2006-01-02")
+	if byDate[spike].Sessions < byDate[week].Sessions*8 {
+		t.Errorf("TV day %s sessions %d not ≥8x baseline %d",
+			spike, byDate[spike].Sessions, byDate[week].Sessions)
+	}
+}
+
+func TestShares(t *testing.T) {
+	rep := generateReport(t)
+	crawler := float64(rep.CrawlerHits) / float64(rep.Hits)
+	if crawler < 0.15 || crawler > 0.45 {
+		t.Errorf("crawler share = %.2f, paper says ≈0.30", crawler)
+	}
+	jp := float64(rep.LangPages["jp"]) / float64(rep.Pages)
+	de := float64(rep.LangPages["de"]) / float64(rep.Pages)
+	if jp < 0.02 || jp > 0.07 {
+		t.Errorf("jp share = %.3f, paper says ≈0.04", jp)
+	}
+	if de < 0.01 || de > 0.06 {
+		t.Errorf("de share = %.3f, paper says ≈0.03", de)
+	}
+	edu := float64(rep.EduPages) / float64(rep.Pages)
+	if edu < 0.03 || edu > 0.20 {
+		t.Errorf("education share = %.3f, paper says ≈0.08", edu)
+	}
+}
+
+func TestSessionizerGap(t *testing.T) {
+	// Two bursts from one client, 44 minutes apart: two sessions.
+	var buf bytes.Buffer
+	t0 := time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC)
+	for _, dt := range []time.Duration{0, time.Minute, 45 * time.Minute, 46 * time.Minute} {
+		_, _ = writeEntry(&buf, Entry{Time: t0.Add(dt), Client: "c1", Path: "/en/", IsPage: true, Lang: "en"})
+	}
+	rep, err := Analyze(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 2 {
+		t.Errorf("sessions = %d, want 2", rep.Sessions)
+	}
+	if rep.Hits != 4 || rep.Pages != 4 {
+		t.Errorf("hits/pages = %d/%d", rep.Hits, rep.Pages)
+	}
+}
+
+func TestMonthlySeries(t *testing.T) {
+	rep := generateReport(t)
+	months := rep.MonthlySeries()
+	if len(months) < 7 || len(months) > 8 {
+		t.Fatalf("%d months, want 7 (June..December)", len(months))
+	}
+	var hits, pages, sessions int
+	for _, m := range months {
+		hits += m.Hits
+		pages += m.Pages
+		sessions += m.Sessions
+	}
+	if hits != rep.Hits || pages != rep.Pages || sessions != rep.Sessions {
+		t.Error("monthly series does not sum to totals")
+	}
+	if !strings.HasPrefix(months[0].Day.Format("2006-01-02"), "2001-06") {
+		t.Errorf("first month = %v", months[0].Day)
+	}
+}
+
+func TestUptimeWindowMatchesPaper(t *testing.T) {
+	// Not a log property, but pin the constants the report prints.
+	if Days != 214 {
+		t.Errorf("window = %d days", Days)
+	}
+	if LaunchDay.Month() != time.June || LaunchDay.Year() != 2001 {
+		t.Errorf("launch = %v", LaunchDay)
+	}
+}

@@ -1,0 +1,420 @@
+// Package val defines the value and row representation shared by the storage
+// engine, the B-tree indices, and the SQL engine: a compact tagged union
+// covering the SQL types the SkyServer schema needs (NULL, 64-bit integers,
+// 64-bit floats, strings, and binary blobs for cutout images and profile
+// arrays), with total ordering and a self-describing binary codec.
+package val
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates value types.
+type Kind uint8
+
+// Value kinds. KindNull sorts before everything; numeric kinds compare with
+// each other numerically (as SQL does).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+)
+
+// String names the kind for diagnostics and schema listings.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "bigint"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "varchar"
+	case KindBytes:
+		return "varbinary"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B []byte
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bytes returns a blob value.
+func Bytes(b []byte) Value { return Value{K: KindBytes, B: b} }
+
+// Bool returns the SQL-ish boolean encoding used by the engine: bigint 0/1.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsFloat converts numeric values to float64. Returns false for NULL,
+// strings and blobs.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.K {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts numeric values to int64 (floats truncate). Returns false
+// for NULL, strings and blobs.
+func (v Value) AsInt() (int64, bool) {
+	switch v.K {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value counts as true in a WHERE context.
+func (v Value) Truthy() bool {
+	switch v.K {
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// Compare totally orders values: NULL < numbers < strings < blobs; numbers
+// compare numerically across int/float; strings and blobs lexicographically.
+func (v Value) Compare(w Value) int {
+	vr, wr := v.rank(), w.rank()
+	if vr != wr {
+		if vr < wr {
+			return -1
+		}
+		return 1
+	}
+	switch v.K {
+	case KindNull:
+		return 0
+	case KindInt:
+		if w.K == KindInt {
+			switch {
+			case v.I < w.I:
+				return -1
+			case v.I > w.I:
+				return 1
+			}
+			return 0
+		}
+		return cmpFloat(float64(v.I), w.F)
+	case KindFloat:
+		if w.K == KindInt {
+			return cmpFloat(v.F, float64(w.I))
+		}
+		return cmpFloat(v.F, w.F)
+	case KindString:
+		switch {
+		case v.S < w.S:
+			return -1
+		case v.S > w.S:
+			return 1
+		}
+		return 0
+	default: // KindBytes
+		return bytesCompare(v.B, w.B)
+	}
+}
+
+func (v Value) rank() int {
+	switch v.K {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	case KindString:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// String renders the value the way the CSV/console writers print it.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return fmt.Sprintf("0x%x", v.B)
+	}
+}
+
+// Row is an ordered tuple of values, matching a table's column order.
+type Row []Value
+
+// Clone deep-copies a row (blob bytes included) so callers may retain rows
+// beyond the lifetime of a scan buffer.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i, v := range out {
+		if v.K == KindBytes && v.B != nil {
+			b := make([]byte, len(v.B))
+			copy(b, v.B)
+			out[i].B = b
+		}
+	}
+	return out
+}
+
+// Compare orders rows lexicographically column by column; shorter rows sort
+// first when they are prefixes.
+func (r Row) Compare(s Row) int {
+	n := len(r)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if c := r[i].Compare(s[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(r) < len(s):
+		return -1
+	case len(r) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// Binary codec. A row is encoded as a sequence of (kind, payload) fields:
+//
+//	null:   0x00
+//	int:    0x01 + 8-byte little-endian
+//	float:  0x02 + 8-byte IEEE 754 little-endian
+//	string: 0x03 + uvarint length + bytes
+//	bytes:  0x04 + uvarint length + bytes
+//
+// Fields are self-delimiting, so a decoder can skip unwanted columns without
+// materializing them — the engine exploits this for projection pushdown.
+
+// AppendValue encodes v onto buf and returns the extended slice.
+func AppendValue(buf []byte, v Value) []byte {
+	switch v.K {
+	case KindNull:
+		return append(buf, byte(KindNull))
+	case KindInt:
+		buf = append(buf, byte(KindInt))
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case KindFloat:
+		buf = append(buf, byte(KindFloat))
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case KindString:
+		buf = append(buf, byte(KindString))
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...)
+	case KindBytes:
+		buf = append(buf, byte(KindBytes))
+		buf = binary.AppendUvarint(buf, uint64(len(v.B)))
+		return append(buf, v.B...)
+	default:
+		return append(buf, byte(KindNull))
+	}
+}
+
+// AppendRow encodes all fields of r onto buf.
+func AppendRow(buf []byte, r Row) []byte {
+	for _, v := range r {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// EncodedSize returns the exact number of bytes AppendRow would produce.
+func EncodedSize(r Row) int {
+	n := 0
+	for _, v := range r {
+		switch v.K {
+		case KindNull:
+			n++
+		case KindInt, KindFloat:
+			n += 9
+		case KindString:
+			n += 1 + uvarintLen(uint64(len(v.S))) + len(v.S)
+		case KindBytes:
+			n += 1 + uvarintLen(uint64(len(v.B))) + len(v.B)
+		}
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeValue decodes one value from buf, returning it and the bytes
+// consumed. Blob and string payloads alias buf; callers that retain them
+// must Clone.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, fmt.Errorf("val: empty buffer")
+	}
+	switch Kind(buf[0]) {
+	case KindNull:
+		return Null(), 1, nil
+	case KindInt:
+		if len(buf) < 9 {
+			return Value{}, 0, fmt.Errorf("val: short int field")
+		}
+		return Int(int64(binary.LittleEndian.Uint64(buf[1:9]))), 9, nil
+	case KindFloat:
+		if len(buf) < 9 {
+			return Value{}, 0, fmt.Errorf("val: short float field")
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[1:9]))), 9, nil
+	case KindString:
+		l, n := binary.Uvarint(buf[1:])
+		if n <= 0 || len(buf) < 1+n+int(l) {
+			return Value{}, 0, fmt.Errorf("val: short string field")
+		}
+		return Str(string(buf[1+n : 1+n+int(l)])), 1 + n + int(l), nil
+	case KindBytes:
+		l, n := binary.Uvarint(buf[1:])
+		if n <= 0 || len(buf) < 1+n+int(l) {
+			return Value{}, 0, fmt.Errorf("val: short bytes field")
+		}
+		return Bytes(buf[1+n : 1+n+int(l)]), 1 + n + int(l), nil
+	default:
+		return Value{}, 0, fmt.Errorf("val: bad kind byte 0x%02x", buf[0])
+	}
+}
+
+// skipValue returns the encoded length of the field at the head of buf
+// without materializing it.
+func skipValue(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("val: empty buffer")
+	}
+	switch Kind(buf[0]) {
+	case KindNull:
+		return 1, nil
+	case KindInt, KindFloat:
+		if len(buf) < 9 {
+			return 0, fmt.Errorf("val: short numeric field")
+		}
+		return 9, nil
+	case KindString, KindBytes:
+		l, n := binary.Uvarint(buf[1:])
+		if n <= 0 || len(buf) < 1+n+int(l) {
+			return 0, fmt.Errorf("val: short var field")
+		}
+		return 1 + n + int(l), nil
+	default:
+		return 0, fmt.Errorf("val: bad kind byte 0x%02x", buf[0])
+	}
+}
+
+// DecodeRow decodes width fields from buf into dst (which must have length
+// ≥ width). If cols is non-nil, only the column indices present in cols are
+// materialized; other slots are left untouched (callers pre-fill with NULL).
+// It returns the number of bytes consumed.
+func DecodeRow(buf []byte, dst Row, width int, cols []bool) (int, error) {
+	off := 0
+	for i := 0; i < width; i++ {
+		if cols != nil && !cols[i] {
+			n, err := skipValue(buf[off:])
+			if err != nil {
+				return 0, fmt.Errorf("val: column %d: %w", i, err)
+			}
+			off += n
+			continue
+		}
+		v, n, err := DecodeValue(buf[off:])
+		if err != nil {
+			return 0, fmt.Errorf("val: column %d: %w", i, err)
+		}
+		dst[i] = v
+		off += n
+	}
+	return off, nil
+}

@@ -1,0 +1,279 @@
+package val
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{Str("galaxy"), KindString},
+		{Bytes([]byte{1, 2}), KindBytes},
+		{Bool(true), KindInt},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.K, c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool encoding wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "bigint" || KindFloat.String() != "float" {
+		t.Error("kind names changed")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Error("Int.AsFloat")
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("Float.AsFloat")
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Error("Str.AsFloat should fail")
+	}
+	if i, ok := Float(2.9).AsInt(); !ok || i != 2 {
+		t.Error("Float.AsInt should truncate")
+	}
+	if _, ok := Null().AsInt(); ok {
+		t.Error("Null.AsInt should fail")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, v := range []Value{Int(1), Float(0.1), Int(-3)} {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range []Value{Int(0), Float(0), Null(), Str("x")} {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		Float(math.Inf(-1)),
+		Int(-5),
+		Float(-1.5),
+		Int(0),
+		Float(0.5),
+		Int(1),
+		Float(1e18),
+		Str("a"),
+		Str("b"),
+		Bytes([]byte{0}),
+		Bytes([]byte{0, 1}),
+		Bytes([]byte{1}),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIntFloatCross(t *testing.T) {
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("2 != 2.0")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("2 >= 2.5")
+	}
+	if Float(3.5).Compare(Int(3)) != 1 {
+		t.Error("3.5 <= 3")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN should equal itself in total order")
+	}
+	if nan.Compare(Float(0)) != -1 || Float(0).Compare(nan) != 1 {
+		t.Error("NaN should sort below numbers")
+	}
+}
+
+func TestRowCompare(t *testing.T) {
+	a := Row{Int(1), Str("x")}
+	b := Row{Int(1), Str("y")}
+	c := Row{Int(1)}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("row ordering wrong")
+	}
+	if c.Compare(a) != -1 || a.Compare(c) != 1 {
+		t.Error("prefix rows should sort first")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	blob := []byte{1, 2, 3}
+	r := Row{Int(1), Bytes(blob)}
+	c := r.Clone()
+	blob[0] = 99
+	if c[1].B[0] != 1 {
+		t.Error("Clone did not deep-copy blob")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Null()},
+		{Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(-1.5), Float(math.MaxFloat64), Float(math.Inf(1))},
+		{Str(""), Str("hello"), Str("ünïcode ✓")},
+		{Bytes(nil), Bytes([]byte{}), Bytes([]byte{0, 255, 128})},
+		{Null(), Int(7), Float(2.5), Str("mix"), Bytes([]byte("blob"))},
+	}
+	for _, r := range rows {
+		buf := AppendRow(nil, r)
+		if len(buf) != EncodedSize(r) {
+			t.Errorf("EncodedSize(%v) = %d, actual %d", r, EncodedSize(r), len(buf))
+		}
+		dst := make(Row, len(r))
+		n, err := DecodeRow(buf, dst, len(r), nil)
+		if err != nil {
+			t.Fatalf("DecodeRow(%v): %v", r, err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d of %d bytes", n, len(buf))
+		}
+		if dst.Compare(r) != 0 {
+			t.Errorf("round trip: got %v, want %v", dst, r)
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b []byte) bool {
+		r := Row{Int(i), Float(fl), Str(s), Bytes(b), Null()}
+		buf := AppendRow(nil, r)
+		dst := make(Row, len(r))
+		if _, err := DecodeRow(buf, dst, len(r), nil); err != nil {
+			return false
+		}
+		// NaN compares equal to itself under total order.
+		return dst.Compare(r) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRowProjection(t *testing.T) {
+	r := Row{Int(1), Str("skip me"), Float(2.5), Bytes([]byte("skip too")), Int(5)}
+	buf := AppendRow(nil, r)
+	dst := make(Row, len(r))
+	cols := []bool{true, false, true, false, true}
+	n, err := DecodeRow(buf, dst, len(r), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("projection consumed %d of %d", n, len(buf))
+	}
+	if dst[0].I != 1 || dst[2].F != 2.5 || dst[4].I != 5 {
+		t.Errorf("projected values wrong: %v", dst)
+	}
+	if !dst[1].IsNull() || !dst[3].IsNull() {
+		t.Errorf("skipped columns materialized: %v", dst)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("short int accepted")
+	}
+	if _, _, err := DecodeValue([]byte{0xEE}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 10, 'a'}); err == nil {
+		t.Error("short string accepted")
+	}
+	dst := make(Row, 2)
+	if _, err := DecodeRow([]byte{byte(KindInt)}, dst, 2, nil); err == nil {
+		t.Error("truncated row accepted")
+	}
+	if _, err := DecodeRow([]byte{0xEE, 0}, dst, 2, []bool{false, true}); err == nil {
+		t.Error("bad kind in skipped column accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Str("abc"), "abc"},
+		{Bytes([]byte{0xAB}), "0xab"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func BenchmarkAppendRow(b *testing.B) {
+	r := Row{Int(123456), Float(185.0), Float(-0.5), Str("GALAXY"), Int(0x10)}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRow(buf[:0], r)
+	}
+}
+
+func BenchmarkDecodeRowProjected(b *testing.B) {
+	r := make(Row, 40)
+	for i := range r {
+		r[i] = Float(float64(i) * 1.5)
+	}
+	buf := AppendRow(nil, r)
+	cols := make([]bool, 40)
+	cols[0], cols[20], cols[39] = true, true, true
+	dst := make(Row, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRow(buf, dst, 40, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

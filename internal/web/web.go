@@ -1,0 +1,589 @@
+// Package web implements the SkyServer's web interface (§2, §5): an HTTP
+// front end over the SQL database offering the query page with the public
+// limits (1,000 rows / 30 seconds, §4), result sets in multiple formats
+// (the SkyServerQA formats of §4: grid/HTML, CSV, XML — plus JSON for
+// modern clients and a FITS-ASCII table), the object explorer drill-down
+// (Figure 2), the pan-zoom cutout service over the image pyramid, the
+// famous-places gallery, and the schema browser feed that SkyServerQA's
+// object browser reads. Every request is written to an access log in the
+// format internal/traffic analyzes — the same pipeline as §7's statistics.
+package web
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"skyserver/internal/schema"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/val"
+)
+
+// Options configure a server.
+type Options struct {
+	// Public enforces the paper's public-server limits: 1,000 rows and
+	// 30 seconds per query. Private (personal) SkyServers run unlimited.
+	Public bool
+	// MaxRows / Timeout override the public defaults when non-zero.
+	MaxRows int
+	Timeout time.Duration
+	// AccessLog receives traffic-format log lines (may be nil).
+	AccessLog io.Writer
+}
+
+// PublicMaxRows and PublicTimeout are the §4 limits.
+const (
+	PublicMaxRows = 1000
+	PublicTimeout = 30 * time.Second
+)
+
+// Server is the SkyServer web front end.
+type Server struct {
+	sdb *schema.SkyDB
+	opt Options
+	mux *http.ServeMux
+
+	logMu sync.Mutex
+}
+
+// NewServer builds the front end over a loaded database.
+func NewServer(sdb *schema.SkyDB, opt Options) *Server {
+	if opt.Public {
+		if opt.MaxRows == 0 {
+			opt.MaxRows = PublicMaxRows
+		}
+		if opt.Timeout == 0 {
+			opt.Timeout = PublicTimeout
+		}
+	}
+	s := &Server{sdb: sdb, opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/en/tools/search/sql.asp", s.handleSQL)
+	s.mux.HandleFunc("/x/sql", s.handleSQL)
+	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.handleExplore)
+	s.mux.HandleFunc("/en/tools/places/", s.handlePlaces)
+	s.mux.HandleFunc("/en/tools/navi/cutout", s.handleCutout)
+	s.mux.HandleFunc("/en/tools/navi/objects", s.handleRect)
+	s.mux.HandleFunc("/en/help/docs/browser.asp", s.handleSchema)
+	s.mux.HandleFunc("/en/skyserver/loadevents", s.handleLoadEvents)
+	return s
+}
+
+// Handler returns the HTTP handler with access logging attached.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.logAccess(r)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) logAccess(r *http.Request) {
+	if s.opt.AccessLog == nil {
+		return
+	}
+	lang := "en"
+	if strings.HasPrefix(r.URL.Path, "/jp/") {
+		lang = "jp"
+	} else if strings.HasPrefix(r.URL.Path, "/de/") {
+		lang = "de"
+	}
+	isPage := !strings.ContainsAny(r.URL.Path, ".") ||
+		strings.HasSuffix(r.URL.Path, ".asp")
+	flags := "-"
+	if isPage {
+		flags = "P"
+	}
+	if strings.Contains(strings.ToLower(r.UserAgent()), "bot") {
+		flags += "C"
+	}
+	client := r.RemoteAddr
+	if i := strings.LastIndex(client, ":"); i > 0 {
+		client = client[:i]
+	}
+	if client == "" {
+		client = "unknown"
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.opt.AccessLog, "%s %s %s %s %s\n",
+		time.Now().UTC().Format(time.RFC3339), client, flags, lang, r.URL.Path)
+	s.logMu.Unlock()
+}
+
+func (s *Server) execOptions() sqlengine.ExecOptions {
+	return sqlengine.ExecOptions{MaxRows: s.opt.MaxRows, Timeout: s.opt.Timeout}
+}
+
+// ---- home & gallery ----
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != "/en/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>SkyServer</title></head><body>
+<h1>SkyServer</h1>
+<p>Public access to the synthetic Sloan Digital Sky Survey data.</p>
+<ul>
+<li><a href="/en/tools/places/">Famous places</a></li>
+<li><a href="/en/tools/search/sql.asp">SQL search</a></li>
+<li><a href="/en/tools/navi/objects?ra1=184.9&ra2=185.1&dec1=-0.6&dec2=-0.4">Navigate</a></li>
+<li><a href="/en/help/docs/browser.asp">Schema browser</a></li>
+</ul></body></html>`)
+}
+
+// handlePlaces is the "coffee-table atlas of famous places" (§2): the
+// brightest big galaxies, linked to their explorer pages.
+func (s *Server) handlePlaces(w http.ResponseWriter, r *http.Request) {
+	sess := sqlengine.NewSession(s.sdb.DB)
+	res, err := sess.Exec(`
+		select top 20 objID, ra, dec, r, isoA_r
+		from Galaxy
+		order by r asc`, s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<html><body><h1>Famous Places</h1><ul>")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, `<li><a href="/en/tools/explore/obj.asp?id=%d">Object %d</a> (ra %.4f, dec %.4f, r=%.2f)</li>`,
+			row[0].I, row[0].I, row[1].F, row[2].F, row[3].F)
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+// ---- SQL endpoint ----
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	var cmd string
+	switch r.Method {
+	case http.MethodGet:
+		cmd = r.URL.Query().Get("cmd")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			httpError(w, err)
+			return
+		}
+		cmd = r.PostForm.Get("cmd")
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "html"
+	}
+	if cmd == "" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>SQL Search</h1>
+<form method="post"><textarea name="cmd" rows="8" cols="80">select top 10 objID, ra, dec, r from Galaxy order by r</textarea>
+<br><input type="submit" value="Submit"></form>
+<p>The public server limits queries to 1,000 rows or 30 seconds.</p></body></html>`)
+		return
+	}
+	sess := sqlengine.NewSession(s.sdb.DB)
+	res, err := sess.Exec(cmd, s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := WriteResult(w, res, format); err != nil {
+		httpError(w, err)
+	}
+}
+
+// WriteResult renders a result set in the requested format: csv, json,
+// xml, html, or fits (an ASCII FITS-style table).
+func WriteResult(w http.ResponseWriter, res *sqlengine.Result, format string) error {
+	switch strings.ToLower(format) {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		cw := csv.NewWriter(w)
+		if err := cw.Write(res.Cols); err != nil {
+			return err
+		}
+		rec := make([]string, len(res.Cols))
+		for _, row := range res.Rows {
+			for i, v := range row {
+				rec[i] = v.String()
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		type payload struct {
+			Columns   []string        `json:"columns"`
+			Rows      [][]interface{} `json:"rows"`
+			Truncated bool            `json:"truncated"`
+			ElapsedMS float64         `json:"elapsedMs"`
+		}
+		p := payload{Columns: res.Cols, Truncated: res.Truncated,
+			ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000}
+		for _, row := range res.Rows {
+			out := make([]interface{}, len(row))
+			for i, v := range row {
+				switch v.K {
+				case val.KindNull:
+					out[i] = nil
+				case val.KindInt:
+					out[i] = v.I
+				case val.KindFloat:
+					out[i] = v.F
+				case val.KindString:
+					out[i] = v.S
+				default:
+					out[i] = fmt.Sprintf("0x%x", v.B)
+				}
+			}
+			p.Rows = append(p.Rows, out)
+		}
+		return json.NewEncoder(w).Encode(p)
+
+	case "xml":
+		w.Header().Set("Content-Type", "application/xml")
+		type xmlField struct {
+			Name  string `xml:"name,attr"`
+			Value string `xml:",chardata"`
+		}
+		type xmlRow struct {
+			Fields []xmlField `xml:"field"`
+		}
+		type xmlResult struct {
+			XMLName xml.Name `xml:"result"`
+			Rows    []xmlRow `xml:"row"`
+		}
+		doc := xmlResult{}
+		for _, row := range res.Rows {
+			xr := xmlRow{}
+			for i, v := range row {
+				xr.Fields = append(xr.Fields, xmlField{Name: res.Cols[i], Value: v.String()})
+			}
+			doc.Rows = append(doc.Rows, xr)
+		}
+		if _, err := io.WriteString(w, xml.Header); err != nil {
+			return err
+		}
+		return xml.NewEncoder(w).Encode(doc)
+
+	case "fits":
+		// FITS ASCII-table flavour: an 80-column header then fixed rows.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%-80s\n", "XTENSION= 'TABLE   '")
+		fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("NAXIS2  = %d", len(res.Rows)))
+		fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("TFIELDS = %d", len(res.Cols)))
+		for i, c := range res.Cols {
+			fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("TTYPE%-3d= '%s'", i+1, c))
+		}
+		fmt.Fprintf(w, "%-80s\n", "END")
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = fmt.Sprintf("%20s", v.String())
+			}
+			fmt.Fprintln(w, strings.Join(parts, " "))
+		}
+		return nil
+
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><body><table border=\"1\"><tr>")
+		for _, c := range res.Cols {
+			fmt.Fprintf(w, "<th>%s</th>", html.EscapeString(c))
+		}
+		fmt.Fprint(w, "</tr>")
+		for _, row := range res.Rows {
+			fmt.Fprint(w, "<tr>")
+			for _, v := range row {
+				fmt.Fprintf(w, "<td>%s</td>", html.EscapeString(v.String()))
+			}
+			fmt.Fprint(w, "</tr>")
+		}
+		fmt.Fprint(w, "</table>")
+		if res.Truncated {
+			fmt.Fprintf(w, "<p>Results truncated at %d rows (public server limit).</p>", len(res.Rows))
+		}
+		fmt.Fprintf(w, "<p>%d rows, %.1f ms elapsed.</p></body></html>",
+			len(res.Rows), float64(res.Elapsed.Microseconds())/1000)
+		return nil
+
+	default:
+		return fmt.Errorf("web: unknown format %q (csv, json, xml, html, fits)", format)
+	}
+}
+
+// ---- explorer ----
+
+// handleExplore is the drill-down of Figure 2: a summary of one object's
+// attributes, its spectrum if any, and its neighbors; full=1 dumps the
+// whole record.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing id", http.StatusBadRequest)
+		return
+	}
+	sess := sqlengine.NewSession(s.sdb.DB)
+	full := r.URL.Query().Get("full") == "1"
+	cols := "objID, run, rerun, camcol, field, obj, mode, type, ra, dec, u, g, r, i, z, flags, parentID"
+	if full {
+		cols = "*"
+	}
+	res, err := sess.Exec(fmt.Sprintf("select %s from PhotoObj where objID = %d", cols, id), s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if len(res.Rows) == 0 {
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><body><h1>Object %d</h1><table border=\"1\">", id)
+	for i, c := range res.Cols {
+		fmt.Fprintf(w, "<tr><th>%s</th><td>%s</td></tr>",
+			html.EscapeString(c), html.EscapeString(res.Rows[0][i].String()))
+	}
+	fmt.Fprint(w, "</table>")
+
+	spec, err := sess.Exec(fmt.Sprintf(
+		"select specObjID, z, zConf, specClass from SpecObj where objID = %d", id), s.execOptions())
+	if err == nil && len(spec.Rows) > 0 {
+		fmt.Fprintf(w, "<h2>Spectrum</h2><p>specObjID %d, z = %s (confidence %s)</p>",
+			spec.Rows[0][0].I, spec.Rows[0][1].String(), spec.Rows[0][2].String())
+	}
+	nb, err := sess.Exec(fmt.Sprintf(
+		"select top 10 neighborObjID, distance from Neighbors where objID = %d order by distance", id), s.execOptions())
+	if err == nil && len(nb.Rows) > 0 {
+		fmt.Fprint(w, "<h2>Neighbors</h2><ul>")
+		for _, row := range nb.Rows {
+			fmt.Fprintf(w, `<li><a href="/en/tools/explore/obj.asp?id=%d">%d</a> at %.3f'</li>`,
+				row[0].I, row[0].I, row[1].F)
+		}
+		fmt.Fprint(w, "</ul>")
+	}
+	if !full {
+		fmt.Fprintf(w, `<p><a href="/en/tools/explore/obj.asp?id=%d&full=1">whole record</a></p>`, id)
+	}
+	fmt.Fprint(w, "</body></html>")
+}
+
+// ---- navigation: cutouts and rectangles ----
+
+// handleCutout serves an image tile for the field containing (ra, dec) at
+// the requested zoom — the pan-zoom interface of §2/Figure 2.
+func (s *Server) handleCutout(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ra, err1 := strconv.ParseFloat(q.Get("ra"), 64)
+	dec, err2 := strconv.ParseFloat(q.Get("dec"), 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad ra/dec", http.StatusBadRequest)
+		return
+	}
+	zoom := 1
+	if z := q.Get("zoom"); z != "" {
+		if zi, err := strconv.Atoi(z); err == nil {
+			zoom = zi
+		}
+	}
+	sess := sqlengine.NewSession(s.sdb.DB)
+	res, err := sess.Exec(fmt.Sprintf(`
+		select f.fieldID from Field f
+		where f.raMin <= %g and f.raMax > %g and f.decMin <= %g and f.decMax > %g`,
+		ra, ra, dec, dec), s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if len(res.Rows) == 0 {
+		http.Error(w, "outside the survey footprint", http.StatusNotFound)
+		return
+	}
+	fieldID := res.Rows[0][0].I
+	tile, err := sess.Exec(fmt.Sprintf(
+		"select img from Frame where fieldID = %d and zoom = %d", fieldID, zoom), s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if len(tile.Rows) == 0 || tile.Rows[0][0].IsNull() {
+		http.Error(w, "no tile at that zoom", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(tile.Rows[0][0].B)
+}
+
+// handleRect lists the objects inside an (ra, dec) rectangle via the
+// spatial TVF — the "all objects in a certain rectangular area" request.
+func (s *Server) handleRect(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var b [4]float64
+	for i, name := range []string{"ra1", "ra2", "dec1", "dec2"} {
+		v, err := strconv.ParseFloat(q.Get(name), 64)
+		if err != nil {
+			http.Error(w, "bad "+name, http.StatusBadRequest)
+			return
+		}
+		b[i] = v
+	}
+	sess := sqlengine.NewSession(s.sdb.DB)
+	res, err := sess.Exec(fmt.Sprintf(
+		"select objID, ra, dec, type, mode from fGetObjFromRect(%g, %g, %g, %g)",
+		b[0], b[1], b[2], b[3]), s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if err := WriteResult(w, res, format); err != nil {
+		httpError(w, err)
+	}
+}
+
+// ---- schema browser ----
+
+// schemaDoc is the metadata feed the SkyServerQA object browser renders
+// (§4: tables, columns, types, indexes, constraints, comments).
+type schemaDoc struct {
+	Tables []tableDoc `json:"tables"`
+	Views  []viewDoc  `json:"views"`
+}
+
+type tableDoc struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Rows        uint64      `json:"rows"`
+	DataBytes   uint64      `json:"dataBytes"`
+	IndexBytes  uint64      `json:"indexBytes"`
+	Columns     []columnDoc `json:"columns"`
+	Indexes     []indexDoc  `json:"indexes"`
+	ForeignKeys []fkDoc     `json:"foreignKeys"`
+	PrimaryKey  []string    `json:"primaryKey"`
+}
+
+type columnDoc struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Nullable    bool   `json:"nullable"`
+	Description string `json:"description"`
+}
+
+type indexDoc struct {
+	Name     string   `json:"name"`
+	Keys     []string `json:"keys"`
+	Included []string `json:"included,omitempty"`
+}
+
+type fkDoc struct {
+	Name       string   `json:"name"`
+	Columns    []string `json:"columns"`
+	References string   `json:"references"`
+}
+
+type viewDoc struct {
+	Name        string `json:"name"`
+	Base        string `json:"base"`
+	Where       string `json:"where"`
+	Description string `json:"description"`
+}
+
+// SchemaDoc builds the metadata document for a database.
+func SchemaDoc(db *sqlengine.DB) schemaDoc {
+	doc := schemaDoc{}
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			continue
+		}
+		td := tableDoc{
+			Name: t.Name, Description: t.Desc,
+			Rows: t.Rows(), DataBytes: t.DataBytes(), IndexBytes: t.IndexBytes(),
+		}
+		for _, c := range t.Cols {
+			td.Columns = append(td.Columns, columnDoc{
+				Name: c.Name, Type: c.Kind.String(), Nullable: !c.NotNull, Description: c.Desc,
+			})
+		}
+		for _, pk := range t.PKCols {
+			td.PrimaryKey = append(td.PrimaryKey, t.Cols[pk].Name)
+		}
+		for _, ix := range t.Indexes() {
+			id := indexDoc{Name: ix.Name}
+			for _, k := range ix.KeyCols {
+				id.Keys = append(id.Keys, t.Cols[k].Name)
+			}
+			for _, k := range ix.InclCols {
+				id.Included = append(id.Included, t.Cols[k].Name)
+			}
+			td.Indexes = append(td.Indexes, id)
+		}
+		for _, fk := range t.ForeignKeys() {
+			fd := fkDoc{Name: fk.Name, References: fk.RefTable}
+			for _, c := range fk.Cols {
+				fd.Columns = append(fd.Columns, t.Cols[c].Name)
+			}
+			td.ForeignKeys = append(td.ForeignKeys, fd)
+		}
+		doc.Tables = append(doc.Tables, td)
+	}
+	for _, name := range db.ViewNames() {
+		v, ok := db.View(name)
+		if !ok {
+			continue
+		}
+		doc.Views = append(doc.Views, viewDoc{
+			Name: v.Name, Base: v.Base, Where: v.Where, Description: v.Desc,
+		})
+	}
+	return doc
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(SchemaDoc(s.sdb.DB))
+}
+
+// handleLoadEvents shows the loader journal — §9.4's "simple web user
+// interface [that] displays the load-events table".
+func (s *Server) handleLoadEvents(w http.ResponseWriter, r *http.Request) {
+	sess := sqlengine.NewSession(s.sdb.DB)
+	res, err := sess.Exec(
+		"select eventID, tableName, sourceFile, sourceRows, insertedRows, status from loadEvents order by eventID",
+		s.execOptions())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := WriteResult(w, res, "html"); err != nil {
+		httpError(w, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	msg := err.Error()
+	if strings.Contains(msg, "sql:") {
+		code = http.StatusBadRequest
+	}
+	if err == sqlengine.ErrTimeout {
+		code = http.StatusRequestTimeout
+	}
+	http.Error(w, msg, code)
+}

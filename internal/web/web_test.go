@@ -1,0 +1,347 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skyserver/internal/load"
+	"skyserver/internal/neighbors"
+	"skyserver/internal/pipeline"
+	"skyserver/internal/pyramid"
+	"skyserver/internal/schema"
+	"skyserver/internal/storage"
+	"skyserver/internal/traffic"
+)
+
+var (
+	once sync.Once
+	sdb  *schema.SkyDB
+	bErr error
+)
+
+func survey(t *testing.T) *schema.SkyDB {
+	t.Helper()
+	once.Do(func() {
+		fg := storage.NewMemFileGroup(4, 4096)
+		sdb, bErr = schema.Build(fg)
+		if bErr != nil {
+			return
+		}
+		l := load.New(sdb)
+		if _, bErr = l.LoadSurvey(pipeline.Config{Scale: 1.0 / 4000}); bErr != nil {
+			return
+		}
+		_, bErr = neighbors.Build(sdb, neighbors.DefaultRadiusArcmin)
+	})
+	if bErr != nil {
+		t.Fatalf("survey: %v", bErr)
+	}
+	return sdb
+}
+
+func testServer(t *testing.T, logW *bytes.Buffer) *httptest.Server {
+	t.Helper()
+	opt := Options{Public: true}
+	if logW != nil {
+		opt.AccessLog = logW
+	}
+	srv := NewServer(survey(t), opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String(), resp.Header
+}
+
+func TestHomeAndPlaces(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, _ := get(t, ts.URL+"/")
+	if code != 200 || !strings.Contains(body, "SkyServer") {
+		t.Errorf("home: %d %q", code, body[:min(80, len(body))])
+	}
+	code, body, _ = get(t, ts.URL+"/en/tools/places/")
+	if code != 200 || !strings.Contains(body, "explore/obj.asp?id=") {
+		t.Errorf("places: %d", code)
+	}
+}
+
+func TestSQLEndpointFormats(t *testing.T) {
+	ts := testServer(t, nil)
+	q := "select top 3 objID, ra, dec from PhotoObj order by objID"
+	for _, f := range []string{"csv", "json", "xml", "html", "fits"} {
+		code, body, hdr := get(t, ts.URL+"/x/sql?format="+f+"&cmd="+urlEncode(q))
+		if code != 200 {
+			t.Errorf("%s: status %d: %s", f, code, body)
+			continue
+		}
+		ct := hdr.Get("Content-Type")
+		switch f {
+		case "csv":
+			if !strings.HasPrefix(body, "objID,ra,dec") {
+				t.Errorf("csv header missing: %q", body[:min(50, len(body))])
+			}
+		case "json":
+			var p struct {
+				Columns []string        `json:"columns"`
+				Rows    [][]interface{} `json:"rows"`
+			}
+			if err := json.Unmarshal([]byte(body), &p); err != nil {
+				t.Errorf("json: %v", err)
+			} else if len(p.Rows) != 3 || len(p.Columns) != 3 {
+				t.Errorf("json shape: %d cols %d rows", len(p.Columns), len(p.Rows))
+			}
+			if !strings.Contains(ct, "json") {
+				t.Errorf("json content type %q", ct)
+			}
+		case "xml":
+			if !strings.Contains(body, "<result>") || !strings.Contains(body, "field name=") {
+				t.Errorf("xml body: %q", body[:min(120, len(body))])
+			}
+		case "html":
+			if !strings.Contains(body, "<table") {
+				t.Errorf("html body lacks table")
+			}
+		case "fits":
+			if !strings.Contains(body, "XTENSION") || !strings.Contains(body, "TTYPE1") {
+				t.Errorf("fits header missing")
+			}
+		}
+	}
+}
+
+func TestSQLEndpointPost(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.PostForm(ts.URL+"/x/sql?format=csv",
+		map[string][]string{"cmd": {"select count(*) as n from Galaxy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if resp.StatusCode != 200 || !strings.HasPrefix(buf.String(), "n\n") {
+		t.Errorf("post: %d %q", resp.StatusCode, buf.String())
+	}
+}
+
+func TestSQLEndpointErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	code, _, _ := get(t, ts.URL+"/x/sql?cmd="+urlEncode("select nosuch from PhotoObj"))
+	if code != http.StatusBadRequest {
+		t.Errorf("bad sql: status %d", code)
+	}
+	code, _, _ = get(t, ts.URL+"/x/sql?format=nope&cmd="+urlEncode("select 1"))
+	if code == 200 {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestPublicRowLimit(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, _ := get(t, ts.URL+"/x/sql?format=json&cmd="+urlEncode("select objID from PhotoObj"))
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var p struct {
+		Rows      [][]interface{} `json:"rows"`
+		Truncated bool            `json:"truncated"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != PublicMaxRows || !p.Truncated {
+		t.Errorf("limit: %d rows, truncated=%v (want %d, true)", len(p.Rows), p.Truncated, PublicMaxRows)
+	}
+}
+
+func TestExplorerDrillDown(t *testing.T) {
+	ts := testServer(t, nil)
+	// Find a real object through the SQL endpoint first.
+	_, body, _ := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode("select top 1 objID from Galaxy order by objID"))
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("no galaxy: %q", body)
+	}
+	id := strings.TrimSpace(lines[1])
+	code, page, _ := get(t, ts.URL+"/en/tools/explore/obj.asp?id="+id)
+	if code != 200 || !strings.Contains(page, "Object "+id) {
+		t.Errorf("explore: %d", code)
+	}
+	if !strings.Contains(page, "whole record") {
+		t.Error("summary page lacks whole-record link")
+	}
+	code, pageFull, _ := get(t, ts.URL+"/en/tools/explore/obj.asp?id="+id+"&full=1")
+	if code != 200 || len(pageFull) < len(page) {
+		t.Errorf("full record page smaller than summary")
+	}
+	if !strings.Contains(pageFull, "psfMag_r") {
+		t.Error("full record missing pipeline columns")
+	}
+	code, _, _ = get(t, ts.URL+"/en/tools/explore/obj.asp?id=999999999999")
+	if code != http.StatusNotFound {
+		t.Errorf("missing object: %d", code)
+	}
+	code, _, _ = get(t, ts.URL+"/en/tools/explore/obj.asp?id=xyz")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad id: %d", code)
+	}
+}
+
+func TestCutoutPanZoom(t *testing.T) {
+	ts := testServer(t, nil)
+	for _, zoom := range []int{1, 2, 4, 8} {
+		code, body, _ := get(t, fmt.Sprintf("%s/en/tools/navi/cutout?ra=185&dec=-0.5&zoom=%d", ts.URL, zoom))
+		if code != 200 {
+			t.Fatalf("zoom %d: status %d", zoom, code)
+		}
+		tile, err := pyramid.Decode([]byte(body))
+		if err != nil {
+			t.Fatalf("zoom %d: %v", zoom, err)
+		}
+		want := pyramid.BaseSize / zoom
+		if tile.Size != want {
+			t.Errorf("zoom %d: tile size %d, want %d", zoom, tile.Size, want)
+		}
+	}
+	code, _, _ := get(t, ts.URL+"/en/tools/navi/cutout?ra=10&dec=80&zoom=1")
+	if code != http.StatusNotFound {
+		t.Errorf("off-footprint cutout: %d", code)
+	}
+}
+
+func TestRectSearch(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, _ := get(t, ts.URL+"/en/tools/navi/objects?ra1=184.95&ra2=185.05&dec1=-0.55&dec2=-0.45&format=json")
+	if code != 200 {
+		t.Fatalf("rect: %d %s", code, body)
+	}
+	var p struct {
+		Rows [][]interface{} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	// The planted Q1 cluster lives in this box.
+	if len(p.Rows) < 20 {
+		t.Errorf("rect found %d objects, expected the 22-object cluster", len(p.Rows))
+	}
+}
+
+func TestSchemaBrowser(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, _ := get(t, ts.URL+"/en/help/docs/browser.asp")
+	if code != 200 {
+		t.Fatalf("schema: %d", code)
+	}
+	var doc struct {
+		Tables []struct {
+			Name    string `json:"name"`
+			Columns []struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			} `json:"columns"`
+			Indexes     []struct{ Name string } `json:"indexes"`
+			ForeignKeys []struct{ Name string } `json:"foreignKeys"`
+		} `json:"tables"`
+		Views []struct {
+			Name  string `json:"name"`
+			Where string `json:"where"`
+		} `json:"views"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, tb := range doc.Tables {
+		names[tb.Name] = true
+	}
+	for _, want := range []string{"PhotoObj", "SpecObj", "Neighbors", "Plate", "Field"} {
+		if !names[want] {
+			t.Errorf("schema browser missing table %s", want)
+		}
+	}
+	vnames := map[string]string{}
+	for _, v := range doc.Views {
+		vnames[v.Name] = v.Where
+	}
+	if vnames["Galaxy"] == "" || vnames["Star"] == "" {
+		t.Error("subclassing views missing from schema browser")
+	}
+	// Column tool-tips (§4) come from descriptions.
+	for _, tb := range doc.Tables {
+		if tb.Name == "PhotoObj" {
+			if len(tb.Columns) < 150 {
+				t.Errorf("PhotoObj has %d columns in browser", len(tb.Columns))
+			}
+			if tb.Columns[0].Description == "" {
+				t.Error("columns lack descriptions")
+			}
+			if len(tb.Indexes) < 4 {
+				t.Errorf("PhotoObj shows %d indexes", len(tb.Indexes))
+			}
+		}
+		if tb.Name == "Profile" && len(tb.ForeignKeys) == 0 {
+			t.Error("Profile shows no foreign keys")
+		}
+	}
+}
+
+func TestAccessLogFeedsTrafficAnalyzer(t *testing.T) {
+	var logBuf bytes.Buffer
+	ts := testServer(t, &logBuf)
+	for i := 0; i < 5; i++ {
+		_, _, _ = get(t, ts.URL+"/en/tools/places/")
+	}
+	_, _, _ = get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode("select 1"))
+	rep, err := traffic.Analyze(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("our own access log does not parse: %v", err)
+	}
+	if rep.Hits < 6 {
+		t.Errorf("analyzer saw %d hits", rep.Hits)
+	}
+	if rep.Sessions == 0 {
+		t.Error("analyzer found no sessions")
+	}
+}
+
+func TestLoadEventsPage(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, _ := get(t, ts.URL+"/en/skyserver/loadevents")
+	if code != 200 || !strings.Contains(body, "PhotoObj") {
+		t.Errorf("loadevents: %d", code)
+	}
+}
+
+func urlEncode(s string) string {
+	r := strings.NewReplacer(" ", "%20", "\n", "%0A", "\t", "%09", "*", "%2A", "+", "%2B", "#", "%23", "&", "%26", "=", "%3D", "<", "%3C", ">", "%3E", "'", "%27", "(", "%28", ")", "%29", ",", "%2C")
+	return r.Replace(s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = time.Second
