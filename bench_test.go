@@ -206,6 +206,28 @@ func BenchmarkColorCutScan(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchVsRowFilter contrasts the vectorized filter kernels with
+// the preserved row-at-a-time expression fallback (ForceRowExprs) on the
+// §12 color-cut scan. Both run on the same batch pipeline; only expression
+// evaluation differs — the gap is pure per-row interpreter overhead.
+func BenchmarkBatchVsRowFilter(b *testing.B) {
+	s := benchServer(b)
+	const q = "select count(*) from PhotoObj where (r - g) > 1 and r < 22"
+	bytes := s.DB().PhotoObj.DataBytes()
+	run := func(b *testing.B, opt sqlengine.ExecOptions) {
+		b.SetBytes(int64(bytes))
+		sess := s.Session()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Vectorized", func(b *testing.B) { run(b, sqlengine.ExecOptions{}) })
+	b.Run("RowFallback", func(b *testing.B) { run(b, sqlengine.ExecOptions{ForceRowExprs: true}) })
+}
+
 // BenchmarkNeighborsBuild times the §9.1.1 zone join that materializes the
 // Neighbors table.
 func BenchmarkNeighborsBuild(b *testing.B) {

@@ -3,21 +3,53 @@
 // (Szalay, Gray, Thakar, Kunszt, Malik, Raddick, Stoughton, vandenBerg;
 // ACM SIGMOD 2002).
 //
-// The repository implements the paper's whole stack: a relational engine
-// with the SQL dialect the paper's twenty queries use (internal/sqlengine)
-// over slotted pages striped across simulated disks (internal/storage) and
-// B+tree indices with included columns (internal/btree); the Hierarchical
-// Triangular Mesh spatial index (internal/htm); the SDSS snowflake schema
-// with subclassing views and spatial table-valued functions
-// (internal/schema); a deterministic synthetic survey pipeline with planted
-// query answers (internal/pipeline); the journaled, undoable load pipeline
+// # Architecture
+//
+// The repository implements the paper's whole stack around a vectorized
+// relational engine. Data moves through the system in columnar row-batches
+// (val.Batch: up to 1,024 rows as per-column slices with a selection
+// vector) rather than one row at a time:
+//
+//   - internal/storage lays slotted 8 KB pages across simulated striped
+//     volumes behind a page cache, and its heap scan delivers page-worth
+//     record slices per callback (Heap.ScanBatches) so decode costs
+//     amortize across a page.
+//   - internal/val defines the tagged value codec shared by storage, the
+//     B+tree (internal/btree), and the engine — plus the Batch type the
+//     executor flows. Batches prune columns the planner proves unread: a
+//     scan of the ~220-column PhotoObj that touches three columns
+//     materializes three column arrays, not 220.
+//   - internal/sqlengine parses the paper's T-SQL dialect, plans access
+//     paths (covering-index scans replacing the paper's tag tables, index
+//     seeks from dive-based cardinality estimates, index-probe nested
+//     loops), and executes on a batch push model: every operator — scans,
+//     joins, filter, project, aggregate, sort, distinct, top — consumes
+//     and emits val.Batch. Filters and projections compile twice: to
+//     vectorized kernels that process a whole batch per call (writing
+//     selection vectors in place, with AND/OR preserving the row path's
+//     short-circuit evaluation order), and to a row-at-a-time fallback
+//     that handles the shapes the kernels don't (scalar functions, CASE)
+//     and serves as the semantic oracle in the equivalence tests
+//     (ExecOptions.ForceRowExprs).
+//   - Results stream batch-wise out of the engine: Session.ExecStream
+//     hands each result batch to a sink, and internal/web's SQL endpoint
+//     serializes HTTP responses (CSV, JSON, XML, HTML) directly from the
+//     columnar batches with the paper's public limits (1,000 rows / 30
+//     seconds) applied by truncating the final batch.
+//
+// Around the engine sit the Hierarchical Triangular Mesh spatial index
+// (internal/htm); the SDSS snowflake schema with subclassing views and
+// spatial table-valued functions (internal/schema); a deterministic
+// synthetic survey pipeline with planted query answers
+// (internal/pipeline); the journaled, undoable load pipeline
 // (internal/load); the Neighbors materialized view (internal/neighbors);
-// the image pyramid (internal/pyramid); the web front end with the public
-// query limits (internal/web); and the traffic analytics of the paper's
-// operations study (internal/traffic).
+// the image pyramid (internal/pyramid); the web front end
+// (internal/web); and the traffic analytics of the paper's operations
+// study (internal/traffic).
 //
 // Package core ties them together; cmd/skybench regenerates every table and
 // figure of the paper's evaluation; bench_test.go (this directory) wraps
-// those experiments as standard Go benchmarks. See README.md, DESIGN.md
-// and EXPERIMENTS.md.
+// those experiments as standard Go benchmarks — including
+// BenchmarkBatchVsRowFilter, which isolates the vectorized-vs-row-fallback
+// gap. See README.md, DESIGN.md and EXPERIMENTS.md.
 package skyserver

@@ -1,0 +1,3 @@
+module skyserver
+
+go 1.24

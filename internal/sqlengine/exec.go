@@ -25,6 +25,11 @@ type ExecCtx struct {
 	// DOP is the degree of parallelism for heap scans; 0 = one worker
 	// per volume, 1 = serial.
 	DOP int
+	// ForceRowExprs disables the vectorized expression kernels, routing
+	// every filter and projection through the row-at-a-time fallback.
+	// Data still flows in batches; only expression evaluation changes.
+	// Used by equivalence tests and the batch-vs-row benchmark.
+	ForceRowExprs bool
 
 	// Stats.
 	RowsScanned atomic.Int64
@@ -45,12 +50,20 @@ func (ctx *ExecCtx) checkDeadline() error {
 	return nil
 }
 
-type emitFn func(row val.Row) error
+// batchFn consumes one batch of rows. The batch is owned by the producer
+// and valid only for the duration of the call: consumers that retain data
+// must copy it out (individual val.Values are safe to keep — producers
+// never reuse blob backing bytes, only batch structure). Consumers may
+// narrow the batch's selection vector in place. Producers that run
+// multiple goroutines must serialize their emit calls, so a consumer never
+// sees two concurrent invocations.
+type batchFn func(b *val.Batch) error
 
-// Node is a physical plan operator.
+// Node is a physical plan operator. Run pushes the operator's output to
+// emit in batches of up to val.BatchSize rows.
 type Node interface {
 	Columns() []ColRef
-	Run(ctx *ExecCtx, emit emitFn) error
+	Run(ctx *ExecCtx, emit batchFn) error
 	explainTo(sb *strings.Builder, depth int)
 }
 
@@ -67,13 +80,55 @@ func Explain(n Node) string {
 	return sb.String()
 }
 
+// gatherRow assembles active row k=(physical index i) into a fresh Row.
+// Batch values are safe to retain (see batchFn), so no deep clone is
+// needed.
+func gatherRow(b *val.Batch, i int) val.Row {
+	return b.RowAt(i, make(val.Row, b.Width()))
+}
+
+// scatter maps an index-entry value position to a batch column.
+type scatter struct{ src, dst int }
+
+// buildScatter returns the key and included-column scatter lists for a
+// covering index access, pruned to the needed columns (nil = all) so an
+// index covering more than the query reads doesn't materialize the excess,
+// and shifted by dstOff for join outputs.
+func buildScatter(ix *Index, needed []bool, dstOff int) (keyDst, inclDst []scatter) {
+	for i, c := range ix.KeyCols {
+		if needed == nil || needed[c] {
+			keyDst = append(keyDst, scatter{i, dstOff + c})
+		}
+	}
+	for i, c := range ix.InclCols {
+		if needed == nil || needed[c] {
+			inclDst = append(inclDst, scatter{i, dstOff + c})
+		}
+	}
+	return keyDst, inclDst
+}
+
+// presentCols fills dst with the indices of b's materialized columns below
+// width, so joins copy only the columns their input actually carries.
+func presentCols(b *val.Batch, width int, dst []int) []int {
+	dst = dst[:0]
+	for c := 0; c < width; c++ {
+		if b.HasCol(c) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
 // ---- dual (FROM-less SELECT) ----
 
 type dualNode struct{}
 
 func (dualNode) Columns() []ColRef { return nil }
-func (dualNode) Run(ctx *ExecCtx, emit emitFn) error {
-	return emit(val.Row{})
+func (dualNode) Run(ctx *ExecCtx, emit batchFn) error {
+	b := val.NewBatch(0)
+	b.Grow()
+	return emit(b)
 }
 func (dualNode) explainTo(sb *strings.Builder, depth int) {
 	indent(sb, depth)
@@ -84,73 +139,61 @@ func (dualNode) explainTo(sb *strings.Builder, depth int) {
 
 // scanNode is a (possibly parallel) sequential scan of a base table heap
 // with an optional pushed-down filter: Figure 11's "parallel table scan …
-// evaluating the predicate on each of the 14M objects".
+// evaluating the predicate on each of the 14M objects". Each worker
+// decodes page-worth record slices into its own batch and filters it with
+// the vectorized predicate before taking the emit lock, so decode and
+// predicate evaluation stay fully parallel and downstream serialization is
+// paid once per batch.
 type scanNode struct {
 	table  *Table
 	cols   []ColRef
 	needed []bool
-	filter compiledExpr
+	filter *compiledPred
 	label  string // filter text for EXPLAIN
 }
 
 func (s *scanNode) Columns() []ColRef { return s.cols }
 
-// scanBatch is how many matching rows a scan worker accumulates before
-// taking the emit lock once for the whole batch — decode and filtering stay
-// fully parallel, and downstream serialization amortizes across the batch.
-const scanBatch = 256
-
-func (s *scanNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 	width := len(s.table.Cols)
 	var mu sync.Mutex
 	var rowsSeen atomic.Int64
-	err := s.table.heap.ScanWorkers(ctx.DOP, func(worker int) (storage.ScanFunc, func() error) {
-		batch := make([]val.Row, 0, scanBatch)
-		// Rows are decoded into a reused scratch and cloned only when
-		// the filter passes: a selective scan over the ~220-column
-		// PhotoObj does not allocate per visited record.
-		scratch := make(val.Row, width)
+	err := s.table.heap.ScanBatches(ctx.DOP, func(worker int) (storage.RecBatchFunc, func() error) {
+		batch := val.NewBatchNeeded(width, s.needed)
 		flush := func() error {
-			if len(batch) == 0 {
+			if batch.Size() == 0 {
 				return nil
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			for _, row := range batch {
-				if err := emit(row); err != nil {
+			if err := s.filter.filter(ctx, batch); err != nil {
+				return err
+			}
+			if batch.Len() > 0 {
+				mu.Lock()
+				err := emit(batch)
+				mu.Unlock()
+				if err != nil {
 					return err
 				}
 			}
-			batch = batch[:0]
+			batch.Reset()
 			return nil
 		}
-		fn := func(rid storage.RID, rec []byte) error {
-			if n := rowsSeen.Add(1); n%4096 == 0 {
+		fn := func(rids []storage.RID, recs [][]byte) error {
+			if n := rowsSeen.Add(int64(len(recs))); n%4096 < int64(len(recs)) {
 				if err := ctx.checkDeadline(); err != nil {
 					return err
 				}
 			}
-			if s.needed != nil {
-				for i := range scratch {
-					scratch[i] = val.Null()
-				}
-			}
-			if _, err := val.DecodeRow(rec, scratch, width, s.needed); err != nil {
-				return err
-			}
-			if s.filter != nil {
-				ok, err := s.filter(ctx, scratch)
-				if err != nil {
+			for _, rec := range recs {
+				idx := batch.Grow()
+				if _, err := batch.DecodeInto(idx, 0, rec, width, s.needed); err != nil {
 					return err
 				}
-				if !ok.Truthy() {
-					return nil
+				if batch.Full() {
+					if err := flush(); err != nil {
+						return err
+					}
 				}
-			}
-			// Clone deep-copies blob bytes, which alias the page buffer.
-			batch = append(batch, scratch.Clone())
-			if len(batch) >= scanBatch {
-				return flush()
 			}
 			return nil
 		}
@@ -184,7 +227,10 @@ const (
 // indexScanNode seeks or scans a B-tree index. With an equality prefix it
 // is an index seek; with no bounds but full coverage it is the
 // covered-column scan that replaces the paper's tag tables (10–100× less
-// data than the base table).
+// data than the base table). Entries are assembled directly into a batch —
+// covered columns alias the tree's stable entry storage, heap lookups
+// decode into batch columns — and the residual filter runs vectorized per
+// batch.
 type indexScanNode struct {
 	table *Table
 	index *Index
@@ -200,7 +246,7 @@ type indexScanNode struct {
 
 	covering bool
 	needed   []bool // heap columns needed when not covering
-	filter   compiledExpr
+	filter   *compiledPred
 	label    string
 	// estRows is the planner's dive-based cardinality estimate (−1 when
 	// unknown), reused for join ordering.
@@ -209,7 +255,7 @@ type indexScanNode struct {
 
 func (s *indexScanNode) Columns() []ColRef { return s.cols }
 
-func (s *indexScanNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 	// Evaluate bounds.
 	eq := make(val.Row, len(s.eqExprs))
 	for i, e := range s.eqExprs {
@@ -240,10 +286,26 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit emitFn) error {
 	}
 	width := len(s.table.Cols)
 	buf := make([]byte, storage.PageSize)
-	// Entries are assembled on a reused scratch row; only filter survivors
-	// are cloned out (covered scans over wide tables stay allocation-free
-	// per entry).
-	scratch := make(val.Row, width)
+	batch := val.NewBatchNeeded(width, s.needed)
+	var keyDst, inclDst []scatter
+	if s.covering {
+		keyDst, inclDst = buildScatter(s.index, s.needed, 0)
+	}
+	flush := func() error {
+		if batch.Size() == 0 {
+			return nil
+		}
+		if err := s.filter.filter(ctx, batch); err != nil {
+			return err
+		}
+		if batch.Len() > 0 {
+			if err := emit(batch); err != nil {
+				return err
+			}
+		}
+		batch.Reset()
+		return nil
+	}
 	rows := int64(0)
 	var innerErr error
 	it := s.index.tree.Seek(lo)
@@ -275,14 +337,12 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit emitFn) error {
 			}
 		}
 		if s.covering {
-			for i := range scratch {
-				scratch[i] = val.Null()
+			idx := batch.Grow()
+			for _, sc := range keyDst {
+				batch.Put(sc.dst, idx, e.Key[sc.src])
 			}
-			for i, c := range s.index.KeyCols {
-				scratch[c] = e.Key[i]
-			}
-			for i, c := range s.index.InclCols {
-				scratch[c] = e.Incl[i]
+			for _, sc := range inclDst {
+				batch.Put(sc.dst, idx, e.Incl[sc.src])
 			}
 		} else {
 			rec, err := s.table.heap.Get(storage.RID(e.RID), buf)
@@ -290,30 +350,21 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit emitFn) error {
 				innerErr = err
 				break
 			}
-			if s.needed != nil {
-				for i := range scratch {
-					scratch[i] = val.Null()
-				}
-			}
-			if _, err := val.DecodeRow(rec, scratch, width, s.needed); err != nil {
+			idx := batch.Grow()
+			if _, err := batch.DecodeInto(idx, 0, rec, width, s.needed); err != nil {
 				innerErr = err
 				break
 			}
 		}
-		if s.filter != nil {
-			ok, err := s.filter(ctx, scratch)
-			if err != nil {
+		if batch.Full() {
+			if err := flush(); err != nil {
 				innerErr = err
 				break
 			}
-			if !ok.Truthy() {
-				continue
-			}
 		}
-		if err := emit(scratch.Clone()); err != nil {
-			innerErr = err
-			break
-		}
+	}
+	if innerErr == nil {
+		innerErr = flush()
 	}
 	ctx.RowsScanned.Add(rows)
 	return innerErr
@@ -346,7 +397,7 @@ type tvfNode struct {
 
 func (t *tvfNode) Columns() []ColRef { return t.cols }
 
-func (t *tvfNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (t *tvfNode) Run(ctx *ExecCtx, emit batchFn) error {
 	args := make([]val.Value, len(t.args))
 	for i, a := range t.args {
 		v, err := a(ctx, nil)
@@ -359,10 +410,18 @@ func (t *tvfNode) Run(ctx *ExecCtx, emit emitFn) error {
 	if err != nil {
 		return err
 	}
+	batch := val.NewBatch(len(t.cols))
 	for _, r := range rows {
-		if err := emit(r); err != nil {
-			return err
+		batch.AppendRow(r)
+		if batch.Full() {
+			if err := emit(batch); err != nil {
+				return err
+			}
+			batch.Reset()
 		}
+	}
+	if batch.Size() > 0 {
+		return emit(batch)
 	}
 	return nil
 }
@@ -377,33 +436,43 @@ func (t *tvfNode) explainTo(sb *strings.Builder, depth int) {
 type memScanNode struct {
 	mem    *MemTable
 	cols   []ColRef
-	filter compiledExpr
+	filter *compiledPred
 	label  string
 }
 
 func (m *memScanNode) Columns() []ColRef { return m.cols }
 
-func (m *memScanNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (m *memScanNode) Run(ctx *ExecCtx, emit batchFn) error {
+	batch := val.NewBatch(len(m.cols))
+	flush := func() error {
+		if batch.Size() == 0 {
+			return nil
+		}
+		if err := m.filter.filter(ctx, batch); err != nil {
+			return err
+		}
+		if batch.Len() > 0 {
+			if err := emit(batch); err != nil {
+				return err
+			}
+		}
+		batch.Reset()
+		return nil
+	}
 	for i, row := range m.mem.Rows {
 		if i%4096 == 4095 {
 			if err := ctx.checkDeadline(); err != nil {
 				return err
 			}
 		}
-		if m.filter != nil {
-			ok, err := m.filter(ctx, row)
-			if err != nil {
+		batch.AppendRow(row)
+		if batch.Full() {
+			if err := flush(); err != nil {
 				return err
 			}
-			if !ok.Truthy() {
-				continue
-			}
-		}
-		if err := emit(row); err != nil {
-			return err
 		}
 	}
-	return nil
+	return flush()
 }
 
 func (m *memScanNode) explainTo(sb *strings.Builder, depth int) {
@@ -420,6 +489,8 @@ func (m *memScanNode) explainTo(sb *strings.Builder, depth int) {
 // indexJoinNode is the nested-loop join of Figure 10 and Figure 12: for each
 // outer row, probe the inner table's index with key values computed from the
 // outer row, then evaluate the residual predicate on the combined row.
+// Matches accumulate into a combined-width batch that the residual filters
+// vectorized before each emit.
 type indexJoinNode struct {
 	outer Node
 	inner *Table
@@ -430,95 +501,106 @@ type indexJoinNode struct {
 	innerWidth int
 	covering   bool
 	needed     []bool
-	residual   compiledExpr // over combined row
+	residual   *compiledPred // over combined row
 	label      string
 }
 
 func (j *indexJoinNode) Columns() []ColRef { return j.cols }
 
-func (j *indexJoinNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 	buf := make([]byte, storage.PageSize)
 	var mu sync.Mutex // outer may be a parallel scan
-	// Candidates are assembled on a reused scratch row and only copied out
-	// when the residual passes, so wide-row probes don't allocate per
-	// index entry.
-	var scratch val.Row
-	return j.outer.Run(ctx, func(outerRow val.Row) error {
-		mu.Lock()
-		defer mu.Unlock()
-		if scratch == nil {
-			scratch = make(val.Row, len(outerRow)+j.innerWidth)
+	var out *val.Batch
+	var outerScratch val.Row
+	key := make(val.Row, len(j.probeExprs))
+	flush := func() error {
+		if out.Size() == 0 {
+			return nil
 		}
-		copy(scratch, outerRow)
-		innerPart := scratch[len(outerRow):]
-		key := make(val.Row, len(j.probeExprs))
-		for i, pe := range j.probeExprs {
-			v, err := pe(ctx, outerRow)
-			if err != nil {
+		if err := j.residual.filter(ctx, out); err != nil {
+			return err
+		}
+		if out.Len() > 0 {
+			if err := emit(out); err != nil {
 				return err
 			}
-			key[i] = v
 		}
-		var innerErr error
-		it := j.index.tree.Seek(key)
-		for ; it.Valid(); it.Next() {
-			e := it.Entry()
-			if e.Key[:len(key)].Compare(key) != 0 {
-				break
-			}
-			ctx.RowsScanned.Add(1)
+		out.Reset()
+		return nil
+	}
+	var keyDst, inclDst []scatter
+	var present []int // outer columns materialized in the current outer batch
+	err := j.outer.Run(ctx, func(ob *val.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		outerWidth := ob.Width()
+		if out == nil {
+			out = val.NewSparseBatch(outerWidth + j.innerWidth)
+			outerScratch = make(val.Row, outerWidth)
 			if j.covering {
-				for i := range innerPart {
-					innerPart[i] = val.Null()
-				}
-				for i, c := range j.index.KeyCols {
-					innerPart[c] = e.Key[i]
-				}
-				for i, c := range j.index.InclCols {
-					innerPart[c] = e.Incl[i]
-				}
-			} else {
-				rec, err := j.inner.heap.Get(storage.RID(e.RID), buf)
-				if err != nil {
-					innerErr = err
-					break
-				}
-				if j.needed != nil {
-					for i := range innerPart {
-						innerPart[i] = val.Null()
-					}
-				}
-				if _, err := val.DecodeRow(rec, innerPart, j.innerWidth, j.needed); err != nil {
-					innerErr = err
-					break
-				}
-				for i := range innerPart {
-					if innerPart[i].K == val.KindBytes {
-						b := make([]byte, len(innerPart[i].B))
-						copy(b, innerPart[i].B)
-						innerPart[i].B = b
-					}
-				}
-			}
-			if j.residual != nil {
-				ok, err := j.residual(ctx, scratch)
-				if err != nil {
-					innerErr = err
-					break
-				}
-				if !ok.Truthy() {
-					continue
-				}
-			}
-			out := make(val.Row, len(scratch))
-			copy(out, scratch)
-			if err := emit(out); err != nil {
-				innerErr = err
-				break
+				keyDst, inclDst = buildScatter(j.index, j.needed, outerWidth)
 			}
 		}
-		return innerErr
+		// Only the outer columns this batch materialized are copied into
+		// the combined row; pruned columns stay pruned downstream too.
+		present = presentCols(ob, outerWidth, present)
+		sel := ob.Sel()
+		for k, n := 0, ob.Len(); k < n; k++ {
+			oi := k
+			if sel != nil {
+				oi = sel[k]
+			}
+			outerRow := ob.RowAt(oi, outerScratch)
+			for i, pe := range j.probeExprs {
+				v, err := pe(ctx, outerRow)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			it := j.index.tree.Seek(key)
+			for ; it.Valid(); it.Next() {
+				e := it.Entry()
+				if e.Key[:len(key)].Compare(key) != 0 {
+					break
+				}
+				ctx.RowsScanned.Add(1)
+				idx := out.Grow()
+				for _, c := range present {
+					out.Put(c, idx, outerRow[c])
+				}
+				if j.covering {
+					for _, sc := range keyDst {
+						out.Put(sc.dst, idx, e.Key[sc.src])
+					}
+					for _, sc := range inclDst {
+						out.Put(sc.dst, idx, e.Incl[sc.src])
+					}
+				} else {
+					rec, err := j.inner.heap.Get(storage.RID(e.RID), buf)
+					if err != nil {
+						return err
+					}
+					if _, err := out.DecodeInto(idx, outerWidth, rec, j.innerWidth, j.needed); err != nil {
+						return err
+					}
+				}
+				if out.Full() {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		return flush()
+	}
+	return nil
 }
 
 func (j *indexJoinNode) explainTo(sb *strings.Builder, depth int) {
@@ -544,19 +626,19 @@ type nlJoinNode struct {
 	outer Node
 	inner Node
 	cols  []ColRef
-	cond  compiledExpr
+	cond  *compiledPred
 	label string
 }
 
 func (j *nlJoinNode) Columns() []ColRef { return j.cols }
 
-func (j *nlJoinNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 	var innerRows []val.Row
 	var mu sync.Mutex
-	if err := j.inner.Run(ctx, func(r val.Row) error {
+	if err := j.inner.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
-		innerRows = append(innerRows, r)
-		mu.Unlock()
+		defer mu.Unlock()
+		b.Each(func(i int) { innerRows = append(innerRows, gatherRow(b, i)) })
 		return nil
 	}); err != nil {
 		return err
@@ -564,42 +646,66 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit emitFn) error {
 	innerWidth := len(j.inner.Columns())
 	var emitMu sync.Mutex
 	rows := int64(0)
-	// The condition is evaluated on a reused scratch row; only matches are
-	// copied out, so a selective join over wide rows does not allocate per
-	// candidate pair.
-	var scratch val.Row
-	err := j.outer.Run(ctx, func(outerRow val.Row) error {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		if scratch == nil {
-			scratch = make(val.Row, len(outerRow)+innerWidth)
+	var out *val.Batch
+	var outerScratch val.Row
+	flush := func() error {
+		if out.Size() == 0 {
+			return nil
 		}
-		copy(scratch, outerRow)
-		for _, ir := range innerRows {
-			rows++
-			if rows%8192 == 0 {
-				if err := ctx.checkDeadline(); err != nil {
-					return err
-				}
-			}
-			copy(scratch[len(outerRow):], ir)
-			if j.cond != nil {
-				ok, err := j.cond(ctx, scratch)
-				if err != nil {
-					return err
-				}
-				if !ok.Truthy() {
-					continue
-				}
-			}
-			out := make(val.Row, len(scratch))
-			copy(out, scratch)
+		if err := j.cond.filter(ctx, out); err != nil {
+			return err
+		}
+		if out.Len() > 0 {
 			if err := emit(out); err != nil {
 				return err
 			}
 		}
+		out.Reset()
+		return nil
+	}
+	var present []int
+	err := j.outer.Run(ctx, func(ob *val.Batch) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		outerWidth := ob.Width()
+		if out == nil {
+			out = val.NewSparseBatch(outerWidth + innerWidth)
+			outerScratch = make(val.Row, outerWidth)
+		}
+		present = presentCols(ob, outerWidth, present)
+		sel := ob.Sel()
+		for k, n := 0, ob.Len(); k < n; k++ {
+			oi := k
+			if sel != nil {
+				oi = sel[k]
+			}
+			outerRow := ob.RowAt(oi, outerScratch)
+			for _, ir := range innerRows {
+				rows++
+				if rows%8192 == 0 {
+					if err := ctx.checkDeadline(); err != nil {
+						return err
+					}
+				}
+				idx := out.Grow()
+				for _, c := range present {
+					out.Put(c, idx, outerRow[c])
+				}
+				for c := 0; c < innerWidth; c++ {
+					out.Put(outerWidth+c, idx, ir[c])
+				}
+				if out.Full() {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
 		return nil
 	})
+	if err == nil && out != nil {
+		err = flush()
+	}
 	ctx.RowsScanned.Add(rows)
 	return err
 }
@@ -619,22 +725,21 @@ func (j *nlJoinNode) explainTo(sb *strings.Builder, depth int) {
 
 type filterNode struct {
 	child Node
-	cond  compiledExpr
+	cond  *compiledPred
 	label string
 }
 
 func (f *filterNode) Columns() []ColRef { return f.child.Columns() }
 
-func (f *filterNode) Run(ctx *ExecCtx, emit emitFn) error {
-	return f.child.Run(ctx, func(row val.Row) error {
-		ok, err := f.cond(ctx, row)
-		if err != nil {
+func (f *filterNode) Run(ctx *ExecCtx, emit batchFn) error {
+	return f.child.Run(ctx, func(b *val.Batch) error {
+		if err := f.cond.filter(ctx, b); err != nil {
 			return err
 		}
-		if !ok.Truthy() {
+		if b.Len() == 0 {
 			return nil
 		}
-		return emit(row)
+		return emit(b)
 	})
 }
 
@@ -648,15 +753,18 @@ func (f *filterNode) explainTo(sb *strings.Builder, depth int) {
 
 type aggSpec struct {
 	name string // count, sum, avg, min, max
-	arg  compiledExpr
+	arg  *compiledVec
 }
 
 // aggNode computes GROUP BY aggregation in one pass over its input. Output
-// columns are the group-by expressions followed by the aggregates.
+// columns are the group-by expressions followed by the aggregates. Group
+// keys and aggregate arguments are evaluated vectorized per batch; only the
+// hash-table probe remains per-row. A global aggregate (no GROUP BY) skips
+// the hash table entirely and COUNT(*) folds a whole batch at a time.
 type aggNode struct {
 	child     Node
 	cols      []ColRef
-	groupBy   []compiledExpr
+	groupBy   []*compiledVec
 	aggs      []aggSpec
 	keyLabels []string
 	aggLabels []string
@@ -671,63 +779,110 @@ type aggState struct {
 	seen   []bool
 }
 
+func newAggState(nAgg int) *aggState {
+	return &aggState{
+		counts: make([]int64, nAgg),
+		sums:   make([]float64, nAgg),
+		mins:   make([]val.Value, nAgg),
+		maxs:   make([]val.Value, nAgg),
+		seen:   make([]bool, nAgg),
+	}
+}
+
+// add accumulates one non-COUNT(*) argument value into aggregate ai.
+func (st *aggState) add(ai int, v val.Value) {
+	if v.IsNull() {
+		return
+	}
+	st.counts[ai]++
+	if f, ok := v.AsFloat(); ok {
+		st.sums[ai] += f
+	}
+	if !st.seen[ai] {
+		st.mins[ai], st.maxs[ai] = v, v
+		st.seen[ai] = true
+	} else {
+		if v.Compare(st.mins[ai]) < 0 {
+			st.mins[ai] = v
+		}
+		if v.Compare(st.maxs[ai]) > 0 {
+			st.maxs[ai] = v
+		}
+	}
+}
+
 func (a *aggNode) Columns() []ColRef { return a.cols }
 
-func (a *aggNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 	groups := make(map[string]*aggState)
 	order := []string{}
 	var mu sync.Mutex
-	err := a.child.Run(ctx, func(row val.Row) error {
-		key := make(val.Row, len(a.groupBy))
-		for i, g := range a.groupBy {
-			v, err := g(ctx, row)
-			if err != nil {
-				return err
-			}
-			key[i] = v
-		}
-		kb := string(val.AppendRow(nil, key))
+	nGroup, nAgg := len(a.groupBy), len(a.aggs)
+	keyBufs := make([][]val.Value, nGroup)
+	argBufs := make([][]val.Value, nAgg)
+	keyScratch := make(val.Row, nGroup)
+	var keyEnc []byte
+	err := a.child.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
-		st, ok := groups[kb]
-		if !ok {
-			st = &aggState{
-				key:    key.Clone(),
-				counts: make([]int64, len(a.aggs)),
-				sums:   make([]float64, len(a.aggs)),
-				mins:   make([]val.Value, len(a.aggs)),
-				maxs:   make([]val.Value, len(a.aggs)),
-				seen:   make([]bool, len(a.aggs)),
-			}
-			groups[kb] = st
-			order = append(order, kb)
+		cnt := b.Len()
+		if cnt == 0 {
+			return nil
 		}
-		for i, ag := range a.aggs {
-			if ag.arg == nil { // COUNT(*)
-				st.counts[i]++
-				continue
-			}
-			v, err := ag.arg(ctx, row)
+		for gi, g := range a.groupBy {
+			buf, err := g.appendTo(ctx, b, keyBufs[gi][:0])
 			if err != nil {
 				return err
 			}
-			if v.IsNull() {
+			keyBufs[gi] = buf
+		}
+		for ai := range a.aggs {
+			if a.aggs[ai].arg == nil {
 				continue
 			}
-			st.counts[i]++
-			if f, ok := v.AsFloat(); ok {
-				st.sums[i] += f
+			buf, err := a.aggs[ai].arg.appendTo(ctx, b, argBufs[ai][:0])
+			if err != nil {
+				return err
 			}
-			if !st.seen[i] {
-				st.mins[i], st.maxs[i] = v, v
-				st.seen[i] = true
-			} else {
-				if v.Compare(st.mins[i]) < 0 {
-					st.mins[i] = v
+			argBufs[ai] = buf
+		}
+		if nGroup == 0 {
+			st, ok := groups[""]
+			if !ok {
+				st = newAggState(nAgg)
+				groups[""] = st
+				order = append(order, "")
+			}
+			for ai := range a.aggs {
+				if a.aggs[ai].arg == nil { // COUNT(*)
+					st.counts[ai] += int64(cnt)
+					continue
 				}
-				if v.Compare(st.maxs[i]) > 0 {
-					st.maxs[i] = v
+				for _, v := range argBufs[ai][:cnt] {
+					st.add(ai, v)
 				}
+			}
+			return nil
+		}
+		for k := 0; k < cnt; k++ {
+			for gi := range keyBufs {
+				keyScratch[gi] = keyBufs[gi][k]
+			}
+			keyEnc = val.AppendRow(keyEnc[:0], keyScratch)
+			kb := string(keyEnc)
+			st, ok := groups[kb]
+			if !ok {
+				st = newAggState(nAgg)
+				st.key = keyScratch.Clone()
+				groups[kb] = st
+				order = append(order, kb)
+			}
+			for ai := range a.aggs {
+				if a.aggs[ai].arg == nil {
+					st.counts[ai]++
+					continue
+				}
+				st.add(ai, argBufs[ai][k])
 			}
 		}
 		return nil
@@ -736,56 +891,52 @@ func (a *aggNode) Run(ctx *ExecCtx, emit emitFn) error {
 		return err
 	}
 	// A global aggregate over zero rows still yields one output row.
-	if len(a.groupBy) == 0 && len(order) == 0 {
-		st := &aggState{
-			counts: make([]int64, len(a.aggs)),
-			sums:   make([]float64, len(a.aggs)),
-			mins:   make([]val.Value, len(a.aggs)),
-			maxs:   make([]val.Value, len(a.aggs)),
-			seen:   make([]bool, len(a.aggs)),
-		}
-		groups[""] = st
+	if nGroup == 0 && len(order) == 0 {
+		groups[""] = newAggState(nAgg)
 		order = append(order, "")
 	}
+	out := val.NewBatch(len(a.cols))
 	for _, kb := range order {
 		st := groups[kb]
-		out := make(val.Row, 0, len(a.groupBy)+len(a.aggs))
-		out = append(out, st.key...)
-		for i, ag := range a.aggs {
+		idx := out.Grow()
+		for gi := range st.key {
+			out.Col(gi)[idx] = st.key[gi]
+		}
+		for ai, ag := range a.aggs {
+			var v val.Value
 			switch ag.name {
 			case "count":
-				out = append(out, val.Int(st.counts[i]))
+				v = val.Int(st.counts[ai])
 			case "sum":
-				if st.counts[i] == 0 {
-					out = append(out, val.Null())
-				} else {
-					out = append(out, val.Float(st.sums[i]))
+				if st.counts[ai] > 0 {
+					v = val.Float(st.sums[ai])
 				}
 			case "avg":
-				if st.counts[i] == 0 {
-					out = append(out, val.Null())
-				} else {
-					out = append(out, val.Float(st.sums[i]/float64(st.counts[i])))
+				if st.counts[ai] > 0 {
+					v = val.Float(st.sums[ai] / float64(st.counts[ai]))
 				}
 			case "min":
-				if !st.seen[i] {
-					out = append(out, val.Null())
-				} else {
-					out = append(out, st.mins[i])
+				if st.seen[ai] {
+					v = st.mins[ai]
 				}
 			case "max":
-				if !st.seen[i] {
-					out = append(out, val.Null())
-				} else {
-					out = append(out, st.maxs[i])
+				if st.seen[ai] {
+					v = st.maxs[ai]
 				}
 			default:
 				return fmt.Errorf("sql: unknown aggregate %s", ag.name)
 			}
+			out.Col(nGroup + ai)[idx] = v
 		}
-		if err := emit(out); err != nil {
-			return err
+		if out.Full() {
+			if err := emit(out); err != nil {
+				return err
+			}
+			out.Reset()
 		}
+	}
+	if out.Size() > 0 {
+		return emit(out)
 	}
 	return nil
 }
@@ -800,34 +951,43 @@ func (a *aggNode) explainTo(sb *strings.Builder, depth int) {
 // ---- projection ----
 
 // projectNode computes the SELECT list (plus hidden ORDER BY keys appended
-// after the visible columns for the sort node to use).
+// after the visible columns for the sort node to use). Each output column
+// is computed for the whole input batch at once — vectorized when the
+// expression shape allows, gathered row-at-a-time otherwise — into a dense
+// output batch.
 type projectNode struct {
 	child  Node
 	cols   []ColRef // visible columns only
-	exprs  []compiledExpr
-	hidden []compiledExpr
+	exprs  []*compiledVec
+	hidden []*compiledVec
 	labels []string
 }
 
 func (p *projectNode) Columns() []ColRef { return p.cols }
 
-func (p *projectNode) Run(ctx *ExecCtx, emit emitFn) error {
-	return p.child.Run(ctx, func(row val.Row) error {
-		out := make(val.Row, len(p.exprs)+len(p.hidden))
-		for i, e := range p.exprs {
-			v, err := e(ctx, row)
+func (p *projectNode) Run(ctx *ExecCtx, emit batchFn) error {
+	width := len(p.exprs) + len(p.hidden)
+	out := val.NewBatch(width)
+	return p.child.Run(ctx, func(b *val.Batch) error {
+		if b.Len() == 0 {
+			return nil
+		}
+		out.Reset()
+		for j, e := range p.exprs {
+			col, err := e.appendTo(ctx, b, out.ColBuf(j))
 			if err != nil {
 				return err
 			}
-			out[i] = v
+			out.SetColumn(j, col)
 		}
-		for i, e := range p.hidden {
-			v, err := e(ctx, row)
+		for j, e := range p.hidden {
+			col, err := e.appendTo(ctx, b, out.ColBuf(len(p.exprs)+j))
 			if err != nil {
 				return err
 			}
-			out[len(p.exprs)+i] = v
+			out.SetColumn(len(p.exprs)+j, col)
 		}
+		out.SetSize(b.Len())
 		return emit(out)
 	})
 }
@@ -846,21 +1006,30 @@ type distinctNode struct {
 
 func (d *distinctNode) Columns() []ColRef { return d.child.Columns() }
 
-func (d *distinctNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (d *distinctNode) Run(ctx *ExecCtx, emit batchFn) error {
 	seen := make(map[string]bool)
 	var mu sync.Mutex
-	return d.child.Run(ctx, func(row val.Row) error {
-		k := string(val.AppendRow(nil, row))
+	var keyEnc []byte
+	var scratch val.Row
+	return d.child.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
-		dup := seen[k]
-		if !dup {
-			seen[k] = true
+		defer mu.Unlock()
+		if scratch == nil {
+			scratch = make(val.Row, b.Width())
 		}
-		mu.Unlock()
-		if dup {
+		keep := b.SelScratch()
+		b.Each(func(i int) {
+			keyEnc = val.AppendRow(keyEnc[:0], b.RowAt(i, scratch))
+			if !seen[string(keyEnc)] {
+				seen[string(keyEnc)] = true
+				keep = append(keep, i)
+			}
+		})
+		b.SetSel(keep)
+		if b.Len() == 0 {
 			return nil
 		}
-		return emit(row)
+		return emit(b)
 	})
 }
 
@@ -885,13 +1054,13 @@ type sortNode struct {
 
 func (s *sortNode) Columns() []ColRef { return s.child.Columns() }
 
-func (s *sortNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (s *sortNode) Run(ctx *ExecCtx, emit batchFn) error {
 	var rows []val.Row
 	var mu sync.Mutex
-	if err := s.child.Run(ctx, func(row val.Row) error {
+	if err := s.child.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
-		rows = append(rows, row)
-		mu.Unlock()
+		defer mu.Unlock()
+		b.Each(func(i int) { rows = append(rows, gatherRow(b, i)) })
 		return nil
 	}); err != nil {
 		return err
@@ -909,10 +1078,18 @@ func (s *sortNode) Run(ctx *ExecCtx, emit emitFn) error {
 		}
 		return false
 	})
+	out := val.NewBatch(s.visible)
 	for _, r := range rows {
-		if err := emit(r[:s.visible]); err != nil {
-			return err
+		out.AppendRow(r[:s.visible])
+		if out.Full() {
+			if err := emit(out); err != nil {
+				return err
+			}
+			out.Reset()
 		}
+	}
+	if out.Size() > 0 {
+		return emit(out)
 	}
 	return nil
 }
@@ -932,14 +1109,23 @@ type topNode struct {
 
 func (t *topNode) Columns() []ColRef { return t.child.Columns() }
 
-func (t *topNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (t *topNode) Run(ctx *ExecCtx, emit batchFn) error {
 	count := 0
-	err := t.child.Run(ctx, func(row val.Row) error {
+	err := t.child.Run(ctx, func(b *val.Batch) error {
 		if count >= t.n {
 			return errStopEarly
 		}
-		count++
-		return emit(row)
+		if rem := t.n - count; b.Len() > rem {
+			b.Truncate(rem)
+		}
+		count += b.Len()
+		if err := emit(b); err != nil {
+			return err
+		}
+		if count >= t.n {
+			return errStopEarly
+		}
+		return nil
 	})
 	if errors.Is(err, errStopEarly) {
 		return nil
@@ -961,9 +1147,9 @@ type stripNode struct {
 
 func (s *stripNode) Columns() []ColRef { return s.child.Columns() }
 
-func (s *stripNode) Run(ctx *ExecCtx, emit emitFn) error {
-	return s.child.Run(ctx, func(row val.Row) error {
-		return emit(row[:s.visible])
+func (s *stripNode) Run(ctx *ExecCtx, emit batchFn) error {
+	return s.child.Run(ctx, func(b *val.Batch) error {
+		return emit(b.Project(s.visible))
 	})
 }
 

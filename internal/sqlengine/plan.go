@@ -528,7 +528,7 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 			// constant conditions; filter them in step's tail.
 			if len(applicable) > 0 {
 				combined := &scope{cols: prefixScope.cols}
-				cond, err := compileExpr(andAll(applicable), combined, p.db)
+				cond, err := compilePred(andAll(applicable), combined, p.db)
 				if err != nil {
 					return nil, err
 				}
@@ -553,7 +553,7 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 		}
 	}
 	if len(leftovers) > 0 {
-		cond, err := compileExpr(andAll(leftovers), prefixScope, p.db)
+		cond, err := compilePred(andAll(leftovers), prefixScope, p.db)
 		if err != nil {
 			return nil, err
 		}
@@ -567,8 +567,8 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 // index scan, heap scan, TVF, or temp-table scan.
 func (p *planner) buildAccess(src *plannedSource, needed []bool) (Node, error) {
 	selfScope := &scope{cols: src.cols}
-	filter, err := compileExpr(andAll(src.pushed), selfScope, p.db)
-	if err != nil && len(src.pushed) > 0 {
+	filter, err := compilePred(andAll(src.pushed), selfScope, p.db)
+	if err != nil {
 		return nil, err
 	}
 	label := exprString(andAll(src.pushed))
@@ -901,7 +901,6 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 	src *plannedSource, si int, needed []bool, applicable []Expr) (Node, error) {
 
 	combinedScope := &scope{cols: append(append([]ColRef{}, prefixScope.cols...), src.cols...)}
-	innerOffset := len(prefixScope.cols)
 
 	if src.table != nil {
 		// Find equality conjuncts inner.col = f(prefix).
@@ -951,13 +950,14 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 				probes[i] = ce
 			}
 			// Residual: all applicable join conjuncts plus the
-			// source's pushed predicates, over the combined row.
-			resExprs := append(append([]Expr{}, applicable...), shiftPushed(src.pushed)...)
-			var residual compiledExpr
+			// source's pushed predicates, over the combined row
+			// (pushed conjuncts re-resolve against the combined scope
+			// because their qualifiers disambiguate).
+			resExprs := append(append([]Expr{}, applicable...), src.pushed...)
+			var residual *compiledPred
 			label := ""
 			if len(resExprs) > 0 {
-				srcShifted := &scope{cols: combinedScope.cols}
-				ce, err := compileJoinResidual(resExprs, srcShifted, src, innerOffset, p.db)
+				ce, err := compilePred(andAll(resExprs), combinedScope, p.db)
 				if err != nil {
 					return nil, err
 				}
@@ -1009,10 +1009,10 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 	if err != nil {
 		return nil, err
 	}
-	var cond compiledExpr
+	var cond *compiledPred
 	label := ""
 	if len(applicable) > 0 {
-		ce, err := compileExpr(andAll(applicable), combinedScope, p.db)
+		ce, err := compilePred(andAll(applicable), combinedScope, p.db)
 		if err != nil {
 			return nil, err
 		}
@@ -1020,16 +1020,6 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 		label = exprString(andAll(applicable))
 	}
 	return &nlJoinNode{outer: outer, inner: innerNode, cols: combinedScope.cols, cond: cond, label: label}, nil
-}
-
-// shiftPushed returns the pushed conjuncts (they re-resolve fine against the
-// combined scope because qualifiers disambiguate).
-func shiftPushed(pushed []Expr) []Expr { return pushed }
-
-// compileJoinResidual compiles the residual conjuncts against the combined
-// scope.
-func compileJoinResidual(exprs []Expr, combined *scope, src *plannedSource, innerOffset int, db *DB) (compiledExpr, error) {
-	return compileExpr(andAll(exprs), combined, db)
 }
 
 // exprOverScope reports whether the expression resolves entirely within the
@@ -1091,7 +1081,7 @@ func (p *planner) finishPlan(s *SelectStmt, root Node, inputScope *scope) (Node,
 		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
 	}
 	if having != nil {
-		cond, err := compileExpr(having, projInputScope, p.db)
+		cond, err := compilePred(having, projInputScope, p.db)
 		if err != nil {
 			return nil, err
 		}
@@ -1100,10 +1090,10 @@ func (p *planner) finishPlan(s *SelectStmt, root Node, inputScope *scope) (Node,
 
 	// Projection.
 	outCols := make([]ColRef, len(items))
-	exprs := make([]compiledExpr, len(items))
+	exprs := make([]*compiledVec, len(items))
 	labels := make([]string, len(items))
 	for i, it := range items {
-		ce, err := compileExpr(it.Expr, projInputScope, p.db)
+		ce, err := compileVec(it.Expr, projInputScope, p.db)
 		if err != nil {
 			return nil, err
 		}
@@ -1120,7 +1110,7 @@ func (p *planner) finishPlan(s *SelectStmt, root Node, inputScope *scope) (Node,
 	}
 
 	// ORDER BY keys: output alias/ordinal, or hidden expression.
-	var hidden []compiledExpr
+	var hidden []*compiledVec
 	var keyPos []int
 	var desc []bool
 	var keyLabels []string
@@ -1142,7 +1132,7 @@ func (p *planner) finishPlan(s *SelectStmt, root Node, inputScope *scope) (Node,
 			}
 		}
 		if pos < 0 {
-			ce, err := compileExpr(k.Expr, projInputScope, p.db)
+			ce, err := compileVec(k.Expr, projInputScope, p.db)
 			if err != nil {
 				return nil, err
 			}
@@ -1184,7 +1174,7 @@ type schemaNode struct {
 }
 
 func (s *schemaNode) Columns() []ColRef { return s.cols }
-func (s *schemaNode) Run(ctx *ExecCtx, emit emitFn) error {
+func (s *schemaNode) Run(ctx *ExecCtx, emit batchFn) error {
 	return s.child.Run(ctx, emit)
 }
 func (s *schemaNode) explainTo(sb *strings.Builder, depth int) {
@@ -1195,11 +1185,11 @@ func (s *schemaNode) explainTo(sb *strings.Builder, depth int) {
 // to reference its outputs.
 func (p *planner) buildAgg(s *SelectStmt, root Node, inputScope *scope, items []SelectItem) (Node, *scope, []SelectItem, Expr, error) {
 	groupMap := map[string]string{} // exprString -> output col name
-	var groupCEs []compiledExpr
+	var groupCEs []*compiledVec
 	var keyLabels []string
 	outScope := &scope{}
 	for i, g := range s.GroupBy {
-		ce, err := compileExpr(g, inputScope, p.db)
+		ce, err := compileVec(g, inputScope, p.db)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -1228,7 +1218,7 @@ func (p *planner) buildAgg(s *SelectStmt, root Node, inputScope *scope, items []
 				aggMap[key] = name
 				spec := aggSpec{name: a.Name}
 				if a.Arg != nil {
-					ce, err := compileExpr(a.Arg, inputScope, p.db)
+					ce, err := compileVec(a.Arg, inputScope, p.db)
 					if err != nil {
 						return err
 					}

@@ -54,6 +54,16 @@ type ExecOptions struct {
 	MaxRows int
 	Timeout time.Duration
 	DOP     int
+	// ForceRowExprs disables the vectorized expression kernels so every
+	// filter and projection runs through the row-at-a-time fallback — a
+	// diagnostic and testing knob. Result sets are identical either way;
+	// the one observable difference is error surfacing inside AND filters:
+	// the row path evaluates the right operand even when the left is NULL
+	// (to distinguish false from NULL), while the vectorized path drops
+	// NULL-left rows without evaluating the right side, so an error the
+	// right operand would raise on such a row (e.g. division by zero)
+	// only surfaces under ForceRowExprs.
+	ForceRowExprs bool
 }
 
 // Result is the outcome of a batch: the last SELECT's result set plus
@@ -76,21 +86,54 @@ type Result struct {
 	RowsScanned int64
 }
 
+// ResultBatchFunc receives one batch of a streamed SELECT's result set
+// along with the output column names. The batch is only valid during the
+// call (see batchFn); serialize or copy before returning.
+type ResultBatchFunc func(cols []string, b *val.Batch) error
+
 // Exec parses and runs a batch, returning the last statement's result.
 func (s *Session) Exec(sql string, opt ExecOptions) (*Result, error) {
+	return s.exec(sql, opt, nil)
+}
+
+// ExecStream is Exec, except the last SELECT's result set is delivered to
+// sink batch-by-batch instead of being materialized into Result.Rows — the
+// web layer serializes HTTP responses straight from these batches. The
+// returned Result carries the schema, plan, and statistics with Rows nil
+// for the streamed statement; other statements behave exactly as in Exec.
+func (s *Session) ExecStream(sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
+	return s.exec(sql, opt, sink)
+}
+
+func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
 	stmts, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	// The last SELECT of the batch is the result statement; it streams to
+	// the sink (a SELECT INTO both streams and fills its target table, so
+	// every format agrees with the materializing path).
+	lastSel := -1
+	if sink != nil {
+		for i, st := range stmts {
+			if _, ok := st.(*SelectStmt); ok {
+				lastSel = i
+			}
+		}
+	}
 	res := &Result{}
 	startWall := time.Now()
 	startCPU := processCPU()
-	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP}
+	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs}
 	if opt.Timeout > 0 {
 		ctx.Deadline = startWall.Add(opt.Timeout)
 	}
-	for _, st := range stmts {
-		if err := s.execOne(st, ctx, opt, res); err != nil {
+	for i, st := range stmts {
+		var sk ResultBatchFunc
+		if i == lastSel {
+			sk = sink
+		}
+		if err := s.execOne(st, ctx, opt, res, sk); err != nil {
 			return nil, err
 		}
 	}
@@ -169,13 +212,13 @@ func (s *Session) execSessionOnly(st Statement) error {
 	return fmt.Errorf("sql: not a session statement: %T", st)
 }
 
-func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Result) error {
+func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Result, sink ResultBatchFunc) error {
 	switch st := st.(type) {
 	case *DeclareStmt, *SetStmt:
 		return s.execSessionOnly(st)
 
 	case *SelectStmt:
-		return s.execSelect(st, ctx, opt, res)
+		return s.execSelect(st, ctx, opt, res, sink)
 
 	case *InsertStmt:
 		return s.execInsert(st, ctx, opt, res)
@@ -204,32 +247,51 @@ func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Resu
 	}
 }
 
-func (s *Session) execSelect(st *SelectStmt, ctx *ExecCtx, opt ExecOptions, res *Result) error {
+func (s *Session) execSelect(st *SelectStmt, ctx *ExecCtx, opt ExecOptions, res *Result, sink ResultBatchFunc) error {
 	p := &planner{db: s.db, sess: s}
 	node, err := p.planSelect(st)
 	if err != nil {
 		return err
 	}
 	cols := node.Columns()
-	var rows []val.Row
-	truncated := false
-	limit := opt.MaxRows
-	err = node.Run(ctx, func(row val.Row) error {
-		if limit > 0 && len(rows) >= limit {
-			truncated = true
-			return errStopEarly
-		}
-		rows = append(rows, row.Clone())
-		return nil
-	})
-	if err != nil && err != errStopEarly {
-		return err
-	}
 	names := make([]string, len(cols))
 	kinds := make([]val.Kind, len(cols))
 	for i, c := range cols {
 		names[i] = c.Name
 		kinds[i] = c.Kind
+	}
+	truncated := false
+	limit := opt.MaxRows
+	sent := 0
+	var rows []val.Row
+	// INTO needs the rows materialized for the target table even when the
+	// result set is also streamed to a sink.
+	gather := sink == nil || st.Into != ""
+	err = node.Run(ctx, func(b *val.Batch) error {
+		if limit > 0 {
+			rem := limit - sent
+			if rem <= 0 {
+				truncated = true
+				return errStopEarly
+			}
+			if b.Len() > rem {
+				b.Truncate(rem)
+				truncated = true
+			}
+		}
+		sent += b.Len()
+		if gather {
+			b.Each(func(i int) {
+				rows = append(rows, b.RowAt(i, make(val.Row, b.Width())))
+			})
+		}
+		if sink != nil {
+			return sink(names, b)
+		}
+		return nil
+	})
+	if err != nil && err != errStopEarly {
+		return err
 	}
 	if st.Into != "" {
 		mt := &MemTable{Name: st.Into}
@@ -268,8 +330,10 @@ func (s *Session) execInsert(st *InsertStmt, ctx *ExecCtx, opt ExecOptions, res 
 		for _, c := range node.Columns() {
 			inCols = append(inCols, c.Name)
 		}
-		if err := node.Run(ctx, func(row val.Row) error {
-			inRows = append(inRows, row.Clone())
+		if err := node.Run(ctx, func(b *val.Batch) error {
+			b.Each(func(i int) {
+				inRows = append(inRows, b.RowAt(i, make(val.Row, b.Width())))
+			})
 			return nil
 		}); err != nil {
 			return err

@@ -1,0 +1,689 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"skyserver/internal/val"
+)
+
+// Vectorized expression evaluation. Expressions compile to two forms: the
+// row-at-a-time compiledExpr (expr.go) that evaluates one row per closure
+// chain, and — when the expression's shape allows — a batch kernel that
+// evaluates all active rows of a val.Batch in one tight loop over column
+// slices. Filters additionally compile to predicates that narrow a batch's
+// selection vector in place, so a selective scan never materializes the
+// rows it drops.
+//
+// The kernel set covers the hot shapes of the SkyServer workload: column
+// and literal operands, arithmetic (the ubiquitous color cuts u-g, g-r),
+// comparisons, BETWEEN, IS NULL, IN over literal lists, LIKE, and AND/OR
+// with the same short-circuit evaluation order as the row path (the right
+// side only runs on rows the left side did not decide). Everything else —
+// scalar functions, CASE — keeps exact row semantics via the fallback,
+// which gathers each active row into a scratch val.Row and runs the
+// compiled row expression. ExecOptions.ForceRowExprs routes every
+// expression through the fallback, which the engine's equivalence tests
+// and the batch-vs-row benchmark use.
+
+// kernelFn computes an expression for every active row of a batch. The
+// returned column is indexed by physical row number (length ≥ b.Size());
+// positions outside the selection are unspecified. The slice may alias
+// batch storage or compile-time constants and must not be mutated.
+type kernelFn func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error)
+
+// predFn narrows b's selection to the rows where a predicate is truthy.
+type predFn func(ctx *ExecCtx, b *val.Batch) error
+
+// compiledVec is an expression compiled for batch evaluation with a
+// row-at-a-time fallback.
+type compiledVec struct {
+	vec   kernelFn // nil when the shape is not vectorizable
+	row   compiledExpr
+	width int // scope width, for fallback scratch rows
+}
+
+// compiledPred is a filter predicate compiled for batch evaluation with a
+// row-at-a-time fallback.
+type compiledPred struct {
+	vec   predFn // nil when the shape is not vectorizable
+	row   compiledExpr
+	width int
+	label string
+}
+
+// compileVec compiles e for batch evaluation against the scope.
+func compileVec(e Expr, sc *scope, db *DB) (*compiledVec, error) {
+	row, err := compileExpr(e, sc, db)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledVec{vec: vectorizeValue(e, sc, db), row: row, width: len(sc.cols)}, nil
+}
+
+// compilePred compiles a filter condition for batch evaluation. A nil
+// expression yields a nil predicate (no filtering).
+func compilePred(e Expr, sc *scope, db *DB) (*compiledPred, error) {
+	if e == nil {
+		return nil, nil
+	}
+	row, err := compileExpr(e, sc, db)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledPred{vec: vectorizePred(e, sc, db), row: row, width: len(sc.cols), label: exprString(e)}, nil
+}
+
+// appendTo evaluates the expression for every active row of b, appending
+// the results (in selection order) to dst.
+func (v *compiledVec) appendTo(ctx *ExecCtx, b *val.Batch, dst []val.Value) ([]val.Value, error) {
+	if v.vec != nil && !ctx.ForceRowExprs {
+		col, err := v.vec(ctx, b)
+		if err != nil {
+			return dst, err
+		}
+		if sel := b.Sel(); sel != nil {
+			for _, i := range sel {
+				dst = append(dst, col[i])
+			}
+			return dst, nil
+		}
+		return append(dst, col[:b.Size()]...), nil
+	}
+	scratch := make(val.Row, v.width)
+	sel := b.Sel()
+	for k, n := 0, b.Len(); k < n; k++ {
+		i := k
+		if sel != nil {
+			i = sel[k]
+		}
+		out, err := v.row(ctx, b.RowAt(i, scratch))
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, out)
+	}
+	return dst, nil
+}
+
+// filter narrows b's selection to the rows where the predicate is truthy.
+// A nil receiver leaves the batch untouched.
+func (p *compiledPred) filter(ctx *ExecCtx, b *val.Batch) error {
+	if p == nil || b.Len() == 0 {
+		return nil
+	}
+	if p.vec != nil && !ctx.ForceRowExprs {
+		return p.vec(ctx, b)
+	}
+	scratch := make(val.Row, p.width)
+	keep := b.SelScratch()
+	sel := b.Sel()
+	for k, n := 0, b.Len(); k < n; k++ {
+		i := k
+		if sel != nil {
+			i = sel[k]
+		}
+		v, err := p.row(ctx, b.RowAt(i, scratch))
+		if err != nil {
+			return err
+		}
+		if v.Truthy() {
+			keep = append(keep, i)
+		}
+	}
+	b.SetSel(keep)
+	return nil
+}
+
+// activeIndices appends the batch's active physical indices to dst.
+func activeIndices(b *val.Batch, dst []int) []int {
+	if sel := b.Sel(); sel != nil {
+		return append(dst, sel...)
+	}
+	for i := 0; i < b.Size(); i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// ---- value kernels ----
+
+// vectorizeValue returns a batch kernel for e, or nil when e's shape is
+// not vectorizable (scalar functions, CASE, AND/OR in value position).
+func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
+	switch e := e.(type) {
+	case *LitExpr:
+		vals := make([]val.Value, val.BatchSize)
+		for i := range vals {
+			vals[i] = e.Val
+		}
+		return func(_ *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			if b.Size() > len(vals) {
+				return nil, fmt.Errorf("sql: batch of %d rows exceeds kernel capacity", b.Size())
+			}
+			return vals, nil
+		}
+
+	case *ColExpr:
+		i, err := sc.resolve(e.Qualifier, e.Name)
+		if err != nil {
+			return nil
+		}
+		return func(_ *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			return b.Col(i), nil
+		}
+
+	case *VarExpr:
+		name := e.Name
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			v, ok := ctx.Session.Var(name)
+			if !ok {
+				return nil, fmt.Errorf("sql: variable @%s not declared", name)
+			}
+			out := make([]val.Value, b.Size())
+			for i := range out {
+				out[i] = v
+			}
+			return out, nil
+		}
+
+	case *UnaryExpr:
+		x := vectorizeValue(e.X, sc, db)
+		if x == nil {
+			return nil
+		}
+		op := e.Op
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			xs, err := x(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				v := xs[i]
+				if v.IsNull() {
+					continue
+				}
+				switch op {
+				case "-":
+					switch v.K {
+					case val.KindInt:
+						out[i] = val.Int(-v.I)
+					case val.KindFloat:
+						out[i] = val.Float(-v.F)
+					default:
+						return nil, fmt.Errorf("sql: cannot negate %v", v.K)
+					}
+				case "~":
+					iv, ok := v.AsInt()
+					if !ok {
+						return nil, fmt.Errorf("sql: ~ needs integer")
+					}
+					out[i] = val.Int(^iv)
+				case "not":
+					out[i] = val.Bool(!v.Truthy())
+				default:
+					return nil, fmt.Errorf("sql: unknown unary op %q", op)
+				}
+			}
+			return out, nil
+		}
+
+	case *BinExpr:
+		return vectorizeBin(e, sc, db)
+
+	case *BetweenExpr:
+		x := vectorizeValue(e.X, sc, db)
+		lo := vectorizeValue(e.Lo, sc, db)
+		hi := vectorizeValue(e.Hi, sc, db)
+		if x == nil || lo == nil || hi == nil {
+			return nil
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			xs, err := x(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			los, err := lo(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			his, err := hi(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				xv, lv, hv := xs[i], los[i], his[i]
+				if xv.IsNull() || lv.IsNull() || hv.IsNull() {
+					continue
+				}
+				in := xv.Compare(lv) >= 0 && xv.Compare(hv) <= 0
+				out[i] = val.Bool(in != not)
+			}
+			return out, nil
+		}
+
+	case *IsNullExpr:
+		x := vectorizeValue(e.X, sc, db)
+		if x == nil {
+			return nil
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			xs, err := x(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				out[i] = val.Bool(xs[i].IsNull() != not)
+			}
+			return out, nil
+		}
+
+	case *InExpr:
+		list, ok := literalList(e.List)
+		if !ok {
+			return nil
+		}
+		x := vectorizeValue(e.X, sc, db)
+		if x == nil {
+			return nil
+		}
+		not := e.Not
+		anyNull := false
+		for _, lv := range list {
+			if lv.IsNull() {
+				anyNull = true
+			}
+		}
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			xs, err := x(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				xv := xs[i]
+				if xv.IsNull() {
+					continue
+				}
+				found := false
+				for _, lv := range list {
+					if !lv.IsNull() && xv.Compare(lv) == 0 {
+						found = true
+						break
+					}
+				}
+				switch {
+				case found:
+					out[i] = val.Bool(!not)
+				case anyNull:
+					// NULL in the list and no match: result is NULL.
+				default:
+					out[i] = val.Bool(not)
+				}
+			}
+			return out, nil
+		}
+
+	case *LikeExpr:
+		x := vectorizeValue(e.X, sc, db)
+		pat := vectorizeValue(e.Pattern, sc, db)
+		if x == nil || pat == nil {
+			return nil
+		}
+		not := e.Not
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			xs, err := x(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			ps, err := pat(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				xv, pv := xs[i], ps[i]
+				if xv.IsNull() || pv.IsNull() {
+					continue
+				}
+				if xv.K != val.KindString || pv.K != val.KindString {
+					return nil, fmt.Errorf("sql: LIKE needs strings")
+				}
+				out[i] = val.Bool(likeMatch(xv.S, pv.S) != not)
+			}
+			return out, nil
+		}
+	}
+	return nil
+}
+
+// literalList extracts constant values when every list element is a literal.
+func literalList(list []Expr) ([]val.Value, bool) {
+	out := make([]val.Value, len(list))
+	for i, e := range list {
+		lit, ok := e.(*LitExpr)
+		if !ok {
+			return nil, false
+		}
+		out[i] = lit.Val
+	}
+	return out, true
+}
+
+// vectorizeBin builds kernels for binary operators. AND/OR are not
+// vectorized in value position (their short-circuit evaluation order is
+// only preserved by the predicate compiler); everything else is.
+func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
+	if e.Op == "and" || e.Op == "or" {
+		return nil
+	}
+	l := vectorizeValue(e.L, sc, db)
+	r := vectorizeValue(e.R, sc, db)
+	if l == nil || r == nil {
+		return nil
+	}
+	op := e.Op
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			ls, err := l(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := r(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				lv, rv := ls[i], rs[i]
+				if lv.IsNull() || rv.IsNull() {
+					continue
+				}
+				out[i] = val.Bool(cmpSatisfies(op, lv.Compare(rv)))
+			}
+			return out, nil
+		}
+
+	case "+", "-", "*", "/":
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			ls, err := l(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := r(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				lv, rv := ls[i], rs[i]
+				// Fast path for the all-float astronomy columns; the
+				// general arith handles everything else identically.
+				if lv.K == val.KindFloat && rv.K == val.KindFloat {
+					switch op {
+					case "+":
+						out[i] = val.Float(lv.F + rv.F)
+						continue
+					case "-":
+						out[i] = val.Float(lv.F - rv.F)
+						continue
+					case "*":
+						out[i] = val.Float(lv.F * rv.F)
+						continue
+					}
+				}
+				v, err := arith(op, lv, rv)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+
+	case "%", "&", "|", "^":
+		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+			ls, err := l(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := r(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]val.Value, b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				lv, rv := ls[i], rs[i]
+				if lv.IsNull() || rv.IsNull() {
+					continue
+				}
+				li, lok := lv.AsInt()
+				ri, rok := rv.AsInt()
+				if !lok || !rok {
+					return nil, fmt.Errorf("sql: %q needs integers", op)
+				}
+				switch op {
+				case "%":
+					if ri == 0 {
+						return nil, fmt.Errorf("sql: modulo by zero")
+					}
+					out[i] = val.Int(li % ri)
+				case "&":
+					out[i] = val.Int(li & ri)
+				case "|":
+					out[i] = val.Int(li | ri)
+				default:
+					out[i] = val.Int(li ^ ri)
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil
+}
+
+func cmpSatisfies(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default: // ">="
+		return c >= 0
+	}
+}
+
+// ---- predicate kernels ----
+
+// vectorizePred returns a selection-narrowing predicate for e, or nil when
+// the shape is not vectorizable. AND applies its sides as successive
+// filters and OR evaluates its right side only on rows the left did not
+// keep — matching the row path's short-circuit order for OR exactly. For
+// AND the filter outcome is identical, but the row path additionally
+// evaluates the right operand on NULL-left rows (to distinguish false
+// from NULL, both dropped by a filter), so an error raised there is the
+// one case where the two paths diverge observably.
+func vectorizePred(e Expr, sc *scope, db *DB) predFn {
+	switch e := e.(type) {
+	case *BinExpr:
+		switch e.Op {
+		case "and":
+			pl := vectorizePred(e.L, sc, db)
+			pr := vectorizePred(e.R, sc, db)
+			if pl == nil || pr == nil {
+				return nil
+			}
+			return func(ctx *ExecCtx, b *val.Batch) error {
+				if err := pl(ctx, b); err != nil {
+					return err
+				}
+				if b.Len() == 0 {
+					return nil
+				}
+				return pr(ctx, b)
+			}
+		case "or":
+			pl := vectorizePred(e.L, sc, db)
+			pr := vectorizePred(e.R, sc, db)
+			if pl == nil || pr == nil {
+				return nil
+			}
+			return func(ctx *ExecCtx, b *val.Batch) error {
+				orig := activeIndices(b, nil)
+				if err := pl(ctx, b); err != nil {
+					return err
+				}
+				lkeep := activeIndices(b, nil)
+				// Rows the left side did not keep, in ascending order.
+				rest := orig[:0]
+				j := 0
+				for _, i := range orig {
+					if j < len(lkeep) && lkeep[j] == i {
+						j++
+						continue
+					}
+					rest = append(rest, i)
+				}
+				b.SetSel(rest)
+				if err := pr(ctx, b); err != nil {
+					return err
+				}
+				// Merge the two ascending keep sets.
+				merged := make([]int, 0, len(lkeep)+b.Len())
+				rkeep := activeIndices(b, nil)
+				li, ri := 0, 0
+				for li < len(lkeep) || ri < len(rkeep) {
+					switch {
+					case li >= len(lkeep):
+						merged = append(merged, rkeep[ri])
+						ri++
+					case ri >= len(rkeep):
+						merged = append(merged, lkeep[li])
+						li++
+					case lkeep[li] < rkeep[ri]:
+						merged = append(merged, lkeep[li])
+						li++
+					default:
+						merged = append(merged, rkeep[ri])
+						ri++
+					}
+				}
+				b.SetSel(merged)
+				return nil
+			}
+		case "=", "<>", "<", "<=", ">", ">=":
+			l := vectorizeValue(e.L, sc, db)
+			r := vectorizeValue(e.R, sc, db)
+			if l == nil || r == nil {
+				return nil
+			}
+			op := e.Op
+			return func(ctx *ExecCtx, b *val.Batch) error {
+				ls, err := l(ctx, b)
+				if err != nil {
+					return err
+				}
+				rs, err := r(ctx, b)
+				if err != nil {
+					return err
+				}
+				keep := b.SelScratch()
+				if sel := b.Sel(); sel != nil {
+					for _, i := range sel {
+						lv, rv := ls[i], rs[i]
+						if !lv.IsNull() && !rv.IsNull() && cmpSatisfies(op, lv.Compare(rv)) {
+							keep = append(keep, i)
+						}
+					}
+				} else {
+					for i, n := 0, b.Size(); i < n; i++ {
+						lv, rv := ls[i], rs[i]
+						if !lv.IsNull() && !rv.IsNull() && cmpSatisfies(op, lv.Compare(rv)) {
+							keep = append(keep, i)
+						}
+					}
+				}
+				b.SetSel(keep)
+				return nil
+			}
+		}
+	}
+	// Leaf predicates: any vectorizable value expression filters on
+	// truthiness (covers BETWEEN, IS NULL, IN, LIKE, NOT, bitmask tests).
+	if k := vectorizeValue(e, sc, db); k != nil {
+		return func(ctx *ExecCtx, b *val.Batch) error {
+			vs, err := k(ctx, b)
+			if err != nil {
+				return err
+			}
+			keep := b.SelScratch()
+			if sel := b.Sel(); sel != nil {
+				for _, i := range sel {
+					if vs[i].Truthy() {
+						keep = append(keep, i)
+					}
+				}
+			} else {
+				for i, n := 0, b.Size(); i < n; i++ {
+					if vs[i].Truthy() {
+						keep = append(keep, i)
+					}
+				}
+			}
+			b.SetSel(keep)
+			return nil
+		}
+	}
+	return nil
+}

@@ -327,6 +327,36 @@ func (h *Heap) Scan(dop int, fn ScanFunc) error {
 // run (serially, in worker order) after all workers finish successfully.
 // This lets consumers batch without sharing state across goroutines.
 func (h *Heap) ScanWorkers(dop int, mk func(worker int) (ScanFunc, func() error)) error {
+	return h.ScanBatches(dop, func(worker int) (RecBatchFunc, func() error) {
+		fn, flush := mk(worker)
+		bf := func(rids []RID, recs [][]byte) error {
+			for i, rec := range recs {
+				if err := fn(rids[i], rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return bf, flush
+	})
+}
+
+// RecBatchFunc receives one page's worth of live records during a batch
+// scan: rids[i] addresses recs[i]. The slices and the record bytes alias
+// per-worker buffers that are reused for the next page — decode or copy
+// before returning. Scans with dop > 1 call different workers' functions
+// concurrently.
+type RecBatchFunc func(rids []RID, recs [][]byte) error
+
+// ScanBatches visits every live record, delivering a page-worth of records
+// per callback instead of one record at a time — the decode amortization
+// the vectorized executor builds batches from. dop <= 0 selects one worker
+// per volume; dop == 1 is a serial scan. Page ranges are dealt round-robin
+// so each worker streams one volume when dop equals the stripe width. mk is
+// called once per worker and returns that worker's page callback plus an
+// optional flush run (serially, in worker order) after all workers finish
+// successfully.
+func (h *Heap) ScanBatches(dop int, mk func(worker int) (RecBatchFunc, func() error)) error {
 	h.mu.RLock()
 	nPages := len(h.pageIDs)
 	pageIDs := make([]uint64, nPages)
@@ -352,9 +382,11 @@ func (h *Heap) ScanWorkers(dop int, mk func(worker int) (ScanFunc, func() error)
 		fn, flush := mk(w)
 		flushes[w] = flush
 		wg.Add(1)
-		go func(w int, fn ScanFunc) {
+		go func(w int, fn RecBatchFunc) {
 			defer wg.Done()
 			buf := make([]byte, PageSize)
+			var rids []RID
+			var recs [][]byte
 			for pi := w; pi < nPages; pi += dop {
 				if stop.Load() {
 					return
@@ -365,16 +397,22 @@ func (h *Heap) ScanWorkers(dop int, mk func(worker int) (ScanFunc, func() error)
 					return
 				}
 				p := page(buf)
+				rids, recs = rids[:0], recs[:0]
 				for s := 0; s < p.slotCount(); s++ {
 					rec, ok := p.record(s)
 					if !ok {
 						continue
 					}
-					if err := fn(MakeRID(uint64(pi), s), rec); err != nil {
-						stop.Store(true)
-						errCh <- err
-						return
-					}
+					rids = append(rids, MakeRID(uint64(pi), s))
+					recs = append(recs, rec)
+				}
+				if len(recs) == 0 {
+					continue
+				}
+				if err := fn(rids, recs); err != nil {
+					stop.Store(true)
+					errCh <- err
+					return
 				}
 			}
 		}(w, fn)

@@ -1,0 +1,295 @@
+package val
+
+// BatchSize is the row capacity of execution batches: large enough to
+// amortize per-batch dispatch over the interpreter, small enough that the
+// handful of materialized columns of a typical query stay cache-resident.
+const BatchSize = 1024
+
+// Batch is a fixed-capacity columnar chunk of rows: one []Value per column
+// plus an optional selection vector. It is the unit of data flow in the
+// vectorized executor — operators emit whole batches instead of single
+// rows, so per-row interpreter overhead (closure dispatch, bounds checks,
+// callback frames) is paid once per BatchSize rows.
+//
+// Columns are materialized lazily: a nil column slice means the column was
+// pruned (the planner proved no expression reads it) and its values are
+// undefined — RowAt reports NULL for pruned columns, and writes through
+// Put allocate on demand. Pruning is what keeps a scan of the ~220-column
+// PhotoObj that touches three columns from dragging 10 MB of column arrays
+// through the cache per batch. Materialized columns have a fixed length of
+// BatchSize (or whatever SetColumn installed), with Size() counting the
+// valid physical rows.
+//
+// A batch distinguishes physical rows (indexed 0..Size()-1) from active
+// rows (the subset a filter kept). The selection vector holds the physical
+// indices of the active rows in ascending order; a nil selection means all
+// physical rows are active. Filters narrow the selection in place rather
+// than copying survivors, so a selective predicate costs one pass over the
+// columns it touches and nothing per dropped row.
+//
+// Batches are reused aggressively: producers Reset and refill the same
+// batch, so consumers must not retain a batch or its column slices past
+// the emit callback that delivered it. Individual Values are safe to keep:
+// producers allocate fresh blob backing bytes on decode and never mutate
+// them, only the batch structure is recycled.
+type Batch struct {
+	cols [][]Value
+	n    int   // physical rows
+	sel  []int // active physical indices, ascending; nil = all n
+	selB []int // owned backing for sel, reused across filters
+}
+
+// NewBatch returns an empty batch with every one of width columns
+// materialized at capacity BatchSize. Use for dense producers (projection
+// output, sorted output, temp-table scans) whose every column is written.
+func NewBatch(width int) *Batch {
+	b := &Batch{cols: make([][]Value, width)}
+	for i := range b.cols {
+		b.cols[i] = make([]Value, BatchSize)
+	}
+	return b
+}
+
+// NewBatchNeeded returns an empty batch of the given width materializing
+// only the columns marked in need (nil = all). Unmarked columns stay
+// pruned unless written through Put.
+func NewBatchNeeded(width int, need []bool) *Batch {
+	if need == nil {
+		return NewBatch(width)
+	}
+	b := &Batch{cols: make([][]Value, width)}
+	for i := range b.cols {
+		if need[i] {
+			b.cols[i] = make([]Value, BatchSize)
+		}
+	}
+	return b
+}
+
+// NewSparseBatch returns an empty batch of the given width with every
+// column pruned; columns materialize on first Put. Use for join outputs,
+// where the populated column set depends on the inputs.
+func NewSparseBatch(width int) *Batch {
+	return &Batch{cols: make([][]Value, width)}
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.cols) }
+
+// Size returns the number of physical rows.
+func (b *Batch) Size() int { return b.n }
+
+// Len returns the number of active (selected) rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Full reports whether the batch has reached its row capacity.
+func (b *Batch) Full() bool { return b.n >= BatchSize }
+
+// HasCol reports whether column i is materialized.
+func (b *Batch) HasCol(i int) bool { return b.cols[i] != nil }
+
+// Col returns column i's physical values (length Size). Positions not in
+// the selection hold stale values and must be ignored. The column must be
+// materialized.
+func (b *Batch) Col(i int) []Value { return b.cols[i][:b.n] }
+
+// Sel returns the selection vector: the ascending physical indices of the
+// active rows, or nil when every physical row is active.
+func (b *Batch) Sel() []int { return b.sel }
+
+// SetSel replaces the selection vector. Indices must be ascending physical
+// row numbers. Passing nil re-activates all physical rows.
+func (b *Batch) SetSel(sel []int) { b.sel = sel }
+
+// SelScratch returns the batch's owned selection buffer, emptied, with
+// capacity for Size indices. Filters fill it with survivors and pass it to
+// SetSel, so narrowing the selection never allocates after the first use.
+// Appending survivors to the scratch while iterating the current selection
+// is safe even though both may share backing storage: survivors are a
+// subsequence of the rows being read, so the write index never overtakes
+// the read index.
+func (b *Batch) SelScratch() []int {
+	if cap(b.selB) < b.n {
+		n := b.n
+		if n < BatchSize {
+			n = BatchSize
+		}
+		b.selB = make([]int, 0, n)
+	}
+	return b.selB[:0]
+}
+
+// Reset empties the batch for refilling, keeping materialized columns.
+func (b *Batch) Reset() {
+	b.n = 0
+	b.sel = nil
+}
+
+// Grow claims the next physical row and returns its index. Values in the
+// new row are stale until written; callers must fill every column an
+// expression may read (decode, scatter, or Put) before emitting.
+func (b *Batch) Grow() int {
+	b.n++
+	return b.n - 1
+}
+
+// Put writes v into physical row idx of column c, materializing the column
+// on first write.
+func (b *Batch) Put(c, idx int, v Value) {
+	col := b.cols[c]
+	if col == nil {
+		col = make([]Value, BatchSize)
+		b.cols[c] = col
+	}
+	col[idx] = v
+}
+
+// AppendRow copies row (one value per column) into a new physical row.
+// Every column must be materialized (NewBatch). Values are copied
+// shallowly: blob bytes still alias the caller's slice.
+func (b *Batch) AppendRow(row Row) {
+	idx := b.Grow()
+	for c := range b.cols {
+		b.cols[c][idx] = row[c]
+	}
+}
+
+// RowAt assembles physical row i into dst (which must have length ≥ Width)
+// and returns dst[:Width]. Pruned columns read as NULL.
+func (b *Batch) RowAt(i int, dst Row) Row {
+	dst = dst[:len(b.cols)]
+	for c, col := range b.cols {
+		if col == nil {
+			dst[c] = Value{}
+			continue
+		}
+		dst[c] = col[i]
+	}
+	return dst
+}
+
+// Truncate keeps only the first k active rows (k ≤ Len).
+func (b *Batch) Truncate(k int) {
+	if b.sel != nil {
+		b.sel = b.sel[:k]
+		return
+	}
+	b.n = k
+}
+
+// SetColumn replaces column i's storage with vals. Used by operators that
+// compute output columns densely (projection, aggregation); every column
+// must be given at least SetSize's length.
+func (b *Batch) SetColumn(i int, vals []Value) { b.cols[i] = vals }
+
+// ColBuf returns column i's backing slice truncated to length zero, for
+// rebuilding via append + SetColumn without reallocating.
+func (b *Batch) ColBuf(i int) []Value { return b.cols[i][:0] }
+
+// SetSize declares the physical row count after columns were rebuilt with
+// SetColumn, and clears the selection (rebuilt batches are dense).
+func (b *Batch) SetSize(n int) {
+	b.n = n
+	b.sel = nil
+}
+
+// Clone deep-copies the batch — materialized columns, selection, and blob
+// bytes — so the copy survives producer reuse of the original.
+func (b *Batch) Clone() *Batch {
+	out := &Batch{cols: make([][]Value, len(b.cols)), n: b.n}
+	for i, col := range b.cols {
+		if col == nil {
+			continue
+		}
+		c := make([]Value, len(col))
+		copy(c, col)
+		for j, v := range c {
+			if v.K == KindBytes && v.B != nil {
+				bb := make([]byte, len(v.B))
+				copy(bb, v.B)
+				c[j].B = bb
+			}
+		}
+		out.cols[i] = c
+	}
+	if b.sel != nil {
+		out.sel = make([]int, len(b.sel))
+		copy(out.sel, b.sel)
+	}
+	return out
+}
+
+// Project returns a view batch over the first width columns, sharing column
+// storage and selection with b. The view is only valid as long as b is.
+func (b *Batch) Project(width int) *Batch {
+	return &Batch{cols: b.cols[:width], n: b.n, sel: b.sel}
+}
+
+// Each calls fn for every active physical row index, in ascending order.
+func (b *Batch) Each(fn func(i int)) {
+	if b.sel != nil {
+		for _, i := range b.sel {
+			fn(i)
+		}
+		return
+	}
+	for i := 0; i < b.n; i++ {
+		fn(i)
+	}
+}
+
+// EachErr is Each for callbacks that can fail: iteration stops at the
+// first error, which is returned.
+func (b *Batch) EachErr(fn func(i int) error) error {
+	if b.sel != nil {
+		for _, i := range b.sel {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < b.n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeInto decodes width fields from buf into physical row idx, writing
+// column j's value into column colOff+j. Only columns marked in need
+// (nil = all) are materialized; others are skipped without decoding. Blob
+// payloads are deep-copied so batch rows never alias a scan's transient
+// page buffer (string payloads are already copies). It returns the bytes
+// consumed.
+func (b *Batch) DecodeInto(idx, colOff int, buf []byte, width int, need []bool) (int, error) {
+	off := 0
+	for i := 0; i < width; i++ {
+		if need != nil && !need[i] {
+			n, err := skipValue(buf[off:])
+			if err != nil {
+				return 0, err
+			}
+			off += n
+			continue
+		}
+		v, n, err := DecodeValue(buf[off:])
+		if err != nil {
+			return 0, err
+		}
+		if v.K == KindBytes && v.B != nil {
+			bb := make([]byte, len(v.B))
+			copy(bb, v.B)
+			v.B = bb
+		}
+		b.Put(colOff+i, idx, v)
+		off += n
+	}
+	return off, nil
+}

@@ -1,0 +1,168 @@
+package val
+
+import (
+	"testing"
+)
+
+func TestBatchAppendAndGather(t *testing.T) {
+	b := NewBatch(3)
+	rows := []Row{
+		{Int(1), Float(1.5), Str("a")},
+		{Int(2), Null(), Str("b")},
+		{Int(3), Float(3.5), Null()},
+	}
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	if b.Size() != 3 || b.Len() != 3 {
+		t.Fatalf("size/len = %d/%d, want 3/3", b.Size(), b.Len())
+	}
+	dst := make(Row, 3)
+	for i, want := range rows {
+		got := b.RowAt(i, dst)
+		if got.Compare(want) != 0 {
+			t.Fatalf("row %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBatchSelectionSemantics(t *testing.T) {
+	b := NewBatch(1)
+	for i := 0; i < 10; i++ {
+		b.AppendRow(Row{Int(int64(i))})
+	}
+	// Narrow to the even rows.
+	sel := b.SelScratch()
+	for i := 0; i < 10; i += 2 {
+		sel = append(sel, i)
+	}
+	b.SetSel(sel)
+	if b.Len() != 5 || b.Size() != 10 {
+		t.Fatalf("len/size = %d/%d, want 5/10", b.Len(), b.Size())
+	}
+	var seen []int64
+	b.Each(func(i int) { seen = append(seen, b.Col(0)[i].I) })
+	for k, v := range seen {
+		if v != int64(2*k) {
+			t.Fatalf("active row %d = %d, want %d", k, v, 2*k)
+		}
+	}
+	// Narrowing again via SelScratch is an in-place compaction: keep
+	// multiples of four.
+	keep := b.SelScratch()
+	for _, i := range b.Sel() {
+		if b.Col(0)[i].I%4 == 0 {
+			keep = append(keep, i)
+		}
+	}
+	b.SetSel(keep)
+	if b.Len() != 3 { // 0, 4, 8
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	// Truncate keeps a prefix of the active rows.
+	b.Truncate(2)
+	if b.Len() != 2 {
+		t.Fatalf("after truncate len = %d, want 2", b.Len())
+	}
+	if got := b.Col(0)[b.Sel()[1]].I; got != 4 {
+		t.Fatalf("second active row = %d, want 4", got)
+	}
+	// SetSel(nil) re-activates every physical row.
+	b.SetSel(nil)
+	if b.Len() != 10 {
+		t.Fatalf("after clearing selection len = %d, want 10", b.Len())
+	}
+	// Truncate on a dense batch drops physical rows.
+	b.Truncate(7)
+	if b.Len() != 7 || b.Size() != 7 {
+		t.Fatalf("dense truncate len/size = %d/%d, want 7/7", b.Len(), b.Size())
+	}
+}
+
+func TestBatchNullAndPrunedColumns(t *testing.T) {
+	need := []bool{true, false, true}
+	b := NewBatchNeeded(3, need)
+	if b.HasCol(1) {
+		t.Fatal("column 1 should be pruned")
+	}
+	rec := AppendRow(nil, Row{Int(7), Str("skipped"), Null()})
+	idx := b.Grow()
+	if _, err := b.DecodeInto(idx, 0, rec, 3, need); err != nil {
+		t.Fatal(err)
+	}
+	got := b.RowAt(0, make(Row, 3))
+	if got[0].I != 7 {
+		t.Fatalf("col 0 = %v, want 7", got[0])
+	}
+	if !got[1].IsNull() {
+		t.Fatalf("pruned column reads %v, want NULL", got[1])
+	}
+	if !got[2].IsNull() {
+		t.Fatalf("col 2 = %v, want NULL", got[2])
+	}
+	// Put materializes a pruned column on demand.
+	b.Put(1, idx, Str("now present"))
+	if !b.HasCol(1) || b.Col(1)[idx].S != "now present" {
+		t.Fatal("Put did not materialize the column")
+	}
+}
+
+func TestBatchDecodeCopiesBlobs(t *testing.T) {
+	blob := []byte{1, 2, 3}
+	rec := AppendRow(nil, Row{Bytes(blob)})
+	b := NewBatch(1)
+	idx := b.Grow()
+	if _, err := b.DecodeInto(idx, 0, rec, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec[2] = 99 // corrupt the "page buffer" byte holding blob[0]
+	if got := b.Col(0)[idx].B[0]; got != 1 {
+		t.Fatalf("batch blob aliases the decode buffer: got %d, want 1", got)
+	}
+}
+
+func TestBatchCloneAndResetReuse(t *testing.T) {
+	b := NewBatch(2)
+	b.AppendRow(Row{Int(1), Bytes([]byte{0xaa})})
+	b.AppendRow(Row{Int(2), Bytes([]byte{0xbb})})
+	sel := append(b.SelScratch(), 1)
+	b.SetSel(sel)
+
+	c := b.Clone()
+	if c.Len() != 1 || c.Size() != 2 {
+		t.Fatalf("clone len/size = %d/%d, want 1/2", c.Len(), c.Size())
+	}
+	// The clone's blobs are deep copies.
+	b.Col(1)[1].B[0] = 0x00
+	if c.Col(1)[1].B[0] != 0xbb {
+		t.Fatal("clone blob aliases the original")
+	}
+
+	// Reset keeps column storage but empties the batch for reuse.
+	b.Reset()
+	if b.Size() != 0 || b.Len() != 0 || b.Sel() != nil {
+		t.Fatalf("after reset size=%d len=%d sel=%v", b.Size(), b.Len(), b.Sel())
+	}
+	b.AppendRow(Row{Int(9), Null()})
+	if b.Size() != 1 || b.Col(0)[0].I != 9 {
+		t.Fatal("reused batch did not accept new rows")
+	}
+	// The clone is unaffected by the reuse.
+	if c.Col(0)[1].I != 2 {
+		t.Fatalf("clone row mutated by original's reuse: %v", c.Col(0)[1])
+	}
+}
+
+func TestBatchProjectView(t *testing.T) {
+	b := NewBatch(3)
+	b.AppendRow(Row{Int(1), Int(2), Int(3)})
+	sel := append(b.SelScratch(), 0)
+	b.SetSel(sel)
+	v := b.Project(2)
+	if v.Width() != 2 || v.Len() != 1 || v.Size() != 1 {
+		t.Fatalf("view width/len/size = %d/%d/%d, want 2/1/1", v.Width(), v.Len(), v.Size())
+	}
+	if v.Col(1)[0].I != 2 {
+		t.Fatalf("view col 1 = %v, want 2", v.Col(1)[0])
+	}
+}

@@ -1,0 +1,339 @@
+package web
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strings"
+
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/val"
+)
+
+// Batch-wise result serialization. The SQL endpoint streams each result
+// batch straight from the executor's columnar form to the HTTP response —
+// no []val.Row materialization between the plan and the wire. Each format
+// implements begin (headers + preamble, on first batch), row output per
+// batch, and finish (footers that need end-of-query statistics).
+
+// batchSerializer writes one streamed result set.
+type batchSerializer interface {
+	// writeBatch serializes the active rows of b. cols is the output schema;
+	// the first call emits headers.
+	writeBatch(cols []string, b *val.Batch) error
+	// finish closes the document with end-of-query statistics. It must
+	// handle never having seen a batch (empty result sets).
+	finish(res *sqlengine.Result) error
+	// abort closes the document with an error marker after a mid-stream
+	// failure (the status line is already committed, so this is the only
+	// way the client can tell a partial result from a complete one).
+	abort(err error)
+	// started reports whether any response bytes were written, after which
+	// an HTTP error status can no longer be sent.
+	started() bool
+}
+
+// newBatchSerializer returns the serializer for a format, or nil when the
+// format cannot stream (fits needs the row count in its header).
+func newBatchSerializer(w http.ResponseWriter, format string) batchSerializer {
+	switch strings.ToLower(format) {
+	case "csv":
+		return &csvStream{w: w}
+	case "json":
+		return &jsonStream{w: w}
+	case "xml":
+		return &xmlStream{w: w}
+	case "html":
+		return &htmlStream{w: w}
+	default:
+		return nil
+	}
+}
+
+// ---- csv ----
+
+type csvStream struct {
+	w     http.ResponseWriter
+	cw    *csv.Writer
+	rec   []string
+	begun bool
+}
+
+func (s *csvStream) started() bool { return s.begun }
+
+func (s *csvStream) begin(cols []string) error {
+	s.begun = true
+	s.w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	s.cw = csv.NewWriter(s.w)
+	s.rec = make([]string, len(cols))
+	return s.cw.Write(cols)
+}
+
+func (s *csvStream) writeBatch(cols []string, b *val.Batch) error {
+	if !s.begun {
+		if err := s.begin(cols); err != nil {
+			return err
+		}
+	}
+	return b.EachErr(func(i int) error {
+		for j := range cols {
+			s.rec[j] = b.Col(j)[i].String()
+		}
+		return s.cw.Write(s.rec)
+	})
+}
+
+func (s *csvStream) finish(res *sqlengine.Result) error {
+	if !s.begun {
+		if err := s.begin(res.Cols); err != nil {
+			return err
+		}
+	}
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+func (s *csvStream) abort(err error) {
+	if !s.begun {
+		return
+	}
+	s.cw.Flush()
+	fmt.Fprintf(s.w, "# error: result truncated: %s\n", err)
+}
+
+// ---- json ----
+
+type jsonStream struct {
+	w     http.ResponseWriter
+	row   []interface{}
+	begun bool
+	first bool
+}
+
+func (s *jsonStream) started() bool { return s.begun }
+
+func (s *jsonStream) begin(cols []string) error {
+	s.begun = true
+	s.first = true
+	s.w.Header().Set("Content-Type", "application/json")
+	s.row = make([]interface{}, len(cols))
+	names, err := json.Marshal(cols)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(s.w, `{"columns":%s,"rows":[`, names)
+	return err
+}
+
+func (s *jsonStream) writeBatch(cols []string, b *val.Batch) error {
+	if !s.begun {
+		if err := s.begin(cols); err != nil {
+			return err
+		}
+	}
+	row := s.row
+	return b.EachErr(func(i int) error {
+		for j := range cols {
+			row[j] = jsonValue(b.Col(j)[i])
+		}
+		enc, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if !s.first {
+			if _, err := io.WriteString(s.w, ","); err != nil {
+				return err
+			}
+		}
+		s.first = false
+		_, err = s.w.Write(enc)
+		return err
+	})
+}
+
+func (s *jsonStream) finish(res *sqlengine.Result) error {
+	if !s.begun {
+		if err := s.begin(res.Cols); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.w, `],"truncated":%v,"elapsedMs":%g}`,
+		res.Truncated, float64(res.Elapsed.Microseconds())/1000)
+	return err
+}
+
+func (s *jsonStream) abort(err error) {
+	if !s.begun {
+		return
+	}
+	// Close the rows array and surface the error so the document stays
+	// valid JSON and the client can tell it is partial.
+	msg, _ := json.Marshal(err.Error())
+	fmt.Fprintf(s.w, `],"error":%s}`, msg)
+}
+
+func jsonValue(v val.Value) interface{} {
+	switch v.K {
+	case val.KindNull:
+		return nil
+	case val.KindInt:
+		return v.I
+	case val.KindFloat:
+		return v.F
+	case val.KindString:
+		return v.S
+	default:
+		return fmt.Sprintf("0x%x", v.B)
+	}
+}
+
+// ---- xml ----
+
+type xmlStream struct {
+	w     http.ResponseWriter
+	begun bool
+}
+
+func (s *xmlStream) started() bool { return s.begun }
+
+func (s *xmlStream) begin() error {
+	s.begun = true
+	s.w.Header().Set("Content-Type", "application/xml")
+	if _, err := io.WriteString(s.w, xml.Header); err != nil {
+		return err
+	}
+	_, err := io.WriteString(s.w, "<result>")
+	return err
+}
+
+func (s *xmlStream) writeBatch(cols []string, b *val.Batch) error {
+	if !s.begun {
+		if err := s.begin(); err != nil {
+			return err
+		}
+	}
+	var sb strings.Builder
+	err := b.EachErr(func(i int) error {
+		sb.WriteString("<row>")
+		for j, c := range cols {
+			sb.WriteString(`<field name="`)
+			xmlEscape(&sb, c)
+			sb.WriteString(`">`)
+			xmlEscape(&sb, b.Col(j)[i].String())
+			sb.WriteString("</field>")
+		}
+		sb.WriteString("</row>")
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(s.w, sb.String())
+	return err
+}
+
+func (s *xmlStream) finish(res *sqlengine.Result) error {
+	if !s.begun {
+		if err := s.begin(); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.w, "</result>")
+	return err
+}
+
+func (s *xmlStream) abort(err error) {
+	if !s.begun {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("<error>")
+	xmlEscape(&sb, err.Error())
+	sb.WriteString("</error></result>")
+	_, _ = io.WriteString(s.w, sb.String())
+}
+
+func xmlEscape(sb *strings.Builder, s string) {
+	_ = xml.EscapeText(sb, []byte(s))
+}
+
+// ---- html ----
+
+type htmlStream struct {
+	w     http.ResponseWriter
+	rows  int
+	begun bool
+}
+
+func (s *htmlStream) started() bool { return s.begun }
+
+func (s *htmlStream) begin(cols []string) error {
+	s.begun = true
+	s.w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var sb strings.Builder
+	sb.WriteString("<html><body><table border=\"1\"><tr>")
+	for _, c := range cols {
+		sb.WriteString("<th>")
+		sb.WriteString(html.EscapeString(c))
+		sb.WriteString("</th>")
+	}
+	sb.WriteString("</tr>")
+	_, err := io.WriteString(s.w, sb.String())
+	return err
+}
+
+func (s *htmlStream) writeBatch(cols []string, b *val.Batch) error {
+	if !s.begun {
+		if err := s.begin(cols); err != nil {
+			return err
+		}
+	}
+	var sb strings.Builder
+	err := b.EachErr(func(i int) error {
+		s.rows++
+		sb.WriteString("<tr>")
+		for j := range cols {
+			sb.WriteString("<td>")
+			sb.WriteString(html.EscapeString(b.Col(j)[i].String()))
+			sb.WriteString("</td>")
+		}
+		sb.WriteString("</tr>")
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(s.w, sb.String())
+	return err
+}
+
+func (s *htmlStream) finish(res *sqlengine.Result) error {
+	if !s.begun {
+		if err := s.begin(res.Cols); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(s.w, "</table>"); err != nil {
+		return err
+	}
+	if res.Truncated {
+		if _, err := fmt.Fprintf(s.w, "<p>Results truncated at %d rows (public server limit).</p>", s.rows); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.w, "<p>%d rows, %.1f ms elapsed.</p></body></html>",
+		s.rows, float64(res.Elapsed.Microseconds())/1000)
+	return err
+}
+
+func (s *htmlStream) abort(err error) {
+	if !s.begun {
+		return
+	}
+	fmt.Fprintf(s.w, "</table><p>ERROR: result truncated after %d rows: %s</p></body></html>",
+		s.rows, html.EscapeString(err.Error()))
+}

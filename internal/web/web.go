@@ -10,9 +10,7 @@
 package web
 
 import (
-	"encoding/csv"
 	"encoding/json"
-	"encoding/xml"
 	"fmt"
 	"html"
 	"io"
@@ -191,96 +189,65 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := sqlengine.NewSession(s.sdb.DB)
-	res, err := sess.Exec(cmd, s.execOptions())
-	if err != nil {
-		httpError(w, err)
+	// Stream the result set batch-wise straight from the executor when the
+	// format supports it; fits needs the row count in its header and falls
+	// back to the materializing path.
+	sw := newBatchSerializer(w, format)
+	if sw == nil {
+		res, err := sess.Exec(cmd, s.execOptions())
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if err := WriteResult(w, res, format); err != nil {
+			httpError(w, err)
+		}
 		return
 	}
-	if err := WriteResult(w, res, format); err != nil {
-		httpError(w, err)
+	res, err := sess.ExecStream(cmd, s.execOptions(), func(cols []string, b *val.Batch) error {
+		return sw.writeBatch(cols, b)
+	})
+	if err != nil {
+		if !sw.started() {
+			httpError(w, err)
+			return
+		}
+		// Mid-stream failure: the status line is already on the wire, so
+		// close the document with an error marker instead of leaving a
+		// silently truncated body.
+		sw.abort(err)
+		return
 	}
+	_ = sw.finish(res)
 }
 
-// WriteResult renders a result set in the requested format: csv, json,
-// xml, html, or fits (an ASCII FITS-style table).
+// WriteResult renders a materialized result set in the requested format:
+// csv, json, xml, html, or fits (an ASCII FITS-style table). The streaming
+// formats delegate to the same batch serializers the SQL endpoint uses, so
+// each wire format has exactly one implementation.
 func WriteResult(w http.ResponseWriter, res *sqlengine.Result, format string) error {
-	switch strings.ToLower(format) {
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		cw := csv.NewWriter(w)
-		if err := cw.Write(res.Cols); err != nil {
-			return err
-		}
-		rec := make([]string, len(res.Cols))
+	if sw := newBatchSerializer(w, format); sw != nil {
+		b := val.NewBatch(len(res.Cols))
 		for _, row := range res.Rows {
-			for i, v := range row {
-				rec[i] = v.String()
+			b.AppendRow(row)
+			if b.Full() {
+				if err := sw.writeBatch(res.Cols, b); err != nil {
+					return err
+				}
+				b.Reset()
 			}
-			if err := cw.Write(rec); err != nil {
+		}
+		if b.Size() > 0 {
+			if err := sw.writeBatch(res.Cols, b); err != nil {
 				return err
 			}
 		}
-		cw.Flush()
-		return cw.Error()
-
-	case "json":
-		w.Header().Set("Content-Type", "application/json")
-		type payload struct {
-			Columns   []string        `json:"columns"`
-			Rows      [][]interface{} `json:"rows"`
-			Truncated bool            `json:"truncated"`
-			ElapsedMS float64         `json:"elapsedMs"`
-		}
-		p := payload{Columns: res.Cols, Truncated: res.Truncated,
-			ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000}
-		for _, row := range res.Rows {
-			out := make([]interface{}, len(row))
-			for i, v := range row {
-				switch v.K {
-				case val.KindNull:
-					out[i] = nil
-				case val.KindInt:
-					out[i] = v.I
-				case val.KindFloat:
-					out[i] = v.F
-				case val.KindString:
-					out[i] = v.S
-				default:
-					out[i] = fmt.Sprintf("0x%x", v.B)
-				}
-			}
-			p.Rows = append(p.Rows, out)
-		}
-		return json.NewEncoder(w).Encode(p)
-
-	case "xml":
-		w.Header().Set("Content-Type", "application/xml")
-		type xmlField struct {
-			Name  string `xml:"name,attr"`
-			Value string `xml:",chardata"`
-		}
-		type xmlRow struct {
-			Fields []xmlField `xml:"field"`
-		}
-		type xmlResult struct {
-			XMLName xml.Name `xml:"result"`
-			Rows    []xmlRow `xml:"row"`
-		}
-		doc := xmlResult{}
-		for _, row := range res.Rows {
-			xr := xmlRow{}
-			for i, v := range row {
-				xr.Fields = append(xr.Fields, xmlField{Name: res.Cols[i], Value: v.String()})
-			}
-			doc.Rows = append(doc.Rows, xr)
-		}
-		if _, err := io.WriteString(w, xml.Header); err != nil {
-			return err
-		}
-		return xml.NewEncoder(w).Encode(doc)
-
+		return sw.finish(res)
+	}
+	switch strings.ToLower(format) {
 	case "fits":
 		// FITS ASCII-table flavour: an 80-column header then fixed rows.
+		// The header needs the row count, so this format cannot stream.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "%-80s\n", "XTENSION= 'TABLE   '")
 		fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("NAXIS2  = %d", len(res.Rows)))
@@ -296,28 +263,6 @@ func WriteResult(w http.ResponseWriter, res *sqlengine.Result, format string) er
 			}
 			fmt.Fprintln(w, strings.Join(parts, " "))
 		}
-		return nil
-
-	case "html":
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, "<html><body><table border=\"1\"><tr>")
-		for _, c := range res.Cols {
-			fmt.Fprintf(w, "<th>%s</th>", html.EscapeString(c))
-		}
-		fmt.Fprint(w, "</tr>")
-		for _, row := range res.Rows {
-			fmt.Fprint(w, "<tr>")
-			for _, v := range row {
-				fmt.Fprintf(w, "<td>%s</td>", html.EscapeString(v.String()))
-			}
-			fmt.Fprint(w, "</tr>")
-		}
-		fmt.Fprint(w, "</table>")
-		if res.Truncated {
-			fmt.Fprintf(w, "<p>Results truncated at %d rows (public server limit).</p>", len(res.Rows))
-		}
-		fmt.Fprintf(w, "<p>%d rows, %.1f ms elapsed.</p></body></html>",
-			len(res.Rows), float64(res.Elapsed.Microseconds())/1000)
 		return nil
 
 	default:
