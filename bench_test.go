@@ -101,6 +101,7 @@ func BenchmarkFig13Queries(b *testing.B) {
 	for _, q := range queries.All() {
 		q := q
 		b.Run("Q"+q.ID, func(b *testing.B) {
+			b.ReportAllocs()
 			sess := s.Session()
 			sql, err := q.SQL(sess)
 			if err != nil {
@@ -120,6 +121,7 @@ func BenchmarkFig13Queries(b *testing.B) {
 // with its covering index versus as a nested loop of table scans, cold, on
 // the paper's 4-disk model.
 func BenchmarkIndexVsScanQ15B(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// SpeedUp 2: disks at twice real time — slow enough that the
 		// I/O gap the paper reports dominates, fast enough to bench.
@@ -141,6 +143,7 @@ func BenchmarkFig15ScanScaling(b *testing.B) {
 	for _, disks := range []int{1, 4, 12} {
 		disks := disks
 		b.Run(fmt.Sprintf("%ddisk", disks), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pts, err := experiments.Fig15(experiments.Fig15Config{
 					Disks: []int{disks}, MBPerDisk: 16,
@@ -162,6 +165,7 @@ func BenchmarkWarmColdIndexScan(b *testing.B) {
 	s := benchServer(b)
 	const q = "select count(*) from PhotoObj where (petroMag_r - petroMag_g) > 1"
 	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.DB().DB.FileGroup().DropCache()
 			if _, err := s.Query(q); err != nil {
@@ -170,6 +174,7 @@ func BenchmarkWarmColdIndexScan(b *testing.B) {
 		}
 	})
 	b.Run("Warm", func(b *testing.B) {
+		b.ReportAllocs()
 		if _, err := s.Query(q); err != nil {
 			b.Fatal(err)
 		}
@@ -189,6 +194,7 @@ func BenchmarkColorCutScan(b *testing.B) {
 	s := benchServer(b)
 	bytes := s.DB().PhotoObj.DataBytes()
 	b.Run("CoveredIndex", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(bytes))
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Query("select count(*) from PhotoObj where (r - g) > 1"); err != nil {
@@ -197,6 +203,7 @@ func BenchmarkColorCutScan(b *testing.B) {
 		}
 	})
 	b.Run("HeapScan", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(bytes))
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Query("select count(*) from PhotoObj where (petroMag_r - petroMag_g) > 1"); err != nil {
@@ -215,6 +222,7 @@ func BenchmarkBatchVsRowFilter(b *testing.B) {
 	const q = "select count(*) from PhotoObj where (r - g) > 1 and r < 22"
 	bytes := s.DB().PhotoObj.DataBytes()
 	run := func(b *testing.B, opt sqlengine.ExecOptions) {
+		b.ReportAllocs()
 		b.SetBytes(int64(bytes))
 		sess := s.Session()
 		b.ResetTimer()
@@ -231,6 +239,7 @@ func BenchmarkBatchVsRowFilter(b *testing.B) {
 // BenchmarkNeighborsBuild times the §9.1.1 zone join that materializes the
 // Neighbors table.
 func BenchmarkNeighborsBuild(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s, err := core.Open(core.Config{
@@ -255,6 +264,7 @@ func BenchmarkNeighborsBuild(b *testing.B) {
 // BenchmarkLoadPipeline is §9.4's load throughput (the paper: ~5 GB/hour on
 // year-2001 hardware).
 func BenchmarkLoadPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Load(1.0/8000, int64(i+1))
 		if err != nil {
@@ -267,6 +277,7 @@ func BenchmarkLoadPipeline(b *testing.B) {
 
 // BenchmarkPersonalSubset carves the §10 personal SkyServer.
 func BenchmarkPersonalSubset(b *testing.B) {
+	b.ReportAllocs()
 	s := benchServer(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -284,6 +295,7 @@ func BenchmarkPersonalSubset(b *testing.B) {
 // BenchmarkSpatialLookup measures the fGetNearbyObjEq path: HTM cover plus
 // covered index range scans — the heart of §9.1.4.
 func BenchmarkSpatialLookup(b *testing.B) {
+	b.ReportAllocs()
 	s := benchServer(b)
 	sess := s.Session()
 	b.ResetTimer()

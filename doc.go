@@ -35,7 +35,45 @@
 //     hands each result batch to a sink, and internal/web's SQL endpoint
 //     serializes HTTP responses (CSV, JSON, XML, HTML) directly from the
 //     columnar batches with the paper's public limits (1,000 rows / 30
-//     seconds) applied by truncating the final batch.
+//     seconds) applied by truncating the final batch. Serializers keep
+//     one reused output buffer per stream; XML and HTML render values
+//     through val.Value.AppendString with no per-row allocation, while
+//     JSON and CSV still pay encoding/json and encoding/csv their
+//     per-row marshaling costs.
+//
+// # Batch memory lifecycle
+//
+// Steady-state execution is allocation-free: batches, column arrays, and
+// kernel scratch recycle through sync.Pool-backed pools in internal/val.
+// The ownership rules:
+//
+//   - Whoever acquires releases. Each operator that produces batches
+//     acquires them from val.GetBatch (via ExecCtx.getBatch) at Run start
+//     and Releases them after its child's Run returns — by then the last
+//     emit that could reference the batch has completed, because the
+//     batch contract forbids consumers from retaining a batch past the
+//     emit callback. Released column arrays recycle through size-classed
+//     pools (a small class serves index seeks whose plan-time dive
+//     proved a handful of rows; everything else uses full
+//     val.BatchSize), and a batch shell keeps its arrays attached so the
+//     common same-query-shape steady state touches no pool at all.
+//     Double-release panics; forgetting to release leaks nothing (the GC
+//     reclaims unpooled memory).
+//   - Scratch is per-worker. Compiled expression kernels are shared by
+//     every parallel scan worker, so the vectors they compute into come
+//     from a val.Arena owned by the calling worker (each scan worker,
+//     and each serialized operator, holds its own). Arenas bump-allocate
+//     and recycle wholesale: the batch-level entry points (filter,
+//     appendTo) Reset the arena once per batch, after which every vector
+//     from the previous batch is free. Arena memory is not zeroed, so
+//     kernels write every active position, including explicit NULLs.
+//   - Values outlive batches. Recycling reuses only batch structure and
+//     column arrays; a Value's string or blob backing bytes are fresh
+//     per decode and never recycled, so copied-out Values (aggregation
+//     keys, sort rows, results) stay valid forever.
+//   - ExecOptions.DisablePooling allocates everything fresh — the debug
+//     oracle internal/queries' equivalence test runs the Q1–Q20 workload
+//     against to prove recycling never corrupts results.
 //
 // Around the engine sit the Hierarchical Triangular Mesh spatial index
 // (internal/htm); the SDSS snowflake schema with subclassing views and

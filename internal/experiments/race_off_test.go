@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; wall-clock throughput assertions skip under -race. See the
+// identical helper in internal/storage.
+const raceEnabled = false

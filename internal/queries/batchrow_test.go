@@ -55,6 +55,61 @@ func TestBatchAndRowPathsAgree(t *testing.T) {
 	}
 }
 
+// TestPooledAndUnpooledPathsAgree runs the Figure 13 workload twice — once
+// with steady-state batch/scratch recycling (the default) and once with
+// ExecOptions.DisablePooling allocating every batch and kernel vector
+// fresh — and asserts identical result sets. A recycled column array that
+// leaks one query's values into the next, a kernel that reads an arena
+// position it didn't write, or a released batch still referenced
+// downstream all surface as a failing query here.
+func TestPooledAndUnpooledPathsAgree(t *testing.T) {
+	db, _ := survey(t)
+	for _, q := range All() {
+		q := q
+		t.Run("Q"+q.ID, func(t *testing.T) {
+			pooledSess := sqlengine.NewSession(db.DB)
+			freshSess := sqlengine.NewSession(db.DB)
+			sql, err := q.SQL(pooledSess)
+			if err != nil {
+				t.Fatalf("Q%s parameter lookup: %v", q.ID, err)
+			}
+			sqlFresh, err := q.SQL(freshSess)
+			if err != nil {
+				t.Fatalf("Q%s parameter lookup (no pool): %v", q.ID, err)
+			}
+			if sql != sqlFresh {
+				t.Fatalf("Q%s parameter lookups diverge:\n%s\nvs\n%s", q.ID, sql, sqlFresh)
+			}
+			// Warm the process-global pools with a throwaway session
+			// running the same query, so the measured run executes on
+			// arrays a previous execution just recycled — the state the
+			// oracle is meant to distrust. (A separate session keeps
+			// temp-table side effects from doubling.)
+			warmSess := sqlengine.NewSession(db.DB)
+			if sqlWarm, err := q.SQL(warmSess); err == nil {
+				if _, err := warmSess.Exec(sqlWarm, sqlengine.ExecOptions{}); err != nil {
+					t.Fatalf("Q%s pooled warmup: %v", q.ID, err)
+				}
+			}
+			pooled, err := pooledSess.Exec(sql, sqlengine.ExecOptions{})
+			if err != nil {
+				t.Fatalf("Q%s pooled: %v", q.ID, err)
+			}
+			fresh, err := freshSess.Exec(sql, sqlengine.ExecOptions{DisablePooling: true})
+			if err != nil {
+				t.Fatalf("Q%s no-pool: %v", q.ID, err)
+			}
+			if q.ID == "20" {
+				if len(pooled.Rows) != len(fresh.Rows) {
+					t.Fatalf("Q20: row counts diverge: %d vs %d", len(pooled.Rows), len(fresh.Rows))
+				}
+				return
+			}
+			compareResults(t, q.ID, pooled, fresh)
+		})
+	}
+}
+
 func compareResults(t *testing.T, id string, vec, row *sqlengine.Result) {
 	t.Helper()
 	if len(vec.Cols) != len(row.Cols) {

@@ -92,36 +92,54 @@ func registerFunctions(s *SkyDB) {
 		{Name: "distance", Kind: val.KindFloat},
 	}
 
+	// The spatial lookups sort by distance (and apply fGetNearestObjEq's
+	// limit) before emitting, so they materialize rows internally and
+	// stream them out through EmitRows' pooled batches.
 	db.RegisterTVF(&sqlengine.TableFunc{
 		Name:    "fGetNearbyObjEq",
 		Cols:    nearbyCols,
 		EstRows: 32,
-		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
-			return s.nearbyObjEq(args, -1)
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value, emit sqlengine.TVFEmit) error {
+			rows, err := s.nearbyObjEq(args, -1)
+			if err != nil {
+				return err
+			}
+			return sqlengine.EmitRows(ctx, len(nearbyCols), rows, emit)
 		}})
 
 	db.RegisterTVF(&sqlengine.TableFunc{
 		Name:    "fGetNearestObjEq",
 		Cols:    nearbyCols,
 		EstRows: 1,
-		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
-			return s.nearbyObjEq(args, 1)
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value, emit sqlengine.TVFEmit) error {
+			rows, err := s.nearbyObjEq(args, 1)
+			if err != nil {
+				return err
+			}
+			return sqlengine.EmitRows(ctx, len(nearbyCols), rows, emit)
 		}})
 
+	rectCols := []sqlengine.Column{
+		{Name: "objID", Kind: val.KindInt},
+		{Name: "ra", Kind: val.KindFloat},
+		{Name: "dec", Kind: val.KindFloat},
+		{Name: "type", Kind: val.KindInt},
+		{Name: "mode", Kind: val.KindInt},
+	}
 	db.RegisterTVF(&sqlengine.TableFunc{
-		Name: "fGetObjFromRect",
-		Cols: []sqlengine.Column{
-			{Name: "objID", Kind: val.KindInt},
-			{Name: "ra", Kind: val.KindFloat},
-			{Name: "dec", Kind: val.KindFloat},
-			{Name: "type", Kind: val.KindInt},
-			{Name: "mode", Kind: val.KindInt},
-		},
+		Name:    "fGetObjFromRect",
+		Cols:    rectCols,
 		EstRows: 256,
-		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
-			return s.objFromRect(args)
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value, emit sqlengine.TVFEmit) error {
+			rows, err := s.objFromRect(args)
+			if err != nil {
+				return err
+			}
+			return sqlengine.EmitRows(ctx, len(rectCols), rows, emit)
 		}})
 
+	// The HTM cover is already ordered, so it fills batches directly —
+	// no intermediate row slice at all.
 	db.RegisterTVF(&sqlengine.TableFunc{
 		Name: "fHTMCoverCircleEq",
 		Cols: []sqlengine.Column{
@@ -129,17 +147,20 @@ func registerFunctions(s *SkyDB) {
 			{Name: "HTMIDend", Kind: val.KindInt},
 		},
 		EstRows: 16,
-		Fn: func(_ *sqlengine.ExecCtx, args []val.Value) ([]val.Row, error) {
+		Fn: func(ctx *sqlengine.ExecCtx, args []val.Value, emit sqlengine.TVFEmit) error {
 			ra, dec, r, err := circleArgs(args)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cover := htm.Circle(ra, dec, r).CoverWith(htm.CoverOptions{Depth: HTMDepth})
-			rows := make([]val.Row, 0, len(cover))
+			em := val.NewEmitter(2, len(cover), !ctx.DisablePooling, emit)
 			for _, rg := range cover {
-				rows = append(rows, val.Row{val.Int(int64(rg.Lo)), val.Int(int64(rg.Hi))})
+				if err := em.Append(val.Row{val.Int(int64(rg.Lo)), val.Int(int64(rg.Hi))}); err != nil {
+					em.Discard()
+					return err
+				}
 			}
-			return rows, nil
+			return em.Close()
 		}})
 }
 

@@ -55,14 +55,14 @@ func testDB(t *testing.T) (*DB, *Session) {
 			{Name: "distance", Kind: val.KindFloat},
 		},
 		EstRows: 4,
-		Fn: func(_ *ExecCtx, args []val.Value) ([]val.Row, error) {
+		Fn: func(ctx *ExecCtx, args []val.Value, emit TVFEmit) error {
 			// Return objIDs 1..n with synthetic distances.
 			n, _ := args[0].AsInt()
 			var rows []val.Row
 			for i := int64(1); i <= n; i++ {
 				rows = append(rows, val.Row{val.Int(i), val.Float(float64(n-i) * 0.1)})
 			}
-			return rows, nil
+			return EmitRows(ctx, 2, rows, emit)
 		}})
 
 	tab, _ := db.Table("Obj")

@@ -30,10 +30,34 @@ type ExecCtx struct {
 	// Data still flows in batches; only expression evaluation changes.
 	// Used by equivalence tests and the batch-vs-row benchmark.
 	ForceRowExprs bool
+	// DisablePooling routes every batch and scratch acquisition to a
+	// fresh allocation instead of the val pools — the debug oracle the
+	// equivalence tests run against to prove recycling never corrupts
+	// results.
+	DisablePooling bool
 
 	// Stats.
 	RowsScanned atomic.Int64
 	RowsOutput  atomic.Int64
+}
+
+// getBatch acquires a batch for an operator: pooled unless DisablePooling.
+// Operators release unconditionally (Release is a no-op on unpooled
+// batches) after the last emit that could reference the batch returns.
+func (ctx *ExecCtx) getBatch(width, capacity int, need []bool) *val.Batch {
+	if ctx.DisablePooling {
+		return val.NewBatchNeeded(width, need)
+	}
+	return val.GetBatch(width, capacity, need)
+}
+
+// getArena acquires kernel scratch: pooled unless DisablePooling, in which
+// case every vector the arena hands out is a fresh allocation.
+func (ctx *ExecCtx) getArena() *val.Arena {
+	if ctx.DisablePooling {
+		return val.NewNoReuseArena()
+	}
+	return val.GetArena()
 }
 
 // ErrTimeout is returned when a query exceeds its deadline, like the public
@@ -108,16 +132,27 @@ func buildScatter(ix *Index, needed []bool, dstOff int) (keyDst, inclDst []scatt
 	return keyDst, inclDst
 }
 
-// presentCols fills dst with the indices of b's materialized columns below
-// width, so joins copy only the columns their input actually carries.
-func presentCols(b *val.Batch, width int, dst []int) []int {
-	dst = dst[:0]
-	for c := 0; c < width; c++ {
-		if b.HasCol(c) {
-			dst = append(dst, c)
+// outerCopyCols computes the outer-side column lists a join uses for one
+// outer batch: read is the columns to gather from the outer batch per row
+// (needed downstream and materialized), write is the columns to replicate
+// into the join output (all needed, nil outNeeded = all). Needed columns
+// the outer batch pruned are set to NULL in scratch once — never
+// re-gathered, and written to the output as the NULLs a full row gather
+// would have produced.
+func outerCopyCols(ob *val.Batch, outerWidth int, outNeeded []bool, scratch val.Row, read, write []int) (r, w []int) {
+	read, write = read[:0], write[:0]
+	for c := 0; c < outerWidth; c++ {
+		if outNeeded != nil && !outNeeded[c] {
+			continue
+		}
+		write = append(write, c)
+		if ob.HasCol(c) {
+			read = append(read, c)
+		} else {
+			scratch[c] = val.Value{}
 		}
 	}
-	return dst
+	return read, write
 }
 
 // ---- dual (FROM-less SELECT) ----
@@ -158,13 +193,24 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 	width := len(s.table.Cols)
 	var mu sync.Mutex
 	var rowsSeen atomic.Int64
+	// Per-worker batches and arenas, released together once every worker
+	// has exited (ScanBatches joins its goroutines before returning, on
+	// success and error alike). The mk callback runs sequentially on this
+	// goroutine before the workers start, so the append needs no lock.
+	type workerMem struct {
+		batch *val.Batch
+		ar    *val.Arena
+	}
+	workers := make([]workerMem, 0, 8)
 	err := s.table.heap.ScanBatches(ctx.DOP, func(worker int) (storage.RecBatchFunc, func() error) {
-		batch := val.NewBatchNeeded(width, s.needed)
+		batch := ctx.getBatch(width, val.BatchSize, s.needed)
+		ar := ctx.getArena()
+		workers = append(workers, workerMem{batch, ar})
 		flush := func() error {
 			if batch.Size() == 0 {
 				return nil
 			}
-			if err := s.filter.filter(ctx, batch); err != nil {
+			if err := s.filter.filter(ctx, batch, ar); err != nil {
 				return err
 			}
 			if batch.Len() > 0 {
@@ -199,6 +245,10 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		}
 		return fn, flush
 	})
+	for _, w := range workers {
+		w.batch.Release()
+		w.ar.Release()
+	}
 	ctx.RowsScanned.Add(rowsSeen.Load())
 	return err
 }
@@ -285,8 +335,24 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		hiVal = v
 	}
 	width := len(s.table.Cols)
-	buf := make([]byte, storage.PageSize)
-	batch := val.NewBatchNeeded(width, s.needed)
+	var buf []byte
+	if !s.covering {
+		buf = storage.GetPageBuf()
+		defer storage.PutPageBuf(buf)
+	}
+	// Small-result fast path: a seek whose plan-time dive proved a handful
+	// of rows acquires the pool's small column class instead of zeroing
+	// 1,024-slot arrays per needed column — the fix for the point-lookup
+	// (Q8/Q9/Q10A) regression. If the estimate undershoots, the first full
+	// small batch upgrades to full-size ones.
+	capacity := val.BatchSize
+	if s.estRows >= 0 && s.estRows <= val.SmallBatchSize {
+		capacity = val.SmallBatchSize
+	}
+	batch := ctx.getBatch(width, capacity, s.needed)
+	defer func() { batch.Release() }()
+	ar := ctx.getArena()
+	defer ar.Release()
 	var keyDst, inclDst []scatter
 	if s.covering {
 		keyDst, inclDst = buildScatter(s.index, s.needed, 0)
@@ -295,7 +361,8 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		if batch.Size() == 0 {
 			return nil
 		}
-		if err := s.filter.filter(ctx, batch); err != nil {
+		wasFull := batch.Full()
+		if err := s.filter.filter(ctx, batch, ar); err != nil {
 			return err
 		}
 		if batch.Len() > 0 {
@@ -304,6 +371,10 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 			}
 		}
 		batch.Reset()
+		if wasFull && batch.Cap() < val.BatchSize {
+			batch.Release()
+			batch = ctx.getBatch(width, val.BatchSize, s.needed)
+		}
 		return nil
 	}
 	rows := int64(0)
@@ -406,24 +477,9 @@ func (t *tvfNode) Run(ctx *ExecCtx, emit batchFn) error {
 		}
 		args[i] = v
 	}
-	rows, err := t.fn.Fn(ctx, args)
-	if err != nil {
-		return err
-	}
-	batch := val.NewBatch(len(t.cols))
-	for _, r := range rows {
-		batch.AppendRow(r)
-		if batch.Full() {
-			if err := emit(batch); err != nil {
-				return err
-			}
-			batch.Reset()
-		}
-	}
-	if batch.Size() > 0 {
-		return emit(batch)
-	}
-	return nil
+	// The function streams val.Batch directly — no []val.Row
+	// materialization between the function and the plan.
+	return t.fn.Fn(ctx, args, TVFEmit(emit))
 }
 
 func (t *tvfNode) explainTo(sb *strings.Builder, depth int) {
@@ -443,12 +499,15 @@ type memScanNode struct {
 func (m *memScanNode) Columns() []ColRef { return m.cols }
 
 func (m *memScanNode) Run(ctx *ExecCtx, emit batchFn) error {
-	batch := val.NewBatch(len(m.cols))
+	batch := ctx.getBatch(len(m.cols), len(m.mem.Rows), nil)
+	defer batch.Release()
+	ar := ctx.getArena()
+	defer ar.Release()
 	flush := func() error {
 		if batch.Size() == 0 {
 			return nil
 		}
-		if err := m.filter.filter(ctx, batch); err != nil {
+		if err := m.filter.filter(ctx, batch, ar); err != nil {
 			return err
 		}
 		if batch.Len() > 0 {
@@ -489,8 +548,10 @@ func (m *memScanNode) explainTo(sb *strings.Builder, depth int) {
 // indexJoinNode is the nested-loop join of Figure 10 and Figure 12: for each
 // outer row, probe the inner table's index with key values computed from the
 // outer row, then evaluate the residual predicate on the combined row.
-// Matches accumulate into a combined-width batch that the residual filters
-// vectorized before each emit.
+// Matches accumulate into a combined-width batch — preallocated once from
+// the pool with the planner-computed combined needed-column mask, so probe
+// output assembly is direct column writes with no per-probe lazy-column
+// branches — that the residual filters vectorized before each emit.
 type indexJoinNode struct {
 	outer Node
 	inner *Table
@@ -500,24 +561,41 @@ type indexJoinNode struct {
 	probeExprs []compiledExpr // one per leading index key column, over outer row
 	innerWidth int
 	covering   bool
-	needed     []bool
-	residual   *compiledPred // over combined row
-	label      string
+	needed     []bool // inner columns needed downstream (nil = all)
+	// outNeeded marks the combined-width output columns any downstream
+	// expression reads (nil = all): the planner's per-source needed masks
+	// concatenated in join order. The output batch materializes exactly
+	// these columns up front.
+	outNeeded []bool
+	residual  *compiledPred // over combined row
+	label     string
 }
 
 func (j *indexJoinNode) Columns() []ColRef { return j.cols }
 
 func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
-	buf := make([]byte, storage.PageSize)
+	var buf []byte
+	if !j.covering {
+		buf = storage.GetPageBuf()
+		defer storage.PutPageBuf(buf)
+	}
 	var mu sync.Mutex // outer may be a parallel scan
-	var out *val.Batch
-	var outerScratch val.Row
+	outerWidth := len(j.cols) - j.innerWidth
+	out := ctx.getBatch(len(j.cols), val.BatchSize, j.outNeeded)
+	defer out.Release()
+	ar := ctx.getArena()
+	defer ar.Release()
+	// outerScratch is the sparse row gather the probe expressions and the
+	// output copy read: only the columns downstream needs are filled per
+	// row, the rest stay NULL — a covering-scan outer of the ~220-column
+	// PhotoObj gathers its three needed columns, not 220.
+	outerScratch := make(val.Row, outerWidth)
 	key := make(val.Row, len(j.probeExprs))
 	flush := func() error {
 		if out.Size() == 0 {
 			return nil
 		}
-		if err := j.residual.filter(ctx, out); err != nil {
+		if err := j.residual.filter(ctx, out, ar); err != nil {
 			return err
 		}
 		if out.Len() > 0 {
@@ -529,30 +607,26 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		return nil
 	}
 	var keyDst, inclDst []scatter
-	var present []int // outer columns materialized in the current outer batch
+	if j.covering {
+		keyDst, inclDst = buildScatter(j.index, j.needed, outerWidth)
+	}
+	var readCols, writeCols []int // outer gather/replicate lists, per batch
 	err := j.outer.Run(ctx, func(ob *val.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
-		outerWidth := ob.Width()
-		if out == nil {
-			out = val.NewSparseBatch(outerWidth + j.innerWidth)
-			outerScratch = make(val.Row, outerWidth)
-			if j.covering {
-				keyDst, inclDst = buildScatter(j.index, j.needed, outerWidth)
-			}
-		}
-		// Only the outer columns this batch materialized are copied into
-		// the combined row; pruned columns stay pruned downstream too.
-		present = presentCols(ob, outerWidth, present)
+		readCols, writeCols = outerCopyCols(ob, outerWidth, j.outNeeded, outerScratch, readCols, writeCols)
+		probed := int64(0)
 		sel := ob.Sel()
 		for k, n := 0, ob.Len(); k < n; k++ {
 			oi := k
 			if sel != nil {
 				oi = sel[k]
 			}
-			outerRow := ob.RowAt(oi, outerScratch)
+			for _, c := range readCols {
+				outerScratch[c] = ob.Col(c)[oi]
+			}
 			for i, pe := range j.probeExprs {
-				v, err := pe(ctx, outerRow)
+				v, err := pe(ctx, outerScratch)
 				if err != nil {
 					return err
 				}
@@ -564,17 +638,17 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 				if e.Key[:len(key)].Compare(key) != 0 {
 					break
 				}
-				ctx.RowsScanned.Add(1)
+				probed++
 				idx := out.Grow()
-				for _, c := range present {
-					out.Put(c, idx, outerRow[c])
+				for _, c := range writeCols {
+					out.Col(c)[idx] = outerScratch[c]
 				}
 				if j.covering {
 					for _, sc := range keyDst {
-						out.Put(sc.dst, idx, e.Key[sc.src])
+						out.Col(sc.dst)[idx] = e.Key[sc.src]
 					}
 					for _, sc := range inclDst {
-						out.Put(sc.dst, idx, e.Incl[sc.src])
+						out.Col(sc.dst)[idx] = e.Incl[sc.src]
 					}
 				} else {
 					rec, err := j.inner.heap.Get(storage.RID(e.RID), buf)
@@ -592,15 +666,13 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 				}
 			}
 		}
+		ctx.RowsScanned.Add(probed)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if out != nil {
-		return flush()
-	}
-	return nil
+	return flush()
 }
 
 func (j *indexJoinNode) explainTo(sb *strings.Builder, depth int) {
@@ -626,8 +698,11 @@ type nlJoinNode struct {
 	outer Node
 	inner Node
 	cols  []ColRef
-	cond  *compiledPred
-	label string
+	// outNeeded marks the combined-width output columns downstream reads
+	// (nil = all); see indexJoinNode.outNeeded.
+	outNeeded []bool
+	cond      *compiledPred
+	label     string
 }
 
 func (j *nlJoinNode) Columns() []ColRef { return j.cols }
@@ -644,15 +719,27 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		return err
 	}
 	innerWidth := len(j.inner.Columns())
+	outerWidth := len(j.cols) - innerWidth
 	var emitMu sync.Mutex
 	rows := int64(0)
-	var out *val.Batch
-	var outerScratch val.Row
+	out := ctx.getBatch(len(j.cols), val.BatchSize, j.outNeeded)
+	defer out.Release()
+	ar := ctx.getArena()
+	defer ar.Release()
+	outerScratch := make(val.Row, outerWidth)
+	// Inner columns downstream reads; the rest of the materialized row is
+	// dropped here instead of being copied through the plan.
+	var innerCols []int
+	for c := 0; c < innerWidth; c++ {
+		if j.outNeeded == nil || j.outNeeded[outerWidth+c] {
+			innerCols = append(innerCols, c)
+		}
+	}
 	flush := func() error {
 		if out.Size() == 0 {
 			return nil
 		}
-		if err := j.cond.filter(ctx, out); err != nil {
+		if err := j.cond.filter(ctx, out, ar); err != nil {
 			return err
 		}
 		if out.Len() > 0 {
@@ -663,23 +750,20 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		out.Reset()
 		return nil
 	}
-	var present []int
+	var readCols, writeCols []int
 	err := j.outer.Run(ctx, func(ob *val.Batch) error {
 		emitMu.Lock()
 		defer emitMu.Unlock()
-		outerWidth := ob.Width()
-		if out == nil {
-			out = val.NewSparseBatch(outerWidth + innerWidth)
-			outerScratch = make(val.Row, outerWidth)
-		}
-		present = presentCols(ob, outerWidth, present)
+		readCols, writeCols = outerCopyCols(ob, outerWidth, j.outNeeded, outerScratch, readCols, writeCols)
 		sel := ob.Sel()
 		for k, n := 0, ob.Len(); k < n; k++ {
 			oi := k
 			if sel != nil {
 				oi = sel[k]
 			}
-			outerRow := ob.RowAt(oi, outerScratch)
+			for _, c := range readCols {
+				outerScratch[c] = ob.Col(c)[oi]
+			}
 			for _, ir := range innerRows {
 				rows++
 				if rows%8192 == 0 {
@@ -688,11 +772,11 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 					}
 				}
 				idx := out.Grow()
-				for _, c := range present {
-					out.Put(c, idx, outerRow[c])
+				for _, c := range writeCols {
+					out.Col(c)[idx] = outerScratch[c]
 				}
-				for c := 0; c < innerWidth; c++ {
-					out.Put(outerWidth+c, idx, ir[c])
+				for _, c := range innerCols {
+					out.Col(outerWidth + c)[idx] = ir[c]
 				}
 				if out.Full() {
 					if err := flush(); err != nil {
@@ -703,7 +787,7 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		}
 		return nil
 	})
-	if err == nil && out != nil {
+	if err == nil {
 		err = flush()
 	}
 	ctx.RowsScanned.Add(rows)
@@ -732,8 +816,10 @@ type filterNode struct {
 func (f *filterNode) Columns() []ColRef { return f.child.Columns() }
 
 func (f *filterNode) Run(ctx *ExecCtx, emit batchFn) error {
+	ar := ctx.getArena()
+	defer ar.Release()
 	return f.child.Run(ctx, func(b *val.Batch) error {
-		if err := f.cond.filter(ctx, b); err != nil {
+		if err := f.cond.filter(ctx, b, ar); err != nil {
 			return err
 		}
 		if b.Len() == 0 {
@@ -779,14 +865,54 @@ type aggState struct {
 	seen   []bool
 }
 
-func newAggState(nAgg int) *aggState {
-	return &aggState{
-		counts: make([]int64, nAgg),
-		sums:   make([]float64, nAgg),
-		mins:   make([]val.Value, nAgg),
-		maxs:   make([]val.Value, nAgg),
-		seen:   make([]bool, nAgg),
+// aggAlloc carves aggregation states out of chunked slabs, so a grouped
+// aggregate with thousands of groups (Q13's sky grid) pays a handful of
+// allocations per 256 groups instead of six per group. States live until
+// the aggregation emits, so the slabs are plain allocations, not pooled.
+type aggAlloc struct {
+	nAgg, nKey int
+	states     []aggState
+	counts     []int64
+	sums       []float64
+	mins       []val.Value
+	maxs       []val.Value
+	seen       []bool
+	keys       []val.Value
+}
+
+const aggChunk = 256
+
+// get carves one state, copying the group key into slab-backed storage.
+// Key Values are copied shallowly: their string/blob backing is immutable
+// producer-fresh memory (the batch contract), never recycled.
+func (s *aggAlloc) get(key val.Row) *aggState {
+	if len(s.states) == 0 {
+		chunk := aggChunk
+		if s.nKey == 0 {
+			// A global aggregate has exactly one state.
+			chunk = 1
+		}
+		s.states = make([]aggState, chunk)
+		s.counts = make([]int64, chunk*s.nAgg)
+		s.sums = make([]float64, chunk*s.nAgg)
+		s.mins = make([]val.Value, chunk*s.nAgg)
+		s.maxs = make([]val.Value, chunk*s.nAgg)
+		s.seen = make([]bool, chunk*s.nAgg)
+		s.keys = make([]val.Value, chunk*s.nKey)
 	}
+	st := &s.states[0]
+	s.states = s.states[1:]
+	n := s.nAgg
+	st.counts, s.counts = s.counts[:n:n], s.counts[n:]
+	st.sums, s.sums = s.sums[:n:n], s.sums[n:]
+	st.mins, s.mins = s.mins[:n:n], s.mins[n:]
+	st.maxs, s.maxs = s.maxs[:n:n], s.maxs[n:]
+	st.seen, s.seen = s.seen[:n:n], s.seen[n:]
+	if k := s.nKey; k > 0 {
+		st.key, s.keys = val.Row(s.keys[:k:k]), s.keys[k:]
+		copy(st.key, key)
+	}
+	return st
 }
 
 // add accumulates one non-COUNT(*) argument value into aggregate ai.
@@ -814,14 +940,25 @@ func (st *aggState) add(ai int, v val.Value) {
 func (a *aggNode) Columns() []ColRef { return a.cols }
 
 func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
-	groups := make(map[string]*aggState)
-	order := []string{}
 	var mu sync.Mutex
 	nGroup, nAgg := len(a.groupBy), len(a.aggs)
 	keyBufs := make([][]val.Value, nGroup)
 	argBufs := make([][]val.Value, nAgg)
 	keyScratch := make(val.Row, nGroup)
+	alloc := &aggAlloc{nAgg: nAgg, nKey: nGroup}
+	// A global aggregate (no GROUP BY) has exactly one state and needs
+	// neither the hash table nor the key encoding.
+	var groups map[string]*aggState
+	var order []string
+	var global *aggState
+	if nGroup == 0 {
+		global = alloc.get(nil)
+	} else {
+		groups = make(map[string]*aggState)
+	}
 	var keyEnc []byte
+	ar := ctx.getArena()
+	defer ar.Release()
 	err := a.child.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
@@ -830,7 +967,7 @@ func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 			return nil
 		}
 		for gi, g := range a.groupBy {
-			buf, err := g.appendTo(ctx, b, keyBufs[gi][:0])
+			buf, err := g.appendTo(ctx, b, ar, keyBufs[gi][:0])
 			if err != nil {
 				return err
 			}
@@ -840,19 +977,14 @@ func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 			if a.aggs[ai].arg == nil {
 				continue
 			}
-			buf, err := a.aggs[ai].arg.appendTo(ctx, b, argBufs[ai][:0])
+			buf, err := a.aggs[ai].arg.appendTo(ctx, b, ar, argBufs[ai][:0])
 			if err != nil {
 				return err
 			}
 			argBufs[ai] = buf
 		}
 		if nGroup == 0 {
-			st, ok := groups[""]
-			if !ok {
-				st = newAggState(nAgg)
-				groups[""] = st
-				order = append(order, "")
-			}
+			st := global
 			for ai := range a.aggs {
 				if a.aggs[ai].arg == nil { // COUNT(*)
 					st.counts[ai] += int64(cnt)
@@ -869,11 +1001,13 @@ func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 				keyScratch[gi] = keyBufs[gi][k]
 			}
 			keyEnc = val.AppendRow(keyEnc[:0], keyScratch)
-			kb := string(keyEnc)
-			st, ok := groups[kb]
+			// Index with the conversion inline so the lookup borrows
+			// keyEnc instead of allocating a string per input row; the
+			// string key is only materialized on first sight of a group.
+			st, ok := groups[string(keyEnc)]
 			if !ok {
-				st = newAggState(nAgg)
-				st.key = keyScratch.Clone()
+				st = alloc.get(keyScratch)
+				kb := string(keyEnc)
 				groups[kb] = st
 				order = append(order, kb)
 			}
@@ -890,14 +1024,19 @@ func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 	if err != nil {
 		return err
 	}
-	// A global aggregate over zero rows still yields one output row.
-	if nGroup == 0 && len(order) == 0 {
-		groups[""] = newAggState(nAgg)
-		order = append(order, "")
+	// Output states in first-seen order; a global aggregate (even over
+	// zero rows) yields exactly its one state.
+	nOut := len(order)
+	if nGroup == 0 {
+		nOut = 1
 	}
-	out := val.NewBatch(len(a.cols))
-	for _, kb := range order {
-		st := groups[kb]
+	out := ctx.getBatch(len(a.cols), nOut, nil)
+	defer out.Release()
+	for oi := 0; oi < nOut; oi++ {
+		st := global
+		if nGroup > 0 {
+			st = groups[order[oi]]
+		}
 		idx := out.Grow()
 		for gi := range st.key {
 			out.Col(gi)[idx] = st.key[gi]
@@ -967,21 +1106,24 @@ func (p *projectNode) Columns() []ColRef { return p.cols }
 
 func (p *projectNode) Run(ctx *ExecCtx, emit batchFn) error {
 	width := len(p.exprs) + len(p.hidden)
-	out := val.NewBatch(width)
+	out := ctx.getBatch(width, val.BatchSize, nil)
+	defer out.Release()
+	ar := ctx.getArena()
+	defer ar.Release()
 	return p.child.Run(ctx, func(b *val.Batch) error {
 		if b.Len() == 0 {
 			return nil
 		}
 		out.Reset()
 		for j, e := range p.exprs {
-			col, err := e.appendTo(ctx, b, out.ColBuf(j))
+			col, err := e.appendTo(ctx, b, ar, out.ColBuf(j))
 			if err != nil {
 				return err
 			}
 			out.SetColumn(j, col)
 		}
 		for j, e := range p.hidden {
-			col, err := e.appendTo(ctx, b, out.ColBuf(len(p.exprs)+j))
+			col, err := e.appendTo(ctx, b, ar, out.ColBuf(len(p.exprs)+j))
 			if err != nil {
 				return err
 			}
@@ -1078,7 +1220,8 @@ func (s *sortNode) Run(ctx *ExecCtx, emit batchFn) error {
 		}
 		return false
 	})
-	out := val.NewBatch(s.visible)
+	out := ctx.getBatch(s.visible, len(rows), nil)
+	defer out.Release()
 	for _, r := range rows {
 		out.AppendRow(r[:s.visible])
 		if out.Full() {

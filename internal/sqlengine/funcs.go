@@ -18,6 +18,12 @@ type ScalarFunc struct {
 	Fn      func(ctx *ExecCtx, args []val.Value) (val.Value, error)
 }
 
+// TVFEmit is the sink a table-valued function streams its result set
+// through, one val.Batch at a time. Batches are owned by the function and
+// recycled after each call; the usual batch contract applies (consumers
+// copy what they retain).
+type TVFEmit func(b *val.Batch) error
+
 // TableFunc is a table-valued function usable in FROM, like the paper's
 // fGetNearbyObjEq / spHTM_Cover (§9.1.4).
 type TableFunc struct {
@@ -27,7 +33,24 @@ type TableFunc struct {
 	// return a handful of rows, which is why they belong on the outer
 	// side of the nested-loop join in Figure 10).
 	EstRows int
-	Fn      func(ctx *ExecCtx, args []val.Value) ([]val.Row, error)
+	// Fn computes the function and emits val.Batch directly into the plan
+	// — no []val.Row materialization that scans re-batch. Functions whose
+	// natural product is a sorted row slice adapt via EmitRows; columnar
+	// producers fill a val.Emitter as they go.
+	Fn func(ctx *ExecCtx, args []val.Value, emit TVFEmit) error
+}
+
+// EmitRows streams a materialized row slice through pooled batches — the
+// adapter for table functions that must sort or truncate before emitting.
+func EmitRows(ctx *ExecCtx, width int, rows []val.Row, emit TVFEmit) error {
+	em := val.NewEmitter(width, len(rows), !ctx.DisablePooling, emit)
+	for _, r := range rows {
+		if err := em.Append(r); err != nil {
+			em.Discard()
+			return err
+		}
+	}
+	return em.Close()
 }
 
 // RegisterScalar adds or replaces a scalar function.

@@ -15,6 +15,8 @@ package sqlengine
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 type tokKind int
@@ -197,5 +199,49 @@ func (l *lexer) lexOp() error {
 	return fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
 }
 
-// fold lower-cases for case-insensitive keyword and identifier matching.
-func fold(s string) string { return strings.ToLower(s) }
+// foldCache interns lower-cased identifiers: the planner folds the same
+// mixed-case column names (petroR50_g, PhotoObj, …) thousands of times per
+// query during scope resolution, and strings.ToLower allocates on every
+// one of them. Identifiers reach here straight from user-supplied SQL
+// (including queries that then fail to parse), so the cache is capped:
+// past the cap, unseen identifiers fold with a plain ToLower instead of
+// growing process memory without bound. The schema's own names — the hot
+// set resolve loops over — always fit well under the cap.
+var (
+	foldCache sync.Map // original string -> lower-cased string
+	foldCount atomic.Int64
+)
+
+const foldCacheMax = 1 << 14
+
+// fold lower-cases for case-insensitive keyword and identifier matching,
+// without allocating in steady state.
+func fold(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'A' && c <= 'Z') || c >= 0x80 {
+			if v, ok := foldCache.Load(s); ok {
+				return v.(string)
+			}
+			l := strings.ToLower(s)
+			if foldCount.Load() < foldCacheMax {
+				// Clone the key so the cache never pins a larger buffer
+				// the identifier might be a substring view of — and if
+				// ToLower returned its input unchanged (possible for
+				// non-ASCII identifiers), store the clone as the value
+				// too, for the same reason.
+				ck := strings.Clone(s)
+				cv := l
+				if l == s {
+					cv = ck
+				}
+				if _, loaded := foldCache.LoadOrStore(ck, cv); !loaded {
+					foldCount.Add(1)
+				}
+			}
+			return l
+		}
+	}
+	// Already folded: ASCII with no upper-case letters.
+	return s
+}

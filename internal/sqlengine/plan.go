@@ -105,6 +105,7 @@ func (p *planner) resolveSource(item FromItem) (*plannedSource, error) {
 	}
 	src.table = t
 	src.display = t.Name
+	src.cols = make([]ColRef, 0, len(t.Cols))
 	for _, c := range t.Cols {
 		src.cols = append(src.cols, ColRef{Qualifier: binding, Name: c.Name, Kind: c.Kind})
 	}
@@ -491,10 +492,14 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 		used[best] = true
 	}
 
-	// 7. Build the join tree left-deep in that order.
+	// 7. Build the join tree left-deep in that order. prefixNeeded tracks
+	// the needed masks of the sources joined so far, in join order, so
+	// each join node carries the combined mask its output batch
+	// preallocates from.
 	var root Node
 	prefixScope := &scope{}
 	prefixSet := map[int]bool{}
+	var prefixNeeded []bool
 	consumed := make([]bool, len(joinPool))
 	for step, si := range order {
 		src := sources[si]
@@ -524,6 +529,7 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 			root = n
 			prefixScope.cols = append(prefixScope.cols, src.cols...)
 			prefixSet[si] = true
+			prefixNeeded = append(prefixNeeded, needed[si]...)
 			// Conjuncts applicable with one source only happen for
 			// constant conditions; filter them in step's tail.
 			if len(applicable) > 0 {
@@ -536,7 +542,8 @@ func (p *planner) planSelect(s *SelectStmt) (Node, error) {
 			}
 			continue
 		}
-		n, err := p.buildJoin(root, prefixScope, prefixSet, src, si, needed[si], applicable)
+		prefixNeeded = append(prefixNeeded, needed[si]...)
+		n, err := p.buildJoin(root, prefixScope, prefixSet, src, si, needed[si], prefixNeeded, applicable)
 		if err != nil {
 			return nil, err
 		}
@@ -676,16 +683,9 @@ func (p *planner) chooseIndex(t *Table, src *plannedSource, needed []bool) *inde
 
 func (p *planner) matchIndex(t *Table, ix *Index, src *plannedSource, selfScope *scope, needed []bool) *indexCandidate {
 	// Coverage: every needed column is in key or included columns.
-	covered := map[int]bool{}
-	for _, c := range ix.KeyCols {
-		covered[c] = true
-	}
-	for _, c := range ix.InclCols {
-		covered[c] = true
-	}
 	covering := true
 	for col, n := range needed {
-		if n && !covered[col] {
+		if n && !indexHasCol(ix, col) {
 			covering = false
 			break
 		}
@@ -824,6 +824,24 @@ func (p *planner) diveEstimate(ix *Index, eqRaw []Expr, loRaw Expr, loIncl bool,
 	return float64(count)
 }
 
+// indexHasCol reports whether a table column is among the index's key or
+// included columns. Linear scan: index column lists are short, and the
+// planner calls this in loops where a set allocation per index per query
+// would dominate a point lookup's cost.
+func indexHasCol(ix *Index, col int) bool {
+	for _, c := range ix.KeyCols {
+		if c == col {
+			return true
+		}
+	}
+	for _, c := range ix.InclCols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
 // colMatches reports whether e is a plain column reference to position col.
 func colMatches(e Expr, sc *scope, col int) bool {
 	c, ok := e.(*ColExpr)
@@ -896,11 +914,26 @@ func rangeBounds(pushed []Expr, sc *scope, col int) (lo Expr, loIncl bool, hi Ex
 
 // buildJoin attaches one more source to the plan, preferring an index-probe
 // nested loop when the applicable equality conjuncts match an index prefix
-// on the new source.
+// on the new source. combinedNeeded is the needed mask over the combined
+// output width (prefix sources then this one, in join order); the join's
+// output batch preallocates exactly those columns.
 func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bool,
-	src *plannedSource, si int, needed []bool, applicable []Expr) (Node, error) {
+	src *plannedSource, si int, needed []bool, combinedNeeded []bool, applicable []Expr) (Node, error) {
 
 	combinedScope := &scope{cols: append(append([]ColRef{}, prefixScope.cols...), src.cols...)}
+	// An all-true mask means "materialize everything": pass nil, the
+	// convention every mask consumer shares.
+	outNeeded := append([]bool(nil), combinedNeeded...)
+	allOut := true
+	for _, n := range outNeeded {
+		if !n {
+			allOut = false
+			break
+		}
+	}
+	if allOut {
+		outNeeded = nil
+	}
 
 	if src.table != nil {
 		// Find equality conjuncts inner.col = f(prefix).
@@ -964,16 +997,9 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 				residual = ce
 				label = exprString(andAll(resExprs))
 			}
-			covered := map[int]bool{}
-			for _, c := range bestIx.KeyCols {
-				covered[c] = true
-			}
-			for _, c := range bestIx.InclCols {
-				covered[c] = true
-			}
 			covering := true
 			for col, n := range needed {
-				if n && !covered[col] {
+				if n && !indexHasCol(bestIx, col) {
 					covering = false
 					break
 				}
@@ -998,6 +1024,7 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 				innerWidth: src.width,
 				covering:   covering,
 				needed:     mask,
+				outNeeded:  outNeeded,
 				residual:   residual,
 				label:      label,
 			}, nil
@@ -1019,7 +1046,7 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 		cond = ce
 		label = exprString(andAll(applicable))
 	}
-	return &nlJoinNode{outer: outer, inner: innerNode, cols: combinedScope.cols, cond: cond, label: label}, nil
+	return &nlJoinNode{outer: outer, inner: innerNode, cols: combinedScope.cols, outNeeded: outNeeded, cond: cond, label: label}, nil
 }
 
 // exprOverScope reports whether the expression resolves entirely within the

@@ -64,6 +64,12 @@ type ExecOptions struct {
 	// right operand would raise on such a row (e.g. division by zero)
 	// only surfaces under ForceRowExprs.
 	ForceRowExprs bool
+	// DisablePooling allocates every batch and kernel scratch vector
+	// fresh instead of recycling them through the val pools — the debug
+	// oracle the equivalence tests compare pooled execution against to
+	// prove recycling never corrupts results. Result sets are identical
+	// either way.
+	DisablePooling bool
 }
 
 // Result is the outcome of a batch: the last SELECT's result set plus
@@ -124,7 +130,7 @@ func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Resu
 	res := &Result{}
 	startWall := time.Now()
 	startCPU := processCPU()
-	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs}
+	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
 	if opt.Timeout > 0 {
 		ctx.Deadline = startWall.Add(opt.Timeout)
 	}

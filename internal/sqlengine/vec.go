@@ -2,6 +2,8 @@ package sqlengine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"skyserver/internal/val"
 )
@@ -24,15 +26,25 @@ import (
 // compiled row expression. ExecOptions.ForceRowExprs routes every
 // expression through the fallback, which the engine's equivalence tests
 // and the batch-vs-row benchmark use.
+//
+// Kernels allocate nothing in steady state: every result vector comes from
+// a val.Arena the caller owns. Compiled kernels are shared — the same
+// closure tree serves every parallel scan worker — so the scratch is
+// per-worker, threaded through each call. Arena memory is recycled without
+// zeroing, which is why every kernel writes every active position,
+// including an explicit val.Value{} for NULL results; positions outside
+// the selection stay unspecified and are never read.
 
-// kernelFn computes an expression for every active row of a batch. The
-// returned column is indexed by physical row number (length ≥ b.Size());
-// positions outside the selection are unspecified. The slice may alias
-// batch storage or compile-time constants and must not be mutated.
-type kernelFn func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error)
+// kernelFn computes an expression for every active row of a batch, drawing
+// its result vector from ar. The returned column is indexed by physical
+// row number (length ≥ b.Size()); positions outside the selection are
+// unspecified. The slice may alias batch storage, compile-time constants,
+// or arena scratch, and must not be mutated or retained past the arena's
+// next Reset.
+type kernelFn func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error)
 
 // predFn narrows b's selection to the rows where a predicate is truthy.
-type predFn func(ctx *ExecCtx, b *val.Batch) error
+type predFn func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error
 
 // compiledVec is an expression compiled for batch evaluation with a
 // row-at-a-time fallback.
@@ -74,10 +86,13 @@ func compilePred(e Expr, sc *scope, db *DB) (*compiledPred, error) {
 }
 
 // appendTo evaluates the expression for every active row of b, appending
-// the results (in selection order) to dst.
-func (v *compiledVec) appendTo(ctx *ExecCtx, b *val.Batch, dst []val.Value) ([]val.Value, error) {
+// the results (in selection order) to dst. It resets ar on entry: any
+// arena vector from a previous batch or expression must already have been
+// copied out.
+func (v *compiledVec) appendTo(ctx *ExecCtx, b *val.Batch, ar *val.Arena, dst []val.Value) ([]val.Value, error) {
+	ar.Reset()
 	if v.vec != nil && !ctx.ForceRowExprs {
-		col, err := v.vec(ctx, b)
+		col, err := v.vec(ctx, b, ar)
 		if err != nil {
 			return dst, err
 		}
@@ -89,7 +104,10 @@ func (v *compiledVec) appendTo(ctx *ExecCtx, b *val.Batch, dst []val.Value) ([]v
 		}
 		return append(dst, col[:b.Size()]...), nil
 	}
-	scratch := make(val.Row, v.width)
+	scratch := val.Row(ar.Vals(v.width))
+	for i := range scratch {
+		scratch[i] = val.Value{}
+	}
 	sel := b.Sel()
 	for k, n := 0, b.Len(); k < n; k++ {
 		i := k
@@ -106,15 +124,19 @@ func (v *compiledVec) appendTo(ctx *ExecCtx, b *val.Batch, dst []val.Value) ([]v
 }
 
 // filter narrows b's selection to the rows where the predicate is truthy.
-// A nil receiver leaves the batch untouched.
-func (p *compiledPred) filter(ctx *ExecCtx, b *val.Batch) error {
+// A nil receiver leaves the batch untouched. It resets ar on entry.
+func (p *compiledPred) filter(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error {
 	if p == nil || b.Len() == 0 {
 		return nil
 	}
+	ar.Reset()
 	if p.vec != nil && !ctx.ForceRowExprs {
-		return p.vec(ctx, b)
+		return p.vec(ctx, b, ar)
 	}
-	scratch := make(val.Row, p.width)
+	scratch := val.Row(ar.Vals(p.width))
+	for i := range scratch {
+		scratch[i] = val.Value{}
+	}
 	keep := b.SelScratch()
 	sel := b.Sel()
 	for k, n := 0, b.Len(); k < n; k++ {
@@ -148,15 +170,12 @@ func activeIndices(b *val.Batch, dst []int) []int {
 // ---- value kernels ----
 
 // vectorizeValue returns a batch kernel for e, or nil when e's shape is
-// not vectorizable (scalar functions, CASE, AND/OR in value position).
+// not vectorizable (CASE, AND/OR in value position).
 func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 	switch e := e.(type) {
 	case *LitExpr:
-		vals := make([]val.Value, val.BatchSize)
-		for i := range vals {
-			vals[i] = e.Val
-		}
-		return func(_ *ExecCtx, b *val.Batch) ([]val.Value, error) {
+		vals := litVector(e.Val)
+		return func(_ *ExecCtx, b *val.Batch, _ *val.Arena) ([]val.Value, error) {
 			if b.Size() > len(vals) {
 				return nil, fmt.Errorf("sql: batch of %d rows exceeds kernel capacity", b.Size())
 			}
@@ -168,18 +187,18 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 		if err != nil {
 			return nil
 		}
-		return func(_ *ExecCtx, b *val.Batch) ([]val.Value, error) {
+		return func(_ *ExecCtx, b *val.Batch, _ *val.Arena) ([]val.Value, error) {
 			return b.Col(i), nil
 		}
 
 	case *VarExpr:
 		name := e.Name
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
 			v, ok := ctx.Session.Var(name)
 			if !ok {
 				return nil, fmt.Errorf("sql: variable @%s not declared", name)
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			for i := range out {
 				out[i] = v
 			}
@@ -192,12 +211,12 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			return nil
 		}
 		op := e.Op
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			xs, err := x(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -206,6 +225,7 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 				}
 				v := xs[i]
 				if v.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				switch op {
@@ -244,20 +264,20 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			return nil
 		}
 		not := e.Not
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			xs, err := x(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			los, err := lo(ctx, b)
+			los, err := lo(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			his, err := hi(ctx, b)
+			his, err := hi(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -266,6 +286,7 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 				}
 				xv, lv, hv := xs[i], los[i], his[i]
 				if xv.IsNull() || lv.IsNull() || hv.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				in := xv.Compare(lv) >= 0 && xv.Compare(hv) <= 0
@@ -280,12 +301,12 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			return nil
 		}
 		not := e.Not
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			xs, err := x(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -313,12 +334,12 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 				anyNull = true
 			}
 		}
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			xs, err := x(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -327,6 +348,7 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 				}
 				xv := xs[i]
 				if xv.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				found := false
@@ -341,6 +363,7 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 					out[i] = val.Bool(!not)
 				case anyNull:
 					// NULL in the list and no match: result is NULL.
+					out[i] = val.Value{}
 				default:
 					out[i] = val.Bool(not)
 				}
@@ -355,16 +378,16 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			return nil
 		}
 		not := e.Not
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			xs, err := x(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			ps, err := pat(ctx, b)
+			ps, err := pat(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -373,6 +396,7 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 				}
 				xv, pv := xs[i], ps[i]
 				if xv.IsNull() || pv.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				if xv.K != val.KindString || pv.K != val.KindString {
@@ -382,8 +406,91 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			}
 			return out, nil
 		}
+
+	case *FuncExpr:
+		// Scalar functions vectorize by evaluating each argument as a
+		// column and invoking the function per active row with a reused
+		// args row — the SkyServer workload's floor()/log10() group keys
+		// stop allocating an args slice per row. The function itself
+		// still runs row-wise (the implementations are opaque Go), but
+		// batch columns amortize everything around it.
+		f, ok := db.scalars[e.Name]
+		if !ok {
+			return nil
+		}
+		if len(e.Args) < f.MinArgs || (f.MaxArgs >= 0 && len(e.Args) > f.MaxArgs) {
+			return nil
+		}
+		argKs := make([]kernelFn, len(e.Args))
+		for i, a := range e.Args {
+			if argKs[i] = vectorizeValue(a, sc, db); argKs[i] == nil {
+				return nil
+			}
+		}
+		fn := f.Fn
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			argCols := ar.Cols(len(argKs))
+			for j, k := range argKs {
+				col, err := k(ctx, b, ar)
+				if err != nil {
+					return nil, err
+				}
+				argCols[j] = col
+			}
+			argRow := ar.Vals(len(argKs))
+			out := ar.Vals(b.Size())
+			sel := b.Sel()
+			for k, n := 0, b.Len(); k < n; k++ {
+				i := k
+				if sel != nil {
+					i = sel[k]
+				}
+				for j := range argCols {
+					argRow[j] = argCols[j][i]
+				}
+				v, err := fn(ctx, argRow)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
 	}
 	return nil
+}
+
+// litVecCache interns the broadcast vectors literal operands compile to.
+// Building one is a 1,024-slot allocation plus fill — paid once per
+// cached literal instead of once per literal per query, which was most of
+// a point lookup's compile cost. Keys are the value's binary encoding;
+// the vectors are immutable (the kernel contract forbids mutating
+// returned slices), so sharing across queries and workers is safe. The
+// cache is capped: literals are user-supplied (ad-hoc SQL over HTTP), so
+// past the cap new ones get a per-query vector — PR 1 behavior — instead
+// of growing process memory without bound.
+var (
+	litVecCache sync.Map // string (val encoding) -> []val.Value
+	litVecCount atomic.Int64
+)
+
+const litVecCacheMax = 1024 // × ~48KB/vector ≈ 48MB worst case
+
+func litVector(v val.Value) []val.Value {
+	key := string(val.AppendValue(nil, v))
+	if c, ok := litVecCache.Load(key); ok {
+		return c.([]val.Value)
+	}
+	vals := make([]val.Value, val.BatchSize)
+	for i := range vals {
+		vals[i] = v
+	}
+	if litVecCount.Load() < litVecCacheMax {
+		if _, loaded := litVecCache.LoadOrStore(key, vals); !loaded {
+			litVecCount.Add(1)
+		}
+	}
+	return vals
 }
 
 // literalList extracts constant values when every list element is a literal.
@@ -414,16 +521,16 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 	op := e.Op
 	switch op {
 	case "=", "<>", "<", "<=", ">", ">=":
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			ls, err := l(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			ls, err := l(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			rs, err := r(ctx, b)
+			rs, err := r(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -432,6 +539,7 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 				}
 				lv, rv := ls[i], rs[i]
 				if lv.IsNull() || rv.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				out[i] = val.Bool(cmpSatisfies(op, lv.Compare(rv)))
@@ -440,16 +548,16 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 		}
 
 	case "+", "-", "*", "/":
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			ls, err := l(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			ls, err := l(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			rs, err := r(ctx, b)
+			rs, err := r(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -458,7 +566,8 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 				}
 				lv, rv := ls[i], rs[i]
 				// Fast path for the all-float astronomy columns; the
-				// general arith handles everything else identically.
+				// general arith handles everything else identically
+				// (including NULL operands, which it maps to NULL).
 				if lv.K == val.KindFloat && rv.K == val.KindFloat {
 					switch op {
 					case "+":
@@ -482,16 +591,16 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 		}
 
 	case "%", "&", "|", "^":
-		return func(ctx *ExecCtx, b *val.Batch) ([]val.Value, error) {
-			ls, err := l(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			ls, err := l(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			rs, err := r(ctx, b)
+			rs, err := r(ctx, b, ar)
 			if err != nil {
 				return nil, err
 			}
-			out := make([]val.Value, b.Size())
+			out := ar.Vals(b.Size())
 			sel := b.Sel()
 			for k, n := 0, b.Len(); k < n; k++ {
 				i := k
@@ -500,6 +609,7 @@ func vectorizeBin(e *BinExpr, sc *scope, db *DB) kernelFn {
 				}
 				lv, rv := ls[i], rs[i]
 				if lv.IsNull() || rv.IsNull() {
+					out[i] = val.Value{}
 					continue
 				}
 				li, lok := lv.AsInt()
@@ -564,14 +674,14 @@ func vectorizePred(e Expr, sc *scope, db *DB) predFn {
 			if pl == nil || pr == nil {
 				return nil
 			}
-			return func(ctx *ExecCtx, b *val.Batch) error {
-				if err := pl(ctx, b); err != nil {
+			return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error {
+				if err := pl(ctx, b, ar); err != nil {
 					return err
 				}
 				if b.Len() == 0 {
 					return nil
 				}
-				return pr(ctx, b)
+				return pr(ctx, b, ar)
 			}
 		case "or":
 			pl := vectorizePred(e.L, sc, db)
@@ -579,12 +689,12 @@ func vectorizePred(e Expr, sc *scope, db *DB) predFn {
 			if pl == nil || pr == nil {
 				return nil
 			}
-			return func(ctx *ExecCtx, b *val.Batch) error {
-				orig := activeIndices(b, nil)
-				if err := pl(ctx, b); err != nil {
+			return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error {
+				orig := activeIndices(b, ar.Ints())
+				if err := pl(ctx, b, ar); err != nil {
 					return err
 				}
-				lkeep := activeIndices(b, nil)
+				lkeep := activeIndices(b, ar.Ints())
 				// Rows the left side did not keep, in ascending order.
 				rest := orig[:0]
 				j := 0
@@ -596,12 +706,12 @@ func vectorizePred(e Expr, sc *scope, db *DB) predFn {
 					rest = append(rest, i)
 				}
 				b.SetSel(rest)
-				if err := pr(ctx, b); err != nil {
+				if err := pr(ctx, b, ar); err != nil {
 					return err
 				}
 				// Merge the two ascending keep sets.
-				merged := make([]int, 0, len(lkeep)+b.Len())
-				rkeep := activeIndices(b, nil)
+				merged := ar.Ints()
+				rkeep := activeIndices(b, ar.Ints())
 				li, ri := 0, 0
 				for li < len(lkeep) || ri < len(rkeep) {
 					switch {
@@ -629,12 +739,12 @@ func vectorizePred(e Expr, sc *scope, db *DB) predFn {
 				return nil
 			}
 			op := e.Op
-			return func(ctx *ExecCtx, b *val.Batch) error {
-				ls, err := l(ctx, b)
+			return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error {
+				ls, err := l(ctx, b, ar)
 				if err != nil {
 					return err
 				}
-				rs, err := r(ctx, b)
+				rs, err := r(ctx, b, ar)
 				if err != nil {
 					return err
 				}
@@ -662,8 +772,8 @@ func vectorizePred(e Expr, sc *scope, db *DB) predFn {
 	// Leaf predicates: any vectorizable value expression filters on
 	// truthiness (covers BETWEEN, IS NULL, IN, LIKE, NOT, bitmask tests).
 	if k := vectorizeValue(e, sc, db); k != nil {
-		return func(ctx *ExecCtx, b *val.Batch) error {
-			vs, err := k(ctx, b)
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) error {
+			vs, err := k(ctx, b, ar)
 			if err != nil {
 				return err
 			}

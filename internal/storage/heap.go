@@ -183,6 +183,41 @@ func (c *pageCache) drop() {
 	}
 }
 
+// pageBufPool recycles the page-size scratch buffers random record
+// lookups (Heap.Get) and scan workers read pages into, so point lookups
+// and index probes stop paying an 8 KB allocation per query.
+var pageBufPool = sync.Pool{New: func() any {
+	b := make([]byte, PageSize)
+	return &b
+}}
+
+// GetPageBuf returns a pooled PageSize scratch buffer. Pair with
+// PutPageBuf; forgetting to return it leaks nothing (the GC reclaims it).
+func GetPageBuf() []byte { return *pageBufPool.Get().(*[]byte) }
+
+// PutPageBuf returns a buffer obtained from GetPageBuf. The caller must
+// not retain any record slice aliasing it (Heap.Get's contract already
+// requires copying before buffer reuse).
+func PutPageBuf(buf []byte) {
+	if cap(buf) < PageSize {
+		return
+	}
+	buf = buf[:PageSize]
+	pageBufPool.Put(&buf)
+}
+
+// scanBuf is one scan worker's reusable page buffer and record-slice
+// headers, pooled across scans.
+type scanBuf struct {
+	page []byte
+	rids []RID
+	recs [][]byte
+}
+
+var scanBufPool = sync.Pool{New: func() any {
+	return &scanBuf{page: make([]byte, PageSize)}
+}}
+
 // Heap is one table's record file: an ordered list of global pages
 // allocated from the file group, append-only with ghost deletes.
 type Heap struct {
@@ -384,9 +419,11 @@ func (h *Heap) ScanBatches(dop int, mk func(worker int) (RecBatchFunc, func() er
 		wg.Add(1)
 		go func(w int, fn RecBatchFunc) {
 			defer wg.Done()
-			buf := make([]byte, PageSize)
-			var rids []RID
-			var recs [][]byte
+			sb := scanBufPool.Get().(*scanBuf)
+			defer scanBufPool.Put(sb)
+			buf := sb.page
+			rids, recs := sb.rids, sb.recs
+			defer func() { sb.rids, sb.recs = rids, recs }()
 			for pi := w; pi < nPages; pi += dop {
 				if stop.Load() {
 					return

@@ -1,0 +1,9 @@
+//go:build !race
+
+package storage
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. The disk-model throughput tests assert wall-clock rates that
+// instrumentation overhead invalidates, so they skip under -race (which
+// still exercises their code paths everywhere else in the suite).
+const raceEnabled = false

@@ -28,7 +28,8 @@ const BatchSize = 1024
 // columns it touches and nothing per dropped row.
 //
 // Batches are reused aggressively: producers Reset and refill the same
-// batch, so consumers must not retain a batch or its column slices past
+// batch, and pooled batches (pool.go) recycle their column arrays across
+// queries, so consumers must not retain a batch or its column slices past
 // the emit callback that delivered it. Individual Values are safe to keep:
 // producers allocate fresh blob backing bytes on decode and never mutate
 // them, only the batch structure is recycled.
@@ -37,13 +38,20 @@ type Batch struct {
 	n    int   // physical rows
 	sel  []int // active physical indices, ascending; nil = all n
 	selB []int // owned backing for sel, reused across filters
+
+	// capRows is the row capacity (BatchSize, or SmallBatchSize for the
+	// pool's small class). pooled/released implement the explicit
+	// Release lifecycle of pool.go.
+	capRows  int
+	pooled   bool
+	released bool
 }
 
 // NewBatch returns an empty batch with every one of width columns
 // materialized at capacity BatchSize. Use for dense producers (projection
 // output, sorted output, temp-table scans) whose every column is written.
 func NewBatch(width int) *Batch {
-	b := &Batch{cols: make([][]Value, width)}
+	b := &Batch{cols: make([][]Value, width), capRows: BatchSize}
 	for i := range b.cols {
 		b.cols[i] = make([]Value, BatchSize)
 	}
@@ -57,20 +65,13 @@ func NewBatchNeeded(width int, need []bool) *Batch {
 	if need == nil {
 		return NewBatch(width)
 	}
-	b := &Batch{cols: make([][]Value, width)}
+	b := &Batch{cols: make([][]Value, width), capRows: BatchSize}
 	for i := range b.cols {
 		if need[i] {
 			b.cols[i] = make([]Value, BatchSize)
 		}
 	}
 	return b
-}
-
-// NewSparseBatch returns an empty batch of the given width with every
-// column pruned; columns materialize on first Put. Use for join outputs,
-// where the populated column set depends on the inputs.
-func NewSparseBatch(width int) *Batch {
-	return &Batch{cols: make([][]Value, width)}
 }
 
 // Width returns the number of columns.
@@ -87,8 +88,12 @@ func (b *Batch) Len() int {
 	return b.n
 }
 
+// Cap returns the batch's row capacity (BatchSize unless the batch came
+// from the pool's small class).
+func (b *Batch) Cap() int { return b.capRows }
+
 // Full reports whether the batch has reached its row capacity.
-func (b *Batch) Full() bool { return b.n >= BatchSize }
+func (b *Batch) Full() bool { return b.n >= b.capRows }
 
 // HasCol reports whether column i is materialized.
 func (b *Batch) HasCol(i int) bool { return b.cols[i] != nil }
@@ -139,11 +144,15 @@ func (b *Batch) Grow() int {
 }
 
 // Put writes v into physical row idx of column c, materializing the column
-// on first write.
+// (from the pool, for pooled batches) on first write.
 func (b *Batch) Put(c, idx int, v Value) {
 	col := b.cols[c]
 	if col == nil {
-		col = make([]Value, BatchSize)
+		if b.pooled {
+			col = getCol(b.capRows)
+		} else {
+			col = make([]Value, b.capRows)
+		}
 		b.cols[c] = col
 	}
 	col[idx] = v
@@ -199,9 +208,10 @@ func (b *Batch) SetSize(n int) {
 }
 
 // Clone deep-copies the batch — materialized columns, selection, and blob
-// bytes — so the copy survives producer reuse of the original.
+// bytes — so the copy survives producer reuse of the original. The clone
+// is never pooled.
 func (b *Batch) Clone() *Batch {
-	out := &Batch{cols: make([][]Value, len(b.cols)), n: b.n}
+	out := &Batch{cols: make([][]Value, len(b.cols)), n: b.n, capRows: b.capRows}
 	for i, col := range b.cols {
 		if col == nil {
 			continue
@@ -225,9 +235,10 @@ func (b *Batch) Clone() *Batch {
 }
 
 // Project returns a view batch over the first width columns, sharing column
-// storage and selection with b. The view is only valid as long as b is.
+// storage and selection with b. The view is only valid as long as b is,
+// and is never released (release the underlying batch instead).
 func (b *Batch) Project(width int) *Batch {
-	return &Batch{cols: b.cols[:width], n: b.n, sel: b.sel}
+	return &Batch{cols: b.cols[:width], n: b.n, sel: b.sel, capRows: b.capRows}
 }
 
 // Each calls fn for every active physical row index, in ascending order.

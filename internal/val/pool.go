@@ -1,0 +1,317 @@
+package val
+
+import "sync"
+
+// Batch and scratch memory pooling. Steady-state query execution acquires
+// every batch, column array, and kernel scratch vector from here and
+// releases it back, so the hot path stops allocating: a point lookup that
+// used to pay ~70µs of per-query batch allocation reuses the arrays the
+// previous query just returned.
+//
+// Three kinds of objects recycle independently:
+//
+//   - Column arrays ([]Value) live in size-classed pools — a small class
+//     for seeks the planner expects to return a handful of rows, and a
+//     full BatchSize class for everything else — so a 1-row index seek no
+//     longer zeroes 1,024-slot arrays per needed column.
+//   - Batch shells (the cols slice-of-slices plus selection backing) keep
+//     their column arrays attached across Release/Get cycles: the common
+//     steady state — the same query shape over and over — reacquires a
+//     shell whose columns already line up and touches no pool at all.
+//   - Arenas hand out per-batch kernel scratch (value vectors, selection
+//     index scratch) with bump-pointer discipline; Reset at each filter
+//     or projection entry recycles every vector at once.
+//
+// Safety model: forgetting to Release leaks nothing (the GC reclaims
+// unpooled objects); releasing twice panics (best-effort — see Release),
+// because a double-release would let two live batches alias one column
+// array.
+// Copied-out Values stay valid forever — recycling only reuses the column
+// arrays, never a Value's string or blob backing bytes.
+
+// SmallBatchSize is the row capacity of the small column class, used by
+// index seeks whose plan-time dive estimate fits.
+const SmallBatchSize = 64
+
+var colClassSizes = [...]int{SmallBatchSize, BatchSize}
+
+var colPools [len(colClassSizes)]sync.Pool
+
+// getCol returns a pooled column array with at least the requested row
+// capacity, sized to its class.
+func getCol(capacity int) []Value {
+	cl := 0
+	for cl < len(colClassSizes)-1 && colClassSizes[cl] < capacity {
+		cl++
+	}
+	if v := colPools[cl].Get(); v != nil {
+		arr := *(v.(*[]Value))
+		return arr[:colClassSizes[cl]]
+	}
+	return make([]Value, colClassSizes[cl])
+}
+
+// putCol returns a column array to the largest class its capacity serves.
+// Arrays below the smallest class are dropped for the GC.
+func putCol(arr []Value) {
+	c := cap(arr)
+	if c < colClassSizes[0] {
+		return
+	}
+	cl := 0
+	for cl < len(colClassSizes)-1 && colClassSizes[cl+1] <= c {
+		cl++
+	}
+	arr = arr[:0]
+	colPools[cl].Put(&arr)
+}
+
+var batchShells = sync.Pool{New: func() any { return &Batch{} }}
+
+// GetBatch returns a pooled batch of the given width and row capacity
+// (rounded up to a column class), materializing only the columns marked in
+// need (nil = all). The batch starts empty. Callers must Release it when
+// the last emit that could reference it has returned; consumers must not
+// retain it (the usual batch contract). capacity ≤ SmallBatchSize selects
+// the small column class — the fast path for index seeks the planner
+// proved tiny.
+func GetBatch(width, capacity int, need []bool) *Batch {
+	b := batchShells.Get().(*Batch)
+	if capacity <= 0 || capacity > BatchSize {
+		capacity = BatchSize
+	}
+	if capacity <= SmallBatchSize {
+		capacity = SmallBatchSize
+	} else {
+		capacity = BatchSize
+	}
+	b.capRows = capacity
+	b.pooled = true
+	b.released = false
+	b.n = 0
+	b.sel = nil
+	// Fit the shell to the requested width, keeping attached arrays where
+	// they line up and releasing the rest.
+	if cap(b.cols) < width {
+		cols := make([][]Value, width)
+		copy(cols, b.cols)
+		b.cols = cols
+	} else {
+		for i := width; i < len(b.cols); i++ {
+			if b.cols[i] != nil {
+				putCol(b.cols[i])
+				b.cols[i] = nil
+			}
+		}
+		b.cols = b.cols[:width]
+	}
+	for i := range b.cols {
+		want := need == nil || need[i]
+		have := b.cols[i]
+		switch {
+		case want && have == nil:
+			b.cols[i] = getCol(capacity)
+		case want && cap(have) < capacity:
+			putCol(have)
+			b.cols[i] = getCol(capacity)
+		case want:
+			b.cols[i] = have[:capacity]
+		case have != nil:
+			putCol(have)
+			b.cols[i] = nil
+		}
+	}
+	return b
+}
+
+// Release returns a pooled batch (and its attached column arrays) for
+// reuse. Releasing a batch that did not come from the pool is a no-op, so
+// operators can release unconditionally whether pooling is enabled or not.
+// Releasing the same batch twice panics — two live handles to one column
+// array is silent result corruption, and the panic is the loud
+// alternative. The guard is best-effort: it catches the common bug (a
+// double release before anyone re-acquires the shell) deterministically,
+// but once GetBatch has handed the shell to a new owner, a still-held
+// stale pointer is indistinguishable from the new handle, so the
+// discipline remains: one Release per Get, then drop the pointer.
+func (b *Batch) Release() {
+	if b == nil || !b.pooled {
+		return
+	}
+	if b.released {
+		panic("val: Batch released twice")
+	}
+	b.released = true
+	b.n = 0
+	b.sel = nil
+	batchShells.Put(b)
+}
+
+// ---- arena ----
+
+// Arena is a per-worker bump allocator for kernel scratch: the value
+// vectors expression kernels compute into and the index scratch the OR
+// predicate merge uses. Vectors are recycled wholesale by Reset, which the
+// batch-level entry points (filter, appendTo) call once per batch — so a
+// compiled expression tree evaluates an entire batch without allocating,
+// and nothing from one batch is live when the next begins. Kernels
+// themselves never Reset: sibling and nested subexpressions of one
+// evaluation each get distinct vectors.
+//
+// An arena must not be shared across goroutines; parallel scan workers
+// each own one (the kernels they run are shared — the scratch is not).
+type Arena struct {
+	vals [][]Value
+	ints [][]int
+	cols [][][]Value
+	nv   int
+	ni   int
+	nc   int
+	// noReuse turns every acquisition into a fresh allocation — the
+	// ExecOptions.DisablePooling debug mode, which proves recycling never
+	// corrupts results by never recycling.
+	noReuse bool
+	pooled  bool
+}
+
+var arenaPool = sync.Pool{New: func() any { return &Arena{pooled: true} }}
+
+// GetArena returns a pooled arena, with its previously grown chunks
+// attached and marked free.
+func GetArena() *Arena {
+	a := arenaPool.Get().(*Arena)
+	a.Reset()
+	return a
+}
+
+// NewNoReuseArena returns an arena whose every acquisition is a fresh
+// allocation and whose Release is a no-op — the DisablePooling oracle.
+func NewNoReuseArena() *Arena { return &Arena{noReuse: true} }
+
+// Release returns a pooled arena for reuse; no-op for no-reuse arenas.
+func (a *Arena) Release() {
+	if a == nil || !a.pooled {
+		return
+	}
+	arenaPool.Put(a)
+}
+
+// Reset marks every chunk free. Values from before the Reset must already
+// have been copied out (batch entry points uphold this).
+func (a *Arena) Reset() { a.nv, a.ni, a.nc = 0, 0, 0 }
+
+// Vals returns a value vector of length n (n ≤ BatchSize recycles; larger
+// requests allocate fresh). Contents are unspecified: kernels must write
+// every position they later read, including explicit NULLs.
+func (a *Arena) Vals(n int) []Value {
+	if a.noReuse || n > BatchSize {
+		return make([]Value, n)
+	}
+	if a.nv < len(a.vals) {
+		v := a.vals[a.nv]
+		a.nv++
+		return v[:n]
+	}
+	v := make([]Value, BatchSize)
+	a.vals = append(a.vals, v)
+	a.nv++
+	return v[:n]
+}
+
+// arenaColsCap bounds the recycled column-list chunks; wider requests
+// (a scalar function with more arguments) allocate fresh.
+const arenaColsCap = 8
+
+// Cols returns a column-list scratch slice of length n — the per-call
+// argument columns of a scalar-function kernel. Contents are unspecified.
+func (a *Arena) Cols(n int) [][]Value {
+	if a.noReuse || n > arenaColsCap {
+		return make([][]Value, n)
+	}
+	if a.nc < len(a.cols) {
+		v := a.cols[a.nc]
+		a.nc++
+		return v[:n]
+	}
+	v := make([][]Value, arenaColsCap)
+	a.cols = append(a.cols, v)
+	a.nc++
+	return v[:n]
+}
+
+// Ints returns an empty index scratch slice with capacity BatchSize, for
+// append-style survivor collection.
+func (a *Arena) Ints() []int {
+	if a.noReuse {
+		return make([]int, 0, BatchSize)
+	}
+	if a.ni < len(a.ints) {
+		v := a.ints[a.ni]
+		a.ni++
+		return v[:0]
+	}
+	v := make([]int, 0, BatchSize)
+	a.ints = append(a.ints, v)
+	a.ni++
+	return v[:0]
+}
+
+// ---- emitter ----
+
+// Emitter streams rows into batches: table-valued functions and other
+// row-natured producers append rows and the emitter forwards each batch as
+// it fills, so scans downstream never re-batch a []Row materialization.
+// Close flushes the remainder and releases the batch.
+type Emitter struct {
+	b    *Batch
+	emit func(*Batch) error
+}
+
+// NewEmitter returns an emitter of the given width. With pooled=false
+// (ExecOptions.DisablePooling) the batch is allocated fresh. capacity
+// sizes the first batch — pass the (possibly zero) expected row count;
+// producers that usually return a handful of rows get the small column
+// class rather than GetBatch's full-size default.
+func NewEmitter(width, capacity int, pooled bool, emit func(*Batch) error) *Emitter {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	var b *Batch
+	if pooled {
+		b = GetBatch(width, capacity, nil)
+	} else {
+		b = NewBatch(width)
+	}
+	return &Emitter{b: b, emit: emit}
+}
+
+// Append adds one row, forwarding the batch downstream when full.
+func (e *Emitter) Append(r Row) error {
+	e.b.AppendRow(r)
+	if e.b.Full() {
+		if err := e.emit(e.b); err != nil {
+			return err
+		}
+		e.b.Reset()
+	}
+	return nil
+}
+
+// Close flushes any buffered rows and releases the batch. The emitter must
+// not be used afterwards.
+func (e *Emitter) Close() error {
+	var err error
+	if e.b.Size() > 0 {
+		err = e.emit(e.b)
+	}
+	e.b.Release()
+	e.b = nil
+	return err
+}
+
+// Discard releases the batch without emitting buffered rows — the error
+// path, after a downstream emit failed.
+func (e *Emitter) Discard() {
+	e.b.Release()
+	e.b = nil
+}

@@ -1,0 +1,226 @@
+package val
+
+import "testing"
+
+// TestPoolReleaseResets proves a released batch's successor starts empty:
+// length zero, no selection, capacity and width as requested — whatever
+// state the previous user left behind.
+func TestPoolReleaseResets(t *testing.T) {
+	b := GetBatch(3, BatchSize, nil)
+	for i := 0; i < 10; i++ {
+		idx := b.Grow()
+		b.Put(0, idx, Int(int64(i)))
+		b.Put(1, idx, Float(float64(i)))
+		b.Put(2, idx, Str("x"))
+	}
+	b.SetSel([]int{1, 3, 5})
+	b.Release()
+
+	s := GetBatch(3, BatchSize, nil)
+	if s.Size() != 0 {
+		t.Fatalf("successor Size = %d, want 0", s.Size())
+	}
+	if s.Sel() != nil {
+		t.Fatalf("successor Sel = %v, want nil", s.Sel())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("successor Len = %d, want 0", s.Len())
+	}
+	if s.Width() != 3 || s.Cap() != BatchSize {
+		t.Fatalf("successor Width/Cap = %d/%d, want 3/%d", s.Width(), s.Cap(), BatchSize)
+	}
+	for c := 0; c < 3; c++ {
+		if !s.HasCol(c) {
+			t.Fatalf("successor column %d not materialized", c)
+		}
+	}
+	s.Release()
+}
+
+// TestPoolNoAliasing proves that values copied out of a batch before its
+// Release stay intact after a successor acquires and overwrites the
+// recycled arrays: recycling reuses column arrays, never the Value structs
+// a consumer copied or their blob backing bytes.
+func TestPoolNoAliasing(t *testing.T) {
+	b := GetBatch(2, BatchSize, nil)
+	idx := b.Grow()
+	blob := []byte{0xde, 0xad, 0xbe, 0xef}
+	b.Put(0, idx, Int(42))
+	b.Put(1, idx, Bytes(blob))
+	// Copy out, as a consumer that retains values must.
+	kept := make(Row, 2)
+	b.RowAt(idx, kept)
+	b.Release()
+
+	s := GetBatch(2, BatchSize, nil)
+	for i := 0; i < BatchSize; i++ {
+		j := s.Grow()
+		s.Put(0, j, Int(-1))
+		s.Put(1, j, Bytes([]byte{9, 9, 9, 9}))
+	}
+	if kept[0].I != 42 {
+		t.Fatalf("copied int corrupted by successor writes: %v", kept[0])
+	}
+	if string(kept[1].B) != string([]byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("copied blob corrupted by successor writes: %x", kept[1].B)
+	}
+	s.Release()
+}
+
+// TestPoolDoubleReleasePanics pins the double-release semantic: it panics,
+// deterministically, because two live handles to one column array would be
+// silent corruption.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	b := GetBatch(1, BatchSize, nil)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestUnpooledReleaseNoop proves Release is safe on batches that did not
+// come from the pool (the DisablePooling path releases unconditionally).
+func TestUnpooledReleaseNoop(t *testing.T) {
+	b := NewBatch(2)
+	b.Release()
+	b.Release() // and twice
+	if b.Width() != 2 {
+		t.Fatal("unpooled batch damaged by Release")
+	}
+}
+
+// TestPoolSmallClassAndNeedMask checks the small column class and the
+// need-mask plumbing: a small-capacity request materializes short arrays
+// for exactly the needed columns, and Full trips at the small capacity.
+func TestPoolSmallClassAndNeedMask(t *testing.T) {
+	need := []bool{true, false, true}
+	b := GetBatch(3, 1, need)
+	if b.Cap() != SmallBatchSize {
+		t.Fatalf("Cap = %d, want %d", b.Cap(), SmallBatchSize)
+	}
+	if !b.HasCol(0) || b.HasCol(1) || !b.HasCol(2) {
+		t.Fatalf("need mask not honored: %v %v %v", b.HasCol(0), b.HasCol(1), b.HasCol(2))
+	}
+	for i := 0; i < SmallBatchSize; i++ {
+		idx := b.Grow()
+		b.Put(0, idx, Int(int64(i)))
+		b.Put(2, idx, Int(int64(-i)))
+	}
+	if !b.Full() {
+		t.Fatalf("small batch not Full at %d rows", SmallBatchSize)
+	}
+	// Put on a pruned column materializes from the pool at the small size.
+	b.Put(1, 0, Str("late"))
+	if !b.HasCol(1) {
+		t.Fatal("Put did not materialize pruned column")
+	}
+	b.Release()
+
+	// A later full-size request over the same shell upgrades the arrays.
+	f := GetBatch(3, BatchSize, nil)
+	if f.Cap() != BatchSize {
+		t.Fatalf("Cap = %d, want %d", f.Cap(), BatchSize)
+	}
+	for i := 0; i < BatchSize; i++ {
+		idx := f.Grow()
+		f.Put(0, idx, Int(int64(i)))
+	}
+	if f.Col(0)[BatchSize-1].I != BatchSize-1 {
+		t.Fatal("full-size column truncated")
+	}
+	f.Release()
+}
+
+// TestBatchWidthReuse checks widths can shrink and grow across reuse
+// without leaking stale columns into the pruned positions of a masked
+// successor.
+func TestBatchWidthReuse(t *testing.T) {
+	b := GetBatch(5, BatchSize, nil)
+	b.Put(3, b.Grow(), Int(7))
+	b.Release()
+	need := []bool{true, false}
+	n := GetBatch(2, BatchSize, need)
+	if !n.HasCol(0) || n.HasCol(1) {
+		t.Fatalf("need mask not honored after width shrink: %v %v", n.HasCol(0), n.HasCol(1))
+	}
+	n.Release()
+	w := GetBatch(7, BatchSize, nil)
+	for c := 0; c < 7; c++ {
+		if !w.HasCol(c) {
+			t.Fatalf("column %d missing after width grow", c)
+		}
+	}
+	w.Release()
+}
+
+// TestArena checks bump allocation, Reset recycling, the oversize escape
+// hatch, and the no-reuse debug mode.
+func TestArena(t *testing.T) {
+	a := GetArena()
+	v1 := a.Vals(100)
+	v2 := a.Vals(BatchSize)
+	if len(v1) != 100 || len(v2) != BatchSize {
+		t.Fatalf("Vals lengths: %d, %d", len(v1), len(v2))
+	}
+	v1[0] = Int(1)
+	if v2[0].K == KindInt && v2[0].I == 1 {
+		t.Fatal("sibling vectors alias")
+	}
+	a.Reset()
+	r1 := a.Vals(50)
+	if &r1[0] != &v1[0] {
+		t.Fatal("Reset did not recycle the first chunk")
+	}
+	big := a.Vals(BatchSize + 1)
+	if len(big) != BatchSize+1 {
+		t.Fatalf("oversize Vals length %d", len(big))
+	}
+	is := a.Ints()
+	if len(is) != 0 || cap(is) < BatchSize {
+		t.Fatalf("Ints len/cap = %d/%d", len(is), cap(is))
+	}
+	a.Release()
+
+	n := NewNoReuseArena()
+	f1 := n.Vals(10)
+	n.Reset()
+	f2 := n.Vals(10)
+	if &f1[0] == &f2[0] {
+		t.Fatal("no-reuse arena recycled a vector")
+	}
+	n.Release() // no-op
+}
+
+// TestEmitter checks row streaming: batches forward when full, Close
+// flushes the remainder and releases.
+func TestEmitter(t *testing.T) {
+	var sizes []int
+	var total int
+	em := NewEmitter(2, BatchSize, true, func(b *Batch) error {
+		sizes = append(sizes, b.Size())
+		b.Each(func(i int) {
+			if b.Col(0)[i].I != int64(total) {
+				t.Fatalf("row %d out of order: %v", total, b.Col(0)[i])
+			}
+			total++
+		})
+		return nil
+	})
+	for i := 0; i < BatchSize+3; i++ {
+		if err := em.Append(Row{Int(int64(i)), Str("r")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := em.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total != BatchSize+3 {
+		t.Fatalf("emitted %d rows, want %d", total, BatchSize+3)
+	}
+	if len(sizes) != 2 || sizes[0] != BatchSize || sizes[1] != 3 {
+		t.Fatalf("batch sizes %v", sizes)
+	}
+}

@@ -223,6 +223,28 @@ func (v Value) String() string {
 	}
 }
 
+// AppendString appends String()'s exact rendering to dst without
+// allocating (beyond dst growth) — the streaming serializers' path.
+func (v Value) AppendString(dst []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(dst, "NULL"...)
+	case KindInt:
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case KindString:
+		return append(dst, v.S...)
+	default:
+		dst = append(dst, "0x"...)
+		const hex = "0123456789abcdef"
+		for _, b := range v.B {
+			dst = append(dst, hex[b>>4], hex[b&0xf])
+		}
+		return dst
+	}
+}
+
 // Row is an ordered tuple of values, matching a table's column order.
 type Row []Value
 

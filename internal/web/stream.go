@@ -19,6 +19,12 @@ import (
 // no []val.Row materialization between the plan and the wire. Each format
 // implements begin (headers + preamble, on first batch), row output per
 // batch, and finish (footers that need end-of-query statistics).
+//
+// Serializers own their scratch: one byte buffer per stream, reused for
+// every batch, written downstream once per batch. XML and HTML render
+// values through val.Value.AppendString instead of per-value String()
+// allocations; JSON and CSV still marshal through encoding/json and
+// encoding/csv, which allocate per row.
 
 // batchSerializer writes one streamed result set.
 type batchSerializer interface {
@@ -110,6 +116,7 @@ func (s *csvStream) abort(err error) {
 type jsonStream struct {
 	w     http.ResponseWriter
 	row   []interface{}
+	buf   []byte // per-batch output, reused
 	begun bool
 	first bool
 }
@@ -136,7 +143,8 @@ func (s *jsonStream) writeBatch(cols []string, b *val.Batch) error {
 		}
 	}
 	row := s.row
-	return b.EachErr(func(i int) error {
+	s.buf = s.buf[:0]
+	err := b.EachErr(func(i int) error {
 		for j := range cols {
 			row[j] = jsonValue(b.Col(j)[i])
 		}
@@ -145,14 +153,17 @@ func (s *jsonStream) writeBatch(cols []string, b *val.Batch) error {
 			return err
 		}
 		if !s.first {
-			if _, err := io.WriteString(s.w, ","); err != nil {
-				return err
-			}
+			s.buf = append(s.buf, ',')
 		}
 		s.first = false
-		_, err = s.w.Write(enc)
-		return err
+		s.buf = append(s.buf, enc...)
+		return nil
 	})
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(s.buf)
+	return err
 }
 
 func (s *jsonStream) finish(res *sqlengine.Result) error {
@@ -194,15 +205,23 @@ func jsonValue(v val.Value) interface{} {
 // ---- xml ----
 
 type xmlStream struct {
-	w     http.ResponseWriter
-	begun bool
+	w       http.ResponseWriter
+	buf     []byte   // per-batch output, reused
+	scratch []byte   // per-value rendering, reused
+	opens   [][]byte // per-column `<field name="...">` prefixes, escaped once
+	begun   bool
 }
 
 func (s *xmlStream) started() bool { return s.begun }
 
-func (s *xmlStream) begin() error {
+func (s *xmlStream) begin(cols []string) error {
 	s.begun = true
 	s.w.Header().Set("Content-Type", "application/xml")
+	s.opens = make([][]byte, len(cols))
+	for j, c := range cols {
+		open := appendXMLEscaped([]byte(`<field name="`), []byte(c))
+		s.opens[j] = append(open, `">`...)
+	}
 	if _, err := io.WriteString(s.w, xml.Header); err != nil {
 		return err
 	}
@@ -212,33 +231,32 @@ func (s *xmlStream) begin() error {
 
 func (s *xmlStream) writeBatch(cols []string, b *val.Batch) error {
 	if !s.begun {
-		if err := s.begin(); err != nil {
+		if err := s.begin(cols); err != nil {
 			return err
 		}
 	}
-	var sb strings.Builder
+	s.buf = s.buf[:0]
 	err := b.EachErr(func(i int) error {
-		sb.WriteString("<row>")
-		for j, c := range cols {
-			sb.WriteString(`<field name="`)
-			xmlEscape(&sb, c)
-			sb.WriteString(`">`)
-			xmlEscape(&sb, b.Col(j)[i].String())
-			sb.WriteString("</field>")
+		s.buf = append(s.buf, "<row>"...)
+		for j := range cols {
+			s.buf = append(s.buf, s.opens[j]...)
+			s.scratch = b.Col(j)[i].AppendString(s.scratch[:0])
+			s.buf = appendXMLEscaped(s.buf, s.scratch)
+			s.buf = append(s.buf, "</field>"...)
 		}
-		sb.WriteString("</row>")
+		s.buf = append(s.buf, "</row>"...)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	_, err = io.WriteString(s.w, sb.String())
+	_, err = s.w.Write(s.buf)
 	return err
 }
 
 func (s *xmlStream) finish(res *sqlengine.Result) error {
 	if !s.begun {
-		if err := s.begin(); err != nil {
+		if err := s.begin(res.Cols); err != nil {
 			return err
 		}
 	}
@@ -250,23 +268,46 @@ func (s *xmlStream) abort(err error) {
 	if !s.begun {
 		return
 	}
-	var sb strings.Builder
-	sb.WriteString("<error>")
-	xmlEscape(&sb, err.Error())
-	sb.WriteString("</error></result>")
-	_, _ = io.WriteString(s.w, sb.String())
+	buf := []byte("<error>")
+	buf = appendXMLEscaped(buf, []byte(err.Error()))
+	buf = append(buf, "</error></result>"...)
+	_, _ = s.w.Write(buf)
 }
 
-func xmlEscape(sb *strings.Builder, s string) {
-	_ = xml.EscapeText(sb, []byte(s))
+// bufWriter adapts an append buffer to io.Writer for xml.EscapeText.
+type bufWriter struct{ b []byte }
+
+func (w *bufWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// appendXMLEscaped appends src with XML escaping applied. The common case
+// — no character needs escaping — is a single append.
+func appendXMLEscaped(dst, src []byte) []byte {
+	needs := false
+	for _, c := range src {
+		if c == '&' || c == '<' || c == '>' || c == '\'' || c == '"' || c < 0x20 || c >= 0x80 {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return append(dst, src...)
+	}
+	w := bufWriter{b: dst}
+	_ = xml.EscapeText(&w, src)
+	return w.b
 }
 
 // ---- html ----
 
 type htmlStream struct {
-	w     http.ResponseWriter
-	rows  int
-	begun bool
+	w       http.ResponseWriter
+	buf     []byte // per-batch output, reused
+	scratch []byte // per-value rendering, reused
+	rows    int
+	begun   bool
 }
 
 func (s *htmlStream) started() bool { return s.begun }
@@ -292,23 +333,56 @@ func (s *htmlStream) writeBatch(cols []string, b *val.Batch) error {
 			return err
 		}
 	}
-	var sb strings.Builder
+	s.buf = s.buf[:0]
 	err := b.EachErr(func(i int) error {
 		s.rows++
-		sb.WriteString("<tr>")
+		s.buf = append(s.buf, "<tr>"...)
 		for j := range cols {
-			sb.WriteString("<td>")
-			sb.WriteString(html.EscapeString(b.Col(j)[i].String()))
-			sb.WriteString("</td>")
+			s.buf = append(s.buf, "<td>"...)
+			s.scratch = b.Col(j)[i].AppendString(s.scratch[:0])
+			s.buf = appendHTMLEscaped(s.buf, s.scratch)
+			s.buf = append(s.buf, "</td>"...)
 		}
-		sb.WriteString("</tr>")
+		s.buf = append(s.buf, "</tr>"...)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	_, err = io.WriteString(s.w, sb.String())
+	_, err = s.w.Write(s.buf)
 	return err
+}
+
+// appendHTMLEscaped appends src escaping the characters html.EscapeString
+// does; the no-escape common case (every numeric column) is one append.
+func appendHTMLEscaped(dst, src []byte) []byte {
+	needs := false
+	for _, c := range src {
+		if c == '&' || c == '<' || c == '>' || c == '\'' || c == '"' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return append(dst, src...)
+	}
+	for _, c := range src {
+		switch c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '\'':
+			dst = append(dst, "&#39;"...)
+		case '"':
+			dst = append(dst, "&#34;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 func (s *htmlStream) finish(res *sqlengine.Result) error {
