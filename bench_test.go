@@ -292,6 +292,47 @@ func BenchmarkPersonalSubset(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanCache measures the three plan-cache paths on the Q9 index
+// seek (the shape most dominated by parse+plan cost after PR 2): Hit is
+// the steady state — normalize, probe, bind, execute, with no parsing or
+// planning; Miss clears the cache each iteration, paying
+// normalize + parse + compile + store + execute; Disabled is the
+// ExecOptions.DisablePlanCache oracle, the pre-cache pipeline with
+// literals compiled in place.
+func BenchmarkPlanCache(b *testing.B) {
+	s := benchServer(b)
+	var q queries.Query
+	for _, cand := range queries.All() {
+		if cand.ID == "9" {
+			q = cand
+		}
+	}
+	sql, err := q.SQL(s.Session())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := s.DB().DB
+	run := func(b *testing.B, opt sqlengine.ExecOptions, clear bool) {
+		b.ReportAllocs()
+		sess := s.Session()
+		if _, err := sess.Exec(sql, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if clear {
+				db.Plans().Clear()
+			}
+			if _, err := sess.Exec(sql, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Hit", func(b *testing.B) { run(b, sqlengine.ExecOptions{}, false) })
+	b.Run("Miss", func(b *testing.B) { run(b, sqlengine.ExecOptions{}, true) })
+	b.Run("Disabled", func(b *testing.B) { run(b, sqlengine.ExecOptions{DisablePlanCache: true}, false) })
+}
+
 // BenchmarkSpatialLookup measures the fGetNearbyObjEq path: HTM cover plus
 // covered index range scans — the heart of §9.1.4.
 func BenchmarkSpatialLookup(b *testing.B) {

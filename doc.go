@@ -27,19 +27,58 @@
 //     and emits val.Batch. Filters and projections compile twice: to
 //     vectorized kernels that process a whole batch per call (writing
 //     selection vectors in place, with AND/OR preserving the row path's
-//     short-circuit evaluation order), and to a row-at-a-time fallback
-//     that handles the shapes the kernels don't (scalar functions, CASE)
-//     and serves as the semantic oracle in the equivalence tests
-//     (ExecOptions.ForceRowExprs).
+//     short-circuit evaluation order and CASE evaluating each arm only on
+//     the rows that reach it), and to a row-at-a-time fallback that
+//     handles the shapes the kernels don't and serves as the semantic
+//     oracle in the equivalence tests (ExecOptions.ForceRowExprs).
 //   - Results stream batch-wise out of the engine: Session.ExecStream
 //     hands each result batch to a sink, and internal/web's SQL endpoint
 //     serializes HTTP responses (CSV, JSON, XML, HTML) directly from the
 //     columnar batches with the paper's public limits (1,000 rows / 30
 //     seconds) applied by truncating the final batch. Serializers keep
-//     one reused output buffer per stream; XML and HTML render values
-//     through val.Value.AppendString with no per-row allocation, while
-//     JSON and CSV still pay encoding/json and encoding/csv their
-//     per-row marshaling costs.
+//     one reused output buffer per stream and render every value through
+//     val.Value.AppendString with no per-row allocation — CSV quoting and
+//     JSON escaping/number formatting are direct buffer appends that
+//     match encoding/csv's and encoding/json's wire output.
+//
+// # Query lifecycle and the plan cache
+//
+// A statement moves through parse → parameterize → compile → (cached) →
+// bind → execute. Session.Exec first lexes the text and normalizes the
+// token stream (sqlengine/normalize.go): literals are extracted into a
+// parameter vector and the remaining shape — folded identifiers,
+// operators, parameter slots — becomes the cache key, so WHERE objID = 123
+// and WHERE objID = 456 are one shape. The key is probed against the
+// DB-wide PlanCache shared by every session. On a hit, the immutable
+// CompiledPlan executes immediately with the fresh parameter values bound
+// through ExecCtx.Params — no parsing, no planning. On a miss, the parser
+// replaces each extracted literal with a ParamExpr, the planner compiles
+// a CompiledPlan (operator tree, output schema, EXPLAIN text, and the
+// referenced tables' data versions), execution proceeds, and a cacheable
+// statement stores the plan for every later session.
+//
+// Cacheability rules: only a single SELECT with no INTO target and no
+// session-local references — no @variables and no #temp tables — is
+// cached; everything else (DML, DDL, multi-statement batches) executes
+// from its AST each time. Literals that shape the plan stay structural
+// rather than parameterized: the count after TOP, number literals in
+// ORDER BY (ordinals), and the kind of every parameter (an int and a
+// float literal never share a slot, since arithmetic and output schema
+// kinds differ). Equal literals deduplicate to one parameter slot so
+// GROUP BY expressions keep matching their select-list copies
+// structurally after parameterization.
+//
+// Invalidation is lazy, at lookup: a cached plan records the catalog's
+// schema version (any CREATE/DROP of tables, indexes, or views bumps it —
+// after DROP INDEX a stale plan would probe an unmaintained tree) and
+// each referenced table's DML counter (inserts and deletes age the dive
+// based cardinality estimates the access path was chosen from). A stale
+// entry is evicted and recompiled on next use. Entries are LRU-evicted
+// against a byte budget, counters are exposed via PlanCache.Stats (and
+// the web front end's /x/plancache endpoint), and
+// ExecOptions.DisablePlanCache bypasses the cache entirely — the
+// pre-cache pipeline that the cached-vs-fresh Q1–Q20 equivalence test
+// uses as its oracle, mirroring DisablePooling.
 //
 // # Batch memory lifecycle
 //

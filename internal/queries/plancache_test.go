@@ -1,0 +1,100 @@
+package queries
+
+import (
+	"testing"
+
+	"skyserver/internal/sqlengine"
+)
+
+// TestCachedAndFreshPlansAgree runs the Figure 13 workload three ways —
+// compile-and-store (cache miss), re-execute from the cached parameterized
+// plan (cache hit), and ExecOptions.DisablePlanCache (the un-parameterized
+// pre-cache pipeline, mirroring the DisablePooling oracle) — and asserts
+// identical result sets. A parameter bound to the wrong slot, a literal
+// wrongly parameterized (TOP, ORDER BY ordinals), a stale plan surviving
+// invalidation, or any divergence between interned-literal kernels and
+// parameter broadcast kernels surfaces as a failing query here.
+func TestCachedAndFreshPlansAgree(t *testing.T) {
+	db, _ := survey(t)
+	for _, q := range All() {
+		q := q
+		t.Run("Q"+q.ID, func(t *testing.T) {
+			missSess := sqlengine.NewSession(db.DB)
+			hitSess := sqlengine.NewSession(db.DB)
+			freshSess := sqlengine.NewSession(db.DB)
+			sql, err := q.SQL(missSess)
+			if err != nil {
+				t.Fatalf("Q%s parameter lookup: %v", q.ID, err)
+			}
+			for _, sess := range []*sqlengine.Session{hitSess, freshSess} {
+				sqlAgain, err := q.SQL(sess)
+				if err != nil {
+					t.Fatalf("Q%s parameter lookup: %v", q.ID, err)
+				}
+				if sql != sqlAgain {
+					t.Fatalf("Q%s parameter lookups diverge:\n%s\nvs\n%s", q.ID, sql, sqlAgain)
+				}
+			}
+			miss, err := missSess.Exec(sql, sqlengine.ExecOptions{})
+			if err != nil {
+				t.Fatalf("Q%s miss: %v", q.ID, err)
+			}
+			hit, err := hitSess.Exec(sql, sqlengine.ExecOptions{})
+			if err != nil {
+				t.Fatalf("Q%s hit: %v", q.ID, err)
+			}
+			fresh, err := freshSess.Exec(sql, sqlengine.ExecOptions{DisablePlanCache: true})
+			if err != nil {
+				t.Fatalf("Q%s fresh: %v", q.ID, err)
+			}
+			if fresh.PlanCacheHit {
+				t.Fatalf("Q%s: DisablePlanCache run reported a cache hit", q.ID)
+			}
+			// Q20 is TOP 100 without ORDER BY over a parallel scan: which
+			// 100 pairs surface is nondeterministic, so only the
+			// cardinality is comparable.
+			if q.ID == "20" {
+				if len(miss.Rows) != len(fresh.Rows) || len(hit.Rows) != len(fresh.Rows) {
+					t.Fatalf("Q20: row counts diverge: miss %d, hit %d, fresh %d",
+						len(miss.Rows), len(hit.Rows), len(fresh.Rows))
+				}
+				return
+			}
+			compareResults(t, q.ID, miss, fresh)
+			compareResults(t, q.ID, hit, fresh)
+		})
+	}
+}
+
+// TestPlanCacheHitRateOnWorkload asserts the cacheable single-SELECT
+// queries of the workload actually hit on re-execution (the batches with
+// variables, temp tables, and INTO targets legitimately never do).
+func TestPlanCacheHitRateOnWorkload(t *testing.T) {
+	db, _ := survey(t)
+	for _, q := range All() {
+		sess := sqlengine.NewSession(db.DB)
+		sql, err := q.SQL(sess)
+		if err != nil {
+			t.Fatalf("Q%s: %v", q.ID, err)
+		}
+		if _, err := sess.Exec(sql, sqlengine.ExecOptions{}); err != nil {
+			t.Fatalf("Q%s warm: %v", q.ID, err)
+		}
+		res, err := sess.Exec(sql, sqlengine.ExecOptions{})
+		if err != nil {
+			t.Fatalf("Q%s rerun: %v", q.ID, err)
+		}
+		switch q.ID {
+		case "1", "14", "15A", "15B":
+			// Q1 declares variables, Q14 uses ##ref, Q15A INTO ##results;
+			// Q15B is cacheable (plain SELECT) — but huge either way.
+			if q.ID != "15B" && res.PlanCacheHit {
+				t.Errorf("Q%s: session-state batch must not hit the cache", q.ID)
+			}
+		default:
+			if !res.PlanCacheHit {
+				t.Errorf("Q%s: cacheable query missed the cache on re-execution", q.ID)
+			}
+		}
+	}
+}

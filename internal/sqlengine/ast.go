@@ -117,6 +117,18 @@ type ColExpr struct {
 // VarExpr references a session variable @name.
 type VarExpr struct{ Name string }
 
+// ParamExpr references a slot of the execution's parameter vector
+// (ExecCtx.Params). The normalizer extracts literals out of a statement's
+// text into parameters so that texts differing only in their constants —
+// WHERE objID = 123 vs WHERE objID = 456 — share one normalized cache key
+// and one compiled plan. Kind records the first-seen literal's kind; it is
+// stable for a given normalized shape because the cache key distinguishes
+// int, float, and string parameters.
+type ParamExpr struct {
+	Idx  int
+	Kind val.Kind
+}
+
 // UnaryExpr is -x, ~x or NOT x.
 type UnaryExpr struct {
 	Op string
@@ -183,6 +195,7 @@ type AggExpr struct {
 func (*LitExpr) expr()     {}
 func (*ColExpr) expr()     {}
 func (*VarExpr) expr()     {}
+func (*ParamExpr) expr()   {}
 func (*UnaryExpr) expr()   {}
 func (*BinExpr) expr()     {}
 func (*BetweenExpr) expr() {}

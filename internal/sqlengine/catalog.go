@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"skyserver/internal/btree"
 	"skyserver/internal/storage"
@@ -54,8 +55,17 @@ type Table struct {
 	indexes []*Index
 	fks     []ForeignKey
 
+	// dataVer counts row mutations (insert/delete). Cached plans snapshot
+	// it at compile: the planner's dive-based cardinality estimates go
+	// stale as data changes, so any DML on a referenced table lazily
+	// invalidates plans that read it.
+	dataVer atomic.Uint64
+
 	mu sync.RWMutex // serializes writes; reads use storage's own locking
 }
+
+// DataVersion returns the table's DML counter (see dataVer).
+func (t *Table) DataVersion() uint64 { return t.dataVer.Load() }
 
 // ColIndex returns the position of the named column (case-insensitive), or
 // -1 when absent.
@@ -140,6 +150,16 @@ type DB struct {
 
 	scalars map[string]*ScalarFunc
 	tvfs    map[string]*TableFunc
+
+	// schemaVer counts catalog changes (tables, indexes, views, foreign
+	// keys). Cached plans snapshot it at compile and are invalidated when
+	// it moves: after DROP INDEX, for example, the dropped tree is no
+	// longer maintained, so a stale plan probing it would return stale
+	// rows.
+	schemaVer atomic.Int64
+
+	// plans is the shared compiled-plan cache (see PlanCache).
+	plans *PlanCache
 }
 
 // NewDB creates an empty database over the file group.
@@ -150,10 +170,21 @@ func NewDB(fg *storage.FileGroup) *DB {
 		views:   make(map[string]*View),
 		scalars: make(map[string]*ScalarFunc),
 		tvfs:    make(map[string]*TableFunc),
+		plans:   newPlanCache(DefaultPlanCacheBytes),
 	}
 	registerBuiltins(db)
 	return db
 }
+
+// Plans returns the database's shared plan cache.
+func (db *DB) Plans() *PlanCache { return db.plans }
+
+// SchemaVersion returns the catalog version (see schemaVer).
+func (db *DB) SchemaVersion() int64 { return db.schemaVer.Load() }
+
+// bumpSchema records a catalog change, lazily invalidating every cached
+// plan compiled before it.
+func (db *DB) bumpSchema() { db.schemaVer.Add(1) }
 
 // FileGroup exposes the underlying file group (for cache control in the
 // warm/cold experiments).
@@ -200,6 +231,7 @@ func (db *DB) CreateTable(name string, cols []Column, pkCols []string, desc stri
 		})
 	}
 	db.tables[key] = t
+	db.bumpSchema()
 	return t, nil
 }
 
@@ -253,6 +285,7 @@ func (db *DB) CreateIndex(table, name string, keyCols, inclCols []string) (*Inde
 		return nil, err
 	}
 	t.indexes = append(t.indexes, ix)
+	db.bumpSchema()
 	return ix, nil
 }
 
@@ -292,6 +325,7 @@ func (db *DB) DropIndex(table, name string) error {
 			return fmt.Errorf("sql: cannot drop primary key index %s", name)
 		}
 		t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+		db.bumpSchema()
 		return nil
 	}
 	return fmt.Errorf("sql: no index %s on %s", name, table)
@@ -329,6 +363,7 @@ func (db *DB) AddForeignKey(table, name string, cols []string, refTable string, 
 	t.mu.Lock()
 	t.fks = append(t.fks, fk)
 	t.mu.Unlock()
+	db.bumpSchema()
 	return nil
 }
 
@@ -352,6 +387,7 @@ func (db *DB) CreateView(name, base, wherePred, desc string) error {
 		v.where = stmts[0].(*SelectStmt).Where
 	}
 	db.views[key] = v
+	db.bumpSchema()
 	return nil
 }
 
@@ -434,6 +470,7 @@ func (t *Table) Insert(row val.Row) (storage.RID, error) {
 			return 0, err
 		}
 	}
+	t.dataVer.Add(1)
 	return rid, nil
 }
 
@@ -462,6 +499,7 @@ func (t *Table) DeleteRID(rid storage.RID) (bool, error) {
 		}
 		ix.tree.Delete(key, uint64(rid))
 	}
+	t.dataVer.Add(1)
 	return true, nil
 }
 

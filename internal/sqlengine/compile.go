@@ -1,0 +1,92 @@
+package sqlengine
+
+import (
+	"skyserver/internal/val"
+)
+
+// CompiledPlan is the immutable product of the compile step of the query
+// lifecycle parse → parameterize → compile → (cached) → bind → execute: a
+// physical operator tree plus everything execution needs that is knowable
+// at compile time (output schema, EXPLAIN text, referenced-table versions).
+//
+// A CompiledPlan carries no per-execution state. Every operator keeps its
+// runtime state in Run-local variables drawn from the val pools, constants
+// live in closed-over values, and anything execution-varying — parameter
+// values, session variables, deadlines, statistics — arrives through the
+// ExecCtx. That is what makes one plan safe to execute concurrently from
+// any number of sessions, which the shared plan cache relies on.
+type CompiledPlan struct {
+	root    Node
+	cols    []string
+	kinds   []val.Kind
+	explain string
+	// nParams is the length of the parameter vector the plan was compiled
+	// against; bind-time sanity check for cache hits.
+	nParams int
+	// schemaVer is the catalog version at compile; any DDL (CREATE/DROP
+	// TABLE, INDEX, VIEW, foreign keys) invalidates the plan — a dropped
+	// index's tree is no longer maintained, so running a stale plan against
+	// it would return stale rows.
+	schemaVer int64
+	// tables are the base tables the plan reads with their data versions at
+	// compile; DML on any of them invalidates the plan. Results would still
+	// be correct — operators always read live heap and index state — but
+	// the access path and join order were chosen from dive estimates on the
+	// old data, so the plan is recompiled rather than trusted.
+	tables []tableVer
+	// bytes is the cache-accounting size estimate.
+	bytes int
+}
+
+// tableVer snapshots one table's data version at plan compile time.
+type tableVer struct {
+	table *Table
+	ver   uint64
+}
+
+// Explain returns the plan's EXPLAIN text (rendered once, at compile).
+func (cp *CompiledPlan) Explain() string { return cp.explain }
+
+// Columns returns the output column names.
+func (cp *CompiledPlan) Columns() []string { return cp.cols }
+
+// compileSelect plans one SELECT into an immutable CompiledPlan. params is
+// the normalized parameter vector (nil on the un-parameterized
+// DisablePlanCache path); plan-time constant evaluation binds against it.
+func (s *Session) compileSelect(st *SelectStmt, params []val.Value) (*CompiledPlan, error) {
+	// Capture the schema version before planning: a concurrent DDL bump
+	// during compilation leaves the stored plan stale-marked, which the
+	// first lookup notices — conservative, never wrong.
+	schemaVer := s.db.SchemaVersion()
+	p := &planner{db: s.db, sess: s, params: params}
+	node, err := p.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	cols := node.Columns()
+	names := make([]string, len(cols))
+	kinds := make([]val.Kind, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+		kinds[i] = c.Kind
+	}
+	cp := &CompiledPlan{
+		root:      node,
+		cols:      names,
+		kinds:     kinds,
+		explain:   Explain(node),
+		nParams:   len(params),
+		schemaVer: schemaVer,
+		tables:    p.tables,
+	}
+	cp.bytes = planBytes(cp)
+	return cp, nil
+}
+
+// planBytes estimates a compiled plan's memory footprint for cache
+// accounting. The EXPLAIN text length is proportional to the operator and
+// expression count, so it serves as the proxy for the closure tree; the
+// fixed term covers the plan and node headers.
+func planBytes(cp *CompiledPlan) int {
+	return 1024 + 8*len(cp.explain) + 64*len(cp.cols) + 48*cp.nParams
+}

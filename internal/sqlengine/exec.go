@@ -20,6 +20,12 @@ import (
 type ExecCtx struct {
 	DB      *DB
 	Session *Session
+	// Params is the execution's parameter vector: the literal values the
+	// normalizer extracted from this statement's text, bound fresh on every
+	// execution. Compiled plans reference slots of it (ParamExpr), which is
+	// what lets one immutable plan serve every constant binding of a query
+	// shape.
+	Params []val.Value
 	// Deadline aborts the query when exceeded (zero = none).
 	Deadline time.Time
 	// DOP is the degree of parallelism for heap scans; 0 = one worker
@@ -117,13 +123,28 @@ type scatter struct{ src, dst int }
 // buildScatter returns the key and included-column scatter lists for a
 // covering index access, pruned to the needed columns (nil = all) so an
 // index covering more than the query reads doesn't materialize the excess,
-// and shifted by dstOff for join outputs.
+// and shifted by dstOff for join outputs. The planner calls this once at
+// compile time; the lists live in the immutable plan.
 func buildScatter(ix *Index, needed []bool, dstOff int) (keyDst, inclDst []scatter) {
+	n := 0
+	for _, c := range ix.KeyCols {
+		if needed == nil || needed[c] {
+			n++
+		}
+	}
+	keyDst = make([]scatter, 0, n)
 	for i, c := range ix.KeyCols {
 		if needed == nil || needed[c] {
 			keyDst = append(keyDst, scatter{i, dstOff + c})
 		}
 	}
+	n = 0
+	for _, c := range ix.InclCols {
+		if needed == nil || needed[c] {
+			n++
+		}
+	}
+	inclDst = make([]scatter, 0, n)
 	for i, c := range ix.InclCols {
 		if needed == nil || needed[c] {
 			inclDst = append(inclDst, scatter{i, dstOff + c})
@@ -301,22 +322,26 @@ type indexScanNode struct {
 	// estRows is the planner's dive-based cardinality estimate (−1 when
 	// unknown), reused for join ordering.
 	estRows float64
+	// keyDst/inclDst are the compile-time scatter lists for covering
+	// access (see buildScatter).
+	keyDst, inclDst []scatter
 }
 
 func (s *indexScanNode) Columns() []ColRef { return s.cols }
 
 func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
-	// Evaluate bounds.
-	eq := make(val.Row, len(s.eqExprs))
+	// Evaluate bounds. eq and lo share one backing row (lo is eq plus the
+	// optional range start), so bound evaluation is a single allocation.
+	bounds := make(val.Row, len(s.eqExprs), len(s.eqExprs)+1)
 	for i, e := range s.eqExprs {
 		v, err := e(ctx, nil)
 		if err != nil {
 			return err
 		}
-		eq[i] = v
+		bounds[i] = v
 	}
-	var lo val.Row
-	lo = append(lo, eq...)
+	eq := bounds
+	lo := bounds
 	loOpen := false
 	if s.loExpr != nil {
 		v, err := s.loExpr(ctx, nil)
@@ -353,10 +378,7 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 	defer func() { batch.Release() }()
 	ar := ctx.getArena()
 	defer ar.Release()
-	var keyDst, inclDst []scatter
-	if s.covering {
-		keyDst, inclDst = buildScatter(s.index, s.needed, 0)
-	}
+	keyDst, inclDst := s.keyDst, s.inclDst
 	flush := func() error {
 		if batch.Size() == 0 {
 			return nil
@@ -569,6 +591,9 @@ type indexJoinNode struct {
 	outNeeded []bool
 	residual  *compiledPred // over combined row
 	label     string
+	// keyDst/inclDst are the compile-time scatter lists for covering
+	// probes, already shifted past the outer width (see buildScatter).
+	keyDst, inclDst []scatter
 }
 
 func (j *indexJoinNode) Columns() []ColRef { return j.cols }
@@ -588,9 +613,11 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 	// outerScratch is the sparse row gather the probe expressions and the
 	// output copy read: only the columns downstream needs are filled per
 	// row, the rest stay NULL — a covering-scan outer of the ~220-column
-	// PhotoObj gathers its three needed columns, not 220.
-	outerScratch := make(val.Row, outerWidth)
-	key := make(val.Row, len(j.probeExprs))
+	// PhotoObj gathers its three needed columns, not 220. It shares one
+	// backing allocation with the probe key row.
+	scratchBuf := make(val.Row, outerWidth+len(j.probeExprs))
+	outerScratch := scratchBuf[:outerWidth:outerWidth]
+	key := scratchBuf[outerWidth:]
 	flush := func() error {
 		if out.Size() == 0 {
 			return nil
@@ -606,11 +633,12 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		out.Reset()
 		return nil
 	}
-	var keyDst, inclDst []scatter
-	if j.covering {
-		keyDst, inclDst = buildScatter(j.index, j.needed, outerWidth)
-	}
-	var readCols, writeCols []int // outer gather/replicate lists, per batch
+	keyDst, inclDst := j.keyDst, j.inclDst
+	// Outer gather/replicate lists, recomputed per batch into one reused
+	// backing array sized for the worst case (every outer column in both).
+	colListBuf := make([]int, 0, 2*outerWidth)
+	readCols := colListBuf[:0:outerWidth]
+	writeCols := colListBuf[outerWidth : outerWidth : 2*outerWidth]
 	err := j.outer.Run(ctx, func(ob *val.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
@@ -727,6 +755,7 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 	ar := ctx.getArena()
 	defer ar.Release()
 	outerScratch := make(val.Row, outerWidth)
+	colListBuf := make([]int, 0, 2*outerWidth)
 	// Inner columns downstream reads; the rest of the materialized row is
 	// dropped here instead of being copied through the plan.
 	var innerCols []int
@@ -750,7 +779,8 @@ func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 		out.Reset()
 		return nil
 	}
-	var readCols, writeCols []int
+	readCols := colListBuf[:0:outerWidth]
+	writeCols := colListBuf[outerWidth : outerWidth : 2*outerWidth]
 	err := j.outer.Run(ctx, func(ob *val.Batch) error {
 		emitMu.Lock()
 		defer emitMu.Unlock()

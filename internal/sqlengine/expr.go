@@ -74,6 +74,15 @@ func compileExpr(e Expr, sc *scope, db *DB) (compiledExpr, error) {
 			return v, nil
 		}, nil
 
+	case *ParamExpr:
+		i := e.Idx
+		return func(ctx *ExecCtx, _ val.Row) (val.Value, error) {
+			if i >= len(ctx.Params) {
+				return val.Value{}, fmt.Errorf("sql: parameter ?%d not bound", i)
+			}
+			return ctx.Params[i], nil
+		}, nil
+
 	case *UnaryExpr:
 		x, err := compileExpr(e.X, sc, db)
 		if err != nil {
@@ -519,7 +528,7 @@ func exprRefs(e Expr, sc *scope, out map[int]bool) error {
 	switch e := e.(type) {
 	case nil:
 		return nil
-	case *LitExpr, *VarExpr:
+	case *LitExpr, *VarExpr, *ParamExpr:
 		return nil
 	case *ColExpr:
 		i, err := sc.resolve(e.Qualifier, e.Name)
@@ -689,6 +698,8 @@ func inferKind(e Expr, sc *scope) val.Kind {
 		return val.KindFloat
 	case *VarExpr:
 		return val.KindFloat
+	case *ParamExpr:
+		return e.Kind
 	default:
 		return val.KindFloat
 	}

@@ -34,6 +34,13 @@ type token struct {
 	kind tokKind
 	text string // identifiers lower-cased on demand via fold; raw preserved
 	pos  int
+	// param is 1 + the parameter index the normalizer assigned this literal
+	// token, or 0 when the token is structural (not parameterized). Set by
+	// normalizeTokens, read by the parser to emit ParamExpr nodes.
+	param int32
+	// bracketed marks a [quoted] identifier, so the normalized cache key
+	// distinguishes [select] (an identifier) from select (a keyword).
+	bracketed bool
 }
 
 // lexer tokenizes a SQL batch. It understands -- line comments, /* */ block
@@ -45,8 +52,13 @@ type lexer struct {
 	toks []token
 }
 
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+func lex(src string) ([]token, error) { return lexInto(src, nil) }
+
+// lexInto tokenizes into dst's storage (truncated first), so steady-state
+// callers — the plan-cache probe runs on every Session.Exec — reuse one
+// token buffer instead of allocating a slice per statement.
+func lexInto(src string, dst []token) ([]token, error) {
+	l := &lexer{src: src, toks: dst[:0]}
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {
@@ -78,7 +90,7 @@ func lex(src string) ([]token, error) {
 			if end < 0 {
 				return nil, fmt.Errorf("sql: unterminated [identifier] at offset %d", start)
 			}
-			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[l.pos+1 : l.pos+end], pos: start})
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[l.pos+1 : l.pos+end], pos: start, bracketed: true})
 			l.pos += end + 1
 		default:
 			if err := l.lexOp(); err != nil {

@@ -1,0 +1,187 @@
+package sqlengine
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"skyserver/internal/val"
+)
+
+// Statement normalization: the parameterize step of the query lifecycle
+// parse → parameterize → compile → (cached) → bind → execute.
+//
+// normalizeTokens folds a lexed batch into a canonical cache key and
+// extracts its literals into a parameter vector, so that texts differing
+// only in their constants — the SkyServer workload's point lookups by objID
+// and cone searches by (ra, dec, r) — share one key and therefore one
+// compiled plan. The function both builds the key and marks the
+// parameterized tokens in place (token.param), which is what keeps the key
+// builder and the parser agreeing exactly on which literals became
+// parameters: the parser emits a ParamExpr wherever the normalizer marked.
+//
+// Soundness rule: two texts with equal keys must compile to interchangeable
+// plans modulo parameter values. Everything that can change plan *shape*
+// therefore stays verbatim in the key:
+//
+//   - identifiers, keywords, and operators (folded for case-insensitivity;
+//     [bracketed] identifiers keep their brackets so [select] the column
+//     never collides with SELECT the keyword);
+//   - @variable names;
+//   - the count after TOP (it sizes a topNode);
+//   - number literals after ORDER BY (a bare integer there is an ordinal
+//     that picks an output column, not a value);
+//   - parameter *indices*: equal literals deduplicate to one parameter, so
+//     GROUP BY floor(ra*4) and a select-list floor(ra*4) keep matching
+//     structurally after parameterization, and the key records the sharing
+//     (…?i0…?i0… never collides with …?i0…?i1…);
+//   - parameter kinds (?i / ?f / ?s), because int-vs-float arithmetic and
+//     output schema kinds differ by literal kind.
+//
+// Over-specific keys (a literal left structural) only split cache entries;
+// over-general keys would corrupt results. When in doubt this code leaves
+// literals structural.
+func normalizeTokens(toks []token, key []byte, params []val.Value) ([]byte, []val.Value) {
+	inOrderBy := false
+	for ti := range toks {
+		t := &toks[ti]
+		if ti > 0 {
+			key = append(key, ' ')
+		}
+		switch t.kind {
+		case tokEOF:
+			// Nothing; loop ends next.
+		case tokIdent:
+			f := fold(t.text)
+			if t.bracketed {
+				key = append(key, '[')
+				key = append(key, f...)
+				key = append(key, ']')
+				break
+			}
+			key = append(key, f...)
+			if f == "order" && ti+1 < len(toks) && toks[ti+1].kind == tokIdent && fold(toks[ti+1].text) == "by" {
+				inOrderBy = true
+			}
+		case tokVariable:
+			key = append(key, '@')
+			key = append(key, fold(t.text)...)
+		case tokOp:
+			key = append(key, t.text...)
+			if t.text == ";" {
+				inOrderBy = false
+			}
+		case tokString:
+			idx := paramIndex(params, val.Str(t.text))
+			if idx < 0 {
+				idx = len(params)
+				params = append(params, val.Str(t.text))
+			}
+			t.param = int32(idx) + 1
+			key = append(key, '?', 's')
+			key = strconv.AppendInt(key, int64(idx), 10)
+		case tokNumber:
+			structural := inOrderBy
+			if ti > 0 {
+				prev := toks[ti-1]
+				if prev.kind == tokIdent && !prev.bracketed && fold(prev.text) == "top" {
+					structural = true
+				}
+			}
+			v, ok := parseNumberLit(t.text)
+			if structural || !ok {
+				// TOP counts and ORDER BY ordinals shape the plan; a
+				// malformed number stays verbatim so the parser reports
+				// the same error the un-normalized text would.
+				key = append(key, t.text...)
+				break
+			}
+			idx := paramIndex(params, v)
+			if idx < 0 {
+				idx = len(params)
+				params = append(params, v)
+			}
+			t.param = int32(idx) + 1
+			if v.K == val.KindInt {
+				key = append(key, '?', 'i')
+			} else {
+				key = append(key, '?', 'f')
+			}
+			key = strconv.AppendInt(key, int64(idx), 10)
+		}
+	}
+	return key, params
+}
+
+// paramIndex finds an existing parameter with exactly v's kind and value
+// (float bits compared exactly), or -1. Parameter vectors are a handful of
+// entries, so the linear scan beats any map on the hot probe path.
+func paramIndex(params []val.Value, v val.Value) int {
+	for i, p := range params {
+		if p.K != v.K {
+			continue
+		}
+		switch v.K {
+		case val.KindInt:
+			if p.I == v.I {
+				return i
+			}
+		case val.KindFloat:
+			if math.Float64bits(p.F) == math.Float64bits(v.F) {
+				return i
+			}
+		case val.KindString:
+			if p.S == v.S {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseNumberLit converts a number token to a value with the same rules
+// parsePrimary historically used: a '.', 'e' or 'E' makes a float,
+// otherwise int64 with float fallback on overflow.
+func parseNumberLit(text string) (val.Value, bool) {
+	if strings.ContainsAny(text, ".eE") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return val.Value{}, false
+		}
+		return val.Float(f), true
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		f, ferr := strconv.ParseFloat(text, 64)
+		if ferr != nil {
+			return val.Value{}, false
+		}
+		return val.Float(f), true
+	}
+	return val.Int(i), true
+}
+
+// batchCacheable reports whether a parsed batch may be stored in the shared
+// plan cache: exactly one SELECT without an INTO target, referencing no
+// session-local state — no @variables and no #temp tables, whose meaning
+// (and, for temp tables, schema) differs per session. INSERT/DELETE/CREATE
+// and multi-statement batches carry side effects and are executed from
+// their AST every time.
+func batchCacheable(toks []token, stmts []Statement) bool {
+	if len(stmts) != 1 {
+		return false
+	}
+	sel, ok := stmts[0].(*SelectStmt)
+	if !ok || sel.Into != "" {
+		return false
+	}
+	for _, t := range toks {
+		if t.kind == tokVariable {
+			return false
+		}
+		if t.kind == tokIdent && len(t.text) > 0 && t.text[0] == '#' {
+			return false
+		}
+	}
+	return true
+}

@@ -15,15 +15,28 @@ type parser struct {
 	toks []token
 	pos  int
 	src  string
+	// params is the normalizer-extracted parameter vector; literal tokens
+	// carrying a param mark compile to ParamExpr slots instead of LitExpr.
+	// nil for un-parameterized parses (Parse, the DisablePlanCache oracle).
+	params []val.Value
 }
 
-// Parse parses a batch of statements.
+// Parse parses a batch of statements with literals left in place — the
+// un-parameterized form view definitions and the DisablePlanCache debug
+// oracle use. The cached execution path parses via parseStatements with the
+// normalizer's parameter marks instead.
 func Parse(src string) ([]Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, src: src}
+	return parseStatements(toks, src, nil)
+}
+
+// parseStatements parses a lexed batch. When params is non-nil, tokens the
+// normalizer marked compile to ParamExpr references into that vector.
+func parseStatements(toks []token, src string, params []val.Value) ([]Statement, error) {
+	p := &parser{toks: toks, src: src, params: params}
 	var stmts []Statement
 	for {
 		for p.isOp(";") {
@@ -53,10 +66,15 @@ func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("sql: %s (near offset %d, token %q)", msg, t.pos, t.text)
 }
 
-// isKw reports whether the current token is the given keyword.
+// isKw reports whether the current token is the given keyword. A
+// [bracketed] identifier is never a keyword — T-SQL semantics, and the
+// assumption the plan-cache normalizer's structural-literal rules (TOP
+// counts, ORDER BY ordinals) rely on: normalize and parse must agree on
+// what is a keyword, or two texts could share a cache key while parsing
+// to different plan shapes.
 func (p *parser) isKw(kw string) bool {
 	t := p.cur()
-	return t.kind == tokIdent && fold(t.text) == kw
+	return t.kind == tokIdent && !t.bracketed && fold(t.text) == kw
 }
 
 func (p *parser) isOp(op string) bool {
@@ -740,24 +758,21 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.pos++
-		if strings.ContainsAny(t.text, ".eE") {
-			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return nil, p.errf("bad number %q", t.text)
-			}
-			return &LitExpr{Val: val.Float(f)}, nil
+		if t.param > 0 && p.params != nil {
+			idx := int(t.param) - 1
+			return &ParamExpr{Idx: idx, Kind: p.params[idx].K}, nil
 		}
-		i, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil {
-			f, ferr := strconv.ParseFloat(t.text, 64)
-			if ferr != nil {
-				return nil, p.errf("bad number %q", t.text)
-			}
-			return &LitExpr{Val: val.Float(f)}, nil
+		v, ok := parseNumberLit(t.text)
+		if !ok {
+			return nil, p.errf("bad number %q", t.text)
 		}
-		return &LitExpr{Val: val.Int(i)}, nil
+		return &LitExpr{Val: v}, nil
 	case tokString:
 		p.pos++
+		if t.param > 0 && p.params != nil {
+			idx := int(t.param) - 1
+			return &ParamExpr{Idx: idx, Kind: val.KindString}, nil
+		}
 		return &LitExpr{Val: val.Str(t.text)}, nil
 	case tokVariable:
 		p.pos++

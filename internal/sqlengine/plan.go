@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"skyserver/internal/val"
@@ -24,6 +25,14 @@ type MemTable struct {
 type planner struct {
 	db   *DB
 	sess *Session
+	// params is the execution parameter vector the statement was normalized
+	// against; plan-time constant evaluation (index dive estimates) binds
+	// against it, so a cached plan's access path reflects the first-seen
+	// constants — the same parameter sniffing SQL Server does.
+	params []val.Value
+	// tables collects every base table the plan touches with its
+	// data version at compile time, for plan-cache invalidation.
+	tables []tableVer
 }
 
 // plannedSource is one resolved FROM entry.
@@ -103,6 +112,7 @@ func (p *planner) resolveSource(item FromItem) (*plannedSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.tables = append(p.tables, tableVer{table: t, ver: t.DataVersion()})
 	src.table = t
 	src.display = t.Name
 	src.cols = make([]ColRef, 0, len(t.Cols))
@@ -125,7 +135,7 @@ func qualifyColumns(e Expr, qualifier string) Expr {
 	switch e := e.(type) {
 	case nil:
 		return nil
-	case *LitExpr, *VarExpr:
+	case *LitExpr, *VarExpr, *ParamExpr:
 		return e
 	case *ColExpr:
 		if e.Qualifier != "" {
@@ -226,7 +236,7 @@ func conjunctSources(e Expr, sources []*plannedSource, globalScope *scope, offse
 func markNeeded(e Expr, sc *scope, offsets []int, needed [][]bool) {
 	switch e := e.(type) {
 	case nil:
-	case *LitExpr, *VarExpr:
+	case *LitExpr, *VarExpr, *ParamExpr:
 	case *ColExpr:
 		if pos, err := sc.resolve(e.Qualifier, e.Name); err == nil {
 			markPos(pos, offsets, needed)
@@ -626,6 +636,9 @@ func (p *planner) buildAccess(src *plannedSource, needed []bool) (Node, error) {
 		best.filter = filter
 		best.label = label
 		best.needed = mask
+		if best.covering {
+			best.keyDst, best.inclDst = buildScatter(best.index, mask, 0)
+		}
 		return best, nil
 	}
 	return &scanNode{table: t, cols: src.cols, needed: mask, filter: filter, label: label}, nil
@@ -762,7 +775,7 @@ func (p *planner) matchIndex(t *Table, ix *Index, src *plannedSource, selfScope 
 // entries, up to diveCap; a capped dive falls back to a pessimistic
 // fraction of the table.
 func (p *planner) diveEstimate(ix *Index, eqRaw []Expr, loRaw Expr, loIncl bool, hiRaw Expr, hiKind boundKind, total float64) float64 {
-	ctx := &ExecCtx{DB: p.db, Session: p.sess}
+	ctx := &ExecCtx{DB: p.db, Session: p.sess, Params: p.params}
 	evalConst := func(e Expr) (val.Value, bool) {
 		ce, err := compileExpr(e, &scope{}, p.db)
 		if err != nil {
@@ -1015,7 +1028,7 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 			if !allNeeded {
 				mask = needed
 			}
-			return &indexJoinNode{
+			node := &indexJoinNode{
 				outer:      outer,
 				inner:      src.table,
 				index:      bestIx,
@@ -1027,7 +1040,11 @@ func (p *planner) buildJoin(outer Node, prefixScope *scope, prefixSet map[int]bo
 				outNeeded:  outNeeded,
 				residual:   residual,
 				label:      label,
-			}, nil
+			}
+			if covering {
+				node.keyDst, node.inclDst = buildScatter(bestIx, mask, len(prefixScope.cols))
+			}
+			return node, nil
 		}
 	}
 
@@ -1377,7 +1394,7 @@ func rewriteAgg(e Expr, groupMap, aggMap map[string]string) (Expr, error) {
 			return &ColExpr{Name: name}, nil
 		}
 		return nil, fmt.Errorf("sql: uncollected aggregate %s", exprString(e))
-	case *LitExpr, *VarExpr:
+	case *LitExpr, *VarExpr, *ParamExpr:
 		return e, nil
 	case *ColExpr:
 		return nil, fmt.Errorf("sql: column %s is invalid in the select list because it is not contained in either an aggregate function or the GROUP BY clause", exprString(e))
@@ -1493,6 +1510,11 @@ func exprString(e Expr) string {
 		return e.Name
 	case *VarExpr:
 		return "@" + e.Name
+	case *ParamExpr:
+		// Parameters of one normalized shape print by index, so structural
+		// matching (GROUP BY vs select list) works exactly as it does for
+		// repeated equal literals — the normalizer gives those one index.
+		return "?" + strconv.Itoa(e.Idx)
 	case *UnaryExpr:
 		if e.Op == "not" {
 			return "NOT " + exprString(e.X)

@@ -1,0 +1,196 @@
+package sqlengine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PlanCache is the database-wide compiled-plan cache: normalized statement
+// text maps to an immutable CompiledPlan shared by every session. The
+// SkyServer's real workload is millions of users issuing the same handful
+// of query shapes with different constants (point lookups by objID, cone
+// searches by position), so once a shape is compiled, every later
+// execution — from any HTTP session — pays only normalize + bind + run.
+//
+// Concurrency: the hit path — the one every steady-state query takes —
+// holds only a shared read lock for the map probe and validity check;
+// recency is an atomic stamp on the entry, so concurrent sessions never
+// serialize on an exclusive lock to execute cached plans. Stores and
+// evictions take the write lock, and eviction picks the oldest stamp by
+// scanning (stores are rare — each query shape compiles once — so an
+// O(entries) scan there beats paying exclusive LRU-list maintenance on
+// every hit).
+//
+// Entries are evicted against a byte budget (plan sizes estimated by
+// planBytes) and validated on every hit against the catalog's schema
+// version and the referenced tables' data versions; DDL and DML therefore
+// invalidate lazily, at lookup, with no invalidation scan. Statements that
+// reference session-local state (@variables, #temp tables), multi-statement
+// batches, and DML are never stored — see batchCacheable.
+//
+// All methods are safe for concurrent use.
+type PlanCache struct {
+	mu       sync.RWMutex
+	maxBytes int
+	curBytes int
+	entries  map[string]*planEntry
+	clock    atomic.Int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	uncacheable   atomic.Int64
+	stores        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+type planEntry struct {
+	key   string
+	plan  *CompiledPlan
+	bytes int
+	// lastUsed is the cache clock value of the most recent hit (or the
+	// store); eviction removes the smallest.
+	lastUsed atomic.Int64
+}
+
+// DefaultPlanCacheBytes is the per-database budget: roughly several
+// thousand cached shapes at typical plan sizes — far more than the
+// SkyServer's template-driven traffic produces.
+const DefaultPlanCacheBytes = 32 << 20
+
+func newPlanCache(maxBytes int) *PlanCache {
+	return &PlanCache{maxBytes: maxBytes, entries: make(map[string]*planEntry)}
+}
+
+// lookup returns the valid cached plan for a normalized key, or nil. A
+// stale entry (schema or data version moved since compile) is removed and
+// counted as an invalidation. Misses are NOT counted here: the probe runs
+// before the statement is parsed, so whether a nil result is a miss (a
+// cacheable shape that will be stored) or an uncacheable statement is only
+// known afterwards — the caller records one or the other via recordMiss /
+// recordUncacheable, keeping the hit rate meaningful on mixed SELECT+DML
+// workloads. key is []byte so the steady-state probe allocates nothing
+// (the map index converts without copying).
+func (c *PlanCache) lookup(key []byte, schemaVer int64) *CompiledPlan {
+	c.mu.RLock()
+	e, ok := c.entries[string(key)]
+	c.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	cp := e.plan
+	stale := cp.schemaVer != schemaVer
+	if !stale {
+		for _, tv := range cp.tables {
+			if tv.table.DataVersion() != tv.ver {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		c.mu.Lock()
+		// Re-check under the write lock: a concurrent store may have
+		// replaced the stale entry with a freshly compiled one.
+		if cur, ok := c.entries[e.key]; ok && cur == e {
+			delete(c.entries, e.key)
+			c.curBytes -= e.bytes
+		}
+		c.mu.Unlock()
+		c.invalidations.Add(1)
+		return nil
+	}
+	e.lastUsed.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return cp
+}
+
+// recordMiss counts a probe that found nothing for a cacheable statement.
+func (c *PlanCache) recordMiss() { c.misses.Add(1) }
+
+// recordUncacheable counts a probe for a statement that can never be
+// stored (session state, DML, multi-statement batches).
+func (c *PlanCache) recordUncacheable() { c.uncacheable.Add(1) }
+
+// store inserts (or replaces) the plan under the normalized key and evicts
+// the oldest entries until the byte budget holds.
+func (c *PlanCache) store(key string, cp *CompiledPlan) {
+	e := &planEntry{key: key, plan: cp, bytes: cp.bytes + len(key)}
+	e.lastUsed.Store(c.clock.Add(1))
+	c.mu.Lock()
+	if old, ok := c.entries[key]; ok {
+		c.curBytes -= old.bytes
+	}
+	c.entries[key] = e
+	c.curBytes += e.bytes
+	c.evictOverBudgetLocked()
+	c.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// evictOverBudgetLocked removes oldest-stamped entries until curBytes fits
+// maxBytes. Caller holds the write lock.
+func (c *PlanCache) evictOverBudgetLocked() {
+	for c.curBytes > c.maxBytes && len(c.entries) > 0 {
+		var victim *planEntry
+		oldest := int64(0)
+		for _, e := range c.entries {
+			if u := e.lastUsed.Load(); victim == nil || u < oldest {
+				victim, oldest = e, u
+			}
+		}
+		delete(c.entries, victim.key)
+		c.curBytes -= victim.bytes
+		c.evictions.Add(1)
+	}
+}
+
+// Clear drops every entry (benchmarks use it to measure the miss path).
+// Counters are preserved.
+func (c *PlanCache) Clear() {
+	c.mu.Lock()
+	c.entries = make(map[string]*planEntry)
+	c.curBytes = 0
+	c.mu.Unlock()
+}
+
+// SetMaxBytes adjusts the byte budget, evicting immediately if the cache is
+// over the new limit.
+func (c *PlanCache) SetMaxBytes(n int) {
+	c.mu.Lock()
+	c.maxBytes = n
+	c.evictOverBudgetLocked()
+	c.mu.Unlock()
+}
+
+// PlanCacheStats is a point-in-time snapshot of the cache counters, exposed
+// for benchmarks and the web front end's /x/plancache endpoint.
+type PlanCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Uncacheable   int64 `json:"uncacheable"`
+	Stores        int64 `json:"stores"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Bytes         int   `json:"bytes"`
+	MaxBytes      int   `json:"maxBytes"`
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.RLock()
+	entries, bytes, maxBytes := len(c.entries), c.curBytes, c.maxBytes
+	c.mu.RUnlock()
+	return PlanCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Uncacheable:   c.uncacheable.Load(),
+		Stores:        c.stores.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+		MaxBytes:      maxBytes,
+	}
+}

@@ -15,6 +15,13 @@ type Session struct {
 	db    *DB
 	vars  map[string]val.Value
 	temps map[string]*MemTable
+
+	// Plan-cache probe scratch, reused across Execs so the steady-state
+	// normalize + lookup allocates nothing. Sessions are single-connection
+	// (like the paper's ASP sessions), never executed concurrently.
+	lexBuf   []token
+	keyBuf   []byte
+	paramBuf []val.Value
 }
 
 // NewSession opens a session on the database.
@@ -70,6 +77,13 @@ type ExecOptions struct {
 	// prove recycling never corrupts results. Result sets are identical
 	// either way.
 	DisablePooling bool
+	// DisablePlanCache bypasses the shared plan cache entirely: the batch
+	// is parsed with its literals left in place and compiled fresh, exactly
+	// the pre-cache pipeline. This is the debug oracle the cached-vs-fresh
+	// equivalence tests compare against (mirroring DisablePooling), and it
+	// also exercises the interned-literal kernels that parameterized plans
+	// do not use. Result sets are identical either way.
+	DisablePlanCache bool
 }
 
 // Result is the outcome of a batch: the last SELECT's result set plus
@@ -90,6 +104,14 @@ type Result struct {
 	CPU     time.Duration
 	// RowsScanned counts records visited by scans and probes.
 	RowsScanned int64
+	// PlanCacheHit reports that the batch executed from a cached plan
+	// (single cacheable SELECTs only; see PlanCache).
+	PlanCacheHit bool
+
+	// compiled carries the plan the batch's SELECT compiled, for the
+	// store-into-cache decision in exec (only single-statement cacheable
+	// batches ever store it).
+	compiled *CompiledPlan
 }
 
 // ResultBatchFunc receives one batch of a streamed SELECT's result set
@@ -111,11 +133,73 @@ func (s *Session) ExecStream(sql string, opt ExecOptions, sink ResultBatchFunc) 
 	return s.exec(sql, opt, sink)
 }
 
+// exec is the batch entry point, implementing the query lifecycle
+// parse → parameterize → compile → (cached) → bind → execute. The fast
+// path lexes and normalizes the text (reusing session scratch), probes the
+// shared plan cache, and on a hit binds the fresh parameter vector and runs
+// the cached plan — no parsing, no planning, no per-shape allocation. On a
+// miss the batch parses with its literals as parameters, executes, and a
+// cacheable batch stores its compiled plan for every later session.
 func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
-	stmts, err := Parse(sql)
+	if opt.DisablePlanCache {
+		stmts, err := Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		return s.execStmts(stmts, nil, opt, sink, "")
+	}
+	pr, err := s.normalizeAndProbe(sql)
 	if err != nil {
 		return nil, err
 	}
+	if pr.hit != nil {
+		return s.execCachedPlan(pr.hit, pr.params, opt, sink)
+	}
+	return s.execStmts(pr.stmts, pr.params, opt, sink, pr.storeKey)
+}
+
+// probe is the outcome of the shared normalize → cache-probe → parse
+// prologue of Exec and Explain. Either hit is the cached plan (stmts nil),
+// or stmts is the parsed batch with storeKey non-empty when the batch is
+// cacheable. Keeping one implementation guarantees Explain's
+// hit/miss/uncacheable report describes exactly what Exec will do.
+type probe struct {
+	stmts    []Statement
+	params   []val.Value
+	hit      *CompiledPlan
+	storeKey string
+}
+
+func (s *Session) normalizeAndProbe(sql string) (probe, error) {
+	toks, err := lexInto(sql, s.lexBuf)
+	if err != nil {
+		return probe{}, err
+	}
+	s.lexBuf = toks
+	key, params := normalizeTokens(toks, s.keyBuf[:0], s.paramBuf[:0])
+	s.keyBuf, s.paramBuf = key, params
+	if cp := s.db.plans.lookup(key, s.db.SchemaVersion()); cp != nil {
+		return probe{params: params, hit: cp}, nil
+	}
+	stmts, err := parseStatements(toks, sql, params)
+	if err != nil {
+		return probe{}, err
+	}
+	pr := probe{stmts: stmts, params: params}
+	if batchCacheable(toks, stmts) {
+		s.db.plans.recordMiss()
+		pr.storeKey = string(key)
+	} else {
+		s.db.plans.recordUncacheable()
+	}
+	return pr, nil
+}
+
+// execStmts runs a parsed batch. params is the bound parameter vector (nil
+// on the DisablePlanCache path, whose AST carries literals). A non-empty
+// storeKey stores the batch's compiled plan in the shared cache after a
+// successful run.
+func (s *Session) execStmts(stmts []Statement, params []val.Value, opt ExecOptions, sink ResultBatchFunc, storeKey string) (*Result, error) {
 	// The last SELECT of the batch is the result statement; it streams to
 	// the sink (a SELECT INTO both streams and fills its target table, so
 	// every format agrees with the materializing path).
@@ -130,7 +214,7 @@ func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Resu
 	res := &Result{}
 	startWall := time.Now()
 	startCPU := processCPU()
-	ctx := &ExecCtx{DB: s.db, Session: s, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
+	ctx := &ExecCtx{DB: s.db, Session: s, Params: params, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
 	if opt.Timeout > 0 {
 		ctx.Deadline = startWall.Add(opt.Timeout)
 	}
@@ -143,44 +227,86 @@ func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Resu
 			return nil, err
 		}
 	}
+	if storeKey != "" && res.compiled != nil {
+		s.db.plans.store(storeKey, res.compiled)
+	}
 	res.Elapsed = time.Since(startWall)
 	res.CPU = processCPU() - startCPU
 	res.RowsScanned = ctx.RowsScanned.Load()
 	return res, nil
 }
 
-// Explain plans a single SELECT and returns its plan text without running it.
+// execCachedPlan is the bind → execute tail of a plan-cache hit: a fresh
+// ExecCtx carries the new parameter values into the shared immutable plan.
+func (s *Session) execCachedPlan(cp *CompiledPlan, params []val.Value, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
+	if len(params) < cp.nParams {
+		// Impossible by key construction; fail loudly rather than bind
+		// stale parameters.
+		return nil, fmt.Errorf("sql: plan cache: %d parameters bound, plan needs %d", len(params), cp.nParams)
+	}
+	res := &Result{PlanCacheHit: true}
+	startWall := time.Now()
+	startCPU := processCPU()
+	ctx := &ExecCtx{DB: s.db, Session: s, Params: params, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
+	if opt.Timeout > 0 {
+		ctx.Deadline = startWall.Add(opt.Timeout)
+	}
+	if err := s.runPlan(cp, "", ctx, opt, res, sink); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(startWall)
+	res.CPU = processCPU() - startCPU
+	res.RowsScanned = ctx.RowsScanned.Load()
+	return res, nil
+}
+
+// Explain plans a batch and returns its plan text without running it. It
+// shares the exec path's normalize → probe → compile pipeline: a cacheable
+// SELECT's plan is looked up in (and on a miss stored into) the shared plan
+// cache, and the report's final line states whether the plan came from the
+// cache ("PlanCache: hit"), was compiled and stored ("miss"), or cannot be
+// cached ("uncacheable" — session state or a multi-statement batch).
 func (s *Session) Explain(sql string) (string, error) {
-	stmts, err := Parse(sql)
+	pr, err := s.normalizeAndProbe(sql)
 	if err != nil {
 		return "", err
 	}
+	if pr.hit != nil {
+		return pr.hit.explain + "PlanCache: hit\n", nil
+	}
+	ctx := &ExecCtx{DB: s.db, Session: s, Params: pr.params}
 	var plans []string
-	for _, st := range stmts {
+	for _, st := range pr.stmts {
 		switch st := st.(type) {
 		case *SelectStmt:
-			p := &planner{db: s.db, sess: s}
-			node, err := p.planSelect(st)
+			cp, err := s.compileSelect(st, pr.params)
 			if err != nil {
 				return "", err
 			}
-			root := Node(node)
 			if st.Into != "" {
-				plans = append(plans, fmt.Sprintf("InsertInto(%s)\n%s", st.Into, indentLines(Explain(root))))
+				plans = append(plans, fmt.Sprintf("InsertInto(%s)\n%s", st.Into, indentLines(cp.explain)))
 			} else {
-				plans = append(plans, Explain(root))
+				plans = append(plans, cp.explain)
+			}
+			if pr.storeKey != "" {
+				// The next Exec of the same shape starts from this plan.
+				s.db.plans.store(pr.storeKey, cp)
 			}
 		case *DeclareStmt, *SetStmt:
 			// No plan; session effects only. Run SETs so later
 			// statements referencing the variable still plan.
-			if err := s.execSessionOnly(st); err != nil {
+			if err := s.execSessionOnly(st, ctx); err != nil {
 				return "", err
 			}
 		default:
 			plans = append(plans, fmt.Sprintf("%T\n", st))
 		}
 	}
-	return strings.Join(plans, ""), nil
+	mark := "miss"
+	if pr.storeKey == "" {
+		mark = "uncacheable"
+	}
+	return strings.Join(plans, "") + "PlanCache: " + mark + "\n", nil
 }
 
 func indentLines(s string) string {
@@ -191,7 +317,7 @@ func indentLines(s string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-func (s *Session) execSessionOnly(st Statement) error {
+func (s *Session) execSessionOnly(st Statement, ctx *ExecCtx) error {
 	switch st := st.(type) {
 	case *DeclareStmt:
 		if _, err := KindForTypeName(st.Type); err != nil {
@@ -207,7 +333,6 @@ func (s *Session) execSessionOnly(st Statement) error {
 		if err != nil {
 			return err
 		}
-		ctx := &ExecCtx{DB: s.db, Session: s}
 		v, err := ce(ctx, nil)
 		if err != nil {
 			return err
@@ -221,7 +346,7 @@ func (s *Session) execSessionOnly(st Statement) error {
 func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Result, sink ResultBatchFunc) error {
 	switch st := st.(type) {
 	case *DeclareStmt, *SetStmt:
-		return s.execSessionOnly(st)
+		return s.execSessionOnly(st, ctx)
 
 	case *SelectStmt:
 		return s.execSelect(st, ctx, opt, res, sink)
@@ -254,26 +379,27 @@ func (s *Session) execOne(st Statement, ctx *ExecCtx, opt ExecOptions, res *Resu
 }
 
 func (s *Session) execSelect(st *SelectStmt, ctx *ExecCtx, opt ExecOptions, res *Result, sink ResultBatchFunc) error {
-	p := &planner{db: s.db, sess: s}
-	node, err := p.planSelect(st)
+	cp, err := s.compileSelect(st, ctx.Params)
 	if err != nil {
 		return err
 	}
-	cols := node.Columns()
-	names := make([]string, len(cols))
-	kinds := make([]val.Kind, len(cols))
-	for i, c := range cols {
-		names[i] = c.Name
-		kinds[i] = c.Kind
-	}
+	res.compiled = cp
+	return s.runPlan(cp, st.Into, ctx, opt, res, sink)
+}
+
+// runPlan executes a compiled SELECT plan — the execute step shared by
+// fresh compilation and plan-cache hits. Schema, kinds, and the EXPLAIN
+// text come from the plan (rendered once at compile), so a cache hit's
+// result assembly allocates only the gathered rows.
+func (s *Session) runPlan(cp *CompiledPlan, into string, ctx *ExecCtx, opt ExecOptions, res *Result, sink ResultBatchFunc) error {
 	truncated := false
 	limit := opt.MaxRows
 	sent := 0
 	var rows []val.Row
 	// INTO needs the rows materialized for the target table even when the
 	// result set is also streamed to a sink.
-	gather := sink == nil || st.Into != ""
-	err = node.Run(ctx, func(b *val.Batch) error {
+	gather := sink == nil || into != ""
+	err := cp.root.Run(ctx, func(b *val.Batch) error {
 		if limit > 0 {
 			rem := limit - sent
 			if rem <= 0 {
@@ -286,40 +412,42 @@ func (s *Session) execSelect(st *SelectStmt, ctx *ExecCtx, opt ExecOptions, res 
 			}
 		}
 		sent += b.Len()
-		if gather {
+		if gather && b.Len() > 0 {
+			// One backing slab per batch instead of one allocation per
+			// row; each gathered row gets a full-capacity sub-slice.
+			width := b.Width()
+			backing := make([]val.Value, b.Len()*width)
 			b.Each(func(i int) {
-				rows = append(rows, b.RowAt(i, make(val.Row, b.Width())))
+				r := val.Row(backing[:width:width])
+				backing = backing[width:]
+				rows = append(rows, b.RowAt(i, r))
 			})
 		}
 		if sink != nil {
-			return sink(names, b)
+			return sink(cp.cols, b)
 		}
 		return nil
 	})
 	if err != nil && err != errStopEarly {
 		return err
 	}
-	if st.Into != "" {
-		mt := &MemTable{Name: st.Into}
-		for i := range names {
-			mt.Cols = append(mt.Cols, Column{Name: names[i], Kind: kinds[i]})
+	if into != "" {
+		mt := &MemTable{Name: into}
+		for i := range cp.cols {
+			mt.Cols = append(mt.Cols, Column{Name: cp.cols[i], Kind: cp.kinds[i]})
 		}
 		mt.Rows = rows
-		if strings.HasPrefix(st.Into, "#") {
-			s.temps[fold(st.Into)] = mt
-		} else {
-			// SELECT INTO a permanent name also lands in the
-			// session under that name (the engine is a warehouse;
-			// ad-hoc result tables stay session-local).
-			s.temps[fold(st.Into)] = mt
-		}
+		// SELECT INTO a permanent name also lands in the session under
+		// that name (the engine is a warehouse; ad-hoc result tables stay
+		// session-local).
+		s.temps[fold(into)] = mt
 		res.RowsAffected = int64(len(rows))
 	}
-	res.Cols = names
-	res.Kinds = kinds
+	res.Cols = cp.cols
+	res.Kinds = cp.kinds
 	res.Rows = rows
 	res.Truncated = truncated
-	res.Plan = Explain(node)
+	res.Plan = cp.explain
 	return nil
 }
 
@@ -328,7 +456,7 @@ func (s *Session) execInsert(st *InsertStmt, ctx *ExecCtx, opt ExecOptions, res 
 	var inRows []val.Row
 	var inCols []string
 	if st.Select != nil {
-		p := &planner{db: s.db, sess: s}
+		p := &planner{db: s.db, sess: s, params: ctx.Params}
 		node, err := p.planSelect(st.Select)
 		if err != nil {
 			return err

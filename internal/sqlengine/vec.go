@@ -16,16 +16,17 @@ import (
 // selection vector in place, so a selective scan never materializes the
 // rows it drops.
 //
-// The kernel set covers the hot shapes of the SkyServer workload: column
-// and literal operands, arithmetic (the ubiquitous color cuts u-g, g-r),
-// comparisons, BETWEEN, IS NULL, IN over literal lists, LIKE, and AND/OR
+// The kernel set covers the full expression grammar of the SkyServer
+// workload: column, literal, parameter and variable operands, arithmetic
+// (the ubiquitous color cuts u-g, g-r), comparisons, BETWEEN, IS NULL, IN
+// over constant lists, LIKE, scalar functions (per-row bodies with batch
+// argument columns), searched CASE with lazy arm evaluation, and AND/OR
 // with the same short-circuit evaluation order as the row path (the right
-// side only runs on rows the left side did not decide). Everything else —
-// scalar functions, CASE — keeps exact row semantics via the fallback,
-// which gathers each active row into a scratch val.Row and runs the
-// compiled row expression. ExecOptions.ForceRowExprs routes every
-// expression through the fallback, which the engine's equivalence tests
-// and the batch-vs-row benchmark use.
+// side only runs on rows the left side did not decide). Shapes outside the
+// kernel set keep exact row semantics via the fallback, which gathers each
+// active row into a scratch val.Row and runs the compiled row expression.
+// ExecOptions.ForceRowExprs routes every expression through the fallback,
+// which the engine's equivalence tests and the batch-vs-row benchmark use.
 //
 // Kernels allocate nothing in steady state: every result vector comes from
 // a val.Arena the caller owns. Compiled kernels are shared — the same
@@ -205,6 +206,23 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			return out, nil
 		}
 
+	case *ParamExpr:
+		// Parameters broadcast like variables: the value varies per
+		// execution of the shared cached plan, so the vector cannot be
+		// interned the way literal vectors are.
+		idx := e.Idx
+		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+			if idx >= len(ctx.Params) {
+				return nil, fmt.Errorf("sql: parameter ?%d not bound", idx)
+			}
+			v := ctx.Params[idx]
+			out := ar.Vals(b.Size())
+			for i := range out {
+				out[i] = v
+			}
+			return out, nil
+		}
+
 	case *UnaryExpr:
 		x := vectorizeValue(e.X, sc, db)
 		if x == nil {
@@ -319,25 +337,41 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 		}
 
 	case *InExpr:
-		list, ok := literalList(e.List)
-		if !ok {
-			return nil
+		// The list must be row-independent (literals, parameters,
+		// variables): each element evaluates once per batch, then the
+		// membership scan runs per active row.
+		consts := make([]compiledExpr, len(e.List))
+		for i, le := range e.List {
+			if !constExpr(le) {
+				return nil
+			}
+			ce, err := compileExpr(le, &scope{}, db)
+			if err != nil {
+				return nil
+			}
+			consts[i] = ce
 		}
 		x := vectorizeValue(e.X, sc, db)
 		if x == nil {
 			return nil
 		}
 		not := e.Not
-		anyNull := false
-		for _, lv := range list {
-			if lv.IsNull() {
-				anyNull = true
-			}
-		}
 		return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
 			xs, err := x(ctx, b, ar)
 			if err != nil {
 				return nil, err
+			}
+			list := ar.Vals(len(consts))
+			anyNull := false
+			for j, ce := range consts {
+				v, err := ce(ctx, nil)
+				if err != nil {
+					return nil, err
+				}
+				list[j] = v
+				if v.IsNull() {
+					anyNull = true
+				}
 			}
 			out := ar.Vals(b.Size())
 			sel := b.Sel()
@@ -456,8 +490,119 @@ func vectorizeValue(e Expr, sc *scope, db *DB) kernelFn {
 			}
 			return out, nil
 		}
+
+	case *CaseExpr:
+		return vectorizeCase(e, sc, db)
 	}
 	return nil
+}
+
+// vectorizeCase builds a kernel for a searched CASE that preserves the row
+// path's lazy arm evaluation exactly: each WHEN condition runs only on the
+// rows no earlier arm decided, and each THEN (and the ELSE) runs only on
+// the rows its condition selected. That keeps error surfacing identical to
+// the row fallback — CASE WHEN x <> 0 THEN 1/x END never divides by zero on
+// an x = 0 row — unlike the all-rows-per-arm evaluation a naive kernel
+// would do. Conditions compile through the predicate compiler, so AND/OR
+// conditions vectorize with their usual short-circuit selection narrowing
+// instead of forcing the whole CASE onto the row path. The batch's
+// selection vector is borrowed to scope the nested kernels to each arm's
+// row subset and restored before returning.
+func vectorizeCase(e *CaseExpr, sc *scope, db *DB) kernelFn {
+	conds := make([]predFn, len(e.Whens))
+	thens := make([]kernelFn, len(e.Whens))
+	for i, w := range e.Whens {
+		if conds[i] = vectorizePred(w.Cond, sc, db); conds[i] == nil {
+			return nil
+		}
+		if thens[i] = vectorizeValue(w.Then, sc, db); thens[i] == nil {
+			return nil
+		}
+	}
+	var els kernelFn
+	if e.Else != nil {
+		if els = vectorizeValue(e.Else, sc, db); els == nil {
+			return nil
+		}
+	}
+	return func(ctx *ExecCtx, b *val.Batch, ar *val.Arena) ([]val.Value, error) {
+		out := ar.Vals(b.Size())
+		// Snapshot the incoming selection into arena scratch: the slice
+		// b.Sel() returns may alias the batch's own selection buffer
+		// (whenever an upstream filter narrowed this batch), and the WHEN
+		// predicates below overwrite that buffer.
+		origSel := b.Sel()
+		if origSel != nil {
+			origSel = append(ar.Ints(), origSel...)
+		}
+		// restore reinstates the incoming selection — into the batch's own
+		// scratch, not the arena copy, because the caller keeps reading
+		// b.Sel() after its arena has been reset for the next expression.
+		restore := func() {
+			if origSel == nil {
+				b.SetSel(nil)
+				return
+			}
+			b.SetSel(append(b.SelScratch(), origSel...))
+		}
+		undecided := activeIndices(b, ar.Ints())
+		for wi := range conds {
+			if len(undecided) == 0 {
+				break
+			}
+			b.SetSel(undecided)
+			if err := conds[wi](ctx, b, ar); err != nil {
+				restore()
+				return nil, err
+			}
+			// The predicate narrowed the selection to this arm's rows.
+			// Copy it into arena scratch: the batch's own selection
+			// buffer backing it is reused by the next predicate run
+			// (including one inside a nested CASE in the THEN).
+			decided := append(ar.Ints(), b.Sel()...)
+			// rest = undecided minus decided, both ascending.
+			rest := ar.Ints()
+			j := 0
+			for _, i := range undecided {
+				if j < len(decided) && decided[j] == i {
+					j++
+					continue
+				}
+				rest = append(rest, i)
+			}
+			if len(decided) > 0 {
+				b.SetSel(decided)
+				ts, err := thens[wi](ctx, b, ar)
+				if err != nil {
+					restore()
+					return nil, err
+				}
+				for _, i := range decided {
+					out[i] = ts[i]
+				}
+			}
+			undecided = rest
+		}
+		if len(undecided) > 0 {
+			if els != nil {
+				b.SetSel(undecided)
+				es, err := els(ctx, b, ar)
+				if err != nil {
+					restore()
+					return nil, err
+				}
+				for _, i := range undecided {
+					out[i] = es[i]
+				}
+			} else {
+				for _, i := range undecided {
+					out[i] = val.Value{}
+				}
+			}
+		}
+		restore()
+		return out, nil
+	}
 }
 
 // litVecCache interns the broadcast vectors literal operands compile to.
@@ -491,19 +636,6 @@ func litVector(v val.Value) []val.Value {
 		}
 	}
 	return vals
-}
-
-// literalList extracts constant values when every list element is a literal.
-func literalList(list []Expr) ([]val.Value, bool) {
-	out := make([]val.Value, len(list))
-	for i, e := range list {
-		lit, ok := e.(*LitExpr)
-		if !ok {
-			return nil, false
-		}
-		out[i] = lit.Val
-	}
-	return out, true
 }
 
 // vectorizeBin builds kernels for binary operators. AND/OR are not

@@ -409,6 +409,45 @@ func (h *Heap) ScanBatches(dop int, mk func(worker int) (RecBatchFunc, func() er
 	if dop > 4*runtime.NumCPU() {
 		dop = 4 * runtime.NumCPU()
 	}
+	if dop == 1 {
+		// Serial scan: run inline — no goroutine, WaitGroup, or error
+		// channel for a single worker.
+		fn, flush := mk(0)
+		sb := scanBufPool.Get().(*scanBuf)
+		buf := sb.page
+		rids, recs := sb.rids, sb.recs
+		var err error
+		for pi := 0; pi < nPages; pi++ {
+			if err = h.fg.ReadPage(pageIDs[pi], buf); err != nil {
+				break
+			}
+			p := page(buf)
+			rids, recs = rids[:0], recs[:0]
+			for s := 0; s < p.slotCount(); s++ {
+				rec, ok := p.record(s)
+				if !ok {
+					continue
+				}
+				rids = append(rids, MakeRID(uint64(pi), s))
+				recs = append(recs, rec)
+			}
+			if len(recs) == 0 {
+				continue
+			}
+			if err = fn(rids, recs); err != nil {
+				break
+			}
+		}
+		sb.rids, sb.recs = rids, recs
+		scanBufPool.Put(sb)
+		if err != nil {
+			return err
+		}
+		if flush != nil {
+			return flush()
+		}
+		return nil
+	}
 	var wg sync.WaitGroup
 	var stop atomic.Bool
 	errCh := make(chan error, dop)

@@ -37,6 +37,13 @@ var colClassSizes = [...]int{SmallBatchSize, BatchSize}
 
 var colPools [len(colClassSizes)]sync.Pool
 
+// boxPool recycles the *[]Value headers the column pools traffic in, so a
+// putCol is allocation-free in steady state: without it, the &arr a Put
+// needs boxes a fresh slice header on every column detach — which was most
+// of a cached point lookup's remaining allocations, since each GetBatch
+// reshaping a shell between two operators' shapes detaches several columns.
+var boxPool sync.Pool
+
 // getCol returns a pooled column array with at least the requested row
 // capacity, sized to its class.
 func getCol(capacity int) []Value {
@@ -45,7 +52,10 @@ func getCol(capacity int) []Value {
 		cl++
 	}
 	if v := colPools[cl].Get(); v != nil {
-		arr := *(v.(*[]Value))
+		box := v.(*[]Value)
+		arr := *box
+		*box = nil
+		boxPool.Put(box)
 		return arr[:colClassSizes[cl]]
 	}
 	return make([]Value, colClassSizes[cl])
@@ -62,8 +72,14 @@ func putCol(arr []Value) {
 	for cl < len(colClassSizes)-1 && colClassSizes[cl+1] <= c {
 		cl++
 	}
-	arr = arr[:0]
-	colPools[cl].Put(&arr)
+	var box *[]Value
+	if v := boxPool.Get(); v != nil {
+		box = v.(*[]Value)
+	} else {
+		box = new([]Value)
+	}
+	*box = arr[:0]
+	colPools[cl].Put(box)
 }
 
 var batchShells = sync.Pool{New: func() any { return &Batch{} }}

@@ -1,0 +1,133 @@
+package web
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"skyserver/internal/val"
+)
+
+// TestCSVFieldMatchesEncodingCSV locks the allocation-free CSV writer to
+// encoding/csv's exact quoting behavior for every field shape the engine
+// can emit.
+func TestCSVFieldMatchesEncodingCSV(t *testing.T) {
+	cases := []string{
+		"", "plain", "123", "-4.75", "NULL",
+		"with,comma", `with"quote`, "with\nnewline", "with\rcr",
+		" leading space", "\tleading tab", "trailing space ",
+		"ünïcode", "emoji 🌌", "a,b\"c\nd",
+	}
+	for _, field := range cases {
+		var ref bytes.Buffer
+		w := csv.NewWriter(&ref)
+		if err := w.Write([]string{field, "x"}); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got := appendCSVField(nil, []byte(field))
+		got = append(got, ",x\n"...)
+		if string(got) != ref.String() {
+			t.Errorf("field %q: got %q, encoding/csv wrote %q", field, got, ref.String())
+		}
+	}
+}
+
+// TestJSONValueMatchesEncodingJSON locks the direct-append JSON encoder to
+// json.Marshal's exact output for ints, floats (including the e-notation
+// cleanup), and strings (including the default HTML escaping).
+func TestJSONValueMatchesEncodingJSON(t *testing.T) {
+	values := []val.Value{
+		val.Null(),
+		val.Int(0), val.Int(-1), val.Int(9007199254740993), val.Int(math.MinInt64),
+		val.Float(0), val.Float(-0.5), val.Float(184.95000000000002),
+		val.Float(1e21), val.Float(1.5e-7), val.Float(-2.5e21), val.Float(3.14159265358979),
+		val.Float(math.SmallestNonzeroFloat64), val.Float(math.MaxFloat64),
+		val.Str(""), val.Str("plain"), val.Str(`quote " backslash \`),
+		val.Str("ctrl \x01\x1f tab\t nl\n cr\r"), val.Str("<script>&amp;</script>"),
+		val.Str("unicode ünïcode 🌌"), val.Str("line \u2028 sep \u2029"),
+		val.Bytes([]byte{0xde, 0xad, 0xbe, 0xef}),
+	}
+	for _, v := range values {
+		got := string(appendJSONValue(nil, v))
+		var want []byte
+		var err error
+		switch v.K {
+		case val.KindNull:
+			want = []byte("null")
+		case val.KindInt:
+			want, err = json.Marshal(v.I)
+		case val.KindFloat:
+			want, err = json.Marshal(v.F)
+		case val.KindString:
+			want, err = json.Marshal(v.S)
+		default:
+			want, err = json.Marshal("0xdeadbeef")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("value %v: got %s, json.Marshal wrote %s", v, got, want)
+		}
+	}
+	// Invalid UTF-8 follows json.Marshal's replacement-character behavior.
+	bad := "ok\xffbad"
+	got := string(appendJSONValue(nil, val.Str(bad)))
+	want, _ := json.Marshal(bad)
+	if got != string(want) {
+		t.Errorf("invalid UTF-8: got %s, want %s", got, want)
+	}
+	// NaN/Inf: json.Marshal errors; the stream encoder keeps the document
+	// valid with null instead.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := string(appendJSONValue(nil, val.Float(f))); got != "null" {
+			t.Errorf("non-finite %v: got %s, want null", f, got)
+		}
+	}
+}
+
+// TestPlanCacheEndpoint drives the counters endpoint: repeated identical
+// HTTP queries must show up as plan-cache hits.
+func TestPlanCacheEndpoint(t *testing.T) {
+	ts := testServer(t, nil)
+	q := "select objID from PhotoObj where objID = 1"
+	for i := 0; i < 3; i++ {
+		if code, body, _ := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode(q)); code != 200 {
+			t.Fatalf("sql: %d %s", code, body)
+		}
+	}
+	code, body, _ := get(t, ts.URL+"/x/plancache")
+	if code != 200 {
+		t.Fatalf("plancache: %d", code)
+	}
+	var st struct {
+		Hits   int64 `json:"hits"`
+		Stores int64 `json:"stores"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("plancache body: %v (%s)", err, body)
+	}
+	if st.Hits < 2 || st.Stores < 1 {
+		t.Errorf("repeated HTTP query did not hit the cache: %s", body)
+	}
+}
+
+// TestCSVStreamOutputStable pins the exact wire bytes of a small CSV
+// result, including a quoted string field.
+func TestCSVStreamOutputStable(t *testing.T) {
+	ts := testServer(t, nil)
+	code, body, hdr := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode("select 1 as a, 'x,y' as b, 2.5 as c"))
+	if code != 200 {
+		t.Fatalf("csv: %d %s", code, body)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "text/csv") {
+		t.Errorf("content type %q", hdr.Get("Content-Type"))
+	}
+	if body != "a,b,c\n1,\"x,y\",2.5\n" {
+		t.Errorf("csv body %q", body)
+	}
+}

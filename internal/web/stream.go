@@ -1,14 +1,17 @@
 package web
 
 import (
-	"encoding/csv"
 	"encoding/json"
 	"encoding/xml"
 	"fmt"
 	"html"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"skyserver/internal/sqlengine"
 	"skyserver/internal/val"
@@ -21,10 +24,12 @@ import (
 // batch, and finish (footers that need end-of-query statistics).
 //
 // Serializers own their scratch: one byte buffer per stream, reused for
-// every batch, written downstream once per batch. XML and HTML render
-// values through val.Value.AppendString instead of per-value String()
-// allocations; JSON and CSV still marshal through encoding/json and
-// encoding/csv, which allocate per row.
+// every batch, written downstream once per batch. All four streaming
+// formats render values through val.Value.AppendString into that buffer —
+// CSV quoting and JSON escaping/number formatting are done by direct
+// buffer append (appendCSVField, appendJSONValue) with encoding/csv- and
+// encoding/json-compatible output, so serialization allocates nothing per
+// row in steady state.
 
 // batchSerializer writes one streamed result set.
 type batchSerializer interface {
@@ -63,10 +68,10 @@ func newBatchSerializer(w http.ResponseWriter, format string) batchSerializer {
 // ---- csv ----
 
 type csvStream struct {
-	w     http.ResponseWriter
-	cw    *csv.Writer
-	rec   []string
-	begun bool
+	w       http.ResponseWriter
+	buf     []byte // per-batch output, reused
+	scratch []byte // per-value rendering, reused
+	begun   bool
 }
 
 func (s *csvStream) started() bool { return s.begun }
@@ -74,9 +79,16 @@ func (s *csvStream) started() bool { return s.begun }
 func (s *csvStream) begin(cols []string) error {
 	s.begun = true
 	s.w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	s.cw = csv.NewWriter(s.w)
-	s.rec = make([]string, len(cols))
-	return s.cw.Write(cols)
+	s.buf = s.buf[:0]
+	for j, c := range cols {
+		if j > 0 {
+			s.buf = append(s.buf, ',')
+		}
+		s.buf = appendCSVField(s.buf, []byte(c))
+	}
+	s.buf = append(s.buf, '\n')
+	_, err := s.w.Write(s.buf)
+	return err
 }
 
 func (s *csvStream) writeBatch(cols []string, b *val.Batch) error {
@@ -85,12 +97,23 @@ func (s *csvStream) writeBatch(cols []string, b *val.Batch) error {
 			return err
 		}
 	}
-	return b.EachErr(func(i int) error {
+	s.buf = s.buf[:0]
+	err := b.EachErr(func(i int) error {
 		for j := range cols {
-			s.rec[j] = b.Col(j)[i].String()
+			if j > 0 {
+				s.buf = append(s.buf, ',')
+			}
+			s.scratch = b.Col(j)[i].AppendString(s.scratch[:0])
+			s.buf = appendCSVField(s.buf, s.scratch)
 		}
-		return s.cw.Write(s.rec)
+		s.buf = append(s.buf, '\n')
+		return nil
 	})
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(s.buf)
+	return err
 }
 
 func (s *csvStream) finish(res *sqlengine.Result) error {
@@ -99,23 +122,56 @@ func (s *csvStream) finish(res *sqlengine.Result) error {
 			return err
 		}
 	}
-	s.cw.Flush()
-	return s.cw.Error()
+	return nil
 }
 
 func (s *csvStream) abort(err error) {
 	if !s.begun {
 		return
 	}
-	s.cw.Flush()
 	fmt.Fprintf(s.w, "# error: result truncated: %s\n", err)
+}
+
+// appendCSVField appends one field with encoding/csv-compatible quoting:
+// a field is quoted when it contains a comma, quote, CR or LF, starts with
+// whitespace, or is the SQL-null-looking `\.`. The no-quote common case —
+// every numeric column — is a single append.
+func appendCSVField(dst, field []byte) []byte {
+	needs := false
+	if len(field) > 0 {
+		if r, _ := utf8.DecodeRune(field); unicode.IsSpace(r) {
+			needs = true
+		}
+	}
+	if !needs {
+		for _, c := range field {
+			if c == ',' || c == '"' || c == '\r' || c == '\n' {
+				needs = true
+				break
+			}
+		}
+	}
+	if !needs && len(field) == 2 && field[0] == '\\' && field[1] == '.' {
+		needs = true
+	}
+	if !needs {
+		return append(dst, field...)
+	}
+	dst = append(dst, '"')
+	for _, c := range field {
+		if c == '"' {
+			dst = append(dst, '"', '"')
+			continue
+		}
+		dst = append(dst, c)
+	}
+	return append(dst, '"')
 }
 
 // ---- json ----
 
 type jsonStream struct {
 	w     http.ResponseWriter
-	row   []interface{}
 	buf   []byte // per-batch output, reused
 	begun bool
 	first bool
@@ -127,7 +183,6 @@ func (s *jsonStream) begin(cols []string) error {
 	s.begun = true
 	s.first = true
 	s.w.Header().Set("Content-Type", "application/json")
-	s.row = make([]interface{}, len(cols))
 	names, err := json.Marshal(cols)
 	if err != nil {
 		return err
@@ -142,21 +197,20 @@ func (s *jsonStream) writeBatch(cols []string, b *val.Batch) error {
 			return err
 		}
 	}
-	row := s.row
 	s.buf = s.buf[:0]
 	err := b.EachErr(func(i int) error {
-		for j := range cols {
-			row[j] = jsonValue(b.Col(j)[i])
-		}
-		enc, err := json.Marshal(row)
-		if err != nil {
-			return err
-		}
 		if !s.first {
 			s.buf = append(s.buf, ',')
 		}
 		s.first = false
-		s.buf = append(s.buf, enc...)
+		s.buf = append(s.buf, '[')
+		for j := range cols {
+			if j > 0 {
+				s.buf = append(s.buf, ',')
+			}
+			s.buf = appendJSONValue(s.buf, b.Col(j)[i])
+		}
+		s.buf = append(s.buf, ']')
 		return nil
 	})
 	if err != nil {
@@ -187,19 +241,121 @@ func (s *jsonStream) abort(err error) {
 	fmt.Fprintf(s.w, `],"error":%s}`, msg)
 }
 
-func jsonValue(v val.Value) interface{} {
+// appendJSONValue appends one value encoded as encoding/json would — ints
+// and floats as numbers (Go's compact float form), strings with the
+// HTML-safe escaping json.Marshal applies, blobs as "0x…" hex strings —
+// by direct buffer append, with no boxing or reflection. The one
+// divergence: a NaN or infinite float (which json.Marshal rejects with an
+// error) renders as null, keeping the already-committed stream valid.
+func appendJSONValue(dst []byte, v val.Value) []byte {
 	switch v.K {
 	case val.KindNull:
-		return nil
+		return append(dst, "null"...)
 	case val.KindInt:
-		return v.I
+		return strconv.AppendInt(dst, v.I, 10)
 	case val.KindFloat:
-		return v.F
+		return appendJSONFloat(dst, v.F)
 	case val.KindString:
-		return v.S
+		return appendJSONString(dst, v.S)
 	default:
-		return fmt.Sprintf("0x%x", v.B)
+		dst = append(dst, '"', '0', 'x')
+		for _, b := range v.B {
+			dst = append(dst, jsonHex[b>>4], jsonHex[b&0xf])
+		}
+		return append(dst, '"')
 	}
+}
+
+// appendJSONFloat matches encoding/json's float64 formatting: shortest
+// representation, 'e' only for very small or very large magnitudes, with
+// the exponent cleaned of its leading zero.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		n := len(dst)
+		if n-start >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s quoted and escaped exactly as json.Marshal
+// with its default HTML escaping: control characters, quote and backslash
+// escaped; '<', '>', '&' as \u00XX; invalid UTF-8 as \ufffd;
+// U+2028/U+2029 as \u2028/\u2029.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters and <, >, &.
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// jsonSafe reports whether an ASCII byte needs no escaping under
+// encoding/json's default (HTML-escaping) encoder.
+func jsonSafe(b byte) bool {
+	if b < 0x20 {
+		return false
+	}
+	switch b {
+	case '"', '\\', '<', '>', '&':
+		return false
+	}
+	return true
 }
 
 // ---- xml ----

@@ -66,6 +66,7 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/en/tools/search/sql.asp", s.handleSQL)
 	s.mux.HandleFunc("/x/sql", s.handleSQL)
+	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
 	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.handleExplore)
 	s.mux.HandleFunc("/en/tools/places/", s.handlePlaces)
 	s.mux.HandleFunc("/en/tools/navi/cutout", s.handleCutout)
@@ -503,6 +504,15 @@ func SchemaDoc(db *sqlengine.DB) schemaDoc {
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(SchemaDoc(s.sdb.DB))
+}
+
+// handlePlanCache reports the shared plan cache's hit/miss/invalidation
+// counters — repeated HTTP traffic (the explorer's point lookups, the
+// navigator's rectangles) executes from cached plans, and benchmarks and
+// operators read the evidence here.
+func (s *Server) handlePlanCache(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.sdb.DB.Plans().Stats())
 }
 
 // handleLoadEvents shows the loader journal — §9.4's "simple web user
