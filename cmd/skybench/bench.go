@@ -1,0 +1,201 @@
+package main
+
+// The benchmark-regression gate: a small comparator over `go test -bench`
+// output, standing in for benchstat so CI needs nothing beyond the Go
+// toolchain. `-exp benchbaseline` distills raw bench output (several
+// -count runs) into BENCH_BASELINE.json; `-exp benchdiff` compares a new
+// raw run against the checked-in baseline and fails (exit 1 via error) on
+// a >25% ns/op regression or ANY allocs/op growth — allocation counts are
+// machine-independent, so they gate exactly, while wall-clock gets the
+// noise allowance.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NsRegressionLimit is the allowed ns/op growth factor before the gate
+// fails (CI runners are noisy; allocations gate exactly).
+const NsRegressionLimit = 1.25
+
+// BenchBaseline is the checked-in BENCH_BASELINE.json document.
+type BenchBaseline struct {
+	// Note records where the numbers came from; informational only.
+	Note       string                 `json:"note"`
+	Go         string                 `json:"go"`
+	Benchmarks map[string]BenchSample `json:"benchmarks"`
+}
+
+// BenchSample is one benchmark's medians.
+type BenchSample struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig13Queries/Q8-8   100   222909 ns/op   6432 B/op   64 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// parseBench reads raw `go test -bench` output and returns per-benchmark
+// medians over however many -count repetitions the run held.
+func parseBench(r io.Reader) (map[string]BenchSample, error) {
+	ns := map[string][]float64{}
+	allocs := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		ns[name] = append(ns[name], v)
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			a, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			allocs[name] = append(allocs[name], a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	out := make(map[string]BenchSample, len(ns))
+	for name, vs := range ns {
+		s := BenchSample{NsOp: median(vs)}
+		if as := allocs[name]; len(as) > 0 {
+			s.AllocsOp = median(as)
+		}
+		out[name] = s
+	}
+	return out, nil
+}
+
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// writeBaseline distills a raw bench run into the baseline JSON.
+func writeBaseline(benchPath, outPath string) error {
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	doc := BenchBaseline{
+		Note:       "medians of `go test -bench <gate set> -benchtime 20x -count 5`; regenerate with skybench -exp benchbaseline",
+		Go:         runtime.Version(),
+		Benchmarks: samples,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d benchmarks\n", outPath, len(samples))
+	return nil
+}
+
+// diffBaseline compares a new raw bench run against the baseline and
+// returns an error when the gate fails.
+func diffBaseline(baselinePath, benchPath string) error {
+	bb, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base BenchBaseline
+	if err := json.Unmarshal(bb, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cur, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	var failures []string
+	for name := range base.Benchmarks {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		} else {
+			// A baseline benchmark absent from the run means the gate's
+			// coverage silently shrank (renamed bench, narrowed -bench
+			// pattern) — fail rather than pass vacuously.
+			failures = append(failures, fmt.Sprintf(
+				"%s: in baseline but missing from the new run", name))
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(failures)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", baselinePath, benchPath)
+	}
+	fmt.Printf("%-44s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δ", "base alloc", "new alloc", "gate")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur[name]
+		ratio := 0.0
+		if b.NsOp > 0 {
+			ratio = c.NsOp / b.NsOp
+		}
+		verdict := "ok"
+		if ratio > NsRegressionLimit {
+			verdict = "FAIL ns/op"
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (%.2fx > %.2fx limit)", name, b.NsOp, c.NsOp, ratio, NsRegressionLimit))
+		}
+		if c.AllocsOp > b.AllocsOp {
+			verdict = strings.TrimPrefix(verdict+" FAIL allocs", "ok ")
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f (any regression fails)", name, b.AllocsOp, c.AllocsOp))
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %7.2fx %10.0f %10.0f %8s\n",
+			name, b.NsOp, c.NsOp, ratio, b.AllocsOp, c.AllocsOp, verdict)
+	}
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-44s (no baseline; add with -exp benchbaseline)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchmark gate passed: %d benchmarks within limits\n", len(names))
+	return nil
+}

@@ -14,6 +14,15 @@
 //	skybench -exp all        everything above
 //
 // -scale sets the survey size as a fraction of the 14M-object EDR.
+//
+// Two additional experiments implement the CI benchmark-regression gate
+// over raw `go test -bench` output (no server is built for these):
+//
+//	skybench -exp benchbaseline -bench bench.txt -out BENCH_BASELINE.json
+//	skybench -exp benchdiff -baseline BENCH_BASELINE.json -bench bench.txt
+//
+// benchdiff exits non-zero when a benchmark regresses more than 25% in
+// ns/op or by any amount in allocs/op.
 package main
 
 import (
@@ -30,12 +39,24 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 fig5 plans fig12 fig13 fig15 warmcold neighbors load personal all")
+	exp := flag.String("exp", "all", "experiment: table1 fig5 plans fig12 fig13 fig15 warmcold neighbors load personal all benchbaseline benchdiff")
 	scale := flag.Float64("scale", 1.0/400, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "benchdiff: baseline JSON to compare against")
+	bench := flag.String("bench", "", "benchbaseline/benchdiff: raw `go test -bench` output file")
+	out := flag.String("out", "BENCH_BASELINE.json", "benchbaseline: output JSON path")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed); err != nil {
+	var err error
+	switch *exp {
+	case "benchbaseline":
+		err = writeBaseline(*bench, *out)
+	case "benchdiff":
+		err = diffBaseline(*baseline, *bench)
+	default:
+		err = run(*exp, *scale, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "skybench:", err)
 		os.Exit(1)
 	}

@@ -25,17 +25,26 @@ func main() {
 	seed := flag.Int64("seed", 20020603, "survey seed")
 	public := flag.Bool("public", true, "enforce the public limits (1,000 rows / 30s)")
 	accessLog := flag.String("accesslog", "", "write the access log to this file")
+	scanWorkers := flag.Int("scanworkers", 0, "persistent scan-worker pool size (0 = auto)")
+	maxConcurrent := flag.Int("maxconcurrent", 0, "max concurrently executing queries (0 = auto)")
+	queueDepth := flag.Int("queuedepth", 0, "admission queue depth before 503s (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = the public 30s default)")
 	flag.Parse()
 
 	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
-	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed})
+	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
 	log.Printf("loaded %d photo objects, %d spectra", s.DB().PhotoObj.Rows(), s.DB().SpecObj.Rows())
 
-	opt := web.Options{Public: *public}
+	opt := web.Options{
+		Public:        *public,
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

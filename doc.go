@@ -114,6 +114,41 @@
 //     oracle internal/queries' equivalence test runs the Q1–Q20 workload
 //     against to prove recycling never corrupts results.
 //
+// # Query scheduler: worker pool and admission control
+//
+// internal/sched governs how queries share the machine, the answer to
+// §7's operational story (2.5M hits in seven months with 20× television
+// driven spikes):
+//
+//   - A persistent scan-worker pool (sched.Pool) lives on the storage
+//     FileGroup for the life of the database. Parallel heap scans no
+//     longer spawn goroutines per query: Heap.ScanBatches dispatches
+//     shard tasks onto the pool, and shards claim pages in morsel-sized
+//     chunks from per-stripe atomic counters. Shard w drains stripe w
+//     first (pages ≡ w mod dop — one volume per worker when dop equals
+//     the stripe width, the paper's parallel prefetch model) and then
+//     steals leftovers from other stripes, so a shard the pool schedules
+//     late never strands work. One shard always runs on the submitting
+//     goroutine, so a saturated pool degrades to inline execution instead
+//     of deadlocking. Worker errors are joined (errors.Join), not
+//     first-one-wins.
+//   - Every query carries a context.Context (Session.ExecContext /
+//     ExecStreamContext): operators poll cancellation at batch
+//     boundaries, the storage scan loop checks it between morsels, and a
+//     closed HTTP connection or expired deadline aborts the query with
+//     ErrCanceled / ErrTimeout within one batch. ExecOptions gained
+//     Deadline (absolute; the earlier of it and Timeout wins) and
+//     MaxConcurrency (caps one query's scan parallelism).
+//   - The web layer admits query-running requests through an admission
+//     gate (sched.Scheduler): at most MaxConcurrent queries execute, at
+//     most QueueDepth more wait, and everything past that is shed
+//     immediately with a well-formed 503 + Retry-After. Per-query
+//     statistics — queue wait, execution time, pages and rows scanned —
+//     aggregate at the /x/sched endpoint next to the pool's counters
+//     (the endpoint itself is ungated so operators can watch an
+//     overloaded server shed load). cmd/skyserver exposes -scanworkers,
+//     -maxconcurrent, -queuedepth and -timeout.
+//
 // Around the engine sit the Hierarchical Triangular Mesh spatial index
 // (internal/htm); the SDSS snowflake schema with subclassing views and
 // spatial table-valued functions (internal/schema); a deterministic

@@ -36,6 +36,10 @@ type Config struct {
 	// Volumes is the stripe width of the file group (the paper used 4
 	// mirrored data volumes). Default 4.
 	Volumes int
+	// ScanWorkers sizes the file group's persistent scan-worker pool
+	// (0 = sched.DefaultPoolSize). Parallel scans dispatch page morsels
+	// onto this pool instead of spawning goroutines per query.
+	ScanWorkers int
 	// CachePages sizes the page cache (default 1<<16 pages = 512 MB max).
 	CachePages int
 	// Dir, when set, backs volumes with files under this directory
@@ -89,6 +93,7 @@ func Open(cfg Config) (*SkyServer, error) {
 		vols = append(vols, fv)
 	}
 	fg := storage.NewFileGroup(vols, cfg.CachePages)
+	fg.SetScanWorkers(cfg.ScanWorkers)
 	sdb, err := schema.Build(fg)
 	if err != nil {
 		return nil, err
@@ -325,6 +330,7 @@ func copyRows(src, dst *sqlengine.Table, keep func(val.Row) bool) error {
 // returning rows/second and bytes/second.
 func LoadRate(scale float64, seed int64) (rowsPerSec, bytesPerSec float64, err error) {
 	fg := storage.NewMemFileGroup(4, 1<<14)
+	defer fg.Close()
 	sdb, err := schema.Build(fg)
 	if err != nil {
 		return 0, 0, err

@@ -132,6 +132,7 @@ func Fig12(cfg Fig12Config) (Fig12Result, error) {
 	}
 	vols := storage.NewThrottledVolumes(raw, model)
 	fg := storage.NewFileGroup(vols, 512) // ~4 MB cache: scans stay cold
+	defer fg.Close()
 	sdb, err := schema.Build(fg)
 	if err != nil {
 		return r, err
@@ -226,6 +227,7 @@ func fig15Point(disks int, cfg Fig15Config) (Fig15Point, error) {
 	}
 	vols := storage.NewThrottledVolumes(raw, model)
 	fg := storage.NewFileGroup(vols, 0) // no cache: every page pays the model
+	defer fg.Close()
 	db := sqlengine.NewDB(fg)
 	t, err := db.CreateTable("T", []sqlengine.Column{
 		{Name: "id", Kind: val.KindInt, NotNull: true},
@@ -384,6 +386,7 @@ type LoadResult struct {
 func Load(scale float64, seed int64) (LoadResult, error) {
 	var r LoadResult
 	fg := storage.NewMemFileGroup(4, 1<<14)
+	defer fg.Close()
 	sdb, err := schema.Build(fg)
 	if err != nil {
 		return r, err

@@ -1,0 +1,194 @@
+// Package sched is the SkyServer's query scheduler: a persistent pool of
+// scan workers (Pool) that replaces per-query goroutine fan-out with
+// morsel-style shard dispatch onto DB-lifetime workers, and an admission
+// controller (Scheduler) that bounds how many queries run and wait at
+// once, so a §7-style traffic spike (the 20× television peak) degrades
+// into orderly 503s instead of unbounded goroutine growth.
+//
+// The package depends only on the standard library: storage dispatches
+// scans through Pool, the web layer gates requests through Scheduler, and
+// neither direction imports back into sched.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of parallel work: RunShard is invoked once per shard with
+// shard indices 0..n-1 (n from Pool.Run), concurrently, from pool workers
+// and from the submitting goroutine. Implementations pass a pointer so
+// dispatch allocates nothing.
+type Task interface {
+	RunShard(shard int)
+}
+
+// job tracks one Run call's progress through the pool. Jobs are pooled:
+// a steady-state Run allocates nothing.
+type job struct {
+	task Task
+	next atomic.Int64 // next shard index to claim
+	wg   sync.WaitGroup
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// Pool is a fixed-size set of persistent worker goroutines. Workers live
+// for the life of the pool (the life of the database's file group), so a
+// parallel scan pays a channel send per shard instead of a goroutine
+// spawn per worker per query.
+type Pool struct {
+	size  int
+	tasks chan *job
+	quit  chan struct{}
+
+	mu     sync.RWMutex // guards closed against racing dispatch
+	closed bool
+
+	jobs         atomic.Int64 // Run calls with n > 1
+	shardsPool   atomic.Int64 // shards executed by pool workers
+	shardsInline atomic.Int64 // shards executed on the submitting goroutine
+	busy         atomic.Int64 // workers currently inside RunShard
+}
+
+// DefaultPoolSize is the default worker count: enough to give every
+// volume of a wide stripe its own scan worker (the Figure 15 experiment
+// runs 12 disks) with headroom for concurrent queries, without scaling
+// past what the host can run.
+func DefaultPoolSize() int {
+	n := 4 * runtime.NumCPU()
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// NewPool starts size persistent workers (size <= 0 selects
+// DefaultPoolSize).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = DefaultPoolSize()
+	}
+	p := &Pool{
+		size:  size,
+		tasks: make(chan *job, 4*size),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case j := <-p.tasks:
+			p.runOne(j)
+		case <-p.quit:
+			// Drain work dispatched before the pool closed; Close
+			// guarantees no further sends.
+			for {
+				select {
+				case j := <-p.tasks:
+					p.runOne(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *Pool) runOne(j *job) {
+	shard := int(j.next.Add(1) - 1)
+	p.busy.Add(1)
+	j.task.RunShard(shard)
+	p.busy.Add(-1)
+	p.shardsPool.Add(1)
+	j.wg.Done()
+}
+
+// Run executes t.RunShard(shard) for every shard in 0..n-1 and returns
+// when all have finished. One shard always runs on the calling goroutine
+// (the scan's own request handler is a worker too), so a saturated — or
+// closed — pool degrades to inline execution instead of deadlocking;
+// shards the dispatch channel cannot accept run inline as well.
+func (p *Pool) Run(n int, t Task) {
+	if n <= 1 {
+		if n == 1 {
+			t.RunShard(0)
+		}
+		return
+	}
+	j := jobPool.Get().(*job)
+	j.task = t
+	j.next.Store(0)
+	j.wg.Add(n)
+	dispatched := 0
+	p.mu.RLock()
+	if !p.closed {
+		for i := 0; i < n-1; i++ {
+			select {
+			case p.tasks <- j:
+				dispatched++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	p.mu.RUnlock()
+	p.jobs.Add(1)
+	for k := dispatched; k < n; k++ {
+		shard := int(j.next.Add(1) - 1)
+		j.task.RunShard(shard)
+		p.shardsInline.Add(1)
+		j.wg.Done()
+	}
+	j.wg.Wait()
+	j.task = nil
+	jobPool.Put(j)
+}
+
+// Close stops the workers after they finish the work already dispatched.
+// Run remains safe to call afterwards; it executes entirely inline.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+}
+
+// PoolStats is a snapshot of pool activity for /x/sched.
+type PoolStats struct {
+	Workers      int   `json:"workers"`
+	Busy         int64 `json:"busy"`
+	QueuedShards int   `json:"queuedShards"`
+	Jobs         int64 `json:"jobs"`
+	ShardsPool   int64 `json:"shardsPool"`
+	ShardsInline int64 `json:"shardsInline"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		Workers:      p.size,
+		Busy:         p.busy.Load(),
+		QueuedShards: len(p.tasks),
+		Jobs:         p.jobs.Load(),
+		ShardsPool:   p.shardsPool.Load(),
+		ShardsInline: p.shardsInline.Load(),
+	}
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// counterTask marks each shard it runs.
+type counterTask struct {
+	runs []atomic.Int64
+}
+
+func (t *counterTask) RunShard(shard int) { t.runs[shard].Add(1) }
+
+func TestPoolRunsEveryShardOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 4, 7, 32} {
+		task := &counterTask{runs: make([]atomic.Int64, n)}
+		p.Run(n, task)
+		for i := range task.runs {
+			if got := task.runs[i].Load(); got != 1 {
+				t.Fatalf("n=%d: shard %d ran %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentJobs(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				task := &counterTask{runs: make([]atomic.Int64, 5)}
+				p.Run(5, task)
+				for s := range task.runs {
+					if task.runs[s].Load() != 1 {
+						t.Errorf("shard %d not run exactly once", s)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Jobs != 16*20 {
+		t.Errorf("jobs = %d, want %d", st.Jobs, 16*20)
+	}
+	if st.ShardsPool+st.ShardsInline != 16*20*5 {
+		t.Errorf("shards = %d pool + %d inline, want %d total",
+			st.ShardsPool, st.ShardsInline, 16*20*5)
+	}
+}
+
+func TestPoolRunAfterCloseIsInline(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	task := &counterTask{runs: make([]atomic.Int64, 6)}
+	p.Run(6, task)
+	for i := range task.runs {
+		if task.runs[i].Load() != 1 {
+			t.Fatalf("shard %d not run after close", i)
+		}
+	}
+	if st := p.Stats(); st.ShardsInline != 6 {
+		t.Errorf("inline shards = %d, want 6", st.ShardsInline)
+	}
+}
+
+func TestSchedulerAdmitBounds(t *testing.T) {
+	s := NewScheduler(2, 1)
+	ctx := context.Background()
+
+	t1, err := s.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Admit(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both slots taken: the next admit parks in the queue.
+	admitted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(ctx, "queued")
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+		}
+		admitted <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+
+	// Queue full: immediate rejection.
+	if _, err := s.Admit(ctx, "over"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit past queue bound: err = %v, want ErrOverloaded", err)
+	}
+
+	// Releasing a slot admits the queued request.
+	t1.Done(nil)
+	tk := <-admitted
+	tk.AddWork(3, 100)
+	tk.Done(nil)
+	t2.Done(errors.New("boom"))
+
+	st := s.Stats()
+	if st.Admitted != 3 || st.Rejected != 1 {
+		t.Errorf("admitted/rejected = %d/%d, want 3/1", st.Admitted, st.Rejected)
+	}
+	if st.Completed != 2 || st.Failed != 1 {
+		t.Errorf("completed/failed = %d/%d, want 2/1", st.Completed, st.Failed)
+	}
+	if st.PagesScanned != 3 || st.RowsScanned != 100 {
+		t.Errorf("pages/rows = %d/%d, want 3/100", st.PagesScanned, st.RowsScanned)
+	}
+	if len(st.Recent) != 3 {
+		t.Errorf("recent = %d records, want 3", len(st.Recent))
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
+	}
+}
+
+func TestSchedulerAdmitContextCancel(t *testing.T) {
+	s := NewScheduler(1, 4)
+	tk, err := s.Admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, "waiter")
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued admit after cancel: err = %v, want context.Canceled", err)
+	}
+	st := s.Stats()
+	if st.Abandoned != 1 || st.Queued != 0 {
+		t.Errorf("abandoned/queued = %d/%d, want 1/0", st.Abandoned, st.Queued)
+	}
+	tk.Done(nil)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Admit when the run queue is full — the web
+// layer translates it to 503 + Retry-After, the §7 answer to a 20×
+// traffic spike: shed load predictably instead of collapsing.
+var ErrOverloaded = errors.New("sched: server overloaded, run queue full")
+
+// Scheduler is the admission-control gate in front of query execution: at
+// most MaxConcurrent queries run at once, at most QueueDepth more wait in
+// line, and everything beyond that is rejected immediately. Per-query
+// statistics (queue wait, execution time, pages and rows scanned) are
+// aggregated for the /x/sched endpoint.
+type Scheduler struct {
+	maxConcurrent int
+	queueDepth    int
+	slots         chan struct{}
+	queued        atomic.Int64
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	abandoned atomic.Int64 // gave up waiting (context done in queue)
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	queueWaitNs    atomic.Int64
+	maxQueueWaitNs atomic.Int64
+	execNs         atomic.Int64
+	maxExecNs      atomic.Int64
+	pages          atomic.Int64
+	rows           atomic.Int64
+
+	recentMu sync.Mutex
+	recent   []QueryRecord
+	recentAt int
+}
+
+// DefaultMaxConcurrent and DefaultQueueDepth size the gate for a small
+// public server: a handful of queries execute (each may fan out scan
+// shards onto the pool) while a burst parks in the queue.
+func DefaultMaxConcurrent() int {
+	n := 2 * runtime.NumCPU()
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+const DefaultQueueDepth = 64
+
+// NewScheduler builds a gate admitting maxConcurrent queries with a wait
+// queue of queueDepth (<= 0 selects the defaults).
+func NewScheduler(maxConcurrent, queueDepth int) *Scheduler {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent()
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	s := &Scheduler{
+		maxConcurrent: maxConcurrent,
+		queueDepth:    queueDepth,
+		slots:         make(chan struct{}, maxConcurrent),
+		recent:        make([]QueryRecord, 0, recentQueries),
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// Ticket is one admitted query's run token. Release it with Done exactly
+// once.
+type Ticket struct {
+	s        *Scheduler
+	enqueued time.Time
+	admitted time.Time
+	label    string
+	pages    int64
+	rows     int64
+}
+
+// Admit blocks until a run slot is free, the context is done, or the
+// queue bound is exceeded (ErrOverloaded, immediately). label tags the
+// query in the recent-queries report.
+func (s *Scheduler) Admit(ctx context.Context, label string) (*Ticket, error) {
+	enq := time.Now()
+	select {
+	case <-s.slots:
+	default:
+		if s.queued.Add(1) > int64(s.queueDepth) {
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case <-s.slots:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.abandoned.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	now := time.Now()
+	wait := now.Sub(enq).Nanoseconds()
+	s.admitted.Add(1)
+	s.queueWaitNs.Add(wait)
+	storeMax(&s.maxQueueWaitNs, wait)
+	return &Ticket{s: s, enqueued: enq, admitted: now, label: label}, nil
+}
+
+// AddWork accumulates one execution's scan work into the ticket (called
+// once per statement the handler ran).
+func (t *Ticket) AddWork(pages, rows int64) {
+	if t == nil {
+		return
+	}
+	t.pages += pages
+	t.rows += rows
+}
+
+// Done releases the run slot and records the query's statistics. err is
+// the query's outcome (nil for success).
+func (t *Ticket) Done(err error) {
+	if t == nil || t.s == nil {
+		return
+	}
+	s := t.s
+	t.s = nil
+	exec := time.Since(t.admitted).Nanoseconds()
+	s.execNs.Add(exec)
+	storeMax(&s.maxExecNs, exec)
+	s.pages.Add(t.pages)
+	s.rows.Add(t.rows)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	rec := QueryRecord{
+		Label:       t.label,
+		QueueWaitMs: float64(t.admitted.Sub(t.enqueued).Nanoseconds()) / 1e6,
+		ExecMs:      float64(exec) / 1e6,
+		Pages:       t.pages,
+		Rows:        t.rows,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.recentMu.Lock()
+	if len(s.recent) < recentQueries {
+		s.recent = append(s.recent, rec)
+	} else {
+		s.recent[s.recentAt] = rec
+	}
+	s.recentAt = (s.recentAt + 1) % recentQueries
+	s.recentMu.Unlock()
+	s.slots <- struct{}{}
+}
+
+// recentQueries bounds the per-query ring in the stats report.
+const recentQueries = 32
+
+// QueryRecord is one finished query in the recent ring.
+type QueryRecord struct {
+	Label       string  `json:"label"`
+	QueueWaitMs float64 `json:"queueWaitMs"`
+	ExecMs      float64 `json:"execMs"`
+	Pages       int64   `json:"pages"`
+	Rows        int64   `json:"rows"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Stats is the /x/sched snapshot.
+type Stats struct {
+	MaxConcurrent int   `json:"maxConcurrent"`
+	QueueDepth    int   `json:"queueDepth"`
+	Running       int   `json:"running"`
+	Queued        int64 `json:"queued"`
+
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Abandoned int64 `json:"abandoned"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+
+	AvgQueueWaitMs float64 `json:"avgQueueWaitMs"`
+	MaxQueueWaitMs float64 `json:"maxQueueWaitMs"`
+	AvgExecMs      float64 `json:"avgExecMs"`
+	MaxExecMs      float64 `json:"maxExecMs"`
+	PagesScanned   int64   `json:"pagesScanned"`
+	RowsScanned    int64   `json:"rowsScanned"`
+
+	Recent []QueryRecord `json:"recent"`
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		MaxConcurrent:  s.maxConcurrent,
+		QueueDepth:     s.queueDepth,
+		Running:        s.maxConcurrent - len(s.slots),
+		Queued:         s.queued.Load(),
+		Admitted:       s.admitted.Load(),
+		Rejected:       s.rejected.Load(),
+		Abandoned:      s.abandoned.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		MaxQueueWaitMs: float64(s.maxQueueWaitNs.Load()) / 1e6,
+		MaxExecMs:      float64(s.maxExecNs.Load()) / 1e6,
+		PagesScanned:   s.pages.Load(),
+		RowsScanned:    s.rows.Load(),
+	}
+	if n := st.Admitted; n > 0 {
+		st.AvgQueueWaitMs = float64(s.queueWaitNs.Load()) / 1e6 / float64(n)
+	}
+	if n := st.Completed + st.Failed; n > 0 {
+		st.AvgExecMs = float64(s.execNs.Load()) / 1e6 / float64(n)
+	}
+	s.recentMu.Lock()
+	st.Recent = append(st.Recent, s.recent...)
+	s.recentMu.Unlock()
+	return st
+}
+
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sqlengine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"skyserver/internal/val"
+)
+
+// cancelDB builds a database with enough rows that a full scan spans many
+// batch boundaries — the granularity cancellation is polled at.
+func cancelDB(t *testing.T) (*DB, *Session) {
+	t.Helper()
+	db, sess := testDB(t)
+	obj, err := db.Table("Obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		row := val.Row{
+			val.Int(int64(i)), val.Int(int64(i % 7)), val.Int(int64(i % 6)),
+			val.Int(int64(i % 100)), val.Float(float64(i % 360)), val.Float(float64(i%60) - 30),
+			val.Float(float64(i%25) + 1), val.Float(float64(i%22) + 1),
+			val.Int(3), val.Int(1), val.Str("x"),
+		}
+		if _, err := obj.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, sess
+}
+
+func TestExecContextCanceled(t *testing.T) {
+	_, sess := cancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sess.ExecContext(ctx, "select count(*) from Obj where mag_r - mag_g > 1", ExecOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestExecContextDeadlineIsTimeout(t *testing.T) {
+	_, sess := cancelDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := sess.ExecContext(ctx, "select count(*) from Obj where mag_r - mag_g > 1", ExecOptions{})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestExecOptionsDeadline(t *testing.T) {
+	_, sess := cancelDB(t)
+	_, err := sess.Exec("select count(*) from Obj where mag_r - mag_g > 1",
+		ExecOptions{Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The earlier of Timeout and Deadline wins: a generous deadline must
+	// not mask an already-expired timeout and vice versa.
+	_, err = sess.Exec("select count(*) from Obj where mag_r - mag_g > 1",
+		ExecOptions{Timeout: time.Nanosecond, Deadline: time.Now().Add(time.Hour)})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout from the shorter timeout", err)
+	}
+}
+
+func TestExecContextCancelMidStream(t *testing.T) {
+	_, sess := cancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	batches := 0
+	_, err := sess.ExecStreamContext(ctx, "select objID, mag_r from Obj", ExecOptions{},
+		func(cols []string, b *val.Batch) error {
+			batches++
+			if batches == 2 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if batches >= 20 {
+		t.Errorf("saw %d batches after cancellation, want an early abort", batches)
+	}
+}
+
+// TestMaxRowsTruncationUnderParallelScan regresses the joined-sentinel
+// bug: when several scan shards hit the MaxRows limit concurrently, their
+// errStopEarly returns are joined by the storage layer, and runPlan must
+// still recognize the early stop (errors.Is, not ==) and return the
+// truncated rows instead of an error.
+func TestMaxRowsTruncationUnderParallelScan(t *testing.T) {
+	_, sess := cancelDB(t)
+	for i := 0; i < 300; i++ {
+		res, err := sess.Exec("select objID from Obj", ExecOptions{MaxRows: 1, DOP: 4})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !res.Truncated || len(res.Rows) != 1 {
+			t.Fatalf("iteration %d: truncated=%v rows=%d, want true/1", i, res.Truncated, len(res.Rows))
+		}
+	}
+}
+
+func TestMaxConcurrencyCapsScanDOP(t *testing.T) {
+	ctx := &ExecCtx{DOP: 0, MaxDOP: 2}
+	if got := ctx.scanDOP(8); got != 2 {
+		t.Errorf("scanDOP(8) with MaxDOP 2 = %d, want 2", got)
+	}
+	ctx = &ExecCtx{DOP: 6, MaxDOP: 4}
+	if got := ctx.scanDOP(8); got != 4 {
+		t.Errorf("scanDOP with DOP 6, MaxDOP 4 = %d, want 4", got)
+	}
+	ctx = &ExecCtx{DOP: 0}
+	if got := ctx.scanDOP(8); got != 8 {
+		t.Errorf("scanDOP(8) uncapped = %d, want 8", got)
+	}
+	// A capped query still returns correct results.
+	_, sess := cancelDB(t)
+	res, err := sess.Exec("select count(*) from Obj where mag_r - mag_g > 1",
+		ExecOptions{MaxConcurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := sess.Exec("select count(*) from Obj where mag_r - mag_g > 1", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != unc.Rows[0][0].I {
+		t.Errorf("capped count %d != uncapped %d", res.Rows[0][0].I, unc.Rows[0][0].I)
+	}
+}

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,11 +27,19 @@ type ExecCtx struct {
 	// what lets one immutable plan serve every constant binding of a query
 	// shape.
 	Params []val.Value
+	// Ctx is the per-query context: cancellation (a closed HTTP
+	// connection, an admission-control abort) is polled by every operator
+	// at batch boundaries and by the storage scan loop between morsels.
+	// nil means no cancellation (context.Background()).
+	Ctx context.Context
 	// Deadline aborts the query when exceeded (zero = none).
 	Deadline time.Time
 	// DOP is the degree of parallelism for heap scans; 0 = one worker
 	// per volume, 1 = serial.
 	DOP int
+	// MaxDOP caps the resolved scan parallelism (0 = uncapped) — the
+	// ExecOptions.MaxConcurrency knob.
+	MaxDOP int
 	// ForceRowExprs disables the vectorized expression kernels, routing
 	// every filter and projection through the row-at-a-time fallback.
 	// Data still flows in batches; only expression evaluation changes.
@@ -43,8 +52,31 @@ type ExecCtx struct {
 	DisablePooling bool
 
 	// Stats.
-	RowsScanned atomic.Int64
-	RowsOutput  atomic.Int64
+	RowsScanned  atomic.Int64
+	RowsOutput   atomic.Int64
+	PagesScanned atomic.Int64
+}
+
+// queryCtx returns the query's context (never nil).
+func (ctx *ExecCtx) queryCtx() context.Context {
+	if ctx.Ctx != nil {
+		return ctx.Ctx
+	}
+	return context.Background()
+}
+
+// scanDOP resolves the effective heap-scan parallelism for a table with
+// the given stripe width: DOP (0 = one worker per volume) clamped to
+// MaxDOP.
+func (ctx *ExecCtx) scanDOP(volumes int) int {
+	dop := ctx.DOP
+	if dop <= 0 {
+		dop = volumes
+	}
+	if ctx.MaxDOP > 0 && dop > ctx.MaxDOP {
+		dop = ctx.MaxDOP
+	}
+	return dop
 }
 
 // getBatch acquires a batch for an operator: pooled unless DisablePooling.
@@ -70,14 +102,39 @@ func (ctx *ExecCtx) getArena() *val.Arena {
 // server's 30-second computation limit.
 var ErrTimeout = errors.New("sql: query exceeded the time limit")
 
+// ErrCanceled is returned when a query's context is canceled before it
+// completes (the HTTP client went away, or the server shed the query).
+var ErrCanceled = errors.New("sql: query canceled")
+
 // errStopEarly aborts execution without error (TOP n satisfied).
 var errStopEarly = errors.New("sql: stop early")
 
+// checkDeadline polls the query's cancellation signals: the wall-clock
+// deadline and the context. Operators call it at batch boundaries.
 func (ctx *ExecCtx) checkDeadline() error {
 	if !ctx.Deadline.IsZero() && time.Now().After(ctx.Deadline) {
 		return ErrTimeout
 	}
+	if ctx.Ctx != nil {
+		select {
+		case <-ctx.Ctx.Done():
+			return mapCtxErr(ctx.Ctx.Err())
+		default:
+		}
+	}
 	return nil
+}
+
+// mapCtxErr translates a context error into the engine's query errors.
+func mapCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrTimeout
+	default:
+		return ErrCanceled
+	}
 }
 
 // batchFn consumes one batch of rows. The batch is owned by the producer
@@ -223,7 +280,8 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		ar    *val.Arena
 	}
 	workers := make([]workerMem, 0, 8)
-	err := s.table.heap.ScanBatches(ctx.DOP, func(worker int) (storage.RecBatchFunc, func() error) {
+	dop := ctx.scanDOP(s.table.heap.NumVolumes())
+	err := s.table.heap.ScanBatchesCtx(ctx.queryCtx(), dop, func(worker int) (storage.RecBatchFunc, func() error) {
 		batch := ctx.getBatch(width, val.BatchSize, s.needed)
 		ar := ctx.getArena()
 		workers = append(workers, workerMem{batch, ar})
@@ -246,6 +304,7 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 			return nil
 		}
 		fn := func(rids []storage.RID, recs [][]byte) error {
+			ctx.PagesScanned.Add(1)
 			if n := rowsSeen.Add(int64(len(recs))); n%4096 < int64(len(recs)) {
 				if err := ctx.checkDeadline(); err != nil {
 					return err
@@ -271,6 +330,11 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		w.ar.Release()
 	}
 	ctx.RowsScanned.Add(rowsSeen.Load())
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The storage scan loop surfaces raw context errors; report them
+		// as the engine's query errors.
+		err = mapCtxErr(err)
+	}
 	return err
 }
 

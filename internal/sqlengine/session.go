@@ -1,6 +1,8 @@
 package sqlengine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -60,7 +62,14 @@ func (s *Session) Temp(name string) (*MemTable, bool) {
 type ExecOptions struct {
 	MaxRows int
 	Timeout time.Duration
-	DOP     int
+	// Deadline is an absolute cut-off; when both Timeout and Deadline are
+	// set the earlier one wins. Zero means none.
+	Deadline time.Time
+	DOP      int
+	// MaxConcurrency caps the scan parallelism a query may use after DOP
+	// resolution (0 = uncapped): an overloaded server can keep admitting
+	// queries while bounding how many pool workers each one occupies.
+	MaxConcurrency int
 	// ForceRowExprs disables the vectorized expression kernels so every
 	// filter and projection runs through the row-at-a-time fallback — a
 	// diagnostic and testing knob. Result sets are identical either way;
@@ -104,6 +113,9 @@ type Result struct {
 	CPU     time.Duration
 	// RowsScanned counts records visited by scans and probes.
 	RowsScanned int64
+	// PagesScanned counts heap pages visited by table scans — the scan
+	// work the /x/sched statistics aggregate per query.
+	PagesScanned int64
 	// PlanCacheHit reports that the batch executed from a cached plan
 	// (single cacheable SELECTs only; see PlanCache).
 	PlanCacheHit bool
@@ -121,7 +133,15 @@ type ResultBatchFunc func(cols []string, b *val.Batch) error
 
 // Exec parses and runs a batch, returning the last statement's result.
 func (s *Session) Exec(sql string, opt ExecOptions) (*Result, error) {
-	return s.exec(sql, opt, nil)
+	return s.exec(context.Background(), sql, opt, nil)
+}
+
+// ExecContext is Exec under a context: cancellation (a closed HTTP
+// connection, a shed query) aborts execution at the next batch boundary
+// with ErrCanceled, and a context deadline behaves like Timeout
+// (ErrTimeout).
+func (s *Session) ExecContext(ctx context.Context, sql string, opt ExecOptions) (*Result, error) {
+	return s.exec(ctx, sql, opt, nil)
 }
 
 // ExecStream is Exec, except the last SELECT's result set is delivered to
@@ -130,7 +150,14 @@ func (s *Session) Exec(sql string, opt ExecOptions) (*Result, error) {
 // returned Result carries the schema, plan, and statistics with Rows nil
 // for the streamed statement; other statements behave exactly as in Exec.
 func (s *Session) ExecStream(sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
-	return s.exec(sql, opt, sink)
+	return s.exec(context.Background(), sql, opt, sink)
+}
+
+// ExecStreamContext is ExecStream under a context (see ExecContext); a
+// mid-stream cancellation stops the executor before the next batch is
+// serialized.
+func (s *Session) ExecStreamContext(ctx context.Context, sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
+	return s.exec(ctx, sql, opt, sink)
 }
 
 // exec is the batch entry point, implementing the query lifecycle
@@ -140,22 +167,40 @@ func (s *Session) ExecStream(sql string, opt ExecOptions, sink ResultBatchFunc) 
 // the cached plan — no parsing, no planning, no per-shape allocation. On a
 // miss the batch parses with its literals as parameters, executes, and a
 // cacheable batch stores its compiled plan for every later session.
-func (s *Session) exec(sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
+func (s *Session) exec(ctx context.Context, sql string, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
 	if opt.DisablePlanCache {
 		stmts, err := Parse(sql)
 		if err != nil {
 			return nil, err
 		}
-		return s.execStmts(stmts, nil, opt, sink, "")
+		return s.execStmts(ctx, stmts, nil, opt, sink, "")
 	}
 	pr, err := s.normalizeAndProbe(sql)
 	if err != nil {
 		return nil, err
 	}
 	if pr.hit != nil {
-		return s.execCachedPlan(pr.hit, pr.params, opt, sink)
+		return s.execCachedPlan(ctx, pr.hit, pr.params, opt, sink)
 	}
-	return s.execStmts(pr.stmts, pr.params, opt, sink, pr.storeKey)
+	return s.execStmts(ctx, pr.stmts, pr.params, opt, sink, pr.storeKey)
+}
+
+// newExecCtx builds the per-execution context from the options and the
+// caller's context.Context, resolving the effective deadline (the earlier
+// of start+Timeout and Deadline).
+func (s *Session) newExecCtx(ctx context.Context, params []val.Value, opt ExecOptions, start time.Time) *ExecCtx {
+	ec := &ExecCtx{
+		DB: s.db, Session: s, Params: params, Ctx: ctx,
+		DOP: opt.DOP, MaxDOP: opt.MaxConcurrency,
+		ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling,
+	}
+	if opt.Timeout > 0 {
+		ec.Deadline = start.Add(opt.Timeout)
+	}
+	if !opt.Deadline.IsZero() && (ec.Deadline.IsZero() || opt.Deadline.Before(ec.Deadline)) {
+		ec.Deadline = opt.Deadline
+	}
+	return ec
 }
 
 // probe is the outcome of the shared normalize → cache-probe → parse
@@ -199,7 +244,7 @@ func (s *Session) normalizeAndProbe(sql string) (probe, error) {
 // on the DisablePlanCache path, whose AST carries literals). A non-empty
 // storeKey stores the batch's compiled plan in the shared cache after a
 // successful run.
-func (s *Session) execStmts(stmts []Statement, params []val.Value, opt ExecOptions, sink ResultBatchFunc, storeKey string) (*Result, error) {
+func (s *Session) execStmts(qctx context.Context, stmts []Statement, params []val.Value, opt ExecOptions, sink ResultBatchFunc, storeKey string) (*Result, error) {
 	// The last SELECT of the batch is the result statement; it streams to
 	// the sink (a SELECT INTO both streams and fills its target table, so
 	// every format agrees with the materializing path).
@@ -214,10 +259,7 @@ func (s *Session) execStmts(stmts []Statement, params []val.Value, opt ExecOptio
 	res := &Result{}
 	startWall := time.Now()
 	startCPU := processCPU()
-	ctx := &ExecCtx{DB: s.db, Session: s, Params: params, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
-	if opt.Timeout > 0 {
-		ctx.Deadline = startWall.Add(opt.Timeout)
-	}
+	ctx := s.newExecCtx(qctx, params, opt, startWall)
 	for i, st := range stmts {
 		var sk ResultBatchFunc
 		if i == lastSel {
@@ -233,12 +275,13 @@ func (s *Session) execStmts(stmts []Statement, params []val.Value, opt ExecOptio
 	res.Elapsed = time.Since(startWall)
 	res.CPU = processCPU() - startCPU
 	res.RowsScanned = ctx.RowsScanned.Load()
+	res.PagesScanned = ctx.PagesScanned.Load()
 	return res, nil
 }
 
 // execCachedPlan is the bind → execute tail of a plan-cache hit: a fresh
 // ExecCtx carries the new parameter values into the shared immutable plan.
-func (s *Session) execCachedPlan(cp *CompiledPlan, params []val.Value, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
+func (s *Session) execCachedPlan(qctx context.Context, cp *CompiledPlan, params []val.Value, opt ExecOptions, sink ResultBatchFunc) (*Result, error) {
 	if len(params) < cp.nParams {
 		// Impossible by key construction; fail loudly rather than bind
 		// stale parameters.
@@ -247,16 +290,14 @@ func (s *Session) execCachedPlan(cp *CompiledPlan, params []val.Value, opt ExecO
 	res := &Result{PlanCacheHit: true}
 	startWall := time.Now()
 	startCPU := processCPU()
-	ctx := &ExecCtx{DB: s.db, Session: s, Params: params, DOP: opt.DOP, ForceRowExprs: opt.ForceRowExprs, DisablePooling: opt.DisablePooling}
-	if opt.Timeout > 0 {
-		ctx.Deadline = startWall.Add(opt.Timeout)
-	}
+	ctx := s.newExecCtx(qctx, params, opt, startWall)
 	if err := s.runPlan(cp, "", ctx, opt, res, sink); err != nil {
 		return nil, err
 	}
 	res.Elapsed = time.Since(startWall)
 	res.CPU = processCPU() - startCPU
 	res.RowsScanned = ctx.RowsScanned.Load()
+	res.PagesScanned = ctx.PagesScanned.Load()
 	return res, nil
 }
 
@@ -400,6 +441,12 @@ func (s *Session) runPlan(cp *CompiledPlan, into string, ctx *ExecCtx, opt ExecO
 	// result set is also streamed to a sink.
 	gather := sink == nil || into != ""
 	err := cp.root.Run(ctx, func(b *val.Batch) error {
+		// The result boundary polls cancellation too: a query whose plan
+		// spends no time in scans (memory tables, TVFs) still aborts
+		// within one output batch of the context closing.
+		if err := ctx.checkDeadline(); err != nil {
+			return err
+		}
 		if limit > 0 {
 			rem := limit - sent
 			if rem <= 0 {
@@ -428,7 +475,10 @@ func (s *Session) runPlan(cp *CompiledPlan, into string, ctx *ExecCtx, opt ExecO
 		}
 		return nil
 	})
-	if err != nil && err != errStopEarly {
+	// errors.Is, not ==: when several parallel scan shards hit the row
+	// limit concurrently, the storage layer joins their errStopEarly
+	// returns into one error.
+	if err != nil && !errors.Is(err, errStopEarly) {
 		return err
 	}
 	if into != "" {

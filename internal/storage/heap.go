@@ -1,10 +1,14 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"skyserver/internal/sched"
 )
 
 // RID addresses a record: heap-local page index in the high 48 bits, slot in
@@ -28,6 +32,14 @@ type FileGroup struct {
 	alloc atomic.Uint64 // next global page number
 
 	cache *pageCache
+
+	// pool is the file group's persistent scan-worker pool, created
+	// lazily on the first parallel scan and alive until Close: parallel
+	// scans dispatch page morsels onto it instead of spawning goroutines
+	// per query.
+	poolMu   sync.Mutex
+	pool     *sched.Pool
+	poolSize int // 0 = sched.DefaultPoolSize
 
 	// stats
 	physReads atomic.Uint64
@@ -56,6 +68,36 @@ func NewMemFileGroup(n, cachePages int) *FileGroup {
 
 // NumVolumes returns the stripe width.
 func (fg *FileGroup) NumVolumes() int { return len(fg.vols) }
+
+// SetScanWorkers sizes the scan pool (0 = sched.DefaultPoolSize). It must
+// be called before the first parallel scan; afterwards it has no effect.
+func (fg *FileGroup) SetScanWorkers(n int) {
+	fg.poolMu.Lock()
+	if fg.pool == nil {
+		fg.poolSize = n
+	}
+	fg.poolMu.Unlock()
+}
+
+// ScanPool returns the file group's persistent scan-worker pool, creating
+// it on first use. The pool lives until Close.
+func (fg *FileGroup) ScanPool() *sched.Pool {
+	fg.poolMu.Lock()
+	if fg.pool == nil {
+		fg.pool = sched.NewPool(fg.poolSize)
+	}
+	p := fg.pool
+	fg.poolMu.Unlock()
+	return p
+}
+
+// ScanPoolStats reports the pool's counters without forcing its creation.
+func (fg *FileGroup) ScanPoolStats() sched.PoolStats {
+	fg.poolMu.Lock()
+	p := fg.pool
+	fg.poolMu.Unlock()
+	return p.Stats()
+}
 
 // AllocPage reserves the next global page number.
 func (fg *FileGroup) AllocPage() uint64 { return fg.alloc.Add(1) - 1 }
@@ -109,8 +151,13 @@ func (fg *FileGroup) PhysReads() uint64 { return fg.physReads.Load() }
 // PhysBytes returns the number of physical bytes read.
 func (fg *FileGroup) PhysBytes() uint64 { return fg.physBytes.Load() }
 
-// Close closes all volumes.
+// Close stops the scan pool and closes all volumes.
 func (fg *FileGroup) Close() error {
+	fg.poolMu.Lock()
+	if fg.pool != nil {
+		fg.pool.Close()
+	}
+	fg.poolMu.Unlock()
 	var first error
 	for _, v := range fg.vols {
 		if err := v.Close(); err != nil && first == nil {
@@ -234,6 +281,10 @@ type Heap struct {
 func NewHeap(fg *FileGroup) *Heap {
 	return &Heap{fg: fg}
 }
+
+// NumVolumes returns the stripe width of the heap's file group — the
+// default scan parallelism.
+func (h *Heap) NumVolumes() int { return h.fg.NumVolumes() }
 
 // Rows returns the number of live records.
 func (h *Heap) Rows() uint64 {
@@ -386,18 +437,30 @@ type RecBatchFunc func(rids []RID, recs [][]byte) error
 // ScanBatches visits every live record, delivering a page-worth of records
 // per callback instead of one record at a time — the decode amortization
 // the vectorized executor builds batches from. dop <= 0 selects one worker
-// per volume; dop == 1 is a serial scan. Page ranges are dealt round-robin
-// so each worker streams one volume when dop equals the stripe width. mk is
-// called once per worker and returns that worker's page callback plus an
-// optional flush run (serially, in worker order) after all workers finish
-// successfully.
+// per volume; dop == 1 is a serial scan. mk is called once per worker and
+// returns that worker's page callback plus an optional flush run (serially,
+// in worker order) after all workers finish successfully.
 func (h *Heap) ScanBatches(dop int, mk func(worker int) (RecBatchFunc, func() error)) error {
+	return h.ScanBatchesCtx(context.Background(), dop, mk)
+}
+
+// ScanBatchesCtx is ScanBatches with cancellation: workers stop claiming
+// pages once ctx is done and the scan returns ctx's error. Parallel scans
+// do not spawn goroutines — shards run on the file group's persistent
+// scan-worker pool (plus the calling goroutine), claiming pages in
+// morsel-sized chunks from per-stripe counters: each shard streams its own
+// volume-aligned stripe first (one worker per volume when dop equals the
+// stripe width, the paper's parallel prefetch model) and steals from the
+// other stripes when its own runs dry, so a shard the pool schedules late
+// never leaves pages behind.
+func (h *Heap) ScanBatchesCtx(ctx context.Context, dop int, mk func(worker int) (RecBatchFunc, func() error)) error {
+	j := scanJobPool.Get().(*scanJob)
 	h.mu.RLock()
-	nPages := len(h.pageIDs)
-	pageIDs := make([]uint64, nPages)
-	copy(pageIDs, h.pageIDs)
+	j.pageIDs = append(j.pageIDs[:0], h.pageIDs...)
 	h.mu.RUnlock()
+	nPages := len(j.pageIDs)
 	if nPages == 0 {
+		scanJobPool.Put(j)
 		return nil
 	}
 	if dop <= 0 {
@@ -410,96 +473,215 @@ func (h *Heap) ScanBatches(dop int, mk func(worker int) (RecBatchFunc, func() er
 		dop = 4 * runtime.NumCPU()
 	}
 	if dop == 1 {
-		// Serial scan: run inline — no goroutine, WaitGroup, or error
-		// channel for a single worker.
-		fn, flush := mk(0)
-		sb := scanBufPool.Get().(*scanBuf)
-		buf := sb.page
-		rids, recs := sb.rids, sb.recs
-		var err error
-		for pi := 0; pi < nPages; pi++ {
-			if err = h.fg.ReadPage(pageIDs[pi], buf); err != nil {
+		err := h.scanSerial(ctx, j.pageIDs, mk)
+		scanJobPool.Put(j)
+		return err
+	}
+	j.init(h, ctx, dop, mk)
+	h.fg.ScanPool().Run(dop, j)
+	err := j.finish()
+	j.reset()
+	scanJobPool.Put(j)
+	return err
+}
+
+// scanSerial is the dop == 1 fast path: run inline — no pool dispatch,
+// shard state, or error joining for a single worker.
+func (h *Heap) scanSerial(ctx context.Context, pageIDs []uint64, mk func(worker int) (RecBatchFunc, func() error)) error {
+	fn, flush := mk(0)
+	sb := scanBufPool.Get().(*scanBuf)
+	buf := sb.page
+	rids, recs := sb.rids, sb.recs
+	var err error
+	for pi := 0; pi < len(pageIDs); pi++ {
+		if pi%16 == 0 {
+			if err = ctx.Err(); err != nil {
 				break
 			}
-			p := page(buf)
-			rids, recs = rids[:0], recs[:0]
-			for s := 0; s < p.slotCount(); s++ {
-				rec, ok := p.record(s)
-				if !ok {
-					continue
-				}
-				rids = append(rids, MakeRID(uint64(pi), s))
-				recs = append(recs, rec)
-			}
-			if len(recs) == 0 {
+		}
+		if err = h.fg.ReadPage(pageIDs[pi], buf); err != nil {
+			break
+		}
+		p := page(buf)
+		rids, recs = rids[:0], recs[:0]
+		for s := 0; s < p.slotCount(); s++ {
+			rec, ok := p.record(s)
+			if !ok {
 				continue
 			}
-			if err = fn(rids, recs); err != nil {
+			rids = append(rids, MakeRID(uint64(pi), s))
+			recs = append(recs, rec)
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if err = fn(rids, recs); err != nil {
+			break
+		}
+	}
+	sb.rids, sb.recs = rids, recs
+	scanBufPool.Put(sb)
+	if err != nil {
+		return err
+	}
+	if flush != nil {
+		return flush()
+	}
+	return nil
+}
+
+// scanMorselPages is how many pages one counter claim hands a shard:
+// large enough that claims are off the hot path, small enough that
+// work-stealing rebalances a shard the pool scheduled late.
+const scanMorselPages = 8
+
+// scanJob is one parallel scan's dispatch state, pooled across scans so a
+// steady-state parallel scan allocates nothing. It implements sched.Task:
+// shard w drains stripe w (pages ≡ w mod dop — one volume when dop equals
+// the stripe width), then steals leftovers from the other stripes.
+type scanJob struct {
+	h       *Heap
+	ctx     context.Context
+	pageIDs []uint64
+	dop     int
+	fns     []RecBatchFunc
+	flushes []func() error
+	errs    []error
+	stripes []atomic.Int64 // per-stripe count of pages already claimed
+	stop    atomic.Bool
+}
+
+var scanJobPool = sync.Pool{New: func() any { return new(scanJob) }}
+
+// init sizes the per-shard state and collects the worker callbacks. mk
+// runs sequentially here, before any shard is dispatched, preserving
+// ScanBatches' contract that per-worker state needs no locking to build.
+func (j *scanJob) init(h *Heap, ctx context.Context, dop int, mk func(worker int) (RecBatchFunc, func() error)) {
+	j.h, j.ctx, j.dop = h, ctx, dop
+	j.stop.Store(false)
+	if cap(j.fns) < dop {
+		j.fns = make([]RecBatchFunc, dop)
+		j.flushes = make([]func() error, dop)
+		j.errs = make([]error, dop)
+		j.stripes = make([]atomic.Int64, dop)
+	}
+	j.fns, j.flushes = j.fns[:dop], j.flushes[:dop]
+	j.errs, j.stripes = j.errs[:dop], j.stripes[:dop]
+	for w := 0; w < dop; w++ {
+		j.fns[w], j.flushes[w] = mk(w)
+		j.errs[w] = nil
+		j.stripes[w].Store(0)
+	}
+}
+
+// reset drops references so the pooled job retains nothing between scans.
+func (j *scanJob) reset() {
+	j.h, j.ctx = nil, nil
+	for w := range j.fns {
+		j.fns[w], j.flushes[w], j.errs[w] = nil, nil, nil
+	}
+}
+
+// RunShard implements sched.Task.
+func (j *scanJob) RunShard(w int) {
+	if j.stop.Load() {
+		return
+	}
+	sb := scanBufPool.Get().(*scanBuf)
+	fn := j.fns[w]
+	for o := 0; o < j.dop; o++ {
+		stripe := w + o
+		if stripe >= j.dop {
+			stripe -= j.dop
+		}
+		if err := j.drainStripe(stripe, fn, sb); err != nil {
+			j.errs[w] = err
+			j.stop.Store(true)
+			break
+		}
+		if j.stop.Load() {
+			break
+		}
+	}
+	scanBufPool.Put(sb)
+}
+
+// drainStripe claims morsels of the stripe's pages until it runs dry, the
+// scan is stopped, or the context is done.
+func (j *scanJob) drainStripe(stripe int, fn RecBatchFunc, sb *scanBuf) error {
+	nPages := len(j.pageIDs)
+	for {
+		if j.stop.Load() {
+			return nil
+		}
+		if j.ctx.Err() != nil {
+			j.stop.Store(true)
+			return nil
+		}
+		k0 := int(j.stripes[stripe].Add(scanMorselPages)) - scanMorselPages
+		if stripe+k0*j.dop >= nPages {
+			return nil
+		}
+		for k := k0; k < k0+scanMorselPages; k++ {
+			pi := stripe + k*j.dop
+			if pi >= nPages {
 				break
 			}
+			if err := j.scanPage(pi, fn, sb); err != nil {
+				return err
+			}
 		}
-		sb.rids, sb.recs = rids, recs
-		scanBufPool.Put(sb)
-		if err != nil {
-			return err
+	}
+}
+
+// scanPage reads one page and delivers its live records to fn.
+func (j *scanJob) scanPage(pi int, fn RecBatchFunc, sb *scanBuf) error {
+	if err := j.h.fg.ReadPage(j.pageIDs[pi], sb.page); err != nil {
+		return err
+	}
+	p := page(sb.page)
+	rids, recs := sb.rids[:0], sb.recs[:0]
+	for s := 0; s < p.slotCount(); s++ {
+		rec, ok := p.record(s)
+		if !ok {
+			continue
 		}
-		if flush != nil {
-			return flush()
-		}
+		rids = append(rids, MakeRID(uint64(pi), s))
+		recs = append(recs, rec)
+	}
+	sb.rids, sb.recs = rids, recs
+	if len(recs) == 0 {
 		return nil
 	}
-	var wg sync.WaitGroup
-	var stop atomic.Bool
-	errCh := make(chan error, dop)
-	flushes := make([]func() error, dop)
-	for w := 0; w < dop; w++ {
-		fn, flush := mk(w)
-		flushes[w] = flush
-		wg.Add(1)
-		go func(w int, fn RecBatchFunc) {
-			defer wg.Done()
-			sb := scanBufPool.Get().(*scanBuf)
-			defer scanBufPool.Put(sb)
-			buf := sb.page
-			rids, recs := sb.rids, sb.recs
-			defer func() { sb.rids, sb.recs = rids, recs }()
-			for pi := w; pi < nPages; pi += dop {
-				if stop.Load() {
-					return
-				}
-				if err := h.fg.ReadPage(pageIDs[pi], buf); err != nil {
-					stop.Store(true)
-					errCh <- err
-					return
-				}
-				p := page(buf)
-				rids, recs = rids[:0], recs[:0]
-				for s := 0; s < p.slotCount(); s++ {
-					rec, ok := p.record(s)
-					if !ok {
-						continue
-					}
-					rids = append(rids, MakeRID(uint64(pi), s))
-					recs = append(recs, rec)
-				}
-				if len(recs) == 0 {
-					continue
-				}
-				if err := fn(rids, recs); err != nil {
-					stop.Store(true)
-					errCh <- err
-					return
-				}
-			}
-		}(w, fn)
+	return fn(rids, recs)
+}
+
+// finish joins every shard's error — a multi-volume read failure reports
+// all failing workers, not just the first — and, on success, runs the
+// flushes serially in worker order.
+func (j *scanJob) finish() error {
+	var first error
+	multi := false
+	for _, e := range j.errs {
+		if e == nil {
+			continue
+		}
+		if first == nil {
+			first = e
+		} else {
+			multi = true
+		}
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	if multi {
+		return errors.Join(j.errs...)
+	}
+	if first != nil {
+		return first
+	}
+	if err := j.ctx.Err(); err != nil {
 		return err
-	default:
 	}
-	for _, flush := range flushes {
+	for _, flush := range j.flushes {
 		if flush == nil {
 			continue
 		}

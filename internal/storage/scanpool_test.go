@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fillHeap(t *testing.T, h *Heap, n int) {
+	t.Helper()
+	pad := make([]byte, 380)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := 0; i < n; i++ {
+		if _, err := h.Append([]byte(fmt.Sprintf("rec%06d-%s", i, pad))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScanBatchesJoinsWorkerErrors is the multi-volume failure case: when
+// several workers fail concurrently, every error must surface — the old
+// implementation drained a single error and silently dropped the rest.
+func TestScanBatchesJoinsWorkerErrors(t *testing.T) {
+	fg := NewMemFileGroup(4, 0)
+	defer fg.Close()
+	h := NewHeap(fg)
+	fillHeap(t, h, 4000)
+	const dop = 4
+	if h.Pages() < dop {
+		t.Fatalf("need at least %d pages, have %d", dop, h.Pages())
+	}
+	// Barrier: every worker reaches its first page callback before any of
+	// them errors, so all four failures happen before the stop flag can
+	// short-circuit the others.
+	var barrier sync.WaitGroup
+	barrier.Add(dop)
+	workerErrs := make([]error, dop)
+	err := h.ScanBatches(dop, func(worker int) (RecBatchFunc, func() error) {
+		workerErrs[worker] = fmt.Errorf("worker %d failed", worker)
+		first := true
+		fn := func(rids []RID, recs [][]byte) error {
+			if first {
+				first = false
+				barrier.Done()
+				barrier.Wait()
+				return workerErrs[worker]
+			}
+			return nil
+		}
+		return fn, nil
+	})
+	if err == nil {
+		t.Fatal("scan succeeded, want joined worker errors")
+	}
+	for w := 0; w < dop; w++ {
+		if !errors.Is(err, workerErrs[w]) {
+			t.Errorf("joined error missing worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestScanBatchesSingleErrorUnwrapped keeps the single-failure contract:
+// one failing worker returns its error directly (no join wrapper), so
+// sentinel comparisons in callers keep working.
+func TestScanBatchesSingleErrorUnwrapped(t *testing.T) {
+	fg := NewMemFileGroup(4, 0)
+	defer fg.Close()
+	h := NewHeap(fg)
+	fillHeap(t, h, 2000)
+	sentinel := errors.New("sentinel")
+	err := h.ScanBatches(4, func(worker int) (RecBatchFunc, func() error) {
+		fn := func(rids []RID, recs [][]byte) error {
+			if worker == 0 {
+				return sentinel
+			}
+			return nil
+		}
+		return fn, nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel unwrapped", err)
+	}
+}
+
+// TestScanBatchesCtxCancel verifies both scan paths stop once the context
+// is done and report its error.
+func TestScanBatchesCtxCancel(t *testing.T) {
+	fg := NewMemFileGroup(4, 0)
+	defer fg.Close()
+	h := NewHeap(fg)
+	fillHeap(t, h, 8000)
+	for _, dop := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var pages atomic.Int64
+		err := h.ScanBatchesCtx(ctx, dop, func(worker int) (RecBatchFunc, func() error) {
+			fn := func(rids []RID, recs [][]byte) error {
+				if pages.Add(1) == 2 {
+					cancel()
+				}
+				return nil
+			}
+			return fn, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("dop=%d: err = %v, want context.Canceled", dop, err)
+		}
+		if n, total := pages.Load(), int64(h.Pages()); n >= total {
+			t.Errorf("dop=%d: visited all %d pages despite cancellation", dop, total)
+		}
+	}
+}
+
+// TestScanPoolPersists proves the tentpole property: repeated parallel
+// scans reuse the file group's worker pool instead of spawning goroutines
+// per query.
+func TestScanPoolPersists(t *testing.T) {
+	fg := NewMemFileGroup(4, 0)
+	defer fg.Close()
+	h := NewHeap(fg)
+	fillHeap(t, h, 4000)
+	countScan := func() int64 {
+		var rows atomic.Int64
+		if err := h.Scan(4, func(rid RID, rec []byte) error {
+			rows.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rows.Load()
+	}
+	want := countScan() // warm-up creates the pool
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if got := countScan(); got != want {
+			t.Fatalf("scan %d saw %d rows, want %d", i, got, want)
+		}
+	}
+	// Allow scheduling noise, but 50 scans must not have grown the
+	// goroutine count by anything like 50 × dop.
+	if now := runtime.NumGoroutine(); now > base+16 {
+		t.Errorf("goroutines grew from %d to %d across 50 scans", base, now)
+	}
+	st := fg.ScanPoolStats()
+	if st.Workers == 0 || st.Jobs < 50 {
+		t.Errorf("pool stats = %+v, want a live pool with >= 50 jobs", st)
+	}
+}
+
+// TestScanPoolCloseStopsWorkers verifies Close retires the pool's
+// goroutines (and that scans still complete inline afterwards).
+func TestScanPoolCloseStopsWorkers(t *testing.T) {
+	fg := NewMemFileGroup(4, 0)
+	h := NewHeap(fg)
+	fillHeap(t, h, 2000)
+	if err := h.Scan(4, func(RID, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	workers := fg.ScanPoolStats().Workers
+	if workers == 0 {
+		t.Fatal("no pool after a parallel scan")
+	}
+	before := runtime.NumGoroutine()
+	if err := fg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before-workers+6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines still at %d (was %d with %d workers)",
+				runtime.NumGoroutine(), before, workers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

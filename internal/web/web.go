@@ -10,7 +10,9 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
 	"io"
@@ -20,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"skyserver/internal/sched"
 	"skyserver/internal/schema"
 	"skyserver/internal/sqlengine"
 	"skyserver/internal/val"
@@ -33,6 +36,16 @@ type Options struct {
 	// MaxRows / Timeout override the public defaults when non-zero.
 	MaxRows int
 	Timeout time.Duration
+	// MaxConcurrent bounds how many query-running requests execute at
+	// once (0 = sched.DefaultMaxConcurrent); QueueDepth bounds how many
+	// more wait in line (0 = sched.DefaultQueueDepth). Requests beyond
+	// both bounds receive 503 + Retry-After — §7's television spike sheds
+	// load instead of collapsing the server.
+	MaxConcurrent int
+	QueueDepth    int
+	// MaxScanWorkers caps the scan parallelism of one admitted query
+	// (ExecOptions.MaxConcurrency; 0 = uncapped).
+	MaxScanWorkers int
 	// AccessLog receives traffic-format log lines (may be nil).
 	AccessLog io.Writer
 }
@@ -45,9 +58,10 @@ const (
 
 // Server is the SkyServer web front end.
 type Server struct {
-	sdb *schema.SkyDB
-	opt Options
-	mux *http.ServeMux
+	sdb   *schema.SkyDB
+	opt   Options
+	mux   *http.ServeMux
+	sched *sched.Scheduler
 
 	logMu sync.Mutex
 }
@@ -62,18 +76,113 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 			opt.Timeout = PublicTimeout
 		}
 	}
-	s := &Server{sdb: sdb, opt: opt, mux: http.NewServeMux()}
+	s := &Server{
+		sdb:   sdb,
+		opt:   opt,
+		mux:   http.NewServeMux(),
+		sched: sched.NewScheduler(opt.MaxConcurrent, opt.QueueDepth),
+	}
 	s.mux.HandleFunc("/", s.handleHome)
-	s.mux.HandleFunc("/en/tools/search/sql.asp", s.handleSQL)
-	s.mux.HandleFunc("/x/sql", s.handleSQL)
+	s.mux.HandleFunc("/en/tools/search/sql.asp", s.gate("sql", s.handleSQL))
+	s.mux.HandleFunc("/x/sql", s.gate("sql", s.handleSQL))
 	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
-	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.handleExplore)
-	s.mux.HandleFunc("/en/tools/places/", s.handlePlaces)
-	s.mux.HandleFunc("/en/tools/navi/cutout", s.handleCutout)
-	s.mux.HandleFunc("/en/tools/navi/objects", s.handleRect)
+	s.mux.HandleFunc("/x/sched", s.handleSched)
+	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", s.handleExplore))
+	s.mux.HandleFunc("/en/tools/places/", s.gate("places", s.handlePlaces))
+	s.mux.HandleFunc("/en/tools/navi/cutout", s.gate("cutout", s.handleCutout))
+	s.mux.HandleFunc("/en/tools/navi/objects", s.gate("rect", s.handleRect))
 	s.mux.HandleFunc("/en/help/docs/browser.asp", s.handleSchema)
-	s.mux.HandleFunc("/en/skyserver/loadevents", s.handleLoadEvents)
+	s.mux.HandleFunc("/en/skyserver/loadevents", s.gate("loadevents", s.handleLoadEvents))
 	return s
+}
+
+// Sched returns the server's admission controller (tests and embedding
+// tools read its statistics).
+func (s *Server) Sched() *sched.Scheduler { return s.sched }
+
+// gateState carries one admitted request's run ticket and outcome through
+// the request context.
+type gateState struct {
+	tk  *sched.Ticket
+	err error
+}
+
+type gateKey struct{}
+
+// gate wraps a query-running handler with admission control and per-query
+// context plumbing: the request is admitted through the scheduler (503 +
+// Retry-After when the run queue is full), its context gets the server's
+// query timeout, and the ticket — which the exec helpers charge with scan
+// work — is released with the query's outcome when the handler returns.
+// Cheap endpoints (home, schema, the /x/ status pages) stay ungated so
+// operators can observe an overloaded server.
+func (s *Server) gate(label string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tk, err := s.sched.Admit(r.Context(), label)
+		if err != nil {
+			if errors.Is(err, sched.ErrOverloaded) {
+				// The §7 spike answer: a well-formed, retryable rejection.
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "SkyServer overloaded: too many concurrent queries, try again shortly",
+					http.StatusServiceUnavailable)
+				return
+			}
+			// The client went away while queued; nobody is listening.
+			http.Error(w, err.Error(), statusClientClosedRequest)
+			return
+		}
+		ctx := r.Context()
+		if s.opt.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
+			defer cancel()
+		}
+		gs := &gateState{tk: tk}
+		defer func() { tk.Done(gs.err) }()
+		h(w, r.WithContext(context.WithValue(ctx, gateKey{}, gs)))
+	}
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// aborted by its own client.
+const statusClientClosedRequest = 499
+
+// exec runs one statement batch under the request's context and charges
+// its scan work to the request's run ticket.
+func (s *Server) exec(r *http.Request, sess *sqlengine.Session, sql string) (*sqlengine.Result, error) {
+	res, err := sess.ExecContext(r.Context(), sql, s.execOptions())
+	s.noteQuery(r, res, err)
+	return res, err
+}
+
+// execTolerant is exec for best-effort side queries whose failure the
+// handler absorbs (the explorer's spectrum and neighbors panels): work is
+// still charged, but an error does not mark the request failed in the
+// /x/sched statistics.
+func (s *Server) execTolerant(r *http.Request, sess *sqlengine.Session, sql string) (*sqlengine.Result, error) {
+	res, err := sess.ExecContext(r.Context(), sql, s.execOptions())
+	s.noteQuery(r, res, nil)
+	return res, err
+}
+
+// execStream is exec for the streaming path.
+func (s *Server) execStream(r *http.Request, sess *sqlengine.Session, sql string, sink sqlengine.ResultBatchFunc) (*sqlengine.Result, error) {
+	res, err := sess.ExecStreamContext(r.Context(), sql, s.execOptions(), sink)
+	s.noteQuery(r, res, err)
+	return res, err
+}
+
+func (s *Server) noteQuery(r *http.Request, res *sqlengine.Result, err error) {
+	gs, _ := r.Context().Value(gateKey{}).(*gateState)
+	if gs == nil {
+		return
+	}
+	if res != nil {
+		gs.tk.AddWork(res.PagesScanned, res.RowsScanned)
+	}
+	if err != nil {
+		gs.err = err
+	}
 }
 
 // Handler returns the HTTP handler with access logging attached.
@@ -117,7 +226,11 @@ func (s *Server) logAccess(r *http.Request) {
 }
 
 func (s *Server) execOptions() sqlengine.ExecOptions {
-	return sqlengine.ExecOptions{MaxRows: s.opt.MaxRows, Timeout: s.opt.Timeout}
+	return sqlengine.ExecOptions{
+		MaxRows:        s.opt.MaxRows,
+		Timeout:        s.opt.Timeout,
+		MaxConcurrency: s.opt.MaxScanWorkers,
+	}
 }
 
 // ---- home & gallery ----
@@ -143,10 +256,10 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 // brightest big galaxies, linked to their explorer pages.
 func (s *Server) handlePlaces(w http.ResponseWriter, r *http.Request) {
 	sess := sqlengine.NewSession(s.sdb.DB)
-	res, err := sess.Exec(`
+	res, err := s.exec(r, sess, `
 		select top 20 objID, ra, dec, r, isoA_r
 		from Galaxy
-		order by r asc`, s.execOptions())
+		order by r asc`)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -195,7 +308,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	// back to the materializing path.
 	sw := newBatchSerializer(w, format)
 	if sw == nil {
-		res, err := sess.Exec(cmd, s.execOptions())
+		res, err := s.exec(r, sess, cmd)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -205,7 +318,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	res, err := sess.ExecStream(cmd, s.execOptions(), func(cols []string, b *val.Batch) error {
+	res, err := s.execStream(r, sess, cmd, func(cols []string, b *val.Batch) error {
 		return sw.writeBatch(cols, b)
 	})
 	if err != nil {
@@ -288,7 +401,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if full {
 		cols = "*"
 	}
-	res, err := sess.Exec(fmt.Sprintf("select %s from PhotoObj where objID = %d", cols, id), s.execOptions())
+	res, err := s.exec(r, sess, fmt.Sprintf("select %s from PhotoObj where objID = %d", cols, id))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -305,14 +418,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, "</table>")
 
-	spec, err := sess.Exec(fmt.Sprintf(
-		"select specObjID, z, zConf, specClass from SpecObj where objID = %d", id), s.execOptions())
+	spec, err := s.execTolerant(r, sess, fmt.Sprintf(
+		"select specObjID, z, zConf, specClass from SpecObj where objID = %d", id))
 	if err == nil && len(spec.Rows) > 0 {
 		fmt.Fprintf(w, "<h2>Spectrum</h2><p>specObjID %d, z = %s (confidence %s)</p>",
 			spec.Rows[0][0].I, spec.Rows[0][1].String(), spec.Rows[0][2].String())
 	}
-	nb, err := sess.Exec(fmt.Sprintf(
-		"select top 10 neighborObjID, distance from Neighbors where objID = %d order by distance", id), s.execOptions())
+	nb, err := s.execTolerant(r, sess, fmt.Sprintf(
+		"select top 10 neighborObjID, distance from Neighbors where objID = %d order by distance", id))
 	if err == nil && len(nb.Rows) > 0 {
 		fmt.Fprint(w, "<h2>Neighbors</h2><ul>")
 		for _, row := range nb.Rows {
@@ -346,10 +459,10 @@ func (s *Server) handleCutout(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sess := sqlengine.NewSession(s.sdb.DB)
-	res, err := sess.Exec(fmt.Sprintf(`
+	res, err := s.exec(r, sess, fmt.Sprintf(`
 		select f.fieldID from Field f
 		where f.raMin <= %g and f.raMax > %g and f.decMin <= %g and f.decMax > %g`,
-		ra, ra, dec, dec), s.execOptions())
+		ra, ra, dec, dec))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -359,8 +472,8 @@ func (s *Server) handleCutout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fieldID := res.Rows[0][0].I
-	tile, err := sess.Exec(fmt.Sprintf(
-		"select img from Frame where fieldID = %d and zoom = %d", fieldID, zoom), s.execOptions())
+	tile, err := s.exec(r, sess, fmt.Sprintf(
+		"select img from Frame where fieldID = %d and zoom = %d", fieldID, zoom))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -387,9 +500,9 @@ func (s *Server) handleRect(w http.ResponseWriter, r *http.Request) {
 		b[i] = v
 	}
 	sess := sqlengine.NewSession(s.sdb.DB)
-	res, err := sess.Exec(fmt.Sprintf(
+	res, err := s.exec(r, sess, fmt.Sprintf(
 		"select objID, ra, dec, type, mode from fGetObjFromRect(%g, %g, %g, %g)",
-		b[0], b[1], b[2], b[3]), s.execOptions())
+		b[0], b[1], b[2], b[3]))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -515,13 +628,28 @@ func (s *Server) handlePlanCache(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.sdb.DB.Plans().Stats())
 }
 
+// handleSched reports the query scheduler: admission-control counters
+// (admitted / rejected / queue waits, per-query recent history) and the
+// persistent scan-worker pool's activity. Ungated, so it stays readable
+// while the server sheds load.
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Admission sched.Stats     `json:"admission"`
+		ScanPool  sched.PoolStats `json:"scanPool"`
+	}{
+		Admission: s.sched.Stats(),
+		ScanPool:  s.sdb.DB.FileGroup().ScanPoolStats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
 // handleLoadEvents shows the loader journal — §9.4's "simple web user
 // interface [that] displays the load-events table".
 func (s *Server) handleLoadEvents(w http.ResponseWriter, r *http.Request) {
 	sess := sqlengine.NewSession(s.sdb.DB)
-	res, err := sess.Exec(
-		"select eventID, tableName, sourceFile, sourceRows, insertedRows, status from loadEvents order by eventID",
-		s.execOptions())
+	res, err := s.exec(r, sess,
+		"select eventID, tableName, sourceFile, sourceRows, insertedRows, status from loadEvents order by eventID")
 	if err != nil {
 		httpError(w, err)
 		return
@@ -537,8 +665,12 @@ func httpError(w http.ResponseWriter, err error) {
 	if strings.Contains(msg, "sql:") {
 		code = http.StatusBadRequest
 	}
-	if err == sqlengine.ErrTimeout {
+	switch {
+	case errors.Is(err, sqlengine.ErrTimeout):
 		code = http.StatusRequestTimeout
+	case errors.Is(err, sqlengine.ErrCanceled):
+		// The client abandoned the request; the status is for the log.
+		code = statusClientClosedRequest
 	}
 	http.Error(w, msg, code)
 }
