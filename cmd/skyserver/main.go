@@ -26,8 +26,10 @@ func main() {
 	public := flag.Bool("public", true, "enforce the public limits (1,000 rows / 30s)")
 	accessLog := flag.String("accesslog", "", "write the access log to this file")
 	scanWorkers := flag.Int("scanworkers", 0, "persistent scan-worker pool size (0 = auto)")
-	maxConcurrent := flag.Int("maxconcurrent", 0, "max concurrently executing queries (0 = auto)")
-	queueDepth := flag.Int("queuedepth", 0, "admission queue depth before 503s (0 = default)")
+	interactiveSlots := flag.Int("interactive-slots", 0, "reserved interactive (point-lookup) query slots (0 = auto)")
+	batchSlots := flag.Int("batch-slots", 0, "batch (analytic-scan) query slots (0 = auto)")
+	queueDepthInteractive := flag.Int("queuedepth-interactive", 0, "interactive admission queue depth before 503s (0 = default)")
+	queueDepthBatch := flag.Int("queuedepth-batch", 0, "batch admission queue depth before 503s (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = the public 30s default)")
 	flag.Parse()
 
@@ -40,10 +42,12 @@ func main() {
 	log.Printf("loaded %d photo objects, %d spectra", s.DB().PhotoObj.Rows(), s.DB().SpecObj.Rows())
 
 	opt := web.Options{
-		Public:        *public,
-		Timeout:       *timeout,
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queueDepth,
+		Public:                *public,
+		Timeout:               *timeout,
+		InteractiveSlots:      *interactiveSlots,
+		BatchSlots:            *batchSlots,
+		InteractiveQueueDepth: *queueDepthInteractive,
+		BatchQueueDepth:       *queueDepthBatch,
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -139,15 +139,28 @@
 //     ErrCanceled / ErrTimeout within one batch. ExecOptions gained
 //     Deadline (absolute; the earlier of it and Timeout wins) and
 //     MaxConcurrency (caps one query's scan parallelism).
-//   - The web layer admits query-running requests through an admission
-//     gate (sched.Scheduler): at most MaxConcurrent queries execute, at
-//     most QueueDepth more wait, and everything past that is shed
-//     immediately with a well-formed 503 + Retry-After. Per-query
-//     statistics — queue wait, execution time, pages and rows scanned —
-//     aggregate at the /x/sched endpoint next to the pool's counters
-//     (the endpoint itself is ungated so operators can watch an
-//     overloaded server shed load). cmd/skyserver exposes -scanworkers,
-//     -maxconcurrent, -queuedepth and -timeout.
+//   - The web layer admits query-running requests through a
+//     workload-class admission gate (sched.Scheduler). The planner
+//     classifies every plan at compile time — dive-proven index seeks
+//     and small TVF probes are interactive, heap scans and large sweeps
+//     are batch (sqlengine.QueryClass, cached with the plan; the web
+//     gate classifies pre-admission from the cache alone via
+//     Session.ClassifyCached, never compiling unadmitted text, with
+//     unknown shapes admitted conservatively as batch) — and each class
+//     owns a bounded FIFO queue with weighted running slots: interactive
+//     queries hold a hard reservation and dequeue with priority (never
+//     rejected while a reserved slot is free), batch queries may borrow
+//     idle capacity but never past a waiting interactive query.
+//     Everything beyond slots and queue bounds is shed immediately with
+//     a well-formed 503 plus Retry-After; every gated response carries
+//     X-Query-Class, and clients may downgrade to ?class=batch (never
+//     escalate — the reservation is not client-claimable). Per-query and
+//     per-class statistics — queue wait, execution time, pages and rows
+//     scanned — aggregate at the /x/sched endpoint next to the pool's
+//     counters (the endpoint itself is ungated so operators can watch
+//     an overloaded server shed load). cmd/skyserver exposes
+//     -scanworkers, -interactive-slots, -batch-slots,
+//     -queuedepth-interactive, -queuedepth-batch and -timeout.
 //
 // Around the engine sit the Hierarchical Triangular Mesh spatial index
 // (internal/htm); the SDSS snowflake schema with subclassing views and
@@ -163,5 +176,24 @@
 // figure of the paper's evaluation; bench_test.go (this directory) wraps
 // those experiments as standard Go benchmarks — including
 // BenchmarkBatchVsRowFilter, which isolates the vectorized-vs-row-fallback
-// gap. See README.md, DESIGN.md and EXPERIMENTS.md.
+// gap.
+//
+// # Where to read more
+//
+// Each internal package carries its own doc comment with the §-references
+// it reproduces — start with internal/sqlengine (the engine and its
+// planner), internal/sched (worker pool + class admission),
+// internal/storage (pages, volumes, the disk model), internal/val (the
+// value/batch representation and pooling contract), and internal/web (the
+// HTTP surface). Repository-level documents:
+//
+//   - ARCHITECTURE.md — the full query lifecycle (parse → parameterize →
+//     compile/cache → classify → admit → bind → schedule → scan-pool
+//     execute → stream), a package-by-package tour with file pointers,
+//     and the pooling/ownership rules.
+//   - docs/ops.md — the operational surface: every cmd/skyserver flag and
+//     the /x/sched and /x/plancache endpoint fields.
+//   - docs/benchmarks.md — the measured PR-by-PR performance trajectory
+//     and the benchmark-regression workflow (skybench -exp benchdiff).
+//   - ROADMAP.md — the north star and open items.
 package skyserver

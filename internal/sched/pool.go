@@ -1,9 +1,17 @@
 // Package sched is the SkyServer's query scheduler: a persistent pool of
 // scan workers (Pool) that replaces per-query goroutine fan-out with
-// morsel-style shard dispatch onto DB-lifetime workers, and an admission
-// controller (Scheduler) that bounds how many queries run and wait at
-// once, so a §7-style traffic spike (the 20× television peak) degrades
-// into orderly 503s instead of unbounded goroutine growth.
+// morsel-style shard dispatch onto DB-lifetime workers, and a
+// workload-class admission controller (Scheduler) that bounds how many
+// queries run and wait at once, so a §7-style traffic spike (the 20×
+// television peak) degrades into orderly 503s instead of unbounded
+// goroutine growth.
+//
+// Admission is split by Class: interactive point lookups (the Explorer's
+// casual users) hold reserved running slots and dequeue with priority,
+// while batch analytic scans run in their own bounded queue and may
+// borrow idle capacity without ever starving the reservation — the DR13
+// operations split between interactive and batch access paths, inside
+// one process. See Scheduler for the exact weighted-slot rules.
 //
 // The package depends only on the standard library: storage dispatches
 // scans through Pool, the web layer gates requests through Scheduler, and

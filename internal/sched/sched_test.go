@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -77,82 +78,290 @@ func TestPoolRunAfterCloseIsInline(t *testing.T) {
 	}
 }
 
+// admit is a test helper that fails the test on any admission error.
+func admit(t *testing.T, s *Scheduler, class Class, label string) *Ticket {
+	t.Helper()
+	tk, err := s.Admit(context.Background(), class, label)
+	if err != nil {
+		t.Fatalf("admit %s %s: %v", class, label, err)
+	}
+	return tk
+}
+
 func TestSchedulerAdmitBounds(t *testing.T) {
-	s := NewScheduler(2, 1)
-	ctx := context.Background()
+	// Interactive sized to zero borrowable headroom for batch: batch
+	// alone exercises the classic run-queue bounds of the PR 4 gate.
+	s := NewScheduler(Config{InteractiveSlots: 1, BatchSlots: 2, BatchQueueDepth: 1})
+	t0 := admit(t, s, Interactive, "hold-interactive")
+	t1 := admit(t, s, Batch, "a")
+	t2 := admit(t, s, Batch, "b")
 
-	t1, err := s.Admit(ctx, "a")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t2, err := s.Admit(ctx, "b")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Both slots taken: the next admit parks in the queue.
+	// Both batch slots taken and no idle capacity: the next batch admit
+	// parks in the queue.
 	admitted := make(chan *Ticket, 1)
 	go func() {
-		tk, err := s.Admit(ctx, "queued")
+		tk, err := s.Admit(context.Background(), Batch, "queued")
 		if err != nil {
 			t.Errorf("queued admit: %v", err)
 		}
 		admitted <- tk
 	}()
-	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+	waitFor(t, func() bool { return s.Stats().Batch.Queued == 1 })
 
-	// Queue full: immediate rejection.
-	if _, err := s.Admit(ctx, "over"); !errors.Is(err, ErrOverloaded) {
+	// Queue full: immediate rejection, naming the class.
+	_, err := s.Admit(context.Background(), Batch, "over")
+	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("admit past queue bound: err = %v, want ErrOverloaded", err)
 	}
+	if !strings.Contains(err.Error(), "batch") {
+		t.Errorf("rejection error %q does not name the batch class", err)
+	}
 
-	// Releasing a slot admits the queued request.
+	// Releasing a batch slot admits the queued request.
 	t1.Done(nil)
 	tk := <-admitted
 	tk.AddWork(3, 100)
 	tk.Done(nil)
 	t2.Done(errors.New("boom"))
+	t0.Done(nil)
 
 	st := s.Stats()
-	if st.Admitted != 3 || st.Rejected != 1 {
-		t.Errorf("admitted/rejected = %d/%d, want 3/1", st.Admitted, st.Rejected)
+	if st.Batch.Admitted != 3 || st.Batch.Rejected != 1 {
+		t.Errorf("batch admitted/rejected = %d/%d, want 3/1", st.Batch.Admitted, st.Batch.Rejected)
 	}
-	if st.Completed != 2 || st.Failed != 1 {
-		t.Errorf("completed/failed = %d/%d, want 2/1", st.Completed, st.Failed)
+	if st.Batch.Completed != 2 || st.Batch.Failed != 1 {
+		t.Errorf("batch completed/failed = %d/%d, want 2/1", st.Batch.Completed, st.Batch.Failed)
 	}
-	if st.PagesScanned != 3 || st.RowsScanned != 100 {
-		t.Errorf("pages/rows = %d/%d, want 3/100", st.PagesScanned, st.RowsScanned)
+	if st.Batch.PagesScanned != 3 || st.Batch.RowsScanned != 100 {
+		t.Errorf("batch pages/rows = %d/%d, want 3/100", st.Batch.PagesScanned, st.Batch.RowsScanned)
 	}
-	if len(st.Recent) != 3 {
-		t.Errorf("recent = %d records, want 3", len(st.Recent))
+	if st.Admitted != 4 || st.Completed != 3 {
+		t.Errorf("total admitted/completed = %d/%d, want 4/3", st.Admitted, st.Completed)
+	}
+	if len(st.Recent) != 4 {
+		t.Errorf("recent = %d records, want 4", len(st.Recent))
 	}
 	if st.Running != 0 || st.Queued != 0 {
 		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
 	}
 }
 
-func TestSchedulerAdmitContextCancel(t *testing.T) {
-	s := NewScheduler(1, 4)
-	tk, err := s.Admit(context.Background(), "holder")
-	if err != nil {
-		t.Fatal(err)
+// TestSchedulerInteractiveReservation is the acceptance guarantee:
+// interactive queries are admitted immediately — never queued, never
+// rejected — while reserved interactive slots are free, even when batch
+// has borrowed every idle slot in the gate.
+func TestSchedulerInteractiveReservation(t *testing.T) {
+	s := NewScheduler(Config{InteractiveSlots: 2, BatchSlots: 2, BatchQueueDepth: 8})
+	// Batch fills its own slots and borrows both idle interactive slots.
+	var batch []*Ticket
+	for i := 0; i < 4; i++ {
+		batch = append(batch, admit(t, s, Batch, "flood"))
 	}
+	st := s.Stats()
+	if st.Batch.Running != 4 || st.Batch.Borrowed != 2 {
+		t.Fatalf("batch running/borrowed = %d/%d, want 4/2", st.Batch.Running, st.Batch.Borrowed)
+	}
+
+	// The reservation holds: both interactive admits succeed immediately
+	// (transiently oversubscribing the gate) with zero queue wait.
+	i1 := admit(t, s, Interactive, "seek-1")
+	i2 := admit(t, s, Interactive, "seek-2")
+	st = s.Stats()
+	if st.Interactive.Running != 2 || st.Interactive.Queued != 0 {
+		t.Fatalf("interactive running/queued = %d/%d, want 2/0", st.Interactive.Running, st.Interactive.Queued)
+	}
+	if st.Interactive.MaxQueueWaitMs != 0 {
+		t.Errorf("interactive max queue wait = %v ms, want 0 (reserved-slot admission)", st.Interactive.MaxQueueWaitMs)
+	}
+	if st.Running != 6 {
+		t.Errorf("total running = %d, want 6 (oversubscribed by the reservation)", st.Running)
+	}
+
+	// A third interactive query exceeds the reservation with no idle
+	// capacity: it queues until the borrowers' oversubscription debt is
+	// paid back.
+	done := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(context.Background(), Interactive, "seek-3")
+		if err != nil {
+			t.Errorf("queued interactive: %v", err)
+		}
+		done <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Interactive.Queued == 1 })
+
+	// Two batch releases only cancel the debt (6 → 4 running, capacity
+	// 4); grants happen synchronously inside Done, so the queue length is
+	// deterministic here.
+	batch[0].Done(nil)
+	batch[1].Done(nil)
+	if st := s.Stats(); st.Interactive.Queued != 1 {
+		t.Fatalf("interactive queued = %d while gate still at capacity, want 1", st.Interactive.Queued)
+	}
+	// The third release opens real capacity: the waiting interactive
+	// query wins it (borrowing batch capacity, counted as such).
+	batch[2].Done(nil)
+	i3 := <-done
+	if st := s.Stats(); st.Interactive.Borrowed != 1 {
+		t.Errorf("interactive borrowed = %d, want 1", st.Interactive.Borrowed)
+	}
+
+	batch[3].Done(nil)
+	i1.Done(nil)
+	i2.Done(nil)
+	i3.Done(nil)
+	st = s.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
+	}
+	if st.Interactive.Rejected != 0 {
+		t.Errorf("interactive rejected = %d, want 0", st.Interactive.Rejected)
+	}
+}
+
+// TestSchedulerBatchRespectsWaitingInteractive checks the borrow rule's
+// other half: batch may not borrow idle interactive capacity while an
+// interactive query waits in line.
+func TestSchedulerBatchRespectsWaitingInteractive(t *testing.T) {
+	s := NewScheduler(Config{InteractiveSlots: 1, BatchSlots: 1, BatchQueueDepth: 4, InteractiveQueueDepth: 4})
+	i1 := admit(t, s, Interactive, "i1")
+	b1 := admit(t, s, Batch, "b1")
+	// Gate full. Queue one interactive, then one batch.
+	ich := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(context.Background(), Interactive, "i2")
+		if err != nil {
+			t.Errorf("queued interactive: %v", err)
+		}
+		ich <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Interactive.Queued == 1 })
+	bch := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(context.Background(), Batch, "b2")
+		if err != nil {
+			t.Errorf("queued batch: %v", err)
+		}
+		bch <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Batch.Queued == 1 })
+
+	// Interactive releases its slot: the queued interactive takes it (the
+	// queued batch may not borrow past a waiting interactive).
+	i1.Done(nil)
+	i2 := <-ich
+	select {
+	case <-bch:
+		t.Fatal("batch borrowed the slot a queued interactive was waiting for")
+	default:
+	}
+	b1.Done(nil)
+	b2 := <-bch
+	i2.Done(nil)
+	b2.Done(nil)
+}
+
+// TestSchedulerCanceledQueuedBatchFreesQueueSlot is the regression test
+// for vanished queued clients under the multi-queue scheduler: a
+// context-canceled queued batch query must free its queue slot without
+// ever consuming a running slot.
+func TestSchedulerCanceledQueuedBatchFreesQueueSlot(t *testing.T) {
+	s := NewScheduler(Config{InteractiveSlots: 1, BatchSlots: 1, BatchQueueDepth: 1})
+	hold := admit(t, s, Interactive, "hold") // interactive slot busy: no borrowing
+	b1 := admit(t, s, Batch, "running")
+
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := s.Admit(ctx, "waiter")
+		_, err := s.Admit(ctx, Batch, "vanishing")
 		errCh <- err
 	}()
-	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+	waitFor(t, func() bool { return s.Stats().Batch.Queued == 1 })
+
+	// The queue is at its bound; a second queued batch query is shed.
+	if _, err := s.Admit(context.Background(), Batch, "over"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full admit: err = %v, want ErrOverloaded", err)
+	}
+
+	// The queued client vanishes: its queue slot frees immediately.
 	cancel()
 	if err := <-errCh; !errors.Is(err, context.Canceled) {
-		t.Fatalf("queued admit after cancel: err = %v, want context.Canceled", err)
+		t.Fatalf("canceled queued admit: err = %v, want context.Canceled", err)
 	}
 	st := s.Stats()
-	if st.Abandoned != 1 || st.Queued != 0 {
-		t.Errorf("abandoned/queued = %d/%d, want 1/0", st.Abandoned, st.Queued)
+	if st.Batch.Abandoned != 1 || st.Batch.Queued != 0 {
+		t.Errorf("batch abandoned/queued = %d/%d, want 1/0", st.Batch.Abandoned, st.Batch.Queued)
 	}
+	if st.Batch.Running != 1 {
+		t.Errorf("batch running = %d after abandon, want 1 (no running slot consumed)", st.Batch.Running)
+	}
+
+	// The freed queue slot is usable again without any release having
+	// happened in between.
+	admitted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(context.Background(), Batch, "requeued")
+		if err != nil {
+			t.Errorf("requeued admit: %v", err)
+		}
+		admitted <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Batch.Queued == 1 })
+	b1.Done(nil)
+	tk := <-admitted
 	tk.Done(nil)
+	hold.Done(nil)
+
+	st = s.Stats()
+	if st.Batch.Admitted != 2 || st.Batch.Rejected != 1 || st.Batch.Abandoned != 1 {
+		t.Errorf("batch admitted/rejected/abandoned = %d/%d/%d, want 2/1/1",
+			st.Batch.Admitted, st.Batch.Rejected, st.Batch.Abandoned)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
+	}
+}
+
+// TestSchedulerAbandonedInteractiveUnblocksBatch: batch borrowing keys
+// off the interactive queue length, so an abandoned interactive waiter
+// must re-run the wake pass for queued batch work.
+func TestSchedulerAbandonedInteractiveUnblocksBatch(t *testing.T) {
+	s := NewScheduler(Config{InteractiveSlots: 2, BatchSlots: 1, InteractiveQueueDepth: 4, BatchQueueDepth: 4})
+	i1 := admit(t, s, Interactive, "i1")
+	i2 := admit(t, s, Interactive, "i2")
+	b1 := admit(t, s, Batch, "b1")
+	ctx, cancel := context.WithCancel(context.Background())
+	ich := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, Interactive, "i3")
+		ich <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Interactive.Queued == 1 })
+	bch := make(chan *Ticket, 1)
+	go func() {
+		tk, err := s.Admit(context.Background(), Batch, "b2")
+		if err != nil {
+			t.Errorf("queued batch: %v", err)
+		}
+		bch <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Batch.Queued == 1 })
+
+	// While i3 waits, batch may not borrow. i3's client vanishes; once
+	// i2 then frees an interactive slot, the batch waiter may borrow it —
+	// the abandon must have re-run the wake pass's eligibility check.
+	cancel()
+	if err := <-ich; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled interactive: %v", err)
+	}
+	i2.Done(nil)
+	b2 := <-bch
+	for _, tk := range []*Ticket{i1, b1, b2} {
+		tk.Done(nil)
+	}
+	if st := s.Stats(); st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {

@@ -3,84 +3,237 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
-// ErrOverloaded is returned by Admit when the run queue is full — the web
-// layer translates it to 503 + Retry-After, the §7 answer to a 20×
-// traffic spike: shed load predictably instead of collapsing.
+// ErrOverloaded is returned by Admit when the arriving query's class has
+// no free slot and its wait queue is full — the web layer translates it
+// to 503 + Retry-After, the §7 answer to a 20× traffic spike: shed load
+// predictably instead of collapsing. Use errors.Is against it; the
+// concrete error names the class whose queue overflowed.
 var ErrOverloaded = errors.New("sched: server overloaded, run queue full")
 
-// Scheduler is the admission-control gate in front of query execution: at
-// most MaxConcurrent queries run at once, at most QueueDepth more wait in
-// line, and everything beyond that is rejected immediately. Per-query
-// statistics (queue wait, execution time, pages and rows scanned) are
-// aggregated for the /x/sched endpoint.
+// overloadError is ErrOverloaded with the rejecting class attached, so a
+// shed client is told which queue was full.
+type overloadError struct{ class Class }
+
+func (e overloadError) Error() string {
+	return fmt.Sprintf("sched: server overloaded, %s queue full", e.class)
+}
+
+func (e overloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Class is a workload class the scheduler queues separately: interactive
+// point lookups (the Explorer's millions of casual users) versus batch
+// analytic scans (astronomers sweeping the survey). The split is the DR13
+// operations answer to the paper's central tension — both workloads share
+// one database, but only one of them can tolerate queueing behind the
+// other.
+type Class uint8
+
+// The workload classes. Interactive is the zero value.
+const (
+	// Interactive queries hold reserved slots and dequeue with priority;
+	// they are never rejected while a reserved slot is free.
+	Interactive Class = iota
+	// Batch queries run in their own slots and may borrow idle capacity,
+	// but never at the expense of waiting interactive queries.
+	Batch
+	numClasses
+)
+
+// String returns "interactive" or "batch".
+func (c Class) String() string {
+	if c == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseClass maps the web layer's class-override parameter to a Class.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "interactive":
+		return Interactive, true
+	case "batch":
+		return Batch, true
+	}
+	return Interactive, false
+}
+
+// Scheduler is the admission-control gate in front of query execution,
+// split by workload class. Each class owns a bounded FIFO wait queue and
+// a configured number of running slots; the weighted-slot rules are:
+//
+//   - Interactive slots are a hard reservation: an interactive query is
+//     admitted immediately whenever fewer than InteractiveSlots
+//     interactive queries are running — even if batch borrowers have
+//     transiently pushed total concurrency past the configured capacity.
+//     An interactive query is therefore rejected (503) only when the
+//     reservation is exhausted AND its queue is full.
+//   - Interactive queries may also use idle batch capacity, and dequeue
+//     with strict priority when any slot frees.
+//   - Batch queries run in their own slots, and may borrow idle
+//     interactive capacity only while no interactive query is waiting.
+//     Borrowing risks transient oversubscription (bounded by
+//     InteractiveSlots) instead of ever blocking the reservation.
+//
+// Per-query statistics (queue wait, execution time, pages and rows
+// scanned) aggregate per class for the /x/sched endpoint.
 type Scheduler struct {
-	maxConcurrent int
-	queueDepth    int
-	slots         chan struct{}
-	queued        atomic.Int64
+	mu      sync.Mutex
+	slots   [numClasses]int
+	depth   [numClasses]int
+	running [numClasses]int
+	queues  [numClasses][]*waiter
 
-	admitted  atomic.Int64
-	rejected  atomic.Int64
-	abandoned atomic.Int64 // gave up waiting (context done in queue)
-	completed atomic.Int64
-	failed    atomic.Int64
+	cls [numClasses]classCounters
 
-	queueWaitNs    atomic.Int64
-	maxQueueWaitNs atomic.Int64
-	execNs         atomic.Int64
-	maxExecNs      atomic.Int64
-	pages          atomic.Int64
-	rows           atomic.Int64
-
-	recentMu sync.Mutex
 	recent   []QueryRecord
 	recentAt int
 }
 
-// DefaultMaxConcurrent and DefaultQueueDepth size the gate for a small
-// public server: a handful of queries execute (each may fan out scan
-// shards onto the pool) while a burst parks in the queue.
-func DefaultMaxConcurrent() int {
-	n := 2 * runtime.NumCPU()
-	if n < 4 {
-		n = 4
+// classCounters accumulates one class's admission statistics (all guarded
+// by Scheduler.mu — admission is per query, not per batch, so a mutex
+// costs nothing measurable).
+type classCounters struct {
+	admitted  int64
+	borrowed  int64 // admissions beyond the class's own slots
+	rejected  int64
+	abandoned int64 // gave up waiting (context done in queue)
+	completed int64
+	failed    int64
+
+	queueWaitNs    int64
+	maxQueueWaitNs int64
+	execNs         int64
+	maxExecNs      int64
+	pages          int64
+	rows           int64
+}
+
+// waiter is one queued Admit call. granted flips under Scheduler.mu when
+// a freed slot is handed to the waiter, which closes ready; a waiter that
+// finds granted set while abandoning must release the slot it was given.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// DefaultInteractiveSlots and DefaultBatchSlots size the gate for a small
+// public server: each class gets one slot per CPU (minimum 2), matching
+// PR 4's single-class default of 2×NumCPU in total.
+func DefaultInteractiveSlots() int {
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 2
 	}
 	return n
 }
 
+// DefaultBatchSlots mirrors DefaultInteractiveSlots.
+func DefaultBatchSlots() int { return DefaultInteractiveSlots() }
+
+// DefaultQueueDepth is the per-class wait-queue bound: a burst parks in
+// line while the class's running slots drain.
 const DefaultQueueDepth = 64
 
-// NewScheduler builds a gate admitting maxConcurrent queries with a wait
-// queue of queueDepth (<= 0 selects the defaults).
-func NewScheduler(maxConcurrent, queueDepth int) *Scheduler {
-	if maxConcurrent <= 0 {
-		maxConcurrent = DefaultMaxConcurrent()
+// Config sizes a Scheduler. Zero values select the defaults.
+type Config struct {
+	// InteractiveSlots is the reserved interactive concurrency;
+	// BatchSlots the batch concurrency. Total capacity is their sum.
+	InteractiveSlots int
+	BatchSlots       int
+	// InteractiveQueueDepth / BatchQueueDepth bound each class's wait
+	// queue; past the bound Admit rejects with ErrOverloaded.
+	InteractiveQueueDepth int
+	BatchQueueDepth       int
+}
+
+// NewScheduler builds a per-class admission gate (see Scheduler for the
+// weighted-slot rules).
+func NewScheduler(cfg Config) *Scheduler {
+	s := &Scheduler{}
+	s.slots[Interactive] = cfg.InteractiveSlots
+	if s.slots[Interactive] <= 0 {
+		s.slots[Interactive] = DefaultInteractiveSlots()
 	}
-	if queueDepth <= 0 {
-		queueDepth = DefaultQueueDepth
+	s.slots[Batch] = cfg.BatchSlots
+	if s.slots[Batch] <= 0 {
+		s.slots[Batch] = DefaultBatchSlots()
 	}
-	s := &Scheduler{
-		maxConcurrent: maxConcurrent,
-		queueDepth:    queueDepth,
-		slots:         make(chan struct{}, maxConcurrent),
-		recent:        make([]QueryRecord, 0, recentQueries),
+	s.depth[Interactive] = cfg.InteractiveQueueDepth
+	if s.depth[Interactive] <= 0 {
+		s.depth[Interactive] = DefaultQueueDepth
 	}
-	for i := 0; i < maxConcurrent; i++ {
-		s.slots <- struct{}{}
+	s.depth[Batch] = cfg.BatchQueueDepth
+	if s.depth[Batch] <= 0 {
+		s.depth[Batch] = DefaultQueueDepth
 	}
+	s.recent = make([]QueryRecord, 0, recentQueries)
 	return s
+}
+
+// canRun reports whether a class-c query may start now (mu held).
+func (s *Scheduler) canRun(c Class) bool {
+	total := s.running[Interactive] + s.running[Batch]
+	capacity := s.slots[Interactive] + s.slots[Batch]
+	if c == Interactive {
+		// Reserved slot free (guaranteed even when borrowers oversubscribed
+		// the total), or any idle slot anywhere (priority use of idle batch
+		// capacity).
+		return s.running[Interactive] < s.slots[Interactive] || total < capacity
+	}
+	// Batch: own slot free, or borrow idle interactive capacity — but
+	// never while an interactive query is waiting for it.
+	return total < capacity &&
+		(s.running[Batch] < s.slots[Batch] || len(s.queues[Interactive]) == 0)
+}
+
+// wake hands freed capacity to queued waiters, interactive first (mu
+// held). After it returns, every non-empty queue's class fails canRun, so
+// FIFO order is preserved against new arrivals.
+func (s *Scheduler) wake() {
+	for {
+		switch {
+		case len(s.queues[Interactive]) > 0 && s.canRun(Interactive):
+			s.grant(Interactive)
+		case len(s.queues[Batch]) > 0 && s.canRun(Batch):
+			s.grant(Batch)
+		default:
+			return
+		}
+	}
+}
+
+// grant pops the head waiter of class c and hands it a running slot (mu
+// held).
+func (s *Scheduler) grant(c Class) {
+	w := s.queues[c][0]
+	s.queues[c] = s.queues[c][1:]
+	if s.running[c] >= s.slots[c] {
+		s.cls[c].borrowed++
+	}
+	s.running[c]++
+	w.granted = true
+	close(w.ready)
+}
+
+// release returns one class-c running slot and wakes eligible waiters
+// (mu held).
+func (s *Scheduler) release(c Class) {
+	s.running[c]--
+	s.wake()
 }
 
 // Ticket is one admitted query's run token. Release it with Done exactly
 // once.
 type Ticket struct {
 	s        *Scheduler
+	class    Class
 	enqueued time.Time
 	admitted time.Time
 	label    string
@@ -88,34 +241,77 @@ type Ticket struct {
 	rows     int64
 }
 
-// Admit blocks until a run slot is free, the context is done, or the
-// queue bound is exceeded (ErrOverloaded, immediately). label tags the
-// query in the recent-queries report.
-func (s *Scheduler) Admit(ctx context.Context, label string) (*Ticket, error) {
+// Class returns the workload class the query was admitted under.
+func (t *Ticket) Class() Class { return t.class }
+
+// String renders the ticket for logs: its label and class.
+func (t *Ticket) String() string { return t.label + " (" + t.class.String() + ")" }
+
+// Admit asks for a class run slot: immediately when the class's
+// weighted-slot rules allow (see Scheduler), otherwise by waiting in the
+// class's FIFO queue. A full queue rejects with ErrOverloaded at once; a
+// context cancelled while waiting abandons the queue slot without ever
+// consuming a running slot. label tags the query in the recent-queries
+// report.
+func (s *Scheduler) Admit(ctx context.Context, class Class, label string) (*Ticket, error) {
 	enq := time.Now()
-	select {
-	case <-s.slots:
-	default:
-		if s.queued.Add(1) > int64(s.queueDepth) {
-			s.queued.Add(-1)
-			s.rejected.Add(1)
-			return nil, ErrOverloaded
+	s.mu.Lock()
+	if s.canRun(class) {
+		if s.running[class] >= s.slots[class] {
+			s.cls[class].borrowed++
 		}
-		select {
-		case <-s.slots:
-			s.queued.Add(-1)
-		case <-ctx.Done():
-			s.queued.Add(-1)
-			s.abandoned.Add(1)
+		s.running[class]++
+		s.cls[class].admitted++
+		s.mu.Unlock()
+		return &Ticket{s: s, class: class, enqueued: enq, admitted: enq, label: label}, nil
+	}
+	if len(s.queues[class]) >= s.depth[class] {
+		s.cls[class].rejected++
+		s.mu.Unlock()
+		return nil, overloadError{class}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	s.queues[class] = append(s.queues[class], w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// The granter already moved us to running.
+		now := time.Now()
+		wait := now.Sub(enq).Nanoseconds()
+		s.mu.Lock()
+		c := &s.cls[class]
+		c.admitted++
+		c.queueWaitNs += wait
+		if wait > c.maxQueueWaitNs {
+			c.maxQueueWaitNs = wait
+		}
+		s.mu.Unlock()
+		return &Ticket{s: s, class: class, enqueued: enq, admitted: now, label: label}, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// Lost the race: a slot was granted concurrently with the
+			// cancellation. Nobody will run, so put the slot back.
+			s.cls[class].abandoned++
+			s.release(class)
+			s.mu.Unlock()
 			return nil, ctx.Err()
 		}
+		// Still queued: vacate the queue slot. No running slot was ever
+		// consumed. Batch borrowing keys off interactive queue length, so
+		// an abandoned interactive waiter may unblock a batch waiter.
+		for i, q := range s.queues[class] {
+			if q == w {
+				s.queues[class] = append(s.queues[class][:i], s.queues[class][i+1:]...)
+				break
+			}
+		}
+		s.cls[class].abandoned++
+		s.wake()
+		s.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	now := time.Now()
-	wait := now.Sub(enq).Nanoseconds()
-	s.admitted.Add(1)
-	s.queueWaitNs.Add(wait)
-	storeMax(&s.maxQueueWaitNs, wait)
-	return &Ticket{s: s, enqueued: enq, admitted: now, label: label}, nil
 }
 
 // AddWork accumulates one execution's scan work into the ticket (called
@@ -137,17 +333,9 @@ func (t *Ticket) Done(err error) {
 	s := t.s
 	t.s = nil
 	exec := time.Since(t.admitted).Nanoseconds()
-	s.execNs.Add(exec)
-	storeMax(&s.maxExecNs, exec)
-	s.pages.Add(t.pages)
-	s.rows.Add(t.rows)
-	if err != nil {
-		s.failed.Add(1)
-	} else {
-		s.completed.Add(1)
-	}
 	rec := QueryRecord{
 		Label:       t.label,
+		Class:       t.class.String(),
 		QueueWaitMs: float64(t.admitted.Sub(t.enqueued).Nanoseconds()) / 1e6,
 		ExecMs:      float64(exec) / 1e6,
 		Pages:       t.pages,
@@ -156,15 +344,27 @@ func (t *Ticket) Done(err error) {
 	if err != nil {
 		rec.Error = err.Error()
 	}
-	s.recentMu.Lock()
+	s.mu.Lock()
+	c := &s.cls[t.class]
+	c.execNs += exec
+	if exec > c.maxExecNs {
+		c.maxExecNs = exec
+	}
+	c.pages += t.pages
+	c.rows += t.rows
+	if err != nil {
+		c.failed++
+	} else {
+		c.completed++
+	}
 	if len(s.recent) < recentQueries {
 		s.recent = append(s.recent, rec)
 	} else {
 		s.recent[s.recentAt] = rec
 	}
 	s.recentAt = (s.recentAt + 1) % recentQueries
-	s.recentMu.Unlock()
-	s.slots <- struct{}{}
+	s.release(t.class)
+	s.mu.Unlock()
 }
 
 // recentQueries bounds the per-query ring in the stats report.
@@ -173,6 +373,7 @@ const recentQueries = 32
 // QueryRecord is one finished query in the recent ring.
 type QueryRecord struct {
 	Label       string  `json:"label"`
+	Class       string  `json:"class"`
 	QueueWaitMs float64 `json:"queueWaitMs"`
 	ExecMs      float64 `json:"execMs"`
 	Pages       int64   `json:"pages"`
@@ -180,14 +381,15 @@ type QueryRecord struct {
 	Error       string  `json:"error,omitempty"`
 }
 
-// Stats is the /x/sched snapshot.
-type Stats struct {
-	MaxConcurrent int   `json:"maxConcurrent"`
-	QueueDepth    int   `json:"queueDepth"`
-	Running       int   `json:"running"`
-	Queued        int64 `json:"queued"`
+// ClassStats is one workload class's slice of the /x/sched snapshot.
+type ClassStats struct {
+	Slots      int `json:"slots"`
+	QueueDepth int `json:"queueDepth"`
+	Running    int `json:"running"`
+	Queued     int `json:"queued"`
 
 	Admitted  int64 `json:"admitted"`
+	Borrowed  int64 `json:"borrowed"`
 	Rejected  int64 `json:"rejected"`
 	Abandoned int64 `json:"abandoned"`
 	Completed int64 `json:"completed"`
@@ -199,44 +401,78 @@ type Stats struct {
 	MaxExecMs      float64 `json:"maxExecMs"`
 	PagesScanned   int64   `json:"pagesScanned"`
 	RowsScanned    int64   `json:"rowsScanned"`
+}
+
+// Stats is the /x/sched snapshot: the per-class breakdown plus totals
+// summed across classes.
+type Stats struct {
+	Interactive ClassStats `json:"interactive"`
+	Batch       ClassStats `json:"batch"`
+
+	TotalSlots int   `json:"totalSlots"`
+	Running    int   `json:"running"`
+	Queued     int64 `json:"queued"`
+
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Abandoned int64 `json:"abandoned"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+
+	PagesScanned int64 `json:"pagesScanned"`
+	RowsScanned  int64 `json:"rowsScanned"`
 
 	Recent []QueryRecord `json:"recent"`
 }
 
-// Stats snapshots the scheduler counters.
-func (s *Scheduler) Stats() Stats {
-	st := Stats{
-		MaxConcurrent:  s.maxConcurrent,
-		QueueDepth:     s.queueDepth,
-		Running:        s.maxConcurrent - len(s.slots),
-		Queued:         s.queued.Load(),
-		Admitted:       s.admitted.Load(),
-		Rejected:       s.rejected.Load(),
-		Abandoned:      s.abandoned.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		MaxQueueWaitMs: float64(s.maxQueueWaitNs.Load()) / 1e6,
-		MaxExecMs:      float64(s.maxExecNs.Load()) / 1e6,
-		PagesScanned:   s.pages.Load(),
-		RowsScanned:    s.rows.Load(),
+// classStats snapshots one class (mu held).
+func (s *Scheduler) classStats(c Class) ClassStats {
+	cc := &s.cls[c]
+	st := ClassStats{
+		Slots:          s.slots[c],
+		QueueDepth:     s.depth[c],
+		Running:        s.running[c],
+		Queued:         len(s.queues[c]),
+		Admitted:       cc.admitted,
+		Borrowed:       cc.borrowed,
+		Rejected:       cc.rejected,
+		Abandoned:      cc.abandoned,
+		Completed:      cc.completed,
+		Failed:         cc.failed,
+		MaxQueueWaitMs: float64(cc.maxQueueWaitNs) / 1e6,
+		MaxExecMs:      float64(cc.maxExecNs) / 1e6,
+		PagesScanned:   cc.pages,
+		RowsScanned:    cc.rows,
 	}
-	if n := st.Admitted; n > 0 {
-		st.AvgQueueWaitMs = float64(s.queueWaitNs.Load()) / 1e6 / float64(n)
+	if cc.admitted > 0 {
+		st.AvgQueueWaitMs = float64(cc.queueWaitNs) / 1e6 / float64(cc.admitted)
 	}
-	if n := st.Completed + st.Failed; n > 0 {
-		st.AvgExecMs = float64(s.execNs.Load()) / 1e6 / float64(n)
+	if n := cc.completed + cc.failed; n > 0 {
+		st.AvgExecMs = float64(cc.execNs) / 1e6 / float64(n)
 	}
-	s.recentMu.Lock()
-	st.Recent = append(st.Recent, s.recent...)
-	s.recentMu.Unlock()
 	return st
 }
 
-func storeMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Interactive: s.classStats(Interactive),
+		Batch:       s.classStats(Batch),
+		TotalSlots:  s.slots[Interactive] + s.slots[Batch],
 	}
+	for _, c := range []*ClassStats{&st.Interactive, &st.Batch} {
+		st.Running += c.Running
+		st.Queued += int64(c.Queued)
+		st.Admitted += c.Admitted
+		st.Rejected += c.Rejected
+		st.Abandoned += c.Abandoned
+		st.Completed += c.Completed
+		st.Failed += c.Failed
+		st.PagesScanned += c.PagesScanned
+		st.RowsScanned += c.RowsScanned
+	}
+	st.Recent = append(st.Recent, s.recent...)
+	return st
 }

@@ -36,6 +36,12 @@ type CompiledPlan struct {
 	tables []tableVer
 	// bytes is the cache-accounting size estimate.
 	bytes int
+	// class is the workload class the admission controller schedules this
+	// plan under, decided once from the access paths and dive estimates;
+	// estRows is the driving-row estimate the decision was made from.
+	// Cached with the plan: a plan-cache hit knows its class for free.
+	class   QueryClass
+	estRows float64
 }
 
 // tableVer snapshots one table's data version at plan compile time.
@@ -49,6 +55,13 @@ func (cp *CompiledPlan) Explain() string { return cp.explain }
 
 // Columns returns the output column names.
 func (cp *CompiledPlan) Columns() []string { return cp.cols }
+
+// Class returns the plan's workload class (see QueryClass).
+func (cp *CompiledPlan) Class() QueryClass { return cp.class }
+
+// EstRows returns the driving-row estimate the class was decided from —
+// the cost signal per-class admission surfaces to operators.
+func (cp *CompiledPlan) EstRows() float64 { return cp.estRows }
 
 // compileSelect plans one SELECT into an immutable CompiledPlan. params is
 // the normalized parameter vector (nil on the un-parameterized
@@ -79,6 +92,7 @@ func (s *Session) compileSelect(st *SelectStmt, params []val.Value) (*CompiledPl
 		schemaVer: schemaVer,
 		tables:    p.tables,
 	}
+	cp.class, cp.estRows = classifyPlan(node)
 	cp.bytes = planBytes(cp)
 	return cp, nil
 }

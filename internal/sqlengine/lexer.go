@@ -10,6 +10,15 @@
 // of Figures 10–12 — TVF nested-loop join, parallel sequential scan,
 // covering-index scan — are chosen by the same reasoning the paper
 // describes.
+//
+// The compile pipeline is parse → parameterize → compile → (plan cache) →
+// bind → execute: literals normalize into a parameter vector and a
+// canonical cache key, compiled plans (CompiledPlan) are immutable and
+// shared across sessions, and each plan carries its workload class
+// (QueryClass — interactive seek vs batch sweep, decided from the
+// planner's dive-based estimates) for the admission controller in
+// internal/sched. See ARCHITECTURE.md at the repository root for the
+// end-to-end walk-through.
 package sqlengine
 
 import (

@@ -105,6 +105,31 @@ func (c *PlanCache) lookup(key []byte, schemaVer int64) *CompiledPlan {
 	return cp
 }
 
+// peek returns the valid cached plan for a normalized key without
+// touching any statistics or recency state — the pre-admission
+// classification probe, which must not distort the hit/miss counters the
+// execution path records (every peek is followed by a real lookup once
+// the query is admitted) and must stay cheap for requests that end up
+// shed. Stale entries return nil and are left for lookup to collect.
+func (c *PlanCache) peek(key []byte, schemaVer int64) *CompiledPlan {
+	c.mu.RLock()
+	e, ok := c.entries[string(key)]
+	c.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	cp := e.plan
+	if cp.schemaVer != schemaVer {
+		return nil
+	}
+	for _, tv := range cp.tables {
+		if tv.table.DataVersion() != tv.ver {
+			return nil
+		}
+	}
+	return cp
+}
+
 // recordMiss counts a probe that found nothing for a cacheable statement.
 func (c *PlanCache) recordMiss() { c.misses.Add(1) }
 

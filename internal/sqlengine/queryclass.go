@@ -1,0 +1,114 @@
+package sqlengine
+
+// QueryClass partitions compiled plans into the two workload classes the
+// admission controller schedules separately: the millions of casual
+// point-lookup users (the Explorer, cutouts — §2's "person with a web
+// browser") versus astronomers running long analytic scans against the
+// same database. The class is decided once, at compile time, from the
+// plan's access paths and the planner's dive-based cardinality estimates,
+// and is cached with the plan — a plan-cache hit carries its class for
+// free, so classification adds nothing to the steady-state hot path.
+type QueryClass uint8
+
+// The two workload classes. ClassInteractive is the zero value, so an
+// unclassified Result (a DML-only batch, a DDL statement) defaults to the
+// class whose queue the web layer treats most conservatively.
+const (
+	// ClassInteractive marks plans whose access paths are dive-proven
+	// small: index seeks, point lookups, spatial TVF probes — the Explorer
+	// traffic that must stay snappy while batch scans saturate the pool.
+	ClassInteractive QueryClass = iota
+	// ClassBatch marks plans that sweep data: heap scans, uncapped or
+	// capped-dive index ranges, large aggregates, big TVF sweeps — the
+	// analyst workload that may monopolize scan workers for seconds.
+	ClassBatch
+)
+
+// String returns the class name the web layer reports in the
+// X-Query-Class header and the /x/sched per-class breakdown.
+func (c QueryClass) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// InteractiveRowBudget is the classification threshold: a plan whose
+// estimated driving-row count stays at or under this budget is
+// interactive; anything beyond it — or any full heap scan of a persistent
+// table, regardless of size — is batch. The budget is a few times the
+// planner's dive cap, so every dive-proven seek classifies interactive
+// while a capped dive (which falls back to a fraction of the table)
+// classifies batch on any realistically sized table.
+const InteractiveRowBudget = 4 * diveCap
+
+// classifyPlan walks a compiled operator tree and derives its workload
+// class plus the driving-row estimate the class was decided from. The
+// estimate sums what each access leaf expects to produce (dive estimates
+// where the planner has them); structure overrides size in one case: a
+// heap scan of a persistent table is batch no matter how small the table
+// is today, because the scan's cost tracks table growth, not the plan.
+func classifyPlan(root Node) (QueryClass, float64) {
+	est, heapScan := planDrivingRows(root)
+	if heapScan || est > InteractiveRowBudget {
+		return ClassBatch, est
+	}
+	return ClassInteractive, est
+}
+
+// planDrivingRows estimates how many rows a subtree pulls from its access
+// paths and reports whether any of them is a heap scan. Interior
+// operators pass their child's cost through: filters, projections, sorts,
+// and aggregates are bounded by the rows their inputs drive.
+func planDrivingRows(n Node) (est float64, heapScan bool) {
+	switch n := n.(type) {
+	case *scanNode:
+		return float64(n.table.Rows()), true
+	case *indexScanNode:
+		if n.estRows >= 0 {
+			return n.estRows, false
+		}
+		// No dive estimate: an unbounded covering sweep reads the whole
+		// index, one entry per table row.
+		return float64(n.table.Rows()), false
+	case *tvfNode:
+		return float64(n.fn.EstRows), false
+	case *memScanNode:
+		return float64(len(n.mem.Rows)), false
+	case *indexJoinNode:
+		// Each outer row probes the inner index; probe fan-out is small by
+		// construction (the planner only builds this node over an equality
+		// prefix), so the outer side drives the cost.
+		return planDrivingRows(n.outer)
+	case *nlJoinNode:
+		// The materialized inner is rescanned once per outer row.
+		oe, oh := planDrivingRows(n.outer)
+		ie, ih := planDrivingRows(n.inner)
+		if ie < 1 {
+			ie = 1
+		}
+		return oe * ie, oh || ih
+	case *filterNode:
+		return planDrivingRows(n.child)
+	case *projectNode:
+		return planDrivingRows(n.child)
+	case *aggNode:
+		return planDrivingRows(n.child)
+	case *sortNode:
+		return planDrivingRows(n.child)
+	case *distinctNode:
+		return planDrivingRows(n.child)
+	case *stripNode:
+		return planDrivingRows(n.child)
+	case *topNode:
+		return planDrivingRows(n.child)
+	case *schemaNode:
+		return planDrivingRows(n.child)
+	case dualNode:
+		return 1, false
+	default:
+		// Unknown operator: assume the worst so new node types cannot
+		// silently classify a sweep as interactive.
+		return InteractiveRowBudget + 1, false
+	}
+}

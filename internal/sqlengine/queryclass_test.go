@@ -1,0 +1,88 @@
+package sqlengine
+
+import (
+	"testing"
+
+	"skyserver/internal/storage"
+	"skyserver/internal/val"
+)
+
+// classDB builds a table big enough that full sweeps exceed the
+// interactive row budget: PK on objID, a covering index over (objID, a),
+// and column b reachable only through the heap.
+func classDB(t *testing.T) *Session {
+	t.Helper()
+	db := NewDB(storage.NewMemFileGroup(2, 1024))
+	_, err := db.CreateTable("T", []Column{
+		{Name: "objID", Kind: val.KindInt, NotNull: true},
+		{Name: "a", Kind: val.KindFloat, NotNull: true},
+		{Name: "b", Kind: val.KindFloat, NotNull: true},
+	}, []string{"objID"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("T", "ix_a", []string{"objID"}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Table("T")
+	for i := int64(0); i < InteractiveRowBudget+1000; i++ {
+		if _, err := tab.Insert(val.Row{val.Int(i), val.Float(float64(i % 17)), val.Float(float64(i % 5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewSession(db)
+}
+
+func TestQueryClassification(t *testing.T) {
+	s := classDB(t)
+	cases := []struct {
+		sql  string
+		want QueryClass
+	}{
+		// Dive-proven index seeks and small ranges are interactive.
+		{"select objID from T where objID = 7", ClassInteractive},
+		{"select objID from T where objID between 10 and 40", ClassInteractive},
+		// A full covering-index sweep reads every entry: over budget.
+		{"select objID, a from T", ClassBatch},
+		// b is reachable only through the heap: a heap scan is batch
+		// regardless of table size.
+		{"select count(*) from T where b > 1", ClassBatch},
+	}
+	for _, tc := range cases {
+		class, err := s.Classify(tc.sql)
+		if err != nil {
+			t.Fatalf("Classify(%q): %v", tc.sql, err)
+		}
+		if class != tc.want {
+			t.Errorf("Classify(%q) = %v, want %v", tc.sql, class, tc.want)
+		}
+		// Execution agrees with pre-admission classification, and the
+		// class rides the plan cache: the first Exec after Classify must
+		// already hit.
+		res, err := s.Exec(tc.sql, ExecOptions{})
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", tc.sql, err)
+		}
+		if res.Class != tc.want {
+			t.Errorf("Exec(%q).Class = %v, want %v", tc.sql, res.Class, tc.want)
+		}
+		if !res.PlanCacheHit {
+			t.Errorf("Exec(%q) after Classify missed the plan cache; the class was not cached with the plan", tc.sql)
+		}
+	}
+
+	// Batches the plan cache cannot hold — session state, multi-statement
+	// scripts — classify as batch without compiling.
+	for _, sql := range []string{
+		"declare @x int set @x = 1 select objID from T where objID = @x",
+		"select objID from T where objID = 1 select objID from T where objID = 2",
+	} {
+		class, err := s.Classify(sql)
+		if err != nil {
+			t.Fatalf("Classify(%q): %v", sql, err)
+		}
+		if class != ClassBatch {
+			t.Errorf("Classify(%q) = %v, want batch (uncacheable)", sql, class)
+		}
+	}
+}

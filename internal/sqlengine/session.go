@@ -119,6 +119,10 @@ type Result struct {
 	// PlanCacheHit reports that the batch executed from a cached plan
 	// (single cacheable SELECTs only; see PlanCache).
 	PlanCacheHit bool
+	// Class is the workload class of the batch's last SELECT (zero value
+	// ClassInteractive for batches without one — DML and DDL are charged
+	// to whatever class admitted the request).
+	Class QueryClass
 
 	// compiled carries the plan the batch's SELECT compiled, for the
 	// store-into-cache decision in exec (only single-statement cacheable
@@ -272,6 +276,9 @@ func (s *Session) execStmts(qctx context.Context, stmts []Statement, params []va
 	if storeKey != "" && res.compiled != nil {
 		s.db.plans.store(storeKey, res.compiled)
 	}
+	if res.compiled != nil {
+		res.Class = res.compiled.class
+	}
 	res.Elapsed = time.Since(startWall)
 	res.CPU = processCPU() - startCPU
 	res.RowsScanned = ctx.RowsScanned.Load()
@@ -287,7 +294,7 @@ func (s *Session) execCachedPlan(qctx context.Context, cp *CompiledPlan, params 
 		// stale parameters.
 		return nil, fmt.Errorf("sql: plan cache: %d parameters bound, plan needs %d", len(params), cp.nParams)
 	}
-	res := &Result{PlanCacheHit: true}
+	res := &Result{PlanCacheHit: true, Class: cp.class}
 	startWall := time.Now()
 	startCPU := processCPU()
 	ctx := s.newExecCtx(qctx, params, opt, startWall)
@@ -348,6 +355,68 @@ func (s *Session) Explain(sql string) (string, error) {
 		mark = "uncacheable"
 	}
 	return strings.Join(plans, "") + "PlanCache: " + mark + "\n", nil
+}
+
+// ClassifyCached reports the workload class of a batch when — and only
+// when — its plan is already in the shared cache: one lex + normalize +
+// counter-free cache peek, no parsing, no compilation, no stat or
+// recency mutation. This is the pre-admission probe: it is safe to run
+// on unadmitted (possibly soon-to-be-shed) traffic because an attacker
+// varying statement text pays the server nothing beyond lexing, and it
+// leaves /x/plancache's hit/miss counters describing executions only.
+// ok is false when the shape is unknown (or the text does not even lex);
+// the web layer then admits conservatively under the batch queue, and
+// the admitted execution's compile populates the cache so every later
+// request of that shape classifies precisely.
+func (s *Session) ClassifyCached(sql string) (QueryClass, bool) {
+	toks, err := lexInto(sql, s.lexBuf)
+	if err != nil {
+		return ClassBatch, false
+	}
+	s.lexBuf = toks
+	key, params := normalizeTokens(toks, s.keyBuf[:0], s.paramBuf[:0])
+	s.keyBuf, s.paramBuf = key, params
+	if cp := s.db.plans.peek(key, s.db.SchemaVersion()); cp != nil {
+		return cp.class, true
+	}
+	return ClassBatch, false
+}
+
+// Classify reports the workload class the admission controller should
+// schedule this batch under, without executing it. It shares Exec's
+// normalize → probe prologue, so on the steady-state path — the templated
+// Explorer and navigator traffic the plan cache is built for — a call
+// costs one cache probe and no parsing. On a miss the single cacheable
+// SELECT is compiled and stored, so the Exec that follows hits the cache
+// and the compile is never paid twice. Everything the cache cannot hold —
+// multi-statement batches, DML, DDL, session-state references —
+// classifies as batch: those are analyst workloads by construction, and
+// the Explorer's traffic is all single cacheable SELECTs. Lex errors
+// surface here so the caller can fail fast without charging a queue slot
+// to a query that will never run.
+//
+// Classify compiles on a miss, so it belongs after admission (tools,
+// tests, schedulers with trusted input); the web layer's pre-admission
+// gate uses ClassifyCached, which never compiles for unadmitted traffic.
+func (s *Session) Classify(sql string) (QueryClass, error) {
+	pr, err := s.normalizeAndProbe(sql)
+	if err != nil {
+		return ClassInteractive, err
+	}
+	if pr.hit != nil {
+		return pr.hit.class, nil
+	}
+	if pr.storeKey != "" && len(pr.stmts) == 1 {
+		if sel, ok := pr.stmts[0].(*SelectStmt); ok {
+			cp, err := s.compileSelect(sel, pr.params)
+			if err != nil {
+				return ClassInteractive, err
+			}
+			s.db.plans.store(pr.storeKey, cp)
+			return cp.class, nil
+		}
+	}
+	return ClassBatch, nil
 }
 
 func indentLines(s string) string {

@@ -96,7 +96,9 @@ func normalizeBody(b string) string {
 // full, well-formed payload or a well-formed 503 with Retry-After.
 func TestConcurrentTrafficMix(t *testing.T) {
 	sdb := survey(t)
-	srv := NewServer(sdb, Options{Public: true, MaxConcurrent: 4, QueueDepth: 8})
+	srv := NewServer(sdb, Options{Public: true,
+		InteractiveSlots: 2, BatchSlots: 2,
+		InteractiveQueueDepth: 8, BatchQueueDepth: 8})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -189,7 +191,9 @@ func TestConcurrentTrafficMix(t *testing.T) {
 // goroutines do not pile up behind it.
 func TestSaturationShedsLoad(t *testing.T) {
 	sdb := survey(t)
-	srv := NewServer(sdb, Options{Public: true, MaxConcurrent: 1, QueueDepth: 1})
+	srv := NewServer(sdb, Options{Public: true,
+		InteractiveSlots: 1, BatchSlots: 1,
+		InteractiveQueueDepth: 1, BatchQueueDepth: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -251,8 +255,8 @@ func TestSaturationShedsLoad(t *testing.T) {
 	if st.Rejected != ok503.Load() {
 		t.Errorf("scheduler rejected %d, clients saw %d", st.Rejected, ok503.Load())
 	}
-	t.Logf("under saturation: avg queue wait %.1fms (max %.1fms), avg exec %.1fms, served %d, shed %d",
-		st.AvgQueueWaitMs, st.MaxQueueWaitMs, st.AvgExecMs, ok200.Load(), ok503.Load())
+	t.Logf("under saturation: batch avg queue wait %.1fms (max %.1fms), avg exec %.1fms, served %d, shed %d",
+		st.Batch.AvgQueueWaitMs, st.Batch.MaxQueueWaitMs, st.Batch.AvgExecMs, ok200.Load(), ok503.Load())
 	// Admission control bounds concurrency: once the burst drains, the
 	// goroutine count returns to its neighborhood instead of having
 	// grown with the offered load.
@@ -275,6 +279,13 @@ func TestSaturationShedsLoad(t *testing.T) {
 		Admission struct {
 			Admitted int64 `json:"admitted"`
 			Rejected int64 `json:"rejected"`
+			Batch    struct {
+				Slots    int   `json:"slots"`
+				Rejected int64 `json:"rejected"`
+			} `json:"batch"`
+			Interactive struct {
+				Slots int `json:"slots"`
+			} `json:"interactive"`
 		} `json:"admission"`
 		ScanPool struct {
 			Workers int `json:"workers"`
@@ -285,6 +296,16 @@ func TestSaturationShedsLoad(t *testing.T) {
 	}
 	if doc.Admission.Rejected == 0 || doc.Admission.Admitted == 0 {
 		t.Errorf("/x/sched counters empty: %s", body)
+	}
+	// The saturating scans are batch class: the per-class breakdown must
+	// attribute the shed load there and report the configured slots.
+	if doc.Admission.Batch.Slots != 1 || doc.Admission.Interactive.Slots != 1 {
+		t.Errorf("/x/sched per-class slots = %d/%d, want 1/1: %s",
+			doc.Admission.Interactive.Slots, doc.Admission.Batch.Slots, body)
+	}
+	if doc.Admission.Batch.Rejected != doc.Admission.Rejected {
+		t.Errorf("/x/sched batch rejected %d != total rejected %d",
+			doc.Admission.Batch.Rejected, doc.Admission.Rejected)
 	}
 	if doc.ScanPool.Workers == 0 {
 		t.Errorf("/x/sched reports no scan-pool workers: %s", body)

@@ -7,6 +7,12 @@
 // famous-places gallery, and the schema browser feed that SkyServerQA's
 // object browser reads. Every request is written to an access log in the
 // format internal/traffic analyzes — the same pipeline as §7's statistics.
+//
+// Query-running routes pass through a workload-class admission gate:
+// ad-hoc SQL is classified by the planner (interactive seek vs batch
+// sweep), canned tools admit as interactive, responses carry
+// X-Query-Class, and overload is shed per class with 503 + Retry-After
+// (see internal/sched and docs/ops.md).
 package web
 
 import (
@@ -36,13 +42,19 @@ type Options struct {
 	// MaxRows / Timeout override the public defaults when non-zero.
 	MaxRows int
 	Timeout time.Duration
-	// MaxConcurrent bounds how many query-running requests execute at
-	// once (0 = sched.DefaultMaxConcurrent); QueueDepth bounds how many
-	// more wait in line (0 = sched.DefaultQueueDepth). Requests beyond
-	// both bounds receive 503 + Retry-After — §7's television spike sheds
-	// load instead of collapsing the server.
-	MaxConcurrent int
-	QueueDepth    int
+	// InteractiveSlots / BatchSlots bound how many query-running requests
+	// of each workload class execute at once (0 = the sched defaults):
+	// interactive slots are a hard reservation for the Explorer's point
+	// lookups, batch slots serve analytic scans and may borrow idle
+	// capacity. InteractiveQueueDepth / BatchQueueDepth bound each
+	// class's wait queue; requests beyond slot and queue bounds receive
+	// 503 + Retry-After — §7's television spike sheds load instead of
+	// collapsing the server, and a flood of batch scans no longer drags
+	// the Explorer down with it.
+	InteractiveSlots      int
+	BatchSlots            int
+	InteractiveQueueDepth int
+	BatchQueueDepth       int
 	// MaxScanWorkers caps the scan parallelism of one admitted query
 	// (ExecOptions.MaxConcurrency; 0 = uncapped).
 	MaxScanWorkers int
@@ -77,22 +89,33 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 		}
 	}
 	s := &Server{
-		sdb:   sdb,
-		opt:   opt,
-		mux:   http.NewServeMux(),
-		sched: sched.NewScheduler(opt.MaxConcurrent, opt.QueueDepth),
+		sdb: sdb,
+		opt: opt,
+		mux: http.NewServeMux(),
+		sched: sched.NewScheduler(sched.Config{
+			InteractiveSlots:      opt.InteractiveSlots,
+			BatchSlots:            opt.BatchSlots,
+			InteractiveQueueDepth: opt.InteractiveQueueDepth,
+			BatchQueueDepth:       opt.BatchQueueDepth,
+		}),
 	}
+	// The ad-hoc SQL endpoints classify each query through the planner
+	// (plan-cached, so the steady state pays one cache probe); the site's
+	// own canned tools — the Explorer drill-down, cutouts, the gallery,
+	// the navigator rectangle, the loader journal — are interactive by
+	// construction and admit under a fixed class.
+	interactive := func(*http.Request) sched.Class { return sched.Interactive }
 	s.mux.HandleFunc("/", s.handleHome)
-	s.mux.HandleFunc("/en/tools/search/sql.asp", s.gate("sql", s.handleSQL))
-	s.mux.HandleFunc("/x/sql", s.gate("sql", s.handleSQL))
+	s.mux.HandleFunc("/en/tools/search/sql.asp", s.gate("sql", s.classifySQL, s.handleSQL))
+	s.mux.HandleFunc("/x/sql", s.gate("sql", s.classifySQL, s.handleSQL))
 	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
 	s.mux.HandleFunc("/x/sched", s.handleSched)
-	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", s.handleExplore))
-	s.mux.HandleFunc("/en/tools/places/", s.gate("places", s.handlePlaces))
-	s.mux.HandleFunc("/en/tools/navi/cutout", s.gate("cutout", s.handleCutout))
-	s.mux.HandleFunc("/en/tools/navi/objects", s.gate("rect", s.handleRect))
+	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", interactive, s.handleExplore))
+	s.mux.HandleFunc("/en/tools/places/", s.gate("places", interactive, s.handlePlaces))
+	s.mux.HandleFunc("/en/tools/navi/cutout", s.gate("cutout", interactive, s.handleCutout))
+	s.mux.HandleFunc("/en/tools/navi/objects", s.gate("rect", interactive, s.handleRect))
 	s.mux.HandleFunc("/en/help/docs/browser.asp", s.handleSchema)
-	s.mux.HandleFunc("/en/skyserver/loadevents", s.gate("loadevents", s.handleLoadEvents))
+	s.mux.HandleFunc("/en/skyserver/loadevents", s.gate("loadevents", interactive, s.handleLoadEvents))
 	return s
 }
 
@@ -109,21 +132,72 @@ type gateState struct {
 
 type gateKey struct{}
 
-// gate wraps a query-running handler with admission control and per-query
-// context plumbing: the request is admitted through the scheduler (503 +
-// Retry-After when the run queue is full), its context gets the server's
-// query timeout, and the ticket — which the exec helpers charge with scan
+// classifySQL decides the workload class of an ad-hoc SQL request from
+// the plan cache alone (Session.ClassifyCached: lex + normalize + a
+// counter-free cache peek — no parsing or compilation runs before
+// admission, so shed traffic cannot make the server compile or churn the
+// cache). An empty form renders the search page and admits as
+// interactive; a shape the cache does not know admits conservatively as
+// batch — its admitted execution compiles and caches the plan, after
+// which every request of that shape classifies precisely.
+func (s *Server) classifySQL(r *http.Request) sched.Class {
+	var cmd string
+	switch r.Method {
+	case http.MethodGet:
+		cmd = r.URL.Query().Get("cmd")
+	case http.MethodPost:
+		// ParseForm memoizes into r.PostForm, so the handler's own call
+		// sees the already-consumed body.
+		if err := r.ParseForm(); err == nil {
+			cmd = r.PostForm.Get("cmd")
+		}
+	}
+	if cmd == "" {
+		return sched.Interactive
+	}
+	if class, ok := sqlengine.NewSession(s.sdb.DB).ClassifyCached(cmd); ok && class == sqlengine.ClassInteractive {
+		return sched.Interactive
+	}
+	return sched.Batch
+}
+
+// retryAfter is the per-class backoff hint on 503s: a shed interactive
+// query can retry almost immediately (its reservation drains in
+// milliseconds), a shed batch scan should wait for real capacity.
+func retryAfter(class sched.Class) string {
+	if class == sched.Batch {
+		return "5"
+	}
+	return "1"
+}
+
+// gate wraps a query-running handler with class-tagged admission control
+// and per-query context plumbing: classify picks the request's workload
+// class, the request is admitted through the class's queue (503 +
+// Retry-After when it is full), its context gets the server's query
+// timeout, and the ticket — which the exec helpers charge with scan
 // work — is released with the query's outcome when the handler returns.
-// Cheap endpoints (home, schema, the /x/ status pages) stay ungated so
-// operators can observe an overloaded server.
-func (s *Server) gate(label string, h http.HandlerFunc) http.HandlerFunc {
+// Clients may downgrade themselves with ?class=batch (a polite analyst
+// keeping a scripted sweep out of the interactive reservation);
+// escalation to interactive is deliberately not honored — on a public
+// server the reservation would otherwise be one query parameter away
+// from being a batch queue. Every gated response, including rejections,
+// carries X-Query-Class so clients learn which queue they were scheduled
+// on. Cheap endpoints (home, schema, the /x/ status pages) stay ungated
+// so operators can observe an overloaded server.
+func (s *Server) gate(label string, classify func(*http.Request) sched.Class, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		tk, err := s.sched.Admit(r.Context(), label)
+		class := classify(r)
+		if o, ok := sched.ParseClass(r.URL.Query().Get("class")); ok && o == sched.Batch {
+			class = sched.Batch
+		}
+		w.Header().Set("X-Query-Class", class.String())
+		tk, err := s.sched.Admit(r.Context(), class, label)
 		if err != nil {
 			if errors.Is(err, sched.ErrOverloaded) {
 				// The §7 spike answer: a well-formed, retryable rejection.
-				w.Header().Set("Retry-After", "1")
-				http.Error(w, "SkyServer overloaded: too many concurrent queries, try again shortly",
+				w.Header().Set("Retry-After", retryAfter(class))
+				http.Error(w, fmt.Sprintf("SkyServer overloaded: %s queue full, try again shortly", class),
 					http.StatusServiceUnavailable)
 				return
 			}
@@ -628,10 +702,12 @@ func (s *Server) handlePlanCache(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.sdb.DB.Plans().Stats())
 }
 
-// handleSched reports the query scheduler: admission-control counters
-// (admitted / rejected / queue waits, per-query recent history) and the
-// persistent scan-worker pool's activity. Ungated, so it stays readable
-// while the server sheds load.
+// handleSched reports the query scheduler: per-class admission counters
+// (interactive and batch slots, queue occupancy, admitted / borrowed /
+// rejected / queue waits), cross-class totals, the per-query recent
+// history, and the persistent scan-worker pool's activity. Ungated, so
+// it stays readable while the server sheds load. Field reference:
+// docs/ops.md.
 func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
 		Admission sched.Stats     `json:"admission"`

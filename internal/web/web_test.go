@@ -26,7 +26,7 @@ var (
 	bErr error
 )
 
-func survey(t *testing.T) *schema.SkyDB {
+func survey(t testing.TB) *schema.SkyDB {
 	t.Helper()
 	once.Do(func() {
 		fg := storage.NewMemFileGroup(4, 4096)
