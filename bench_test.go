@@ -26,6 +26,7 @@ import (
 	"skyserver/internal/neighbors"
 	"skyserver/internal/pipeline"
 	"skyserver/internal/queries"
+	"skyserver/internal/resultcache"
 	"skyserver/internal/schema"
 	"skyserver/internal/sqlengine"
 	"skyserver/internal/storage"
@@ -331,6 +332,62 @@ func BenchmarkPlanCache(b *testing.B) {
 	b.Run("Hit", func(b *testing.B) { run(b, sqlengine.ExecOptions{}, false) })
 	b.Run("Miss", func(b *testing.B) { run(b, sqlengine.ExecOptions{}, true) })
 	b.Run("Disabled", func(b *testing.B) { run(b, sqlengine.ExecOptions{DisablePlanCache: true}, false) })
+}
+
+// BenchmarkResultCacheHit measures the repeat-lookup fast path the web
+// layer runs before admission on the same Q9 seek BenchmarkPlanCache
+// uses: normalize the SQL to its result key, probe the version-keyed
+// result cache, and match the stored ETag — no parse tree, no plan
+// binding, no scan, no serialization. Compare against
+// BenchmarkPlanCache/Hit (the best the engine does without it) for the
+// short-circuit factor; the gate also pins the path allocation-flat.
+func BenchmarkResultCacheHit(b *testing.B) {
+	b.ReportAllocs()
+	s := benchServer(b)
+	var q queries.Query
+	for _, cand := range queries.All() {
+		if cand.ID == "9" {
+			q = cand
+		}
+	}
+	sess := s.Session()
+	sql, err := q.SQL(sess)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sess.Exec(sql, sqlengine.ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := res.Compiled()
+	if cp == nil || !res.Cacheable || !cp.ResultCacheable() {
+		b.Fatal("Q9 did not produce a cacheable compiled plan")
+	}
+	cache := resultcache.New(0, 0)
+	key, _, ok := sess.ResultKey(sql, nil)
+	if !ok {
+		b.Fatal("ResultKey failed")
+	}
+	etag := resultcache.ETag(key, cp.VersionDigest())
+	if !cache.Store(key, etag, "text/csv", "interactive", make([]byte, 4096), cp) {
+		b.Fatal("store rejected")
+	}
+	db := s.DB().DB
+	keyBuf := make([]byte, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _, ok := sess.ResultKey(sql, keyBuf[:0])
+		if !ok {
+			b.Fatal("ResultKey failed")
+		}
+		e := cache.Probe(k, db.SchemaVersion())
+		if e == nil {
+			b.Fatal("probe missed")
+		}
+		if e.ETag != etag {
+			b.Fatal("etag mismatch")
+		}
+	}
 }
 
 // BenchmarkSpatialLookup measures the fGetNearbyObjEq path: HTM cover plus

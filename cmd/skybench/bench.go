@@ -128,8 +128,9 @@ func writeBaseline(benchPath, outPath string) error {
 }
 
 // diffBaseline compares a new raw bench run against the baseline and
-// returns an error when the gate fails.
-func diffBaseline(baselinePath, benchPath string) error {
+// returns an error when the gate fails. With allocsOnly the ns/op branch
+// is skipped: only allocation counts (machine-independent, exact) gate.
+func diffBaseline(baselinePath, benchPath string, allocsOnly bool) error {
 	bb, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -175,7 +176,7 @@ func diffBaseline(baselinePath, benchPath string) error {
 			ratio = c.NsOp / b.NsOp
 		}
 		verdict := "ok"
-		if ratio > NsRegressionLimit {
+		if !allocsOnly && ratio > NsRegressionLimit {
 			verdict = "FAIL ns/op"
 			failures = append(failures, fmt.Sprintf(
 				"%s: ns/op %.0f -> %.0f (%.2fx > %.2fx limit)", name, b.NsOp, c.NsOp, ratio, NsRegressionLimit))

@@ -22,7 +22,10 @@
 //	skybench -exp benchdiff -baseline BENCH_BASELINE.json -bench bench.txt
 //
 // benchdiff exits non-zero when a benchmark regresses more than 25% in
-// ns/op or by any amount in allocs/op.
+// ns/op or by any amount in allocs/op. With -allocsonly the ns/op check
+// is skipped entirely and only allocation counts gate — the mode for
+// shared/noisy runners where wall-clock is meaningless but allocs/op is
+// still exact.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "benchdiff: baseline JSON to compare against")
 	bench := flag.String("bench", "", "benchbaseline/benchdiff: raw `go test -bench` output file")
 	out := flag.String("out", "BENCH_BASELINE.json", "benchbaseline: output JSON path")
+	allocsOnly := flag.Bool("allocsonly", false, "benchdiff: gate only allocs/op, ignore ns/op (for noisy runners)")
 	flag.Parse()
 
 	var err error
@@ -52,7 +56,7 @@ func main() {
 	case "benchbaseline":
 		err = writeBaseline(*bench, *out)
 	case "benchdiff":
-		err = diffBaseline(*baseline, *bench)
+		err = diffBaseline(*baseline, *bench, *allocsOnly)
 	default:
 		err = run(*exp, *scale, *seed)
 	}

@@ -31,6 +31,8 @@ func main() {
 	queueDepthInteractive := flag.Int("queuedepth-interactive", 0, "interactive admission queue depth before 503s (0 = default)")
 	queueDepthBatch := flag.Int("queuedepth-batch", 0, "batch admission queue depth before 503s (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = the public 30s default)")
+	resultCacheBytes := flag.Int("resultcache-bytes", 0, "result-cache byte budget (0 = 64MB default, negative disables)")
+	resultCacheMaxEntry := flag.Int("resultcache-maxentry", 0, "largest cacheable serialized result in bytes (0 = 1MB default)")
 	flag.Parse()
 
 	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
@@ -48,6 +50,8 @@ func main() {
 		BatchSlots:            *batchSlots,
 		InteractiveQueueDepth: *queueDepthInteractive,
 		BatchQueueDepth:       *queueDepthBatch,
+		ResultCacheBytes:      *resultCacheBytes,
+		ResultCacheMaxEntry:   *resultCacheMaxEntry,
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -1,0 +1,283 @@
+// Package resultcache caches fully serialized query responses keyed by
+// statement identity and data versions — the layer above the plan cache
+// in the SkyServer's repeat-lookup fast path. The paper's dominant
+// traffic is millions of Explorer users replaying the same handful of
+// point lookups against data that only changes at data-release
+// boundaries, so once one request has paid compile + bind + scan +
+// serialize, every identical request until the next data change can be
+// answered from the cached bytes — before the admission gate ever sees
+// it.
+//
+// Keys are version-independent: the web layer builds them from the plan
+// cache's normalized statement key, the bound parameter vector, the
+// output format, and the row limit (see sqlengine.Session.ResultKey).
+// Each entry instead carries a validity witness — the CompiledPlan that
+// produced it, via the Validator interface — which knows the exact
+// schema and table data versions the result was computed against.
+// Invalidation is lazy, exactly like the plan cache: a probe checks the
+// witness against the live catalog and discards the entry when any
+// version moved. DML performs no cache work at all.
+//
+// Entries also carry a strong ETag derived from the key and the
+// versions (see ETag): the engine is deterministic and version counters
+// are monotonic, so equal (key, versions) imply byte-identical bodies,
+// which is precisely the strong-ETag contract HTTP conditional GET
+// needs for 304 Not Modified responses.
+//
+// The cache is sharded: a probe takes one shard's read lock for the map
+// access, stamps recency with an atomic on the entry, and counts
+// hits/misses with atomics — concurrent lookups from many connections
+// never serialize on a write lock. Stores and evictions (rare) take the
+// shard's write lock; eviction scans for the oldest stamp within the
+// shard, the same budget discipline the plan cache proved.
+package resultcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Validator is an entry's validity witness: Valid reports whether the
+// catalog snapshot the entry was built against still matches the live
+// catalog. *sqlengine.CompiledPlan implements it; the indirection keeps
+// this package free of engine imports and unit-testable.
+type Validator interface {
+	Valid(schemaVer int64) bool
+}
+
+// Default budgets: DefaultMaxBytes bounds the whole cache (a few
+// thousand typical Explorer responses), DefaultMaxEntry bounds one
+// serialized body — a public-limit result set (1,000 rows) fits with
+// room to spare, while an analyst's mega-scan never displaces the hot
+// point lookups.
+const (
+	DefaultMaxBytes = 64 << 20
+	DefaultMaxEntry = 1 << 20
+)
+
+// shardCount is a power of two so shard selection is a mask; 16 shards
+// keep write-lock contention negligible at the request rates the
+// admission gate admits.
+const shardCount = 16
+
+// Entry is one cached response: the serialized body, its Content-Type,
+// the strong ETag, the workload class the query classified under (hits
+// bypass admission but still report X-Query-Class), and the validity
+// witness.
+type Entry struct {
+	// ETag is the strong entity tag (quoted, ready for the header).
+	ETag string
+	// ContentType is the response Content-Type header value.
+	ContentType string
+	// Body is the full serialized response. Never mutated after Store.
+	Body []byte
+	// Class is the X-Query-Class header value of the original response.
+	Class string
+
+	key      string
+	witness  Validator
+	bytes    int
+	lastUsed atomic.Int64
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	entries  map[string]*Entry
+	curBytes int
+	maxBytes int
+	clock    atomic.Int64
+}
+
+// Cache is a sharded, byte-budgeted result cache. All methods are safe
+// for concurrent use.
+type Cache struct {
+	shards   [shardCount]shard
+	maxEntry int
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	notModified   atomic.Int64
+	fills         atomic.Int64
+	fillRejected  atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+// New builds a cache with the given total byte budget and per-entry
+// cap; zero (or negative) values take the package defaults.
+func New(maxBytes, maxEntry int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if maxEntry <= 0 {
+		maxEntry = DefaultMaxEntry
+	}
+	c := &Cache{maxEntry: maxEntry}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*Entry)
+		c.shards[i].maxBytes = maxBytes / shardCount
+	}
+	return c
+}
+
+// MaxEntry returns the per-entry byte cap (the fill buffers and the FITS
+// materialization path size themselves against it).
+func (c *Cache) MaxEntry() int { return c.maxEntry }
+
+// fnv1a is FNV-1a over the key bytes; shard selector and ETag seed.
+func fnv1a(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func (c *Cache) shard(key []byte) *shard {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Probe returns the valid entry for a key, or nil. A stale entry — one
+// whose witness reports the catalog moved since the fill — is removed
+// under the shard's write lock and counted as an invalidation; the next
+// request of that shape re-executes and refills. The steady-state hit
+// allocates nothing: a read-locked map access, the witness check, and an
+// atomic recency stamp.
+func (c *Cache) Probe(key []byte, schemaVer int64) *Entry {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[string(key)]
+	sh.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	if !e.witness.Valid(schemaVer) {
+		sh.mu.Lock()
+		// Re-check under the write lock: a concurrent fill may have
+		// replaced the stale entry with a fresh one.
+		if cur, ok := sh.entries[e.key]; ok && cur == e {
+			delete(sh.entries, e.key)
+			sh.curBytes -= e.bytes
+		}
+		sh.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil
+	}
+	e.lastUsed.Store(sh.clock.Add(1))
+	c.hits.Add(1)
+	return e
+}
+
+// Store fills the cache with a serialized response under the key,
+// evicting oldest entries in the shard until its budget holds. The body
+// must not be mutated afterwards (the web layer hands over its fill
+// buffer). Bodies over the per-entry cap are rejected (counted, not
+// stored) — the tee that feeds Store stops buffering at the cap, so in
+// practice oversized results never get here with a complete body.
+func (c *Cache) Store(key []byte, etag, contentType, class string, body []byte, witness Validator) bool {
+	if witness == nil || len(body) > c.maxEntry {
+		c.fillRejected.Add(1)
+		return false
+	}
+	e := &Entry{
+		ETag:        etag,
+		ContentType: contentType,
+		Body:        body,
+		Class:       class,
+		key:         string(key),
+		witness:     witness,
+	}
+	e.bytes = len(body) + len(e.key) + len(etag) + len(contentType) + 128
+	sh := c.shard(key)
+	e.lastUsed.Store(sh.clock.Add(1))
+	sh.mu.Lock()
+	if old, ok := sh.entries[e.key]; ok {
+		sh.curBytes -= old.bytes
+	}
+	sh.entries[e.key] = e
+	sh.curBytes += e.bytes
+	for sh.curBytes > sh.maxBytes && len(sh.entries) > 0 {
+		var victim *Entry
+		oldest := int64(0)
+		for _, se := range sh.entries {
+			if u := se.lastUsed.Load(); victim == nil || u < oldest {
+				victim, oldest = se, u
+			}
+		}
+		delete(sh.entries, victim.key)
+		sh.curBytes -= victim.bytes
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	c.fills.Add(1)
+	return true
+}
+
+// NoteNotModified counts a conditional-GET hit answered with 304 (the
+// web layer calls it when If-None-Match matched the entry's ETag).
+func (c *Cache) NoteNotModified() { c.notModified.Add(1) }
+
+// ETag renders the strong entity tag for a result key and a version
+// digest (CompiledPlan.VersionDigest), quoted and ready for the header.
+func ETag(key []byte, versionDigest uint64) string {
+	const hex = "0123456789abcdef"
+	var b [36]byte
+	b[0] = '"'
+	k := fnv1a(key)
+	for i := 0; i < 16; i++ {
+		b[1+i] = hex[(k>>uint(60-4*i))&0xf]
+	}
+	b[17] = '-'
+	for i := 0; i < 16; i++ {
+		b[18+i] = hex[(versionDigest>>uint(60-4*i))&0xf]
+	}
+	b[34] = '"'
+	return string(b[:35])
+}
+
+// Stats is a point-in-time snapshot of the cache counters, exposed on
+// the web front end's /x/resultcache endpoint (field reference:
+// docs/ops.md).
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	NotModified   int64 `json:"notModified"`
+	Fills         int64 `json:"fills"`
+	FillRejected  int64 `json:"fillRejected"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Bytes         int   `json:"bytes"`
+	MaxBytes      int   `json:"maxBytes"`
+	MaxEntry      int   `json:"maxEntry"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		NotModified:   c.notModified.Load(),
+		Fills:         c.fills.Load(),
+		FillRejected:  c.fillRejected.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		MaxEntry:      c.maxEntry,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.curBytes
+		st.MaxBytes += sh.maxBytes
+		sh.mu.RUnlock()
+	}
+	return st
+}

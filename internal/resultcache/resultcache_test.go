@@ -1,0 +1,160 @@
+package resultcache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeWitness mimics a CompiledPlan's validity check: valid while the
+// observed schema version equals want and the shared table version
+// counter equals tableVer.
+type fakeWitness struct {
+	want     int64
+	tableCur *uint64
+	tableVer uint64
+}
+
+func (w *fakeWitness) Valid(schemaVer int64) bool {
+	return schemaVer == w.want && (w.tableCur == nil || *w.tableCur == w.tableVer)
+}
+
+func TestProbeStoreHit(t *testing.T) {
+	c := New(1<<20, 1<<16)
+	key := []byte("select ?i0\x00\x01\x00\x00\x00\x00\x00\x00\x00\x2a")
+	if e := c.Probe(key, 1); e != nil {
+		t.Fatalf("probe of empty cache returned %v", e)
+	}
+	w := &fakeWitness{want: 1}
+	if !c.Store(key, `"abc"`, "text/csv", "interactive", []byte("a,b\n1,2\n"), w) {
+		t.Fatal("store rejected")
+	}
+	e := c.Probe(key, 1)
+	if e == nil {
+		t.Fatal("probe missed after store")
+	}
+	if string(e.Body) != "a,b\n1,2\n" || e.ETag != `"abc"` || e.ContentType != "text/csv" || e.Class != "interactive" {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDMLInvalidation is the acceptance-criteria test: after a data
+// version bump, the stale entry is never served — the probe discards it
+// and counts an invalidation.
+func TestDMLInvalidation(t *testing.T) {
+	c := New(1<<20, 1<<16)
+	tableVer := uint64(7)
+	w := &fakeWitness{want: 3, tableCur: &tableVer, tableVer: 7}
+	key := []byte("select count(*) from PhotoObj")
+	c.Store(key, `"v7"`, "text/csv", "interactive", []byte("n\n42\n"), w)
+	if c.Probe(key, 3) == nil {
+		t.Fatal("fresh entry not served")
+	}
+
+	tableVer = 8 // the DML bump
+	if e := c.Probe(key, 3); e != nil {
+		t.Fatalf("stale entry served after data version bump: %+v", e)
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("stale entry still resident: %+v", st)
+	}
+
+	// Schema (DDL) bumps invalidate the same way.
+	c.Store(key, `"v8"`, "text/csv", "interactive", []byte("n\n43\n"), &fakeWitness{want: 3})
+	if e := c.Probe(key, 4); e != nil {
+		t.Fatalf("stale entry served after schema version bump: %+v", e)
+	}
+}
+
+func TestStoreRejectsOversizedAndWitnessless(t *testing.T) {
+	c := New(1<<20, 16)
+	w := &fakeWitness{want: 1}
+	if c.Store([]byte("k1"), `"e"`, "text/csv", "interactive", make([]byte, 17), w) {
+		t.Fatal("oversized body stored")
+	}
+	if c.Store([]byte("k2"), `"e"`, "text/csv", "interactive", []byte("ok"), nil) {
+		t.Fatal("witnessless body stored")
+	}
+	if st := c.Stats(); st.FillRejected != 2 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEvictionHoldsBudget(t *testing.T) {
+	// Budget small enough that a handful of entries overflow one shard.
+	c := New(shardCount*600, 1<<16)
+	w := &fakeWitness{want: 1}
+	body := []byte(strings.Repeat("x", 256))
+	for i := 0; i < 64; i++ {
+		key := fmt.Appendf(nil, "query-%d", i)
+		c.Store(key, `"e"`, "text/csv", "interactive", body, w)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions at %d bytes over a %d budget", st.Bytes, st.MaxBytes)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("cache over budget: %d > %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Entries == 0 {
+		t.Fatal("eviction emptied the cache")
+	}
+}
+
+func TestEvictionPrefersCold(t *testing.T) {
+	// One-shard cache (all keys forced to one shard is fiddly; instead use
+	// a budget that holds ~2 entries per shard and re-probe one key to
+	// keep it warm).
+	c := New(shardCount*1200, 1<<16)
+	w := &fakeWitness{want: 1}
+	hot := []byte("hot-query")
+	c.Store(hot, `"h"`, "text/csv", "interactive", make([]byte, 400), w)
+	for i := 0; i < 128; i++ {
+		c.Probe(hot, 1) // keep the stamp fresh
+		key := fmt.Appendf(nil, "cold-%d", i)
+		c.Store(key, `"c"`, "text/csv", "interactive", make([]byte, 400), w)
+	}
+	if c.Probe(hot, 1) == nil {
+		t.Fatal("hot entry evicted while cold entries churned")
+	}
+}
+
+func TestETagStrongAndDistinct(t *testing.T) {
+	k1, k2 := []byte("key-one"), []byte("key-two")
+	e1 := ETag(k1, 100)
+	if !strings.HasPrefix(e1, `"`) || !strings.HasSuffix(e1, `"`) {
+		t.Fatalf("ETag not quoted: %s", e1)
+	}
+	if e1 != ETag(k1, 100) {
+		t.Fatal("ETag not deterministic")
+	}
+	if e1 == ETag(k1, 101) {
+		t.Fatal("ETag ignores version digest")
+	}
+	if e1 == ETag(k2, 100) {
+		t.Fatal("ETag ignores key")
+	}
+}
+
+func TestProbeAllocs(t *testing.T) {
+	c := New(1<<20, 1<<16)
+	w := &fakeWitness{want: 1}
+	key := []byte("the hot key")
+	c.Store(key, `"e"`, "text/csv", "interactive", []byte("a\n1\n"), w)
+	n := testing.AllocsPerRun(1000, func() {
+		if c.Probe(key, 1) == nil {
+			t.Fatal("miss")
+		}
+	})
+	if n > 0 {
+		t.Fatalf("Probe allocates %.1f per hit, want 0", n)
+	}
+}

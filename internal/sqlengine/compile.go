@@ -42,6 +42,9 @@ type CompiledPlan struct {
 	// Cached with the plan: a plan-cache hit knows its class for free.
 	class   QueryClass
 	estRows float64
+	// tvf marks plans that read a table-valued function; see
+	// planner.usesTVF and ResultCacheable.
+	tvf bool
 }
 
 // tableVer snapshots one table's data version at plan compile time.
@@ -62,6 +65,56 @@ func (cp *CompiledPlan) Class() QueryClass { return cp.class }
 // EstRows returns the driving-row estimate the class was decided from —
 // the cost signal per-class admission surfaces to operators.
 func (cp *CompiledPlan) EstRows() float64 { return cp.estRows }
+
+// Valid reports whether the plan's compile-time catalog snapshot still
+// matches the live catalog: the schema version is unchanged and every base
+// table the plan reads is at the data version it was compiled against.
+// This is the same lazy-invalidation test the plan cache applies on
+// lookup, exported so a result-cache entry holding the plan that produced
+// it can prove its serialized bytes are still current — DML or DDL on any
+// referenced table makes Valid false and the stale entry is never served.
+func (cp *CompiledPlan) Valid(schemaVer int64) bool {
+	if cp.schemaVer != schemaVer {
+		return false
+	}
+	for _, tv := range cp.tables {
+		if tv.table.DataVersion() != tv.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// VersionDigest folds the plan's compile-time catalog snapshot — schema
+// version plus every referenced table's data version — into one FNV-1a
+// hash. Combined with the normalized statement key it yields a strong
+// HTTP ETag: the engine is deterministic and version counters are
+// monotonic, so equal (key, digest) pairs imply byte-identical results.
+func (cp *CompiledPlan) VersionDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(cp.schemaVer))
+	for _, tv := range cp.tables {
+		mix(tv.ver)
+	}
+	return h
+}
+
+// ResultCacheable reports whether a result set produced by this plan may
+// be cached by (key, versions): false when the plan reads a table-valued
+// function, whose execution-time table reads the version snapshot cannot
+// see. Everything else the engine evaluates is deterministic.
+func (cp *CompiledPlan) ResultCacheable() bool { return !cp.tvf }
 
 // compileSelect plans one SELECT into an immutable CompiledPlan. params is
 // the normalized parameter vector (nil on the un-parameterized
@@ -91,6 +144,7 @@ func (s *Session) compileSelect(st *SelectStmt, params []val.Value) (*CompiledPl
 		nParams:   len(params),
 		schemaVer: schemaVer,
 		tables:    p.tables,
+		tvf:       p.usesTVF,
 	}
 	cp.class, cp.estRows = classifyPlan(node)
 	cp.bytes = planBytes(cp)

@@ -213,7 +213,9 @@ func (l *lexer) lexOp() error {
 	c := l.src[l.pos]
 	switch c {
 	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '(', ')', ',', '=', '<', '>', ';', '.':
-		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: l.pos})
+		// Slice the source rather than string(c): a one-byte string
+		// conversion allocates, and operators are the most common token.
+		l.toks = append(l.toks, token{kind: tokOp, text: l.src[l.pos : l.pos+1], pos: l.pos})
 		l.pos++
 		return nil
 	}

@@ -52,20 +52,19 @@ func normalizeTokens(toks []token, key []byte, params []val.Value) ([]byte, []va
 		case tokEOF:
 			// Nothing; loop ends next.
 		case tokIdent:
-			f := fold(t.text)
 			if t.bracketed {
 				key = append(key, '[')
-				key = append(key, f...)
+				key = appendFold(key, t.text)
 				key = append(key, ']')
 				break
 			}
-			key = append(key, f...)
-			if f == "order" && ti+1 < len(toks) && toks[ti+1].kind == tokIdent && fold(toks[ti+1].text) == "by" {
+			key = appendFold(key, t.text)
+			if strings.EqualFold(t.text, "order") && ti+1 < len(toks) && toks[ti+1].kind == tokIdent && strings.EqualFold(toks[ti+1].text, "by") {
 				inOrderBy = true
 			}
 		case tokVariable:
 			key = append(key, '@')
-			key = append(key, fold(t.text)...)
+			key = appendFold(key, t.text)
 		case tokOp:
 			key = append(key, t.text...)
 			if t.text == ";" {
@@ -84,7 +83,7 @@ func normalizeTokens(toks []token, key []byte, params []val.Value) ([]byte, []va
 			structural := inOrderBy
 			if ti > 0 {
 				prev := toks[ti-1]
-				if prev.kind == tokIdent && !prev.bracketed && fold(prev.text) == "top" {
+				if prev.kind == tokIdent && !prev.bracketed && strings.EqualFold(prev.text, "top") {
 					structural = true
 				}
 			}
@@ -111,6 +110,27 @@ func normalizeTokens(toks []token, key []byte, params []val.Value) ([]byte, []va
 		}
 	}
 	return key, params
+}
+
+// appendFold appends s lower-cased to key without materializing an
+// intermediate string: the normalizer runs per HTTP request on the
+// result-cache probe path, so the key is built byte by byte in place.
+// Non-ASCII identifiers fall back to the interned fold so the key keeps
+// strings.ToLower's Unicode semantics exactly.
+func appendFold(key []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return append(key, fold(s)...)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		key = append(key, c)
+	}
+	return key
 }
 
 // paramIndex finds an existing parameter with exactly v's kind and value
@@ -143,7 +163,31 @@ func paramIndex(params []val.Value, v val.Value) int {
 // parsePrimary historically used: a '.', 'e' or 'E' makes a float,
 // otherwise int64 with float fallback on overflow.
 func parseNumberLit(text string) (val.Value, bool) {
-	if strings.ContainsAny(text, ".eE") {
+	// One classifying pass, with a manual fast path for short all-digit
+	// literals (objIDs, counts): they cannot overflow int64 at <= 18
+	// digits, so strconv's general machinery is skipped on the hot
+	// normalize path. Anything else falls through to strconv for exactly
+	// the historical parse (and its error cases).
+	digits := len(text) > 0
+	float := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		digits = false
+		if c == '.' || c == 'e' || c == 'E' {
+			float = true
+		}
+	}
+	if digits && len(text) <= 18 {
+		v := int64(0)
+		for i := 0; i < len(text); i++ {
+			v = v*10 + int64(text[i]-'0')
+		}
+		return val.Int(v), true
+	}
+	if float {
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
 			return val.Value{}, false

@@ -33,6 +33,12 @@ type planner struct {
 	// tables collects every base table the plan touches with its
 	// data version at compile time, for plan-cache invalidation.
 	tables []tableVer
+	// usesTVF records that the plan reads a table-valued function. TVFs run
+	// arbitrary code at execution time and may read tables the planner never
+	// sees, so their version snapshot is incomplete — such plans stay in the
+	// plan cache (re-binding is always correct) but are excluded from the
+	// result cache (see CompiledPlan.ResultCacheable).
+	usesTVF bool
 }
 
 // plannedSource is one resolved FROM entry.
@@ -60,6 +66,7 @@ func (p *planner) resolveSource(item FromItem) (*plannedSource, error) {
 		if !ok {
 			return nil, fmt.Errorf("sql: unknown table-valued function %s", item.Func.Name)
 		}
+		p.usesTVF = true
 		src.tvf = tvf
 		src.tvfArgs = item.Func.Args
 		src.display = tvf.Name

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -123,12 +124,24 @@ type Result struct {
 	// ClassInteractive for batches without one — DML and DDL are charged
 	// to whatever class admitted the request).
 	Class QueryClass
+	// Cacheable reports that the batch was a single plan-cacheable SELECT
+	// (no session state, no DML — see batchCacheable): the precondition
+	// for caching its serialized result set. Whether the result actually
+	// may be cached also depends on the plan; see
+	// CompiledPlan.ResultCacheable.
+	Cacheable bool
 
 	// compiled carries the plan the batch's SELECT compiled, for the
 	// store-into-cache decision in exec (only single-statement cacheable
 	// batches ever store it).
 	compiled *CompiledPlan
 }
+
+// Compiled returns the plan the batch's last SELECT executed (nil for
+// batches without one). Result-cache fills retain it as the entry's
+// validity witness: the plan knows the exact catalog versions the result
+// was computed against (see CompiledPlan.Valid).
+func (r *Result) Compiled() *CompiledPlan { return r.compiled }
 
 // ResultBatchFunc receives one batch of a streamed SELECT's result set
 // along with the output column names. The batch is only valid during the
@@ -275,6 +288,7 @@ func (s *Session) execStmts(qctx context.Context, stmts []Statement, params []va
 	}
 	if storeKey != "" && res.compiled != nil {
 		s.db.plans.store(storeKey, res.compiled)
+		res.Cacheable = true
 	}
 	if res.compiled != nil {
 		res.Class = res.compiled.class
@@ -294,7 +308,7 @@ func (s *Session) execCachedPlan(qctx context.Context, cp *CompiledPlan, params 
 		// stale parameters.
 		return nil, fmt.Errorf("sql: plan cache: %d parameters bound, plan needs %d", len(params), cp.nParams)
 	}
-	res := &Result{PlanCacheHit: true, Class: cp.class}
+	res := &Result{PlanCacheHit: true, Class: cp.class, Cacheable: true, compiled: cp}
 	startWall := time.Now()
 	startCPU := processCPU()
 	ctx := s.newExecCtx(qctx, params, opt, startWall)
@@ -380,6 +394,65 @@ func (s *Session) ClassifyCached(sql string) (QueryClass, bool) {
 		return cp.class, true
 	}
 	return ClassBatch, false
+}
+
+// ResultKey appends the version-independent result-cache identity of a
+// batch to dst and returns it: the plan cache's normalized statement key,
+// a separator, and the bound parameter vector in a self-delimiting binary
+// encoding. Equal keys mean the same statement shape with the same
+// constants; the caller appends whatever else distinguishes one response
+// from another (output format, row limit). Versions are deliberately NOT
+// part of the key — entries carry their own validity witness (the
+// CompiledPlan that produced them) and are invalidated lazily on probe.
+//
+// Like ClassifyCached, this is safe to run on unadmitted traffic: one lex
+// + normalize into session scratch plus a counter-free plan-cache peek —
+// no parsing, no compilation, no allocation in steady state. cp is the
+// cached plan for the shape when the plan cache knows it (nil otherwise;
+// the caller can use its VersionDigest to compute an ETag before
+// executing). ok is false when the text does not lex; such a request can
+// never have been cached.
+func (s *Session) ResultKey(sql string, dst []byte) (key []byte, cp *CompiledPlan, ok bool) {
+	toks, err := lexInto(sql, s.lexBuf)
+	if err != nil {
+		return dst, nil, false
+	}
+	s.lexBuf = toks
+	normKey, params := normalizeTokens(toks, s.keyBuf[:0], s.paramBuf[:0])
+	s.keyBuf, s.paramBuf = normKey, params
+	dst = append(dst, normKey...)
+	dst = append(dst, 0)
+	for _, p := range params {
+		dst = appendParamKey(dst, p)
+	}
+	return dst, s.db.plans.peek(normKey, s.db.SchemaVersion()), true
+}
+
+// appendParamKey appends one parameter value in a self-delimiting binary
+// form (kind byte, then a fixed 8-byte payload for numbers or a
+// length-prefixed payload for strings and blobs), so distinct parameter
+// vectors never collide in a result-cache key.
+func appendParamKey(dst []byte, v val.Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case val.KindInt:
+		dst = appendUint64(dst, uint64(v.I))
+	case val.KindFloat:
+		dst = appendUint64(dst, math.Float64bits(v.F))
+	case val.KindString:
+		dst = appendUint64(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	case val.KindBytes:
+		dst = appendUint64(dst, uint64(len(v.B)))
+		dst = append(dst, v.B...)
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, x uint64) []byte {
+	return append(dst,
+		byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+		byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
 }
 
 // Classify reports the workload class the admission controller should

@@ -494,10 +494,11 @@ func (h *Heap) scanSerial(ctx context.Context, pageIDs []uint64, mk func(worker 
 	rids, recs := sb.rids, sb.recs
 	var err error
 	for pi := 0; pi < len(pageIDs); pi++ {
-		if pi%16 == 0 {
-			if err = ctx.Err(); err != nil {
-				break
-			}
+		// Check before every page read, not on a stride: a cold page is a
+		// (simulated) disk seek, and a cancelled query must not issue even
+		// one more of them — that I/O slot belongs to live queries.
+		if err = ctx.Err(); err != nil {
+			break
 		}
 		if err = h.fg.ReadPage(pageIDs[pi], buf); err != nil {
 			break
@@ -626,6 +627,13 @@ func (j *scanJob) drainStripe(stripe int, fn RecBatchFunc, sb *scanBuf) error {
 			pi := stripe + k*j.dop
 			if pi >= nPages {
 				break
+			}
+			// Re-check inside the morsel: a claim hands this shard up to
+			// scanMorselPages reads, and cancellation must not wait out the
+			// rest of the morsel page by page.
+			if j.ctx.Err() != nil {
+				j.stop.Store(true)
+				return nil
 			}
 			if err := j.scanPage(pi, fn, sb); err != nil {
 				return err

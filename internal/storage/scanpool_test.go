@@ -118,6 +118,79 @@ func TestScanBatchesCtxCancel(t *testing.T) {
 	}
 }
 
+// gateVolume blocks every page read on a gate channel and counts reads
+// issued after the test flips the cancelled flag. It simulates a volume
+// that is busy (a long simulated seek) while the client gives up.
+type gateVolume struct {
+	Volume
+	gate        chan struct{} // closed to release blocked reads
+	reads       atomic.Int64
+	cancelled   atomic.Bool
+	afterCancel atomic.Int64
+}
+
+func (v *gateVolume) ReadPage(n uint32, buf []byte) error {
+	if v.cancelled.Load() {
+		v.afterCancel.Add(1)
+	}
+	v.reads.Add(1)
+	<-v.gate
+	return v.Volume.ReadPage(n, buf)
+}
+
+// TestScanCancelWhileVolumeBlocked pins the per-page cancellation
+// contract: a scan whose volume reads are stuck must, once the context is
+// cancelled and the in-flight reads return, issue ZERO further page
+// reads. The workers were all blocked inside ReadPage at cancel time, so
+// any later read means a scan path ran a page without re-checking its
+// context (the serial path used to check only every 16th page; the
+// parallel path only per 8-page morsel claim).
+func TestScanCancelWhileVolumeBlocked(t *testing.T) {
+	for _, dop := range []int{1, 4} {
+		gv := &gateVolume{Volume: NewMemVolume(), gate: make(chan struct{})}
+		fg := NewFileGroup([]Volume{gv}, 0) // no cache: every read hits the volume
+		h := NewHeap(fg)
+		close(gv.gate) // loading goes through ReadPage too; let it pass
+		fillHeap(t, h, 4000)
+		gv.gate = make(chan struct{})
+		gv.reads.Store(0)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- h.ScanBatchesCtx(ctx, dop, func(worker int) (RecBatchFunc, func() error) {
+				return func(rids []RID, recs [][]byte) error { return nil }, nil
+			})
+		}()
+
+		// Wait until every worker is stuck inside a ReadPage, then cancel
+		// and release the gate.
+		deadline := time.Now().Add(5 * time.Second)
+		for gv.reads.Load() < int64(dop) {
+			if time.Now().After(deadline) {
+				t.Fatalf("dop=%d: only %d reads in flight", dop, gv.reads.Load())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		gv.cancelled.Store(true)
+		cancel()
+		close(gv.gate)
+
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("dop=%d: err = %v, want context.Canceled", dop, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("dop=%d: scan still running after cancel + gate release", dop)
+		}
+		if n := gv.afterCancel.Load(); n != 0 {
+			t.Errorf("dop=%d: %d page reads issued after cancellation", dop, n)
+		}
+		fg.Close()
+	}
+}
+
 // TestScanPoolPersists proves the tentpole property: repeated parallel
 // scans reuse the file group's worker pool instead of spawning goroutines
 // per query.

@@ -28,7 +28,9 @@ const (
 // response header, and the ?class= parameter downgrades only.
 func TestQueryClassHeaderAndOverride(t *testing.T) {
 	sdb := survey(t)
-	srv := NewServer(sdb, Options{Public: true})
+	// ResultCacheBytes -1: repeated shapes below must reach the gate and
+	// the engine every time, not be short-circuited from cached bytes.
+	srv := NewServer(sdb, Options{Public: true, ResultCacheBytes: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -103,9 +105,12 @@ func TestQueryClassHeaderAndOverride(t *testing.T) {
 // clients sent.
 func TestBatchFloodKeepsInteractiveSnappy(t *testing.T) {
 	sdb := survey(t)
+	// ResultCacheBytes -1: the per-class admission accounting asserted
+	// below needs every interactive request to pass the scheduler.
 	srv := NewServer(sdb, Options{Public: true,
 		InteractiveSlots: 2, BatchSlots: 1,
-		InteractiveQueueDepth: 8, BatchQueueDepth: 2})
+		InteractiveQueueDepth: 8, BatchQueueDepth: 2,
+		ResultCacheBytes: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,236 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"skyserver/internal/resultcache"
+	"skyserver/internal/sqlengine"
+)
+
+func resultCacheStats(t *testing.T, ts *httptest.Server) resultcache.Stats {
+	t.Helper()
+	code, body, _ := get(t, ts.URL+"/x/resultcache")
+	if code != http.StatusOK {
+		t.Fatalf("/x/resultcache: status %d", code)
+	}
+	var st resultcache.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/x/resultcache: bad JSON: %v (%s)", err, body)
+	}
+	return st
+}
+
+// TestResultCacheConditionalGET walks the whole repeat-lookup fast path:
+// the first GET of a seek executes, carries a strong ETag, and fills the
+// cache; the identical repeat is answered byte-for-byte from the cache
+// without passing admission; and an If-None-Match revalidation gets 304
+// with the class header and zero body bytes.
+func TestResultCacheConditionalGET(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := ts.URL + "/x/sql?format=csv&cmd=" + urlq(seekSQL)
+	code, body1, hdr1 := get(t, p)
+	if code != http.StatusOK {
+		t.Fatalf("first GET: status %d: %s", code, body1)
+	}
+	etag := hdr1.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("first response ETag = %q, want a quoted strong tag", etag)
+	}
+	if cc := hdr1.Get("Cache-Control"); cc != "private, no-cache" {
+		t.Errorf("Cache-Control = %q, want private, no-cache", cc)
+	}
+	if st := resultCacheStats(t, ts); st.Fills != 1 {
+		t.Fatalf("fills = %d after first GET, want 1", st.Fills)
+	}
+
+	// The repeat is served from the cache — identical bytes, same ETag,
+	// class header intact — and never reaches the admission gate.
+	admitted := srv.Sched().Stats().Admitted
+	code, body2, hdr2 := get(t, p)
+	if code != http.StatusOK || body2 != body1 {
+		t.Fatalf("cached GET: status %d, body match %v", code, body2 == body1)
+	}
+	if hdr2.Get("ETag") != etag {
+		t.Errorf("cached ETag %q != original %q", hdr2.Get("ETag"), etag)
+	}
+	if got := hdr2.Get("X-Query-Class"); got != "interactive" {
+		t.Errorf("cached X-Query-Class = %q, want interactive", got)
+	}
+	if got := srv.Sched().Stats().Admitted; got != admitted {
+		t.Errorf("cache hit was admitted (admitted %d -> %d)", admitted, got)
+	}
+
+	// Conditional GET: a matching If-None-Match gets 304, the class
+	// header, and not a single body byte.
+	req, err := http.NewRequest(http.MethodGet, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match: status %d, want 304", resp.StatusCode)
+	}
+	if len(b) != 0 {
+		t.Errorf("304 carried %d body bytes", len(b))
+	}
+	if got := resp.Header.Get("X-Query-Class"); got != "interactive" {
+		t.Errorf("304 X-Query-Class = %q, want interactive", got)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Errorf("304 ETag = %q, want %q", resp.Header.Get("ETag"), etag)
+	}
+
+	st := resultCacheStats(t, ts)
+	if st.Hits < 2 || st.NotModified != 1 || st.Fills != 1 {
+		t.Errorf("stats hits/304s/fills = %d/%d/%d, want >=2/1/1: %+v",
+			st.Hits, st.NotModified, st.Fills, st)
+	}
+}
+
+// TestResultCacheDMLInvalidation proves stale entries are never served:
+// after DML moves a referenced table's data version, a revalidation with
+// the old ETag gets a full 200 with a new ETag — computed from the new
+// versions — and the cache records the lazy invalidation.
+func TestResultCacheDMLInvalidation(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := ts.URL + "/x/sql?format=csv&cmd=" + urlq(seekSQL)
+	code, body1, hdr1 := get(t, p)
+	if code != http.StatusOK {
+		t.Fatalf("fill GET: status %d: %s", code, body1)
+	}
+	etag1 := hdr1.Get("ETag")
+	if etag1 == "" {
+		t.Fatal("fill response carries no ETag")
+	}
+
+	// DML on the table the query reads: insert a spectrum and remove it
+	// again. The data ends identical, but SpecObj's data version moved —
+	// the cached entry (and the old ETag) must be dead.
+	sess := sqlengine.NewSession(sdb.DB)
+	const dml = `insert into SpecObj (specObjID, plateID, fiberID, mjd, ra, dec, z, zErr, zConf, zStatus, specClass, objID, loadTime)
+		values (999999901, 1, 1, 51000.5, 10.0, 10.0, 9.9, 0.001, 0.99, 0, 3, 0, 0)`
+	if _, err := sess.Exec(dml, sqlengine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("delete from SpecObj where specObjID = 999999901", sqlengine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag1)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-DML revalidation: status %d, want full 200", resp.StatusCode)
+	}
+	if string(b) != body1 {
+		t.Errorf("post-DML body differs (data was restored): %d vs %d bytes", len(b), len(body1))
+	}
+	etag2 := resp.Header.Get("ETag")
+	if etag2 == "" || etag2 == etag1 {
+		t.Errorf("post-DML ETag = %q (was %q), want a fresh tag", etag2, etag1)
+	}
+	st := resultCacheStats(t, ts)
+	if st.Invalidations < 1 {
+		t.Errorf("invalidations = %d, want >= 1: %+v", st.Invalidations, st)
+	}
+	if st.NotModified != 0 {
+		t.Errorf("stale ETag produced a 304 (%d)", st.NotModified)
+	}
+
+	// The refill is live again under the new versions.
+	code, body3, hdr3 := get(t, p)
+	if code != http.StatusOK || body3 != body1 {
+		t.Fatalf("refilled GET: status %d", code)
+	}
+	if hdr3.Get("ETag") != etag2 {
+		t.Errorf("refilled ETag %q != post-DML ETag %q", hdr3.Get("ETag"), etag2)
+	}
+}
+
+// TestResultCacheBatchNeverFills: results a client self-downgraded with
+// ?class=batch, and batch-classified scans in general, never populate
+// the cache.
+func TestResultCacheBatchNeverFills(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A self-downgraded seek: skipped by the probe, not filled.
+	p := ts.URL + "/x/sql?format=csv&class=batch&cmd=" + urlq(seekSQL)
+	for i := 0; i < 2; i++ {
+		if code, body, _ := get(t, p); code != http.StatusOK {
+			t.Fatalf("batch GET %d: status %d: %s", i, code, body)
+		}
+	}
+	st := resultCacheStats(t, ts)
+	if st.Fills != 0 {
+		t.Errorf("?class=batch produced %d fills", st.Fills)
+	}
+	if st.Hits != 0 {
+		t.Errorf("?class=batch produced %d hits", st.Hits)
+	}
+
+	// A planner-classified batch scan misses and is probed, but its
+	// result is still never stored.
+	pScan := ts.URL + "/x/sql?format=csv&cmd=" + urlq(scanSQL)
+	for i := 0; i < 2; i++ {
+		if code, body, _ := get(t, pScan); code != http.StatusOK {
+			t.Fatalf("scan GET %d: status %d: %s", i, code, body)
+		}
+	}
+	st = resultCacheStats(t, ts)
+	if st.Fills != 0 {
+		t.Errorf("batch-class scan produced %d fills", st.Fills)
+	}
+}
+
+// TestResultCacheTVFNeverFills: plans reading table-valued functions run
+// arbitrary code whose table reads the version snapshot cannot see, so
+// their results must never be cached.
+func TestResultCacheTVFNeverFills(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := ts.URL + "/x/sql?format=json&cmd=" +
+		urlq("select objID from fGetObjFromRect(184.9, 185.1, -0.6, -0.4)")
+	code, body1, hdr := get(t, p)
+	if code != http.StatusOK {
+		t.Fatalf("TVF GET: status %d: %s", code, body1)
+	}
+	if etag := hdr.Get("ETag"); etag != "" {
+		t.Errorf("TVF response carries ETag %q", etag)
+	}
+	if st := resultCacheStats(t, ts); st.Fills != 0 {
+		t.Errorf("TVF query produced %d fills", st.Fills)
+	}
+}

@@ -96,9 +96,12 @@ func normalizeBody(b string) string {
 // full, well-formed payload or a well-formed 503 with Retry-After.
 func TestConcurrentTrafficMix(t *testing.T) {
 	sdb := survey(t)
+	// ResultCacheBytes -1: the scheduler-accounting assertions below need
+	// every served response to have passed admission.
 	srv := NewServer(sdb, Options{Public: true,
 		InteractiveSlots: 2, BatchSlots: 2,
-		InteractiveQueueDepth: 8, BatchQueueDepth: 8})
+		InteractiveQueueDepth: 8, BatchQueueDepth: 8,
+		ResultCacheBytes: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

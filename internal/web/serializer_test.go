@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"math"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -91,9 +92,13 @@ func TestJSONValueMatchesEncodingJSON(t *testing.T) {
 }
 
 // TestPlanCacheEndpoint drives the counters endpoint: repeated identical
-// HTTP queries must show up as plan-cache hits.
+// HTTP queries must show up as plan-cache hits. The result cache is
+// disabled — it would answer the repeats from serialized bytes before
+// the engine (and its plan cache) ever saw them.
 func TestPlanCacheEndpoint(t *testing.T) {
-	ts := testServer(t, nil)
+	srv := NewServer(survey(t), Options{Public: true, ResultCacheBytes: -1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
 	q := "select objID from PhotoObj where objID = 1"
 	for i := 0; i < 3; i++ {
 		if code, body, _ := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode(q)); code != 200 {

@@ -31,6 +31,51 @@ import (
 // encoding/json-compatible output, so serialization allocates nothing per
 // row in steady state.
 
+// fillWriter tees response bytes into a capped buffer on their way to
+// the client — the result cache's fill path. The serialized stream is
+// captured as it is written, so a cacheable response populates the cache
+// without a second execution or serialization. Capture stops (and the
+// buffer is dropped) once the body exceeds the per-entry cap or a
+// non-200 status is written; forwarding to the client is never affected.
+type fillWriter struct {
+	http.ResponseWriter
+	buf         []byte
+	max         int
+	over        bool
+	status      int
+	contentType string
+}
+
+func (f *fillWriter) WriteHeader(code int) {
+	f.status = code
+	f.ResponseWriter.WriteHeader(code)
+}
+
+func (f *fillWriter) Write(p []byte) (int, error) {
+	if !f.over {
+		if f.contentType == "" {
+			f.contentType = f.Header().Get("Content-Type")
+		}
+		if len(f.buf)+len(p) > f.max {
+			f.over = true
+			f.buf = nil
+		} else {
+			f.buf = append(f.buf, p...)
+		}
+	}
+	return f.ResponseWriter.Write(p)
+}
+
+// captured returns the complete body and its Content-Type when the
+// response was a successful 200 within the cap; ok is false otherwise
+// (over budget, error status, aborted mid-stream).
+func (f *fillWriter) captured() (body []byte, contentType string, ok bool) {
+	if f.over || (f.status != 0 && f.status != http.StatusOK) {
+		return nil, "", false
+	}
+	return f.buf, f.contentType, true
+}
+
 // batchSerializer writes one streamed result set.
 type batchSerializer interface {
 	// writeBatch serializes the active rows of b. cols is the output schema;

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"skyserver/internal/resultcache"
 	"skyserver/internal/sched"
 	"skyserver/internal/schema"
 	"skyserver/internal/sqlengine"
@@ -58,6 +59,14 @@ type Options struct {
 	// MaxScanWorkers caps the scan parallelism of one admitted query
 	// (ExecOptions.MaxConcurrency; 0 = uncapped).
 	MaxScanWorkers int
+	// ResultCacheBytes budgets the serialized result cache that answers
+	// repeat SQL GETs before admission (0 = the resultcache default,
+	// negative = disabled — admission-accounting tests disable it so
+	// every request reaches the scheduler). ResultCacheMaxEntry caps one
+	// cached body (0 = default); it also bounds the FITS materialization
+	// buffer, cache enabled or not.
+	ResultCacheBytes    int
+	ResultCacheMaxEntry int
 	// AccessLog receives traffic-format log lines (may be nil).
 	AccessLog io.Writer
 }
@@ -74,6 +83,16 @@ type Server struct {
 	opt   Options
 	mux   *http.ServeMux
 	sched *sched.Scheduler
+
+	// rcache answers repeat SQL GETs from serialized bytes before the
+	// admission gate (nil when disabled); maxEntry is the per-body cap,
+	// resolved even when the cache is off because the FITS path sizes its
+	// materialization buffer against it. probePool recycles the sessions
+	// whose scratch buffers back the pre-admission classify and
+	// result-key probes, so unadmitted traffic allocates nothing.
+	rcache    *resultcache.Cache
+	maxEntry  int
+	probePool sync.Pool
 
 	logMu sync.Mutex
 }
@@ -99,16 +118,28 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 			BatchQueueDepth:       opt.BatchQueueDepth,
 		}),
 	}
+	s.maxEntry = opt.ResultCacheMaxEntry
+	if s.maxEntry <= 0 {
+		s.maxEntry = resultcache.DefaultMaxEntry
+	}
+	if opt.ResultCacheBytes >= 0 {
+		s.rcache = resultcache.New(opt.ResultCacheBytes, s.maxEntry)
+	}
+	s.probePool.New = func() any { return &probeState{sess: sqlengine.NewSession(sdb.DB)} }
 	// The ad-hoc SQL endpoints classify each query through the planner
 	// (plan-cached, so the steady state pays one cache probe); the site's
 	// own canned tools — the Explorer drill-down, cutouts, the gallery,
 	// the navigator rectangle, the loader journal — are interactive by
-	// construction and admit under a fixed class.
+	// construction and admit under a fixed class. SQL GETs first probe
+	// the result cache: a repeat of an already-served lookup is answered
+	// from cached bytes before admission (see resultCached).
 	interactive := func(*http.Request) sched.Class { return sched.Interactive }
+	sqlHandler := s.resultCached(s.gate("sql", s.classifySQL, s.handleSQL))
 	s.mux.HandleFunc("/", s.handleHome)
-	s.mux.HandleFunc("/en/tools/search/sql.asp", s.gate("sql", s.classifySQL, s.handleSQL))
-	s.mux.HandleFunc("/x/sql", s.gate("sql", s.classifySQL, s.handleSQL))
+	s.mux.HandleFunc("/en/tools/search/sql.asp", sqlHandler)
+	s.mux.HandleFunc("/x/sql", sqlHandler)
 	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
+	s.mux.HandleFunc("/x/resultcache", s.handleResultCache)
 	s.mux.HandleFunc("/x/sched", s.handleSched)
 	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", interactive, s.handleExplore))
 	s.mux.HandleFunc("/en/tools/places/", s.gate("places", interactive, s.handlePlaces))
@@ -122,6 +153,151 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 // Sched returns the server's admission controller (tests and embedding
 // tools read its statistics).
 func (s *Server) Sched() *sched.Scheduler { return s.sched }
+
+// ResultCache returns the serialized result cache, nil when disabled
+// (tests and embedding tools read its statistics).
+func (s *Server) ResultCache() *resultcache.Cache { return s.rcache }
+
+// probeState is the pooled scratch of the pre-admission probes: a
+// session whose lex/normalize buffers are reused across requests, plus
+// the result-key buffer. Pooled because probes run on unadmitted —
+// possibly about-to-be-shed — traffic, which must not allocate per
+// request.
+type probeState struct {
+	sess *sqlengine.Session
+	key  []byte
+}
+
+// fillState rides the request context from the result-cache probe to
+// handleSQL on a miss: the computed cache key and, when the plan cache
+// already knows the statement's shape, the ETag the response should
+// carry (an unknown shape gets no ETag on its first-ever response — the
+// fill computes one for every later request).
+type fillState struct {
+	key  []byte
+	etag string
+}
+
+type fillKey struct{}
+
+// resultCached wraps the SQL endpoints with the result-cache probe — the
+// short-circuit layer before admission. A GET whose (normalized
+// statement, parameters, format, row limit) key has a valid cached entry
+// is answered entirely from cached bytes: no admission, no compile, no
+// bind, no scan. The reply carries ETag and Cache-Control, and a request
+// whose If-None-Match matches sends 304 with zero body bytes. A miss
+// attaches a fillState so the admitted execution's serialized response
+// populates the cache on its way to the client. POSTs, the bare search
+// page, and requests self-downgraded with ?class=batch skip the cache
+// entirely (batch results are never cached, so probing them is wasted
+// work).
+//
+// Cache-Control is "private, no-cache": intermediaries must not hold
+// analyst query results, and clients must revalidate — which the strong
+// ETag makes a one-round-trip 304 in the steady state. Staleness is
+// bounded by the entry's validity witness, not by time: any DML or DDL
+// on a referenced table makes the next probe discard the entry.
+func (s *Server) resultCached(h http.HandlerFunc) http.HandlerFunc {
+	if s.rcache == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			h(w, r)
+			return
+		}
+		q := r.URL.Query()
+		cmd := q.Get("cmd")
+		if cmd == "" {
+			h(w, r)
+			return
+		}
+		if o, ok := sched.ParseClass(q.Get("class")); ok && o == sched.Batch {
+			h(w, r)
+			return
+		}
+		format := q.Get("format")
+		if format == "" {
+			format = "html"
+		}
+		ps := s.probePool.Get().(*probeState)
+		key, cp, ok := ps.sess.ResultKey(cmd, ps.key[:0])
+		ps.key = key
+		if !ok {
+			s.probePool.Put(ps)
+			h(w, r)
+			return
+		}
+		key = append(key, 0)
+		key = append(key, format...)
+		key = append(key, 0)
+		key = strconv.AppendInt(key, int64(s.opt.MaxRows), 10)
+		ps.key = key
+		if e := s.rcache.Probe(key, s.sdb.DB.SchemaVersion()); e != nil {
+			s.probePool.Put(ps)
+			hdr := w.Header()
+			hdr.Set("X-Query-Class", e.Class)
+			hdr.Set("ETag", e.ETag)
+			hdr.Set("Cache-Control", "private, no-cache")
+			if etagMatch(r.Header.Get("If-None-Match"), e.ETag) {
+				s.rcache.NoteNotModified()
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			hdr.Set("Content-Type", e.ContentType)
+			_, _ = w.Write(e.Body)
+			return
+		}
+		fs := &fillState{key: append([]byte(nil), key...)}
+		if cp != nil && cp.ResultCacheable() {
+			fs.etag = resultcache.ETag(key, cp.VersionDigest())
+		}
+		s.probePool.Put(ps)
+		h(w, r.WithContext(context.WithValue(r.Context(), fillKey{}, fs)))
+	}
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// entry's strong ETag (exactly, or via the `*` wildcard).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == etag || header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeFill stores a successfully serialized response into the result
+// cache. Only interactive-class results of single cacheable SELECTs
+// whose plan reads no TVFs are stored: batch-class sweeps would evict
+// the hot point lookups the cache exists for, and the other exclusions
+// are correctness (see Result.Cacheable and
+// CompiledPlan.ResultCacheable). The entry's ETag and validity witness
+// come from the executed plan, so a fill races DML safely — if versions
+// moved mid-execution the witness simply never validates and the entry
+// dies on first probe.
+func (s *Server) maybeFill(fs *fillState, res *sqlengine.Result, body []byte, contentType string) {
+	if s.rcache == nil || fs == nil || res == nil || body == nil {
+		return
+	}
+	if !res.Cacheable || res.Class != sqlengine.ClassInteractive {
+		return
+	}
+	cp := res.Compiled()
+	if cp == nil || !cp.ResultCacheable() {
+		return
+	}
+	etag := resultcache.ETag(fs.key, cp.VersionDigest())
+	s.rcache.Store(fs.key, etag, contentType, res.Class.String(), body, cp)
+}
 
 // gateState carries one admitted request's run ticket and outcome through
 // the request context.
@@ -155,7 +331,10 @@ func (s *Server) classifySQL(r *http.Request) sched.Class {
 	if cmd == "" {
 		return sched.Interactive
 	}
-	if class, ok := sqlengine.NewSession(s.sdb.DB).ClassifyCached(cmd); ok && class == sqlengine.ClassInteractive {
+	ps := s.probePool.Get().(*probeState)
+	class, ok := ps.sess.ClassifyCached(cmd)
+	s.probePool.Put(ps)
+	if ok && class == sqlengine.ClassInteractive {
 		return sched.Interactive
 	}
 	return sched.Batch
@@ -377,26 +556,69 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := sqlengine.NewSession(s.sdb.DB)
+	// A result-cache miss attaches a fillState: the serialized bytes
+	// about to stream to this client also populate the cache, and the
+	// response carries the ETag when the statement's shape is known
+	// (first-ever executions learn their ETag at fill time instead).
+	fs, _ := r.Context().Value(fillKey{}).(*fillState)
+	if fs != nil && fs.etag == "" {
+		// First-ever execution of an unknown shape: compile and store the
+		// plan now (the admitted request pays the compile it was going to
+		// pay anyway; the exec below hits the plan cache) so even this
+		// response can carry its ETag. Errors are ignored — exec surfaces
+		// them with the proper status.
+		if _, err := sess.Classify(cmd); err == nil {
+			if _, cp, ok := sess.ResultKey(cmd, nil); ok && cp != nil && cp.ResultCacheable() {
+				fs.etag = resultcache.ETag(fs.key, cp.VersionDigest())
+			}
+		}
+	}
+	if fs != nil && fs.etag != "" {
+		w.Header().Set("ETag", fs.etag)
+		w.Header().Set("Cache-Control", "private, no-cache")
+	}
 	// Stream the result set batch-wise straight from the executor when the
 	// format supports it; fits needs the row count in its header and falls
-	// back to the materializing path.
-	sw := newBatchSerializer(w, format)
-	if sw == nil {
+	// back to the materializing path, capped by the result-cache per-entry
+	// budget (a public-limit result fits easily; an unlimited private
+	// server gets a well-formed error instead of unbounded buffering).
+	if newBatchSerializer(nil, format) == nil {
+		if !strings.EqualFold(format, "fits") {
+			clearValidators(w)
+			httpError(w, errUnknownFormat(format))
+			return
+		}
 		res, err := s.exec(r, sess, cmd)
 		if err != nil {
+			clearValidators(w)
 			httpError(w, err)
 			return
 		}
-		if err := WriteResult(w, res, format); err != nil {
-			httpError(w, err)
+		body, err := appendFITS(nil, res, s.maxEntry)
+		if err != nil {
+			clearValidators(w)
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write(body); err == nil {
+			s.maybeFill(fs, res, body, "text/plain; charset=utf-8")
 		}
 		return
 	}
+	var fw *fillWriter
+	out := http.ResponseWriter(w)
+	if fs != nil {
+		fw = &fillWriter{ResponseWriter: w, max: s.maxEntry}
+		out = fw
+	}
+	sw := newBatchSerializer(out, format)
 	res, err := s.execStream(r, sess, cmd, func(cols []string, b *val.Batch) error {
 		return sw.writeBatch(cols, b)
 	})
 	if err != nil {
 		if !sw.started() {
+			clearValidators(w)
 			httpError(w, err)
 			return
 		}
@@ -406,7 +628,58 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		sw.abort(err)
 		return
 	}
-	_ = sw.finish(res)
+	if err := sw.finish(res); err == nil && fw != nil {
+		if body, contentType, ok := fw.captured(); ok {
+			s.maybeFill(fs, res, body, contentType)
+		}
+	}
+}
+
+// clearValidators drops the optimistically set ETag/Cache-Control before
+// an error response: the error body is not the entity the tag names.
+func clearValidators(w http.ResponseWriter) {
+	w.Header().Del("ETag")
+	w.Header().Del("Cache-Control")
+}
+
+// appendFITS renders the FITS ASCII-table flavour of a materialized
+// result (an 80-column header, then fixed-width rows) into dst. When
+// max > 0 rendering fails once the output exceeds max bytes — the
+// format cannot stream (its header needs the row count), so the budget
+// that caps a result-cache entry also caps this buffer.
+func appendFITS(dst []byte, res *sqlengine.Result, max int) ([]byte, error) {
+	line := func(dst []byte, s string) []byte {
+		dst = append(dst, s...)
+		for n := 80 - len(s); n > 0; n-- {
+			dst = append(dst, ' ')
+		}
+		return append(dst, '\n')
+	}
+	dst = line(dst, "XTENSION= 'TABLE   '")
+	dst = line(dst, fmt.Sprintf("NAXIS2  = %d", len(res.Rows)))
+	dst = line(dst, fmt.Sprintf("TFIELDS = %d", len(res.Cols)))
+	for i, c := range res.Cols {
+		dst = line(dst, fmt.Sprintf("TTYPE%-3d= '%s'", i+1, c))
+	}
+	dst = line(dst, "END")
+	var scratch []byte
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				dst = append(dst, ' ')
+			}
+			scratch = v.AppendString(scratch[:0])
+			for n := 20 - len(scratch); n > 0; n-- {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, scratch...)
+		}
+		dst = append(dst, '\n')
+		if max > 0 && len(dst) > max {
+			return nil, fmt.Errorf("web: fits output exceeds the %d-byte materialization budget; narrow the query (TOP, fewer columns) or use a streaming format (csv, json, xml, html)", max)
+		}
+	}
+	return dst, nil
 }
 
 // WriteResult renders a materialized result set in the requested format:
@@ -432,30 +705,24 @@ func WriteResult(w http.ResponseWriter, res *sqlengine.Result, format string) er
 		}
 		return sw.finish(res)
 	}
-	switch strings.ToLower(format) {
-	case "fits":
-		// FITS ASCII-table flavour: an 80-column header then fixed rows.
-		// The header needs the row count, so this format cannot stream.
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "%-80s\n", "XTENSION= 'TABLE   '")
-		fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("NAXIS2  = %d", len(res.Rows)))
-		fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("TFIELDS = %d", len(res.Cols)))
-		for i, c := range res.Cols {
-			fmt.Fprintf(w, "%-80s\n", fmt.Sprintf("TTYPE%-3d= '%s'", i+1, c))
-		}
-		fmt.Fprintf(w, "%-80s\n", "END")
-		for _, row := range res.Rows {
-			parts := make([]string, len(row))
-			for i, v := range row {
-				parts[i] = fmt.Sprintf("%20s", v.String())
-			}
-			fmt.Fprintln(w, strings.Join(parts, " "))
-		}
-		return nil
-
-	default:
-		return fmt.Errorf("web: unknown format %q (csv, json, xml, html, fits)", format)
+	if !strings.EqualFold(format, "fits") {
+		return errUnknownFormat(format)
 	}
+	// FITS ASCII-table flavour: an 80-column header then fixed rows. The
+	// header needs the row count, so this format cannot stream; the
+	// exported path renders uncapped (callers hold materialized results
+	// already), while the SQL endpoint caps the buffer — see appendFITS.
+	body, err := appendFITS(nil, res, 0)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err = w.Write(body)
+	return err
+}
+
+func errUnknownFormat(format string) error {
+	return fmt.Errorf("web: unknown format %q (csv, json, xml, html, fits)", format)
 }
 
 // ---- explorer ----
@@ -700,6 +967,20 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlanCache(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.sdb.DB.Plans().Stats())
+}
+
+// handleResultCache reports the serialized result cache's counters —
+// hits (responses answered before admission), 304s, fills, lazy
+// invalidations, evictions, and resident bytes. Ungated like the other
+// /x/ status pages; a server with the cache disabled reports zeros.
+// Field reference: docs/ops.md.
+func (s *Server) handleResultCache(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var st resultcache.Stats
+	if s.rcache != nil {
+		st = s.rcache.Stats()
+	}
+	_ = json.NewEncoder(w).Encode(st)
 }
 
 // handleSched reports the query scheduler: per-class admission counters
