@@ -22,6 +22,14 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run isolates the real work so every error path unwinds through the
+// deferred FileGroup close instead of leaking volumes via log.Fatal.
+func run() error {
 	dir := flag.String("dir", "", "CSV directory")
 	scale := flag.Float64("scale", 1.0/2000, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
@@ -31,84 +39,86 @@ func main() {
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
+
+	fg := storage.NewMemFileGroup(4, 1<<14)
+	defer fg.Close()
+	sdb, err := schema.Build(fg)
+	if err != nil {
+		return err
+	}
+
 	switch flag.Arg(0) {
 	case "gen":
-		sdb := mustSchema()
 		stats, paths, err := load.WriteCSVSurvey(pipeline.Config{Scale: *scale, Seed: *seed}, sdb, *dir)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %d CSV files:\n", len(paths))
 		for table, path := range paths {
 			fmt.Printf("  %-15s %8d rows  %s\n", table, stats.RowCounts[table], path)
 		}
+		return nil
 
 	case "load":
-		sdb := mustSchema()
 		l := load.New(sdb)
 		events, err := load.LoadCSVDir(l, sdb, *dir)
 		if err != nil {
-			log.Fatalf("load failed after %d steps: %v", len(events), err)
+			return fmt.Errorf("load failed after %d steps: %w", len(events), err)
 		}
-		printJournal(l)
+		if err := printJournal(l); err != nil {
+			return err
+		}
 		fmt.Printf("loaded %d photo objects\n", sdb.PhotoObj.Rows())
+		return nil
 
 	case "demo-undo":
 		// The §9.4 operations story: a bad file fails its step mid-way,
 		// the journal shows it, UNDO backs it out.
-		sdb := mustSchema()
 		l := load.New(sdb)
 		good := filepath.Join(*dir, "Plate.csv")
 		if err := os.WriteFile(good, []byte(
 			"plateID,mjd,ra,dec,nFibers,loadTime\n266,52000,185,0,600,0\n267,52003,186,0,600,0\n"), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		src, err := load.NewCSVSource(sdb, "Plate", good)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if _, err := l.RunStep(src); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		bad := filepath.Join(*dir, "Plate_bad.csv")
 		if err := os.WriteFile(bad, []byte(
 			"plateID,mjd,ra,dec,nFibers,loadTime\n268,52006,187,0,600,0\n269,not-a-number,188,0,600,0\n"), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		src2, err := load.NewCSVSource(sdb, "Plate", bad)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		badEvent, err := l.RunStep(src2)
 		fmt.Printf("bad step %d failed as expected: %v\n", badEvent, err)
 		fmt.Printf("plates after failure: %d (partial rows present)\n", sdb.Plate.Rows())
 		removed, err := l.Undo(badEvent)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("UNDO removed %d rows; plates now: %d\n", removed, sdb.Plate.Rows())
-		printJournal(l)
+		return printJournal(l)
 
 	default:
 		fmt.Fprintln(os.Stderr, "unknown subcommand", flag.Arg(0))
 		os.Exit(2)
+		return nil
 	}
 }
 
-func mustSchema() *schema.SkyDB {
-	sdb, err := schema.Build(storage.NewMemFileGroup(4, 1<<14))
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sdb
-}
-
-func printJournal(l *load.Loader) {
+func printJournal(l *load.Loader) error {
 	events, err := l.Events()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("loadEvents journal:")
 	fmt.Printf("  %-4s %-15s %-10s %10s %10s  %s\n", "id", "table", "status", "srcRows", "inserted", "source")
@@ -116,4 +126,5 @@ func printJournal(l *load.Loader) {
 		fmt.Printf("  %-4d %-15s %-10s %10d %10d  %s\n",
 			e.ID, e.Table, e.Status, e.SourceRows, e.InsertedRows, e.Source)
 	}
+	return nil
 }

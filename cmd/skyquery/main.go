@@ -24,6 +24,14 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run isolates the real work so every error path unwinds through the
+// deferred SkyServer close instead of leaking volumes via log.Fatal.
+func run() error {
 	scale := flag.Float64("scale", 1.0/1000, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
 	format := flag.String("format", "table", "output: table, csv")
@@ -32,10 +40,17 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive mode")
 	flag.Parse()
 
+	// Reject bad usage before paying for (and having to unwind) a survey
+	// build.
+	if !*interactive && strings.TrimSpace(strings.Join(flag.Args(), " ")) == "" {
+		fmt.Fprintln(os.Stderr, "usage: skyquery [flags] \"select ...\"   (or -i for interactive)")
+		os.Exit(2)
+	}
+
 	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
 	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, SkipFrames: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer s.Close()
 	sess := s.Session()
@@ -63,13 +78,8 @@ func main() {
 	}
 
 	if !*interactive {
-		sql := strings.Join(flag.Args(), " ")
-		if strings.TrimSpace(sql) == "" {
-			fmt.Fprintln(os.Stderr, "usage: skyquery [flags] \"select ...\"   (or -i for interactive)")
-			os.Exit(2)
-		}
-		runOne(sql)
-		return
+		runOne(strings.Join(flag.Args(), " "))
+		return nil
 	}
 
 	fmt.Println("skyquery interactive — end a batch with 'go' or a blank line; 'quit' exits.")
@@ -94,6 +104,7 @@ func main() {
 		}
 		batch = append(batch, line)
 	}
+	return nil
 }
 
 func printResult(res *sqlengine.Result, format string) {

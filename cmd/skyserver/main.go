@@ -5,7 +5,16 @@
 //	skyserver -addr :8008 -scale 0.0025 -public
 //
 // With -public the §4 limits apply (1,000 rows / 30 seconds per query).
-// The access log (-accesslog) is written in the format internal/traffic analyzes.
+// The access log (-accesslog) is written in the format internal/traffic
+// analyzes.
+//
+// The process shuts down gracefully: on SIGINT/SIGTERM readiness flips off
+// (new queries get 503 + Retry-After, /x/health reports draining), in-flight
+// queries finish up to -drain-timeout, then the storage volumes and scan
+// pool close. The -chaos-* flags wrap every volume with seeded fault
+// injection (internal/chaos) — a dev mode for watching the retry, checksum,
+// and recovery machinery under load; never enable it on real data you care
+// about timing, every read may be delayed or retried.
 package main
 
 import (
@@ -14,12 +23,21 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
+	"skyserver/internal/chaos"
 	"skyserver/internal/core"
+	"skyserver/internal/storage"
 	"skyserver/internal/web"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8008", "listen address")
 	scale := flag.Float64("scale", 1.0/400, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
@@ -33,12 +51,39 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = the public 30s default)")
 	resultCacheBytes := flag.Int("resultcache-bytes", 0, "result-cache byte budget (0 = 64MB default, negative disables)")
 	resultCacheMaxEntry := flag.Int("resultcache-maxentry", 0, "largest cacheable serialized result in bytes (0 = 1MB default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight queries may finish after SIGTERM before connections close hard")
+	drainGrace := flag.Duration("drain-grace", 250*time.Millisecond, "window after readiness flips off during which late arrivals still get well-formed 503s")
+	chaosRate := flag.Float64("chaos-rate", 0, "dev mode: inject transient read faults at this probability (bit flips at half of it) on every volume")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
+	chaosLatency := flag.Duration("chaos-latency", 0, "dev mode: delay every physical read by up to this duration")
+	cachePages := flag.Int("cachepages", 0, "page-cache size in 8 KB pages (0 = 64K pages / 512 MB default)")
 	flag.Parse()
 
+	cfg := core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers, CachePages: *cachePages}
+	if *chaosRate > 0 || *chaosLatency > 0 {
+		log.Printf("CHAOS MODE: transient rate %g, corrupt rate %g, latency up to %s, seed %d",
+			*chaosRate, *chaosRate/2, *chaosLatency, *chaosSeed)
+		if *cachePages == 0 {
+			// With the default cache the whole survey stays resident and
+			// reads never reach the fault layer; chaos mode is pointless
+			// unless the cache is small.
+			cfg.CachePages = 256
+			log.Printf("chaos: page cache shrunk to %d pages so reads hit the fault layer (override with -cachepages)", cfg.CachePages)
+		}
+		cfg.WrapVolume = func(i int, v storage.Volume) storage.Volume {
+			return chaos.NewFaultVolume(v, chaos.Config{
+				Seed:          *chaosSeed + uint64(i),
+				TransientRate: *chaosRate,
+				CorruptRate:   *chaosRate / 2,
+				Latency:       *chaosLatency,
+			})
+		}
+	}
+
 	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
-	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers})
+	s, err := core.Open(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer s.Close()
 	log.Printf("loaded %d photo objects, %d spectra", s.DB().PhotoObj.Rows(), s.DB().SpecObj.Rows())
@@ -56,12 +101,19 @@ func main() {
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		opt.AccessLog = f
 	}
-	log.Printf("serving on %s (public=%v)", *addr, *public)
+
+	ws := s.Web(opt)
+	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
+	log.Printf("serving on %s (public=%v, drain timeout %s)", *addr, *public, *drainTimeout)
 	fmt.Printf("open http://localhost%s/ — try /en/tools/places/ or /x/sql?format=csv&cmd=select+top+5+objID,ra,dec+from+Galaxy\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler(opt)))
+	if err := ws.ServeGraceful(srv, nil, *drainGrace, *drainTimeout); err != nil {
+		return err
+	}
+	log.Printf("drained; closing storage")
+	return nil
 }

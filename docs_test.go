@@ -74,6 +74,39 @@ func TestMarkdownLinks(t *testing.T) {
 	t.Logf("checked %d markdown files", len(mdFiles))
 }
 
+// muxRoute matches route registrations in internal/web/web.go:
+// s.mux.HandleFunc("<path>", ...).
+var muxRoute = regexp.MustCompile(`HandleFunc\("([^"]+)"`)
+
+// TestEndpointDocCoverage fails when a route registered in
+// internal/web/web.go is missing from docs/ops.md — every endpoint the
+// server exposes (including the status/health surface) must be in the
+// operations reference. The home page "/" is exempt.
+func TestEndpointDocCoverage(t *testing.T) {
+	src, err := os.ReadFile("internal/web/web.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := os.ReadFile("docs/ops.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := muxRoute.FindAllStringSubmatch(string(src), -1)
+	if len(routes) < 5 {
+		t.Fatalf("found only %d routes in internal/web/web.go; did registration move?", len(routes))
+	}
+	for _, m := range routes {
+		path := m[1]
+		if path == "/" {
+			continue
+		}
+		if !strings.Contains(string(ops), path) {
+			t.Errorf("route %q is registered in internal/web/web.go but undocumented in docs/ops.md", path)
+		}
+	}
+	t.Logf("checked %d routes against docs/ops.md", len(routes))
+}
+
 // docPackages are the packages held to full exported-doc coverage (the
 // CI docs job also runs golangci-lint's revive exported rule over
 // exactly these paths, via .golangci-docs.yml).

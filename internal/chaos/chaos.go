@@ -1,0 +1,178 @@
+// Package chaos injects deterministic, seeded storage faults for testing
+// the fault-tolerance stack end to end: transient read errors that a retry
+// fixes, fail-N-then-succeed schedules, injected latency, and bit flips in
+// the returned page bytes that the storage checksum must catch. FaultVolume
+// wraps any storage.Volume, so chaos composes with in-memory, file-backed,
+// and throttled volumes alike — the same wrapper backs unit tests, the
+// HTTP-level chaos equivalence test, and skyserver's -chaos-seed/-chaos-rate
+// dev mode.
+//
+// Determinism matters more than realism here: the PRNG is seeded per
+// volume, so a failing CI run reproduces locally from the seed alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"skyserver/internal/storage"
+)
+
+// Config sets the random fault mix of a FaultVolume.
+type Config struct {
+	// Seed makes the fault schedule deterministic. Two FaultVolumes with
+	// the same seed and config inject faults on the same read sequence.
+	Seed uint64
+
+	// TransientRate is the probability (0..1) that a read fails with an
+	// error wrapping storage.ErrTransient. A later retry of the same page
+	// is a fresh draw.
+	TransientRate float64
+
+	// CorruptRate is the probability (0..1) that a read returns the page
+	// with one bit flipped in the buffer — the stored bytes stay intact,
+	// modeling in-flight corruption a re-read repairs. The checksum layer
+	// must turn this into a retry, never into silently wrong results.
+	CorruptRate float64
+
+	// Latency, when nonzero, delays every read by a uniform random
+	// duration in (0, Latency].
+	Latency time.Duration
+}
+
+// FaultVolume wraps an inner storage.Volume with seeded fault injection on
+// the read path. Writes, Pages, and Close pass through untouched. It is
+// safe for concurrent use.
+type FaultVolume struct {
+	inner storage.Volume
+	cfg   Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	failN      map[uint32]int // page -> remaining forced transient failures
+	panicN     map[uint32]int // page -> remaining forced panics
+	sticky     map[uint32]bool
+	reads      int64
+	transients int64
+	corrupts   int64
+}
+
+// Stats is a snapshot of injected-fault counts.
+type Stats struct {
+	Reads      int64 // reads attempted
+	Transients int64 // reads failed with a transient error
+	Corrupts   int64 // reads returned with a flipped bit
+}
+
+// NewFaultVolume wraps inner with the given fault mix.
+func NewFaultVolume(inner storage.Volume, cfg Config) *FaultVolume {
+	return &FaultVolume{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0x5eed)),
+		failN:  map[uint32]int{},
+		panicN: map[uint32]int{},
+		sticky: map[uint32]bool{},
+	}
+}
+
+// FailReads forces the next n reads of page to fail with a transient
+// error, independent of TransientRate — the deterministic
+// fail-N-then-succeed schedule retry tests are built on.
+func (v *FaultVolume) FailReads(page uint32, n int) {
+	v.mu.Lock()
+	v.failN[page] = n
+	v.mu.Unlock()
+}
+
+// PanicReads forces the next n reads of page to panic, exercising the
+// scan-shard and HTTP recover paths.
+func (v *FaultVolume) PanicReads(page uint32, n int) {
+	v.mu.Lock()
+	v.panicN[page] = n
+	v.mu.Unlock()
+}
+
+// CorruptSticky makes every read of page return a flipped bit — unlike
+// CorruptRate faults, retries never fix it, so the checksum layer must
+// surface a permanent storage.ErrChecksum.
+func (v *FaultVolume) CorruptSticky(page uint32) {
+	v.mu.Lock()
+	v.sticky[page] = true
+	v.mu.Unlock()
+}
+
+// Heal clears all forced fault schedules (random rates keep applying).
+func (v *FaultVolume) Heal() {
+	v.mu.Lock()
+	v.failN = map[uint32]int{}
+	v.panicN = map[uint32]int{}
+	v.sticky = map[uint32]bool{}
+	v.mu.Unlock()
+}
+
+// Stats returns the fault counters.
+func (v *FaultVolume) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{Reads: v.reads, Transients: v.transients, Corrupts: v.corrupts}
+}
+
+// ReadPage implements storage.Volume with fault injection: forced
+// schedules first (fail-N, panic-N, sticky corruption), then the seeded
+// random transient/corruption/latency mix.
+func (v *FaultVolume) ReadPage(n uint32, buf []byte) error {
+	v.mu.Lock()
+	v.reads++
+	if left := v.panicN[n]; left > 0 {
+		v.panicN[n] = left - 1
+		v.mu.Unlock()
+		panic(fmt.Sprintf("chaos: forced panic reading page %d", n))
+	}
+	if left := v.failN[n]; left > 0 {
+		v.failN[n] = left - 1
+		v.transients++
+		v.mu.Unlock()
+		return fmt.Errorf("%w: chaos: forced failure on page %d", storage.ErrTransient, n)
+	}
+	fail := v.cfg.TransientRate > 0 && v.rng.Float64() < v.cfg.TransientRate
+	corrupt := v.sticky[n] || (v.cfg.CorruptRate > 0 && v.rng.Float64() < v.cfg.CorruptRate)
+	var flipBit int
+	if corrupt {
+		flipBit = v.rng.IntN(len(buf) * 8)
+		v.corrupts++
+	}
+	var delay time.Duration
+	if v.cfg.Latency > 0 {
+		delay = time.Duration(v.rng.Int64N(int64(v.cfg.Latency))) + 1
+	}
+	if fail {
+		v.transients++
+	}
+	v.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("%w: chaos: page %d", storage.ErrTransient, n)
+	}
+	if err := v.inner.ReadPage(n, buf); err != nil {
+		return err
+	}
+	if corrupt {
+		buf[flipBit/8] ^= 1 << (flipBit % 8)
+	}
+	return nil
+}
+
+// WritePage implements storage.Volume.
+func (v *FaultVolume) WritePage(n uint32, buf []byte) error { return v.inner.WritePage(n, buf) }
+
+// Pages implements storage.Volume.
+func (v *FaultVolume) Pages() uint32 { return v.inner.Pages() }
+
+// Close implements storage.Volume.
+func (v *FaultVolume) Close() error { return v.inner.Close() }

@@ -45,6 +45,11 @@ type Config struct {
 	// Dir, when set, backs volumes with files under this directory
 	// instead of memory.
 	Dir string
+	// WrapVolume, when set, wraps each volume as it is created (i is the
+	// stripe index) — the hook skyserver's chaos dev mode uses to inject
+	// faults under the real stack without core importing the chaos
+	// package.
+	WrapVolume func(i int, v storage.Volume) storage.Volume
 	// SkipFrames / SkipBlobs trim image artifacts for catalog-only work.
 	SkipFrames bool
 	SkipBlobs  bool
@@ -77,25 +82,37 @@ type SkyServer struct {
 	stats  *pipeline.Stats
 }
 
-// Open builds and loads a SkyServer per the config.
+// Open builds and loads a SkyServer per the config. On any error the
+// volumes and scan pool created so far are closed — an Open that fails
+// leaks nothing.
 func Open(cfg Config) (*SkyServer, error) {
 	cfg.defaults()
 	var vols []storage.Volume
+	closeVols := func() {
+		for _, v := range vols {
+			_ = v.Close()
+		}
+	}
 	for i := 0; i < cfg.Volumes; i++ {
-		if cfg.Dir == "" {
-			vols = append(vols, storage.NewMemVolume())
-			continue
+		var v storage.Volume = storage.NewMemVolume()
+		if cfg.Dir != "" {
+			fv, err := storage.NewFileVolume(filepath.Join(cfg.Dir, fmt.Sprintf("skyserver_vol%d.dat", i)))
+			if err != nil {
+				closeVols()
+				return nil, err
+			}
+			v = fv
 		}
-		fv, err := storage.NewFileVolume(filepath.Join(cfg.Dir, fmt.Sprintf("skyserver_vol%d.dat", i)))
-		if err != nil {
-			return nil, err
+		if cfg.WrapVolume != nil {
+			v = cfg.WrapVolume(i, v)
 		}
-		vols = append(vols, fv)
+		vols = append(vols, v)
 	}
 	fg := storage.NewFileGroup(vols, cfg.CachePages)
 	fg.SetScanWorkers(cfg.ScanWorkers)
 	sdb, err := schema.Build(fg)
 	if err != nil {
+		fg.Close()
 		return nil, err
 	}
 	s := &SkyServer{cfg: cfg, sdb: sdb, loader: load.New(sdb)}
@@ -107,12 +124,14 @@ func Open(cfg Config) (*SkyServer, error) {
 		SkipFrames: cfg.SkipFrames, SkipBlobs: cfg.SkipBlobs,
 	})
 	if err != nil {
+		fg.Close()
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	s.stats = stats
 	s.truth = stats.Truth
 	if !cfg.SkipNeighbors {
 		if _, err := neighbors.Build(sdb, cfg.NeighborsRadius); err != nil {
+			fg.Close()
 			return nil, fmt.Errorf("core: neighbors: %w", err)
 		}
 	}
@@ -153,7 +172,14 @@ func (s *SkyServer) Explain(sql string) (string, error) {
 
 // Handler returns the web front end.
 func (s *SkyServer) Handler(opt web.Options) http.Handler {
-	return web.NewServer(s.sdb, opt).Handler()
+	return s.Web(opt).Handler()
+}
+
+// Web returns the web front end as a *web.Server, for callers that need
+// the lifecycle surface (ServeGraceful, SetReady, Drain) rather than just
+// an http.Handler.
+func (s *SkyServer) Web(opt web.Options) *web.Server {
+	return web.NewServer(s.sdb, opt)
 }
 
 // RunWorkload executes the 22-query Figure 13 workload.

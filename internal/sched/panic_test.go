@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// panicTask panics on one shard and counts the rest.
+type panicTask struct {
+	panicShard int
+	ran        atomic.Int64
+}
+
+func (t *panicTask) RunShard(shard int) {
+	if shard == t.panicShard {
+		panic("poisoned shard")
+	}
+	t.ran.Add(1)
+}
+
+func TestPoolRecoversShardPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	const shards = 8
+	task := &panicTask{panicShard: 3}
+	p.Run(shards, task) // must return (no stranded WaitGroup) and not crash
+
+	if got := task.ran.Load(); got != shards-1 {
+		t.Fatalf("shards run = %d, want %d", got, shards-1)
+	}
+	if got := p.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("panics recovered = %d, want 1", got)
+	}
+
+	// The pool still works: all workers survived.
+	task2 := &panicTask{panicShard: -1}
+	p.Run(shards, task2)
+	if got := task2.ran.Load(); got != shards {
+		t.Fatalf("shards run after panic = %d, want %d", got, shards)
+	}
+}
+
+// TestPoolRecoversInlinePanic drives the inline path: a closed pool runs
+// every shard on the submitting goroutine, and a panic there must not
+// escape Run or strand the job.
+func TestPoolRecoversInlinePanic(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+
+	task := &panicTask{panicShard: 0}
+	p.Run(4, task)
+	if got := task.ran.Load(); got != 3 {
+		t.Fatalf("shards run = %d, want 3", got)
+	}
+	if got := p.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("panics recovered = %d, want 1", got)
+	}
+}

@@ -58,6 +58,7 @@ type Pool struct {
 	shardsPool   atomic.Int64 // shards executed by pool workers
 	shardsInline atomic.Int64 // shards executed on the submitting goroutine
 	busy         atomic.Int64 // workers currently inside RunShard
+	panics       atomic.Int64 // shard panics recovered at the pool boundary
 }
 
 // DefaultPoolSize is the default worker count: enough to give every
@@ -115,10 +116,24 @@ func (p *Pool) worker() {
 func (p *Pool) runOne(j *job) {
 	shard := int(j.next.Add(1) - 1)
 	p.busy.Add(1)
-	j.task.RunShard(shard)
+	p.runShard(j, shard)
 	p.busy.Add(-1)
 	p.shardsPool.Add(1)
-	j.wg.Done()
+}
+
+// runShard executes one shard behind a recover barrier: a Task that lets a
+// panic escape RunShard must not kill the persistent worker (every query in
+// the process would lose its scan capacity) or strand Run's WaitGroup.
+// Tasks that need the panic as an error recover it themselves (storage's
+// scan job does); the pool only guarantees survival and counts the event.
+func (p *Pool) runShard(j *job, shard int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+		j.wg.Done()
+	}()
+	j.task.RunShard(shard)
 }
 
 // Run executes t.RunShard(shard) for every shard in 0..n-1 and returns
@@ -154,9 +169,8 @@ func (p *Pool) Run(n int, t Task) {
 	p.jobs.Add(1)
 	for k := dispatched; k < n; k++ {
 		shard := int(j.next.Add(1) - 1)
-		j.task.RunShard(shard)
+		p.runShard(j, shard)
 		p.shardsInline.Add(1)
-		j.wg.Done()
 	}
 	j.wg.Wait()
 	j.task = nil
@@ -176,7 +190,7 @@ func (p *Pool) Close() {
 	close(p.quit)
 }
 
-// PoolStats is a snapshot of pool activity for /x/sched.
+// PoolStats is a snapshot of pool activity for /x/sched and /x/health.
 type PoolStats struct {
 	Workers      int   `json:"workers"`
 	Busy         int64 `json:"busy"`
@@ -184,6 +198,10 @@ type PoolStats struct {
 	Jobs         int64 `json:"jobs"`
 	ShardsPool   int64 `json:"shardsPool"`
 	ShardsInline int64 `json:"shardsInline"`
+
+	// PanicsRecovered counts shard panics the pool absorbed instead of
+	// crashing a worker.
+	PanicsRecovered int64 `json:"panicsRecovered"`
 }
 
 // Stats snapshots the pool counters.
@@ -192,11 +210,12 @@ func (p *Pool) Stats() PoolStats {
 		return PoolStats{}
 	}
 	return PoolStats{
-		Workers:      p.size,
-		Busy:         p.busy.Load(),
-		QueuedShards: len(p.tasks),
-		Jobs:         p.jobs.Load(),
-		ShardsPool:   p.shardsPool.Load(),
-		ShardsInline: p.shardsInline.Load(),
+		Workers:         p.size,
+		Busy:            p.busy.Load(),
+		QueuedShards:    len(p.tasks),
+		Jobs:            p.jobs.Load(),
+		ShardsPool:      p.shardsPool.Load(),
+		ShardsInline:    p.shardsInline.Load(),
+		PanicsRecovered: p.panics.Load(),
 	}
 }

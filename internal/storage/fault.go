@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// Error classification for the read path. A Volume implementation (or a
+// fault-injecting wrapper) marks recoverable failures by wrapping
+// ErrTransient; everything else is treated as permanent and surfaces
+// immediately. Checksum mismatches are their own class: the stored bytes may
+// be fine (torn read, flipped bit on the wire), so a bounded re-read is
+// attempted before declaring the page corrupt.
+var (
+	// ErrTransient marks a read failure that may succeed on retry.
+	ErrTransient = errors.New("transient I/O error")
+
+	// ErrChecksum marks a page whose stored checksum does not match its
+	// contents after retries were exhausted.
+	ErrChecksum = errors.New("page checksum mismatch")
+
+	// ErrScanPanic marks a scan shard that panicked; the panic is confined
+	// to the owning query, which fails with this error.
+	ErrScanPanic = errors.New("scan shard panicked")
+)
+
+const (
+	// maxReadAttempts bounds re-reads of a single page (first try + 3
+	// retries) regardless of the query's remaining retry budget.
+	maxReadAttempts = 4
+
+	// DefaultQueryRetryBudget is the total number of page re-reads one
+	// query may spend before transient errors become permanent for it.
+	DefaultQueryRetryBudget = 64
+
+	retryBackoffBase = 50 * time.Microsecond
+	retryBackoffCap  = 2 * time.Millisecond
+)
+
+type retryBudgetKey struct{}
+
+// retryBudget is shared by reference across every read a query issues.
+type retryBudget struct {
+	left atomic.Int64
+}
+
+// WithRetryBudget returns a context allowing at most n page re-reads across
+// all reads issued under it. Contexts without a budget allow up to
+// maxReadAttempts per read, unbounded across the query.
+func WithRetryBudget(ctx context.Context, n int) context.Context {
+	b := &retryBudget{}
+	b.left.Store(int64(n))
+	return context.WithValue(ctx, retryBudgetKey{}, b)
+}
+
+// takeRetry consumes one retry from the context's budget, reporting whether a
+// retry is allowed.
+func takeRetry(ctx context.Context) bool {
+	b, ok := ctx.Value(retryBudgetKey{}).(*retryBudget)
+	if !ok {
+		return true
+	}
+	return b.left.Add(-1) >= 0
+}
+
+// retryDelay returns the backoff before retry attempt (1-based), with full
+// jitter: uniform in (0, base·2^(attempt-1)] capped at retryBackoffCap.
+func retryDelay(attempt int) time.Duration {
+	d := retryBackoffBase << (attempt - 1)
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// sleepRetry waits the backoff for attempt or returns the context's error if
+// it is done first.
+func sleepRetry(ctx context.Context, attempt int) error {
+	t := time.NewTimer(retryDelay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

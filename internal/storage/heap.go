@@ -41,9 +41,17 @@ type FileGroup struct {
 	pool     *sched.Pool
 	poolSize int // 0 = sched.DefaultPoolSize
 
+	// noVerify disables page-checksum verification on physical reads.
+	// Only the disk-model experiments set it: their SpeedUp factor
+	// multiplies wall-clock time into model time, which would misattribute
+	// the (sub-microsecond) CRC CPU cost as 25x-amplified model I/O time.
+	noVerify atomic.Bool
+
 	// stats
-	physReads atomic.Uint64
-	physBytes atomic.Uint64
+	physReads     atomic.Uint64
+	physBytes     atomic.Uint64
+	readRetries   atomic.Uint64
+	checksumFails atomic.Uint64
 }
 
 // NewFileGroup creates a file group over the given volumes with a page
@@ -108,8 +116,10 @@ func (fg *FileGroup) locate(global uint64) (Volume, uint32) {
 	return fg.vols[global%n], uint32(global / n)
 }
 
-// WritePage writes a global page to its volume and refreshes the cache.
+// WritePage stamps the page checksum into buf's header, writes the page to
+// its volume, and refreshes the cache.
 func (fg *FileGroup) WritePage(global uint64, buf []byte) error {
+	stampPageChecksum(buf)
 	v, local := fg.locate(global)
 	if err := v.WritePage(local, buf); err != nil {
 		return err
@@ -120,22 +130,48 @@ func (fg *FileGroup) WritePage(global uint64, buf []byte) error {
 	return nil
 }
 
-// ReadPage reads a global page into buf, consulting the cache first. Cache
-// misses charge the (possibly throttled) volume.
+// ReadPage is ReadPageCtx under a background context: retries are bounded
+// per read (maxReadAttempts) but draw no per-query budget.
 func (fg *FileGroup) ReadPage(global uint64, buf []byte) error {
+	return fg.ReadPageCtx(context.Background(), global, buf)
+}
+
+// ReadPageCtx reads a global page into buf, consulting the cache first.
+// Cache misses charge the (possibly throttled) volume, verify the page
+// checksum, and retry transient failures — volume errors wrapping
+// ErrTransient, or checksum mismatches, which a re-read can fix when the
+// corruption happened in flight — with exponential backoff + jitter, up to
+// maxReadAttempts per page and ctx's retry budget (WithRetryBudget) per
+// query. Permanent volume errors surface immediately.
+func (fg *FileGroup) ReadPageCtx(ctx context.Context, global uint64, buf []byte) error {
 	if fg.cache != nil && fg.cache.get(global, buf) {
 		return nil
 	}
 	v, local := fg.locate(global)
-	if err := v.ReadPage(local, buf); err != nil {
-		return err
+	for attempt := 1; ; attempt++ {
+		err := v.ReadPage(local, buf)
+		if err == nil {
+			fg.physReads.Add(1)
+			fg.physBytes.Add(PageSize)
+			if fg.noVerify.Load() || verifyPageChecksum(buf) {
+				if fg.cache != nil {
+					fg.cache.put(global, buf)
+				}
+				return nil
+			}
+			fg.checksumFails.Add(1)
+			err = fmt.Errorf("%w: page %d", ErrChecksum, global)
+		} else if !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if attempt >= maxReadAttempts || !takeRetry(ctx) {
+			return fmt.Errorf("storage: page %d read failed after %d attempts: %w", global, attempt, err)
+		}
+		fg.readRetries.Add(1)
+		if serr := sleepRetry(ctx, attempt); serr != nil {
+			return serr
+		}
 	}
-	fg.physReads.Add(1)
-	fg.physBytes.Add(PageSize)
-	if fg.cache != nil {
-		fg.cache.put(global, buf)
-	}
-	return nil
 }
 
 // DropCache empties the page cache, forcing subsequent scans cold.
@@ -150,6 +186,20 @@ func (fg *FileGroup) PhysReads() uint64 { return fg.physReads.Load() }
 
 // PhysBytes returns the number of physical bytes read.
 func (fg *FileGroup) PhysBytes() uint64 { return fg.physBytes.Load() }
+
+// SetVerifyChecksums toggles page-checksum verification on physical reads
+// (on by default). Only sped-up disk-model experiments should turn it off:
+// under a SpeedUp factor, wall-clock CPU spent on the CRC is misread as
+// amplified model I/O time. Serving paths must leave verification on.
+func (fg *FileGroup) SetVerifyChecksums(on bool) { fg.noVerify.Store(!on) }
+
+// ReadRetries returns the number of page re-reads issued after transient
+// failures or checksum mismatches.
+func (fg *FileGroup) ReadRetries() uint64 { return fg.readRetries.Load() }
+
+// ChecksumFails returns the number of physical reads whose page checksum
+// did not verify.
+func (fg *FileGroup) ChecksumFails() uint64 { return fg.checksumFails.Load() }
 
 // Close stops the scan pool and closes all volumes.
 func (fg *FileGroup) Close() error {
@@ -500,7 +550,7 @@ func (h *Heap) scanSerial(ctx context.Context, pageIDs []uint64, mk func(worker 
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		if err = h.fg.ReadPage(pageIDs[pi], buf); err != nil {
+		if err = h.fg.ReadPageCtx(ctx, pageIDs[pi], buf); err != nil {
 			break
 		}
 		p := page(buf)
@@ -583,11 +633,20 @@ func (j *scanJob) reset() {
 	}
 }
 
-// RunShard implements sched.Task.
+// RunShard implements sched.Task. A panic in the consumer callback (or a
+// decode of a poisoned page) is confined to this query: the shard records
+// an ErrScanPanic for finish() to join, stops the scan's other shards, and
+// the pool worker survives.
 func (j *scanJob) RunShard(w int) {
 	if j.stop.Load() {
 		return
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.errs[w] = fmt.Errorf("%w: shard %d: %v", ErrScanPanic, w, r)
+			j.stop.Store(true)
+		}
+	}()
 	sb := scanBufPool.Get().(*scanBuf)
 	fn := j.fns[w]
 	for o := 0; o < j.dop; o++ {
@@ -604,6 +663,8 @@ func (j *scanJob) RunShard(w int) {
 			break
 		}
 	}
+	// Not deferred on purpose: a panicking shard must not recycle its
+	// buffer — the failed callback may still alias it.
 	scanBufPool.Put(sb)
 }
 
@@ -644,7 +705,7 @@ func (j *scanJob) drainStripe(stripe int, fn RecBatchFunc, sb *scanBuf) error {
 
 // scanPage reads one page and delivers its live records to fn.
 func (j *scanJob) scanPage(pi int, fn RecBatchFunc, sb *scanBuf) error {
-	if err := j.h.fg.ReadPage(j.pageIDs[pi], sb.page); err != nil {
+	if err := j.h.fg.ReadPageCtx(j.ctx, j.pageIDs[pi], sb.page); err != nil {
 		return err
 	}
 	p := page(sb.page)

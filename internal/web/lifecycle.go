@@ -1,0 +1,67 @@
+package web
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Drain gracefully shuts srv down: readiness flips off so gated routes shed
+// new queries with 503 + Retry-After, the grace window lets requests that
+// raced the flip land on the still-open listener and see that 503, then
+// srv.Shutdown waits for in-flight queries up to timeout. On timeout the
+// remaining connections are closed hard and the error says so — the caller
+// decides whether a dirty exit matters.
+func (s *Server) Drain(srv *http.Server, grace, timeout time.Duration) error {
+	s.SetReady(false)
+	if grace > 0 {
+		time.Sleep(grace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("web: drain incomplete after %s (connections closed hard): %w", timeout, err)
+	}
+	return nil
+}
+
+// ServeGraceful serves srv until SIGINT/SIGTERM, then drains (see Drain)
+// and returns the drain's outcome — the replacement for
+// log.Fatal(ListenAndServe) that §7-scale operations need: a deploy or
+// scale-down must not kill in-flight queries. ln nil means listen on
+// srv.Addr. Signal delivery is registered before serving starts, so a
+// signal arriving at any point after this call triggers a drain rather
+// than the process default (immediate death).
+func (s *Server) ServeGraceful(srv *http.Server, ln net.Listener, grace, timeout time.Duration) error {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+			return
+		}
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed on its own; there is nothing to drain.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "skyserver: %s received, draining (grace %s, timeout %s)\n", sig, grace, timeout)
+		return s.Drain(srv, grace, timeout)
+	}
+}

@@ -26,12 +26,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skyserver/internal/resultcache"
 	"skyserver/internal/sched"
 	"skyserver/internal/schema"
 	"skyserver/internal/sqlengine"
+	"skyserver/internal/storage"
 	"skyserver/internal/val"
 )
 
@@ -94,6 +96,12 @@ type Server struct {
 	maxEntry  int
 	probePool sync.Pool
 
+	// notReady is set while the server drains: gated routes shed with 503
+	// (zero value = ready, so a fresh server serves immediately). panics
+	// counts handler panics the recovery middleware absorbed.
+	notReady atomic.Bool
+	panics   atomic.Int64
+
 	logMu sync.Mutex
 }
 
@@ -141,6 +149,7 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
 	s.mux.HandleFunc("/x/resultcache", s.handleResultCache)
 	s.mux.HandleFunc("/x/sched", s.handleSched)
+	s.mux.HandleFunc("/x/health", s.handleHealth)
 	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", interactive, s.handleExplore))
 	s.mux.HandleFunc("/en/tools/places/", s.gate("places", interactive, s.handlePlaces))
 	s.mux.HandleFunc("/en/tools/navi/cutout", s.gate("cutout", interactive, s.handleCutout))
@@ -371,6 +380,10 @@ func (s *Server) gate(label string, classify func(*http.Request) sched.Class, h 
 			class = sched.Batch
 		}
 		w.Header().Set("X-Query-Class", class.String())
+		if !s.Ready() {
+			shedDraining(w, class)
+			return
+		}
 		tk, err := s.sched.Admit(r.Context(), class, label)
 		if err != nil {
 			if errors.Is(err, sched.ErrOverloaded) {
@@ -390,8 +403,23 @@ func (s *Server) gate(label string, classify func(*http.Request) sched.Class, h 
 			ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
 			defer cancel()
 		}
+		// Transient page-read failures retry under a per-query budget; a
+		// query that keeps hitting bad reads fails instead of spinning.
+		ctx = storage.WithRetryBudget(ctx, storage.DefaultQueryRetryBudget)
 		gs := &gateState{tk: tk}
-		defer func() { tk.Done(gs.err) }()
+		defer func() {
+			// A panicking handler releases its slot as a failure before the
+			// panic continues to the recovery middleware — a poisoned query
+			// must not leak scheduler capacity.
+			if rec := recover(); rec != nil {
+				if gs.err == nil {
+					gs.err = fmt.Errorf("handler panic: %v", rec)
+				}
+				tk.Done(gs.err)
+				panic(rec)
+			}
+			tk.Done(gs.err)
+		}()
 		h(w, r.WithContext(context.WithValue(ctx, gateKey{}, gs)))
 	}
 }
@@ -438,12 +466,13 @@ func (s *Server) noteQuery(r *http.Request, res *sqlengine.Result, err error) {
 	}
 }
 
-// Handler returns the HTTP handler with access logging attached.
+// Handler returns the HTTP handler with panic recovery and access logging
+// attached.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return s.recovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.logAccess(r)
 		s.mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 func (s *Server) logAccess(r *http.Request) {
@@ -1028,6 +1057,14 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, sqlengine.ErrCanceled):
 		// The client abandoned the request; the status is for the log.
 		code = statusClientClosedRequest
+	case errors.Is(err, storage.ErrTransient):
+		// Retries and the query budget are spent; the fault may clear, so
+		// tell the client to try again rather than blaming the query.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, storage.ErrChecksum), errors.Is(err, storage.ErrScanPanic):
+		// Data-integrity and isolated-panic failures are server faults.
+		code = http.StatusInternalServerError
 	}
 	http.Error(w, msg, code)
 }
