@@ -390,6 +390,62 @@ func BenchmarkResultCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelAgg measures the PR 8 partial+merge aggregation on a
+// GROUP BY over the full PhotoObj heap scan: Serial pins the
+// MaxConcurrency=1 plan (one hash table fed in scan order), Parallel the
+// per-worker partial hash tables merged after the scan. On a single-core
+// machine the two should be within noise of each other (the gate cares
+// about allocations, which must stay flat under pooled partials); on
+// multi-core hardware Parallel is where the ≥1.5× shows up.
+func BenchmarkParallelAgg(b *testing.B) {
+	s := benchServer(b)
+	const q = "select floor(petroMag_r) as bin, count(*) as n, avg(petroMag_g) as g " +
+		"from PhotoObj group by floor(petroMag_r) order by bin"
+	bytes := s.DB().PhotoObj.DataBytes()
+	run := func(b *testing.B, opt sqlengine.ExecOptions) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bytes))
+		sess := s.Session()
+		if _, err := sess.Exec(q, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Serial", func(b *testing.B) { run(b, sqlengine.ExecOptions{MaxConcurrency: 1}) })
+	b.Run("Parallel", func(b *testing.B) { run(b, sqlengine.ExecOptions{}) })
+}
+
+// BenchmarkTopKSort measures the TOP n ORDER BY fusion: per-worker bounded
+// top-k heaps over a heap scan instead of a full materialize-and-sort.
+// Peak live rows are O(n × workers) regardless of input size, and the
+// pooled heap storage keeps the steady state allocation-flat.
+func BenchmarkTopKSort(b *testing.B) {
+	s := benchServer(b)
+	const q = "select top 10 objID, petroMag_r from PhotoObj order by petroMag_r"
+	bytes := s.DB().PhotoObj.DataBytes()
+	run := func(b *testing.B, opt sqlengine.ExecOptions) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bytes))
+		sess := s.Session()
+		if _, err := sess.Exec(q, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Serial", func(b *testing.B) { run(b, sqlengine.ExecOptions{MaxConcurrency: 1}) })
+	b.Run("Parallel", func(b *testing.B) { run(b, sqlengine.ExecOptions{}) })
+}
+
 // BenchmarkSpatialLookup measures the fGetNearbyObjEq path: HTM cover plus
 // covered index range scans — the heart of §9.1.4.
 func BenchmarkSpatialLookup(b *testing.B) {

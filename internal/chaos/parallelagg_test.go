@@ -1,0 +1,88 @@
+package chaos_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"skyserver/internal/chaos"
+	"skyserver/internal/core"
+	"skyserver/internal/storage"
+	"skyserver/internal/web"
+)
+
+// groupScan is a GROUP BY over a full PhotoObj heap scan: every scan
+// worker owns a live partial-aggregation hash table (pooled slabs, arena,
+// retained key buffers) at the moment a page read panics mid-scan.
+const groupScan = "select floor(petroMag_r) as bin, count(*) as n " +
+	"from PhotoObj group by floor(petroMag_r) order by bin"
+
+// TestWorkerPanicDuringPartialAgg pins the failure contract of the
+// per-worker aggregation sinks: a worker that panics mid-scan while its
+// partial hash table is live must produce exactly one well-formed 500 —
+// not a crashed process, not a torn result — and must not leak or
+// double-release any pooled state. The heal-and-rerun loop repeats three
+// times so that a partial released twice (its slabs now aliased by two
+// pool entries) or a batch leaked mid-emit corrupts a later iteration and
+// fails the byte-equality check.
+func TestWorkerPanicDuringPartialAgg(t *testing.T) {
+	var fvs []*chaos.FaultVolume
+	srv, err := core.Open(core.Config{
+		Scale: chaosScale, Seed: chaosSeed, SkipFrames: true, SkipBlobs: true,
+		// Keep the page cache tiny so reads reach the fault volumes.
+		CachePages: 1,
+		WrapVolume: func(i int, v storage.Volume) storage.Volume {
+			// No random faults: this test injects only deterministic
+			// panics, so every non-panicking run must be byte-perfect.
+			fv := chaos.NewFaultVolume(v, chaos.Config{Seed: chaosSeed + uint64(i)})
+			fvs = append(fvs, fv)
+			return fv
+		},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer srv.Close()
+
+	ts := httptest.NewServer(srv.Web(web.Options{Public: true, ResultCacheBytes: -1}).Handler())
+	defer ts.Close()
+
+	// Baseline: the clean answer, reproducible run-to-run (total ORDER BY).
+	wantCode, wantBody := fetch(t, ts.URL, groupScan)
+	if wantCode != http.StatusOK {
+		t.Fatalf("baseline: status %d: %s", wantCode, wantBody)
+	}
+	if code, body := fetch(t, ts.URL, groupScan); code != http.StatusOK || body != wantBody {
+		t.Fatalf("baseline not reproducible: status %d", code)
+	}
+
+	for round := 0; round < 3; round++ {
+		// Arm one panic on every page of every volume: whichever worker
+		// reads first dies with its partial hash table mid-build, and the
+		// remaining armed pages keep later workers from racing past.
+		for _, fv := range fvs {
+			for p := uint32(0); p < fv.Pages(); p++ {
+				fv.PanicReads(p, 1)
+			}
+		}
+		code, body := fetch(t, ts.URL, groupScan)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("round %d: status %d (%s), want a single well-formed 500", round, code, body)
+		}
+		if strings.TrimSpace(body) == "" {
+			t.Fatalf("round %d: 500 with empty body", round)
+		}
+		for _, fv := range fvs {
+			fv.Heal()
+		}
+		code, body = fetch(t, ts.URL, groupScan)
+		if code != http.StatusOK {
+			t.Fatalf("round %d: rerun after heal: status %d: %s", round, code, body)
+		}
+		if body != wantBody {
+			t.Fatalf("round %d: rerun diverges from baseline — pooled aggregation state "+
+				"survived the panic corrupted:\n%s\nvs\n%s", round, body, wantBody)
+		}
+	}
+}

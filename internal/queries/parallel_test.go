@@ -1,0 +1,197 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/val"
+)
+
+// TestParallelAndSerialPathsAgree runs the whole Figure 13 workload three
+// ways — default parallel execution (per-worker partial aggregation, sort
+// runs, top-k heaps), MaxConcurrency=1 (the serial plan the parallel
+// operators must be equivalent to), and MaxConcurrency=1 with
+// ForceRowExprs (the row-at-a-time semantic oracle) — and asserts
+// identical result sets. Any partial/merge operator that loses a group,
+// double-counts a row, or merges aggregate state incorrectly shows up as
+// a failing query here. Run under -race this is also the data-race oracle
+// for the per-worker sink machinery.
+func TestParallelAndSerialPathsAgree(t *testing.T) {
+	db, _ := survey(t)
+	for _, q := range All() {
+		q := q
+		t.Run("Q"+q.ID, func(t *testing.T) {
+			parSess := sqlengine.NewSession(db.DB)
+			serSess := sqlengine.NewSession(db.DB)
+			rowSess := sqlengine.NewSession(db.DB)
+			sql, err := q.SQL(parSess)
+			if err != nil {
+				t.Fatalf("Q%s parameter lookup: %v", q.ID, err)
+			}
+			for name, sess := range map[string]*sqlengine.Session{"serial": serSess, "row": rowSess} {
+				alt, err := q.SQL(sess)
+				if err != nil {
+					t.Fatalf("Q%s parameter lookup (%s): %v", q.ID, name, err)
+				}
+				if alt != sql {
+					t.Fatalf("Q%s parameter lookups diverge (%s):\n%s\nvs\n%s", q.ID, name, sql, alt)
+				}
+			}
+			par, err := parSess.Exec(sql, sqlengine.ExecOptions{})
+			if err != nil {
+				t.Fatalf("Q%s parallel: %v", q.ID, err)
+			}
+			ser, err := serSess.Exec(sql, sqlengine.ExecOptions{MaxConcurrency: 1})
+			if err != nil {
+				t.Fatalf("Q%s serial: %v", q.ID, err)
+			}
+			row, err := rowSess.Exec(sql, sqlengine.ExecOptions{MaxConcurrency: 1, ForceRowExprs: true})
+			if err != nil {
+				t.Fatalf("Q%s serial row fallback: %v", q.ID, err)
+			}
+			// Q20 is TOP 100 without ORDER BY over a parallel scan: which
+			// 100 pairs surface is nondeterministic, so only the
+			// cardinality is comparable.
+			if q.ID == "20" {
+				if len(par.Rows) != len(ser.Rows) || len(ser.Rows) != len(row.Rows) {
+					t.Fatalf("Q20: row counts diverge: %d parallel vs %d serial vs %d row",
+						len(par.Rows), len(ser.Rows), len(row.Rows))
+				}
+				return
+			}
+			compareStable(t, q.ID+" parallel-vs-serial", par, ser)
+			compareStable(t, q.ID+" serial-vs-row", ser, row)
+		})
+	}
+}
+
+// compareStable compares two results as multisets of rows, like
+// compareResults, but canonicalizes floats to 10 significant digits: a
+// per-worker partial SUM/AVG adds the same values in a different grouping
+// than the serial plan, and float addition is not associative in the last
+// ulp. Everything else (ints, strings, counts) must match exactly.
+func compareStable(t *testing.T, id string, a, b *sqlengine.Result) {
+	t.Helper()
+	if len(a.Cols) != len(b.Cols) {
+		t.Fatalf("Q%s: column counts diverge: %d vs %d", id, len(a.Cols), len(b.Cols))
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			t.Fatalf("Q%s: column %d name %q vs %q", id, i, a.Cols[i], b.Cols[i])
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("Q%s: row counts diverge: %d vs %d", id, len(a.Rows), len(b.Rows))
+	}
+	ca := canonicalizeStable(a.Rows)
+	cb := canonicalizeStable(b.Rows)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("Q%s: result multisets diverge at sorted position %d:\n%s\nvs\n%s",
+				id, i, ca[i], cb[i])
+		}
+	}
+}
+
+func canonicalizeStable(rows []val.Row) []string {
+	out := make([]string, len(rows))
+	var sb strings.Builder
+	for i, r := range rows {
+		sb.Reset()
+		for _, v := range r {
+			if v.K == val.KindFloat {
+				fmt.Fprintf(&sb, "%.10g|", v.F)
+			} else {
+				fmt.Fprintf(&sb, "%v|", v)
+			}
+		}
+		out[i] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelOrderByByteIdentical pins the stronger guarantee the sort
+// and top-k operators make beyond multiset equality: because run merging
+// and top-k selection order rows by the ORDER BY keys *and then the full
+// row* (rowLess's total order), an ordered query's output sequence is
+// deterministic — byte-identical between parallel and serial execution
+// and across repeated parallel runs, even though the scan delivers rows
+// in nondeterministic morsel order.
+func TestParallelOrderByByteIdentical(t *testing.T) {
+	db, _ := survey(t)
+	queries := []struct {
+		name, sql string
+	}{
+		{"GroupByOrdered", "select floor(r) as bin, count(*) as n from PhotoObj group by floor(r) order by bin"},
+		{"TopKOrdered", "select top 7 objID, r from PhotoObj order by r"},
+		{"TopKDescOrdered", "select top 5 objID, g - r as gr from Galaxy order by gr desc"},
+		{"SortAll", "select objID from SpecObj order by z desc"},
+	}
+	for _, q := range queries {
+		q := q
+		t.Run(q.name, func(t *testing.T) {
+			ser, err := sqlengine.NewSession(db.DB).Exec(q.sql, sqlengine.ExecOptions{MaxConcurrency: 1})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			want := renderOrdered(ser.Rows)
+			for run := 0; run < 3; run++ {
+				par, err := sqlengine.NewSession(db.DB).Exec(q.sql, sqlengine.ExecOptions{})
+				if err != nil {
+					t.Fatalf("parallel run %d: %v", run, err)
+				}
+				got := renderOrdered(par.Rows)
+				if got != want {
+					t.Fatalf("parallel run %d output diverges from serial:\n%s\nvs\n%s", run, got, want)
+				}
+			}
+		})
+	}
+}
+
+func renderOrdered(rows []val.Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%v\n", r)
+	}
+	return sb.String()
+}
+
+// TestParallelExplainShapes pins the operator names the parallel plan
+// shapes render under EXPLAIN: partial+merge aggregation, the sort node's
+// run count, and TOP n over ORDER BY fused into a bounded top-k.
+func TestParallelExplainShapes(t *testing.T) {
+	db, _ := survey(t)
+	cases := []struct {
+		name, sql, want string
+	}{
+		{"PartialAgg", "select floor(r) as bin, count(*) as n from PhotoObj group by floor(r)", "PartialAgg→MergeAgg"},
+		{"SortRuns", "select objID from SpecObj order by z", "runs="},
+		{"SortName", "select objID from SpecObj order by z", "Sort("},
+		{"TopK", "select top 7 objID, r from PhotoObj order by r", "TopK(7"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := sqlengine.NewSession(db.DB).Exec(c.sql, sqlengine.ExecOptions{})
+			if err != nil {
+				t.Fatalf("exec: %v", err)
+			}
+			if !strings.Contains(res.Plan, c.want) {
+				t.Fatalf("plan missing %q:\n%s", c.want, res.Plan)
+			}
+		})
+	}
+	// TOP without ORDER BY must stay a plain Top node, not a TopK.
+	res, err := sqlengine.NewSession(db.DB).Exec("select top 3 objID from PhotoObj", sqlengine.ExecOptions{})
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if strings.Contains(res.Plan, "TopK(") {
+		t.Fatalf("TOP without ORDER BY should not plan a TopK:\n%s", res.Plan)
+	}
+}

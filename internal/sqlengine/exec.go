@@ -98,6 +98,16 @@ func (ctx *ExecCtx) getArena() *val.Arena {
 	return val.GetArena()
 }
 
+// getRowStore acquires a slab row materializer for operators that hold
+// their input (sort runs, top-k heaps, a join's inner side): pooled unless
+// DisablePooling.
+func (ctx *ExecCtx) getRowStore(width int) *val.RowStore {
+	if ctx.DisablePooling {
+		return val.NewNoReuseRowStore(width)
+	}
+	return val.GetRowStore(width)
+}
+
 // ErrTimeout is returned when a query exceeds its deadline, like the public
 // server's 30-second computation limit.
 var ErrTimeout = errors.New("sql: query exceeded the time limit")
@@ -167,11 +177,63 @@ func Explain(n Node) string {
 	return sb.String()
 }
 
-// gatherRow assembles active row k=(physical index i) into a fresh Row.
-// Batch values are safe to retain (see batchFn), so no deep clone is
-// needed.
-func gatherRow(b *val.Batch, i int) val.Row {
-	return b.RowAt(i, make(val.Row, b.Width()))
+// sinkFactory hands each producer worker its own downstream sink,
+// mirroring storage.ScanBatchesCtx's per-worker callback shape: it is
+// called sequentially (never concurrently) once per worker before any
+// rows flow, the returned batchFn is then called only from that worker,
+// and the returned finalizer (may be nil) runs serially in worker order
+// on the driving goroutine after every worker has finished successfully —
+// it is not called when the run fails.
+type sinkFactory func(worker int) (batchFn, func() error)
+
+// parallelNode is the opt-in half of the operator contract: a node that
+// can feed per-worker sinks without funneling through one serialized
+// emit. Operators that hold only per-worker state (scan, filter, project)
+// implement it and pass the factory through; consumers that need all
+// input before producing (agg, sort, top-k) call runParallel to install
+// one private accumulator per worker.
+type parallelNode interface {
+	Node
+	RunParallel(ctx *ExecCtx, mk sinkFactory) error
+}
+
+// runParallel runs child against per-worker sinks when the child supports
+// them; otherwise the worker-0 sink consumes the child's ordinary emit
+// stream (which the child serializes internally per the batchFn contract).
+func runParallel(ctx *ExecCtx, child Node, mk sinkFactory) error {
+	if p, ok := child.(parallelNode); ok {
+		return p.RunParallel(ctx, mk)
+	}
+	sink, done := mk(0)
+	if err := child.Run(ctx, sink); err != nil {
+		return err
+	}
+	if done != nil {
+		return done()
+	}
+	return nil
+}
+
+// rowLess orders rows by the sort keys, breaking ties with a full-row
+// ascending comparison so the order is total. Parallel workers deliver
+// rows in nondeterministic (morsel-stealing) order; a total order is what
+// makes parallel and serial executions of ORDER BY byte-identical.
+func rowLess(a, b val.Row, keyPos []int, desc []bool) bool {
+	for k, p := range keyPos {
+		c := a[p].Compare(b[p])
+		if c == 0 {
+			continue
+		}
+		return (c < 0) != desc[k]
+	}
+	for p := range a {
+		c := a[p].Compare(b[p])
+		if c == 0 {
+			continue
+		}
+		return c < 0
+	}
+	return false
 }
 
 // scatter maps an index-entry value position to a batch column.
@@ -253,10 +315,11 @@ func (dualNode) explainTo(sb *strings.Builder, depth int) {
 // scanNode is a (possibly parallel) sequential scan of a base table heap
 // with an optional pushed-down filter: Figure 11's "parallel table scan …
 // evaluating the predicate on each of the 14M objects". Each worker
-// decodes page-worth record slices into its own batch and filters it with
-// the vectorized predicate before taking the emit lock, so decode and
-// predicate evaluation stay fully parallel and downstream serialization is
-// paid once per batch.
+// decodes page-worth record slices into its own batch, filters it with the
+// vectorized predicate, and pushes it into its own downstream sink
+// (sinkFactory), so decode, predicate evaluation, and — when the consumer
+// opts in — everything above stay fully parallel; the plain Run entry
+// point wraps one emit in a mutex for consumers that do not.
 type scanNode struct {
 	table  *Table
 	cols   []ColRef
@@ -267,9 +330,23 @@ type scanNode struct {
 
 func (s *scanNode) Columns() []ColRef { return s.cols }
 
+// Run is the serialized-emit fallback: every worker shares one
+// mutex-wrapped sink, reproducing the pre-parallel emit contract for
+// consumers that don't pull per-worker sinks.
 func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
-	width := len(s.table.Cols)
 	var mu sync.Mutex
+	sink := func(b *val.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return emit(b)
+	}
+	return s.RunParallel(ctx, func(int) (batchFn, func() error) {
+		return sink, nil
+	})
+}
+
+func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
+	width := len(s.table.Cols)
 	var rowsSeen atomic.Int64
 	// Per-worker batches and arenas, released together once every worker
 	// has exited (ScanBatches joins its goroutines before returning, on
@@ -285,6 +362,7 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 		batch := ctx.getBatch(width, val.BatchSize, s.needed)
 		ar := ctx.getArena()
 		workers = append(workers, workerMem{batch, ar})
+		sink, done := mk(worker)
 		flush := func() error {
 			if batch.Size() == 0 {
 				return nil
@@ -293,15 +371,24 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 				return err
 			}
 			if batch.Len() > 0 {
-				mu.Lock()
-				err := emit(batch)
-				mu.Unlock()
-				if err != nil {
+				if err := sink(batch); err != nil {
 					return err
 				}
 			}
 			batch.Reset()
 			return nil
+		}
+		// The storage-level flush runs serially in worker order on the
+		// driving goroutine after a successful join — exactly where the
+		// sinkFactory contract wants the per-worker finalizer.
+		final := flush
+		if done != nil {
+			final = func() error {
+				if err := flush(); err != nil {
+					return err
+				}
+				return done()
+			}
 		}
 		fn := func(rids []storage.RID, recs [][]byte) error {
 			ctx.PagesScanned.Add(1)
@@ -323,7 +410,7 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 			}
 			return nil
 		}
-		return fn, flush
+		return fn, final
 	})
 	for _, w := range workers {
 		w.batch.Release()
@@ -800,17 +887,19 @@ type nlJoinNode struct {
 func (j *nlJoinNode) Columns() []ColRef { return j.cols }
 
 func (j *nlJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
-	var innerRows []val.Row
+	innerWidth := len(j.inner.Columns())
+	store := ctx.getRowStore(innerWidth)
+	defer store.Release()
 	var mu sync.Mutex
 	if err := j.inner.Run(ctx, func(b *val.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
-		b.Each(func(i int) { innerRows = append(innerRows, gatherRow(b, i)) })
+		b.Each(func(i int) { b.RowAt(i, store.NewRow()) })
 		return nil
 	}); err != nil {
 		return err
 	}
-	innerWidth := len(j.inner.Columns())
+	innerRows := store.Rows()
 	outerWidth := len(j.cols) - innerWidth
 	var emitMu sync.Mutex
 	rows := int64(0)
@@ -909,6 +998,9 @@ type filterNode struct {
 
 func (f *filterNode) Columns() []ColRef { return f.child.Columns() }
 
+// Run is the serial path: one arena shared across calls, safe because the
+// child serializes its emit stream per the batchFn contract. Plans whose
+// consumer pulls per-worker sinks go through RunParallel instead.
 func (f *filterNode) Run(ctx *ExecCtx, emit batchFn) error {
 	ar := ctx.getArena()
 	defer ar.Release()
@@ -921,6 +1013,31 @@ func (f *filterNode) Run(ctx *ExecCtx, emit batchFn) error {
 		}
 		return emit(b)
 	})
+}
+
+// RunParallel evaluates the predicate in each worker with a private arena
+// and passes the per-worker sinks straight through — a filter holds no
+// cross-batch state, so it never needs the serialization point.
+func (f *filterNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
+	arenas := make([]*val.Arena, 0, 8)
+	err := runParallel(ctx, f.child, func(worker int) (batchFn, func() error) {
+		ar := ctx.getArena()
+		arenas = append(arenas, ar)
+		sink, done := mk(worker)
+		return func(b *val.Batch) error {
+			if err := f.cond.filter(ctx, b, ar); err != nil {
+				return err
+			}
+			if b.Len() == 0 {
+				return nil
+			}
+			return sink(b)
+		}, done
+	})
+	for _, ar := range arenas {
+		ar.Release()
+	}
+	return err
 }
 
 func (f *filterNode) explainTo(sb *strings.Builder, depth int) {
@@ -936,11 +1053,16 @@ type aggSpec struct {
 	arg  *compiledVec
 }
 
-// aggNode computes GROUP BY aggregation in one pass over its input. Output
-// columns are the group-by expressions followed by the aggregates. Group
-// keys and aggregate arguments are evaluated vectorized per batch; only the
-// hash-table probe remains per-row. A global aggregate (no GROUP BY) skips
-// the hash table entirely and COUNT(*) folds a whole batch at a time.
+// aggNode computes GROUP BY aggregation in one pass over its input as a
+// two-phase partial+merge: each scan worker accumulates into a private
+// aggPartial (no lock anywhere on the per-row path), and after the workers
+// join, a serial merge combines the partials — COUNT/SUM add, MIN/MAX
+// compare, AVG merges sum+count — preserving first-seen group order.
+// Output columns are the group-by expressions followed by the aggregates.
+// Group keys and aggregate arguments are evaluated vectorized per batch;
+// only the hash-table probe remains per-row. A global aggregate (no GROUP
+// BY) skips the hash table entirely and COUNT(*) folds a whole batch at a
+// time.
 type aggNode struct {
 	child     Node
 	cols      []ColRef
@@ -961,8 +1083,10 @@ type aggState struct {
 
 // aggAlloc carves aggregation states out of chunked slabs, so a grouped
 // aggregate with thousands of groups (Q13's sky grid) pays a handful of
-// allocations per 256 groups instead of six per group. States live until
-// the aggregation emits, so the slabs are plain allocations, not pooled.
+// allocations per 256 groups instead of six per group. The first slab is
+// retained across pooled reuse (see reset/recycle): a repeated query shape
+// with up to aggChunk groups per worker carves all its states without
+// allocating. Overflow slabs stay plain allocations dropped to the GC.
 type aggAlloc struct {
 	nAgg, nKey int
 	states     []aggState
@@ -972,9 +1096,58 @@ type aggAlloc struct {
 	maxs       []val.Value
 	seen       []bool
 	keys       []val.Value
+	slab0      *aggSlab
+}
+
+// aggSlab is one chunk's full backing, kept addressable so recycle can
+// zero it and reset can re-point the carve lists at it.
+type aggSlab struct {
+	states []aggState
+	counts []int64
+	sums   []float64
+	mins   []val.Value
+	maxs   []val.Value
+	seen   []bool
+	keys   []val.Value
 }
 
 const aggChunk = 256
+
+// reset prepares the alloc for a new aggregation of the given shape,
+// re-pointing the carve lists at the retained (already zeroed) first slab
+// when the shape matches; a shape change drops it and the next get
+// reallocates.
+func (s *aggAlloc) reset(nAgg, nKey int) {
+	chunk := aggChunk
+	if nKey == 0 {
+		chunk = 1
+	}
+	if s.slab0 != nil && (s.nAgg != nAgg || s.nKey != nKey || len(s.slab0.states) != chunk) {
+		s.slab0 = nil
+	}
+	s.nAgg, s.nKey = nAgg, nKey
+	if sl := s.slab0; sl != nil {
+		s.states, s.counts, s.sums = sl.states, sl.counts, sl.sums
+		s.mins, s.maxs, s.seen, s.keys = sl.mins, sl.maxs, sl.seen, sl.keys
+	}
+}
+
+// recycle zeroes the retained first slab — min/max and key Values there
+// may pin producer blob backing — and drops the carve lists, so overflow
+// slabs are released to the GC.
+func (s *aggAlloc) recycle() {
+	if sl := s.slab0; sl != nil {
+		clear(sl.states)
+		clear(sl.counts)
+		clear(sl.sums)
+		clear(sl.mins)
+		clear(sl.maxs)
+		clear(sl.seen)
+		clear(sl.keys)
+	}
+	s.states, s.counts, s.sums = nil, nil, nil
+	s.mins, s.maxs, s.seen, s.keys = nil, nil, nil, nil
+}
 
 // get carves one state, copying the group key into slab-backed storage.
 // Key Values are copied shallowly: their string/blob backing is immutable
@@ -986,13 +1159,20 @@ func (s *aggAlloc) get(key val.Row) *aggState {
 			// A global aggregate has exactly one state.
 			chunk = 1
 		}
-		s.states = make([]aggState, chunk)
-		s.counts = make([]int64, chunk*s.nAgg)
-		s.sums = make([]float64, chunk*s.nAgg)
-		s.mins = make([]val.Value, chunk*s.nAgg)
-		s.maxs = make([]val.Value, chunk*s.nAgg)
-		s.seen = make([]bool, chunk*s.nAgg)
-		s.keys = make([]val.Value, chunk*s.nKey)
+		sl := &aggSlab{
+			states: make([]aggState, chunk),
+			counts: make([]int64, chunk*s.nAgg),
+			sums:   make([]float64, chunk*s.nAgg),
+			mins:   make([]val.Value, chunk*s.nAgg),
+			maxs:   make([]val.Value, chunk*s.nAgg),
+			seen:   make([]bool, chunk*s.nAgg),
+			keys:   make([]val.Value, chunk*s.nKey),
+		}
+		if s.slab0 == nil {
+			s.slab0 = sl
+		}
+		s.states, s.counts, s.sums = sl.states, sl.counts, sl.sums
+		s.mins, s.maxs, s.seen, s.keys = sl.mins, sl.maxs, sl.seen, sl.keys
 	}
 	st := &s.states[0]
 	s.states = s.states[1:]
@@ -1031,105 +1211,325 @@ func (st *aggState) add(ai int, v val.Value) {
 	}
 }
 
-func (a *aggNode) Columns() []ColRef { return a.cols }
-
-func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
-	var mu sync.Mutex
-	nGroup, nAgg := len(a.groupBy), len(a.aggs)
-	keyBufs := make([][]val.Value, nGroup)
-	argBufs := make([][]val.Value, nAgg)
-	keyScratch := make(val.Row, nGroup)
-	alloc := &aggAlloc{nAgg: nAgg, nKey: nGroup}
-	// A global aggregate (no GROUP BY) has exactly one state and needs
-	// neither the hash table nor the key encoding.
-	var groups map[string]*aggState
-	var order []string
-	var global *aggState
-	if nGroup == 0 {
-		global = alloc.get(nil)
-	} else {
-		groups = make(map[string]*aggState)
+// merge folds another worker's state for the same group into st: counts
+// and sums add (which also merges AVG, rendered as sum/count at output),
+// min/max compare. Commutative, so worker merge order only affects
+// float rounding the same way arrival order already does.
+func (st *aggState) merge(o *aggState) {
+	for ai := range st.counts {
+		st.counts[ai] += o.counts[ai]
+		st.sums[ai] += o.sums[ai]
+		if !o.seen[ai] {
+			continue
+		}
+		if !st.seen[ai] {
+			st.mins[ai], st.maxs[ai] = o.mins[ai], o.maxs[ai]
+			st.seen[ai] = true
+			continue
+		}
+		if o.mins[ai].Compare(st.mins[ai]) < 0 {
+			st.mins[ai] = o.mins[ai]
+		}
+		if o.maxs[ai].Compare(st.maxs[ai]) > 0 {
+			st.maxs[ai] = o.maxs[ai]
+		}
 	}
-	var keyEnc []byte
-	ar := ctx.getArena()
-	defer ar.Release()
-	err := a.child.Run(ctx, func(b *val.Batch) error {
-		mu.Lock()
-		defer mu.Unlock()
-		cnt := b.Len()
-		if cnt == 0 {
+}
+
+// groupTable maps encoded group keys to aggregation states with an
+// open-addressed, power-of-two table whose key bytes live in one retained
+// slab. Unlike a map[string]*aggState it allocates nothing per group in
+// the steady state — the string copy a Go map insertion forces was a
+// per-group-per-query allocation that per-worker partials would have
+// multiplied by the scan dop.
+type groupTable struct {
+	slots []groupSlot
+	keys  []byte // slab of concatenated key encodings
+	n     int
+}
+
+// groupSlot is one table entry; st == nil marks it empty.
+type groupSlot struct {
+	hash     uint64
+	off, end int32 // key bytes in the slab
+	st       *aggState
+}
+
+const minGroupSlots = 64
+
+// hashKey is FNV-1a over the encoded key.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// lookup returns the state stored under the encoded key, or nil.
+func (t *groupTable) lookup(h uint64, key []byte) *aggState {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.st == nil {
 			return nil
 		}
-		for gi, g := range a.groupBy {
-			buf, err := g.appendTo(ctx, b, ar, keyBufs[gi][:0])
-			if err != nil {
-				return err
-			}
-			keyBufs[gi] = buf
+		if s.hash == h && string(t.keys[s.off:s.end]) == string(key) {
+			return s.st
 		}
+	}
+}
+
+// insert stores a state under an encoded key that must not be present.
+func (t *groupTable) insert(h uint64, key []byte, st *aggState) {
+	if t.n+1 > len(t.slots)*3/4 {
+		t.grow()
+	}
+	off := int32(len(t.keys))
+	t.keys = append(t.keys, key...)
+	t.place(groupSlot{hash: h, off: off, end: int32(len(t.keys)), st: st})
+	t.n++
+}
+
+func (t *groupTable) place(s groupSlot) {
+	mask := uint64(len(t.slots) - 1)
+	i := s.hash & mask
+	for t.slots[i].st != nil {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = s
+}
+
+func (t *groupTable) grow() {
+	old := t.slots
+	size := 2 * len(old)
+	if size < minGroupSlots {
+		size = minGroupSlots
+	}
+	t.slots = make([]groupSlot, size)
+	for i := range old {
+		if old[i].st != nil {
+			t.place(old[i])
+		}
+	}
+}
+
+// reset empties the table keeping its backing (slots stay at their grown
+// size, the key slab keeps its capacity) and drops the state pointers so
+// pooled reuse does not pin the previous query's slabs.
+func (t *groupTable) reset() {
+	clear(t.slots)
+	t.keys = t.keys[:0]
+	t.n = 0
+}
+
+// aggPartial is one worker's private aggregation state: hash table, state
+// slabs, evaluated key/argument vectors, and kernel arena. Nothing in it
+// is shared, so the per-row accumulation path takes no lock. Partials
+// recycle through a sync.Pool with their table and first slab attached —
+// the zero-allocation steady state the serialized aggregate already had.
+type aggPartial struct {
+	alloc      aggAlloc
+	tab        groupTable
+	order      []*aggState // first-seen order within this worker
+	global     *aggState   // the one state of a global (no GROUP BY) aggregate
+	keyBufs    [][]val.Value
+	argBufs    [][]val.Value
+	keyScratch val.Row
+	keyEnc     []byte
+	ar         *val.Arena
+	pooled     bool
+}
+
+var aggPartialPool = sync.Pool{New: func() any { return &aggPartial{pooled: true} }}
+
+// getAggPartial acquires a worker partial shaped for the aggregation:
+// pooled unless DisablePooling.
+func getAggPartial(ctx *ExecCtx, nAgg, nKey int) *aggPartial {
+	var p *aggPartial
+	if ctx.DisablePooling {
+		p = &aggPartial{}
+	} else {
+		p = aggPartialPool.Get().(*aggPartial)
+	}
+	p.alloc.reset(nAgg, nKey)
+	if cap(p.keyBufs) < nKey {
+		p.keyBufs = make([][]val.Value, nKey)
+	} else {
+		p.keyBufs = p.keyBufs[:nKey]
+	}
+	if cap(p.argBufs) < nAgg {
+		p.argBufs = make([][]val.Value, nAgg)
+	} else {
+		p.argBufs = p.argBufs[:nAgg]
+	}
+	if cap(p.keyScratch) < nKey {
+		p.keyScratch = make(val.Row, nKey)
+	} else {
+		p.keyScratch = p.keyScratch[:nKey]
+	}
+	p.global = nil
+	if nKey == 0 {
+		p.global = p.alloc.get(nil)
+	}
+	p.ar = ctx.getArena()
+	return p
+}
+
+// release zeroes everything that could pin producer memory — slab Values,
+// evaluated vectors, table state pointers — and pools the partial.
+func (p *aggPartial) release() {
+	if p.ar != nil {
+		p.ar.Release()
+		p.ar = nil
+	}
+	p.global = nil
+	if !p.pooled {
+		return
+	}
+	p.alloc.recycle()
+	p.tab.reset()
+	for i := range p.keyBufs {
+		clear(p.keyBufs[i][:cap(p.keyBufs[i])])
+	}
+	for i := range p.argBufs {
+		clear(p.argBufs[i][:cap(p.argBufs[i])])
+	}
+	clear(p.keyScratch[:cap(p.keyScratch)])
+	o := p.order[:cap(p.order)]
+	clear(o)
+	p.order = o[:0]
+	aggPartialPool.Put(p)
+}
+
+// absorb folds one batch into the partial — the per-row path of the
+// parallel aggregate, run lock-free on the worker that produced the batch.
+func (p *aggPartial) absorb(ctx *ExecCtx, a *aggNode, b *val.Batch) error {
+	cnt := b.Len()
+	if cnt == 0 {
+		return nil
+	}
+	for gi, g := range a.groupBy {
+		buf, err := g.appendTo(ctx, b, p.ar, p.keyBufs[gi][:0])
+		if err != nil {
+			return err
+		}
+		p.keyBufs[gi] = buf
+	}
+	for ai := range a.aggs {
+		if a.aggs[ai].arg == nil {
+			continue
+		}
+		buf, err := a.aggs[ai].arg.appendTo(ctx, b, p.ar, p.argBufs[ai][:0])
+		if err != nil {
+			return err
+		}
+		p.argBufs[ai] = buf
+	}
+	if p.global != nil {
+		st := p.global
 		for ai := range a.aggs {
-			if a.aggs[ai].arg == nil {
+			if a.aggs[ai].arg == nil { // COUNT(*)
+				st.counts[ai] += int64(cnt)
 				continue
 			}
-			buf, err := a.aggs[ai].arg.appendTo(ctx, b, ar, argBufs[ai][:0])
-			if err != nil {
-				return err
-			}
-			argBufs[ai] = buf
-		}
-		if nGroup == 0 {
-			st := global
-			for ai := range a.aggs {
-				if a.aggs[ai].arg == nil { // COUNT(*)
-					st.counts[ai] += int64(cnt)
-					continue
-				}
-				for _, v := range argBufs[ai][:cnt] {
-					st.add(ai, v)
-				}
-			}
-			return nil
-		}
-		for k := 0; k < cnt; k++ {
-			for gi := range keyBufs {
-				keyScratch[gi] = keyBufs[gi][k]
-			}
-			keyEnc = val.AppendRow(keyEnc[:0], keyScratch)
-			// Index with the conversion inline so the lookup borrows
-			// keyEnc instead of allocating a string per input row; the
-			// string key is only materialized on first sight of a group.
-			st, ok := groups[string(keyEnc)]
-			if !ok {
-				st = alloc.get(keyScratch)
-				kb := string(keyEnc)
-				groups[kb] = st
-				order = append(order, kb)
-			}
-			for ai := range a.aggs {
-				if a.aggs[ai].arg == nil {
-					st.counts[ai]++
-					continue
-				}
-				st.add(ai, argBufs[ai][k])
+			for _, v := range p.argBufs[ai][:cnt] {
+				st.add(ai, v)
 			}
 		}
 		return nil
+	}
+	for k := 0; k < cnt; k++ {
+		for gi := range p.keyBufs {
+			p.keyScratch[gi] = p.keyBufs[gi][k]
+		}
+		p.keyEnc = val.AppendRow(p.keyEnc[:0], p.keyScratch)
+		h := hashKey(p.keyEnc)
+		st := p.tab.lookup(h, p.keyEnc)
+		if st == nil {
+			st = p.alloc.get(p.keyScratch)
+			p.tab.insert(h, p.keyEnc, st)
+			p.order = append(p.order, st)
+		}
+		for ai := range a.aggs {
+			if a.aggs[ai].arg == nil {
+				st.counts[ai]++
+				continue
+			}
+			st.add(ai, p.argBufs[ai][k])
+		}
+	}
+	return nil
+}
+
+// merge folds another worker's partial into p, appending groups p has not
+// seen in that worker's first-seen order. Values copied out of o remain
+// valid after o's slabs are recycled — Value structs carry their own
+// backing pointers, and that backing is never reused.
+func (p *aggPartial) merge(o *aggPartial) {
+	if p.global != nil {
+		p.global.merge(o.global)
+		return
+	}
+	for _, ost := range o.order {
+		p.keyEnc = val.AppendRow(p.keyEnc[:0], ost.key)
+		h := hashKey(p.keyEnc)
+		st := p.tab.lookup(h, p.keyEnc)
+		if st == nil {
+			st = p.alloc.get(ost.key)
+			p.tab.insert(h, p.keyEnc, st)
+			p.order = append(p.order, st)
+		}
+		st.merge(ost)
+	}
+}
+
+func (a *aggNode) Columns() []ColRef { return a.cols }
+
+func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
+	nGroup, nAgg := len(a.groupBy), len(a.aggs)
+	// Partial phase: one private partial per scan worker, acquired in the
+	// sequential sinkFactory call, filled lock-free on that worker.
+	parts := make([]*aggPartial, 0, 8)
+	defer func() {
+		for _, p := range parts {
+			p.release()
+		}
+	}()
+	err := runParallel(ctx, a.child, func(worker int) (batchFn, func() error) {
+		p := getAggPartial(ctx, nAgg, nGroup)
+		parts = append(parts, p)
+		return func(b *val.Batch) error { return p.absorb(ctx, a, b) }, nil
 	})
 	if err != nil {
 		return err
 	}
+	// Merge phase, serial in worker order: workers have all joined, so the
+	// partials are quiescent. A zero-page scan never calls the factory; a
+	// global aggregate must still emit its one (zero-count) row.
+	if len(parts) == 0 {
+		parts = append(parts, getAggPartial(ctx, nAgg, nGroup))
+	}
+	root := parts[0]
+	for _, p := range parts[1:] {
+		root.merge(p)
+	}
 	// Output states in first-seen order; a global aggregate (even over
 	// zero rows) yields exactly its one state.
-	nOut := len(order)
+	nOut := len(root.order)
 	if nGroup == 0 {
 		nOut = 1
 	}
 	out := ctx.getBatch(len(a.cols), nOut, nil)
 	defer out.Release()
 	for oi := 0; oi < nOut; oi++ {
-		st := global
+		st := root.global
 		if nGroup > 0 {
-			st = groups[order[oi]]
+			st = root.order[oi]
 		}
 		idx := out.Grow()
 		for gi := range st.key {
@@ -1176,7 +1576,7 @@ func (a *aggNode) Run(ctx *ExecCtx, emit batchFn) error {
 
 func (a *aggNode) explainTo(sb *strings.Builder, depth int) {
 	indent(sb, depth)
-	fmt.Fprintf(sb, "Aggregate(groupBy=[%s], aggs=[%s])\n",
+	fmt.Fprintf(sb, "PartialAgg→MergeAgg(groupBy=[%s], aggs=[%s])\n",
 		strings.Join(a.keyLabels, ", "), strings.Join(a.aggLabels, ", "))
 	a.child.explainTo(sb, depth+1)
 }
@@ -1198,6 +1598,10 @@ type projectNode struct {
 
 func (p *projectNode) Columns() []ColRef { return p.cols }
 
+// Run is the serial path: one output batch and arena shared across calls,
+// safe because the child serializes its emit stream per the batchFn
+// contract. Plans whose consumer pulls per-worker sinks go through
+// RunParallel instead.
 func (p *projectNode) Run(ctx *ExecCtx, emit batchFn) error {
 	width := len(p.exprs) + len(p.hidden)
 	out := ctx.getBatch(width, val.BatchSize, nil)
@@ -1226,6 +1630,51 @@ func (p *projectNode) Run(ctx *ExecCtx, emit batchFn) error {
 		out.SetSize(b.Len())
 		return emit(out)
 	})
+}
+
+// RunParallel computes the projection in each worker with a private output
+// batch and arena; the expression kernels are compile-time immutable, so
+// sharing them across workers is safe.
+func (p *projectNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
+	width := len(p.exprs) + len(p.hidden)
+	type workerMem struct {
+		out *val.Batch
+		ar  *val.Arena
+	}
+	workers := make([]workerMem, 0, 8)
+	err := runParallel(ctx, p.child, func(worker int) (batchFn, func() error) {
+		out := ctx.getBatch(width, val.BatchSize, nil)
+		ar := ctx.getArena()
+		workers = append(workers, workerMem{out, ar})
+		sink, done := mk(worker)
+		return func(b *val.Batch) error {
+			if b.Len() == 0 {
+				return nil
+			}
+			out.Reset()
+			for j, e := range p.exprs {
+				col, err := e.appendTo(ctx, b, ar, out.ColBuf(j))
+				if err != nil {
+					return err
+				}
+				out.SetColumn(j, col)
+			}
+			for j, e := range p.hidden {
+				col, err := e.appendTo(ctx, b, ar, out.ColBuf(len(p.exprs)+j))
+				if err != nil {
+					return err
+				}
+				out.SetColumn(len(p.exprs)+j, col)
+			}
+			out.SetSize(b.Len())
+			return sink(out)
+		}, done
+	})
+	for _, w := range workers {
+		w.out.Release()
+		w.ar.Release()
+	}
+	return err
 }
 
 func (p *projectNode) explainTo(sb *strings.Builder, depth int) {
@@ -1277,9 +1726,13 @@ func (d *distinctNode) explainTo(sb *strings.Builder, depth int) {
 
 // ---- sort ----
 
-// sortNode materializes, sorts by the key positions, strips hidden columns,
-// and emits in order — the "sorted and inserted into the results table" tail
-// of Figure 10.
+// sortNode is the "sorted and inserted into the results table" tail of
+// Figure 10, parallelized as a run sort: each scan worker materializes its
+// rows into a private pooled RowStore run, the runs are sorted
+// concurrently, and a k-way loser-tree merge streams them into pooled
+// output batches in global order (stripping hidden columns). The
+// comparator is the total order of rowLess, so the result is identical
+// whatever order the workers delivered rows in.
 type sortNode struct {
 	child    Node
 	keyPos   []int
@@ -1291,39 +1744,64 @@ type sortNode struct {
 func (s *sortNode) Columns() []ColRef { return s.child.Columns() }
 
 func (s *sortNode) Run(ctx *ExecCtx, emit batchFn) error {
-	var rows []val.Row
-	var mu sync.Mutex
-	if err := s.child.Run(ctx, func(b *val.Batch) error {
-		mu.Lock()
-		defer mu.Unlock()
-		b.Each(func(i int) { rows = append(rows, gatherRow(b, i)) })
-		return nil
-	}); err != nil {
+	// Input width is the visible columns plus the hidden ORDER BY keys
+	// (child.Columns() reports only the visible schema; every hidden
+	// column has a keyPos entry).
+	width := s.visible
+	for _, p := range s.keyPos {
+		if p+1 > width {
+			width = p + 1
+		}
+	}
+	stores := make([]*val.RowStore, 0, 8)
+	defer func() {
+		for _, st := range stores {
+			st.Release()
+		}
+	}()
+	err := runParallel(ctx, s.child, func(worker int) (batchFn, func() error) {
+		store := ctx.getRowStore(width)
+		stores = append(stores, store)
+		return func(b *val.Batch) error {
+			b.Each(func(i int) { b.RowAt(i, store.NewRow()) })
+			return nil
+		}, nil
+	})
+	if err != nil {
 		return err
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k, p := range s.keyPos {
-			c := rows[i][p].Compare(rows[j][p])
-			if c == 0 {
-				continue
-			}
-			if s.desc[k] {
-				return c > 0
-			}
-			return c < 0
+	runs := make([][]val.Row, 0, len(stores))
+	total := 0
+	for _, st := range stores {
+		if rows := st.Rows(); len(rows) > 0 {
+			runs = append(runs, rows)
+			total += len(rows)
 		}
-		return false
-	})
-	out := ctx.getBatch(s.visible, len(rows), nil)
+	}
+	if err := sortRuns(ctx, runs, s.keyPos, s.desc); err != nil {
+		return err
+	}
+	capacity := total
+	if capacity > val.BatchSize {
+		capacity = val.BatchSize
+	}
+	out := ctx.getBatch(s.visible, capacity, nil)
 	defer out.Release()
-	for _, r := range rows {
+	err = mergeRuns(runs, s.keyPos, s.desc, func(r val.Row) error {
 		out.AppendRow(r[:s.visible])
 		if out.Full() {
+			if err := ctx.checkDeadline(); err != nil {
+				return err
+			}
 			if err := emit(out); err != nil {
 				return err
 			}
 			out.Reset()
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if out.Size() > 0 {
 		return emit(out)
@@ -1333,8 +1811,152 @@ func (s *sortNode) Run(ctx *ExecCtx, emit batchFn) error {
 
 func (s *sortNode) explainTo(sb *strings.Builder, depth int) {
 	indent(sb, depth)
-	fmt.Fprintf(sb, "Sort(%s)\n", s.keyLabel)
+	// k resolves at runtime (the scan dop); the plan is immutable and
+	// shared across sessions, so EXPLAIN names the shape, not the count.
+	fmt.Fprintf(sb, "Sort(%s, runs=k)\n", s.keyLabel)
 	s.child.explainTo(sb, depth+1)
+}
+
+// sortRuns orders every run with the total-order comparator, concurrently
+// when there is more than one. A comparator panic in a spare goroutine
+// would kill the process, so it is caught and surfaced as the query's
+// error instead.
+func sortRuns(ctx *ExecCtx, runs [][]val.Row, keyPos []int, desc []bool) error {
+	if err := ctx.checkDeadline(); err != nil {
+		return err
+	}
+	if len(runs) <= 1 {
+		if len(runs) == 1 {
+			rows := runs[0]
+			sort.Slice(rows, func(i, j int) bool { return rowLess(rows[i], rows[j], keyPos, desc) })
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicErr error
+	for _, rows := range runs {
+		wg.Add(1)
+		go func(rows []val.Row) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("sql: parallel sort panicked: %v", r)
+					}
+					mu.Unlock()
+				}
+			}()
+			sort.Slice(rows, func(i, j int) bool { return rowLess(rows[i], rows[j], keyPos, desc) })
+		}(rows)
+	}
+	wg.Wait()
+	return panicErr
+}
+
+// mergeRuns streams the sorted runs in global order. With several runs it
+// plays a loser tree: each internal node remembers the loser of its
+// subtree's last match and ls[0] holds the winner, so advancing costs one
+// leaf-to-root replay — ⌈log₂ k⌉ comparisons — instead of scanning all k
+// heads.
+func mergeRuns(runs [][]val.Row, keyPos []int, desc []bool, emitRow func(val.Row) error) error {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		for _, r := range runs[0] {
+			if err := emitRow(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t := newLoserTree(runs, keyPos, desc)
+	for {
+		w := t.ls[0]
+		r := t.head(w)
+		if r == nil {
+			return nil
+		}
+		if err := emitRow(r); err != nil {
+			return err
+		}
+		t.pos[w]++
+		t.replay(w)
+	}
+}
+
+// loserTree is the k-way merge tournament over sorted runs. ls[1:] are the
+// internal nodes (loser of each match), ls[0] the current winner; leaf i's
+// parent is (i+k)/2.
+type loserTree struct {
+	ls     []int
+	pos    []int
+	runs   [][]val.Row
+	keyPos []int
+	desc   []bool
+}
+
+func newLoserTree(runs [][]val.Row, keyPos []int, desc []bool) *loserTree {
+	k := len(runs)
+	t := &loserTree{
+		ls: make([]int, k), pos: make([]int, k),
+		runs: runs, keyPos: keyPos, desc: desc,
+	}
+	for i := range t.ls {
+		t.ls[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		t.replay(i)
+	}
+	return t
+}
+
+// head returns run i's current front row, nil when exhausted.
+func (t *loserTree) head(i int) val.Row {
+	if t.pos[i] < len(t.runs[i]) {
+		return t.runs[i][t.pos[i]]
+	}
+	return nil
+}
+
+// beats reports whether run i's head precedes run j's: an exhausted run
+// always loses, full-row ties break by run index (such rows are
+// byte-identical, so the choice cannot show in the output).
+func (t *loserTree) beats(i, j int) bool {
+	hi, hj := t.head(i), t.head(j)
+	switch {
+	case hj == nil:
+		return true
+	case hi == nil:
+		return false
+	}
+	if rowLess(hi, hj, t.keyPos, t.desc) {
+		return true
+	}
+	if rowLess(hj, hi, t.keyPos, t.desc) {
+		return false
+	}
+	return i < j
+}
+
+// replay plays run i's head up its leaf-to-root path: at each node the
+// loser stays, the winner moves up. During construction a -1 node absorbs
+// the incoming contender — that match is played when the sibling path
+// arrives.
+func (t *loserTree) replay(i int) {
+	w := i
+	for j := (i + len(t.runs)) / 2; j >= 1; j /= 2 {
+		if t.ls[j] == -1 {
+			t.ls[j] = w
+			return
+		}
+		if t.beats(t.ls[j], w) {
+			t.ls[j], w = w, t.ls[j]
+		}
+	}
+	t.ls[0] = w
 }
 
 // ---- top ----
@@ -1376,6 +1998,140 @@ func (t *topNode) explainTo(sb *strings.Builder, depth int) {
 	t.child.explainTo(sb, depth+1)
 }
 
+// ---- fused top-k (TOP n over ORDER BY) ----
+
+// topKNode is the planner's fusion of TOP n over ORDER BY: each worker
+// keeps a bounded heap of the n best rows it has seen, so peak
+// materialized state is O(n × workers) rows — never the full input the
+// sort+top stack would have built. The final serial phase sorts the ≤ n·k
+// survivors and emits the first n.
+type topKNode struct {
+	child    Node
+	keyPos   []int
+	desc     []bool
+	visible  int
+	n        int
+	keyLabel string
+}
+
+func (t *topKNode) Columns() []ColRef { return t.child.Columns() }
+
+// topKHeap is one worker's bounded candidate set: a max-heap under the
+// rowLess total order (rows[0] is the worst retained row, evicted when a
+// better one arrives). Heap rows and the one eviction scratch row are
+// carved from the worker's pooled RowStore; the heap slice itself aliases
+// the store's row list, so steady state adds no allocations.
+type topKHeap struct {
+	store *val.RowStore
+	rows  []val.Row
+	spare val.Row // eviction scratch, carved once the heap is full
+}
+
+func (h *topKHeap) offer(t *topKNode, b *val.Batch, i int) {
+	if h.spare == nil {
+		r := h.store.NewRow()
+		b.RowAt(i, r)
+		h.rows = h.store.Rows()
+		h.up(t, len(h.rows)-1)
+		if len(h.rows) == t.n {
+			h.spare = h.store.NewRow()
+			h.rows = h.store.Rows()[:t.n]
+		}
+		return
+	}
+	b.RowAt(i, h.spare)
+	if !rowLess(h.spare, h.rows[0], t.keyPos, t.desc) {
+		return
+	}
+	h.rows[0], h.spare = h.spare, h.rows[0]
+	h.down(t, 0)
+}
+
+func (h *topKHeap) up(t *topKNode, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !rowLess(h.rows[p], h.rows[i], t.keyPos, t.desc) {
+			return
+		}
+		h.rows[p], h.rows[i] = h.rows[i], h.rows[p]
+		i = p
+	}
+}
+
+func (h *topKHeap) down(t *topKNode, i int) {
+	n := len(h.rows)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && rowLess(h.rows[c], h.rows[c+1], t.keyPos, t.desc) {
+			c++
+		}
+		if !rowLess(h.rows[i], h.rows[c], t.keyPos, t.desc) {
+			return
+		}
+		h.rows[i], h.rows[c] = h.rows[c], h.rows[i]
+		i = c
+	}
+}
+
+func (t *topKNode) Run(ctx *ExecCtx, emit batchFn) error {
+	// Visible columns plus hidden ORDER BY keys (see sortNode.Run).
+	width := t.visible
+	for _, p := range t.keyPos {
+		if p+1 > width {
+			width = p + 1
+		}
+	}
+	heaps := make([]*topKHeap, 0, 8)
+	defer func() {
+		for _, h := range heaps {
+			h.store.Release()
+		}
+	}()
+	err := runParallel(ctx, t.child, func(worker int) (batchFn, func() error) {
+		h := &topKHeap{store: ctx.getRowStore(width)}
+		heaps = append(heaps, h)
+		return func(b *val.Batch) error {
+			b.Each(func(i int) { h.offer(t, b, i) })
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	var all []val.Row
+	for _, h := range heaps {
+		all = append(all, h.rows...)
+	}
+	sort.Slice(all, func(i, j int) bool { return rowLess(all[i], all[j], t.keyPos, t.desc) })
+	if len(all) > t.n {
+		all = all[:t.n]
+	}
+	out := ctx.getBatch(t.visible, len(all), nil)
+	defer out.Release()
+	for _, r := range all {
+		out.AppendRow(r[:t.visible])
+		if out.Full() {
+			if err := emit(out); err != nil {
+				return err
+			}
+			out.Reset()
+		}
+	}
+	if out.Size() > 0 {
+		return emit(out)
+	}
+	return nil
+}
+
+func (t *topKNode) explainTo(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "TopK(%d, %s)\n", t.n, t.keyLabel)
+	t.child.explainTo(sb, depth+1)
+}
+
 // stripHidden drops hidden sort columns when no sort consumed them.
 type stripNode struct {
 	child   Node
@@ -1408,7 +2164,13 @@ var (
 	_ Node = (*distinctNode)(nil)
 	_ Node = (*sortNode)(nil)
 	_ Node = (*topNode)(nil)
+	_ Node = (*topKNode)(nil)
 	_ Node = (*stripNode)(nil)
 	_ Node = dualNode{}
-	_      = btree.MaxKeyColumns
+
+	_ parallelNode = (*scanNode)(nil)
+	_ parallelNode = (*filterNode)(nil)
+	_ parallelNode = (*projectNode)(nil)
+
+	_ = btree.MaxKeyColumns
 )

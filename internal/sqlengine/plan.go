@@ -1206,12 +1206,18 @@ func (p *planner) finishPlan(s *SelectStmt, root Node, inputScope *scope) (Node,
 	if s.Distinct {
 		root = &distinctNode{child: root}
 	}
-	if len(keyPos) > 0 {
+	switch {
+	case s.Top > 0 && len(keyPos) > 0:
+		// TOP n over ORDER BY fuses into bounded per-worker top-k heaps:
+		// peak materialized state is n rows per worker, not the full
+		// sorted result.
+		root = &topKNode{child: root, keyPos: keyPos, desc: desc, visible: len(items), n: s.Top, keyLabel: strings.Join(keyLabels, ", ")}
+	case len(keyPos) > 0:
 		root = &sortNode{child: root, keyPos: keyPos, desc: desc, visible: len(items), keyLabel: strings.Join(keyLabels, ", ")}
-	} else if len(hidden) > 0 {
+	case len(hidden) > 0:
 		root = &stripNode{child: root, visible: len(items)}
 	}
-	if s.Top > 0 {
+	if s.Top > 0 && len(keyPos) == 0 {
 		root = &topNode{child: root, n: s.Top}
 	}
 	// Wrap so Columns() reports the visible schema even above sort/top.

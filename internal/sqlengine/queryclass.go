@@ -102,6 +102,8 @@ func planDrivingRows(n Node) (est float64, heapScan bool) {
 		return planDrivingRows(n.child)
 	case *topNode:
 		return planDrivingRows(n.child)
+	case *topKNode:
+		return planDrivingRows(n.child)
 	case *schemaNode:
 		return planDrivingRows(n.child)
 	case dualNode:

@@ -1,0 +1,113 @@
+package val
+
+import "sync"
+
+// RowStore materializes rows into pooled slabs: operators that must hold
+// their whole input (sort runs, top-k heaps, a nested-loop join's inner
+// side) carve fixed-width rows out of chunked []Value slabs instead of
+// heap-allocating one Row per input row — which was the dominant share of
+// a sort-heavy query's allocations. Stores recycle through a sync.Pool
+// with their slabs attached, so the steady state (the same query shape
+// over and over) materializes rows without allocating at all.
+//
+// Ownership follows the batch contract: Values copied into a row keep
+// their string/blob backing forever (producers never recycle those bytes),
+// but the row slots themselves belong to the store — rows are valid only
+// until Release, and consumers forward them by copying Values out (e.g.
+// Batch.AppendRow) before releasing. A store must not be shared across
+// goroutines; parallel workers each own one.
+
+// rowSlabValues is the slab granularity: one slab serves rowSlabValues /
+// width rows before the next is chained on.
+const rowSlabValues = 4096
+
+// maxRetainedSlabs bounds how much slab memory one pooled store keeps
+// across queries; an unusually large materialization releases its excess
+// to the GC instead of pinning it in the pool forever.
+const maxRetainedSlabs = 32
+
+var rowStorePool = sync.Pool{New: func() any { return &RowStore{pooled: true} }}
+
+// RowStore carves fixed-width rows from chunked slabs. The zero value is
+// unusable; obtain stores from GetRowStore or NewNoReuseRowStore.
+type RowStore struct {
+	width   int
+	slabs   [][]Value
+	slab    int // index of the slab being carved
+	off     int // next free Value in that slab
+	rows    []Row
+	noReuse bool
+	pooled  bool
+}
+
+// GetRowStore returns a pooled store carving rows of the given width,
+// with previously grown slabs attached and marked free.
+func GetRowStore(width int) *RowStore {
+	s := rowStorePool.Get().(*RowStore)
+	s.width = width
+	s.slab, s.off = 0, 0
+	s.rows = s.rows[:0]
+	return s
+}
+
+// NewNoReuseRowStore returns a store whose every row is a fresh
+// allocation and whose Release is a no-op — the ExecOptions.DisablePooling
+// debug oracle.
+func NewNoReuseRowStore(width int) *RowStore {
+	return &RowStore{width: width, noReuse: true}
+}
+
+// NewRow carves one zeroed row of the store's width and records it in the
+// Rows list. The row aliases slab storage: write it (Batch.RowAt) before
+// carving depends on it, and never use it after Release.
+func (s *RowStore) NewRow() Row {
+	w := s.width
+	if s.noReuse {
+		r := make(Row, w)
+		s.rows = append(s.rows, r)
+		return r
+	}
+	if s.slab < len(s.slabs) && s.off+w > len(s.slabs[s.slab]) {
+		s.slab++
+		s.off = 0
+	}
+	if s.slab >= len(s.slabs) {
+		size := rowSlabValues
+		if w > size {
+			size = w
+		}
+		s.slabs = append(s.slabs, make([]Value, size))
+	}
+	arr := s.slabs[s.slab]
+	r := Row(arr[s.off : s.off+w : s.off+w])
+	s.off += w
+	s.rows = append(s.rows, r)
+	return r
+}
+
+// Rows returns every row carved since the store was acquired, in carve
+// order. The slice (and the rows) belong to the store: callers may reorder
+// it in place (sorting a run) but must not retain it past Release.
+func (s *RowStore) Rows() []Row { return s.rows }
+
+// Release zeroes the used slab space (so pooled slabs don't pin string or
+// blob backing across queries) and returns the store for reuse. No-op for
+// no-reuse stores.
+func (s *RowStore) Release() {
+	if s == nil || !s.pooled {
+		return
+	}
+	for i := 0; i <= s.slab && i < len(s.slabs); i++ {
+		used := len(s.slabs[i])
+		if i == s.slab {
+			used = s.off
+		}
+		clear(s.slabs[i][:used])
+	}
+	if len(s.slabs) > maxRetainedSlabs {
+		s.slabs = s.slabs[:maxRetainedSlabs:maxRetainedSlabs]
+	}
+	s.rows = s.rows[:0]
+	s.slab, s.off, s.width = 0, 0, 0
+	rowStorePool.Put(s)
+}

@@ -607,32 +607,15 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Cache-Control", "private, no-cache")
 	}
 	// Stream the result set batch-wise straight from the executor when the
-	// format supports it; fits needs the row count in its header and falls
-	// back to the materializing path, capped by the result-cache per-entry
-	// budget (a public-limit result fits easily; an unlimited private
-	// server gets a well-formed error instead of unbounded buffering).
+	// format supports it; fits needs the row count in its header first and
+	// streams in two passes over the plan instead.
 	if newBatchSerializer(nil, format) == nil {
 		if !strings.EqualFold(format, "fits") {
 			clearValidators(w)
 			httpError(w, errUnknownFormat(format))
 			return
 		}
-		res, err := s.exec(r, sess, cmd)
-		if err != nil {
-			clearValidators(w)
-			httpError(w, err)
-			return
-		}
-		body, err := appendFITS(nil, res, s.maxEntry)
-		if err != nil {
-			clearValidators(w)
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if _, err := w.Write(body); err == nil {
-			s.maybeFill(fs, res, body, "text/plain; charset=utf-8")
-		}
+		s.streamFITS(w, r, fs, sess, cmd)
 		return
 	}
 	var fw *fillWriter
@@ -671,12 +654,9 @@ func clearValidators(w http.ResponseWriter) {
 	w.Header().Del("Cache-Control")
 }
 
-// appendFITS renders the FITS ASCII-table flavour of a materialized
-// result (an 80-column header, then fixed-width rows) into dst. When
-// max > 0 rendering fails once the output exceeds max bytes — the
-// format cannot stream (its header needs the row count), so the budget
-// that caps a result-cache entry also caps this buffer.
-func appendFITS(dst []byte, res *sqlengine.Result, max int) ([]byte, error) {
+// appendFITSHeader renders the FITS ASCII-table header (80-column cards)
+// for the given schema and row count into dst.
+func appendFITSHeader(dst []byte, cols []string, rows int64) []byte {
 	line := func(dst []byte, s string) []byte {
 		dst = append(dst, s...)
 		for n := 80 - len(s); n > 0; n-- {
@@ -685,30 +665,122 @@ func appendFITS(dst []byte, res *sqlengine.Result, max int) ([]byte, error) {
 		return append(dst, '\n')
 	}
 	dst = line(dst, "XTENSION= 'TABLE   '")
-	dst = line(dst, fmt.Sprintf("NAXIS2  = %d", len(res.Rows)))
-	dst = line(dst, fmt.Sprintf("TFIELDS = %d", len(res.Cols)))
-	for i, c := range res.Cols {
+	dst = line(dst, fmt.Sprintf("NAXIS2  = %d", rows))
+	dst = line(dst, fmt.Sprintf("TFIELDS = %d", len(cols)))
+	for i, c := range cols {
 		dst = line(dst, fmt.Sprintf("TTYPE%-3d= '%s'", i+1, c))
 	}
-	dst = line(dst, "END")
+	return line(dst, "END")
+}
+
+// appendFITSRow renders one fixed-width data row (20-character
+// right-aligned fields) into dst, returning the value scratch for reuse.
+func appendFITSRow(dst []byte, row val.Row, scratch []byte) ([]byte, []byte) {
+	for i, v := range row {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		scratch = v.AppendString(scratch[:0])
+		for n := 20 - len(scratch); n > 0; n-- {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, scratch...)
+	}
+	return append(dst, '\n'), scratch
+}
+
+// appendFITS renders the FITS ASCII-table flavour of a materialized
+// result into dst — the exported WriteResult path, where the caller
+// already holds the full result.
+func appendFITS(dst []byte, res *sqlengine.Result) []byte {
+	dst = appendFITSHeader(dst, res.Cols, int64(len(res.Rows)))
 	var scratch []byte
 	for _, row := range res.Rows {
-		for i, v := range row {
-			if i > 0 {
-				dst = append(dst, ' ')
+		dst, scratch = appendFITSRow(dst, row, scratch)
+	}
+	return dst
+}
+
+// streamFITS serves a FITS ASCII table in two passes over the plan: the
+// format's header leads with NAXIS2 (the row count), so pass one executes
+// the query only counting rows, then pass two re-executes and streams the
+// fixed-width rows behind the now-known header. Nothing is materialized,
+// which lifts the old maxentry-budget 413 for large FITS results; the
+// result cache still fills through the capped fillWriter tee when the
+// body fits. The survey is read-only between the passes, but a row-count
+// drift would corrupt the header, so it is checked and surfaced as a
+// mid-stream error marker.
+func (s *Server) streamFITS(w http.ResponseWriter, r *http.Request, fs *fillState, sess *sqlengine.Session, cmd string) {
+	var rows int64
+	if _, err := s.execStream(r, sess, cmd, func(cols []string, b *val.Batch) error {
+		rows += int64(b.Len())
+		return nil
+	}); err != nil {
+		clearValidators(w)
+		httpError(w, err)
+		return
+	}
+	var fw *fillWriter
+	out := http.ResponseWriter(w)
+	if fs != nil {
+		fw = &fillWriter{ResponseWriter: w, max: s.maxEntry}
+		out = fw
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var buf, scratch []byte
+	var rowScratch val.Row
+	headerSent := false
+	var streamed int64
+	res, err := s.execStream(r, sess, cmd, func(cols []string, b *val.Batch) error {
+		if !headerSent {
+			headerSent = true
+			if _, err := out.Write(appendFITSHeader(nil, cols, rows)); err != nil {
+				return err
 			}
-			scratch = v.AppendString(scratch[:0])
-			for n := 20 - len(scratch); n > 0; n-- {
-				dst = append(dst, ' ')
-			}
-			dst = append(dst, scratch...)
 		}
-		dst = append(dst, '\n')
-		if max > 0 && len(dst) > max {
-			return nil, fmt.Errorf("web: fits output exceeds the %d-byte materialization budget; narrow the query (TOP, fewer columns) or use a streaming format (csv, json, xml, html)", max)
+		if rowScratch == nil {
+			rowScratch = make(val.Row, b.Width())
+		}
+		buf = buf[:0]
+		if err := b.EachErr(func(i int) error {
+			streamed++
+			if streamed > rows {
+				return fmt.Errorf("web: result changed between fits passes")
+			}
+			buf, scratch = appendFITSRow(buf, b.RowAt(i, rowScratch), scratch)
+			return nil
+		}); err != nil {
+			return err
+		}
+		_, err := out.Write(buf)
+		return err
+	})
+	if err == nil && streamed != rows {
+		err = fmt.Errorf("web: result changed between fits passes")
+	}
+	if err != nil {
+		if !headerSent {
+			clearValidators(w)
+			httpError(w, err)
+			return
+		}
+		// The header is committed with the pass-one count; close with an
+		// error marker so the client can tell a partial body from a
+		// complete one.
+		fmt.Fprintf(w, "# error: result truncated: %s\n", err)
+		return
+	}
+	if !headerSent {
+		// Empty result: the sink never ran, emit the header alone.
+		if _, err := out.Write(appendFITSHeader(nil, res.Cols, 0)); err != nil {
+			return
 		}
 	}
-	return dst, nil
+	if fw != nil {
+		if body, contentType, ok := fw.captured(); ok {
+			s.maybeFill(fs, res, body, contentType)
+		}
+	}
 }
 
 // WriteResult renders a materialized result set in the requested format:
@@ -738,15 +810,10 @@ func WriteResult(w http.ResponseWriter, res *sqlengine.Result, format string) er
 		return errUnknownFormat(format)
 	}
 	// FITS ASCII-table flavour: an 80-column header then fixed rows. The
-	// header needs the row count, so this format cannot stream; the
-	// exported path renders uncapped (callers hold materialized results
-	// already), while the SQL endpoint caps the buffer — see appendFITS.
-	body, err := appendFITS(nil, res, 0)
-	if err != nil {
-		return err
-	}
+	// caller already holds the materialized result, so the row count is
+	// free; the SQL endpoint instead streams in two passes (streamFITS).
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, err = w.Write(body)
+	_, err := w.Write(appendFITS(nil, res))
 	return err
 }
 
