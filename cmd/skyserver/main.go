@@ -57,6 +57,11 @@ func run() error {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
 	chaosLatency := flag.Duration("chaos-latency", 0, "dev mode: delay every physical read by up to this duration")
 	cachePages := flag.Int("cachepages", 0, "page-cache size in 8 KB pages (0 = 64K pages / 512 MB default)")
+	userQueueQuota := flag.Int("user-queue-quota", 0, "max queued batch queries per user before 503s (0 = default)")
+	jobsDir := flag.String("jobs-dir", "", "directory for persisted batch-job results (empty = temp dir, lost on exit)")
+	jobsTTL := flag.Duration("jobs-ttl", 0, "how long finished job results stay fetchable (0 = 1h default)")
+	jobsBytes := flag.Int64("jobs-bytes", 0, "byte budget for persisted job results before oldest-first eviction (0 = 256MB default)")
+	jobsMaxPerUser := flag.Int("jobs-max-per-user", 0, "max unfinished jobs per user (0 = 16 default)")
 	flag.Parse()
 
 	cfg := core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers, CachePages: *cachePages}
@@ -97,6 +102,11 @@ func run() error {
 		BatchQueueDepth:       *queueDepthBatch,
 		ResultCacheBytes:      *resultCacheBytes,
 		ResultCacheMaxEntry:   *resultCacheMaxEntry,
+		UserQueueQuota:        *userQueueQuota,
+		JobsDir:               *jobsDir,
+		JobsTTL:               *jobsTTL,
+		JobsBytes:             *jobsBytes,
+		JobsMaxPerUser:        *jobsMaxPerUser,
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -108,9 +118,10 @@ func run() error {
 	}
 
 	ws := s.Web(opt)
+	defer ws.Close()
 	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
 	log.Printf("serving on %s (public=%v, drain timeout %s)", *addr, *public, *drainTimeout)
-	fmt.Printf("open http://localhost%s/ — try /en/tools/places/ or /x/sql?format=csv&cmd=select+top+5+objID,ra,dec+from+Galaxy\n", *addr)
+	fmt.Printf("open http://localhost%s/ — try /en/tools/places/ or /api/v1/query?format=csv&cmd=select+top+5+objID,ra,dec+from+Galaxy\n", *addr)
 	if err := ws.ServeGraceful(srv, nil, *drainGrace, *drainTimeout); err != nil {
 		return err
 	}

@@ -1,0 +1,609 @@
+// Package jobs implements the CasJobs-style asynchronous batch-query
+// service behind POST /api/v1/jobs: a submitted query becomes a job that
+// outlives its HTTP connection, runs under the scheduler's batch class
+// (admission — including per-user fair share — happens inside the
+// injected ExecFunc, not here), and persists its serialized result set
+// in a byte-budgeted, TTL-evicting on-disk store until fetched or
+// expired. The package is deliberately storage- and engine-agnostic:
+// the web layer injects execution as a callback, so jobs only owns the
+// lifecycle (queued → running → done/failed), the spill directory, and
+// drain semantics.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase. Transitions: queued → running →
+// done|failed, with queued → failed for cancels, quota evictions, and
+// drains. The first terminal transition wins: a drain that fails a
+// queued job is not overwritten when the job's goroutine later observes
+// its canceled context.
+type State string
+
+// The job states.
+const (
+	// StateQueued: submitted, waiting for a batch slot (the job's
+	// goroutine is parked in the scheduler's fair-share queue).
+	StateQueued State = "queued"
+	// StateRunning: admitted and executing; progress counters tick.
+	StateRunning State = "running"
+	// StateDone: finished successfully; the persisted result is fetchable
+	// until its TTL expires or the byte budget evicts it.
+	StateDone State = "done"
+	// StateFailed: terminal failure — execution error, cancel, or drain —
+	// with the reason recorded.
+	StateFailed State = "failed"
+)
+
+// Sentinel errors the HTTP layer maps onto the JSON error envelope.
+var (
+	// ErrNotFound: no such job for this user (expired, evicted, or never
+	// existed — the service does not reveal which, nor other users' ids).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrDraining: the server is shutting down and accepts no new jobs.
+	ErrDraining = errors.New("jobs: server draining, not accepting new jobs")
+	// ErrUserQuota: the user already has MaxPerUser unfinished jobs.
+	ErrUserQuota = errors.New("jobs: too many unfinished jobs for user")
+	// ErrNotDone: the job has no fetchable result (still queued/running,
+	// or failed).
+	ErrNotDone = errors.New("jobs: job result not available")
+)
+
+// Spec is the submitted query an ExecFunc runs, echoed back so the
+// executor needs no lookup.
+type Spec struct {
+	ID     string
+	User   string
+	SQL    string
+	Format string
+}
+
+// RunInfo is what a successful execution reports back for the persisted
+// result's metadata: its Content-Type, its strong ETag (the web layer
+// derives it from the normalized plan key + catalog version digest, the
+// same machinery as the synchronous result cache), and the scan totals.
+type RunInfo struct {
+	ContentType string
+	ETag        string
+	Rows        int64
+	Pages       int64
+}
+
+// ExecFunc executes one job: it must block through admission (this is
+// where the scheduler's per-user fair share applies), call started once
+// a slot is granted (flips the job queued → running), stream the
+// serialized result set into w, and report cumulative progress via
+// progress(pagesScanned, rowsEmitted) as it goes. ctx is the job's own
+// context — canceled by DELETE, drain, or Close, never by the submitting
+// HTTP connection.
+type ExecFunc func(ctx context.Context, spec Spec, w io.Writer, started func(), progress func(pages, rows int64)) (RunInfo, error)
+
+// Defaults for Config zero values.
+const (
+	// DefaultTTL retains a finished result for an hour.
+	DefaultTTL = time.Hour
+	// DefaultMaxBytes budgets 256 MiB of persisted results.
+	DefaultMaxBytes = 256 << 20
+	// DefaultMaxPerUser bounds one user's unfinished (queued + running)
+	// jobs.
+	DefaultMaxPerUser = 16
+)
+
+// Config sizes a Manager. Exec is required; zero values elsewhere select
+// the defaults.
+type Config struct {
+	// Dir is the result spill directory. Empty means a private temp
+	// directory removed on Close; a configured directory persists across
+	// restarts, and finished results found in it are reloaded.
+	Dir string
+	// TTL is how long a finished result stays fetchable.
+	TTL time.Duration
+	// MaxBytes budgets the persisted results' total size; going over
+	// evicts oldest-finished results first (the newest always survives).
+	MaxBytes int64
+	// MaxPerUser bounds a user's unfinished jobs at submit time.
+	MaxPerUser int
+	// Exec runs a job (see ExecFunc).
+	Exec ExecFunc
+}
+
+// job is the manager-internal record (all fields guarded by Manager.mu
+// except id/user/sql/format/created/cancel, which are immutable after
+// Submit).
+type job struct {
+	id      string
+	user    string
+	sql     string
+	format  string
+	created time.Time
+	cancel  context.CancelCauseFunc
+
+	state    State
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	pages    int64
+	rows     int64
+	info     RunInfo
+	bytes    int64
+}
+
+// Manager owns the job table, the spill directory, and the per-job
+// goroutines. All methods are safe for concurrent use.
+type Manager struct {
+	cfg    Config
+	dir    string
+	ownDir bool
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job // submission order: queue position, eviction scan
+	bytes     int64
+	draining  bool
+	closed    bool
+	lastSweep time.Time
+	wg        sync.WaitGroup
+}
+
+// New builds a Manager over cfg.Dir (see Config), reloading any finished
+// results a previous process left there and deleting orphaned or expired
+// files.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Exec == nil {
+		return nil, errors.New("jobs: Config.Exec is required")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.MaxPerUser <= 0 {
+		cfg.MaxPerUser = DefaultMaxPerUser
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "skyjobs-")
+		if err != nil {
+			return nil, fmt.Errorf("jobs: spill dir: %w", err)
+		}
+		m.dir, m.ownDir = dir, true
+		return m, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: spill dir: %w", err)
+	}
+	m.dir = cfg.Dir
+	if err := m.reload(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Dir returns the spill directory results persist in.
+func (m *Manager) Dir() string { return m.dir }
+
+// newID returns a 16-hex-character random job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit registers a new job for user and starts its goroutine. It
+// returns immediately with the queued job's view; ErrDraining and
+// ErrUserQuota reject before anything is recorded.
+func (m *Manager) Submit(user, sql, format string) (JobView, error) {
+	now := time.Now()
+	m.mu.Lock()
+	m.maybeSweepLocked(now)
+	if m.draining || m.closed {
+		m.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	unfinished := 0
+	for _, j := range m.order {
+		if j.user == user && (j.state == StateQueued || j.state == StateRunning) {
+			unfinished++
+		}
+	}
+	if unfinished >= m.cfg.MaxPerUser {
+		m.mu.Unlock()
+		return JobView{}, fmt.Errorf("%w %q (limit %d)", ErrUserQuota, user, m.cfg.MaxPerUser)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &job{
+		id: newID(), user: user, sql: sql, format: format,
+		created: now, cancel: cancel, state: StateQueued,
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.wg.Add(1)
+	v := m.viewLocked(j, now)
+	m.mu.Unlock()
+	go m.run(j, ctx)
+	return v, nil
+}
+
+// run is one job's goroutine: spill-file setup, execution via the
+// injected callback, then the atomic .part → .res publish.
+func (m *Manager) run(j *job, ctx context.Context) {
+	defer m.wg.Done()
+	part := filepath.Join(m.dir, j.id+".part")
+	f, err := os.Create(part)
+	if err != nil {
+		m.finish(j, ctx, RunInfo{}, 0, err)
+		return
+	}
+	info, err := m.cfg.Exec(ctx, Spec{ID: j.id, User: j.user, SQL: j.sql, Format: j.format}, f,
+		func() { m.markRunning(j) },
+		func(pages, rows int64) { m.progress(j, pages, rows) })
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(part)
+		m.finish(j, ctx, info, 0, err)
+		return
+	}
+	fi, err := os.Stat(part)
+	if err != nil {
+		os.Remove(part)
+		m.finish(j, ctx, info, 0, err)
+		return
+	}
+	if err := os.Rename(part, filepath.Join(m.dir, j.id+".res")); err != nil {
+		os.Remove(part)
+		m.finish(j, ctx, info, 0, err)
+		return
+	}
+	m.finish(j, ctx, info, fi.Size(), nil)
+}
+
+// markRunning flips a queued job to running (no-op if a cancel or drain
+// won the race).
+func (m *Manager) markRunning(j *job) {
+	m.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	m.mu.Unlock()
+}
+
+// progress records cumulative scan/emit counters for the status view.
+func (m *Manager) progress(j *job, pages, rows int64) {
+	m.mu.Lock()
+	j.pages, j.rows = pages, rows
+	m.mu.Unlock()
+}
+
+// finish records a job's outcome. If a cancel or drain already moved the
+// job to a terminal state, the result files are discarded and the
+// earlier state stands.
+func (m *Manager) finish(j *job, ctx context.Context, info RunInfo, size int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		m.removeFilesLocked(j)
+		return
+	}
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		// A canceled context carries the human-meaningful reason ("canceled
+		// by user", "draining") as its cause; prefer it over the engine's
+		// wrapped cancellation error.
+		if ctx.Err() != nil {
+			if cause := context.Cause(ctx); cause != nil && cause != ctx.Err() {
+				j.errMsg = cause.Error()
+			}
+		}
+		return
+	}
+	j.state = StateDone
+	j.info = info
+	j.pages, j.rows = info.Pages, info.Rows
+	j.bytes = size
+	m.bytes += size
+	if werr := m.writeSidecarLocked(j); werr != nil {
+		// The result streamed fine but its metadata didn't persist; the
+		// job still serves from memory for this process's lifetime.
+		j.errMsg = "sidecar not persisted: " + werr.Error()
+	}
+	m.evictOverBudgetLocked()
+}
+
+// errCanceled is the cancel cause DELETE sets.
+var errCanceled = errors.New("canceled by user")
+
+// Cancel moves a queued or running job to failed("canceled by user") and
+// cancels its context. Canceling an already-terminal job is a no-op; the
+// returned view reflects the state after the call.
+func (m *Manager) Cancel(id, user string) (JobView, error) {
+	now := time.Now()
+	m.mu.Lock()
+	j, err := m.lookupLocked(id, user, now)
+	if err != nil {
+		m.mu.Unlock()
+		return JobView{}, err
+	}
+	var cancel context.CancelCauseFunc
+	if j.state == StateQueued || j.state == StateRunning {
+		j.state = StateFailed
+		j.errMsg = errCanceled.Error()
+		j.finished = now
+		cancel = j.cancel
+	}
+	v := m.viewLocked(j, now)
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel(errCanceled)
+	}
+	return v, nil
+}
+
+// Get returns a job's current view. Expired jobs are removed and
+// reported as ErrNotFound, as are other users' jobs.
+func (m *Manager) Get(id, user string) (JobView, error) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maybeSweepLocked(now)
+	j, err := m.lookupLocked(id, user, now)
+	if err != nil {
+		return JobView{}, err
+	}
+	return m.viewLocked(j, now), nil
+}
+
+// List returns the user's jobs, newest first.
+func (m *Manager) List(user string) []JobView {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maybeSweepLocked(now)
+	var out []JobView
+	for _, j := range m.order {
+		if j.user != user || m.expiredLocked(j, now) {
+			continue
+		}
+		out = append(out, m.viewLocked(j, now))
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Created.After(out[b].Created) })
+	return out
+}
+
+// Result opens a done job's persisted result for streaming. The caller
+// closes the file. Non-done jobs return ErrNotDone; expired, evicted, or
+// foreign jobs return ErrNotFound.
+func (m *Manager) Result(id, user string) (*os.File, JobView, error) {
+	now := time.Now()
+	m.mu.Lock()
+	j, err := m.lookupLocked(id, user, now)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, JobView{}, err
+	}
+	if j.state != StateDone {
+		v := m.viewLocked(j, now)
+		m.mu.Unlock()
+		return nil, v, ErrNotDone
+	}
+	v := m.viewLocked(j, now)
+	path := filepath.Join(m.dir, j.id+".res")
+	m.mu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, JobView{}, ErrNotFound
+	}
+	return f, v, nil
+}
+
+// lookupLocked resolves id for user, expiring on the way (mu held).
+func (m *Manager) lookupLocked(id, user string, now time.Time) (*job, error) {
+	j, ok := m.jobs[id]
+	if !ok || j.user != user {
+		return nil, ErrNotFound
+	}
+	if m.expiredLocked(j, now) {
+		m.removeJobLocked(j)
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// DrainQueued fails every still-queued job with the given reason and
+// cancels its context, and stops accepting submissions. Running jobs are
+// left to finish (see Shutdown). It returns the number of jobs drained.
+func (m *Manager) DrainQueued(reason string) int {
+	now := time.Now()
+	cause := errors.New(reason)
+	m.mu.Lock()
+	m.draining = true
+	var cancels []context.CancelCauseFunc
+	for _, j := range m.order {
+		if j.state == StateQueued {
+			j.state = StateFailed
+			j.errMsg = reason
+			j.finished = now
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c(cause)
+	}
+	return len(cancels)
+}
+
+// Shutdown waits for running jobs to finish. When ctx expires first, the
+// stragglers are checkpointed to failed("draining") and canceled, then
+// awaited (cancellation propagates to the executor's per-page checks, so
+// this is prompt). Persisted results stay on disk for the next process.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	m.failUnfinished("draining")
+	<-done
+	return ctx.Err()
+}
+
+// failUnfinished checkpoints every non-terminal job to failed(reason)
+// and cancels its context.
+func (m *Manager) failUnfinished(reason string) {
+	now := time.Now()
+	cause := errors.New(reason)
+	m.mu.Lock()
+	var cancels []context.CancelCauseFunc
+	for _, j := range m.order {
+		if j.state == StateQueued || j.state == StateRunning {
+			j.state = StateFailed
+			j.errMsg = reason
+			j.finished = now
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c(cause)
+	}
+}
+
+// Close cancels everything, waits for job goroutines, and removes the
+// spill directory when it was auto-created. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.failUnfinished("shutting down")
+	m.wg.Wait()
+	if m.ownDir {
+		os.RemoveAll(m.dir)
+	}
+}
+
+// Stats is the jobs slice of the status endpoint: lifecycle counts and
+// store occupancy.
+type Stats struct {
+	Queued   int   `json:"queued"`
+	Running  int   `json:"running"`
+	Done     int   `json:"done"`
+	Failed   int   `json:"failed"`
+	Bytes    int64 `json:"resultBytes"`
+	MaxBytes int64 `json:"resultBytesBudget"`
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Bytes: m.bytes, MaxBytes: m.cfg.MaxBytes}
+	for _, j := range m.order {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// JobView is a job's externally visible snapshot, JSON-shaped for the
+// /api/v1/jobs responses.
+type JobView struct {
+	ID     string `json:"id"`
+	User   string `json:"user"`
+	SQL    string `json:"sql"`
+	Format string `json:"format"`
+	State  State  `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// QueuePosition is 1-based among this user's queued jobs (batch
+	// dequeue is fair-shared per user, so a global position would be
+	// meaningless). Zero once running or terminal.
+	QueuePosition int       `json:"queuePosition,omitempty"`
+	Created       time.Time `json:"created"`
+	Started       time.Time `json:"started,omitzero"`
+	Finished      time.Time `json:"finished,omitzero"`
+	// Pages/Rows are cumulative progress while running, final totals once
+	// done.
+	Pages int64 `json:"pagesScanned"`
+	Rows  int64 `json:"rows"`
+	// Result metadata, set once done.
+	Bytes       int64     `json:"resultBytes,omitempty"`
+	ContentType string    `json:"contentType,omitempty"`
+	ETag        string    `json:"etag,omitempty"`
+	ExpiresAt   time.Time `json:"expiresAt,omitzero"`
+}
+
+// viewLocked snapshots j (mu held).
+func (m *Manager) viewLocked(j *job, now time.Time) JobView {
+	v := JobView{
+		ID: j.id, User: j.user, SQL: j.sql, Format: j.format,
+		State: j.state, Error: j.errMsg,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Pages: j.pages, Rows: j.rows,
+	}
+	if j.state == StateQueued {
+		pos := 0
+		for _, o := range m.order {
+			if o.user == j.user && o.state == StateQueued {
+				pos++
+				if o == j {
+					break
+				}
+			}
+		}
+		v.QueuePosition = pos
+	}
+	if j.state == StateDone {
+		v.Bytes = j.bytes
+		v.ContentType = j.info.ContentType
+		v.ETag = j.info.ETag
+		v.ExpiresAt = j.finished.Add(m.cfg.TTL)
+	}
+	return v
+}
+
+// FormatOK reports whether the service can persist results in the given
+// serialization format. FITS is excluded: its writer needs two passes
+// over the result set, which the single-pass spill pipeline does not do.
+func FormatOK(format string) bool {
+	switch strings.ToLower(format) {
+	case "csv", "json", "xml", "html":
+		return true
+	}
+	return false
+}

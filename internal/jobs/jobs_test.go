@@ -1,0 +1,310 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// instantExec returns an ExecFunc that immediately succeeds, writing
+// payload.
+func instantExec(payload string) ExecFunc {
+	return func(ctx context.Context, spec Spec, w io.Writer, started func(), progress func(pages, rows int64)) (RunInfo, error) {
+		started()
+		progress(2, 1)
+		if _, err := io.WriteString(w, payload); err != nil {
+			return RunInfo{}, err
+		}
+		return RunInfo{ContentType: "text/csv", ETag: `"tag-` + spec.ID + `"`, Rows: 1, Pages: 2}, nil
+	}
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, m *Manager, id, user string, want State) JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := m.Get(id, user)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if v.State == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (want %s; err=%q)", id, v.State, want, v.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobLifecycleAndResult(t *testing.T) {
+	m, err := New(Config{Exec: instantExec("a,b\n1,2\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	v, err := m.Submit("alice", "select 1", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateQueued || v.QueuePosition != 1 {
+		t.Errorf("submitted view = %s pos %d, want queued pos 1", v.State, v.QueuePosition)
+	}
+	done := waitState(t, m, v.ID, "alice", StateDone)
+	if done.Rows != 1 || done.Pages != 2 || done.ContentType != "text/csv" || done.ETag == "" {
+		t.Errorf("done view = %+v, want rows/pages/content-type/etag set", done)
+	}
+	if done.Bytes != int64(len("a,b\n1,2\n")) {
+		t.Errorf("result bytes = %d, want %d", done.Bytes, len("a,b\n1,2\n"))
+	}
+	if done.ExpiresAt.IsZero() || done.Started.IsZero() || done.Finished.IsZero() {
+		t.Errorf("done view missing timestamps: %+v", done)
+	}
+
+	f, rv, err := m.Result(v.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(f)
+	f.Close()
+	if string(body) != "a,b\n1,2\n" {
+		t.Errorf("result body = %q", body)
+	}
+	if rv.ETag != done.ETag {
+		t.Errorf("result etag %q != status etag %q", rv.ETag, done.ETag)
+	}
+
+	// Other users see neither status nor result.
+	if _, err := m.Get(v.ID, "bob"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cross-user get: err = %v, want ErrNotFound", err)
+	}
+	if _, _, err := m.Result(v.ID, "bob"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cross-user result: err = %v, want ErrNotFound", err)
+	}
+	if got := m.List("alice"); len(got) != 1 || got[0].ID != v.ID {
+		t.Errorf("alice list = %+v, want the one job", got)
+	}
+	if got := m.List("bob"); len(got) != 0 {
+		t.Errorf("bob list = %+v, want empty", got)
+	}
+}
+
+func TestJobCancelWhileRunning(t *testing.T) {
+	running := make(chan struct{})
+	m, err := New(Config{
+		Exec: func(ctx context.Context, spec Spec, w io.Writer, started func(), progress func(pages, rows int64)) (RunInfo, error) {
+			started()
+			close(running)
+			<-ctx.Done()
+			return RunInfo{}, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	v, err := m.Submit("alice", "select slow", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	cv, err := m.Cancel(v.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.State != StateFailed || cv.Error != "canceled by user" {
+		t.Errorf("canceled view = %s %q, want failed 'canceled by user'", cv.State, cv.Error)
+	}
+	if _, _, err := m.Result(v.ID, "alice"); !errors.Is(err, ErrNotDone) {
+		t.Errorf("result of canceled job: err = %v, want ErrNotDone", err)
+	}
+	// Canceling again is a no-op.
+	if cv2, err := m.Cancel(v.ID, "alice"); err != nil || cv2.State != StateFailed {
+		t.Errorf("second cancel = %+v / %v", cv2, err)
+	}
+}
+
+func TestJobTTLExpiry(t *testing.T) {
+	m, err := New(Config{Exec: instantExec("x\n"), TTL: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Submit("alice", "select 1", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, "alice", StateDone)
+	path := filepath.Join(m.Dir(), v.ID+".res")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("result file missing while live: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, err := m.Get(v.ID, "alice"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired get: err = %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("expired result file still on disk: %v", err)
+	}
+	if got := m.List("alice"); len(got) != 0 {
+		t.Errorf("expired job still listed: %+v", got)
+	}
+}
+
+func TestJobByteBudgetEviction(t *testing.T) {
+	payload := strings.Repeat("r", 100)
+	m, err := New(Config{Exec: instantExec(payload), MaxBytes: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v1, _ := m.Submit("alice", "select 1", "csv")
+	waitState(t, m, v1.ID, "alice", StateDone)
+	v2, _ := m.Submit("alice", "select 2", "csv")
+	waitState(t, m, v2.ID, "alice", StateDone)
+
+	// 200 bytes against a 150-byte budget: the older result is evicted,
+	// the newer (even though itself short of fitting alongside anything)
+	// survives.
+	if _, err := m.Get(v1.ID, "alice"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("evicted get: err = %v, want ErrNotFound", err)
+	}
+	f, _, err := m.Result(v2.ID, "alice")
+	if err != nil {
+		t.Fatalf("newest result evicted too: %v", err)
+	}
+	f.Close()
+	if st := m.Stats(); st.Bytes != 100 {
+		t.Errorf("store bytes = %d, want 100", st.Bytes)
+	}
+}
+
+func TestJobReloadAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, err := New(Config{Exec: instantExec("persisted\n"), Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit("alice", "select 1", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, v.ID, "alice", StateDone)
+	m.Close()
+
+	// Leave an orphan behind: a .part from a crashed run.
+	orphan := filepath.Join(dir, "deadbeef00000000.part")
+	os.WriteFile(orphan, []byte("junk"), 0o644)
+
+	m2, err := New(Config{Exec: instantExec("x"), Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	rv, err := m2.Get(v.ID, "alice")
+	if err != nil {
+		t.Fatalf("reloaded get: %v", err)
+	}
+	if rv.State != StateDone || rv.ETag != done.ETag || rv.Rows != done.Rows {
+		t.Errorf("reloaded view = %+v, want the original done view", rv)
+	}
+	f, _, err := m2.Result(v.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(f)
+	f.Close()
+	if string(body) != "persisted\n" {
+		t.Errorf("reloaded body = %q", body)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan .part survived reload: %v", err)
+	}
+}
+
+func TestJobDrainQueuedFailsWithReason(t *testing.T) {
+	// Exec models admission wait: blocks before started() until ctx dies.
+	m, err := New(Config{
+		Exec: func(ctx context.Context, spec Spec, w io.Writer, started func(), progress func(pages, rows int64)) (RunInfo, error) {
+			<-ctx.Done()
+			return RunInfo{}, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Submit("alice", "select 1", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.DrainQueued("draining"); n != 1 {
+		t.Fatalf("drained %d jobs, want 1", n)
+	}
+	dv, err := m.Get(v.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.State != StateFailed || dv.Error != "draining" {
+		t.Errorf("drained view = %s %q, want failed 'draining'", dv.State, dv.Error)
+	}
+	// Draining refuses new work.
+	if _, err := m.Submit("alice", "select 2", "csv"); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining: err = %v, want ErrDraining", err)
+	}
+}
+
+func TestJobUserQuota(t *testing.T) {
+	release := make(chan struct{})
+	m, err := New(Config{
+		MaxPerUser: 2,
+		Exec: func(ctx context.Context, spec Spec, w io.Writer, started func(), progress func(pages, rows int64)) (RunInfo, error) {
+			started()
+			select {
+			case <-release:
+				return RunInfo{ContentType: "text/csv"}, nil
+			case <-ctx.Done():
+				return RunInfo{}, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit("alice", fmt.Sprintf("select %d", i), "csv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Submit("alice", "select 3", "csv"); !errors.Is(err, ErrUserQuota) {
+		t.Fatalf("over-quota submit: err = %v, want ErrUserQuota", err)
+	}
+	// Another user is unaffected.
+	if _, err := m.Submit("bob", "select 1", "csv"); err != nil {
+		t.Errorf("bob submit: %v", err)
+	}
+	close(release)
+}
+
+func TestFormatOK(t *testing.T) {
+	for _, ok := range []string{"csv", "json", "xml", "html", "CSV"} {
+		if !FormatOK(ok) {
+			t.Errorf("FormatOK(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"fits", "parquet", ""} {
+		if FormatOK(bad) {
+			t.Errorf("FormatOK(%q) = true", bad)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// sidecar is the on-disk metadata record written next to a finished
+// result (<id>.json beside <id>.res), letting a restarted process serve
+// results its predecessor computed.
+type sidecar struct {
+	ID          string    `json:"id"`
+	User        string    `json:"user"`
+	SQL         string    `json:"sql"`
+	Format      string    `json:"format"`
+	ContentType string    `json:"contentType"`
+	ETag        string    `json:"etag"`
+	Rows        int64     `json:"rows"`
+	Pages       int64     `json:"pages"`
+	Bytes       int64     `json:"bytes"`
+	Created     time.Time `json:"created"`
+	Started     time.Time `json:"started"`
+	Finished    time.Time `json:"finished"`
+}
+
+// writeSidecarLocked persists a done job's metadata (mu held). The write
+// is atomic (.part + rename) like the result file itself.
+func (m *Manager) writeSidecarLocked(j *job) error {
+	b, err := json.Marshal(sidecar{
+		ID: j.id, User: j.user, SQL: j.sql, Format: j.format,
+		ContentType: j.info.ContentType, ETag: j.info.ETag,
+		Rows: j.rows, Pages: j.pages, Bytes: j.bytes,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	})
+	if err != nil {
+		return err
+	}
+	part := filepath.Join(m.dir, j.id+".json.part")
+	if err := os.WriteFile(part, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(part, filepath.Join(m.dir, j.id+".json"))
+}
+
+// reload scans a configured spill directory for results a previous
+// process persisted: every sidecar with a live result file becomes a
+// done job again; orphaned .part/.res files and expired results are
+// deleted.
+func (m *Manager) reload() error {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(m.dir, name))
+		if err != nil {
+			continue
+		}
+		var sc sidecar
+		if json.Unmarshal(b, &sc) != nil || sc.ID == "" {
+			os.Remove(filepath.Join(m.dir, name))
+			continue
+		}
+		res := filepath.Join(m.dir, sc.ID+".res")
+		fi, err := os.Stat(res)
+		if err != nil || now.After(sc.Finished.Add(m.cfg.TTL)) {
+			os.Remove(res)
+			os.Remove(filepath.Join(m.dir, name))
+			continue
+		}
+		j := &job{
+			id: sc.ID, user: sc.User, sql: sc.SQL, format: sc.Format,
+			created: sc.Created, cancel: func(error) {},
+			state: StateDone, started: sc.Started, finished: sc.Finished,
+			pages: sc.Pages, rows: sc.Rows, bytes: fi.Size(),
+			info: RunInfo{ContentType: sc.ContentType, ETag: sc.ETag, Rows: sc.Rows, Pages: sc.Pages},
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j)
+		m.bytes += j.bytes
+	}
+	// Orphans: spill files without a reloaded job (crashed mid-run, or
+	// sidecar gone).
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".part") {
+			os.Remove(filepath.Join(m.dir, name))
+			continue
+		}
+		if id, ok := strings.CutSuffix(name, ".res"); ok {
+			if _, live := m.jobs[id]; !live {
+				os.Remove(filepath.Join(m.dir, name))
+			}
+		}
+	}
+	m.evictOverBudgetLocked() // predecessor may have had a larger budget
+	return nil
+}
+
+// expiredLocked reports whether a done job's result has outlived its TTL
+// (mu held).
+func (m *Manager) expiredLocked(j *job, now time.Time) bool {
+	return j.state == StateDone && now.After(j.finished.Add(m.cfg.TTL))
+}
+
+// maybeSweepLocked runs the lazy expiry sweep — there is no background
+// janitor goroutine, so retention work piggybacks on API calls at most
+// once per sweep interval (mu held).
+func (m *Manager) maybeSweepLocked(now time.Time) {
+	interval := m.cfg.TTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if now.Sub(m.lastSweep) < interval {
+		return
+	}
+	m.lastSweep = now
+	for i := 0; i < len(m.order); {
+		if j := m.order[i]; m.expiredLocked(j, now) {
+			m.removeJobLocked(j)
+			continue // order shrank in place
+		}
+		i++
+	}
+}
+
+// evictOverBudgetLocked deletes oldest-finished results until the store
+// fits its byte budget again, always sparing the most recently finished
+// result so a single oversized result set still serves once (mu held).
+func (m *Manager) evictOverBudgetLocked() {
+	for m.bytes > m.cfg.MaxBytes {
+		var oldest, newest *job
+		for _, j := range m.order {
+			if j.state != StateDone {
+				continue
+			}
+			if oldest == nil || j.finished.Before(oldest.finished) {
+				oldest = j
+			}
+			if newest == nil || j.finished.After(newest.finished) {
+				newest = j
+			}
+		}
+		if oldest == nil || oldest == newest {
+			return
+		}
+		m.removeJobLocked(oldest)
+	}
+}
+
+// removeJobLocked forgets a job entirely: table entry, submission order,
+// byte accounting, spill files (mu held).
+func (m *Manager) removeJobLocked(j *job) {
+	delete(m.jobs, j.id)
+	for i, o := range m.order {
+		if o == j {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.bytes -= j.bytes
+	j.bytes = 0
+	m.removeFilesLocked(j)
+}
+
+// removeFilesLocked deletes a job's spill files (mu held; the files may
+// legitimately not exist).
+func (m *Manager) removeFilesLocked(j *job) {
+	os.Remove(filepath.Join(m.dir, j.id+".res"))
+	os.Remove(filepath.Join(m.dir, j.id+".part"))
+	os.Remove(filepath.Join(m.dir, j.id+".json"))
+}

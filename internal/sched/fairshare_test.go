@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fairFixture plugs the gate so batch admissions queue deterministically:
+// the single interactive slot is held (no borrowable capacity) and the
+// single batch slot is occupied by a "plug" ticket owned by plugUser.
+type fairFixture struct {
+	s    *Scheduler
+	hold *Ticket // interactive holder
+	plug *Ticket // batch slot occupant
+	got  chan grantRec
+}
+
+type grantRec struct {
+	label string
+	tk    *Ticket
+}
+
+func newFairFixture(t *testing.T, cfg Config, plugUser string) *fairFixture {
+	t.Helper()
+	f := &fairFixture{s: NewScheduler(cfg), got: make(chan grantRec, 64)}
+	f.hold = admit(t, f.s, Interactive, "hold")
+	plug, err := f.s.AdmitUser(context.Background(), Batch, "plug", plugUser)
+	if err != nil {
+		t.Fatalf("plug admit: %v", err)
+	}
+	f.plug = plug
+	return f
+}
+
+// enqueue parks one batch admission for user in the queue and waits until
+// the scheduler has registered it, so arrival order is deterministic.
+func (f *fairFixture) enqueue(t *testing.T, label, user string) {
+	t.Helper()
+	before := f.s.Stats().Batch.Queued
+	go func() {
+		tk, err := f.s.AdmitUser(context.Background(), Batch, label, user)
+		if err != nil {
+			t.Errorf("queued admit %s: %v", label, err)
+			return
+		}
+		f.got <- grantRec{label, tk}
+	}()
+	waitFor(t, func() bool { return f.s.Stats().Batch.Queued == before+1 })
+}
+
+// drain releases the given ticket and collects the grant it triggers,
+// repeating until the queue is empty; it returns the grant order.
+func (f *fairFixture) drain(t *testing.T, n int) []string {
+	t.Helper()
+	var order []string
+	cur := f.plug
+	for i := 0; i < n; i++ {
+		cur.Done(nil)
+		g := <-f.got
+		order = append(order, g.label)
+		cur = g.tk
+	}
+	cur.Done(nil)
+	f.hold.Done(nil)
+	return order
+}
+
+// TestSchedulerBatchFairShareRoundRobin is the fairness core: with one
+// user's backlog queued ahead, later arrivals from other users are
+// granted in round-robin turns, not behind the whole backlog.
+func TestSchedulerBatchFairShareRoundRobin(t *testing.T) {
+	f := newFairFixture(t, Config{InteractiveSlots: 1, BatchSlots: 1, BatchQueueDepth: 16}, "alice")
+	// Arrival order: alice's 3-deep backlog first, then bob and carol.
+	f.enqueue(t, "a1", "alice")
+	f.enqueue(t, "a2", "alice")
+	f.enqueue(t, "a3", "alice")
+	f.enqueue(t, "b1", "bob")
+	f.enqueue(t, "c1", "carol")
+
+	// Queue occupancy is visible per user before anything drains.
+	st := f.s.Stats()
+	if u := st.Batch.Users["alice"]; u.Queued != 3 || u.Running != 1 {
+		t.Errorf("alice queued/running = %d/%d, want 3/1", u.Queued, u.Running)
+	}
+	if u := st.Batch.Users["bob"]; u.Queued != 1 {
+		t.Errorf("bob queued = %d, want 1", u.Queued)
+	}
+
+	order := f.drain(t, 5)
+	want := []string{"a1", "b1", "c1", "a2", "a3"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("grant order = %v, want %v (round-robin across users)", order, want)
+	}
+
+	st = f.s.Stats()
+	if u := st.Batch.Users["alice"]; u.Admitted != 4 || u.Completed != 4 || u.Queued != 0 || u.Running != 0 {
+		t.Errorf("alice stats = %+v, want 4 admitted / 4 completed, all drained", u)
+	}
+	if u := st.Batch.Users["bob"]; u.Admitted != 1 || u.Completed != 1 {
+		t.Errorf("bob stats = %+v, want 1 admitted / 1 completed", u)
+	}
+	if st.Batch.UserQueueQuota != 16 {
+		t.Errorf("user quota = %d, want batch queue depth 16 by default", st.Batch.UserQueueQuota)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running/queued = %d/%d after drain, want 0/0", st.Running, st.Queued)
+	}
+}
+
+// TestSchedulerPerUserQueueQuota: one user may not occupy more than
+// UserQueueQuota queue slots; other users keep queueing past that user's
+// rejection, and the rejection error names the user.
+func TestSchedulerPerUserQueueQuota(t *testing.T) {
+	f := newFairFixture(t, Config{
+		InteractiveSlots: 1, BatchSlots: 1, BatchQueueDepth: 8, UserQueueQuota: 2,
+	}, "alice")
+	f.enqueue(t, "a1", "alice")
+	f.enqueue(t, "a2", "alice")
+
+	_, err := f.s.AdmitUser(context.Background(), Batch, "a3", "alice")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-quota admit: err = %v, want ErrOverloaded", err)
+	}
+	if !strings.Contains(err.Error(), "alice") {
+		t.Errorf("quota rejection %q does not name the user", err)
+	}
+
+	// The shared queue still has room: bob queues fine.
+	f.enqueue(t, "b1", "bob")
+
+	st := f.s.Stats()
+	if u := st.Batch.Users["alice"]; u.Rejected != 1 || u.Queued != 2 {
+		t.Errorf("alice rejected/queued = %d/%d, want 1/2", u.Rejected, u.Queued)
+	}
+	if st.Batch.Rejected != 1 {
+		t.Errorf("batch rejected = %d, want 1", st.Batch.Rejected)
+	}
+
+	order := f.drain(t, 3)
+	want := []string{"a1", "b1", "a2"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+}
+
+// TestSchedulerFairShareAbandon: a queued waiter whose context is
+// canceled leaves its user's sub-queue (and, when that empties the
+// sub-queue, the round-robin ring) without corrupting the grant rotation.
+func TestSchedulerFairShareAbandon(t *testing.T) {
+	f := newFairFixture(t, Config{InteractiveSlots: 1, BatchSlots: 1, BatchQueueDepth: 16}, "alice")
+	f.enqueue(t, "a1", "alice")
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	before := f.s.Stats().Batch.Queued
+	go func() {
+		_, err := f.s.AdmitUser(ctx, Batch, "b1", "bob")
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return f.s.Stats().Batch.Queued == before+1 })
+	f.enqueue(t, "c1", "carol")
+	f.enqueue(t, "a2", "alice")
+
+	// Bob's only queued admission vanishes: bob leaves the ring.
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued admit: err = %v, want context.Canceled", err)
+	}
+	st := f.s.Stats()
+	if u := st.Batch.Users["bob"]; u.Abandoned != 1 || u.Queued != 0 {
+		t.Errorf("bob abandoned/queued = %d/%d, want 1/0", u.Abandoned, u.Queued)
+	}
+
+	order := f.drain(t, 3)
+	want := []string{"a1", "c1", "a2"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("grant order = %v, want %v (rotation intact after abandon)", order, want)
+	}
+}
+
+// TestSchedulerAnonIdentity: Admit (no user) and an empty user both run
+// under the DefaultUser identity in the fair-share accounting.
+func TestSchedulerAnonIdentity(t *testing.T) {
+	s := NewScheduler(Config{InteractiveSlots: 1, BatchSlots: 2, BatchQueueDepth: 4})
+	b1 := admit(t, s, Batch, "plain")
+	b2, err := s.AdmitUser(context.Background(), Batch, "empty-user", "")
+	if err != nil {
+		t.Fatalf("empty-user admit: %v", err)
+	}
+	st := s.Stats()
+	if u := st.Batch.Users[DefaultUser]; u.Running != 2 || u.Admitted != 2 {
+		t.Errorf("%s running/admitted = %d/%d, want 2/2", DefaultUser, u.Running, u.Admitted)
+	}
+	b1.Done(nil)
+	b2.Done(errors.New("boom"))
+	st = s.Stats()
+	if u := st.Batch.Users[DefaultUser]; u.Completed != 1 || u.Failed != 1 {
+		t.Errorf("%s completed/failed = %d/%d, want 1/1", DefaultUser, u.Completed, u.Failed)
+	}
+}

@@ -13,14 +13,22 @@ import (
 // no free slot and its wait queue is full — the web layer translates it
 // to 503 + Retry-After, the §7 answer to a 20× traffic spike: shed load
 // predictably instead of collapsing. Use errors.Is against it; the
-// concrete error names the class whose queue overflowed.
+// concrete error names the class whose queue overflowed (and, for a
+// per-user quota rejection, the user).
 var ErrOverloaded = errors.New("sched: server overloaded, run queue full")
 
 // overloadError is ErrOverloaded with the rejecting class attached, so a
-// shed client is told which queue was full.
-type overloadError struct{ class Class }
+// shed client is told which queue was full. A non-empty user marks a
+// per-user quota rejection rather than a full global queue.
+type overloadError struct {
+	class Class
+	user  string
+}
 
 func (e overloadError) Error() string {
+	if e.user != "" {
+		return fmt.Sprintf("sched: server overloaded, %s queue full for user %q", e.class, e.user)
+	}
 	return fmt.Sprintf("sched: server overloaded, %s queue full", e.class)
 }
 
@@ -40,7 +48,9 @@ const (
 	// they are never rejected while a reserved slot is free.
 	Interactive Class = iota
 	// Batch queries run in their own slots and may borrow idle capacity,
-	// but never at the expense of waiting interactive queries.
+	// but never at the expense of waiting interactive queries. Within the
+	// batch class, capacity is fair-shared across user identities (see
+	// AdmitUser).
 	Batch
 	numClasses
 )
@@ -64,9 +74,26 @@ func ParseClass(s string) (Class, bool) {
 	return Interactive, false
 }
 
+// DefaultUser is the identity batch admissions run under when the caller
+// supplies none (anonymous traffic shares one fair-share queue).
+const DefaultUser = "anon"
+
+// maxTrackedUsers bounds the per-user accounting map: when a new identity
+// would push past the bound, idle identities (nothing queued, nothing
+// running) are pruned oldest-free-first and their counters forgotten. A
+// returning pruned user simply starts a fresh queue.
+const maxTrackedUsers = 256
+
+// batchQuantum is the DRR quantum, in admission-cost units. Every
+// admission currently costs one unit, so each ring visit grants exactly
+// one query — pure round-robin across users — but the deficit plumbing
+// is real DRR: a future cost model (estimated pages, say) only needs to
+// change the charge.
+const batchQuantum = 1
+
 // Scheduler is the admission-control gate in front of query execution,
-// split by workload class. Each class owns a bounded FIFO wait queue and
-// a configured number of running slots; the weighted-slot rules are:
+// split by workload class. Each class owns bounded wait queues and a
+// configured number of running slots; the weighted-slot rules are:
 //
 //   - Interactive slots are a hard reservation: an interactive query is
 //     admitted immediately whenever fewer than InteractiveSlots
@@ -80,20 +107,55 @@ func ParseClass(s string) (Class, bool) {
 //     interactive capacity only while no interactive query is waiting.
 //     Borrowing risks transient oversubscription (bounded by
 //     InteractiveSlots) instead of ever blocking the reservation.
+//   - Within the batch class, each user identity owns a FIFO sub-queue
+//     and freed batch capacity is dealt deficit-round-robin across the
+//     identities with waiters — one analyst's 50-deep flood no longer
+//     starves every other analyst, it only queues behind itself. A
+//     per-user queue quota (Config.UserQueueQuota) additionally bounds
+//     how much of the shared queue one identity may occupy.
 //
 // Per-query statistics (queue wait, execution time, pages and rows
-// scanned) aggregate per class for the /x/sched endpoint.
+// scanned) aggregate per class — and, for batch, per user — for the
+// /api/v1/status/sched endpoint.
 type Scheduler struct {
 	mu      sync.Mutex
 	slots   [numClasses]int
 	depth   [numClasses]int
 	running [numClasses]int
-	queues  [numClasses][]*waiter
+
+	// Interactive admission is one FIFO queue.
+	iq []*waiter
+
+	// Batch admission is fair-shared: users maps every tracked identity
+	// to its sub-queue, ring holds the identities with waiters in
+	// round-robin order, ringIdx is the next identity to serve, and
+	// batchQueued counts queued batch waiters across all identities.
+	users       map[string]*userQueue
+	ring        []*userQueue
+	ringIdx     int
+	batchQueued int
+	userQuota   int
 
 	cls [numClasses]classCounters
 
 	recent   []QueryRecord
 	recentAt int
+}
+
+// userQueue is one batch identity's slice of the fair-share state: its
+// FIFO of queued admissions, its DRR deficit, and its statistics (all
+// guarded by Scheduler.mu).
+type userQueue struct {
+	user    string
+	waiters []*waiter
+	deficit int
+
+	running   int
+	admitted  int64
+	rejected  int64
+	abandoned int64
+	completed int64
+	failed    int64
 }
 
 // classCounters accumulates one class's admission statistics (all guarded
@@ -118,9 +180,11 @@ type classCounters struct {
 // waiter is one queued Admit call. granted flips under Scheduler.mu when
 // a freed slot is handed to the waiter, which closes ready; a waiter that
 // finds granted set while abandoning must release the slot it was given.
+// uq is the batch identity the waiter queues under (nil for interactive).
 type waiter struct {
 	ready   chan struct{}
 	granted bool
+	uq      *userQueue
 }
 
 // DefaultInteractiveSlots and DefaultBatchSlots size the gate for a small
@@ -151,12 +215,17 @@ type Config struct {
 	// queue; past the bound Admit rejects with ErrOverloaded.
 	InteractiveQueueDepth int
 	BatchQueueDepth       int
+	// UserQueueQuota bounds how many queued batch admissions one user
+	// identity may hold at once; past it AdmitUser rejects that user with
+	// ErrOverloaded while other users keep queueing. 0 defaults to the
+	// batch queue depth (no per-user bound beyond the shared one).
+	UserQueueQuota int
 }
 
 // NewScheduler builds a per-class admission gate (see Scheduler for the
-// weighted-slot rules).
+// weighted-slot and fair-share rules).
 func NewScheduler(cfg Config) *Scheduler {
-	s := &Scheduler{}
+	s := &Scheduler{users: make(map[string]*userQueue)}
 	s.slots[Interactive] = cfg.InteractiveSlots
 	if s.slots[Interactive] <= 0 {
 		s.slots[Interactive] = DefaultInteractiveSlots()
@@ -173,8 +242,20 @@ func NewScheduler(cfg Config) *Scheduler {
 	if s.depth[Batch] <= 0 {
 		s.depth[Batch] = DefaultQueueDepth
 	}
+	s.userQuota = cfg.UserQueueQuota
+	if s.userQuota <= 0 {
+		s.userQuota = s.depth[Batch]
+	}
 	s.recent = make([]QueryRecord, 0, recentQueries)
 	return s
+}
+
+// queuedLen reports the number of queued class-c waiters (mu held).
+func (s *Scheduler) queuedLen(c Class) int {
+	if c == Batch {
+		return s.batchQueued
+	}
+	return len(s.iq)
 }
 
 // canRun reports whether a class-c query may start now (mu held).
@@ -190,36 +271,118 @@ func (s *Scheduler) canRun(c Class) bool {
 	// Batch: own slot free, or borrow idle interactive capacity — but
 	// never while an interactive query is waiting for it.
 	return total < capacity &&
-		(s.running[Batch] < s.slots[Batch] || len(s.queues[Interactive]) == 0)
+		(s.running[Batch] < s.slots[Batch] || len(s.iq) == 0)
 }
 
 // wake hands freed capacity to queued waiters, interactive first (mu
 // held). After it returns, every non-empty queue's class fails canRun, so
-// FIFO order is preserved against new arrivals.
+// arrival order is preserved against new arrivals (FIFO within the
+// interactive queue and within each batch user's sub-queue).
 func (s *Scheduler) wake() {
 	for {
 		switch {
-		case len(s.queues[Interactive]) > 0 && s.canRun(Interactive):
-			s.grant(Interactive)
-		case len(s.queues[Batch]) > 0 && s.canRun(Batch):
-			s.grant(Batch)
+		case len(s.iq) > 0 && s.canRun(Interactive):
+			s.grantInteractive()
+		case s.batchQueued > 0 && s.canRun(Batch):
+			s.grantBatch()
 		default:
 			return
 		}
 	}
 }
 
-// grant pops the head waiter of class c and hands it a running slot (mu
-// held).
-func (s *Scheduler) grant(c Class) {
-	w := s.queues[c][0]
-	s.queues[c] = s.queues[c][1:]
+// startRunning consumes one class-c running slot for an admission,
+// counting a borrow when the class is past its own slots (mu held).
+func (s *Scheduler) startRunning(c Class, uq *userQueue) {
 	if s.running[c] >= s.slots[c] {
 		s.cls[c].borrowed++
 	}
 	s.running[c]++
+	if uq != nil {
+		uq.running++
+	}
+}
+
+// grantInteractive pops the head interactive waiter and hands it a
+// running slot (mu held).
+func (s *Scheduler) grantInteractive() {
+	w := s.iq[0]
+	s.iq = s.iq[1:]
+	s.startRunning(Interactive, nil)
 	w.granted = true
 	close(w.ready)
+}
+
+// grantBatch hands one freed batch slot to the next user under deficit
+// round-robin: the ring identity at ringIdx earns a quantum of credit,
+// spends it on the head of its FIFO, and the turn passes on. A drained
+// identity leaves the ring and forfeits its remaining deficit (standard
+// DRR — credit never accumulates while idle). mu held; the caller
+// guarantees batchQueued > 0, so the ring is non-empty and every ring
+// member has waiters.
+func (s *Scheduler) grantBatch() {
+	if s.ringIdx >= len(s.ring) {
+		s.ringIdx = 0
+	}
+	uq := s.ring[s.ringIdx]
+	uq.deficit += batchQuantum
+	if uq.deficit >= 1 && len(uq.waiters) > 0 {
+		uq.deficit--
+		w := uq.waiters[0]
+		uq.waiters = uq.waiters[1:]
+		s.batchQueued--
+		s.startRunning(Batch, uq)
+		w.granted = true
+		close(w.ready)
+	}
+	if len(uq.waiters) == 0 {
+		uq.deficit = 0
+		s.ring = append(s.ring[:s.ringIdx], s.ring[s.ringIdx+1:]...)
+		if s.ringIdx >= len(s.ring) {
+			s.ringIdx = 0
+		}
+	} else {
+		s.ringIdx = (s.ringIdx + 1) % len(s.ring)
+	}
+}
+
+// dropFromRing removes a drained or abandoned identity from the ring,
+// keeping ringIdx pointing at the same next-to-serve identity (mu held).
+func (s *Scheduler) dropFromRing(uq *userQueue) {
+	for i, q := range s.ring {
+		if q == uq {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if i < s.ringIdx {
+				s.ringIdx--
+			}
+			if s.ringIdx >= len(s.ring) {
+				s.ringIdx = 0
+			}
+			return
+		}
+	}
+}
+
+// userQueueFor returns (creating if needed) the sub-queue of a batch
+// identity, pruning idle identities when the tracking map is full (mu
+// held).
+func (s *Scheduler) userQueueFor(user string) *userQueue {
+	if uq, ok := s.users[user]; ok {
+		return uq
+	}
+	if len(s.users) >= maxTrackedUsers {
+		for k, u := range s.users {
+			if u.running == 0 && len(u.waiters) == 0 {
+				delete(s.users, k)
+				if len(s.users) < maxTrackedUsers {
+					break
+				}
+			}
+		}
+	}
+	uq := &userQueue{user: user}
+	s.users[user] = uq
+	return uq
 }
 
 // release returns one class-c running slot and wakes eligible waiters
@@ -234,6 +397,7 @@ func (s *Scheduler) release(c Class) {
 type Ticket struct {
 	s        *Scheduler
 	class    Class
+	uq       *userQueue // batch fair-share accounting; nil for interactive
 	enqueued time.Time
 	admitted time.Time
 	label    string
@@ -247,31 +411,66 @@ func (t *Ticket) Class() Class { return t.class }
 // String renders the ticket for logs: its label and class.
 func (t *Ticket) String() string { return t.label + " (" + t.class.String() + ")" }
 
-// Admit asks for a class run slot: immediately when the class's
-// weighted-slot rules allow (see Scheduler), otherwise by waiting in the
-// class's FIFO queue. A full queue rejects with ErrOverloaded at once; a
-// context cancelled while waiting abandons the queue slot without ever
-// consuming a running slot. label tags the query in the recent-queries
-// report.
+// Admit asks for a class run slot under the DefaultUser identity — see
+// AdmitUser for the queueing rules. Callers with a real user identity
+// (the jobs service, the SQL endpoints) should prefer AdmitUser so batch
+// fair share can tell analysts apart.
 func (s *Scheduler) Admit(ctx context.Context, class Class, label string) (*Ticket, error) {
+	return s.AdmitUser(ctx, class, label, "")
+}
+
+// AdmitUser asks for a class run slot on behalf of a user identity:
+// immediately when the class's weighted-slot rules allow (see Scheduler),
+// otherwise by waiting in the class's queue — for batch, the user's own
+// FIFO sub-queue, dequeued deficit-round-robin across users. A full
+// shared queue, or a user already holding UserQueueQuota queued batch
+// admissions, rejects with ErrOverloaded at once; a context cancelled
+// while waiting abandons the queue slot without ever consuming a running
+// slot. An empty user maps to DefaultUser; interactive admissions ignore
+// the identity. label tags the query in the recent-queries report.
+func (s *Scheduler) AdmitUser(ctx context.Context, class Class, label, user string) (*Ticket, error) {
+	if user == "" {
+		user = DefaultUser
+	}
 	enq := time.Now()
 	s.mu.Lock()
+	var uq *userQueue
+	if class == Batch {
+		uq = s.userQueueFor(user)
+	}
 	if s.canRun(class) {
-		if s.running[class] >= s.slots[class] {
-			s.cls[class].borrowed++
-		}
-		s.running[class]++
+		s.startRunning(class, uq)
 		s.cls[class].admitted++
+		if uq != nil {
+			uq.admitted++
+		}
 		s.mu.Unlock()
-		return &Ticket{s: s, class: class, enqueued: enq, admitted: enq, label: label}, nil
+		return &Ticket{s: s, class: class, uq: uq, enqueued: enq, admitted: enq, label: label}, nil
 	}
-	if len(s.queues[class]) >= s.depth[class] {
+	if s.queuedLen(class) >= s.depth[class] {
 		s.cls[class].rejected++
+		if uq != nil {
+			uq.rejected++
+		}
 		s.mu.Unlock()
-		return nil, overloadError{class}
+		return nil, overloadError{class: class}
 	}
-	w := &waiter{ready: make(chan struct{})}
-	s.queues[class] = append(s.queues[class], w)
+	if uq != nil && len(uq.waiters) >= s.userQuota {
+		s.cls[class].rejected++
+		uq.rejected++
+		s.mu.Unlock()
+		return nil, overloadError{class: class, user: user}
+	}
+	w := &waiter{ready: make(chan struct{}), uq: uq}
+	if class == Batch {
+		if len(uq.waiters) == 0 {
+			s.ring = append(s.ring, uq)
+		}
+		uq.waiters = append(uq.waiters, w)
+		s.batchQueued++
+	} else {
+		s.iq = append(s.iq, w)
+	}
 	s.mu.Unlock()
 
 	select {
@@ -282,18 +481,25 @@ func (s *Scheduler) Admit(ctx context.Context, class Class, label string) (*Tick
 		s.mu.Lock()
 		c := &s.cls[class]
 		c.admitted++
+		if uq != nil {
+			uq.admitted++
+		}
 		c.queueWaitNs += wait
 		if wait > c.maxQueueWaitNs {
 			c.maxQueueWaitNs = wait
 		}
 		s.mu.Unlock()
-		return &Ticket{s: s, class: class, enqueued: enq, admitted: now, label: label}, nil
+		return &Ticket{s: s, class: class, uq: uq, enqueued: enq, admitted: now, label: label}, nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		if w.granted {
 			// Lost the race: a slot was granted concurrently with the
 			// cancellation. Nobody will run, so put the slot back.
 			s.cls[class].abandoned++
+			if uq != nil {
+				uq.abandoned++
+				uq.running--
+			}
 			s.release(class)
 			s.mu.Unlock()
 			return nil, ctx.Err()
@@ -301,13 +507,30 @@ func (s *Scheduler) Admit(ctx context.Context, class Class, label string) (*Tick
 		// Still queued: vacate the queue slot. No running slot was ever
 		// consumed. Batch borrowing keys off interactive queue length, so
 		// an abandoned interactive waiter may unblock a batch waiter.
-		for i, q := range s.queues[class] {
-			if q == w {
-				s.queues[class] = append(s.queues[class][:i], s.queues[class][i+1:]...)
-				break
+		if class == Batch {
+			for i, q := range uq.waiters {
+				if q == w {
+					uq.waiters = append(uq.waiters[:i], uq.waiters[i+1:]...)
+					break
+				}
+			}
+			s.batchQueued--
+			if len(uq.waiters) == 0 {
+				uq.deficit = 0
+				s.dropFromRing(uq)
+			}
+		} else {
+			for i, q := range s.iq {
+				if q == w {
+					s.iq = append(s.iq[:i], s.iq[i+1:]...)
+					break
+				}
 			}
 		}
 		s.cls[class].abandoned++
+		if uq != nil {
+			uq.abandoned++
+		}
 		s.wake()
 		s.mu.Unlock()
 		return nil, ctx.Err()
@@ -341,6 +564,9 @@ func (t *Ticket) Done(err error) {
 		Pages:       t.pages,
 		Rows:        t.rows,
 	}
+	if t.uq != nil {
+		rec.User = t.uq.user
+	}
 	if err != nil {
 		rec.Error = err.Error()
 	}
@@ -356,6 +582,14 @@ func (t *Ticket) Done(err error) {
 		c.failed++
 	} else {
 		c.completed++
+	}
+	if t.uq != nil {
+		t.uq.running--
+		if err != nil {
+			t.uq.failed++
+		} else {
+			t.uq.completed++
+		}
 	}
 	if len(s.recent) < recentQueries {
 		s.recent = append(s.recent, rec)
@@ -374,6 +608,7 @@ const recentQueries = 32
 type QueryRecord struct {
 	Label       string  `json:"label"`
 	Class       string  `json:"class"`
+	User        string  `json:"user,omitempty"`
 	QueueWaitMs float64 `json:"queueWaitMs"`
 	ExecMs      float64 `json:"execMs"`
 	Pages       int64   `json:"pages"`
@@ -381,7 +616,21 @@ type QueryRecord struct {
 	Error       string  `json:"error,omitempty"`
 }
 
-// ClassStats is one workload class's slice of the /x/sched snapshot.
+// UserStats is one batch identity's slice of the fair-share statistics:
+// its queue occupancy and admission outcomes. Identities are pruned from
+// the report once idle and crowded out (see maxTrackedUsers).
+type UserStats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Abandoned int64 `json:"abandoned"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// ClassStats is one workload class's slice of the /api/v1/status/sched
+// snapshot.
 type ClassStats struct {
 	Slots      int `json:"slots"`
 	QueueDepth int `json:"queueDepth"`
@@ -401,10 +650,15 @@ type ClassStats struct {
 	MaxExecMs      float64 `json:"maxExecMs"`
 	PagesScanned   int64   `json:"pagesScanned"`
 	RowsScanned    int64   `json:"rowsScanned"`
+
+	// UserQueueQuota and Users describe batch fair share (empty for the
+	// interactive class, whose admissions carry no identity).
+	UserQueueQuota int                  `json:"userQueueQuota,omitempty"`
+	Users          map[string]UserStats `json:"users,omitempty"`
 }
 
-// Stats is the /x/sched snapshot: the per-class breakdown plus totals
-// summed across classes.
+// Stats is the /api/v1/status/sched snapshot: the per-class breakdown
+// plus totals summed across classes.
 type Stats struct {
 	Interactive ClassStats `json:"interactive"`
 	Batch       ClassStats `json:"batch"`
@@ -432,7 +686,7 @@ func (s *Scheduler) classStats(c Class) ClassStats {
 		Slots:          s.slots[c],
 		QueueDepth:     s.depth[c],
 		Running:        s.running[c],
-		Queued:         len(s.queues[c]),
+		Queued:         s.queuedLen(c),
 		Admitted:       cc.admitted,
 		Borrowed:       cc.borrowed,
 		Rejected:       cc.rejected,
@@ -449,6 +703,21 @@ func (s *Scheduler) classStats(c Class) ClassStats {
 	}
 	if n := cc.completed + cc.failed; n > 0 {
 		st.AvgExecMs = float64(cc.execNs) / 1e6 / float64(n)
+	}
+	if c == Batch {
+		st.UserQueueQuota = s.userQuota
+		st.Users = make(map[string]UserStats, len(s.users))
+		for name, uq := range s.users {
+			st.Users[name] = UserStats{
+				Queued:    len(uq.waiters),
+				Running:   uq.running,
+				Admitted:  uq.admitted,
+				Rejected:  uq.rejected,
+				Abandoned: uq.abandoned,
+				Completed: uq.completed,
+				Failed:    uq.failed,
+			}
+		}
 	}
 	return st
 }

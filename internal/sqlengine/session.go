@@ -143,6 +143,18 @@ type Result struct {
 // was computed against (see CompiledPlan.Valid).
 func (r *Result) Compiled() *CompiledPlan { return r.compiled }
 
+// VersionDigest returns the catalog-version digest of the plan the
+// batch's last SELECT executed, and whether one exists. The jobs service
+// keys persisted job results with it (via resultcache.ETag) so a job
+// result's ETag changes exactly when a reload would change the answer —
+// the same validity story the synchronous result cache uses.
+func (r *Result) VersionDigest() (uint64, bool) {
+	if r.compiled == nil {
+		return 0, false
+	}
+	return r.compiled.VersionDigest(), true
+}
+
 // ResultBatchFunc receives one batch of a streamed SELECT's result set
 // along with the output column names. The batch is only valid during the
 // call (see batchFn); serialize or copy before returning.

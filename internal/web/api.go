@@ -1,0 +1,393 @@
+package web
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"skyserver/internal/jobs"
+	"skyserver/internal/resultcache"
+	"skyserver/internal/sched"
+	"skyserver/internal/sqlengine"
+	"skyserver/internal/val"
+)
+
+// The /api/v1 surface: the versioned, JSON-error-consistent namespace the
+// async job service launched with. /api/v1/query and /api/v1/status/* are
+// the same handlers as the legacy /x/ routes (which remain as aliases);
+// /api/v1/jobs is the CasJobs-style submit → poll → fetch lifecycle over
+// internal/jobs. Every error under /api/v1 is the uniform JSON envelope
+// {error, class, retryAfterSeconds} instead of a text body; route and
+// envelope reference: docs/ops.md.
+
+// JobMaxRows and JobTimeout are the public-server limits for batch jobs —
+// deliberately looser than the §4 interactive limits (1,000 rows / 30 s),
+// since jobs exist precisely for queries that cannot finish inside an
+// interactive HTTP request. Private servers run jobs unlimited.
+const (
+	JobMaxRows = 100_000
+	JobTimeout = 5 * time.Minute
+)
+
+// isAPI reports whether the request belongs to the /api/ namespace and
+// must receive JSON envelope errors.
+func isAPI(r *http.Request) bool {
+	return len(r.URL.Path) >= 5 && r.URL.Path[:5] == "/api/"
+}
+
+// apiError is the uniform error envelope every /api/v1 error response
+// carries.
+type apiError struct {
+	Error             string `json:"error"`
+	Class             string `json:"class,omitempty"`
+	RetryAfterSeconds int    `json:"retryAfterSeconds,omitempty"`
+}
+
+// writeAPIError writes the envelope. retrySecs > 0 also sets the
+// Retry-After header so plain HTTP clients keep their backoff hint.
+func writeAPIError(w http.ResponseWriter, status int, class string, retrySecs int, msg string) {
+	clearValidators(w)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if retrySecs > 0 {
+		h.Set("Retry-After", strconv.Itoa(retrySecs))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: msg, Class: class, RetryAfterSeconds: retrySecs})
+}
+
+// retryAfterSecs is retryAfter as an integer for the envelope.
+func retryAfterSecs(class sched.Class) int {
+	if class == sched.Batch {
+		return 5
+	}
+	return 1
+}
+
+// userOf resolves the request's analyst identity — the X-User header,
+// then ?user= — for batch fair share and job ownership. Empty means
+// anonymous; the scheduler and jobs service fold that into their shared
+// default identity. (Identity is client-asserted: the public SkyServer
+// had no accounts either, and fairness only needs queues to be keyed,
+// not authenticated.)
+func userOf(r *http.Request) string {
+	if u := r.Header.Get("X-User"); u != "" {
+		return u
+	}
+	return r.URL.Query().Get("user")
+}
+
+// jobUser is userOf with the anonymous fold applied, so job ownership
+// and scheduler accounting agree on one identity string.
+func jobUser(r *http.Request) string {
+	if u := userOf(r); u != "" {
+		return u
+	}
+	return sched.DefaultUser
+}
+
+// handleAPINotFound is the /api/v1/ catch-all: unknown routes get the
+// envelope, not net/http's text 404.
+func (s *Server) handleAPINotFound(w http.ResponseWriter, r *http.Request) {
+	writeAPIError(w, http.StatusNotFound, "", 0, "no such API route: "+r.URL.Path)
+}
+
+// jobWriter adapts the job spill file to http.ResponseWriter so the
+// streaming batch serializers — written against the response interface —
+// serialize into the file unchanged. The header is real (the serializer
+// sets Content-Type there and the job records it); the status is
+// discarded (a spill file has no status line).
+type jobWriter struct {
+	w io.Writer
+	h http.Header
+}
+
+func (j *jobWriter) Header() http.Header         { return j.h }
+func (j *jobWriter) Write(p []byte) (int, error) { return j.w.Write(p) }
+func (j *jobWriter) WriteHeader(int)             {}
+
+// jobExecOptions are the engine limits one job runs under (see
+// JobMaxRows/JobTimeout).
+func (s *Server) jobExecOptions() sqlengine.ExecOptions {
+	opt := sqlengine.ExecOptions{MaxConcurrency: s.opt.MaxScanWorkers}
+	if s.opt.Public {
+		opt.MaxRows = JobMaxRows
+		opt.Timeout = JobTimeout
+	}
+	return opt
+}
+
+// runJob executes one submitted job: batch-class admission under the
+// job's user identity (this is where a flood queues behind itself while
+// other users' jobs round-robin past it), then the same streaming
+// serialization as the sync endpoint, into the job's spill file instead
+// of a connection. Implements jobs.ExecFunc.
+func (s *Server) runJob(ctx context.Context, spec jobs.Spec, w io.Writer, started func(), progress func(pages, rows int64)) (info jobs.RunInfo, err error) {
+	tk, err := s.sched.AdmitUser(ctx, sched.Batch, "job", spec.User)
+	if err != nil {
+		return jobs.RunInfo{}, err
+	}
+	started()
+	defer func() {
+		// A panicking serializer or engine bug must fail the job, not kill
+		// the process (jobs run on bare goroutines, past the HTTP recovery
+		// middleware) — and must still release the scheduler slot.
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("job panic: %v", rec)
+		}
+		tk.Done(err)
+	}()
+
+	if s.opt.Timeout > 0 || s.opt.Public {
+		timeout := s.opt.Timeout
+		if s.opt.Public {
+			timeout = JobTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	sess := sqlengine.NewSession(s.sdb.DB)
+	jw := &jobWriter{w: w, h: make(http.Header, 1)}
+	sw := newBatchSerializer(jw, spec.Format)
+	if sw == nil {
+		return jobs.RunInfo{}, errUnknownFormat(spec.Format)
+	}
+	var rows int64
+	res, err := sess.ExecStreamContext(ctx, spec.SQL, s.jobExecOptions(), func(cols []string, b *val.Batch) error {
+		if werr := sw.writeBatch(cols, b); werr != nil {
+			return werr
+		}
+		rows += int64(b.Len())
+		progress(0, rows)
+		return nil
+	})
+	if res != nil {
+		tk.AddWork(res.PagesScanned, res.RowsScanned)
+	}
+	if err != nil {
+		return jobs.RunInfo{}, err
+	}
+	if err := sw.finish(res); err != nil {
+		return jobs.RunInfo{}, err
+	}
+	return jobs.RunInfo{
+		ContentType: jw.h.Get("Content-Type"),
+		ETag:        s.jobETag(sess, spec.SQL, spec.Format, res),
+		Rows:        rows,
+		Pages:       res.PagesScanned,
+	}, nil
+}
+
+// jobETag derives a persisted job result's strong ETag from the same
+// machinery as the synchronous result cache: the normalized plan key +
+// parameters + format + row limit, digested with the catalog versions
+// the executed plan saw. Empty when the statement has no digestable plan
+// (multi-statement batches, TVF reads).
+func (s *Server) jobETag(sess *sqlengine.Session, sql, format string, res *sqlengine.Result) string {
+	dig, ok := res.VersionDigest()
+	if !ok {
+		return ""
+	}
+	key, _, ok := sess.ResultKey(sql, nil)
+	if !ok {
+		return ""
+	}
+	key = append(key, 0)
+	key = append(key, format...)
+	key = append(key, 0)
+	key = strconv.AppendInt(key, int64(s.jobExecOptions().MaxRows), 10)
+	return resultcache.ETag(key, dig)
+}
+
+// writeJob writes a job view as the JSON response body.
+func writeJob(w http.ResponseWriter, status int, v jobs.JobView) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// jobsError maps the jobs service's sentinel errors onto the envelope.
+func jobsError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeAPIError(w, http.StatusNotFound, "batch", 0, err.Error())
+	case errors.Is(err, jobs.ErrDraining):
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 5, err.Error())
+	case errors.Is(err, jobs.ErrUserQuota):
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 5, err.Error())
+	default:
+		writeAPIError(w, http.StatusInternalServerError, "batch", 0, err.Error())
+	}
+}
+
+// handleJobSubmit is POST /api/v1/jobs: SQL (form field cmd) + format →
+// job id, 202 Accepted. Only batch-class statements become jobs; an
+// interactive-class query is pointed at the synchronous endpoint instead
+// of occupying a batch slot for a millisecond seek.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 0, "jobs service unavailable")
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "batch", 0, "bad form: "+err.Error())
+		return
+	}
+	cmd := r.PostForm.Get("cmd")
+	if cmd == "" {
+		cmd = r.Form.Get("cmd")
+	}
+	if cmd == "" {
+		writeAPIError(w, http.StatusBadRequest, "batch", 0, "missing cmd (the SQL to run)")
+		return
+	}
+	format := r.PostForm.Get("format")
+	if format == "" {
+		format = r.Form.Get("format")
+	}
+	if format == "" {
+		format = "csv"
+	}
+	if !jobs.FormatOK(format) {
+		writeAPIError(w, http.StatusBadRequest, "batch", 0,
+			fmt.Sprintf("format %q not supported for jobs (csv, json, xml, html)", format))
+		return
+	}
+	if !s.Ready() {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 5, "SkyServer draining: restarting shortly, try again")
+		return
+	}
+	// Classify through the plan-cache peek first (free); an unknown shape
+	// pays one compile here — the job was going to compile it anyway, and
+	// a parse error must reject the submission synchronously.
+	ps := s.probePool.Get().(*probeState)
+	class, ok := ps.sess.ClassifyCached(cmd)
+	s.probePool.Put(ps)
+	if !ok {
+		sess := sqlengine.NewSession(s.sdb.DB)
+		var err error
+		class, err = sess.Classify(cmd)
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, "batch", 0, err.Error())
+			return
+		}
+	}
+	if class == sqlengine.ClassInteractive {
+		if o, okc := sched.ParseClass(r.Form.Get("class")); !okc || o != sched.Batch {
+			writeAPIError(w, http.StatusBadRequest, "interactive", 0,
+				"interactive-class query: run it synchronously at /api/v1/query (or resubmit with class=batch to force a job)")
+			return
+		}
+	}
+	v, err := s.jobs.Submit(jobUser(r), cmd, format)
+	if err != nil {
+		jobsError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+v.ID)
+	writeJob(w, http.StatusAccepted, v)
+}
+
+// handleJobList is GET /api/v1/jobs: the requesting user's jobs, newest
+// first.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 0, "jobs service unavailable")
+		return
+	}
+	views := s.jobs.List(jobUser(r))
+	if views == nil {
+		views = []jobs.JobView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Jobs []jobs.JobView `json:"jobs"`
+	}{views})
+}
+
+// handleJobStatus is GET /api/v1/jobs/{id}: the job's state, queue
+// position, progress, and — once done — its result metadata.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 0, "jobs service unavailable")
+		return
+	}
+	v, err := s.jobs.Get(r.PathValue("id"), jobUser(r))
+	if err != nil {
+		jobsError(w, err)
+		return
+	}
+	writeJob(w, http.StatusOK, v)
+}
+
+// handleJobCancel is DELETE /api/v1/jobs/{id}: cancel a queued or
+// running job through its per-query context. Idempotent; the response is
+// the job's state after the call.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 0, "jobs service unavailable")
+		return
+	}
+	v, err := s.jobs.Cancel(r.PathValue("id"), jobUser(r))
+	if err != nil {
+		jobsError(w, err)
+		return
+	}
+	writeJob(w, http.StatusOK, v)
+}
+
+// handleJobResult is GET /api/v1/jobs/{id}/result: stream the persisted
+// result with its strong ETag; If-None-Match revalidates to 304 without
+// touching the file. A job without a result yet answers 409 so clients
+// can tell "keep polling" from "gone".
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "batch", 0, "jobs service unavailable")
+		return
+	}
+	f, v, err := s.jobs.Result(r.PathValue("id"), jobUser(r))
+	if err != nil {
+		if errors.Is(err, jobs.ErrNotDone) {
+			writeAPIError(w, http.StatusConflict, "batch", 0,
+				fmt.Sprintf("job %s is %s; its result is not available", v.ID, v.State))
+			return
+		}
+		jobsError(w, err)
+		return
+	}
+	defer f.Close()
+	hdr := w.Header()
+	if v.ETag != "" {
+		hdr.Set("ETag", v.ETag)
+		hdr.Set("Cache-Control", "private, no-cache")
+		if etagMatch(r.Header.Get("If-None-Match"), v.ETag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	if v.ContentType != "" {
+		hdr.Set("Content-Type", v.ContentType)
+	}
+	hdr.Set("Content-Length", strconv.FormatInt(v.Bytes, 10))
+	_, _ = io.Copy(w, f)
+}
+
+// Jobs returns the async job manager (tests read its statistics); nil
+// when the service failed to initialize.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close releases server-owned background resources: the job service's
+// goroutines and, when auto-created, its spill directory. The HTTP
+// listener lifecycle is separate (see ServeGraceful).
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+}

@@ -111,9 +111,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // shedDraining answers a query-running request arriving while the server
 // drains: the same well-formed 503 + Retry-After contract as overload, so
-// clients need one retry path for both.
-func shedDraining(w http.ResponseWriter, class sched.Class) {
+// clients need one retry path for both. /api/ routes get the envelope.
+func shedDraining(w http.ResponseWriter, r *http.Request, class sched.Class) {
+	const msg = "SkyServer draining: restarting shortly, try again"
+	if isAPI(r) {
+		writeAPIError(w, http.StatusServiceUnavailable, class.String(), retryAfterSecs(class), msg)
+		return
+	}
 	w.Header().Set("Retry-After", retryAfter(class))
-	http.Error(w, "SkyServer draining: restarting shortly, try again",
-		http.StatusServiceUnavailable)
+	http.Error(w, msg, http.StatusServiceUnavailable)
 }

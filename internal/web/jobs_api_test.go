@@ -1,0 +1,446 @@
+package web
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"skyserver/internal/jobs"
+	"skyserver/internal/sched"
+)
+
+// jobsWaitFor polls cond until it holds or the deadline passes.
+func jobsWaitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// apiReq performs one request with an optional X-User header and decodes
+// nothing: status, body, headers.
+func apiReq(t *testing.T, method, url, user string, form url.Values) (int, string, http.Header) {
+	t.Helper()
+	var body io.Reader
+	if form != nil {
+		body = strings.NewReader(form.Encode())
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	if user != "" {
+		req.Header.Set("X-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// submitJob POSTs a job and returns its decoded view.
+func submitJob(t *testing.T, ts *httptest.Server, user, sql, format string) jobs.JobView {
+	t.Helper()
+	code, body, hdr := apiReq(t, "POST", ts.URL+"/api/v1/jobs", user,
+		url.Values{"cmd": {sql}, "format": {format}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, body)
+	}
+	var v jobs.JobView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("submit body: %v: %s", err, body)
+	}
+	if loc := hdr.Get("Location"); loc != "/api/v1/jobs/"+v.ID {
+		t.Errorf("Location = %q, want /api/v1/jobs/%s", loc, v.ID)
+	}
+	return v
+}
+
+// jobStatus GETs one job's view.
+func jobStatus(t *testing.T, ts *httptest.Server, user, id string) (int, jobs.JobView) {
+	t.Helper()
+	code, body, _ := apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+id, user, nil)
+	var v jobs.JobView
+	if code == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("status body: %v: %s", err, body)
+		}
+	}
+	return code, v
+}
+
+// waitJobState polls the HTTP status endpoint until the job reaches want.
+func waitJobState(t *testing.T, ts *httptest.Server, user, id string, want jobs.State) jobs.JobView {
+	t.Helper()
+	var v jobs.JobView
+	jobsWaitFor(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		code, got := jobStatus(t, ts, user, id)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		v = got
+		return v.State == want
+	})
+	return v
+}
+
+// TestAPIQueryAliasAndErrorEnvelope checks the /api/v1 namespace rides
+// the same handlers as the legacy routes, and that every /api/v1 error is
+// the JSON envelope rather than a text body.
+func TestAPIQueryAliasAndErrorEnvelope(t *testing.T) {
+	ts := testServer(t, nil)
+	q := "select top 3 objID, ra, dec from PhotoObj order by objID"
+
+	codeOld, bodyOld, _ := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode(q))
+	codeNew, bodyNew, _ := get(t, ts.URL+"/api/v1/query?format=csv&cmd="+urlEncode(q))
+	if codeOld != 200 || codeNew != 200 || bodyOld != bodyNew {
+		t.Errorf("alias mismatch: /x/sql %d vs /api/v1/query %d, bodies equal=%v",
+			codeOld, codeNew, bodyOld == bodyNew)
+	}
+	for _, p := range []string{"/api/v1/status/sched", "/api/v1/status/plancache", "/api/v1/status/resultcache", "/api/v1/status/health"} {
+		if code, _, hdr := get(t, ts.URL+p); code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+			t.Errorf("%s: status %d content-type %q", p, code, hdr.Get("Content-Type"))
+		}
+	}
+
+	// A bad query under /api/v1 answers with the envelope…
+	code, body, hdr := get(t, ts.URL+"/api/v1/query?format=csv&cmd="+urlEncode("select nonsense from Nowhere"))
+	var env struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	if code != http.StatusBadRequest || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("api error: status %d content-type %q body %q", code, hdr.Get("Content-Type"), body)
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error == "" {
+		t.Errorf("api error envelope: %v: %q", err, body)
+	}
+	// …while the legacy route keeps its text contract.
+	code, body, hdr = get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode("select nonsense from Nowhere"))
+	if code != http.StatusBadRequest || strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Errorf("legacy error: status %d content-type %q body %q", code, hdr.Get("Content-Type"), body)
+	}
+
+	// Unknown API routes get the envelope 404, not net/http's text page.
+	code, body, hdr = get(t, ts.URL+"/api/v1/nope")
+	if code != http.StatusNotFound || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Errorf("api 404: status %d content-type %q body %q", code, hdr.Get("Content-Type"), body)
+	}
+}
+
+// TestJobHTTPRoundtrip is the submit → poll → fetch lifecycle over HTTP:
+// the job outlives the submitting connection, the persisted result
+// streams with a strong ETag, and If-None-Match revalidates to 304.
+func TestJobHTTPRoundtrip(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit on a dedicated connection, then close it: the job must keep
+	// going — it belongs to the manager, not the request.
+	client := &http.Client{}
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/jobs", strings.NewReader(
+		url.Values{"cmd": {scanSQL}, "format": {"csv"}}.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("X-User", "alice")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobs.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	client.CloseIdleConnections()
+	if resp.StatusCode != http.StatusAccepted || v.State == jobs.StateFailed {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, v)
+	}
+
+	done := waitJobState(t, ts, "alice", v.ID, jobs.StateDone)
+	if done.Rows == 0 && done.Bytes == 0 {
+		t.Errorf("done view has no result metadata: %+v", done)
+	}
+	if done.ETag == "" {
+		t.Errorf("done view missing etag: %+v", done)
+	}
+
+	code, body, hdr := apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+v.ID+"/result", "alice", nil)
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "csv") {
+		t.Fatalf("result: %d %q %q", code, hdr.Get("Content-Type"), body)
+	}
+	if !strings.HasPrefix(body, "Column1\n") {
+		t.Errorf("result body = %q, want the aggregate CSV", body[:min(60, len(body))])
+	}
+	etag := hdr.Get("ETag")
+	if etag != done.ETag || etag == "" {
+		t.Errorf("result etag %q vs status etag %q", etag, done.ETag)
+	}
+
+	// Conditional refetch: 304, no body.
+	req, _ = http.NewRequest("GET", ts.URL+"/api/v1/jobs/"+v.ID+"/result", nil)
+	req.Header.Set("X-User", "alice")
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified || len(b2) != 0 {
+		t.Errorf("revalidate: %d with %d body bytes, want 304 empty", resp2.StatusCode, len(b2))
+	}
+
+	// The listing shows it; another user sees nothing.
+	code, body, _ = apiReq(t, "GET", ts.URL+"/api/v1/jobs", "alice", nil)
+	if code != 200 || !strings.Contains(body, v.ID) {
+		t.Errorf("alice list: %d %q", code, body)
+	}
+	code, _, _ = jobStatusCode(t, ts, "mallory", v.ID)
+	if code != http.StatusNotFound {
+		t.Errorf("cross-user status: %d, want 404", code)
+	}
+}
+
+// jobStatusCode is jobStatus tolerating non-200 answers.
+func jobStatusCode(t *testing.T, ts *httptest.Server, user, id string) (int, string, http.Header) {
+	t.Helper()
+	return apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+id, user, nil)
+}
+
+// TestJobHTTPInteractiveRejected checks submit-time classification: a
+// point lookup is pointed at the synchronous endpoint, unless the client
+// explicitly downgrades it to batch.
+func TestJobHTTPInteractiveRejected(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm the plan cache so the seek classifies interactive.
+	if code, _, _ := get(t, ts.URL+"/x/sql?format=csv&cmd="+urlEncode(seekSQL)); code != 200 {
+		t.Fatalf("warm seek: %d", code)
+	}
+	code, body, _ := apiReq(t, "POST", ts.URL+"/api/v1/jobs", "alice",
+		url.Values{"cmd": {seekSQL}, "format": {"csv"}})
+	if code != http.StatusBadRequest || !strings.Contains(body, "/api/v1/query") {
+		t.Errorf("interactive submit: %d %q, want 400 pointing at /api/v1/query", code, body)
+	}
+	// class=batch forces it through.
+	code, _, _ = apiReq(t, "POST", ts.URL+"/api/v1/jobs", "alice",
+		url.Values{"cmd": {seekSQL}, "format": {"csv"}, "class": {"batch"}})
+	if code != http.StatusAccepted {
+		t.Errorf("forced batch submit: %d, want 202", code)
+	}
+	// A parse error rejects synchronously with the envelope.
+	code, body, _ = apiReq(t, "POST", ts.URL+"/api/v1/jobs", "alice",
+		url.Values{"cmd": {"selec broken"}, "format": {"csv"}})
+	if code != http.StatusBadRequest || !strings.Contains(body, "error") {
+		t.Errorf("parse-error submit: %d %q", code, body)
+	}
+	// FITS needs two passes over the scan; jobs spill a single stream.
+	code, body, _ = apiReq(t, "POST", ts.URL+"/api/v1/jobs", "alice",
+		url.Values{"cmd": {scanSQL}, "format": {"fits"}})
+	if code != http.StatusBadRequest || !strings.Contains(body, "format") {
+		t.Errorf("fits submit: %d %q", code, body)
+	}
+}
+
+// TestJobHTTPCancelWhileRunning swaps in an exec that blocks until
+// canceled, then cancels over HTTP: the job must land in
+// failed("canceled by user") and its result must answer 409.
+func TestJobHTTPCancelWhileRunning(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true})
+	defer srv.Close()
+
+	running := make(chan struct{})
+	blocking, err := jobs.New(jobs.Config{
+		Exec: func(ctx context.Context, spec jobs.Spec, w io.Writer, started func(), progress func(pages, rows int64)) (jobs.RunInfo, error) {
+			started()
+			close(running)
+			<-ctx.Done()
+			return jobs.RunInfo{}, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.jobs.Close()
+	srv.jobs = blocking
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	v := submitJob(t, ts, "alice", scanSQL, "csv")
+	<-running
+	code, body, _ := apiReq(t, "DELETE", ts.URL+"/api/v1/jobs/"+v.ID, "alice", nil)
+	var cv jobs.JobView
+	if err := json.Unmarshal([]byte(body), &cv); err != nil || code != 200 {
+		t.Fatalf("cancel: %d %q (%v)", code, body, err)
+	}
+	if cv.State != jobs.StateFailed || cv.Error != "canceled by user" {
+		t.Errorf("canceled view = %s %q", cv.State, cv.Error)
+	}
+	code, body, _ = apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+v.ID+"/result", "alice", nil)
+	if code != http.StatusConflict {
+		t.Errorf("result of canceled job: %d %q, want 409", code, body)
+	}
+}
+
+// TestJobHTTPTTLExpiry checks a finished result stays fetchable until the
+// TTL, then turns into an envelope 404.
+func TestJobHTTPTTLExpiry(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{Public: true, JobsTTL: 50 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	v := submitJob(t, ts, "alice", scanSQL, "csv")
+	waitJobState(t, ts, "alice", v.ID, jobs.StateDone)
+	if code, _, _ := apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+v.ID+"/result", "alice", nil); code != 200 {
+		t.Fatalf("live result: %d", code)
+	}
+	jobsWaitFor(t, "TTL expiry", func() bool {
+		code, _, _ := jobStatusCode(t, ts, "alice", v.ID)
+		return code == http.StatusNotFound
+	})
+	code, body, hdr := apiReq(t, "GET", ts.URL+"/api/v1/jobs/"+v.ID+"/result", "alice", nil)
+	if code != http.StatusNotFound || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Errorf("expired result: %d %q", code, body)
+	}
+}
+
+// TestJobHTTPFairShareFlood is the tentpole acceptance test: one user
+// floods the batch queue with 50 jobs, a second user submits one, and the
+// deficit-round-robin dequeue starts the second user's job long before
+// the flood drains. Deterministic via the plug technique: the single
+// batch slot is held while both backlogs queue, so the grant order is
+// decided by the scheduler, not by submission racing.
+func TestJobHTTPFairShareFlood(t *testing.T) {
+	sdb := survey(t)
+	srv := NewServer(sdb, Options{
+		Public:           true,
+		InteractiveSlots: 1,
+		BatchSlots:       1,
+		JobsMaxPerUser:   64,
+		ResultCacheBytes: -1,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hold the interactive slot (so batch cannot borrow it) and the one
+	// batch slot, so every job parks in the admission queue.
+	hold, err := srv.sched.Admit(context.Background(), sched.Interactive, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Done(nil)
+	plug, err := srv.sched.Admit(context.Background(), sched.Batch, "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const flood = 50
+	floodIDs := make([]string, flood)
+	for i := range floodIDs {
+		// Distinct shapes so the result cache (even if enabled) and the
+		// plan cache cannot collapse the flood.
+		sql := fmt.Sprintf("select count(*) from PhotoObj where (petroMag_r - petroMag_g) > %d.0e-2", i+100)
+		floodIDs[i] = submitJob(t, ts, "alice", sql, "csv").ID
+	}
+	jobsWaitFor(t, "flood to queue", func() bool {
+		return srv.sched.Stats().Batch.Queued == flood
+	})
+	bob := submitJob(t, ts, "bob", scanSQL, "csv")
+	jobsWaitFor(t, "bob to queue", func() bool {
+		return srv.sched.Stats().Batch.Queued == flood+1
+	})
+
+	plug.Done(nil)
+	bobDone := waitJobState(t, ts, "bob", bob.ID, jobs.StateDone)
+	if bobDone.Started.IsZero() {
+		t.Errorf("bob's job has no start time: %+v", bobDone)
+	}
+
+	// Round-robin lets at most one alice job start ahead of bob (the
+	// first grant lands on whichever user heads the ring), so nearly the
+	// whole 50-deep backlog must have started after him. The recorded
+	// start times make this assertion timing-independent: it holds even
+	// when the tiny test queries drain in microseconds.
+	code, body, _ := apiReq(t, "GET", ts.URL+"/api/v1/jobs", "alice", nil)
+	if code != 200 {
+		t.Fatalf("alice list: %d", code)
+	}
+	var list struct {
+		Jobs []jobs.JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != flood {
+		t.Fatalf("alice list has %d jobs, want %d", len(list.Jobs), flood)
+	}
+	ahead := 0
+	for _, j := range list.Jobs {
+		if !j.Started.IsZero() && j.Started.Before(bobDone.Started) {
+			ahead++
+		}
+	}
+	if ahead > 1 {
+		t.Errorf("%d of alice's %d flood jobs started before bob's — fair share failed", ahead, flood)
+	}
+
+	// The per-user accounting is visible at /api/v1/status/sched.
+	code, body, _ = get(t, ts.URL+"/api/v1/status/sched")
+	if code != 200 {
+		t.Fatalf("sched status: %d", code)
+	}
+	var stats struct {
+		Admission struct {
+			Batch struct {
+				Users map[string]sched.UserStats `json:"users"`
+			} `json:"batch"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("sched status body: %v: %s", err, body[:min(200, len(body))])
+	}
+	if _, ok := stats.Admission.Batch.Users["alice"]; !ok {
+		t.Errorf("sched status missing alice's per-user stats: %s", body[:min(300, len(body))])
+	}
+	if bs, ok := stats.Admission.Batch.Users["bob"]; !ok || bs.Completed < 1 {
+		t.Errorf("sched status bob = %+v ok=%v, want completed >= 1", bs, ok)
+	}
+
+	// Let the flood drain so Close is quick and assertions above are the
+	// test's last word on ordering.
+	for _, id := range floodIDs {
+		apiReq(t, "DELETE", ts.URL+"/api/v1/jobs/"+id, "alice", nil)
+	}
+}

@@ -13,21 +13,37 @@ import (
 )
 
 // Drain gracefully shuts srv down: readiness flips off so gated routes shed
-// new queries with 503 + Retry-After, the grace window lets requests that
-// raced the flip land on the still-open listener and see that 503, then
-// srv.Shutdown waits for in-flight queries up to timeout. On timeout the
-// remaining connections are closed hard and the error says so — the caller
-// decides whether a dirty exit matters.
+// new queries with 503 + Retry-After, still-queued batch jobs checkpoint to
+// failed("draining") — a re-runnable, explained state instead of silently
+// vanishing with the process — the grace window lets requests that raced
+// the flip land on the still-open listener and see that 503, then
+// srv.Shutdown waits for in-flight queries up to timeout, and running jobs
+// get the same deadline (stragglers checkpoint to failed("draining") too).
+// On timeout the remaining connections are closed hard and the error says
+// so — the caller decides whether a dirty exit matters.
 func (s *Server) Drain(srv *http.Server, grace, timeout time.Duration) error {
 	s.SetReady(false)
+	if s.jobs != nil {
+		s.jobs.DrainQueued("draining")
+	}
 	if grace > 0 {
 		time.Sleep(grace)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	err := srv.Shutdown(ctx)
+	var jobsErr error
+	if s.jobs != nil {
+		// Jobs are not HTTP connections: srv.Shutdown does not wait for
+		// them, so they drain under the same deadline separately.
+		jobsErr = s.jobs.Shutdown(ctx)
+	}
+	if err != nil {
 		_ = srv.Close()
 		return fmt.Errorf("web: drain incomplete after %s (connections closed hard): %w", timeout, err)
+	}
+	if jobsErr != nil {
+		return fmt.Errorf("web: running jobs checkpointed to failed after %s: %w", timeout, jobsErr)
 	}
 	return nil
 }

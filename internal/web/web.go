@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"html"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skyserver/internal/jobs"
 	"skyserver/internal/resultcache"
 	"skyserver/internal/sched"
 	"skyserver/internal/schema"
@@ -69,6 +71,19 @@ type Options struct {
 	// buffer, cache enabled or not.
 	ResultCacheBytes    int
 	ResultCacheMaxEntry int
+	// UserQueueQuota bounds how many queued batch admissions one user
+	// identity (X-User header / ?user=) may hold at once; other users keep
+	// queueing past one identity's quota rejection (0 = the batch queue
+	// depth).
+	UserQueueQuota int
+	// JobsDir / JobsTTL / JobsBytes / JobsMaxPerUser configure the async
+	// job service's persisted-result store (see internal/jobs; zero values
+	// select its defaults — JobsDir "" spills into a private temp
+	// directory removed on Close).
+	JobsDir        string
+	JobsTTL        time.Duration
+	JobsBytes      int64
+	JobsMaxPerUser int
 	// AccessLog receives traffic-format log lines (may be nil).
 	AccessLog io.Writer
 }
@@ -95,6 +110,10 @@ type Server struct {
 	rcache    *resultcache.Cache
 	maxEntry  int
 	probePool sync.Pool
+
+	// jobs is the async batch-query job service behind /api/v1/jobs (nil
+	// only when its spill directory could not be created).
+	jobs *jobs.Manager
 
 	// notReady is set while the server drains: gated routes shed with 503
 	// (zero value = ready, so a fresh server serves immediately). panics
@@ -124,7 +143,22 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 			BatchSlots:            opt.BatchSlots,
 			InteractiveQueueDepth: opt.InteractiveQueueDepth,
 			BatchQueueDepth:       opt.BatchQueueDepth,
+			UserQueueQuota:        opt.UserQueueQuota,
 		}),
+	}
+	jm, err := jobs.New(jobs.Config{
+		Dir:        opt.JobsDir,
+		TTL:        opt.JobsTTL,
+		MaxBytes:   opt.JobsBytes,
+		MaxPerUser: opt.JobsMaxPerUser,
+		Exec:       s.runJob,
+	})
+	if err != nil {
+		// The server still serves everything synchronous; /api/v1/jobs
+		// answers 503 until a restart fixes the spill directory.
+		log.Printf("web: jobs service disabled: %v", err)
+	} else {
+		s.jobs = jm
 	}
 	s.maxEntry = opt.ResultCacheMaxEntry
 	if s.maxEntry <= 0 {
@@ -156,6 +190,21 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 	s.mux.HandleFunc("/en/tools/navi/objects", s.gate("rect", interactive, s.handleRect))
 	s.mux.HandleFunc("/en/help/docs/browser.asp", s.handleSchema)
 	s.mux.HandleFunc("/en/skyserver/loadevents", s.gate("loadevents", interactive, s.handleLoadEvents))
+	// The versioned /api/v1 namespace: the sync query endpoint and the
+	// status pages are the same handlers as the legacy routes above
+	// (which stay as thin aliases); /api/v1/jobs is the async job
+	// service. Errors under /api/v1 are the JSON envelope (docs/ops.md).
+	s.mux.HandleFunc("/api/v1/query", sqlHandler)
+	s.mux.HandleFunc("/api/v1/status/sched", s.handleSched)
+	s.mux.HandleFunc("/api/v1/status/plancache", s.handlePlanCache)
+	s.mux.HandleFunc("/api/v1/status/resultcache", s.handleResultCache)
+	s.mux.HandleFunc("/api/v1/status/health", s.handleHealth)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("/api/v1/", s.handleAPINotFound)
 	return s
 }
 
@@ -376,24 +425,43 @@ func retryAfter(class sched.Class) string {
 func (s *Server) gate(label string, classify func(*http.Request) sched.Class, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		class := classify(r)
-		if o, ok := sched.ParseClass(r.URL.Query().Get("class")); ok && o == sched.Batch {
+		q := r.URL.Query()
+		if o, ok := sched.ParseClass(q.Get("class")); ok && o == sched.Batch {
 			class = sched.Batch
 		}
 		w.Header().Set("X-Query-Class", class.String())
 		if !s.Ready() {
-			shedDraining(w, class)
+			shedDraining(w, r, class)
 			return
 		}
-		tk, err := s.sched.Admit(r.Context(), class, label)
+		// Batch admissions carry the analyst's identity so the scheduler's
+		// per-user fair share can tell floods apart; the interactive
+		// reservation has no identity (it is never queued long enough to
+		// need one).
+		user := ""
+		if class == sched.Batch {
+			if user = r.Header.Get("X-User"); user == "" {
+				user = q.Get("user")
+			}
+		}
+		tk, err := s.sched.AdmitUser(r.Context(), class, label, user)
 		if err != nil {
 			if errors.Is(err, sched.ErrOverloaded) {
 				// The §7 spike answer: a well-formed, retryable rejection.
+				msg := fmt.Sprintf("SkyServer overloaded: %s queue full, try again shortly", class)
+				if isAPI(r) {
+					writeAPIError(w, http.StatusServiceUnavailable, class.String(), retryAfterSecs(class), msg)
+					return
+				}
 				w.Header().Set("Retry-After", retryAfter(class))
-				http.Error(w, fmt.Sprintf("SkyServer overloaded: %s queue full, try again shortly", class),
-					http.StatusServiceUnavailable)
+				http.Error(w, msg, http.StatusServiceUnavailable)
 				return
 			}
 			// The client went away while queued; nobody is listening.
+			if isAPI(r) {
+				writeAPIError(w, statusClientClosedRequest, class.String(), 0, err.Error())
+				return
+			}
 			http.Error(w, err.Error(), statusClientClosedRequest)
 			return
 		}
@@ -543,7 +611,7 @@ func (s *Server) handlePlaces(w http.ResponseWriter, r *http.Request) {
 		from Galaxy
 		order by r asc`)
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -564,7 +632,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		cmd = r.URL.Query().Get("cmd")
 	case http.MethodPost:
 		if err := r.ParseForm(); err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		cmd = r.PostForm.Get("cmd")
@@ -612,7 +680,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	if newBatchSerializer(nil, format) == nil {
 		if !strings.EqualFold(format, "fits") {
 			clearValidators(w)
-			httpError(w, errUnknownFormat(format))
+			httpError(w, r, errUnknownFormat(format))
 			return
 		}
 		s.streamFITS(w, r, fs, sess, cmd)
@@ -631,7 +699,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if !sw.started() {
 			clearValidators(w)
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		// Mid-stream failure: the status line is already on the wire, so
@@ -717,7 +785,7 @@ func (s *Server) streamFITS(w http.ResponseWriter, r *http.Request, fs *fillStat
 		return nil
 	}); err != nil {
 		clearValidators(w)
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	var fw *fillWriter
@@ -761,7 +829,7 @@ func (s *Server) streamFITS(w http.ResponseWriter, r *http.Request, fs *fillStat
 	if err != nil {
 		if !headerSent {
 			clearValidators(w)
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		// The header is committed with the pass-one count; close with an
@@ -840,7 +908,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.exec(r, sess, fmt.Sprintf("select %s from PhotoObj where objID = %d", cols, id))
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	if len(res.Rows) == 0 {
@@ -901,7 +969,7 @@ func (s *Server) handleCutout(w http.ResponseWriter, r *http.Request) {
 		where f.raMin <= %g and f.raMax > %g and f.decMin <= %g and f.decMax > %g`,
 		ra, ra, dec, dec))
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	if len(res.Rows) == 0 {
@@ -912,7 +980,7 @@ func (s *Server) handleCutout(w http.ResponseWriter, r *http.Request) {
 	tile, err := s.exec(r, sess, fmt.Sprintf(
 		"select img from Frame where fieldID = %d and zoom = %d", fieldID, zoom))
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	if len(tile.Rows) == 0 || tile.Rows[0][0].IsNull() {
@@ -941,7 +1009,7 @@ func (s *Server) handleRect(w http.ResponseWriter, r *http.Request) {
 		"select objID, ra, dec, type, mode from fGetObjFromRect(%g, %g, %g, %g)",
 		b[0], b[1], b[2], b[3]))
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	format := q.Get("format")
@@ -949,7 +1017,7 @@ func (s *Server) handleRect(w http.ResponseWriter, r *http.Request) {
 		format = "json"
 	}
 	if err := WriteResult(w, res, format); err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 	}
 }
 
@@ -1104,17 +1172,21 @@ func (s *Server) handleLoadEvents(w http.ResponseWriter, r *http.Request) {
 	res, err := s.exec(r, sess,
 		"select eventID, tableName, sourceFile, sourceRows, insertedRows, status from loadEvents order by eventID")
 	if err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 		return
 	}
 	if err := WriteResult(w, res, "html"); err != nil {
-		httpError(w, err)
+		httpError(w, r, err)
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
+// httpError maps a query error onto its HTTP response. Legacy routes get
+// the classic text body; /api/ routes get the JSON envelope, with the
+// workload class echoed from the X-Query-Class header the gate set.
+func httpError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	msg := err.Error()
+	retry := 0
 	if strings.Contains(msg, "sql:") {
 		code = http.StatusBadRequest
 	}
@@ -1128,10 +1200,17 @@ func httpError(w http.ResponseWriter, err error) {
 		// Retries and the query budget are spent; the fault may clear, so
 		// tell the client to try again rather than blaming the query.
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		retry = 1
 	case errors.Is(err, storage.ErrChecksum), errors.Is(err, storage.ErrScanPanic):
 		// Data-integrity and isolated-panic failures are server faults.
 		code = http.StatusInternalServerError
+	}
+	if isAPI(r) {
+		writeAPIError(w, code, w.Header().Get("X-Query-Class"), retry, msg)
+		return
+	}
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 	}
 	http.Error(w, msg, code)
 }
