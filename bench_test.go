@@ -17,6 +17,7 @@ package skyserver
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -444,6 +445,74 @@ func BenchmarkTopKSort(b *testing.B) {
 	}
 	b.Run("Serial", func(b *testing.B) { run(b, sqlengine.ExecOptions{MaxConcurrency: 1}) })
 	b.Run("Parallel", func(b *testing.B) { run(b, sqlengine.ExecOptions{}) })
+}
+
+var (
+	benchShardOnce sync.Once
+	benchShardSrv  *core.SkyServer
+	benchShardErr  error
+)
+
+// benchShardedServer loads the bench survey once across 4 HTM-trixel
+// shards — the layout `skyserver -shards 4` serves.
+func benchShardedServer(b *testing.B) *core.SkyServer {
+	b.Helper()
+	benchShardOnce.Do(func() {
+		benchShardSrv, benchShardErr = core.Open(core.Config{Scale: benchScale, Shards: 4, SkipFrames: true})
+	})
+	if benchShardErr != nil {
+		b.Fatalf("building sharded bench survey: %v", benchShardErr)
+	}
+	return benchShardSrv
+}
+
+// BenchmarkShardedConeSearch measures what shard routing buys a spatial
+// range scan on a 4-shard layout. Pruned is an htmID range owned by one
+// shard (psfMag_r is in no index, so this is a heap scan); AllShards is
+// the same predicate written as htmID+0, which defeats the planner's
+// route extraction and fans the identical scan out to every shard. The
+// fixture asserts the all-shards variant reads ≥2× the heap pages — the
+// routing win the PR claims — so a silent routing regression fails the
+// bench job before the timing gate even looks at it.
+func BenchmarkShardedConeSearch(b *testing.B) {
+	s := benchShardedServer(b)
+	r := s.DB().DB.Shards().Plan().Range(1)
+	pruned := fmt.Sprintf("select sum(psfMag_r) from PhotoObj where htmID between %d and %d", r.Lo, r.Hi-1)
+	allShards := fmt.Sprintf("select sum(psfMag_r) from PhotoObj where htmID+0 between %d and %d", r.Lo, r.Hi-1)
+
+	sess := s.Session()
+	resP, err := sess.Exec(pruned, sqlengine.ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(resP.Plan, "Shards(1/4)") {
+		b.Fatalf("pruned scan not routed to one shard:\n%s", resP.Plan)
+	}
+	resA, err := sess.Exec(allShards, sqlengine.ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(resA.Plan, "Shards(4/4)") {
+		b.Fatalf("htmID+0 scan unexpectedly routed:\n%s", resA.Plan)
+	}
+	if resP.PagesScanned == 0 || resA.PagesScanned < 2*resP.PagesScanned {
+		b.Fatalf("routing win below 2×: pruned scanned %d pages, all-shards %d",
+			resP.PagesScanned, resA.PagesScanned)
+	}
+
+	run := func(b *testing.B, q string, pages int64) {
+		b.ReportAllocs()
+		sess := s.Session()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q, sqlengine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pages), "pages")
+	}
+	b.Run("Pruned", func(b *testing.B) { run(b, pruned, resP.PagesScanned) })
+	b.Run("AllShards", func(b *testing.B) { run(b, allShards, resA.PagesScanned) })
 }
 
 // BenchmarkSpatialLookup measures the fGetNearbyObjEq path: HTM cover plus

@@ -18,6 +18,8 @@ import (
 	"skyserver/internal/load"
 	"skyserver/internal/pipeline"
 	"skyserver/internal/schema"
+	"skyserver/internal/shard"
+	"skyserver/internal/sky"
 	"skyserver/internal/storage"
 )
 
@@ -33,6 +35,7 @@ func run() error {
 	dir := flag.String("dir", "", "CSV directory")
 	scale := flag.Float64("scale", 1.0/2000, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
+	shards := flag.Int("shards", 1, "number of HTM-trixel shards heap pages are partitioned into (1 = unsharded)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: skyload -dir DIR [gen|load|demo-undo]")
@@ -42,9 +45,23 @@ func run() error {
 		return err
 	}
 
-	fg := storage.NewMemFileGroup(4, 1<<14)
-	defer fg.Close()
-	sdb, err := schema.Build(fg)
+	if *shards < 1 {
+		*shards = 1
+	}
+	plan := shard.EqualSplit(*shards)
+	if *shards > 1 {
+		grid := pipeline.Config{Scale: *scale, Seed: *seed}.Footprint()
+		raMax := grid.RA0 + float64(grid.FieldsPerStrip)*sky.FieldHeightDeg
+		decMax := grid.Dec0 + float64(grid.Stripes)*sky.StripeWidthDeg
+		plan = shard.ForRect(grid.RA0, grid.Dec0, raMax, decMax, *shards)
+	}
+	fgs := make([]*storage.FileGroup, *shards)
+	for i := range fgs {
+		fgs[i] = storage.NewMemFileGroup(4, 1<<14 / *shards)
+	}
+	group := shard.New(plan, fgs)
+	defer group.Close()
+	sdb, err := schema.BuildGroup(group)
 	if err != nil {
 		return err
 	}

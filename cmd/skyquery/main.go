@@ -34,6 +34,7 @@ func main() {
 func run() error {
 	scale := flag.Float64("scale", 1.0/1000, "survey scale as a fraction of the 14M-object EDR")
 	seed := flag.Int64("seed", 20020603, "survey seed")
+	shards := flag.Int("shards", 1, "partition storage across N HTM-trixel shards")
 	format := flag.String("format", "table", "output: table, csv")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
 	stats := flag.Bool("stats", true, "print execution statistics")
@@ -48,7 +49,7 @@ func run() error {
 	}
 
 	log.Printf("building synthetic survey at scale 1/%.0f …", 1 / *scale)
-	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, SkipFrames: true})
+	s, err := core.Open(core.Config{Scale: *scale, Seed: *seed, Shards: *shards, SkipFrames: true})
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,7 @@ func run() error {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
 	chaosLatency := flag.Duration("chaos-latency", 0, "dev mode: delay every physical read by up to this duration")
 	cachePages := flag.Int("cachepages", 0, "page-cache size in 8 KB pages (0 = 64K pages / 512 MB default)")
+	shards := flag.Int("shards", 1, "number of HTM-trixel shards heap pages are partitioned into (1 = unsharded)")
 	userQueueQuota := flag.Int("user-queue-quota", 0, "max queued batch queries per user before 503s (0 = default)")
 	jobsDir := flag.String("jobs-dir", "", "directory for persisted batch-job results (empty = temp dir, lost on exit)")
 	jobsTTL := flag.Duration("jobs-ttl", 0, "how long finished job results stay fetchable (0 = 1h default)")
@@ -64,7 +65,7 @@ func run() error {
 	jobsMaxPerUser := flag.Int("jobs-max-per-user", 0, "max unfinished jobs per user (0 = 16 default)")
 	flag.Parse()
 
-	cfg := core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers, CachePages: *cachePages}
+	cfg := core.Config{Scale: *scale, Seed: *seed, ScanWorkers: *scanWorkers, CachePages: *cachePages, Shards: *shards}
 	if *chaosRate > 0 || *chaosLatency > 0 {
 		log.Printf("CHAOS MODE: transient rate %g, corrupt rate %g, latency up to %s, seed %d",
 			*chaosRate, *chaosRate/2, *chaosLatency, *chaosSeed)
@@ -75,9 +76,9 @@ func run() error {
 			cfg.CachePages = 256
 			log.Printf("chaos: page cache shrunk to %d pages so reads hit the fault layer (override with -cachepages)", cfg.CachePages)
 		}
-		cfg.WrapVolume = func(i int, v storage.Volume) storage.Volume {
+		cfg.WrapVolume = func(shard, stripe int, v storage.Volume) storage.Volume {
 			return chaos.NewFaultVolume(v, chaos.Config{
-				Seed:          *chaosSeed + uint64(i),
+				Seed:          *chaosSeed + uint64(shard*64+stripe),
 				TransientRate: *chaosRate,
 				CorruptRate:   *chaosRate / 2,
 				Latency:       *chaosLatency,

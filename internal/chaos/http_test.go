@@ -72,7 +72,7 @@ func TestChaosHTTPEquivalence(t *testing.T) {
 		// A near-zero cache: with the default 512 MB budget the whole
 		// survey stays resident and the fault volumes never see a read.
 		CachePages: 1,
-		WrapVolume: func(i int, v storage.Volume) storage.Volume {
+		WrapVolume: func(_, i int, v storage.Volume) storage.Volume {
 			fv := chaos.NewFaultVolume(v, chaos.Config{
 				Seed:          chaosSeed + uint64(i),
 				TransientRate: 0.01,

@@ -32,7 +32,7 @@ func TestWorkerPanicDuringPartialAgg(t *testing.T) {
 		Scale: chaosScale, Seed: chaosSeed, SkipFrames: true, SkipBlobs: true,
 		// Keep the page cache tiny so reads reach the fault volumes.
 		CachePages: 1,
-		WrapVolume: func(i int, v storage.Volume) storage.Volume {
+		WrapVolume: func(_, i int, v storage.Volume) storage.Volume {
 			// No random faults: this test injects only deterministic
 			// panics, so every non-panicking run must be byte-perfect.
 			fv := chaos.NewFaultVolume(v, chaos.Config{Seed: chaosSeed + uint64(i)})

@@ -1,0 +1,170 @@
+package chaos_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"skyserver/internal/chaos"
+	"skyserver/internal/core"
+	"skyserver/internal/queries"
+	"skyserver/internal/storage"
+	"skyserver/internal/web"
+)
+
+// TestChaosSingleShardFaults pins the failure-domain story of sharding:
+// faults injected into ONE shard's volumes stay inside that shard.
+// Transient read errors there retry within the query budget and produce
+// byte-equal results; a forced panic on that shard's pages fails only
+// the queries routed through it with one well-formed 500, while queries
+// routed to sibling shards keep answering. After Heal, the scatter
+// layer produces byte-equal results again — the pools survived.
+func TestChaosSingleShardFaults(t *testing.T) {
+	const faultedShard = 1
+	clean, err := core.Open(core.Config{
+		Scale: chaosScale, Seed: chaosSeed, Shards: 4, SkipFrames: true, SkipBlobs: true,
+	})
+	if err != nil {
+		t.Fatalf("open clean: %v", err)
+	}
+	defer clean.Close()
+
+	var fvs []*chaos.FaultVolume
+	faulted, err := core.Open(core.Config{
+		Scale: chaosScale, Seed: chaosSeed, Shards: 4, SkipFrames: true, SkipBlobs: true,
+		// Near-zero per-shard caches so reads reach the fault layer.
+		CachePages: 4,
+		WrapVolume: func(shard, stripe int, v storage.Volume) storage.Volume {
+			if shard != faultedShard {
+				return v
+			}
+			fv := chaos.NewFaultVolume(v, chaos.Config{
+				Seed:          chaosSeed + uint64(stripe),
+				TransientRate: 0.01,
+			})
+			fvs = append(fvs, fv)
+			return fv
+		},
+	})
+	if err != nil {
+		t.Fatalf("open faulted: %v", err)
+	}
+	defer faulted.Close()
+
+	opt := web.Options{Public: true, ResultCacheBytes: -1}
+	cleanTS := httptest.NewServer(clean.Web(opt).Handler())
+	defer cleanTS.Close()
+	faultTS := httptest.NewServer(faulted.Web(opt).Handler())
+	defer faultTS.Close()
+
+	fetch(t, cleanTS.URL, batchScan)
+	fetch(t, faultTS.URL, batchScan)
+	before := runtime.NumGoroutine()
+
+	// Phase 1: transient faults on one shard. The all-shard scan crosses
+	// the faulted shard on every run; retries must absorb the faults and
+	// keep results byte-equal to the clean server.
+	sess := clean.Session()
+	okCount := 0
+	for _, q := range queries.All() {
+		sql, err := q.SQL(sess)
+		if err != nil {
+			t.Fatalf("Q%s: resolve SQL: %v", q.ID, err)
+		}
+		cleanCode, cleanBody := fetch(t, cleanTS.URL, sql)
+		if cleanCode != http.StatusOK {
+			t.Fatalf("Q%s on clean server: status %d", q.ID, cleanCode)
+		}
+		_, cleanBody2 := fetch(t, cleanTS.URL, sql)
+		deterministic := sortLines(cleanBody) == sortLines(cleanBody2)
+
+		code, body := fetch(t, faultTS.URL, sql)
+		switch {
+		case code == http.StatusOK:
+			okCount++
+			if deterministic && sortLines(body) != sortLines(cleanBody) {
+				t.Errorf("Q%s: 200 with different bytes under one-shard transients (silent corruption)", q.ID)
+			}
+		case code == http.StatusInternalServerError || code == http.StatusServiceUnavailable:
+			// Budget exhausted on the faulted shard: acceptable, well-formed.
+		default:
+			t.Errorf("Q%s: unexpected status %d: %s", q.ID, code, body)
+		}
+	}
+	if okCount == 0 {
+		t.Error("no query survived one-shard transients; per-shard retry is not recovering")
+	}
+	var transients int64
+	for _, fv := range fvs {
+		transients += fv.Stats().Transients
+	}
+	if transients == 0 {
+		t.Fatal("fault injection inactive on the faulted shard")
+	}
+	for i, fg := range faulted.DB().DB.Shards().FileGroups() {
+		if i == faultedShard {
+			if fg.ReadRetries() == 0 {
+				t.Error("faulted shard recorded no read retries despite injected transients")
+			}
+		} else if fg.ReadRetries() != 0 {
+			t.Errorf("shard %d recorded retries but has no fault volume — fault bled across the shard boundary", i)
+		}
+	}
+
+	// Phase 2: the faulted shard panics on every read. A scan routed
+	// through it gets one well-formed 500; a scan routed to a sibling
+	// shard keeps working while the panic is live.
+	for _, fv := range fvs {
+		for p := uint32(0); p < fv.Pages(); p++ {
+			fv.PanicReads(p, 1<<20)
+		}
+	}
+	code, body := fetch(t, faultTS.URL, batchScan)
+	if code != http.StatusInternalServerError {
+		t.Errorf("all-shard scan over panicking shard: status %d (%s), want 500", code, body)
+	}
+	// psfMag_r is in no index, so this is a heap scan pruned to shard 0.
+	r0 := faulted.DB().DB.Shards().Plan().Range(0)
+	siblingScan := fmt.Sprintf("select count(psfMag_r) from PhotoObj where htmID between %d and %d", r0.Lo, r0.Hi-1)
+	wantCode, wantBody := fetch(t, cleanTS.URL, siblingScan)
+	if wantCode != http.StatusOK {
+		t.Fatalf("sibling scan on clean server: status %d", wantCode)
+	}
+	code, body = fetch(t, faultTS.URL, siblingScan)
+	if code != http.StatusOK || sortLines(body) != sortLines(wantBody) {
+		t.Errorf("sibling-shard scan during panic: status %d, equal=%v — failure domain leaked",
+			code, sortLines(body) == sortLines(wantBody))
+	}
+
+	// Phase 3: Heal, then the all-shard scan is byte-equal again — the
+	// panicked shard's pool and the scatter layer are both reusable.
+	for _, fv := range fvs {
+		fv.Heal()
+	}
+	wantCode, wantBody = fetch(t, cleanTS.URL, batchScan)
+	if wantCode != http.StatusOK {
+		t.Fatalf("clean rerun: status %d", wantCode)
+	}
+	code, body = fetch(t, faultTS.URL, batchScan)
+	if code != http.StatusOK || sortLines(body) != sortLines(wantBody) {
+		t.Errorf("rerun after heal: status %d, equal=%v — shard did not recover", code, sortLines(body) == sortLines(wantBody))
+	}
+
+	// Goroutines flat: the per-shard scatter goroutines and pools drained.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d and stayed there", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, fg := range faulted.DB().DB.Shards().FileGroups() {
+		if w := fg.ScanPoolStats().Workers; w == 0 {
+			t.Errorf("shard %d scan pool has no workers after chaos run", i)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"skyserver/internal/pipeline"
 	"skyserver/internal/queries"
 	"skyserver/internal/schema"
+	"skyserver/internal/shard"
+	"skyserver/internal/sky"
 	"skyserver/internal/sqlengine"
 	"skyserver/internal/storage"
 	"skyserver/internal/val"
@@ -40,16 +42,23 @@ type Config struct {
 	// (0 = sched.DefaultPoolSize). Parallel scans dispatch page morsels
 	// onto this pool instead of spawning goroutines per query.
 	ScanWorkers int
-	// CachePages sizes the page cache (default 1<<16 pages = 512 MB max).
+	// CachePages sizes the page cache (default 1<<16 pages = 512 MB max);
+	// when sharded, the budget is divided evenly across the shards.
 	CachePages int
+	// Shards is the number of HTM-trixel shards heap pages are
+	// partitioned into (default 1 = unsharded). Shard ranges are
+	// balanced over the survey footprint's trixel cover, so a cone
+	// query routes to the few shards its cover intersects while
+	// non-spatial sweeps scatter to all of them.
+	Shards int
 	// Dir, when set, backs volumes with files under this directory
 	// instead of memory.
 	Dir string
-	// WrapVolume, when set, wraps each volume as it is created (i is the
-	// stripe index) — the hook skyserver's chaos dev mode uses to inject
-	// faults under the real stack without core importing the chaos
-	// package.
-	WrapVolume func(i int, v storage.Volume) storage.Volume
+	// WrapVolume, when set, wraps each volume as it is created (shard is
+	// the shard index, stripe the volume index within it) — the hook
+	// skyserver's chaos dev mode uses to inject faults under the real
+	// stack without core importing the chaos package.
+	WrapVolume func(shard, stripe int, v storage.Volume) storage.Volume
 	// SkipFrames / SkipBlobs trim image artifacts for catalog-only work.
 	SkipFrames bool
 	SkipBlobs  bool
@@ -71,6 +80,9 @@ func (c *Config) defaults() {
 	if c.CachePages <= 0 {
 		c.CachePages = 1 << 16
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 }
 
 // SkyServer is a loaded sky-survey database.
@@ -83,36 +95,69 @@ type SkyServer struct {
 }
 
 // Open builds and loads a SkyServer per the config. On any error the
-// volumes and scan pool created so far are closed — an Open that fails
+// volumes and scan pools created so far are closed — an Open that fails
 // leaks nothing.
 func Open(cfg Config) (*SkyServer, error) {
 	cfg.defaults()
-	var vols []storage.Volume
-	closeVols := func() {
-		for _, v := range vols {
-			_ = v.Close()
+	// Shard ranges are cut so each shard owns an equal slice of the
+	// survey footprint's trixel cover — the synthetic sky is a narrow
+	// stripe, so equal slices of the raw HTM ID space would leave most
+	// shards empty.
+	plan := shard.EqualSplit(cfg.Shards)
+	if cfg.Shards > 1 {
+		grid := pipeline.Config{Scale: cfg.Scale, Seed: cfg.Seed}.Footprint()
+		raMax := grid.RA0 + float64(grid.FieldsPerStrip)*sky.FieldHeightDeg
+		decMax := grid.Dec0 + float64(grid.Stripes)*sky.StripeWidthDeg
+		plan = shard.ForRect(grid.RA0, grid.Dec0, raMax, decMax, cfg.Shards)
+	}
+	// An explicitly tiny cache (chaos tests use CachePages: 1 to force
+	// physical reads) must stay tiny, so the floor is 1, not something
+	// comfortable.
+	cachePer := cfg.CachePages / cfg.Shards
+	if cachePer < 1 {
+		cachePer = 1
+	}
+	var fgs []*storage.FileGroup
+	closeAll := func() {
+		for _, g := range fgs {
+			_ = g.Close()
 		}
 	}
-	for i := 0; i < cfg.Volumes; i++ {
-		var v storage.Volume = storage.NewMemVolume()
-		if cfg.Dir != "" {
-			fv, err := storage.NewFileVolume(filepath.Join(cfg.Dir, fmt.Sprintf("skyserver_vol%d.dat", i)))
-			if err != nil {
-				closeVols()
-				return nil, err
+	for si := 0; si < cfg.Shards; si++ {
+		var vols []storage.Volume
+		closeVols := func() {
+			for _, v := range vols {
+				_ = v.Close()
 			}
-			v = fv
 		}
-		if cfg.WrapVolume != nil {
-			v = cfg.WrapVolume(i, v)
+		for i := 0; i < cfg.Volumes; i++ {
+			var v storage.Volume = storage.NewMemVolume()
+			if cfg.Dir != "" {
+				name := fmt.Sprintf("skyserver_vol%d.dat", i)
+				if cfg.Shards > 1 {
+					name = fmt.Sprintf("skyserver_s%d_vol%d.dat", si, i)
+				}
+				fv, err := storage.NewFileVolume(filepath.Join(cfg.Dir, name))
+				if err != nil {
+					closeVols()
+					closeAll()
+					return nil, err
+				}
+				v = fv
+			}
+			if cfg.WrapVolume != nil {
+				v = cfg.WrapVolume(si, i, v)
+			}
+			vols = append(vols, v)
 		}
-		vols = append(vols, v)
+		g := storage.NewFileGroup(vols, cachePer)
+		g.SetScanWorkers(cfg.ScanWorkers)
+		fgs = append(fgs, g)
 	}
-	fg := storage.NewFileGroup(vols, cfg.CachePages)
-	fg.SetScanWorkers(cfg.ScanWorkers)
-	sdb, err := schema.Build(fg)
+	group := shard.New(plan, fgs)
+	sdb, err := schema.BuildGroup(group)
 	if err != nil {
-		fg.Close()
+		closeAll()
 		return nil, err
 	}
 	s := &SkyServer{cfg: cfg, sdb: sdb, loader: load.New(sdb)}
@@ -124,14 +169,14 @@ func Open(cfg Config) (*SkyServer, error) {
 		SkipFrames: cfg.SkipFrames, SkipBlobs: cfg.SkipBlobs,
 	})
 	if err != nil {
-		fg.Close()
+		closeAll()
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	s.stats = stats
 	s.truth = stats.Truth
 	if !cfg.SkipNeighbors {
 		if _, err := neighbors.Build(sdb, cfg.NeighborsRadius); err != nil {
-			fg.Close()
+			closeAll()
 			return nil, fmt.Errorf("core: neighbors: %w", err)
 		}
 	}
@@ -207,9 +252,9 @@ func (s *SkyServer) TableSummary() []TableInfo {
 	return out
 }
 
-// Close releases the underlying volumes.
+// Close releases the underlying volumes of every shard.
 func (s *SkyServer) Close() error {
-	return s.sdb.DB.FileGroup().Close()
+	return s.sdb.DB.Close()
 }
 
 // PersonalSubset builds the §10 "personal SkyServer": a fresh database

@@ -8,6 +8,7 @@ package schema
 import (
 	"fmt"
 
+	"skyserver/internal/shard"
 	"skyserver/internal/sqlengine"
 	"skyserver/internal/storage"
 	"skyserver/internal/val"
@@ -300,7 +301,15 @@ func renameStokesU(cols []sqlengine.Column) {
 // Build creates the full SkyServer catalog on the file group: tables,
 // indices, views, foreign keys, and the scalar + table-valued functions.
 func Build(fg *storage.FileGroup) (*SkyDB, error) {
-	db := sqlengine.NewDB(fg)
+	return BuildGroup(shard.New(shard.EqualSplit(1), []*storage.FileGroup{fg}))
+}
+
+// BuildGroup creates the catalog over a shard group: each table's heap
+// pages are partitioned across the group's file groups by HTM trixel
+// range (spatial tables) or primary-key hash, while indexes and views
+// stay global. A 1-shard group behaves exactly like Build.
+func BuildGroup(g *shard.Group) (*SkyDB, error) {
+	db := sqlengine.NewShardedDB(g)
 	s := &SkyDB{DB: db}
 	var err error
 

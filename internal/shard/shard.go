@@ -1,0 +1,284 @@
+// Package shard partitions the survey across N in-process storage shards
+// by contiguous HTM trixel ranges, the SkyServer paper's "divide the sky
+// into regions" scale-out direction. Each shard owns one FileGroup (its
+// own volumes, page cache, and scan-worker pool — an independent failure
+// domain); a Plan maps every depth-20 HTM ID to exactly one shard, and
+// Route intersects a query's HTM cover with the shard ranges so spatial
+// scans touch only the covering shards. Secondary indexes stay global
+// (in-memory B-trees over shard-tagged RIDs); only heap pages shard.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"skyserver/internal/htm"
+	"skyserver/internal/storage"
+)
+
+// Plan assigns every depth-MaxDepth HTM ID to one of N shards via N
+// contiguous half-open ranges. bounds has N+1 entries; shard i owns
+// [bounds[i], bounds[i+1]). bounds[0] is 0 and bounds[N] is MaxUint64,
+// so routing is total: any 64-bit value (including IDs outside the legal
+// trixel space) lands on some shard.
+type Plan struct {
+	bounds []uint64
+}
+
+// idSpace is the legal depth-MaxDepth HTM ID interval [8·4^d, 16·4^d).
+func idSpace() (lo, hi uint64) {
+	d := uint(htm.MaxDepth)
+	return 8 << (2 * d), 16 << (2 * d)
+}
+
+// EqualSplit divides the depth-MaxDepth HTM ID space into n equal
+// contiguous ranges. Balanced only for all-sky data; survey stripes
+// should use FromCover / ForRect instead.
+func EqualSplit(n int) Plan {
+	if n < 1 {
+		n = 1
+	}
+	lo, hi := idSpace()
+	step := (hi - lo) / uint64(n)
+	bounds := make([]uint64, n+1)
+	for i := 1; i < n; i++ {
+		bounds[i] = lo + uint64(i)*step
+	}
+	bounds[0] = 0
+	bounds[n] = math.MaxUint64
+	return Plan{bounds: bounds}
+}
+
+// FromCover builds a plan whose cut points divide the cover's cumulative
+// trixel length into n equal parts, so data uniform over the covered
+// region lands evenly across shards. The cover need not contain all data:
+// the outer ranges extend to 0 and MaxUint64, keeping routing total.
+func FromCover(cover []htm.Range, n int) Plan {
+	if n < 1 {
+		n = 1
+	}
+	cover = htm.MergeRanges(append([]htm.Range(nil), cover...))
+	var total uint64
+	for _, r := range cover {
+		total += r.Hi - r.Lo
+	}
+	if total == 0 || n == 1 {
+		return EqualSplit(n)
+	}
+	bounds := make([]uint64, n+1)
+	bounds[0] = 0
+	bounds[n] = math.MaxUint64
+	ci, consumed := 0, uint64(0) // walk position in the cover
+	var walked uint64            // cumulative length before (ci, consumed)
+	for k := 1; k < n; k++ {
+		target := total / uint64(n) * uint64(k)
+		for ci < len(cover) && walked+(cover[ci].Hi-cover[ci].Lo-consumed) < target {
+			walked += cover[ci].Hi - cover[ci].Lo - consumed
+			ci, consumed = ci+1, 0
+		}
+		if ci >= len(cover) {
+			bounds[k] = cover[len(cover)-1].Hi
+			continue
+		}
+		consumed += target - walked
+		walked = target
+		bounds[k] = cover[ci].Lo + consumed
+	}
+	// Cut points are non-decreasing by construction; equal neighbours
+	// simply leave a shard empty, which Route never selects.
+	return Plan{bounds: bounds}
+}
+
+// ForRect builds a plan balanced over the (ra, dec) box in degrees — the
+// survey footprint. Falls back to EqualSplit if the rect is degenerate.
+func ForRect(raMin, decMin, raMax, decMax float64, n int) Plan {
+	cx, err := htm.Rect(raMin, decMin, raMax, decMax)
+	if err != nil {
+		return EqualSplit(n)
+	}
+	cover := cx.CoverWith(htm.CoverOptions{Budget: 2048})
+	return FromCover(cover, n)
+}
+
+// N returns the number of shards.
+func (p Plan) N() int { return len(p.bounds) - 1 }
+
+// ShardFor returns the shard owning the given HTM ID.
+func (p Plan) ShardFor(id uint64) int {
+	// First bound strictly above id; id lives in the range ending there.
+	i := sort.Search(len(p.bounds)-2, func(i int) bool { return p.bounds[i+1] > id })
+	return i
+}
+
+// Range returns shard i's half-open ID range. The last shard's Hi is
+// MaxUint64 (its true upper bound is exclusive-of-MaxUint64; no legal
+// trixel ID is ever MaxUint64, so the distinction never matters).
+func (p Plan) Range(i int) htm.Range {
+	return htm.Range{Lo: p.bounds[i], Hi: p.bounds[i+1]}
+}
+
+// Route returns the sorted shard indices whose ranges intersect any of
+// the cover's ranges. A nil or empty cover routes to every shard. The
+// result is conservative by construction: every ID in the cover belongs
+// to some returned shard, so pruning never loses rows.
+func (p Plan) Route(cover []htm.Range) []int {
+	n := p.N()
+	if len(cover) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := make([]int, 0, n)
+	for _, r := range cover {
+		if r.Hi <= r.Lo {
+			continue
+		}
+		lo := p.ShardFor(r.Lo)
+		hi := p.ShardFor(r.Hi - 1)
+		for s := lo; s <= hi; s++ {
+			if len(out) == 0 || out[len(out)-1] != s {
+				if len(out) > 0 && out[len(out)-1] > s {
+					continue // overlapping covers are pre-merged; be safe
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// HashShard deterministically routes a non-spatial key (FNV-1a over its
+// 8 bytes) to a shard — the split for tables without an htmID column.
+func (p Plan) HashShard(key uint64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (key >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(p.N()))
+}
+
+// Group owns the N shard FileGroups plus the routing and per-shard scan
+// counters surfaced at /x/shards. N==1 is the unsharded degenerate case:
+// all tagging and routing collapse to today's single-FileGroup behavior.
+type Group struct {
+	plan Plan
+	fgs  []*storage.FileGroup
+
+	perShard []shardCounters
+	spatial  atomic.Uint64 // queries routed by an HTM cover
+	full     atomic.Uint64 // queries routed to all shards (non-spatial)
+	routed   atomic.Uint64 // Σ shards scanned over routed queries
+	possible atomic.Uint64 // Σ shards total over routed queries
+}
+
+type shardCounters struct {
+	pages   atomic.Uint64
+	queries atomic.Uint64
+}
+
+// New builds a Group over the plan's shards. len(fgs) must equal plan.N().
+func New(plan Plan, fgs []*storage.FileGroup) *Group {
+	if len(fgs) != plan.N() {
+		panic(fmt.Sprintf("shard: %d file groups for %d-shard plan", len(fgs), plan.N()))
+	}
+	return &Group{plan: plan, fgs: fgs, perShard: make([]shardCounters, len(fgs))}
+}
+
+// N returns the shard count.
+func (g *Group) N() int { return len(g.fgs) }
+
+// Plan returns the routing plan.
+func (g *Group) Plan() Plan { return g.plan }
+
+// FileGroup returns shard i's storage.
+func (g *Group) FileGroup(i int) *storage.FileGroup { return g.fgs[i] }
+
+// FileGroups returns all shards' storage, in shard order.
+func (g *Group) FileGroups() []*storage.FileGroup { return g.fgs }
+
+// RecordRoute accounts one scan execution that touched k of N shards;
+// spatial marks routes derived from an HTM cover rather than a full
+// fan-out. Feeds the prune-ratio counters.
+func (g *Group) RecordRoute(shards []int, spatial bool) {
+	if spatial {
+		g.spatial.Add(1)
+	} else {
+		g.full.Add(1)
+	}
+	g.routed.Add(uint64(len(shards)))
+	g.possible.Add(uint64(g.N()))
+	for _, s := range shards {
+		g.perShard[s].queries.Add(1)
+	}
+}
+
+// AddPages accounts n heap pages scanned on shard i.
+func (g *Group) AddPages(i int, n uint64) { g.perShard[i].pages.Add(n) }
+
+// ShardStats is one shard's snapshot in Stats.
+type ShardStats struct {
+	Shard         int    `json:"shard"`
+	RangeLo       uint64 `json:"rangeLo"`
+	RangeHi       uint64 `json:"rangeHi"`
+	PagesScanned  uint64 `json:"pagesScanned"`
+	QueriesRouted uint64 `json:"queriesRouted"`
+	PhysReads     uint64 `json:"physReads"`
+	PoolWorkers   int    `json:"poolWorkers"`
+}
+
+// Stats is the /x/shards document.
+type Stats struct {
+	Shards        int          `json:"shards"`
+	SpatialRouted uint64       `json:"spatialRouted"`
+	FullRouted    uint64       `json:"fullRouted"`
+	PruneRatio    float64      `json:"pruneRatio"`
+	PerShard      []ShardStats `json:"perShard"`
+}
+
+// Stats snapshots the routing counters. PruneRatio is the fraction of
+// shard scans avoided by routing: 1 − (shards scanned / shards possible)
+// over all accounted executions.
+func (g *Group) Stats() Stats {
+	st := Stats{
+		Shards:        g.N(),
+		SpatialRouted: g.spatial.Load(),
+		FullRouted:    g.full.Load(),
+	}
+	if p := g.possible.Load(); p > 0 {
+		st.PruneRatio = 1 - float64(g.routed.Load())/float64(p)
+	}
+	for i := range g.fgs {
+		r := g.plan.Range(i)
+		st.PerShard = append(st.PerShard, ShardStats{
+			Shard:         i,
+			RangeLo:       r.Lo,
+			RangeHi:       r.Hi,
+			PagesScanned:  g.perShard[i].pages.Load(),
+			QueriesRouted: g.perShard[i].queries.Load(),
+			PhysReads:     g.fgs[i].PhysReads(),
+			PoolWorkers:   g.fgs[i].ScanPoolStats().Workers,
+		})
+	}
+	return st
+}
+
+// Close closes every shard's FileGroup (scan pools, then volumes),
+// returning the first error.
+func (g *Group) Close() error {
+	var first error
+	for _, fg := range g.fgs {
+		if err := fg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,190 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skyserver/internal/htm"
+)
+
+// TestEqualSplitTotality: every 64-bit value routes to exactly one shard
+// and the per-shard ranges tile [0, MaxUint64) without gaps.
+func TestEqualSplitTotality(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		p := EqualSplit(n)
+		if p.N() != n {
+			t.Fatalf("EqualSplit(%d).N() = %d", n, p.N())
+		}
+		if p.bounds[0] != 0 || p.bounds[n] != math.MaxUint64 {
+			t.Fatalf("n=%d: outer bounds %d..%d, want 0..MaxUint64", n, p.bounds[0], p.bounds[n])
+		}
+		prev := -1
+		for i := 0; i < n; i++ {
+			r := p.Range(i)
+			if r.Lo > r.Hi {
+				t.Fatalf("n=%d shard %d: inverted range %d..%d", n, i, r.Lo, r.Hi)
+			}
+			if prev >= 0 && p.Range(prev).Hi != r.Lo {
+				t.Fatalf("n=%d: gap between shard %d and %d", n, prev, i)
+			}
+			prev = i
+		}
+		rng := rand.New(rand.NewSource(1))
+		for k := 0; k < 10000; k++ {
+			id := rng.Uint64()
+			s := p.ShardFor(id)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: ShardFor(%d) = %d out of range", n, id, s)
+			}
+			if !p.Range(s).Contains(id) && !(s == n-1 && id == math.MaxUint64) {
+				t.Fatalf("n=%d: id %d assigned to shard %d whose range %v excludes it", n, id, s, p.Range(s))
+			}
+		}
+	}
+}
+
+// TestFromCoverBalance: a plan cut from a footprint cover spreads IDs
+// sampled uniformly from that cover roughly evenly across shards.
+func TestFromCoverBalance(t *testing.T) {
+	cx, err := htm.Rect(180, -1.25, 186, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := cx.CoverWith(htm.CoverOptions{Budget: 2048})
+	for _, n := range []int{2, 4, 7} {
+		p := FromCover(cover, n)
+		counts := make([]int, n)
+		rng := rand.New(rand.NewSource(2))
+		const samples = 20000
+		merged := htm.MergeRanges(append([]htm.Range(nil), cover...))
+		var total uint64
+		for _, r := range merged {
+			total += r.Hi - r.Lo
+		}
+		for k := 0; k < samples; k++ {
+			// Uniform ID over the cover's cumulative length.
+			off := rng.Uint64() % total
+			var id uint64
+			for _, r := range merged {
+				if off < r.Hi-r.Lo {
+					id = r.Lo + off
+					break
+				}
+				off -= r.Hi - r.Lo
+			}
+			counts[p.ShardFor(id)]++
+		}
+		want := samples / n
+		for i, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Errorf("n=%d shard %d: %d of %d samples, want ≈%d (cover-quantile split unbalanced)", n, i, c, samples, want)
+			}
+		}
+	}
+}
+
+// TestRouteNoFalsePrunes is the core safety property: for random cones
+// and rects, every ID inside the query's cover belongs to a routed
+// shard — pruning may over-include but never drops data.
+func TestRouteNoFalsePrunes(t *testing.T) {
+	cx, err := htm.Rect(180, -1.25, 186, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := FromCover(cx.CoverWith(htm.CoverOptions{Budget: 2048}), 7)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		ra := 178 + rng.Float64()*10
+		dec := -2 + rng.Float64()*4
+		var cover []htm.Range
+		if trial%2 == 0 {
+			radius := 0.5 + rng.Float64()*120 // arcmin
+			cover = htm.Circle(ra, dec, radius).Cover()
+		} else {
+			w, h := rng.Float64()*3, rng.Float64()*2
+			rcx, err := htm.Rect(ra, dec, ra+w+0.01, dec+h+0.01)
+			if err != nil {
+				continue
+			}
+			cover = rcx.Cover()
+		}
+		routed := plan.Route(cover)
+		onRoute := make(map[int]bool, len(routed))
+		for _, s := range routed {
+			onRoute[s] = true
+		}
+		// Sample IDs from the cover; each must land on a routed shard.
+		for _, r := range cover {
+			for _, id := range []uint64{r.Lo, r.Hi - 1, r.Lo + (r.Hi-r.Lo)/2} {
+				if s := plan.ShardFor(id); !onRoute[s] {
+					t.Fatalf("trial %d: id %d in cover maps to shard %d, not in route %v (false prune)", trial, id, s, routed)
+				}
+			}
+		}
+		// Route order and bounds.
+		for i, s := range routed {
+			if s < 0 || s >= plan.N() || (i > 0 && routed[i-1] >= s) {
+				t.Fatalf("trial %d: route %v not strictly increasing in [0,%d)", trial, routed, plan.N())
+			}
+		}
+	}
+}
+
+// TestRouteEmptyCover: no cover means no pruning — all shards.
+func TestRouteEmptyCover(t *testing.T) {
+	p := EqualSplit(4)
+	got := p.Route(nil)
+	if len(got) != 4 {
+		t.Fatalf("Route(nil) = %v, want all 4 shards", got)
+	}
+}
+
+// TestConeTrafficPruneRatio is the regression guard for routing
+// effectiveness: on a canned mix of small cones over the footprint, a
+// 7-shard cover-balanced plan must prune at least a third of the shard
+// scans (in practice it prunes far more; the floor only catches a
+// routing regression that silently fans every cone out to all shards).
+func TestConeTrafficPruneRatio(t *testing.T) {
+	cx, err := htm.Rect(180, -1.25, 186, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := FromCover(cx.CoverWith(htm.CoverOptions{Budget: 2048}), 7)
+	rng := rand.New(rand.NewSource(4))
+	var routed, possible int
+	for q := 0; q < 500; q++ {
+		ra := 180.2 + rng.Float64()*5.5
+		dec := -1.0 + rng.Float64()*2.0
+		radius := 1 + rng.Float64()*15 // 1–16 arcmin: Explorer-style cones
+		cover := htm.Circle(ra, dec, radius).Cover()
+		routed += len(plan.Route(cover))
+		possible += plan.N()
+	}
+	ratio := 1 - float64(routed)/float64(possible)
+	if ratio < 0.33 {
+		t.Fatalf("prune ratio %.2f below 0.33 floor: cone traffic is not being pruned", ratio)
+	}
+	t.Logf("cone-mix prune ratio: %.2f", ratio)
+}
+
+// TestHashShardStability: hash routing is deterministic and in range.
+func TestHashShardStability(t *testing.T) {
+	p := EqualSplit(4)
+	seen := make(map[int]int)
+	for k := uint64(0); k < 1000; k++ {
+		s := p.HashShard(k)
+		if s != p.HashShard(k) {
+			t.Fatal("HashShard not deterministic")
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("HashShard(%d) = %d out of range", k, s)
+		}
+		seen[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if seen[s] == 0 {
+			t.Fatalf("shard %d never chosen by hash over 1000 keys", s)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"skyserver/internal/btree"
+	"skyserver/internal/shard"
 	"skyserver/internal/storage"
 	"skyserver/internal/val"
 )
@@ -50,10 +51,18 @@ type Table struct {
 	// first entry of Indexes.
 	PKCols []int
 
-	colIdx  map[string]int
-	heap    *storage.Heap
-	indexes []*Index
-	fks     []ForeignKey
+	colIdx map[string]int
+	// heaps holds one heap per storage shard (a single element when the
+	// database is unsharded). Spatial rows route by the htmID column's
+	// trixel range, others by a hash of the first PK column; the owning
+	// shard is stamped into every RID the table hands out (index entries,
+	// Insert results), so heap access always finds the right shard while
+	// the in-memory B-tree indexes stay global.
+	heaps    []*storage.Heap
+	shards   *shard.Group
+	shardCol int // position of the htmID routing column, -1 when absent
+	indexes  []*Index
+	fks      []ForeignKey
 
 	// dataVer counts row mutations (insert/delete). Cached plans snapshot
 	// it at compile: the planner's dive-based cardinality estimates go
@@ -76,11 +85,39 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// Rows returns the live row count.
-func (t *Table) Rows() uint64 { return t.heap.Rows() }
+// Rows returns the live row count across all shards.
+func (t *Table) Rows() uint64 {
+	var n uint64
+	for _, h := range t.heaps {
+		n += h.Rows()
+	}
+	return n
+}
+
+// ShardRows returns shard i's live row count (the planner's routed-scan
+// cardinality input).
+func (t *Table) ShardRows(i int) uint64 { return t.heaps[i].Rows() }
+
+// ShardCount returns the number of storage shards backing the table.
+func (t *Table) ShardCount() int { return len(t.heaps) }
 
 // DataBytes returns the live payload bytes (Table 1's bytes column).
-func (t *Table) DataBytes() uint64 { return t.heap.Bytes() }
+func (t *Table) DataBytes() uint64 {
+	var n uint64
+	for _, h := range t.heaps {
+		n += h.Bytes()
+	}
+	return n
+}
+
+// GetRec resolves a (possibly shard-tagged) RID to its record bytes.
+func (t *Table) GetRec(rid storage.RID, buf []byte) ([]byte, error) {
+	si := rid.Shard()
+	if si >= len(t.heaps) {
+		return nil, fmt.Errorf("sql: %s: rid tagged for shard %d of %d", t.Name, si, len(t.heaps))
+	}
+	return t.heaps[si].Get(rid.Untag(), buf)
+}
 
 // IndexBytes estimates the space the table's indices occupy, assuming
 // 9 bytes per fixed-width value (the codec's int/float size) plus an 8-byte
@@ -142,7 +179,8 @@ type View struct {
 // DB is a database: a catalog of tables and views over one file group, plus
 // the scalar and table-valued function registries.
 type DB struct {
-	fg *storage.FileGroup
+	fg     *storage.FileGroup // shard 0, the unsharded fast path
+	shards *shard.Group
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -162,10 +200,17 @@ type DB struct {
 	plans *PlanCache
 }
 
-// NewDB creates an empty database over the file group.
+// NewDB creates an empty database over a single file group.
 func NewDB(fg *storage.FileGroup) *DB {
+	return NewShardedDB(shard.New(shard.EqualSplit(1), []*storage.FileGroup{fg}))
+}
+
+// NewShardedDB creates an empty database whose tables shard across the
+// group's file groups by HTM trixel range.
+func NewShardedDB(g *shard.Group) *DB {
 	db := &DB{
-		fg:      fg,
+		fg:      g.FileGroup(0),
+		shards:  g,
 		tables:  make(map[string]*Table),
 		views:   make(map[string]*View),
 		scalars: make(map[string]*ScalarFunc),
@@ -175,6 +220,12 @@ func NewDB(fg *storage.FileGroup) *DB {
 	registerBuiltins(db)
 	return db
 }
+
+// Shards returns the storage shard group.
+func (db *DB) Shards() *shard.Group { return db.shards }
+
+// Close closes every shard's file group (scan pools, then volumes).
+func (db *DB) Close() error { return db.shards.Close() }
 
 // Plans returns the database's shared plan cache.
 func (db *DB) Plans() *PlanCache { return db.plans }
@@ -202,11 +253,15 @@ func (db *DB) CreateTable(name string, cols []Column, pkCols []string, desc stri
 		return nil, fmt.Errorf("sql: %s already exists as a view", name)
 	}
 	t := &Table{
-		Name:   name,
-		Cols:   cols,
-		Desc:   desc,
-		colIdx: make(map[string]int, len(cols)),
-		heap:   storage.NewHeap(db.fg),
+		Name:     name,
+		Cols:     cols,
+		Desc:     desc,
+		colIdx:   make(map[string]int, len(cols)),
+		shards:   db.shards,
+		shardCol: -1,
+	}
+	for i := 0; i < db.shards.N(); i++ {
+		t.heaps = append(t.heaps, storage.NewHeap(db.shards.FileGroup(i)))
 	}
 	for i, c := range cols {
 		lc := fold(c.Name)
@@ -214,6 +269,9 @@ func (db *DB) CreateTable(name string, cols []Column, pkCols []string, desc stri
 			return nil, fmt.Errorf("sql: duplicate column %s in %s", c.Name, name)
 		}
 		t.colIdx[lc] = i
+	}
+	if i := t.ColIndex("htmID"); i >= 0 && cols[i].Kind == val.KindInt {
+		t.shardCol = i
 	}
 	if len(pkCols) > 0 {
 		for _, pc := range pkCols {
@@ -272,17 +330,19 @@ func (db *DB) CreateIndex(table, name string, keyCols, inclCols []string) (*Inde
 		need[i] = true
 	}
 	row := make(val.Row, width)
-	err = t.heap.Scan(1, func(rid storage.RID, rec []byte) error {
-		for i := range row {
-			row[i] = val.Null()
+	for si, h := range t.heaps {
+		err = h.Scan(1, func(rid storage.RID, rec []byte) error {
+			for i := range row {
+				row[i] = val.Null()
+			}
+			if _, err := val.DecodeRow(rec, row, width, need); err != nil {
+				return err
+			}
+			return ix.tree.Insert(indexEntry(ix, row, storage.TagRID(si, rid)))
+		})
+		if err != nil {
+			return nil, err
 		}
-		if _, err := val.DecodeRow(rec, row, width, need); err != nil {
-			return err
-		}
-		return ix.tree.Insert(indexEntry(ix, row, rid))
-	})
-	if err != nil {
-		return nil, err
 	}
 	t.indexes = append(t.indexes, ix)
 	db.bumpSchema()
@@ -461,10 +521,12 @@ func (t *Table) Insert(row val.Row) (storage.RID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rec := val.AppendRow(nil, row)
-	rid, err := t.heap.Append(rec)
+	si := t.routeRow(row)
+	rid, err := t.heaps[si].Append(rec)
 	if err != nil {
 		return 0, err
 	}
+	rid = storage.TagRID(si, rid)
 	for _, ix := range t.indexes {
 		if err := ix.tree.Insert(indexEntry(ix, row, rid)); err != nil {
 			return 0, err
@@ -474,13 +536,49 @@ func (t *Table) Insert(row val.Row) (storage.RID, error) {
 	return rid, nil
 }
 
+// routeRow picks the storage shard owning a row: spatial tables by the
+// htmID column's trixel range, others by a deterministic hash of the
+// first primary-key column (whole table on shard 0 when keyless, which
+// only tiny metadata tables are).
+func (t *Table) routeRow(row val.Row) int {
+	if len(t.heaps) == 1 {
+		return 0
+	}
+	plan := t.shards.Plan()
+	if t.shardCol >= 0 {
+		if v := row[t.shardCol]; v.K == val.KindInt {
+			return plan.ShardFor(uint64(v.I))
+		}
+	}
+	if len(t.PKCols) > 0 {
+		switch v := row[t.PKCols[0]]; v.K {
+		case val.KindInt:
+			return plan.HashShard(uint64(v.I))
+		case val.KindFloat:
+			return plan.HashShard(uint64(int64(v.F)))
+		case val.KindString:
+			var h uint64 = 14695981039346656037
+			for i := 0; i < len(v.S); i++ {
+				h ^= uint64(v.S[i])
+				h *= 1099511628211
+			}
+			return plan.HashShard(h)
+		}
+	}
+	return 0
+}
+
 // DeleteRID removes a row by RID, maintaining indices. It returns false if
 // the row was already gone.
 func (t *Table) DeleteRID(rid storage.RID) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	si := rid.Shard()
+	if si >= len(t.heaps) {
+		return false, nil
+	}
 	buf := make([]byte, storage.PageSize)
-	rec, err := t.heap.Get(rid, buf)
+	rec, err := t.heaps[si].Get(rid.Untag(), buf)
 	if err != nil {
 		return false, nil // already gone
 	}
@@ -488,7 +586,7 @@ func (t *Table) DeleteRID(rid storage.RID) (bool, error) {
 	if _, err := val.DecodeRow(rec, row, len(t.Cols), nil); err != nil {
 		return false, err
 	}
-	ok, err := t.heap.Delete(rid)
+	ok, err := t.heaps[si].Delete(rid.Untag())
 	if err != nil || !ok {
 		return ok, err
 	}
@@ -509,18 +607,25 @@ func (t *Table) DeleteRID(rid storage.RID) (bool, error) {
 // only within that call for blob columns — Clone to retain.
 func (t *Table) ScanRows(dop int, need []bool, fn func(rid storage.RID, row val.Row) error) error {
 	width := len(t.Cols)
-	return t.heap.Scan(dop, func(rid storage.RID, rec []byte) error {
-		row := make(val.Row, width)
-		if need != nil {
-			for i := range row {
-				row[i] = val.Null()
+	for si, h := range t.heaps {
+		si := si
+		err := h.Scan(dop, func(rid storage.RID, rec []byte) error {
+			row := make(val.Row, width)
+			if need != nil {
+				for i := range row {
+					row[i] = val.Null()
+				}
 			}
-		}
-		if _, err := val.DecodeRow(rec, row, width, need); err != nil {
+			if _, err := val.DecodeRow(rec, row, width, need); err != nil {
+				return err
+			}
+			return fn(storage.TagRID(si, rid), row)
+		})
+		if err != nil {
 			return err
 		}
-		return fn(rid, row)
-	})
+	}
+	return nil
 }
 
 // PKExists reports whether a row with the given primary-key values exists.

@@ -45,6 +45,12 @@ type CompiledPlan struct {
 	// tvf marks plans that read a table-valued function; see
 	// planner.usesTVF and ResultCacheable.
 	tvf bool
+	// routed are the heap scans whose shard route depends on the
+	// parameter vector. Non-empty routed means class/estRows describe
+	// only the compile-time binding; ClassFor re-derives them per
+	// execution so a plan cached from a 1-shard cone does not keep its
+	// interactive class when later parameters fan out to every shard.
+	routed []*scanNode
 }
 
 // tableVer snapshots one table's data version at plan compile time.
@@ -110,6 +116,21 @@ func (cp *CompiledPlan) VersionDigest() uint64 {
 	return h
 }
 
+// ClassFor returns the workload class and driving-row estimate for one
+// execution's parameter binding. For plans without parameter-dependent
+// shard routes this is the compile-time class (the common case: free on
+// a plan-cache hit). For routed plans it re-derives the class from the
+// shard route the binding produces — the sharded-world fix for
+// parameter sniffing, where the cached class of the first-seen cone
+// would otherwise misprice an all-sky sweep through the same plan.
+func (cp *CompiledPlan) ClassFor(sess *Session, params []val.Value) (QueryClass, float64) {
+	if len(cp.routed) == 0 {
+		return cp.class, cp.estRows
+	}
+	ctx := &ExecCtx{DB: sess.db, Session: sess, Params: params}
+	return classifyPlan(cp.root, ctx)
+}
+
 // ResultCacheable reports whether a result set produced by this plan may
 // be cached by (key, versions): false when the plan reads a table-valued
 // function, whose execution-time table reads the version snapshot cannot
@@ -145,8 +166,9 @@ func (s *Session) compileSelect(st *SelectStmt, params []val.Value) (*CompiledPl
 		schemaVer: schemaVer,
 		tables:    p.tables,
 		tvf:       p.usesTVF,
+		routed:    p.routedScans,
 	}
-	cp.class, cp.estRows = classifyPlan(node)
+	cp.class, cp.estRows = classifyPlan(node, &ExecCtx{DB: s.db, Session: s, Params: params})
 	cp.bytes = planBytes(cp)
 	return cp, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"skyserver/internal/btree"
+	"skyserver/internal/htm"
 	"skyserver/internal/storage"
 	"skyserver/internal/val"
 )
@@ -326,6 +328,19 @@ type scanNode struct {
 	needed []bool
 	filter *compiledPred
 	label  string // filter text for EXPLAIN
+
+	// Shard routing, set by the planner when the table shards and the
+	// pushed predicate bounds the htmID routing column. The bound exprs
+	// are constants/parameters compiled against the empty scope, so the
+	// route re-derives per execution from the bound parameter vector;
+	// routeStatic is the compile-time (first-seen params) shard count for
+	// EXPLAIN. The pushed predicate stays in filter — routing only prunes
+	// pages, never rows — so a conservative route is always correct.
+	routeLo     compiledExpr // nil = unbounded below
+	routeLoIncl bool
+	routeHi     compiledExpr // nil = unbounded above
+	routeHiIncl bool
+	routeStatic int
 }
 
 func (s *scanNode) Columns() []ColRef { return s.cols }
@@ -345,9 +360,80 @@ func (s *scanNode) Run(ctx *ExecCtx, emit batchFn) error {
 	})
 }
 
+// routedShards evaluates the route bounds against the execution's
+// parameters and intersects the resulting HTM interval with the shard
+// ranges. nil means all shards (no usable bounds); an empty slice means
+// the bounds are contradictory and nothing needs scanning. Evaluation
+// errors and non-integer bounds conservatively route everywhere.
+func (s *scanNode) routedShards(ctx *ExecCtx) []int {
+	if s.table.ShardCount() == 1 || (s.routeLo == nil && s.routeHi == nil) {
+		return nil
+	}
+	lo, hi := uint64(0), uint64(math.MaxUint64)
+	if s.routeLo != nil {
+		v, err := s.routeLo(ctx, nil)
+		if err != nil || v.K != val.KindInt {
+			return nil
+		}
+		l := v.I
+		if !s.routeLoIncl && l < math.MaxInt64 {
+			l++
+		}
+		if l > 0 {
+			lo = uint64(l)
+		}
+	}
+	if s.routeHi != nil {
+		v, err := s.routeHi(ctx, nil)
+		if err != nil || v.K != val.KindInt {
+			return nil
+		}
+		if v.I < 0 {
+			return []int{}
+		}
+		hi = uint64(v.I)
+		if s.routeHiIncl {
+			hi++
+		}
+	}
+	if hi <= lo {
+		return []int{}
+	}
+	return s.table.shards.Plan().Route([]htm.Range{{Lo: lo, Hi: hi}})
+}
+
 func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
+	if g := s.table.shards; s.table.ShardCount() > 1 {
+		shards := s.routedShards(ctx)
+		spatial := shards != nil
+		if shards == nil {
+			shards = make([]int, s.table.ShardCount())
+			for i := range shards {
+				shards[i] = i
+			}
+		}
+		g.RecordRoute(shards, spatial)
+		switch len(shards) {
+		case 0:
+			return nil
+		case 1:
+			return s.scanShard(ctx, shards[0], mk)
+		default:
+			return s.scanScatter(ctx, shards, mk)
+		}
+	}
+	return s.scanShard(ctx, 0, mk)
+}
+
+// scanShard scans one shard's heap — the whole table when unsharded.
+// This is the PR 8 parallel scan unchanged: ScanBatchesCtx calls mk
+// sequentially per worker and runs the finalizers serially in worker
+// order after a successful join.
+func (s *scanNode) scanShard(ctx *ExecCtx, si int, mk sinkFactory) error {
 	width := len(s.table.Cols)
 	var rowsSeen atomic.Int64
+	var pagesSeen atomic.Int64
+	heap := s.table.heaps[si]
 	// Per-worker batches and arenas, released together once every worker
 	// has exited (ScanBatches joins its goroutines before returning, on
 	// success and error alike). The mk callback runs sequentially on this
@@ -357,8 +443,8 @@ func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
 		ar    *val.Arena
 	}
 	workers := make([]workerMem, 0, 8)
-	dop := ctx.scanDOP(s.table.heap.NumVolumes())
-	err := s.table.heap.ScanBatchesCtx(ctx.queryCtx(), dop, func(worker int) (storage.RecBatchFunc, func() error) {
+	dop := ctx.scanDOP(heap.NumVolumes())
+	err := heap.ScanBatchesCtx(ctx.queryCtx(), dop, func(worker int) (storage.RecBatchFunc, func() error) {
 		batch := ctx.getBatch(width, val.BatchSize, s.needed)
 		ar := ctx.getArena()
 		workers = append(workers, workerMem{batch, ar})
@@ -392,6 +478,7 @@ func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
 		}
 		fn := func(rids []storage.RID, recs [][]byte) error {
 			ctx.PagesScanned.Add(1)
+			pagesSeen.Add(1)
 			if n := rowsSeen.Add(int64(len(recs))); n%4096 < int64(len(recs)) {
 				if err := ctx.checkDeadline(); err != nil {
 					return err
@@ -417,6 +504,9 @@ func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
 		w.ar.Release()
 	}
 	ctx.RowsScanned.Add(rowsSeen.Load())
+	if g := s.table.shards; s.table.ShardCount() > 1 {
+		g.AddPages(si, uint64(pagesSeen.Load()))
+	}
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// The storage scan loop surfaces raw context errors; report them
 		// as the engine's query errors.
@@ -425,10 +515,184 @@ func (s *scanNode) RunParallel(ctx *ExecCtx, mk sinkFactory) error {
 	return err
 }
 
+// scanScatter fans one logical scan out across the routed shards'
+// heaps concurrently and gathers the results through the PR 8 per-worker
+// sink contract: every (shard, local worker) pair becomes one global
+// worker whose sink and decode state are built sequentially up front,
+// each shard's ScanBatchesCtx runs on its own goroutine against its own
+// scan pool with a shared cancelable context (one query's retry budget
+// and deadline span all shards), and after every shard joins cleanly the
+// consumer finalizers run serially in global worker order — so partial
+// aggregates and sorted runs merge in a deterministic order and sharded
+// output stays byte-identical to single-shard.
+func (s *scanNode) scanScatter(ctx *ExecCtx, shards []int, mk sinkFactory) error {
+	width := len(s.table.Cols)
+	var rowsSeen atomic.Int64
+	type shardRun struct {
+		si    int
+		dop   int
+		base  int // first global worker index
+		pages atomic.Int64
+	}
+	var runs []*shardRun
+	total := 0
+	for _, si := range shards {
+		heap := s.table.heaps[si]
+		pages := heap.Pages()
+		if pages == 0 {
+			continue
+		}
+		// Upper bound on the workers the storage layer will start; its
+		// own clamp only ever lowers dop further, leaving trailing global
+		// workers idle — harmless, consumers accept workers with no rows.
+		dop := ctx.scanDOP(heap.NumVolumes())
+		if uint64(dop) > pages {
+			dop = int(pages)
+		}
+		runs = append(runs, &shardRun{si: si, dop: dop, base: total})
+		total += dop
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 {
+		return s.scanShard(ctx, runs[0].si, mk)
+	}
+	type worker struct {
+		batch *val.Batch
+		ar    *val.Arena
+		done  func() error
+		flush func() error
+		fn    storage.RecBatchFunc
+	}
+	workers := make([]*worker, total)
+	for _, run := range runs {
+		run := run
+		for lw := 0; lw < run.dop; lw++ {
+			batch := ctx.getBatch(width, val.BatchSize, s.needed)
+			ar := ctx.getArena()
+			sink, done := mk(run.base + lw)
+			w := &worker{batch: batch, ar: ar, done: done}
+			w.flush = func() error {
+				if batch.Size() == 0 {
+					return nil
+				}
+				if err := s.filter.filter(ctx, batch, ar); err != nil {
+					return err
+				}
+				if batch.Len() > 0 {
+					if err := sink(batch); err != nil {
+						return err
+					}
+				}
+				batch.Reset()
+				return nil
+			}
+			w.fn = func(rids []storage.RID, recs [][]byte) error {
+				ctx.PagesScanned.Add(1)
+				run.pages.Add(1)
+				if n := rowsSeen.Add(int64(len(recs))); n%4096 < int64(len(recs)) {
+					if err := ctx.checkDeadline(); err != nil {
+						return err
+					}
+				}
+				for _, rec := range recs {
+					idx := batch.Grow()
+					if _, err := batch.DecodeInto(idx, 0, rec, width, s.needed); err != nil {
+						return err
+					}
+					if batch.Full() {
+						if err := w.flush(); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			workers[run.base+lw] = w
+		}
+	}
+	// Scatter: one goroutine per shard. A failing shard cancels the
+	// others; each shard's storage finalizer only flushes that worker's
+	// residual batch (into its private sink), so cross-shard flush order
+	// cannot affect the merged result.
+	qctx, cancel := context.WithCancel(ctx.queryCtx())
+	defer cancel()
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for ri, run := range runs {
+		wg.Add(1)
+		go func(ri int, run *shardRun) {
+			defer wg.Done()
+			err := s.table.heaps[run.si].ScanBatchesCtx(qctx, run.dop, func(lw int) (storage.RecBatchFunc, func() error) {
+				w := workers[run.base+lw]
+				return w.fn, w.flush
+			})
+			if err != nil {
+				errs[ri] = err
+				cancel()
+			}
+		}(ri, run)
+	}
+	wg.Wait()
+	for _, w := range workers {
+		w.batch.Release()
+		w.ar.Release()
+	}
+	ctx.RowsScanned.Add(rowsSeen.Load())
+	g := s.table.shards
+	for _, run := range runs {
+		g.AddPages(run.si, uint64(run.pages.Load()))
+	}
+	// Prefer real failures over the context errors our own cancel
+	// induced on sibling shards; surface a context error only when no
+	// shard failed for another reason (i.e. the query itself was
+	// canceled or timed out).
+	var real []error
+	var ctxErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = e
+			}
+			continue
+		}
+		real = append(real, e)
+	}
+	switch {
+	case len(real) == 1:
+		return real[0]
+	case len(real) > 1:
+		return errors.Join(real...)
+	case ctxErr != nil:
+		return mapCtxErr(ctxErr)
+	}
+	// Gather: all shards joined clean — run the consumer finalizers
+	// serially in global worker order, exactly as a single ScanBatchesCtx
+	// would have.
+	for _, w := range workers {
+		if w.done == nil {
+			continue
+		}
+		if err := w.done(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (s *scanNode) explainTo(sb *strings.Builder, depth int) {
 	indent(sb, depth)
 	dop := "parallel"
 	fmt.Fprintf(sb, "TableScan(%s, %s", s.table.Name, dop)
+	if n := s.table.ShardCount(); n > 1 {
+		// Compile-time route under the first-seen parameters; executions
+		// re-derive it from their own bindings.
+		fmt.Fprintf(sb, ", Shards(%d/%d)", s.routeStatic, n)
+	}
 	if s.label != "" {
 		fmt.Fprintf(sb, ", filter=%s", s.label)
 	}
@@ -589,7 +853,7 @@ func (s *indexScanNode) Run(ctx *ExecCtx, emit batchFn) error {
 				batch.Put(sc.dst, idx, e.Incl[sc.src])
 			}
 		} else {
-			rec, err := s.table.heap.Get(storage.RID(e.RID), buf)
+			rec, err := s.table.GetRec(storage.RID(e.RID), buf)
 			if err != nil {
 				innerErr = err
 				break
@@ -830,7 +1094,7 @@ func (j *indexJoinNode) Run(ctx *ExecCtx, emit batchFn) error {
 						out.Col(sc.dst)[idx] = e.Incl[sc.src]
 					}
 				} else {
-					rec, err := j.inner.heap.Get(storage.RID(e.RID), buf)
+					rec, err := j.inner.GetRec(storage.RID(e.RID), buf)
 					if err != nil {
 						return err
 					}

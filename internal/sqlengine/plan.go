@@ -39,6 +39,10 @@ type planner struct {
 	// plan cache (re-binding is always correct) but are excluded from the
 	// result cache (see CompiledPlan.ResultCacheable).
 	usesTVF bool
+	// routedScans collects heap scans whose shard route depends on the
+	// parameter vector; the compiled plan re-derives its workload class
+	// per execution from them (see CompiledPlan.ClassFor).
+	routedScans []*scanNode
 }
 
 // plannedSource is one resolved FROM entry.
@@ -648,7 +652,66 @@ func (p *planner) buildAccess(src *plannedSource, needed []bool) (Node, error) {
 		}
 		return best, nil
 	}
-	return &scanNode{table: t, cols: src.cols, needed: mask, filter: filter, label: label}, nil
+	sn := &scanNode{table: t, cols: src.cols, needed: mask, filter: filter, label: label}
+	p.routeShardScan(sn, src, selfScope)
+	return sn, nil
+}
+
+// routeShardScan attaches shard routing to a heap scan of a sharded
+// table: bounds on the htmID routing column extracted from the pushed
+// predicates (which stay in the scan's filter — routing prunes pages,
+// never rows) become compiled constant/parameter expressions the
+// executor intersects with the shard ranges on every execution. The
+// compile-time route under the first-seen parameters feeds EXPLAIN's
+// Shards(k/N) and the workload classification.
+func (p *planner) routeShardScan(sn *scanNode, src *plannedSource, selfScope *scope) {
+	t := sn.table
+	n := t.ShardCount()
+	sn.routeStatic = n
+	if n <= 1 || t.shardCol < 0 {
+		return
+	}
+	// An equality pin routes like a one-point range.
+	var eq Expr
+	for _, c := range src.pushed {
+		b, ok := c.(*BinExpr)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		if colMatches(b.L, selfScope, t.shardCol) && constExpr(b.R) {
+			eq = b.R
+			break
+		}
+		if colMatches(b.R, selfScope, t.shardCol) && constExpr(b.L) {
+			eq = b.L
+			break
+		}
+	}
+	lo, loIncl, hi, hiKind := rangeBounds(src.pushed, selfScope, t.shardCol)
+	if eq != nil {
+		lo, loIncl, hi, hiKind = eq, true, eq, boundInclusive
+	}
+	if lo == nil && hi == nil {
+		return
+	}
+	if lo != nil {
+		if ce, err := compileExpr(lo, &scope{}, p.db); err == nil {
+			sn.routeLo, sn.routeLoIncl = ce, loIncl
+		}
+	}
+	if hi != nil && hiKind != boundNone {
+		if ce, err := compileExpr(hi, &scope{}, p.db); err == nil {
+			sn.routeHi, sn.routeHiIncl = ce, hiKind == boundInclusive
+		}
+	}
+	if sn.routeLo == nil && sn.routeHi == nil {
+		return
+	}
+	p.routedScans = append(p.routedScans, sn)
+	ctx := &ExecCtx{DB: p.db, Session: p.sess, Params: p.params}
+	if shards := sn.routedShards(ctx); shards != nil {
+		sn.routeStatic = len(shards)
+	}
 }
 
 // constExpr reports whether e references no columns (literals, variables,

@@ -48,8 +48,16 @@ const InteractiveRowBudget = 4 * diveCap
 // where the planner has them); structure overrides size in one case: a
 // heap scan of a persistent table is batch no matter how small the table
 // is today, because the scan's cost tracks table growth, not the plan.
-func classifyPlan(root Node) (QueryClass, float64) {
-	est, heapScan := planDrivingRows(root)
+//
+// ctx carries the parameter binding the class is derived under: a heap
+// scan whose shard route depends on parameters (a cone pinned to one
+// trixel range versus a sweep of the whole sky) classifies per binding,
+// not per plan — the classic parameter-sniffing trap where a plan cached
+// as interactive from a 1-shard cone would otherwise stay interactive
+// when later parameters fan out to every shard. ctx may be nil when the
+// plan has no routed scans.
+func classifyPlan(root Node, ctx *ExecCtx) (QueryClass, float64) {
+	est, heapScan := planDrivingRows(root, ctx)
 	if heapScan || est > InteractiveRowBudget {
 		return ClassBatch, est
 	}
@@ -60,9 +68,25 @@ func classifyPlan(root Node) (QueryClass, float64) {
 // paths and reports whether any of them is a heap scan. Interior
 // operators pass their child's cost through: filters, projections, sorts,
 // and aggregates are bounded by the rows their inputs drive.
-func planDrivingRows(n Node) (est float64, heapScan bool) {
+func planDrivingRows(n Node, ctx *ExecCtx) (est float64, heapScan bool) {
 	switch n := n.(type) {
 	case *scanNode:
+		// A statically pruned sharded scan touches only the routed shards'
+		// pages; if the route under this binding stays partial, the scan
+		// costs like those shards' rows and loses the unconditional
+		// heap-scan=batch override. A route that fans out to every shard
+		// is a full sweep and classifies batch regardless of row count.
+		if ctx != nil && (n.routeLo != nil || n.routeHi != nil) {
+			if total := n.table.ShardCount(); total > 1 {
+				if shards := n.routedShards(ctx); shards != nil && len(shards) < total {
+					var rows uint64
+					for _, si := range shards {
+						rows += n.table.ShardRows(si)
+					}
+					return float64(rows), false
+				}
+			}
+		}
 		return float64(n.table.Rows()), true
 	case *indexScanNode:
 		if n.estRows >= 0 {
@@ -79,33 +103,33 @@ func planDrivingRows(n Node) (est float64, heapScan bool) {
 		// Each outer row probes the inner index; probe fan-out is small by
 		// construction (the planner only builds this node over an equality
 		// prefix), so the outer side drives the cost.
-		return planDrivingRows(n.outer)
+		return planDrivingRows(n.outer, ctx)
 	case *nlJoinNode:
 		// The materialized inner is rescanned once per outer row.
-		oe, oh := planDrivingRows(n.outer)
-		ie, ih := planDrivingRows(n.inner)
+		oe, oh := planDrivingRows(n.outer, ctx)
+		ie, ih := planDrivingRows(n.inner, ctx)
 		if ie < 1 {
 			ie = 1
 		}
 		return oe * ie, oh || ih
 	case *filterNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *projectNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *aggNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *sortNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *distinctNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *stripNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *topNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *topKNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case *schemaNode:
-		return planDrivingRows(n.child)
+		return planDrivingRows(n.child, ctx)
 	case dualNode:
 		return 1, false
 	default:

@@ -303,7 +303,7 @@ func (s *Session) execStmts(qctx context.Context, stmts []Statement, params []va
 		res.Cacheable = true
 	}
 	if res.compiled != nil {
-		res.Class = res.compiled.class
+		res.Class, _ = res.compiled.ClassFor(s, params)
 	}
 	res.Elapsed = time.Since(startWall)
 	res.CPU = processCPU() - startCPU
@@ -320,7 +320,8 @@ func (s *Session) execCachedPlan(qctx context.Context, cp *CompiledPlan, params 
 		// stale parameters.
 		return nil, fmt.Errorf("sql: plan cache: %d parameters bound, plan needs %d", len(params), cp.nParams)
 	}
-	res := &Result{PlanCacheHit: true, Class: cp.class, Cacheable: true, compiled: cp}
+	class, _ := cp.ClassFor(s, params)
+	res := &Result{PlanCacheHit: true, Class: class, Cacheable: true, compiled: cp}
 	startWall := time.Now()
 	startCPU := processCPU()
 	ctx := s.newExecCtx(qctx, params, opt, startWall)
@@ -403,7 +404,8 @@ func (s *Session) ClassifyCached(sql string) (QueryClass, bool) {
 	key, params := normalizeTokens(toks, s.keyBuf[:0], s.paramBuf[:0])
 	s.keyBuf, s.paramBuf = key, params
 	if cp := s.db.plans.peek(key, s.db.SchemaVersion()); cp != nil {
-		return cp.class, true
+		class, _ := cp.ClassFor(s, params)
+		return class, true
 	}
 	return ClassBatch, false
 }
@@ -489,7 +491,8 @@ func (s *Session) Classify(sql string) (QueryClass, error) {
 		return ClassInteractive, err
 	}
 	if pr.hit != nil {
-		return pr.hit.class, nil
+		class, _ := pr.hit.ClassFor(s, pr.params)
+		return class, nil
 	}
 	if pr.storeKey != "" && len(pr.stmts) == 1 {
 		if sel, ok := pr.stmts[0].(*SelectStmt); ok {
@@ -840,14 +843,9 @@ func (s *Session) execDelete(st *DeleteStmt, ctx *ExecCtx, res *Result) error {
 		}
 		cond = ce
 	}
-	// Collect matching RIDs first (serial scan), then delete.
+	// Collect matching RIDs first (serial scan, all shards), then delete.
 	var rids []storage.RID
-	width := len(t.Cols)
-	err = t.heap.Scan(1, func(rid storage.RID, rec []byte) error {
-		row := make(val.Row, width)
-		if _, err := val.DecodeRow(rec, row, width, nil); err != nil {
-			return err
-		}
+	err = t.ScanRows(1, nil, func(rid storage.RID, row val.Row) error {
 		if cond != nil {
 			ok, err := cond(ctx, row)
 			if err != nil {

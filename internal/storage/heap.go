@@ -24,6 +24,22 @@ func (r RID) Page() uint64 { return uint64(r) >> 16 }
 // Slot returns the slot within the page.
 func (r RID) Slot() int { return int(uint64(r) & 0xFFFF) }
 
+// ShardShift positions the shard tag in the top 8 bits of a RID. Heaps
+// never see tagged RIDs — the catalog tags the RIDs it hands out (index
+// entries, insert results) and strips the tag before heap access, so the
+// page index keeps its full 48 bits heap-locally. TagRID(0, r) == r: an
+// unsharded database's RIDs are bit-for-bit unchanged.
+const ShardShift = 56
+
+// TagRID stamps a shard index into the RID's tag bits.
+func TagRID(shard int, r RID) RID { return r | RID(uint64(shard)<<ShardShift) }
+
+// Shard returns the shard tag (0 for unsharded RIDs).
+func (r RID) Shard() int { return int(uint64(r) >> ShardShift) }
+
+// Untag returns the heap-local RID with the shard tag cleared.
+func (r RID) Untag() RID { return r & (1<<ShardShift - 1) }
+
 // FileGroup stripes pages round-robin across volumes and serves reads
 // through a shared page cache. All tables of a database live in one file
 // group, exactly as in the paper's physical design.

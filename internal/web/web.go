@@ -183,6 +183,7 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 	s.mux.HandleFunc("/x/plancache", s.handlePlanCache)
 	s.mux.HandleFunc("/x/resultcache", s.handleResultCache)
 	s.mux.HandleFunc("/x/sched", s.handleSched)
+	s.mux.HandleFunc("/x/shards", s.handleShards)
 	s.mux.HandleFunc("/x/health", s.handleHealth)
 	s.mux.HandleFunc("/en/tools/explore/obj.asp", s.gate("explore", interactive, s.handleExplore))
 	s.mux.HandleFunc("/en/tools/places/", s.gate("places", interactive, s.handlePlaces))
@@ -196,6 +197,7 @@ func NewServer(sdb *schema.SkyDB, opt Options) *Server {
 	// service. Errors under /api/v1 are the JSON envelope (docs/ops.md).
 	s.mux.HandleFunc("/api/v1/query", sqlHandler)
 	s.mux.HandleFunc("/api/v1/status/sched", s.handleSched)
+	s.mux.HandleFunc("/api/v1/status/shards", s.handleShards)
 	s.mux.HandleFunc("/api/v1/status/plancache", s.handlePlanCache)
 	s.mux.HandleFunc("/api/v1/status/resultcache", s.handleResultCache)
 	s.mux.HandleFunc("/api/v1/status/health", s.handleHealth)
@@ -1163,6 +1165,16 @@ func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// handleShards reports the HTM-trixel shard layout and its routing
+// counters: per-shard trixel range, pages scanned, queries routed,
+// physical reads and pool workers, plus the spatial/full routing split
+// and the prune ratio (fraction of shard work spatial routing avoided).
+// Ungated, like the other status pages. Field reference: docs/ops.md.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.sdb.DB.Shards().Stats())
 }
 
 // handleLoadEvents shows the loader journal — §9.4's "simple web user
